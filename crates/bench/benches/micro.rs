@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the protocol's hot paths.
+//!
+//! These complement the figure/table binaries: the paper's Table 2
+//! (bandwidth) depends on message sizes and batching, and the CD fast path
+//! depends on alert ingestion and bitmap merging being cheap.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rapid_core::alert::Alert;
+use rapid_core::config::{ConfigId, Configuration, Member};
+use rapid_core::cut::CutDetector;
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::{Proposal, ProposalItem};
+use rapid_core::metadata::Metadata;
+use rapid_core::paxos::FastRound;
+use rapid_core::ring::Topology;
+use rapid_core::util::BitVec;
+use rapid_core::wire::{self, Message};
+use spectral::MonitoringGraph;
+
+fn config(n: u128) -> Arc<Configuration> {
+    Configuration::bootstrap(
+        (1..=n)
+            .map(|i| Member::new(NodeId::from_u128(i), Endpoint::new(format!("node-{i}"), 4000)))
+            .collect(),
+    )
+}
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_topology_build");
+    for n in [100u128, 1000, 2000] {
+        let cfg = config(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| Topology::build(cfg, 10));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cut_detector_ingest(c: &mut Criterion) {
+    // Ingest K alerts each for F failing subjects (the Figure 8 path).
+    let mut g = c.benchmark_group("cut_detector_ingest");
+    for f in [1usize, 10, 100] {
+        let alerts: Vec<Alert> = (0..f)
+            .flat_map(|s| {
+                (0..10u8).map(move |ring| {
+                    Alert::remove(
+                        NodeId::from_u128(10_000 + ring as u128),
+                        NodeId::from_u128(s as u128 + 1),
+                        Endpoint::new(format!("node-{s}"), 4000),
+                        ConfigId(7),
+                        ring,
+                    )
+                })
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(f), &alerts, |b, alerts| {
+            b.iter(|| {
+                let mut cd = CutDetector::new(ConfigId(7), 10, 9, 3);
+                for a in alerts {
+                    cd.record(a, 0);
+                }
+                cd.proposal()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_vote_merge(c: &mut Criterion) {
+    // Merging gossiped vote bitmaps at N=2000 (the fast-path hot loop).
+    let n = 2000;
+    let proposal = Proposal::from_items(
+        ConfigId(1),
+        vec![ProposalItem::remove(
+            NodeId::from_u128(1),
+            Endpoint::new("node-1", 4000),
+        )],
+    );
+    let hash = proposal.hash();
+    let mut donor = BitVec::new(n);
+    for i in (0..n).step_by(3) {
+        donor.set(i);
+    }
+    c.bench_function("fast_round_merge_2000", |b| {
+        b.iter(|| {
+            let mut fr = FastRound::new(n, 0);
+            fr.merge(hash, &donor, Some(&proposal));
+            fr.votes_for(hash)
+        });
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let alerts: Arc<[Alert]> = (0..64u8)
+        .map(|i| {
+            Alert::join(
+                NodeId::from_u128(i as u128),
+                NodeId::from_u128(1000 + i as u128),
+                Endpoint::new(format!("node-{i}"), 4000),
+                ConfigId(3),
+                i % 10,
+                Metadata::with_entry("role", "backend"),
+            )
+        })
+        .collect::<Vec<_>>()
+        .into();
+    let msg = Message::AlertBatch {
+        config_id: ConfigId(3),
+        alerts,
+    };
+    let bytes = wire::encode_to_vec(&msg);
+    c.bench_function("wire_encode_alert_batch_64", |b| {
+        b.iter(|| wire::encode_to_vec(&msg));
+    });
+    c.bench_function("wire_decode_alert_batch_64", |b| {
+        b.iter(|| wire::decode(&bytes).unwrap());
+    });
+}
+
+fn bench_config_apply(c: &mut Criterion) {
+    // Applying a 100-join cut to a 1000-member configuration.
+    let cfg = config(1000);
+    let items: Vec<ProposalItem> = (0..100)
+        .map(|i| {
+            ProposalItem::join(
+                NodeId::from_u128(5_000 + i),
+                Endpoint::new(format!("joiner-{i}"), 4000),
+                Metadata::new(),
+            )
+        })
+        .collect();
+    let proposal = Proposal::from_items(cfg.id(), items);
+    c.bench_function("config_apply_100_joins_to_1000", |b| {
+        b.iter(|| cfg.apply(&proposal));
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let cfg = config(500);
+    let g = MonitoringGraph::build(&cfg, 10);
+    c.bench_function("second_eigenvalue_n500_k10", |b| {
+        b.iter(|| g.second_eigenvalue(100, 7));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ring_build,
+    bench_cut_detector_ingest,
+    bench_vote_merge,
+    bench_wire_codec,
+    bench_config_apply,
+    bench_spectral
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **Ablation** — dissemination strategy: epidemic gossip vs unicast-to-all
+//! (§4.3/§6 leave the broadcaster pluggable; the paper's implementation
+//! unicasts alerts and gossips votes).
+//!
+//! Measures, for a 10-node crash in an N-node cluster: time from crash to
+//! cluster-wide convergence, and per-process bandwidth.
+
+use bench::{print_csv, Args};
+use rapid_core::settings::Settings;
+use rapid_sim::cluster::{all_report, RapidClusterBuilder};
+use rapid_sim::series::{mean, percentile};
+use rapid_sim::Fault;
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 1000 } else { 200 };
+    let mut rows = Vec::new();
+    for gossip in [true, false] {
+        let label = if gossip { "gossip" } else { "unicast-all" };
+        let settings = Settings {
+            use_gossip_broadcast: gossip,
+            ..Settings::default()
+        };
+        let mut sim = RapidClusterBuilder::new(n)
+            .settings(settings)
+            .seed(args.seed)
+            .build_static();
+        sim.run_until(5_000);
+        let crash_at = 5_000;
+        for i in 0..10 {
+            sim.schedule_fault(crash_at, Fault::Crash(2 + i * (n / 10 - 1)));
+        }
+        let done = sim
+            .run_until_pred(300_000, |s| all_report(s, n - 10))
+            .expect("must converge");
+        sim.run_until(done + 5_000);
+        let mut rx = Vec::new();
+        let mut tx = Vec::new();
+        for i in 0..n {
+            if sim.net.is_crashed(i) {
+                continue;
+            }
+            for &(bin, bout) in &sim.traffic(i).per_second {
+                rx.push(bin as f64 / 1024.0);
+                tx.push(bout as f64 / 1024.0);
+            }
+        }
+        let detect_s = (done - crash_at) as f64 / 1_000.0;
+        eprintln!(
+            "ablation_broadcast: {label}: convergence {detect_s:.1}s, \
+             mean rx/tx {:.2}/{:.2} KB/s, p99 {:.2}/{:.2}, max {:.1}/{:.1}",
+            mean(&rx),
+            mean(&tx),
+            percentile(&rx, 99.0),
+            percentile(&tx, 99.0),
+            percentile(&rx, 100.0),
+            percentile(&tx, 100.0),
+        );
+        rows.push(format!(
+            "{label},{n},{detect_s:.1},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1}",
+            mean(&rx),
+            mean(&tx),
+            percentile(&rx, 99.0),
+            percentile(&tx, 99.0),
+            percentile(&rx, 100.0),
+            percentile(&tx, 100.0),
+        ));
+    }
+    print_csv(
+        "mode,n,convergence_s,mean_rx_kbs,mean_tx_kbs,p99_rx_kbs,p99_tx_kbs,max_rx_kbs,max_tx_kbs",
+        rows,
+    );
+}

@@ -1,0 +1,76 @@
+//! **Ablation** — the number of monitoring rings `K` (§4.1 fixes K=10;
+//! §8 requires K large enough that the overlay expands and `1 − L/K − λ/d
+//! > β`).
+//!
+//! For each K, measures: the overlay's λ/d and detection bound, the time
+//! to detect and cut a 10-node crash, and the monitoring bandwidth.
+//! Watermarks scale as H = K−1, L = max(2, 3K/10).
+
+use bench::{print_csv, Args};
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::settings::Settings;
+use rapid_sim::cluster::{all_report, RapidClusterBuilder};
+use rapid_sim::series::mean;
+use rapid_sim::Fault;
+use spectral::{detection_bound, MonitoringGraph};
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 1000 } else { 200 };
+    let mut rows = Vec::new();
+    for k in [4usize, 6, 8, 10, 14] {
+        let h = k - 1;
+        let l = (3 * k / 10).max(2).min(h);
+        // Spectral properties of this K.
+        let cfg = Configuration::bootstrap(
+            (0..n)
+                .map(|i| {
+                    Member::new(
+                        NodeId::from_u128(i as u128 + 1),
+                        Endpoint::new(format!("node-{i}"), 4000),
+                    )
+                })
+                .collect(),
+        );
+        let ratio = MonitoringGraph::build(&cfg, k)
+            .lambda_over_d(400, args.seed)
+            .unwrap_or(f64::NAN);
+        let bound = detection_bound(l, k, ratio);
+
+        // End-to-end: crash 10, measure convergence + bandwidth.
+        let settings = Settings::with_watermarks(k, h, l);
+        let mut sim = RapidClusterBuilder::new(n)
+            .settings(settings)
+            .seed(args.seed)
+            .build_static();
+        sim.run_until(5_000);
+        for i in 0..10 {
+            sim.schedule_fault(5_000, Fault::Crash(2 + i * (n / 10 - 1)));
+        }
+        let done = sim.run_until_pred(300_000, |s| all_report(s, n - 10));
+        let detect = done.map(|d| (d - 5_000) as f64 / 1_000.0);
+        let mut tx = Vec::new();
+        for i in 0..n {
+            if !sim.net.is_crashed(i) {
+                for &(_, bout) in &sim.traffic(i).per_second {
+                    tx.push(bout as f64 / 1024.0);
+                }
+            }
+        }
+        eprintln!(
+            "ablation_k: K={k} H={h} L={l}: λ/d={ratio:.3} bound β<{bound:.3} \
+             detect={detect:?}s mean_tx={:.2} KB/s",
+            mean(&tx)
+        );
+        rows.push(format!(
+            "{k},{h},{l},{ratio:.4},{bound:.4},{},{:.3}",
+            detect.map(|v| format!("{v:.1}")).unwrap_or_else(|| "timeout".into()),
+            mean(&tx)
+        ));
+    }
+    print_csv(
+        "K,H,L,lambda_over_d,detection_bound,crash_detect_s,mean_tx_kbs",
+        rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! **Figure 9** — Flip-flopping one-way connectivity loss: 1% of processes
+//! drop *all ingress* packets for 20 s, recover for 20 s, repeatedly
+//! (`iptables INPUT`-chain drops in the paper).
+//!
+//! Paper result: ZooKeeper does not react at all (the faulty clients keep
+//! *sending* heartbeats); Memberlist oscillates and never removes all
+//! faulty processes; Rapid detects and removes them.
+
+use bench::{aggregate_timeseries, print_csv, Args, SystemKind, World};
+use rapid_sim::Fault;
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 1000 } else { 200 };
+    let faulty = (n / 100).max(2);
+    let systems = [
+        SystemKind::ZooKeeper,
+        SystemKind::Memberlist,
+        SystemKind::Rapid,
+    ];
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for kind in systems {
+        let mut world = World::bootstrap(kind, n, args.seed);
+        let max = if args.full { 1_200_000 } else { 600_000 };
+        let start = world.converge(n, max).expect("bootstrap must converge");
+        // 20 s on / 20 s off cycles for 300 s.
+        let fault_start = start + 10_000;
+        let mut t = fault_start;
+        let end = fault_start + 300_000;
+        while t < end {
+            for i in 0..faulty {
+                world.schedule_cluster_fault(t, Fault::IngressDrop(i, 1.0));
+                world.schedule_cluster_fault(t + 20_000, Fault::IngressDrop(i, 0.0));
+            }
+            t += 40_000;
+        }
+        world.run_until(end);
+        // Outcome: how many healthy processes still count the faulty ones?
+        let final_sizes: Vec<f64> = world.observations().into_iter().flatten().collect();
+        let removed_everywhere = final_sizes.iter().all(|&v| v <= (n - faulty) as f64 + 0.5);
+        let window: Vec<_> = world
+            .samples()
+            .iter()
+            .filter(|s| s.t_ms >= fault_start)
+            .copied()
+            .collect();
+        let distinct = rapid_sim::series::unique_values(&window);
+        eprintln!(
+            "fig09: {}: faulty_removed_everywhere={} distinct_sizes={}",
+            kind.label(),
+            removed_everywhere,
+            distinct
+        );
+        summary.push(format!(
+            "{},{},{},{},{}",
+            kind.label(),
+            n,
+            faulty,
+            removed_everywhere,
+            distinct
+        ));
+        for (ts, min, median, max, d) in aggregate_timeseries(&window, world.cluster_offset()) {
+            rows.push(format!("{},{},{},{},{},{}", kind.label(), ts, min, median, max, d));
+        }
+    }
+    println!("# summary");
+    print_csv("system,n,faulty,removed_everywhere,distinct_sizes", summary);
+    println!("# timeseries");
+    print_csv("system,t_s,min_size,median_size,max_size,distinct_sizes", rows);
+}

@@ -1,0 +1,18 @@
+//! Utility: measures wall-clock cost and event counts of bootstrapping
+//! one system at one size (`scale_probe <n> <rapid|rc|zk|ml>`), for sizing
+//! `--full` runs.
+use bench::{SystemKind, World};
+fn main() {
+    let n: usize = std::env::args().nth(1).unwrap().parse().unwrap();
+    let kind = match std::env::args().nth(2).unwrap().as_str() {
+        "zk" => SystemKind::ZooKeeper,
+        "ml" => SystemKind::Memberlist,
+        "rc" => SystemKind::RapidC,
+        _ => SystemKind::Rapid,
+    };
+    let t0 = std::time::Instant::now();
+    let mut w = World::bootstrap(kind, n, 42);
+    let t = w.converge(n, 1_200_000);
+    let events = match &w { bench::World::Swim(s) => s.events_processed(), bench::World::Zk(s) => s.events_processed(), bench::World::Rapid(s)|bench::World::RapidC(s) => s.events_processed(), bench::World::Akka(s) => s.events_processed() };
+    eprintln!("{} n={}: virtual={:?}s wall={:?} events={}", kind.label(), n, t.map(|x| x/1000), t0.elapsed(), events);
+}

@@ -1,0 +1,42 @@
+//! **§8 expansion claim** — the monitoring overlay's normalised second
+//! eigenvalue and the resulting detection bound.
+//!
+//! Paper claim: "In our experiments, with K = 10 (and d = 20), we have
+//! observed consistently that λ/d < 0.45. This means that Equation (2) is
+//! satisfied with L = 3 and β = 0.25" — i.e. the overlay guarantees
+//! detection of any faulty set of up to a quarter of the cluster.
+
+use bench::{print_csv, Args};
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use spectral::{detection_bound, MonitoringGraph};
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = if args.full {
+        vec![100, 500, 1000, 2000]
+    } else {
+        vec![100, 250, 500]
+    };
+    let mut rows = Vec::new();
+    for k in [6usize, 8, 10, 12] {
+        for &n in &sizes {
+            let cfg = Configuration::bootstrap(
+                (0..n)
+                    .map(|i| {
+                        Member::new(
+                            NodeId::from_u128(i as u128 + args.seed as u128 * 1_000_000 + 1),
+                            Endpoint::new(format!("node-{i}"), 4000),
+                        )
+                    })
+                    .collect(),
+            );
+            let g = MonitoringGraph::build(&cfg, k);
+            let ratio = g.lambda_over_d(600, args.seed).unwrap_or(f64::NAN);
+            let bound = detection_bound(3, k, ratio);
+            eprintln!("spectral: K={k} n={n}: λ/d={ratio:.4}, detection bound β<{bound:.3}");
+            rows.push(format!("{k},{n},{ratio:.5},{bound:.5}"));
+        }
+    }
+    print_csv("K,n,lambda_over_d,detection_bound_beta", rows);
+}

@@ -1,0 +1,37 @@
+//! **Table 1** — Number of unique cluster sizes reported by processes
+//! during bootstrap.
+//!
+//! Paper result:
+//!
+//! | System     | N=1000 | N=1500 | N=2000 |
+//! |------------|--------|--------|--------|
+//! | ZooKeeper  | 1000   | 1500   | 2000   |
+//! | Memberlist | 901    | 1383   | 1858   |
+//! | Rapid-C    | 9      | 10     | 7      |
+//! | Rapid      | 4      | 8      | 4      |
+//!
+//! Rapid installs the membership in a handful of multi-node view changes;
+//! the others report nearly every intermediate size.
+
+use bench::{print_csv, Args, SystemKind, World};
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = if args.full {
+        vec![1000, 1500, 2000]
+    } else {
+        vec![200, 350, 500]
+    };
+    let mut rows = Vec::new();
+    for kind in SystemKind::bootstrap_set() {
+        for &n in &sizes {
+            let mut world = World::bootstrap(kind, n, args.seed);
+            let max = if args.full { 1_200_000 } else { 600_000 };
+            world.converge(n, max);
+            let uniques = world.unique_sizes();
+            eprintln!("table1: {} n={} unique_sizes={}", kind.label(), n, uniques);
+            rows.push(format!("{},{},{}", kind.label(), n, uniques));
+        }
+    }
+    print_csv("system,n,unique_cluster_sizes", rows);
+}

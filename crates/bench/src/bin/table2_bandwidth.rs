@@ -1,0 +1,64 @@
+//! **Table 2** — Per-process network bandwidth (mean / p99 / max KB/s,
+//! received and transmitted) during the crash-failure experiment.
+//!
+//! Paper result (N=1000, KB/s received/transmitted):
+//!
+//! | System     | Mean        | p99          | max          |
+//! |------------|-------------|--------------|--------------|
+//! | ZooKeeper  | 0.43 / 0.01 | 17.52 / 0.33 | 38.86 / 0.67 |
+//! | Memberlist | 0.54 / 0.64 | 5.61 / 6.40  | 7.36 / 8.04  |
+//! | Rapid      | 0.71 / 0.71 | 3.66 / 3.72  | 9.56 / 11.37 |
+//!
+//! Rapid's constant K-degree monitoring costs about the same as
+//! Memberlist's gossip; ZooKeeper clients are cheap on average but the
+//! ensemble pushes large member lists at view changes.
+
+use bench::{print_csv, Args, SystemKind, World};
+use rapid_sim::series::{mean, percentile};
+use rapid_sim::Fault;
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 1000 } else { 200 };
+    let systems = [
+        SystemKind::ZooKeeper,
+        SystemKind::Memberlist,
+        SystemKind::Rapid,
+    ];
+    let mut rows = Vec::new();
+    for kind in systems {
+        let mut world = World::bootstrap(kind, n, args.seed);
+        let max_ms = if args.full { 1_200_000 } else { 600_000 };
+        let start = world.converge(n, max_ms).expect("bootstrap must converge");
+        let crash_at = start + 10_000;
+        for i in 0..10 {
+            world.schedule_cluster_fault(crash_at, Fault::Crash(1 + i * (n / 10 - 1)));
+        }
+        world.run_until(crash_at + 120_000);
+        // Per-second rates over the steady + failure window only (skip the
+        // bootstrap traffic, as the paper measures the crash experiment).
+        let skip_secs = (crash_at / 1_000).saturating_sub(10) as usize;
+        let mut rx_kbs = Vec::new();
+        let mut tx_kbs = Vec::new();
+        for (bin, bout) in world.per_second_rates(skip_secs) {
+            rx_kbs.push(bin as f64 / 1024.0);
+            tx_kbs.push(bout as f64 / 1024.0);
+        }
+        let row = format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            kind.label(),
+            mean(&rx_kbs),
+            mean(&tx_kbs),
+            percentile(&rx_kbs, 99.0),
+            percentile(&tx_kbs, 99.0),
+            percentile(&rx_kbs, 100.0),
+            percentile(&tx_kbs, 100.0),
+        );
+        eprintln!("table2: {row}");
+        rows.push(row);
+    }
+    print_csv(
+        "system,mean_rx_kbs,mean_tx_kbs,p99_rx_kbs,p99_tx_kbs,max_rx_kbs,max_tx_kbs",
+        rows,
+    );
+}

@@ -1,0 +1,301 @@
+//! The ZooKeeper-like membership client (the paper's stand-alone agents).
+//!
+//! Lifecycle: open a session with the server chosen by address hash →
+//! create an ephemeral znode for ourselves → `GetChildren` with a one-shot
+//! watch → on every `WatchFired`, re-read and re-watch. Heartbeats renew
+//! the session every `session_timeout / 3`. The client keeps heartbeating
+//! even when acks stop arriving (session liveness is decided server-side);
+//! it only re-opens a session when the server explicitly answers
+//! `SessionExpired` — this asymmetry is what makes the service blind to
+//! one-way ingress failures (Figure 9) yet flappy under egress loss
+//! (Figure 10).
+
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+use rapid_sim::{Actor, Outbox};
+
+use crate::proto::{msg_size, ZkMsg};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Opening,
+    Registering,
+    Watching,
+}
+
+/// One membership agent using the ZooKeeper-like service.
+pub struct ZkClient {
+    me: Endpoint,
+    server: Endpoint,
+    session: Option<u64>,
+    phase: Phase,
+    known: Arc<Vec<Endpoint>>,
+    have_view: bool,
+    session_timeout_ms: u64,
+    next_heartbeat_at: u64,
+    retry_at: u64,
+    /// Number of full `GetChildren` reads performed (herd accounting).
+    pub reads: u64,
+}
+
+impl ZkClient {
+    /// Creates a client that connects to the server selected by hashing
+    /// its own address over `servers`.
+    pub fn new(me: Endpoint, servers: &[Endpoint], session_timeout_ms: u64) -> Self {
+        assert!(!servers.is_empty());
+        let server = servers[(me.digest() % servers.len() as u64) as usize].clone();
+        ZkClient {
+            me,
+            server,
+            session: None,
+            phase: Phase::Opening,
+            known: Arc::new(Vec::new()),
+            have_view: false,
+            session_timeout_ms,
+            next_heartbeat_at: 0,
+            retry_at: 0,
+            reads: 0,
+        }
+    }
+
+    /// The member list this client last read.
+    pub fn members(&self) -> Arc<Vec<Endpoint>> {
+        Arc::clone(&self.known)
+    }
+
+    /// The observed cluster size (None before the first successful read).
+    pub fn observed_size(&self) -> Option<usize> {
+        self.have_view.then_some(self.known.len())
+    }
+}
+
+impl Actor for ZkClient {
+    type Msg = ZkMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<ZkMsg>) {
+        match self.phase {
+            Phase::Opening => {
+                if now >= self.retry_at {
+                    self.retry_at = now + 2_000;
+                    out.send(self.server.clone(), ZkMsg::OpenSession);
+                }
+            }
+            Phase::Registering => {
+                if now >= self.retry_at {
+                    self.retry_at = now + 2_000;
+                    if let Some(session) = self.session {
+                        out.send(
+                            self.server.clone(),
+                            ZkMsg::CreateEphemeral {
+                                session,
+                                member: self.me.clone(),
+                            },
+                        );
+                        out.send(
+                            self.server.clone(),
+                            ZkMsg::GetChildren {
+                                session,
+                                watch: true,
+                            },
+                        );
+                        self.reads += 1;
+                    }
+                }
+            }
+            Phase::Watching => {}
+        }
+        // Heartbeats regardless of ack reception (server decides liveness).
+        if let Some(session) = self.session {
+            if now >= self.next_heartbeat_at {
+                self.next_heartbeat_at = now + self.session_timeout_ms / 3;
+                out.send(self.server.clone(), ZkMsg::Heartbeat { session });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: Endpoint, msg: ZkMsg, now: u64, out: &mut Outbox<ZkMsg>) {
+        match msg {
+            ZkMsg::SessionOpened { session }
+                if self.phase == Phase::Opening => {
+                    self.session = Some(session);
+                    self.phase = Phase::Registering;
+                    self.retry_at = now; // Register on the next tick.
+                    self.next_heartbeat_at = now;
+                }
+            ZkMsg::SessionExpired => {
+                // Our registration is gone; start over with a new session.
+                self.session = None;
+                self.phase = Phase::Opening;
+                self.retry_at = now;
+            }
+            ZkMsg::ChildrenResp { members, .. } => {
+                self.known = members;
+                self.have_view = true;
+                if self.phase == Phase::Registering
+                    && self.known.contains(&self.me)
+                {
+                    self.phase = Phase::Watching;
+                }
+            }
+            ZkMsg::WatchFired => {
+                // Herd behaviour: re-read the full list and re-watch.
+                if let Some(session) = self.session {
+                    out.send(
+                        self.server.clone(),
+                        ZkMsg::GetChildren {
+                            session,
+                            watch: true,
+                        },
+                    );
+                    self.reads += 1;
+                }
+            }
+            ZkMsg::HeartbeatAck => {}
+            _ => {}
+        }
+    }
+
+    fn msg_size(msg: &ZkMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        self.observed_size().map(|s| s as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ZkServer;
+    use rapid_sim::{Fault, Simulation};
+
+    fn server_ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("zk-server-{i}"), 2181)
+    }
+
+    fn client_ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("zk-client-{i}"), 9000)
+    }
+
+    enum P {
+        S(ZkServer),
+        C(ZkClient),
+    }
+
+    impl Actor for P {
+        type Msg = ZkMsg;
+        fn on_tick(&mut self, now: u64, out: &mut Outbox<ZkMsg>) {
+            match self {
+                P::S(s) => s.on_tick(now, out),
+                P::C(c) => c.on_tick(now, out),
+            }
+        }
+        fn on_message(&mut self, from: Endpoint, msg: ZkMsg, now: u64, out: &mut Outbox<ZkMsg>) {
+            match self {
+                P::S(s) => s.on_message(from, msg, now, out),
+                P::C(c) => c.on_message(from, msg, now, out),
+            }
+        }
+        fn msg_size(msg: &ZkMsg) -> usize {
+            msg_size(msg)
+        }
+        fn sample(&self) -> Option<f64> {
+            match self {
+                P::S(s) => s.sample(),
+                P::C(c) => c.sample(),
+            }
+        }
+    }
+
+    /// 3 servers + n clients joining at t=1s.
+    fn world(n: usize, seed: u64) -> Simulation<P> {
+        let servers: Vec<Endpoint> = (0..3).map(server_ep).collect();
+        let mut sim = Simulation::new(seed, 100);
+        for s in &servers {
+            sim.add_actor(s.clone(), P::S(ZkServer::new(s.clone(), servers.clone(), 6_000)));
+        }
+        for i in 0..n {
+            sim.add_actor_at(
+                client_ep(i),
+                P::C(ZkClient::new(client_ep(i), &servers, 6_000)),
+                1_000,
+            );
+        }
+        sim
+    }
+
+    fn client_sizes(sim: &Simulation<P>) -> Vec<Option<usize>> {
+        (3..sim.len())
+            .filter(|&i| !sim.net.is_crashed(i))
+            .map(|i| match sim.actor(i) {
+                P::C(c) => c.observed_size(),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clients_register_and_converge() {
+        let mut sim = world(15, 1);
+        let t = sim.run_until_pred(120_000, |s| {
+            client_sizes(s).iter().all(|x| *x == Some(15))
+        });
+        assert!(t.is_some(), "all clients must see 15 members");
+    }
+
+    #[test]
+    fn crashed_client_expires_and_is_removed() {
+        let mut sim = world(10, 2);
+        assert!(sim
+            .run_until_pred(120_000, |s| client_sizes(s).iter().all(|x| *x == Some(10)))
+            .is_some());
+        sim.schedule_fault(sim.now() + 100, Fault::Crash(3 + 4));
+        let t = sim.run_until_pred(sim.now() + 60_000, |s| {
+            client_sizes(s).iter().all(|x| *x == Some(9))
+        });
+        assert!(t.is_some(), "expiry must remove the crashed client");
+    }
+
+    #[test]
+    fn ingress_only_failure_goes_unnoticed() {
+        // Figure 9: drop everything the faulty client *receives*; its
+        // heartbeats still flow, so ZooKeeper never removes it.
+        let mut sim = world(10, 3);
+        assert!(sim
+            .run_until_pred(120_000, |s| client_sizes(s).iter().all(|x| *x == Some(10)))
+            .is_some());
+        sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(3 + 4, 1.0));
+        sim.run_until(sim.now() + 60_000);
+        let healthy_views: Vec<Option<usize>> = (3..sim.len())
+            .filter(|&i| i != 3 + 4)
+            .map(|i| match sim.actor(i) {
+                P::C(c) => c.observed_size(),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            healthy_views.iter().all(|x| *x == Some(10)),
+            "ZooKeeper must NOT react to an ingress-only failure: {healthy_views:?}"
+        );
+    }
+
+    #[test]
+    fn watch_herd_causes_quadratic_reads() {
+        let mut sim = world(20, 4);
+        sim.run_until_pred(120_000, |s| client_sizes(s).iter().all(|x| *x == Some(20)));
+        let total_reads: u64 = (3..sim.len())
+            .map(|i| match sim.actor(i) {
+                P::C(c) => c.reads,
+                _ => 0,
+            })
+            .sum();
+        // Each of the 20 joins fires up to (joined-so-far) watches; the
+        // total must clearly exceed one read per client.
+        assert!(
+            total_reads > 40,
+            "herd must cause repeated full reads, got {total_reads}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! A ZooKeeper-style logically centralized membership service — the
+//! auxiliary-service baseline of the paper (§2.1, §7).
+//!
+//! Group membership "the ZooKeeper way": every process keeps a **session**
+//! alive with a small server ensemble via heartbeats, registers an
+//! **ephemeral node** under a group path, and leaves a **one-shot watch**
+//! on the group's children. When membership changes, the watch fires, and
+//! the client must re-read the *full* member list and re-register its
+//! watch. Two documented pathologies follow, both reproduced here:
+//!
+//! * **Herd behaviour** (ZooKeeper docs, paper §7): when the i-th process
+//!   joins, i−1 watches fire and i−1 clients re-read the full list, making
+//!   bootstrap cost quadratic — ZooKeeper's bootstrap latency grows 4x
+//!   from N=1000 to N=2000 in Figure 5. Server-side service time per read
+//!   is proportional to the member-list size and serialised per server
+//!   (modelled with [`rapid_sim::Outbox::send_delayed`]).
+//! * **Lost updates between watch fire and re-registration**: changes that
+//!   commit in that window are invisible until the *next* change fires the
+//!   new watch, so clients learn different sequences of membership events
+//!   (the paper's Figure 7 "eventually consistent client behavior").
+//!
+//! The ensemble replicates writes with a simplified Zab: a fixed leader
+//! sequences writes by `zxid`, commits on a majority of acks, and
+//! followers serve (possibly stale) local reads, as in ZooKeeper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod world;
+
+pub use client::ZkClient;
+pub use proto::ZkMsg;
+pub use server::ZkServer;

@@ -1,0 +1,142 @@
+//! Wire protocol of the ZooKeeper-like service.
+
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+
+/// A replicated write operation on the group directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Register an ephemeral member owned by `session`.
+    Create {
+        /// The member's address (its znode name).
+        member: Endpoint,
+        /// Owning session.
+        session: u64,
+    },
+    /// Remove a member (session close or expiry).
+    Delete {
+        /// The member's address.
+        member: Endpoint,
+    },
+}
+
+/// Messages of the ZooKeeper-like protocol.
+#[derive(Clone, Debug)]
+pub enum ZkMsg {
+    // ---------------- client -> server ----------------
+    /// Open (or re-open) a session.
+    OpenSession,
+    /// Session keepalive.
+    Heartbeat {
+        /// The session being renewed.
+        session: u64,
+    },
+    /// Register this client's ephemeral member znode.
+    CreateEphemeral {
+        /// Owning session.
+        session: u64,
+        /// The member address to register.
+        member: Endpoint,
+    },
+    /// Read the group's children; optionally leave a one-shot watch.
+    GetChildren {
+        /// Requesting session.
+        session: u64,
+        /// Whether to register a watch.
+        watch: bool,
+    },
+
+    // ---------------- server -> client ----------------
+    /// Session granted.
+    SessionOpened {
+        /// The new session id.
+        session: u64,
+    },
+    /// Heartbeat acknowledged.
+    HeartbeatAck,
+    /// The session is unknown or expired; the client must re-register.
+    SessionExpired,
+    /// Full children read response.
+    ChildrenResp {
+        /// The member list snapshot.
+        members: Arc<Vec<Endpoint>>,
+        /// The zxid of the snapshot.
+        zxid: u64,
+    },
+    /// A one-shot watch fired: the children changed.
+    WatchFired,
+
+    // ---------------- server <-> server ----------------
+    /// Leader proposal of a write.
+    Propose {
+        /// Sequence number.
+        zxid: u64,
+        /// The operation.
+        op: WriteOp,
+    },
+    /// Follower acknowledgement of a proposal.
+    AcceptAck {
+        /// Acknowledged zxid.
+        zxid: u64,
+    },
+    /// Commit notification.
+    Commit {
+        /// Committed zxid.
+        zxid: u64,
+        /// The operation (idempotent re-apply).
+        op: WriteOp,
+    },
+    /// Follower forwarding a client write/heartbeat to the leader.
+    Forward {
+        /// The original client message.
+        inner: Box<ZkMsg>,
+        /// The originating client.
+        client: Endpoint,
+    },
+}
+
+/// Approximate encoded size in bytes for bandwidth accounting. The
+/// dominant term is `ChildrenResp`, whose size is linear in the member
+/// count — the root of the watch-herd bandwidth blow-up.
+pub fn msg_size(msg: &ZkMsg) -> usize {
+    fn ep(e: &Endpoint) -> usize {
+        e.host().len() + 4
+    }
+    let body = match msg {
+        ZkMsg::OpenSession | ZkMsg::HeartbeatAck | ZkMsg::SessionExpired | ZkMsg::WatchFired => 4,
+        ZkMsg::Heartbeat { .. } | ZkMsg::SessionOpened { .. } => 12,
+        ZkMsg::CreateEphemeral { member, .. } => 12 + ep(member),
+        ZkMsg::GetChildren { .. } => 13,
+        ZkMsg::ChildrenResp { members, .. } => {
+            12 + members.iter().map(ep).sum::<usize>()
+        }
+        ZkMsg::Propose { op, .. } | ZkMsg::Commit { op, .. } => {
+            12 + match op {
+                WriteOp::Create { member, .. } => ep(member) + 8,
+                WriteOp::Delete { member } => ep(member),
+            }
+        }
+        ZkMsg::AcceptAck { .. } => 12,
+        ZkMsg::Forward { inner, client } => msg_size(inner) + ep(client),
+    };
+    body + 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_resp_size_scales_with_members() {
+        let small = ZkMsg::ChildrenResp {
+            members: Arc::new(vec![Endpoint::new("a", 1)]),
+            zxid: 1,
+        };
+        let big = ZkMsg::ChildrenResp {
+            members: Arc::new((0..100).map(|i| Endpoint::new(format!("m{i}"), 1)).collect()),
+            zxid: 1,
+        };
+        assert!(msg_size(&big) > 20 * msg_size(&small));
+    }
+}

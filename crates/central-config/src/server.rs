@@ -1,0 +1,544 @@
+//! The ZooKeeper-like server ensemble member.
+//!
+//! A fixed leader (the first server in the ensemble list) sequences writes;
+//! followers forward client writes and heartbeats to it, acknowledge
+//! proposals, and apply commits. Reads (`GetChildren`) are served from the
+//! *local* committed state of whichever server the client is connected to,
+//! with ZooKeeper's local-read staleness. Watches are one-shot and
+//! per-server. Session liveness is tracked by the leader.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+use rapid_sim::{Actor, Outbox};
+
+use crate::proto::{msg_size, WriteOp, ZkMsg};
+
+/// Service-time model: microseconds of server CPU per request type. These
+/// constants are calibrated so that bootstrap herds cost what the paper
+/// reports (ZooKeeper's 4x bootstrap blow-up from N=1000 to 2000).
+#[derive(Clone, Debug)]
+pub struct ServiceCosts {
+    /// Fixed cost of any request.
+    pub base_us: u64,
+    /// Extra cost per member serialised into a `ChildrenResp`.
+    pub per_member_read_us: f64,
+    /// Cost of sequencing a write at the leader.
+    pub write_us: u64,
+}
+
+impl Default for ServiceCosts {
+    fn default() -> Self {
+        ServiceCosts {
+            base_us: 100,
+            per_member_read_us: 8.0,
+            write_us: 300,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SessionInfo {
+    last_seen: u64,
+    ephemeral: Option<Endpoint>,
+}
+
+/// One server of the ensemble.
+pub struct ZkServer {
+    me: Endpoint,
+    ensemble: Vec<Endpoint>,
+    is_leader: bool,
+    leader: Endpoint,
+    costs: ServiceCosts,
+    session_timeout_ms: u64,
+
+    // Replicated state machine.
+    next_zxid: u64,
+    last_committed: u64,
+    /// Committed group directory: member -> owning session.
+    members: BTreeMap<Endpoint, u64>,
+    members_snapshot: Arc<Vec<Endpoint>>,
+    /// Leader: in-flight proposals awaiting majority.
+    pending: HashMap<u64, (WriteOp, usize)>,
+
+    // Leader-only session table.
+    sessions: HashMap<u64, SessionInfo>,
+    next_session: u64,
+
+    // Per-server one-shot watches.
+    watchers: Vec<Endpoint>,
+
+    // Service-time queue: the server core is busy until this time (µs).
+    busy_until_us: u64,
+}
+
+impl ZkServer {
+    /// Creates a server. The first entry of `ensemble` is the leader.
+    pub fn new(me: Endpoint, ensemble: Vec<Endpoint>, session_timeout_ms: u64) -> Self {
+        assert!(!ensemble.is_empty());
+        let leader = ensemble[0].clone();
+        let is_leader = me == leader;
+        ZkServer {
+            me,
+            ensemble,
+            is_leader,
+            leader,
+            costs: ServiceCosts::default(),
+            session_timeout_ms,
+            next_zxid: 1,
+            last_committed: 0,
+            members: BTreeMap::new(),
+            members_snapshot: Arc::new(Vec::new()),
+            pending: HashMap::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            watchers: Vec::new(),
+            busy_until_us: 0,
+        }
+    }
+
+    /// The committed member list (tests and inspection).
+    pub fn member_list(&self) -> Arc<Vec<Endpoint>> {
+        Arc::clone(&self.members_snapshot)
+    }
+
+    /// Computes the service delay for a request costing `cost_us`, pushing
+    /// back the server's busy horizon (single-core service discipline —
+    /// this is what turns the watch herd into queueing delay).
+    fn service_delay_ms(&mut self, now: u64, cost_us: u64) -> u64 {
+        let now_us = now * 1_000;
+        let start = self.busy_until_us.max(now_us);
+        self.busy_until_us = start + cost_us;
+        (self.busy_until_us - now_us) / 1_000
+    }
+
+    fn read_cost_us(&self) -> u64 {
+        self.costs.base_us
+            + (self.costs.per_member_read_us * self.members.len() as f64) as u64
+    }
+
+    fn majority(&self) -> usize {
+        self.ensemble.len() / 2 + 1
+    }
+
+    fn followers(&self) -> impl Iterator<Item = &Endpoint> {
+        self.ensemble.iter().filter(move |e| **e != self.me)
+    }
+
+    /// Leader: sequence a write and replicate it.
+    fn propose(&mut self, op: WriteOp, out: &mut Outbox<ZkMsg>) {
+        debug_assert!(self.is_leader);
+        let zxid = self.next_zxid;
+        self.next_zxid += 1;
+        // Majority of 1 (leader alone) only in single-server ensembles.
+        self.pending.insert(zxid, (op.clone(), 1));
+        let followers: Vec<Endpoint> = self.followers().cloned().collect();
+        for f in followers {
+            out.send(f, ZkMsg::Propose { zxid, op: op.clone() });
+        }
+        self.maybe_commit(zxid, out);
+    }
+
+    fn maybe_commit(&mut self, zxid: u64, out: &mut Outbox<ZkMsg>) {
+        let Some((_, acks)) = self.pending.get(&zxid) else {
+            return;
+        };
+        if *acks < self.majority() {
+            return;
+        }
+        let (op, _) = self.pending.remove(&zxid).expect("present");
+        let followers: Vec<Endpoint> = self.followers().cloned().collect();
+        for f in followers {
+            out.send(f, ZkMsg::Commit { zxid, op: op.clone() });
+        }
+        self.apply_commit(zxid, op, out);
+    }
+
+    /// Applies a committed op and fires this server's one-shot watches.
+    fn apply_commit(&mut self, zxid: u64, op: WriteOp, out: &mut Outbox<ZkMsg>) {
+        let changed = match &op {
+            WriteOp::Create { member, session } => {
+                self.members.insert(member.clone(), *session).is_none()
+            }
+            WriteOp::Delete { member } => self.members.remove(member).is_some(),
+        };
+        self.last_committed = self.last_committed.max(zxid);
+        if changed {
+            self.members_snapshot = Arc::new(self.members.keys().cloned().collect());
+            let watchers = std::mem::take(&mut self.watchers);
+            for w in watchers {
+                out.send(w, ZkMsg::WatchFired);
+            }
+        }
+    }
+
+    fn handle_client(&mut self, client: Endpoint, msg: ZkMsg, now: u64, out: &mut Outbox<ZkMsg>) {
+        match msg {
+            ZkMsg::OpenSession => {
+                if self.is_leader {
+                    let session = self.next_session;
+                    self.next_session += 1;
+                    self.sessions.insert(
+                        session,
+                        SessionInfo {
+                            last_seen: now,
+                            ephemeral: None,
+                        },
+                    );
+                    let delay = self.service_delay_ms(now, self.costs.write_us);
+                    out.send_delayed(client, ZkMsg::SessionOpened { session }, delay);
+                } else {
+                    let leader = self.leader.clone();
+                    out.send(
+                        leader,
+                        ZkMsg::Forward {
+                            inner: Box::new(ZkMsg::OpenSession),
+                            client,
+                        },
+                    );
+                }
+            }
+            ZkMsg::Heartbeat { session } => {
+                if self.is_leader {
+                    match self.sessions.get_mut(&session) {
+                        Some(info) => {
+                            info.last_seen = now;
+                            // The ack goes back through the client's own
+                            // server in real ZK; direct here.
+                            out.send(client, ZkMsg::HeartbeatAck);
+                        }
+                        None => out.send(client, ZkMsg::SessionExpired),
+                    }
+                } else {
+                    let leader = self.leader.clone();
+                    out.send(
+                        leader,
+                        ZkMsg::Forward {
+                            inner: Box::new(ZkMsg::Heartbeat { session }),
+                            client,
+                        },
+                    );
+                }
+            }
+            ZkMsg::CreateEphemeral { session, member } => {
+                if self.is_leader {
+                    match self.sessions.get_mut(&session) {
+                        Some(info) => {
+                            info.ephemeral = Some(member.clone());
+                            info.last_seen = now;
+                            self.propose(WriteOp::Create { member, session }, out);
+                        }
+                        None => out.send(client, ZkMsg::SessionExpired),
+                    }
+                } else {
+                    let leader = self.leader.clone();
+                    out.send(
+                        leader,
+                        ZkMsg::Forward {
+                            inner: Box::new(ZkMsg::CreateEphemeral { session, member }),
+                            client,
+                        },
+                    );
+                }
+            }
+            ZkMsg::GetChildren { watch, .. } => {
+                // Served locally (possibly stale), with a service time
+                // linear in the member count.
+                if watch {
+                    self.watchers.push(client.clone());
+                }
+                let cost = self.read_cost_us();
+                let delay = self.service_delay_ms(now, cost);
+                let members = Arc::clone(&self.members_snapshot);
+                let zxid = self.last_committed;
+                out.send_delayed(client, ZkMsg::ChildrenResp { members, zxid }, delay);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for ZkServer {
+    type Msg = ZkMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<ZkMsg>) {
+        if !self.is_leader {
+            return;
+        }
+        // Expire sessions and delete their ephemeral members.
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.saturating_sub(s.last_seen) > self.session_timeout_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            if let Some(info) = self.sessions.remove(&id) {
+                if let Some(member) = info.ephemeral {
+                    self.propose(WriteOp::Delete { member }, out);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: ZkMsg, now: u64, out: &mut Outbox<ZkMsg>) {
+        match msg {
+            ZkMsg::Forward { inner, client } => {
+                // Writes and heartbeats forwarded from a follower.
+                self.handle_client(client, *inner, now, out);
+            }
+            ZkMsg::Propose { zxid, op } => {
+                // Follower: acknowledge; apply on commit.
+                out.send(from, ZkMsg::AcceptAck { zxid });
+                let _ = op;
+            }
+            ZkMsg::AcceptAck { zxid } => {
+                if let Some((_, acks)) = self.pending.get_mut(&zxid) {
+                    *acks += 1;
+                }
+                self.maybe_commit(zxid, out);
+            }
+            ZkMsg::Commit { zxid, op } => {
+                self.apply_commit(zxid, op, out);
+            }
+            client_msg @ (ZkMsg::OpenSession
+            | ZkMsg::Heartbeat { .. }
+            | ZkMsg::CreateEphemeral { .. }
+            | ZkMsg::GetChildren { .. }) => {
+                self.handle_client(from, client_msg, now, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn msg_size(msg: &ZkMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        None // Servers are infrastructure, not cluster members.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(name: &str) -> Endpoint {
+        Endpoint::new(name, 2181)
+    }
+
+    fn single_server() -> ZkServer {
+        ZkServer::new(ep("s0"), vec![ep("s0")], 6_000)
+    }
+
+    fn sends(out: Outbox<ZkMsg>) -> Vec<(Endpoint, ZkMsg)> {
+        out.msgs.into_iter().map(|(to, m, _)| (to, m)).collect()
+    }
+
+    fn new_outbox() -> Outbox<ZkMsg> {
+        Outbox { msgs: Vec::new() }
+    }
+
+    #[test]
+    fn session_create_and_ephemeral_flow() {
+        let mut s = single_server();
+        let mut out = new_outbox();
+        s.on_message(ep("c1"), ZkMsg::OpenSession, 0, &mut out);
+        let msgs = sends(out);
+        let session = match &msgs[0].1 {
+            ZkMsg::SessionOpened { session } => *session,
+            other => panic!("expected SessionOpened, got {other:?}"),
+        };
+        let mut out = new_outbox();
+        s.on_message(
+            ep("c1"),
+            ZkMsg::CreateEphemeral {
+                session,
+                member: ep("c1"),
+            },
+            10,
+            &mut out,
+        );
+        assert_eq!(s.member_list().len(), 1);
+    }
+
+    #[test]
+    fn watches_are_one_shot_and_fire_on_change() {
+        let mut s = single_server();
+        let mut out = new_outbox();
+        s.on_message(ep("c1"), ZkMsg::OpenSession, 0, &mut out);
+        let mut out = new_outbox();
+        s.on_message(
+            ep("watcher"),
+            ZkMsg::GetChildren {
+                session: 99,
+                watch: true,
+            },
+            0,
+            &mut out,
+        );
+        // A change fires the watch once.
+        let mut out = new_outbox();
+        s.on_message(
+            ep("c1"),
+            ZkMsg::CreateEphemeral {
+                session: 1,
+                member: ep("c1"),
+            },
+            10,
+            &mut out,
+        );
+        let fired = sends(out)
+            .iter()
+            .filter(|(to, m)| matches!(m, ZkMsg::WatchFired) && *to == ep("watcher"))
+            .count();
+        assert_eq!(fired, 1);
+        // A second change without re-registration: no fire.
+        let mut out = new_outbox();
+        s.on_message(
+            ep("c2"),
+            ZkMsg::CreateEphemeral {
+                session: 1,
+                member: ep("c2"),
+            },
+            20,
+            &mut out,
+        );
+        assert!(sends(out).iter().all(|(_, m)| !matches!(m, ZkMsg::WatchFired)));
+    }
+
+    #[test]
+    fn session_expiry_deletes_ephemeral() {
+        let mut s = single_server();
+        let mut out = new_outbox();
+        s.on_message(ep("c1"), ZkMsg::OpenSession, 0, &mut out);
+        let mut out = new_outbox();
+        s.on_message(
+            ep("c1"),
+            ZkMsg::CreateEphemeral {
+                session: 1,
+                member: ep("c1"),
+            },
+            10,
+            &mut out,
+        );
+        assert_eq!(s.member_list().len(), 1);
+        // No heartbeats past the timeout.
+        let mut out = new_outbox();
+        s.on_tick(10_000, &mut out);
+        assert_eq!(s.member_list().len(), 0, "ephemeral gone after expiry");
+        // Heartbeat for the dead session is rejected.
+        let mut out = new_outbox();
+        s.on_message(ep("c1"), ZkMsg::Heartbeat { session: 1 }, 10_100, &mut out);
+        assert!(matches!(sends(out)[0].1, ZkMsg::SessionExpired));
+    }
+
+    #[test]
+    fn heartbeats_keep_sessions_alive() {
+        let mut s = single_server();
+        let mut out = new_outbox();
+        s.on_message(ep("c1"), ZkMsg::OpenSession, 0, &mut out);
+        let mut out = new_outbox();
+        s.on_message(
+            ep("c1"),
+            ZkMsg::CreateEphemeral {
+                session: 1,
+                member: ep("c1"),
+            },
+            10,
+            &mut out,
+        );
+        for t in (2_000..30_000).step_by(2_000) {
+            let mut out = new_outbox();
+            s.on_message(ep("c1"), ZkMsg::Heartbeat { session: 1 }, t, &mut out);
+            let mut out = new_outbox();
+            s.on_tick(t + 1, &mut out);
+        }
+        assert_eq!(s.member_list().len(), 1);
+    }
+
+    #[test]
+    fn reads_queue_behind_each_other() {
+        let mut s = single_server();
+        // Load the directory so reads are expensive.
+        for i in 0..1000 {
+            let mut out = new_outbox();
+            s.apply_commit(
+                i + 1,
+                WriteOp::Create {
+                    member: ep(&format!("m{i}")),
+                    session: 1,
+                },
+                &mut out,
+            );
+        }
+        // Two immediate reads: the second must be delayed further.
+        let mut out = new_outbox();
+        s.on_message(
+            ep("r1"),
+            ZkMsg::GetChildren {
+                session: 1,
+                watch: false,
+            },
+            100,
+            &mut out,
+        );
+        let d1 = out.msgs[0].2;
+        let mut out = new_outbox();
+        s.on_message(
+            ep("r2"),
+            ZkMsg::GetChildren {
+                session: 1,
+                watch: false,
+            },
+            100,
+            &mut out,
+        );
+        let d2 = out.msgs[0].2;
+        assert!(d2 >= d1, "second read queues behind the first: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn replication_commits_on_majority() {
+        let ensemble = vec![ep("s0"), ep("s1"), ep("s2")];
+        let mut leader = ZkServer::new(ep("s0"), ensemble.clone(), 6_000);
+        let mut f1 = ZkServer::new(ep("s1"), ensemble.clone(), 6_000);
+        let mut out = new_outbox();
+        leader.on_message(ep("c1"), ZkMsg::OpenSession, 0, &mut out);
+        let mut out = new_outbox();
+        leader.on_message(
+            ep("c1"),
+            ZkMsg::CreateEphemeral {
+                session: 1,
+                member: ep("c1"),
+            },
+            0,
+            &mut out,
+        );
+        // Not committed yet: 1 ack (self) of 2 needed.
+        assert_eq!(leader.member_list().len(), 0);
+        // Feed the proposal to a follower and its ack back.
+        let proposals: Vec<_> = sends(out)
+            .into_iter()
+            .filter(|(to, m)| matches!(m, ZkMsg::Propose { .. }) && *to == ep("s1"))
+            .collect();
+        assert_eq!(proposals.len(), 1);
+        let mut out = new_outbox();
+        f1.on_message(ep("s0"), proposals[0].1.clone(), 1, &mut out);
+        let ack = sends(out).remove(0).1;
+        let mut out = new_outbox();
+        leader.on_message(ep("s1"), ack, 2, &mut out);
+        assert_eq!(leader.member_list().len(), 1, "committed after majority");
+        // The follower applies on commit.
+        let commit = sends(out)
+            .into_iter()
+            .find(|(to, m)| matches!(m, ZkMsg::Commit { .. }) && *to == ep("s1"))
+            .unwrap()
+            .1;
+        let mut out = new_outbox();
+        f1.on_message(ep("s0"), commit, 3, &mut out);
+        assert_eq!(f1.member_list().len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! A ready-made simulated world: a ZooKeeper-like ensemble plus N
+//! membership agents, for the bootstrap and failure experiments.
+
+use rapid_core::id::Endpoint;
+use rapid_sim::{Actor, Outbox, Simulation};
+
+use crate::client::ZkClient;
+use crate::proto::{msg_size, ZkMsg};
+use crate::server::ZkServer;
+
+/// One process of the ZooKeeper-like world.
+pub enum ZkProc {
+    /// An ensemble server.
+    Server(Box<ZkServer>),
+    /// A membership agent (client).
+    Client(Box<ZkClient>),
+}
+
+impl Actor for ZkProc {
+    type Msg = ZkMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<ZkMsg>) {
+        match self {
+            ZkProc::Server(s) => s.on_tick(now, out),
+            ZkProc::Client(c) => c.on_tick(now, out),
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: ZkMsg, now: u64, out: &mut Outbox<ZkMsg>) {
+        match self {
+            ZkProc::Server(s) => s.on_message(from, msg, now, out),
+            ZkProc::Client(c) => c.on_message(from, msg, now, out),
+        }
+    }
+
+    fn msg_size(msg: &ZkMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        match self {
+            ZkProc::Server(s) => s.sample(),
+            ZkProc::Client(c) => c.sample(),
+        }
+    }
+}
+
+/// The canonical server endpoint for index `i`.
+pub fn server_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("zk-server-{i}"), 2181)
+}
+
+/// The canonical client endpoint for index `i`.
+pub fn client_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("zk-client-{i}"), 9000)
+}
+
+/// Builds a world with `n_servers` ensemble servers (actors `0..s`) and
+/// `n_clients` agents (actors `s..s+n`) that start at `client_start_ms`.
+pub fn build_world(
+    n_servers: usize,
+    n_clients: usize,
+    session_timeout_ms: u64,
+    client_start_ms: u64,
+    seed: u64,
+) -> Simulation<ZkProc> {
+    let servers: Vec<Endpoint> = (0..n_servers).map(server_ep).collect();
+    let mut sim = Simulation::new(seed, 100);
+    for s in &servers {
+        sim.add_actor(
+            s.clone(),
+            ZkProc::Server(Box::new(ZkServer::new(
+                s.clone(),
+                servers.clone(),
+                session_timeout_ms,
+            ))),
+        );
+    }
+    for i in 0..n_clients {
+        sim.add_actor_at(
+            client_ep(i),
+            ZkProc::Client(Box::new(ZkClient::new(
+                client_ep(i),
+                &servers,
+                session_timeout_ms,
+            ))),
+            client_start_ms,
+        );
+    }
+    sim
+}
+
+/// The observed membership size at each live client (None = no view yet).
+pub fn client_sizes(sim: &Simulation<ZkProc>, n_servers: usize) -> Vec<Option<usize>> {
+    (n_servers..sim.len())
+        .filter(|&i| !sim.net.is_crashed(i))
+        .map(|i| match sim.actor(i) {
+            ZkProc::Client(c) => c.observed_size(),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builder_converges() {
+        let mut sim = build_world(3, 10, 6_000, 1_000, 9);
+        let t = sim.run_until_pred(120_000, |s| {
+            client_sizes(s, 3).iter().all(|x| *x == Some(10))
+        });
+        assert!(t.is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! The closed-loop transactional client (the paper's update-heavy
+//! workload: 50/50 read-write, batched transactions).
+
+use rapid_core::id::Endpoint;
+use rapid_core::rng::Xoshiro256;
+use rapid_sim::{Actor, Outbox};
+
+use crate::msg::{msg_size, DpMsg, TsKind};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    AwaitBegin,
+    Ops,
+    AwaitCommit,
+}
+
+/// A closed-loop client: begin → `ops_per_txn` operations spread over the
+/// data servers → commit, repeating; records per-transaction latency.
+pub struct TxnClient {
+    servers: Vec<Endpoint>,
+    serializer_guess: Endpoint,
+    ops_per_txn: u32,
+    txn: u64,
+    phase: Phase,
+    txn_started: u64,
+    ops_outstanding: u32,
+    request_sent_at: u64,
+    retry_timeout_ms: u64,
+    rng: Xoshiro256,
+    /// `(start_ms, latency_ms)` per committed transaction.
+    pub latencies: Vec<(u64, u64)>,
+}
+
+impl TxnClient {
+    /// Creates a client driving transactions against `servers`.
+    pub fn new(me: Endpoint, servers: Vec<Endpoint>, ops_per_txn: u32, seed: u64) -> Self {
+        assert!(!servers.is_empty());
+        let _ = me; // Identity is implicit: responses come back to us.
+        let mut sorted = servers.clone();
+        sorted.sort();
+        let serializer_guess = sorted[0].clone();
+        TxnClient {
+            servers,
+            serializer_guess,
+            ops_per_txn,
+            txn: 0,
+            phase: Phase::Idle,
+            txn_started: 0,
+            ops_outstanding: 0,
+            request_sent_at: 0,
+            retry_timeout_ms: 1_000,
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x7C),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Committed transactions per second over `[from_ms, to_ms)`.
+    pub fn throughput(&self, from_ms: u64, to_ms: u64) -> f64 {
+        let committed = self
+            .latencies
+            .iter()
+            .filter(|(t, _)| *t >= from_ms && *t < to_ms)
+            .count();
+        committed as f64 / ((to_ms - from_ms) as f64 / 1_000.0)
+    }
+
+    fn send_ts_req(&mut self, kind: TsKind, now: u64, out: &mut Outbox<DpMsg>) {
+        self.request_sent_at = now;
+        out.send(
+            self.serializer_guess.clone(),
+            DpMsg::TsReq {
+                txn: self.txn,
+                kind,
+            },
+        );
+    }
+
+    fn start_txn(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+        self.txn += 1;
+        self.txn_started = now;
+        self.phase = Phase::AwaitBegin;
+        self.send_ts_req(TsKind::Begin, now, out);
+    }
+
+    fn send_ops(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+        self.phase = Phase::Ops;
+        self.ops_outstanding = self.ops_per_txn;
+        self.request_sent_at = now;
+        for op in 0..self.ops_per_txn {
+            let server = self.servers[self.rng.gen_index(self.servers.len())].clone();
+            out.send(
+                server,
+                DpMsg::OpReq {
+                    txn: self.txn,
+                    op,
+                    write: op % 2 == 0, // 50/50 read-write mix
+                },
+            );
+        }
+    }
+}
+
+impl Actor for TxnClient {
+    type Msg = DpMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+        match self.phase {
+            Phase::Idle => self.start_txn(now, out),
+            Phase::AwaitBegin | Phase::AwaitCommit => {
+                if now.saturating_sub(self.request_sent_at) >= self.retry_timeout_ms {
+                    let kind = if self.phase == Phase::AwaitBegin {
+                        TsKind::Begin
+                    } else {
+                        TsKind::Commit
+                    };
+                    self.send_ts_req(kind, now, out);
+                }
+            }
+            Phase::Ops => {
+                if now.saturating_sub(self.request_sent_at) >= self.retry_timeout_ms {
+                    self.send_ops(now, out); // Retry the batch.
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: Endpoint, msg: DpMsg, now: u64, out: &mut Outbox<DpMsg>) {
+        match msg {
+            DpMsg::TsResp { txn, kind, .. } if txn == self.txn => match (self.phase, kind) {
+                (Phase::AwaitBegin, TsKind::Begin) => self.send_ops(now, out),
+                (Phase::AwaitCommit, TsKind::Commit) => {
+                    self.latencies
+                        .push((self.txn_started, now - self.txn_started));
+                    self.start_txn(now, out);
+                }
+                _ => {}
+            },
+            DpMsg::Redirect { txn, serializer } if txn == self.txn => {
+                self.serializer_guess = serializer;
+                match self.phase {
+                    Phase::AwaitBegin => self.send_ts_req(TsKind::Begin, now, out),
+                    Phase::AwaitCommit => self.send_ts_req(TsKind::Commit, now, out),
+                    _ => {}
+                }
+            }
+            DpMsg::OpResp { txn, .. } if txn == self.txn && self.phase == Phase::Ops => {
+                self.ops_outstanding = self.ops_outstanding.saturating_sub(1);
+                if self.ops_outstanding == 0 {
+                    self.phase = Phase::AwaitCommit;
+                    self.send_ts_req(TsKind::Commit, now, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn msg_size(msg: &DpMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::Membership;
+    use crate::server::PlatformServer;
+    use rapid_core::ring::TopologyCache;
+    use rapid_sim::{Fault, Simulation};
+
+    fn server_ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("dp-{i:02}"), 6000)
+    }
+
+    fn client_ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("dpc-{i}"), 6100)
+    }
+
+    enum P {
+        S(Box<PlatformServer>),
+        C(Box<TxnClient>),
+    }
+
+    impl Actor for P {
+        type Msg = DpMsg;
+        fn on_tick(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+            match self {
+                P::S(s) => s.on_tick(now, out),
+                P::C(c) => c.on_tick(now, out),
+            }
+        }
+        fn on_message(&mut self, from: Endpoint, msg: DpMsg, now: u64, out: &mut Outbox<DpMsg>) {
+            match self {
+                P::S(s) => s.on_message(from, msg, now, out),
+                P::C(c) => c.on_message(from, msg, now, out),
+            }
+        }
+        fn msg_size(msg: &DpMsg) -> usize {
+            msg_size(msg)
+        }
+        fn sample(&self) -> Option<f64> {
+            None
+        }
+    }
+
+    /// Builds the platform: `n_servers` + `n_clients`, baseline or Rapid.
+    pub fn world(n_servers: usize, n_clients: usize, rapid: bool, seed: u64) -> Simulation<P> {
+        let servers: Vec<Endpoint> = (0..n_servers).map(server_ep).collect();
+        let mut sim = Simulation::new(seed, 100);
+        let cache = TopologyCache::new();
+        for (i, addr) in servers.iter().enumerate() {
+            let membership = if rapid {
+                Membership::rapid(i, &servers, cache.clone())
+            } else {
+                Membership::baseline(addr.clone(), servers.clone())
+            };
+            sim.add_actor(
+                addr.clone(),
+                P::S(Box::new(PlatformServer::new(addr.clone(), membership, 1_000))),
+            );
+        }
+        for i in 0..n_clients {
+            sim.add_actor_at(
+                client_ep(i),
+                P::C(Box::new(TxnClient::new(
+                    client_ep(i),
+                    servers.clone(),
+                    4,
+                    seed + i as u64,
+                ))),
+                2_000,
+            );
+        }
+        sim
+    }
+
+    fn total_commits(sim: &Simulation<P>, n_servers: usize, n_clients: usize) -> usize {
+        (n_servers..n_servers + n_clients)
+            .map(|i| match sim.actor(i) {
+                P::C(c) => c.latencies.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn healthy_platform_commits_continuously() {
+        let mut sim = world(8, 4, false, 1);
+        sim.run_until(30_000);
+        let commits = total_commits(&sim, 8, 4);
+        assert!(commits > 500, "healthy platform must commit, got {commits}");
+    }
+
+    #[test]
+    fn blackhole_flaps_baseline_but_not_rapid() {
+        // The paper's fault: a packet blackhole between the serializer
+        // (lowest address, actor 0) and one data server (actor 5).
+        let run = |rapid: bool| {
+            let mut sim = world(16, 4, rapid, 2);
+            sim.run_until(10_000);
+            sim.schedule_fault(10_000, Fault::BlackholePair(0, 5));
+            sim.run_until(60_000);
+            let failovers: u64 = (0..16)
+                .map(|i| match sim.actor(i) {
+                    P::S(s) => s.failovers,
+                    _ => 0,
+                })
+                .sum();
+            let commits = total_commits(&sim, 16, 4);
+            (failovers, commits)
+        };
+        let (base_failovers, base_commits) = run(false);
+        let (rapid_failovers, rapid_commits) = run(true);
+        // Every server fails over once at bootstrap (serializer election);
+        // the baseline must keep failing over under the blackhole.
+        assert!(
+            base_failovers >= 3,
+            "baseline must flap, failovers={base_failovers}"
+        );
+        assert!(
+            rapid_failovers <= 1,
+            "rapid must not flap, failovers={rapid_failovers}"
+        );
+        assert!(
+            rapid_commits as f64 > base_commits as f64 * 1.15,
+            "rapid must out-commit the flapping baseline: {rapid_commits} vs {base_commits}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! A miniature distributed transactional data platform — the substrate of
+//! the paper's first end-to-end integration (§7, Figure 12).
+//!
+//! Like Google Megastore and Apache Omid, the platform totally orders
+//! transactions through a single active **transaction serialization
+//! server**: clients fetch a begin timestamp, execute reads/writes against
+//! data servers, and fetch a commit timestamp. The active serializer is
+//! the lowest-addressed server the membership service considers live;
+//! when membership changes, a **failover** pauses timestamp service while
+//! the new serializer warms up — so spurious membership churn translates
+//! directly into end-to-end latency spikes and throughput loss.
+//!
+//! Two membership integrations are provided, matching the paper's
+//! comparison:
+//!
+//! * [`membership::Membership::baseline`] — the system's original
+//!   all-to-all heartbeat failure detector, where *any single server's*
+//!   accusation temporarily removes a peer. A packet blackhole between
+//!   the serializer and one data server (the fault injected in the paper)
+//!   makes that one server accuse the serializer repeatedly: failovers
+//!   loop and throughput drops by roughly a third.
+//! * [`membership::Membership::rapid`] — an embedded `rapid_core` node.
+//!   The blackhole affects fewer than `L` observer edges, so Rapid never
+//!   removes anyone and the workload runs uninterrupted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod membership;
+pub mod msg;
+pub mod server;
+pub mod world;
+
+pub use client::TxnClient;
+pub use membership::Membership;
+pub use msg::DpMsg;
+pub use server::PlatformServer;

@@ -1,0 +1,319 @@
+//! Pluggable membership for the platform servers.
+//!
+//! The baseline reproduces the "in-house gossip-style failure detector
+//! that uses all-to-all monitoring" the paper replaced (§7): every server
+//! heartbeats every other server; a server that misses heartbeats from a
+//! peer broadcasts an accusation, and *everyone* quarantines the accused
+//! for a fixed period. Because a single bad link suffices to accuse, a
+//! packet blackhole between two live servers keeps the accused flapping
+//! in and out of the membership.
+//!
+//! The Rapid integration embeds a `rapid_core` node; the paper reports the
+//! swap took ~60 lines in the real system, and the adapter below is about
+//! that size.
+
+use std::collections::HashMap;
+
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::ring::TopologyCache;
+use rapid_core::settings::Settings;
+
+use crate::msg::DpMsg;
+
+/// Baseline all-to-all heartbeat failure detector.
+pub struct BaselineFd {
+    me: Endpoint,
+    peers: Vec<Endpoint>,
+    last_heard: HashMap<Endpoint, u64>,
+    quarantined_until: HashMap<Endpoint, u64>,
+    next_hb_at: u64,
+    next_check_at: u64,
+    hb_interval_ms: u64,
+    dead_after_ms: u64,
+    quarantine_ms: u64,
+    /// Number of accusations this server has broadcast (telemetry).
+    pub accusations: u64,
+}
+
+impl BaselineFd {
+    fn new(me: Endpoint, peers: Vec<Endpoint>) -> Self {
+        BaselineFd {
+            me,
+            peers,
+            last_heard: HashMap::new(),
+            quarantined_until: HashMap::new(),
+            next_hb_at: 0,
+            next_check_at: 0,
+            hb_interval_ms: 1_000,
+            dead_after_ms: 2_500,
+            quarantine_ms: 3_000,
+            accusations: 0,
+        }
+    }
+
+    fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, DpMsg)>) {
+        if now >= self.next_hb_at {
+            self.next_hb_at = now + self.hb_interval_ms;
+            for p in &self.peers {
+                if *p != self.me {
+                    out.push((p.clone(), DpMsg::Hb));
+                }
+            }
+        }
+        if now >= self.next_check_at {
+            self.next_check_at = now + self.hb_interval_ms;
+            let accused: Vec<Endpoint> = self
+                .peers
+                .iter()
+                .filter(|p| **p != self.me)
+                .filter(|p| {
+                    // No accusations about peers already quarantined — the
+                    // whole cluster re-admits them when the quarantine
+                    // lapses (they are still heartbeating), and the bad
+                    // link makes us accuse again: the flapping of Fig. 12.
+                    self.quarantined_until
+                        .get(*p)
+                        .map(|&until| now >= until)
+                        .unwrap_or(true)
+                })
+                .filter(|p| {
+                    let heard = self.last_heard.get(*p).copied().unwrap_or(0);
+                    now.saturating_sub(heard) > self.dead_after_ms
+                })
+                .cloned()
+                .collect();
+            for target in accused {
+                self.accusations += 1;
+                // Quarantine locally and tell everyone.
+                self.quarantined_until
+                    .insert(target.clone(), now + self.quarantine_ms);
+                for p in &self.peers {
+                    if *p != self.me {
+                        out.push((
+                            p.clone(),
+                            DpMsg::Accuse {
+                                target: target.clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: Endpoint,
+        msg: &DpMsg,
+        now: u64,
+        out: &mut Vec<(Endpoint, DpMsg)>,
+    ) {
+        match msg {
+            DpMsg::Hb => {
+                self.last_heard.insert(from.clone(), now);
+                // A quarantined peer that contacts us clearly has not heard
+                // of its removal (e.g. the accusation was lost on the same
+                // bad link that caused it): bounce the accusation back so
+                // it steps down, like a Paxos reconfiguration would tell
+                // an evicted member.
+                if self
+                    .quarantined_until
+                    .get(&from)
+                    .map(|&until| now < until)
+                    .unwrap_or(false)
+                {
+                    out.push((from.clone(), DpMsg::Accuse { target: from }));
+                }
+            }
+            DpMsg::Accuse { target } => {
+                self.quarantined_until
+                    .insert(target.clone(), now + self.quarantine_ms);
+            }
+            _ => {}
+        }
+    }
+
+    fn alive(&self, now: u64) -> Vec<Endpoint> {
+        // The quarantine applies to ourselves too: a server that learns it
+        // was accused steps down from the serializer role until re-admitted
+        // (it was removed from the replicated configuration).
+        self.peers
+            .iter()
+            .filter(|p| {
+                self.quarantined_until
+                    .get(*p)
+                    .map(|&until| now >= until)
+                    .unwrap_or(true)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// Rapid-backed membership adapter.
+pub struct RapidMembership {
+    node: Node,
+}
+
+impl RapidMembership {
+    fn new(me_index: usize, servers: &[Endpoint], cache: TopologyCache) -> Self {
+        let members: Vec<Member> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| Member::new(NodeId::from_u128(i as u128 + 1), addr.clone()))
+            .collect();
+        let cfg = Configuration::bootstrap(members.clone());
+        let node = Node::with_parts(
+            members[me_index].clone(),
+            Settings::default(),
+            NodeStatus::Active,
+            cfg,
+            None,
+            None,
+            Some(cache),
+            Some(me_index as u64 ^ 0xD9),
+        );
+        RapidMembership { node }
+    }
+
+    fn drive(&mut self, event: Event, out: &mut Vec<(Endpoint, DpMsg)>) -> u64 {
+        let mut actions = Vec::new();
+        self.node.handle(event, &mut actions);
+        let mut view_changes = 0;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => out.push((to, DpMsg::Rapid(Box::new(msg)))),
+                Action::View(_) => view_changes += 1,
+                _ => {}
+            }
+        }
+        view_changes
+    }
+
+    fn alive(&self) -> Vec<Endpoint> {
+        self.node
+            .configuration()
+            .members()
+            .iter()
+            .map(|m| m.addr.clone())
+            .collect()
+    }
+}
+
+/// The pluggable membership module of a platform server.
+pub enum Membership {
+    /// All-to-all heartbeat baseline.
+    Baseline(BaselineFd),
+    /// Embedded Rapid node.
+    Rapid(Box<RapidMembership>),
+}
+
+impl Membership {
+    /// Creates the baseline detector for server `me`.
+    pub fn baseline(me: Endpoint, servers: Vec<Endpoint>) -> Self {
+        Membership::Baseline(BaselineFd::new(me, servers))
+    }
+
+    /// Creates a Rapid-backed membership for server `me_index`.
+    pub fn rapid(me_index: usize, servers: &[Endpoint], cache: TopologyCache) -> Self {
+        Membership::Rapid(Box::new(RapidMembership::new(me_index, servers, cache)))
+    }
+
+    /// Advances time. Returns the number of view changes observed.
+    pub fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, DpMsg)>) -> u64 {
+        match self {
+            Membership::Baseline(fd) => {
+                fd.tick(now, out);
+                0
+            }
+            Membership::Rapid(r) => r.drive(Event::Tick { now_ms: now }, out),
+        }
+    }
+
+    /// Feeds a membership-relevant message. Returns view changes observed.
+    pub fn on_message(
+        &mut self,
+        from: Endpoint,
+        msg: &DpMsg,
+        now: u64,
+        out: &mut Vec<(Endpoint, DpMsg)>,
+    ) -> u64 {
+        match (self, msg) {
+            (Membership::Baseline(fd), m) => {
+                fd.on_message(from, m, now, out);
+                0
+            }
+            (Membership::Rapid(r), DpMsg::Rapid(inner)) => r.drive(
+                Event::Receive {
+                    from,
+                    msg: (**inner).clone(),
+                },
+                out,
+            ),
+            _ => 0,
+        }
+    }
+
+    /// The servers this module currently considers members, sorted.
+    pub fn alive(&self, now: u64) -> Vec<Endpoint> {
+        let mut v = match self {
+            Membership::Baseline(fd) => fd.alive(now),
+            Membership::Rapid(r) => r.alive(),
+        };
+        v.sort();
+        v
+    }
+
+    /// Accusation count (baseline only; telemetry).
+    pub fn accusations(&self) -> u64 {
+        match self {
+            Membership::Baseline(fd) => fd.accusations,
+            Membership::Rapid(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("dp-{i:02}"), 6000)
+    }
+
+    #[test]
+    fn baseline_accuses_silent_peer_and_recovers() {
+        let servers: Vec<Endpoint> = (0..4).map(ep).collect();
+        let mut fd = BaselineFd::new(ep(0), servers.clone());
+        // Hear from everyone at t=0 except ep(3).
+        for i in 1..3 {
+            fd.on_message(ep(i), &DpMsg::Hb, 0, &mut Vec::new());
+        }
+        let mut out = Vec::new();
+        fd.tick(3_000, &mut out);
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, DpMsg::Accuse { target } if *target == ep(3))));
+        assert!(!fd.alive(3_100).contains(&ep(3)), "quarantined");
+        // After quarantine and a fresh heartbeat, the peer is back.
+        fd.on_message(ep(3), &DpMsg::Hb, 7_500, &mut Vec::new());
+        assert!(fd.alive(7_600).contains(&ep(3)));
+    }
+
+    #[test]
+    fn accusations_from_others_quarantine_globally() {
+        let servers: Vec<Endpoint> = (0..4).map(ep).collect();
+        let mut fd = BaselineFd::new(ep(0), servers.clone());
+        fd.on_message(ep(2), &DpMsg::Accuse { target: ep(1) }, 100, &mut Vec::new());
+        assert!(!fd.alive(200).contains(&ep(1)));
+    }
+
+    #[test]
+    fn rapid_membership_reports_static_config() {
+        let servers: Vec<Endpoint> = (0..8).map(ep).collect();
+        let m = Membership::rapid(0, &servers, TopologyCache::new());
+        assert_eq!(m.alive(0).len(), 8);
+    }
+}

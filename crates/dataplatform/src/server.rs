@@ -1,0 +1,135 @@
+//! The platform server: data server + (when elected) the transaction
+//! serialization server.
+
+use rapid_core::id::Endpoint;
+use rapid_sim::{Actor, Outbox};
+
+use crate::membership::Membership;
+use crate::msg::{msg_size, DpMsg, TsKind};
+
+/// A data server that also serves timestamps while it is the active
+/// serializer (the lowest-addressed live server).
+pub struct PlatformServer {
+    me: Endpoint,
+    membership: Membership,
+    serializer: Option<Endpoint>,
+    /// While `now < warm_until`, timestamp requests are queued (failover
+    /// warm-up: replaying the timestamp log, as in Megastore/Omid).
+    warm_until: u64,
+    failover_pause_ms: u64,
+    next_ts: u64,
+    queued: Vec<(Endpoint, u64, TsKind)>,
+    /// Number of failovers this server performed (telemetry).
+    pub failovers: u64,
+    /// View changes observed by the membership module (telemetry).
+    pub view_changes: u64,
+    last_now: u64,
+}
+
+impl PlatformServer {
+    /// Creates a server with the given membership module.
+    pub fn new(me: Endpoint, membership: Membership, failover_pause_ms: u64) -> Self {
+        PlatformServer {
+            me,
+            membership,
+            serializer: None,
+            warm_until: 0,
+            failover_pause_ms,
+            next_ts: 1,
+            queued: Vec::new(),
+            failovers: 0,
+            view_changes: 0,
+            last_now: 0,
+        }
+    }
+
+    /// The server this node currently believes is the serializer.
+    pub fn serializer(&self) -> Option<&Endpoint> {
+        self.serializer.as_ref()
+    }
+
+    /// Accusations broadcast by the baseline membership (0 for Rapid).
+    pub fn accusations(&self) -> u64 {
+        self.membership.accusations()
+    }
+
+    fn refresh_serializer(&mut self, now: u64) {
+        let alive = self.membership.alive(now);
+        let new = alive.first().cloned();
+        if new != self.serializer {
+            self.serializer = new;
+            if self.serializer.as_ref() == Some(&self.me) {
+                // We just took over: pause timestamp service to warm up.
+                self.warm_until = now + self.failover_pause_ms;
+                self.failovers += 1;
+            }
+        }
+    }
+
+    fn grant(&mut self, client: Endpoint, txn: u64, kind: TsKind, out: &mut Outbox<DpMsg>) {
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        out.send(client, DpMsg::TsResp { txn, kind, ts });
+    }
+}
+
+impl Actor for PlatformServer {
+    type Msg = DpMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+        self.last_now = now;
+        let mut msgs = Vec::new();
+        self.view_changes += self.membership.tick(now, &mut msgs);
+        for (to, m) in msgs {
+            out.send(to, m);
+        }
+        self.refresh_serializer(now);
+        // Flush queued timestamp requests once warmed up.
+        if self.serializer.as_ref() == Some(&self.me) && now >= self.warm_until {
+            let queued = std::mem::take(&mut self.queued);
+            for (client, txn, kind) in queued {
+                self.grant(client, txn, kind, out);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: DpMsg, now: u64, out: &mut Outbox<DpMsg>) {
+        match &msg {
+            DpMsg::TsReq { txn, kind } => {
+                if self.serializer.as_ref() != Some(&self.me) {
+                    let serializer = self
+                        .serializer
+                        .clone()
+                        .unwrap_or_else(|| self.me.clone());
+                    out.send(from, DpMsg::Redirect { txn: *txn, serializer });
+                } else if now < self.warm_until {
+                    self.queued.push((from, *txn, *kind));
+                } else {
+                    self.grant(from, *txn, *kind, out);
+                }
+            }
+            DpMsg::OpReq { txn, op, .. } => {
+                // A toy storage engine: acknowledge with a small service
+                // delay (100 µs round to 0 ms — the network dominates).
+                out.send(from, DpMsg::OpResp { txn: *txn, op: *op });
+            }
+            DpMsg::Hb | DpMsg::Accuse { .. } | DpMsg::Rapid(_) => {
+                let mut msgs = Vec::new();
+                self.view_changes += self.membership.on_message(from, &msg, now, &mut msgs);
+                for (to, m) in msgs {
+                    out.send(to, m);
+                }
+                self.refresh_serializer(now);
+            }
+            _ => {}
+        }
+    }
+
+    fn msg_size(msg: &DpMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        Some(self.membership.alive(self.last_now).len() as f64)
+    }
+}

@@ -1,0 +1,136 @@
+//! A ready-made simulated platform world for the Figure 12 experiment.
+
+use rapid_core::id::Endpoint;
+use rapid_core::ring::TopologyCache;
+use rapid_sim::{Actor, Outbox, Simulation};
+
+use crate::client::TxnClient;
+use crate::membership::Membership;
+use crate::msg::{msg_size, DpMsg};
+use crate::server::PlatformServer;
+
+/// One process of the platform world.
+pub enum PlatformProc {
+    /// A data/serialization server.
+    Server(Box<PlatformServer>),
+    /// A transactional client.
+    Client(Box<TxnClient>),
+}
+
+impl Actor for PlatformProc {
+    type Msg = DpMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DpMsg>) {
+        match self {
+            PlatformProc::Server(s) => s.on_tick(now, out),
+            PlatformProc::Client(c) => c.on_tick(now, out),
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: DpMsg, now: u64, out: &mut Outbox<DpMsg>) {
+        match self {
+            PlatformProc::Server(s) => s.on_message(from, msg, now, out),
+            PlatformProc::Client(c) => c.on_message(from, msg, now, out),
+        }
+    }
+
+    fn msg_size(msg: &DpMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        match self {
+            PlatformProc::Server(s) => s.sample(),
+            PlatformProc::Client(_) => None,
+        }
+    }
+}
+
+/// The canonical server endpoint for index `i` (index 0 sorts lowest and
+/// is therefore the initial serializer).
+pub fn server_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("dp-{i:02}"), 6000)
+}
+
+/// The canonical client endpoint for index `i`.
+pub fn client_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("dpc-{i}"), 6100)
+}
+
+/// Builds the platform: `n_servers` servers (actors `0..s`) and
+/// `n_clients` closed-loop clients (actors `s..s+n`, starting at 2 s),
+/// using Rapid membership when `rapid` is true and the baseline all-to-all
+/// failure detector otherwise.
+pub fn build_world(
+    n_servers: usize,
+    n_clients: usize,
+    rapid: bool,
+    failover_pause_ms: u64,
+    seed: u64,
+) -> Simulation<PlatformProc> {
+    let servers: Vec<Endpoint> = (0..n_servers).map(server_ep).collect();
+    let mut sim = Simulation::new(seed, 100);
+    let cache = TopologyCache::new();
+    for (i, addr) in servers.iter().enumerate() {
+        let membership = if rapid {
+            Membership::rapid(i, &servers, cache.clone())
+        } else {
+            Membership::baseline(addr.clone(), servers.clone())
+        };
+        sim.add_actor(
+            addr.clone(),
+            PlatformProc::Server(Box::new(PlatformServer::new(
+                addr.clone(),
+                membership,
+                failover_pause_ms,
+            ))),
+        );
+    }
+    for i in 0..n_clients {
+        sim.add_actor_at(
+            client_ep(i),
+            PlatformProc::Client(Box::new(TxnClient::new(
+                client_ep(i),
+                servers.clone(),
+                4,
+                seed + i as u64,
+            ))),
+            2_000,
+        );
+    }
+    sim
+}
+
+/// All `(start_ms, latency_ms)` transaction records across clients.
+pub fn all_latencies(sim: &Simulation<PlatformProc>, n_servers: usize) -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    for i in n_servers..sim.len() {
+        if let PlatformProc::Client(c) = sim.actor(i) {
+            v.extend(c.latencies.iter().copied());
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+/// Total failovers performed across servers.
+pub fn total_failovers(sim: &Simulation<PlatformProc>, n_servers: usize) -> u64 {
+    (0..n_servers)
+        .map(|i| match sim.actor(i) {
+            PlatformProc::Server(s) => s.failovers,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builder_commits() {
+        let mut sim = build_world(8, 2, true, 1_000, 5);
+        sim.run_until(20_000);
+        assert!(!all_latencies(&sim, 8).is_empty());
+    }
+}

@@ -1,0 +1,718 @@
+//! Service discovery through membership — the paper's second end-to-end
+//! integration (§7, Figure 13).
+//!
+//! An nginx-like **load balancer** discovers a fleet of backend web
+//! servers through a membership service and rewrites its configuration on
+//! every membership change; a **reload** pauses request dispatch briefly.
+//! An open-loop generator offers 1000 requests/s. When ten backends fail
+//! at once:
+//!
+//! * with **Serf/Memberlist**, the failures are detected one by one, each
+//!   triggering its own configuration reload — repeated latency spikes;
+//! * with **Rapid**, the multi-process cut removes all ten in a single
+//!   view change — one reload, one spike.
+//!
+//! Requests dispatched to not-yet-removed dead backends time out at the
+//! load balancer and are retried, adding tail latency in proportion to
+//! how long the membership service keeps dead backends in the list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rapid_core::config::Configuration;
+use rapid_core::id::Endpoint;
+use rapid_core::metadata::Metadata;
+use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::wire::{self, Message};
+use rapid_sim::{Actor, Outbox};
+use swim_member::{SwimConfig, SwimNode};
+use swim_member::state::{msg_size as swim_size, SwimMsg};
+
+/// Messages of the discovery world: HTTP-ish traffic + embedded
+/// membership protocols.
+#[derive(Clone, Debug)]
+pub enum DiscMsg {
+    /// Client request to the load balancer.
+    Request {
+        /// Request id (client-scoped).
+        id: u64,
+    },
+    /// Load balancer response to the client.
+    Response {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Load balancer → backend proxied request.
+    BackendReq {
+        /// Request id.
+        id: u64,
+    },
+    /// Backend → load balancer response.
+    BackendResp {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Embedded SWIM message.
+    Swim(SwimMsg),
+    /// Embedded Rapid message.
+    Rapid(Box<Message>),
+}
+
+/// Approximate encoded size for bandwidth accounting.
+pub fn msg_size(msg: &DiscMsg) -> usize {
+    match msg {
+        DiscMsg::Request { .. } | DiscMsg::Response { .. } => 120, // HTTP-ish
+        DiscMsg::BackendReq { .. } | DiscMsg::BackendResp { .. } => 120,
+        DiscMsg::Swim(m) => swim_size(m),
+        DiscMsg::Rapid(m) => wire::encoded_len(m),
+    }
+}
+
+/// The membership stack embedded in the LB and each backend.
+pub enum MemberStack {
+    /// Serf-style (SWIM).
+    Swim(Box<SwimNode>),
+    /// Rapid node.
+    Rapid(Box<Node>),
+}
+
+impl MemberStack {
+    fn tick(&mut self, now: u64, out: &mut Outbox<DiscMsg>) -> bool {
+        match self {
+            MemberStack::Swim(n) => {
+                let mut inner = Outbox { msgs: Vec::new() };
+                n.on_tick(now, &mut inner);
+                for (to, m, d) in inner.msgs {
+                    out.msgs.push((to, DiscMsg::Swim(m), d));
+                }
+                false
+            }
+            MemberStack::Rapid(n) => {
+                let mut actions = Vec::new();
+                n.handle(Event::Tick { now_ms: now }, &mut actions);
+                let mut changed = false;
+                for a in actions {
+                    match a {
+                        Action::Send { to, msg } => out.send(to, DiscMsg::Rapid(Box::new(msg))),
+                        Action::View(_) | Action::Joined { .. } => changed = true,
+                        _ => {}
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: Endpoint,
+        msg: &DiscMsg,
+        now: u64,
+        out: &mut Outbox<DiscMsg>,
+    ) -> bool {
+        match (self, msg) {
+            (MemberStack::Swim(n), DiscMsg::Swim(m)) => {
+                let mut inner = Outbox { msgs: Vec::new() };
+                n.on_message(from, m.clone(), now, &mut inner);
+                for (to, m, d) in inner.msgs {
+                    out.msgs.push((to, DiscMsg::Swim(m), d));
+                }
+                false
+            }
+            (MemberStack::Rapid(n), DiscMsg::Rapid(m)) => {
+                let mut actions = Vec::new();
+                n.handle(
+                    Event::Receive {
+                        from,
+                        msg: (**m).clone(),
+                    },
+                    &mut actions,
+                );
+                let mut changed = false;
+                for a in actions {
+                    match a {
+                        Action::Send { to, msg } => out.send(to, DiscMsg::Rapid(Box::new(msg))),
+                        Action::View(_) | Action::Joined { .. } => changed = true,
+                        _ => {}
+                    }
+                }
+                changed
+            }
+            _ => false,
+        }
+    }
+
+    /// The backend endpoints this stack currently believes are members.
+    fn backends(&self) -> Vec<Endpoint> {
+        match self {
+            MemberStack::Swim(n) => n
+                .live_members()
+                .into_iter()
+                .filter(|e| e.host().starts_with("backend-"))
+                .collect(),
+            MemberStack::Rapid(n) => {
+                if n.status() != NodeStatus::Active {
+                    return Vec::new();
+                }
+                let cfg: Arc<Configuration> = n.configuration();
+                let mut v: Vec<Endpoint> = cfg
+                    .members()
+                    .iter()
+                    .filter(|m| m.metadata.get_str("role") == Some("backend"))
+                    .map(|m| m.addr.clone())
+                    .collect();
+                v.sort();
+                v
+            }
+        }
+    }
+}
+
+/// Builds the role metadata tag for backend members.
+pub fn backend_metadata() -> Metadata {
+    Metadata::with_entry("role", "backend")
+}
+
+struct PendingReq {
+    client: Endpoint,
+    backend: Endpoint,
+    sent_at: u64,
+    attempts: u32,
+}
+
+
+/// The nginx-like load balancer.
+pub struct LoadBalancer {
+    membership: MemberStack,
+    backends: Vec<Endpoint>,
+    reloading_until: u64,
+    reload_ms: u64,
+    retry_timeout_ms: u64,
+    queued: Vec<(Endpoint, u64)>,
+    pending: HashMap<u64, PendingReq>,
+    rr: usize,
+    /// Number of configuration reloads performed (Figure 13's key count).
+    pub reloads: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a load balancer with the given membership stack.
+    pub fn new(membership: MemberStack, reload_ms: u64) -> Self {
+        LoadBalancer {
+            membership,
+            backends: Vec::new(),
+            reloading_until: 0,
+            reload_ms,
+            retry_timeout_ms: 1_000,
+            queued: Vec::new(),
+            pending: HashMap::new(),
+            rr: 0,
+            reloads: 0,
+        }
+    }
+
+    /// The backends currently in the rotation.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    fn refresh_backends(&mut self, now: u64) {
+        let list = self.membership.backends();
+        if list != self.backends && !list.is_empty() {
+            self.backends = list;
+            self.rr = 0;
+            // Rewrite the config file and reload (nginx-style pause).
+            self.reloads += 1;
+            self.reloading_until = now + self.reload_ms;
+        }
+    }
+
+    /// Dispatches a client request to the next backend in the rotation.
+    /// The client-chosen id keys the pending table (a single generator
+    /// issues globally unique ids).
+    fn dispatch(&mut self, client: Endpoint, id: u64, now: u64, out: &mut Outbox<DiscMsg>) {
+        if self.backends.is_empty() {
+            self.queued.push((client, id));
+            return;
+        }
+        let backend = self.backends[self.rr % self.backends.len()].clone();
+        self.rr += 1;
+        self.pending.insert(
+            id,
+            PendingReq {
+                client,
+                backend: backend.clone(),
+                sent_at: now,
+                attempts: 1,
+            },
+        );
+        out.send(backend, DiscMsg::BackendReq { id });
+    }
+}
+
+impl Actor for LoadBalancer {
+    type Msg = DiscMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DiscMsg>) {
+        self.membership.tick(now, out);
+        self.refresh_backends(now);
+        // Flush queued requests once the reload completes.
+        if now >= self.reloading_until && !self.queued.is_empty() {
+            let queued = std::mem::take(&mut self.queued);
+            for (client, id) in queued {
+                self.dispatch(client, id, now, out);
+            }
+        }
+        // Retry requests stuck on dead backends, on the next backend.
+        let stuck: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.sent_at) >= self.retry_timeout_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stuck {
+            let (next, give_up) = {
+                let p = self.pending.get_mut(&id).expect("present");
+                p.attempts += 1;
+                if p.attempts > 5 || self.backends.is_empty() {
+                    (None, true)
+                } else {
+                    let b = self.backends[self.rr % self.backends.len()].clone();
+                    self.rr += 1;
+                    p.backend = b.clone();
+                    p.sent_at = now;
+                    (Some(b), false)
+                }
+            };
+            if give_up {
+                self.pending.remove(&id);
+            } else if let Some(b) = next {
+                out.send(b, DiscMsg::BackendReq { id });
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: DiscMsg, now: u64, out: &mut Outbox<DiscMsg>) {
+        match &msg {
+            DiscMsg::Request { id } => {
+                if now < self.reloading_until || self.backends.is_empty() {
+                    self.queued.push((from, *id));
+                } else {
+                    self.dispatch(from, *id, now, out);
+                }
+            }
+            DiscMsg::BackendResp { id } => {
+                if let Some(p) = self.pending.remove(id) {
+                    out.send(p.client, DiscMsg::Response { id: *id });
+                }
+            }
+            DiscMsg::Swim(_) | DiscMsg::Rapid(_) => {
+                self.membership.on_message(from, &msg, now, out);
+                self.refresh_backends(now);
+            }
+            _ => {}
+        }
+    }
+
+    fn msg_size(msg: &DiscMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        Some(self.backends.len() as f64)
+    }
+}
+
+
+/// A backend web server hosting its membership agent.
+pub struct BackendServer {
+    membership: MemberStack,
+}
+
+impl BackendServer {
+    /// Creates a backend with the given membership stack.
+    pub fn new(membership: MemberStack) -> Self {
+        BackendServer { membership }
+    }
+}
+
+impl Actor for BackendServer {
+    type Msg = DiscMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DiscMsg>) {
+        self.membership.tick(now, out);
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: DiscMsg, now: u64, out: &mut Outbox<DiscMsg>) {
+        match &msg {
+            DiscMsg::BackendReq { id } => {
+                // Serve the static page with ~1 ms of service time.
+                out.send_delayed(from, DiscMsg::BackendResp { id: *id }, 1);
+            }
+            _ => {
+                self.membership.on_message(from, &msg, now, out);
+            }
+        }
+    }
+
+    fn msg_size(msg: &DiscMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The open-loop request generator (the paper offers 1000 req/s).
+pub struct RequestGen {
+    lb: Endpoint,
+    per_tick: u64,
+    next_id: u64,
+    sent_at: HashMap<u64, u64>,
+    /// `(start_ms, latency_ms)` per completed request.
+    pub latencies: Vec<(u64, u64)>,
+    start_at: u64,
+}
+
+impl RequestGen {
+    /// Creates a generator sending `per_tick` requests every tick,
+    /// starting at `start_at`.
+    pub fn new(lb: Endpoint, per_tick: u64, start_at: u64) -> Self {
+        RequestGen {
+            lb,
+            per_tick,
+            next_id: 1,
+            sent_at: HashMap::new(),
+            latencies: Vec::new(),
+            start_at,
+        }
+    }
+}
+
+impl Actor for RequestGen {
+    type Msg = DiscMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DiscMsg>) {
+        if now < self.start_at {
+            return;
+        }
+        for _ in 0..self.per_tick {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.sent_at.insert(id, now);
+            out.send(self.lb.clone(), DiscMsg::Request { id });
+        }
+    }
+
+    fn on_message(&mut self, _from: Endpoint, msg: DiscMsg, now: u64, _out: &mut Outbox<DiscMsg>) {
+        if let DiscMsg::Response { id } = msg {
+            if let Some(t0) = self.sent_at.remove(&id) {
+                self.latencies.push((t0, now - t0));
+            }
+        }
+    }
+
+    fn msg_size(msg: &DiscMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// One process of the discovery world.
+pub enum DiscoveryProc {
+    /// The load balancer.
+    Lb(Box<LoadBalancer>),
+    /// A backend.
+    Backend(Box<BackendServer>),
+    /// The request generator.
+    Gen(Box<RequestGen>),
+}
+
+impl Actor for DiscoveryProc {
+    type Msg = DiscMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<DiscMsg>) {
+        match self {
+            DiscoveryProc::Lb(x) => x.on_tick(now, out),
+            DiscoveryProc::Backend(x) => x.on_tick(now, out),
+            DiscoveryProc::Gen(x) => x.on_tick(now, out),
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: DiscMsg, now: u64, out: &mut Outbox<DiscMsg>) {
+        match self {
+            DiscoveryProc::Lb(x) => x.on_message(from, msg, now, out),
+            DiscoveryProc::Backend(x) => x.on_message(from, msg, now, out),
+            DiscoveryProc::Gen(x) => x.on_message(from, msg, now, out),
+        }
+    }
+
+    fn msg_size(msg: &DiscMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        match self {
+            DiscoveryProc::Lb(x) => x.sample(),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the full Figure-13 world: 1 LB + `n_backends` + 1 generator.
+///
+/// Actor indices: 0 = LB, `1..=n` = backends, `n+1` = generator.
+pub fn build_world(
+    n_backends: usize,
+    use_rapid: bool,
+    req_per_tick: u64,
+    seed: u64,
+) -> rapid_sim::Simulation<DiscoveryProc> {
+    use rapid_core::config::Member;
+    use rapid_core::id::NodeId;
+    use rapid_core::ring::TopologyCache;
+    use rapid_core::settings::Settings;
+
+    let lb_ep = Endpoint::new("lb-0", 80);
+    let backend_ep = |i: usize| Endpoint::new(format!("backend-{i}"), 8080);
+    let mut sim = rapid_sim::Simulation::new(seed, 100);
+
+    if use_rapid {
+        let cache = TopologyCache::new();
+        let lb_member = Member::new(NodeId::from_u128(1), lb_ep.clone());
+        let lb_node = Node::with_parts(
+            lb_member.clone(),
+            Settings::default(),
+            NodeStatus::Active,
+            Configuration::bootstrap(vec![lb_member.clone()]),
+            None,
+            None,
+            Some(cache.clone()),
+            Some(seed),
+        );
+        sim.add_actor(
+            lb_ep.clone(),
+            DiscoveryProc::Lb(Box::new(LoadBalancer::new(
+                MemberStack::Rapid(Box::new(lb_node)),
+                300,
+            ))),
+        );
+        for i in 0..n_backends {
+            let m = Member::with_metadata(
+                NodeId::from_u128(100 + i as u128),
+                backend_ep(i),
+                backend_metadata(),
+            );
+            let node = Node::with_parts(
+                m.clone(),
+                Settings::default(),
+                NodeStatus::Joining,
+                Configuration::bootstrap(Vec::new()),
+                Some(vec![lb_ep.clone()]),
+                None,
+                Some(cache.clone()),
+                Some(seed + i as u64 + 1),
+            );
+            sim.add_actor_at(
+                backend_ep(i),
+                DiscoveryProc::Backend(Box::new(BackendServer::new(MemberStack::Rapid(
+                    Box::new(node),
+                )))),
+                1_000,
+            );
+        }
+    } else {
+        let lb_swim = SwimNode::new(lb_ep.clone(), vec![], SwimConfig::default(), seed);
+        sim.add_actor(
+            lb_ep.clone(),
+            DiscoveryProc::Lb(Box::new(LoadBalancer::new(
+                MemberStack::Swim(Box::new(lb_swim)),
+                300,
+            ))),
+        );
+        for i in 0..n_backends {
+            let node = SwimNode::new(
+                backend_ep(i),
+                vec![lb_ep.clone()],
+                SwimConfig::default(),
+                seed + i as u64 + 1,
+            );
+            sim.add_actor_at(
+                backend_ep(i),
+                DiscoveryProc::Backend(Box::new(BackendServer::new(MemberStack::Swim(
+                    Box::new(node),
+                )))),
+                1_000,
+            );
+        }
+    }
+    let gen_ep = Endpoint::new("gen-0", 1);
+    sim.add_actor(
+        gen_ep,
+        DiscoveryProc::Gen(Box::new(RequestGen::new(lb_ep, req_per_tick, 5_000))),
+    );
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::Fault;
+
+    fn lb_backends(sim: &rapid_sim::Simulation<DiscoveryProc>) -> usize {
+        match sim.actor(0) {
+            DiscoveryProc::Lb(lb) => lb.backend_count(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn lb_reloads(sim: &rapid_sim::Simulation<DiscoveryProc>) -> u64 {
+        match sim.actor(0) {
+            DiscoveryProc::Lb(lb) => lb.reloads,
+            _ => unreachable!(),
+        }
+    }
+
+    fn gen_latencies(sim: &rapid_sim::Simulation<DiscoveryProc>, n: usize) -> Vec<(u64, u64)> {
+        match sim.actor(n + 1) {
+            DiscoveryProc::Gen(g) => g.latencies.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rapid_world_discovers_all_backends() {
+        let mut sim = build_world(20, true, 10, 1);
+        let t = sim.run_until_pred(180_000, |s| lb_backends(s) == 20);
+        assert!(t.is_some(), "LB must discover all 20 backends via Rapid");
+    }
+
+    #[test]
+    fn swim_world_discovers_all_backends() {
+        let mut sim = build_world(20, false, 10, 2);
+        let t = sim.run_until_pred(180_000, |s| lb_backends(s) == 20);
+        assert!(t.is_some(), "LB must discover all 20 backends via SWIM");
+    }
+
+    #[test]
+    fn requests_flow_and_complete() {
+        let mut sim = build_world(10, true, 10, 3);
+        sim.run_until_pred(180_000, |s| lb_backends(s) == 10);
+        sim.run_until(sim.now() + 20_000);
+        let lats = gen_latencies(&sim, 10);
+        assert!(lats.len() > 1_000, "requests must complete: {}", lats.len());
+        let median = {
+            let mut v: Vec<u64> = lats.iter().map(|(_, l)| *l).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(median <= 10, "healthy median latency, got {median} ms");
+    }
+
+    #[test]
+    fn mass_failure_one_reload_with_rapid_many_with_swim() {
+        let run = |use_rapid: bool| {
+            let mut sim = build_world(30, use_rapid, 10, 4);
+            sim.run_until_pred(240_000, |s| lb_backends(s) == 30)
+                .expect("bootstrap");
+            sim.run_until(sim.now() + 10_000);
+            let reloads_before = lb_reloads(&sim);
+            // Fail 10 backends at once (backends are actors 1..=30).
+            for i in 1..=10 {
+                sim.schedule_fault(sim.now() + 100, Fault::Crash(i));
+            }
+            let converged = sim
+                .run_until_pred(sim.now() + 120_000, |s| lb_backends(s) == 20)
+                .is_some();
+            (lb_reloads(&sim) - reloads_before, converged)
+        };
+        let (rapid_reloads, rapid_ok) = run(true);
+        let (swim_reloads, swim_ok) = run(false);
+        assert!(rapid_ok && swim_ok, "both must converge to 20 backends");
+        assert!(
+            rapid_reloads <= 2,
+            "Rapid batches the cut into ~one reload, got {rapid_reloads}"
+        );
+        assert!(
+            swim_reloads >= 3,
+            "SWIM staggers removals into several reloads, got {swim_reloads}"
+        );
+        assert!(swim_reloads > rapid_reloads);
+    }
+}
+
+#[cfg(test)]
+mod lb_unit_tests {
+    use super::*;
+    use rapid_core::config::Member;
+    use rapid_core::node::{Node, NodeStatus};
+    use rapid_core::settings::Settings;
+
+    /// A LoadBalancer whose Rapid stack is a solitary active seed (no
+    /// backends): requests must queue, not crash.
+    fn lonely_lb() -> LoadBalancer {
+        let m = Member::new(
+            rapid_core::id::NodeId::from_u128(1),
+            Endpoint::new("lb-0", 80),
+        );
+        let node = Node::new_seed(m, Settings::default());
+        LoadBalancer::new(MemberStack::Rapid(Box::new(node)), 300)
+    }
+
+    #[test]
+    fn requests_queue_when_no_backends() {
+        let mut lb = lonely_lb();
+        let mut out = Outbox { msgs: Vec::new() };
+        lb.on_message(
+            Endpoint::new("client", 1),
+            DiscMsg::Request { id: 7 },
+            0,
+            &mut out,
+        );
+        assert!(out.msgs.is_empty(), "nothing to dispatch to");
+        assert_eq!(lb.backend_count(), 0);
+    }
+
+    #[test]
+    fn member_stack_backends_filters_by_role() {
+        let members = vec![
+            Member::new(rapid_core::id::NodeId::from_u128(1), Endpoint::new("lb-0", 80)),
+            Member::with_metadata(
+                rapid_core::id::NodeId::from_u128(2),
+                Endpoint::new("backend-0", 8080),
+                backend_metadata(),
+            ),
+            Member::with_metadata(
+                rapid_core::id::NodeId::from_u128(3),
+                Endpoint::new("db-0", 5432),
+                Metadata::with_entry("role", "database"),
+            ),
+        ];
+        let cfg = rapid_core::config::Configuration::bootstrap(members.clone());
+        let node = Node::with_parts(
+            members[0].clone(),
+            Settings::default(),
+            NodeStatus::Active,
+            cfg,
+            None,
+            None,
+            None,
+            None,
+        );
+        let stack = MemberStack::Rapid(Box::new(node));
+        let backends = stack.backends();
+        assert_eq!(backends, vec![Endpoint::new("backend-0", 8080)]);
+    }
+
+    #[test]
+    fn backend_metadata_tags_role() {
+        assert_eq!(backend_metadata().get_str("role"), Some("backend"));
+    }
+}

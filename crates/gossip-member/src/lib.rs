@@ -1,0 +1,613 @@
+//! An Akka-Cluster-style epidemic membership service — the third baseline
+//! of the paper (§2.1, Figure 1).
+//!
+//! The design follows Akka Cluster's documented architecture, simplified:
+//!
+//! * every node **heartbeats** a small set of ring neighbours and expects
+//!   responses; missed responses mark the neighbour *unreachable*;
+//! * per-observer **reachability records** (versioned, observer-owned) are
+//!   merged into the membership state and spread by anti-entropy
+//!   **gossip** to random peers;
+//! * a node considers itself the **leader** when it has the lowest address
+//!   among members it deems reachable; the leader **auto-downs** members
+//!   that stay unreachable past a deadline, removing them permanently;
+//! * a node that learns it was removed shuts down (Akka semantics).
+//!
+//! Under packet loss, observers flip members between reachable and
+//! unreachable while conflicting rumors circulate concurrently; with
+//! auto-downing enabled this removes *benign* processes — precisely the
+//! unstable behaviour of Figure 1 (the paper could not bootstrap Akka
+//! Cluster beyond ~500 processes; the same congestion collapse appears
+//! here as rumor storms on larger clusters).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+use rapid_core::rng::Xoshiro256;
+use rapid_sim::{Actor, Outbox};
+
+/// Membership status in the gossip state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemberStatus {
+    /// A full member.
+    Up,
+    /// Removed by a leader (sticky).
+    Removed,
+}
+
+/// The gossiped state: member entries and per-observer reachability
+/// records, both versioned (higher version wins; `Removed` is sticky).
+#[derive(Clone, Debug, Default)]
+pub struct GossipState {
+    /// `(member, version, status)`.
+    pub members: Vec<(Endpoint, u64, MemberStatus)>,
+    /// `(observer, subject, version, unreachable)`.
+    pub reach: Vec<(Endpoint, Endpoint, u64, bool)>,
+}
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum AkkaMsg {
+    /// Failure-detector heartbeat.
+    Heartbeat,
+    /// Heartbeat response.
+    HeartbeatRsp,
+    /// Join request to a seed.
+    Join {
+        /// The joining process.
+        member: Endpoint,
+    },
+    /// Anti-entropy gossip exchange.
+    Gossip {
+        /// Full state snapshot.
+        state: Arc<GossipState>,
+    },
+}
+
+/// Approximate encoded message size for bandwidth accounting.
+pub fn msg_size(msg: &AkkaMsg) -> usize {
+    fn ep(e: &Endpoint) -> usize {
+        e.host().len() + 4
+    }
+    let body = match msg {
+        AkkaMsg::Heartbeat | AkkaMsg::HeartbeatRsp => 2,
+        AkkaMsg::Join { member } => ep(member),
+        AkkaMsg::Gossip { state } => {
+            state.members.iter().map(|(m, _, _)| ep(m) + 9).sum::<usize>()
+                + state
+                    .reach
+                    .iter()
+                    .map(|(o, s, _, _)| ep(o) + ep(s) + 9)
+                    .sum::<usize>()
+        }
+    };
+    body + 5
+}
+
+/// Tuning parameters (Akka-like defaults).
+#[derive(Clone, Debug)]
+pub struct AkkaConfig {
+    /// Heartbeat interval.
+    pub heartbeat_interval_ms: u64,
+    /// Missed responses before a neighbour is marked unreachable.
+    pub heartbeat_misses: u32,
+    /// Number of ring neighbours each node monitors.
+    pub monitored_count: usize,
+    /// Anti-entropy gossip interval.
+    pub gossip_interval_ms: u64,
+    /// Unreachable duration after which the leader auto-downs a member.
+    pub auto_down_after_ms: u64,
+}
+
+impl Default for AkkaConfig {
+    fn default() -> Self {
+        AkkaConfig {
+            heartbeat_interval_ms: 1_000,
+            heartbeat_misses: 3,
+            monitored_count: 5,
+            gossip_interval_ms: 1_000,
+            auto_down_after_ms: 5_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct HeartbeatState {
+    outstanding: u32,
+    unreachable_since: Option<u64>,
+}
+
+/// One Akka-Cluster-style node.
+pub struct AkkaNode {
+    cfg: AkkaConfig,
+    me: Endpoint,
+    seeds: Vec<Endpoint>,
+    members: HashMap<Endpoint, (u64, MemberStatus)>,
+    reach: HashMap<(Endpoint, Endpoint), (u64, bool)>,
+    my_version: u64,
+    hb: HashMap<Endpoint, HeartbeatState>,
+    next_heartbeat_at: u64,
+    next_gossip_at: u64,
+    join_retry_at: u64,
+    shutdown: bool,
+    rng: Xoshiro256,
+}
+
+impl AkkaNode {
+    /// Creates a node; `seeds` empty makes this the first (seed) node.
+    pub fn new(me: Endpoint, seeds: Vec<Endpoint>, cfg: AkkaConfig, rng_seed: u64) -> Self {
+        let mut members = HashMap::new();
+        if seeds.is_empty() {
+            members.insert(me.clone(), (1, MemberStatus::Up));
+        }
+        AkkaNode {
+            cfg,
+            me,
+            seeds,
+            members,
+            reach: HashMap::new(),
+            my_version: 1,
+            hb: HashMap::new(),
+            next_heartbeat_at: 0,
+            next_gossip_at: 0,
+            join_retry_at: 0,
+            shutdown: false,
+            rng: Xoshiro256::seed_from_u64(rng_seed ^ 0xA77A),
+        }
+    }
+
+    /// Whether this node shut itself down after being removed.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Members currently `Up` (including unreachable ones), i.e. what an
+    /// Akka node reports as its cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.members
+            .values()
+            .filter(|(_, s)| *s == MemberStatus::Up)
+            .count()
+    }
+
+    fn up_members(&self) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> = self
+            .members
+            .iter()
+            .filter(|(_, (_, s))| *s == MemberStatus::Up)
+            .map(|(m, _)| m.clone())
+            .collect();
+        v.sort_by_key(|e| e.digest());
+        v
+    }
+
+    /// The ring neighbours this node monitors.
+    fn monitored(&self) -> Vec<Endpoint> {
+        let ring = self.up_members();
+        let Some(pos) = ring.iter().position(|e| *e == self.me) else {
+            return Vec::new();
+        };
+        (1..=self.cfg.monitored_count.min(ring.len().saturating_sub(1)))
+            .map(|i| ring[(pos + i) % ring.len()].clone())
+            .collect()
+    }
+
+    fn is_unreachable(&self, subject: &Endpoint) -> bool {
+        self.reach
+            .iter()
+            .any(|((_, s), (_, unreachable))| s == subject && *unreachable)
+    }
+
+    /// Leader = lowest-address reachable Up member; each node judges this
+    /// locally (the root of Akka's split-brain trouble).
+    fn i_am_leader(&self) -> bool {
+        let mut candidates: Vec<&Endpoint> = self
+            .members
+            .iter()
+            .filter(|(m, (_, s))| *s == MemberStatus::Up && !self.is_unreachable(m))
+            .map(|(m, _)| m)
+            .collect();
+        candidates.sort();
+        candidates.first() == Some(&&self.me)
+    }
+
+    fn record_reachability(&mut self, subject: Endpoint, unreachable: bool) {
+        self.my_version += 1;
+        self.reach
+            .insert((self.me.clone(), subject), (self.my_version, unreachable));
+    }
+
+    fn snapshot(&self) -> Arc<GossipState> {
+        Arc::new(GossipState {
+            members: self
+                .members
+                .iter()
+                .map(|(m, (v, s))| (m.clone(), *v, *s))
+                .collect(),
+            reach: self
+                .reach
+                .iter()
+                .map(|((o, s), (v, u))| (o.clone(), s.clone(), *v, *u))
+                .collect(),
+        })
+    }
+
+    fn merge(&mut self, state: &GossipState, now: u64) {
+        for (m, v, s) in &state.members {
+            match self.members.get_mut(m) {
+                None => {
+                    self.members.insert(m.clone(), (*v, *s));
+                }
+                Some((cur_v, cur_s)) => {
+                    if *v > *cur_v || (*v == *cur_v && *s > *cur_s) {
+                        *cur_v = *v;
+                        *cur_s = *s;
+                    }
+                }
+            }
+        }
+        for (o, s, v, u) in &state.reach {
+            let key = (o.clone(), s.clone());
+            match self.reach.get_mut(&key) {
+                None => {
+                    self.reach.insert(key, (*v, *u));
+                }
+                Some((cur_v, cur_u)) => {
+                    if *v > *cur_v {
+                        *cur_v = *v;
+                        *cur_u = *u;
+                    }
+                }
+            }
+        }
+        // Did we get removed? Shut down, as Akka prescribes.
+        if matches!(self.members.get(&self.me), Some((_, MemberStatus::Removed))) {
+            self.shutdown = true;
+        }
+        let _ = now;
+    }
+
+    fn gossip_to_random(&mut self, count: usize, out: &mut Outbox<AkkaMsg>) {
+        let peers: Vec<Endpoint> = self
+            .up_members()
+            .into_iter()
+            .filter(|m| *m != self.me)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        let state = self.snapshot();
+        for i in self.rng.choose_indices(peers.len(), count) {
+            out.send(
+                peers[i].clone(),
+                AkkaMsg::Gossip {
+                    state: Arc::clone(&state),
+                },
+            );
+        }
+    }
+}
+
+impl Actor for AkkaNode {
+    type Msg = AkkaMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<AkkaMsg>) {
+        if self.shutdown {
+            return;
+        }
+        // Join through a seed.
+        if !self.members.contains_key(&self.me) {
+            if now >= self.join_retry_at && !self.seeds.is_empty() {
+                self.join_retry_at = now + 2_000;
+                let seed = self.seeds[self.rng.gen_index(self.seeds.len())].clone();
+                out.send(
+                    seed,
+                    AkkaMsg::Join {
+                        member: self.me.clone(),
+                    },
+                );
+            }
+            return;
+        }
+
+        // Heartbeat the monitored neighbours; count misses.
+        if now >= self.next_heartbeat_at {
+            self.next_heartbeat_at = now + self.cfg.heartbeat_interval_ms;
+            let monitored = self.monitored();
+            // Forget state for nodes no longer monitored.
+            self.hb.retain(|k, _| monitored.contains(k));
+            for m in monitored {
+                let state = self.hb.entry(m.clone()).or_insert(HeartbeatState {
+                    outstanding: 0,
+                    unreachable_since: None,
+                });
+                state.outstanding += 1;
+                if state.outstanding > self.cfg.heartbeat_misses
+                    && state.unreachable_since.is_none() {
+                        state.unreachable_since = Some(now);
+                        self.record_reachability(m.clone(), true);
+                    }
+                out.send(m, AkkaMsg::Heartbeat);
+            }
+        }
+
+        // Leader auto-downs members that stayed unreachable too long.
+        if self.i_am_leader() {
+            let deadline = self.cfg.auto_down_after_ms;
+            let targets: Vec<Endpoint> = self
+                .hb
+                .iter()
+                .filter(|(_, s)| {
+                    s.unreachable_since
+                        .map(|t| now.saturating_sub(t) >= deadline)
+                        .unwrap_or(false)
+                })
+                .map(|(m, _)| m.clone())
+                .collect();
+            // Also down members *others* flagged unreachable long enough —
+            // approximated by any unreachable record we hold.
+            let mut rumored: Vec<Endpoint> = self
+                .reach
+                .iter()
+                .filter(|((_, s), (_, u))| *u && *s != self.me)
+                .map(|((_, s), _)| s.clone())
+                .collect();
+            rumored.retain(|s| {
+                self.hb
+                    .get(s)
+                    .and_then(|h| h.unreachable_since)
+                    .map(|t| now.saturating_sub(t) >= deadline)
+                    .unwrap_or(false)
+                    || !self.hb.contains_key(s)
+            });
+            for target in targets.into_iter().chain(rumored) {
+                if let Some((v, s)) = self.members.get(&target).copied() {
+                    if s == MemberStatus::Up {
+                        self.members
+                            .insert(target.clone(), (v + 1, MemberStatus::Removed));
+                        self.record_reachability(target, true);
+                    }
+                }
+            }
+        }
+
+        // Anti-entropy gossip.
+        if now >= self.next_gossip_at {
+            self.next_gossip_at = now + self.cfg.gossip_interval_ms;
+            self.gossip_to_random(2, out);
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: AkkaMsg, now: u64, out: &mut Outbox<AkkaMsg>) {
+        if self.shutdown {
+            return;
+        }
+        match msg {
+            AkkaMsg::Heartbeat => out.send(from, AkkaMsg::HeartbeatRsp),
+            AkkaMsg::HeartbeatRsp => {
+                if let Some(state) = self.hb.get_mut(&from) {
+                    state.outstanding = 0;
+                    if state.unreachable_since.take().is_some() {
+                        // Reachable again: retract the accusation (the
+                        // flip-flop that destabilises gossip membership).
+                        self.record_reachability(from, false);
+                    }
+                }
+            }
+            AkkaMsg::Join { member } => {
+                self.my_version += 1;
+                let v = self.my_version;
+                self.members
+                    .entry(member)
+                    .or_insert((v, MemberStatus::Up));
+                self.gossip_to_random(3, out);
+            }
+            AkkaMsg::Gossip { state } => {
+                self.merge(&state, now);
+                // If the sender is someone we consider removed, it clearly
+                // has not heard: send our state back so it learns and
+                // shuts down (Akka's gossip is an exchange).
+                if matches!(
+                    self.members.get(&from),
+                    Some((_, MemberStatus::Removed))
+                ) {
+                    let snapshot = self.snapshot();
+                    out.send(from, AkkaMsg::Gossip { state: snapshot });
+                }
+            }
+        }
+    }
+
+    fn msg_size(msg: &AkkaMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        if self.shutdown || !self.members.contains_key(&self.me) {
+            None
+        } else {
+            Some(self.cluster_size() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::{Fault, Simulation};
+
+    fn ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("akka-{i}"), 2552)
+    }
+
+    fn cluster(n: usize, seed: u64) -> Simulation<AkkaNode> {
+        let mut sim = Simulation::new(seed, 100);
+        sim.add_actor(ep(0), AkkaNode::new(ep(0), vec![], AkkaConfig::default(), seed));
+        for i in 1..n {
+            sim.add_actor_at(
+                ep(i),
+                AkkaNode::new(ep(i), vec![ep(0)], AkkaConfig::default(), seed + i as u64),
+                1_000,
+            );
+        }
+        sim
+    }
+
+    fn sizes(sim: &Simulation<AkkaNode>) -> Vec<usize> {
+        (0..sim.len())
+            .filter(|&i| !sim.net.is_crashed(i) && !sim.actor(i).is_shutdown())
+            .map(|i| sim.actor(i).cluster_size())
+            .collect()
+    }
+
+    #[test]
+    fn bootstraps_to_full_view() {
+        let mut sim = cluster(15, 1);
+        let t = sim.run_until_pred(120_000, |s| sizes(s).iter().all(|&x| x == 15));
+        assert!(t.is_some(), "Akka-like cluster must converge to 15");
+    }
+
+    #[test]
+    fn crashed_node_is_auto_downed() {
+        let mut sim = cluster(12, 2);
+        assert!(sim
+            .run_until_pred(120_000, |s| sizes(s).iter().all(|&x| x == 12))
+            .is_some());
+        sim.schedule_fault(sim.now() + 500, Fault::Crash(5));
+        let t = sim.run_until_pred(sim.now() + 120_000, |s| sizes(s).iter().all(|&x| x == 11));
+        assert!(t.is_some(), "auto-down must remove the crashed node");
+    }
+
+    #[test]
+    fn heavy_ingress_loss_destabilises_membership() {
+        // Figure 1: under heavy partial loss, conflicting rumors circulate
+        // and benign processes can be removed.
+        let mut sim = cluster(20, 3);
+        assert!(sim
+            .run_until_pred(120_000, |s| sizes(s).iter().all(|&x| x == 20))
+            .is_some());
+        sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(7, 0.8));
+        sim.run_until(sim.now() + 120_000);
+        let final_sizes = sizes(&sim);
+        // Instability: not everyone agrees, or somebody was removed.
+        let all_stable_at_20 = final_sizes.iter().all(|&x| x == 20);
+        assert!(
+            !all_stable_at_20,
+            "80% loss should destabilise the view, got {final_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn removed_node_shuts_down() {
+        let mut sim = cluster(8, 4);
+        assert!(sim
+            .run_until_pred(120_000, |s| sizes(s).iter().all(|&x| x == 8))
+            .is_some());
+        // Fully isolate node 3 (both directions): it will be downed; when
+        // connectivity returns it learns of its removal and shuts down.
+        sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(3, 1.0));
+        sim.schedule_fault(sim.now() + 100, Fault::EgressDrop(3, 1.0));
+        sim.run_until(sim.now() + 30_000);
+        sim.schedule_fault(sim.now(), Fault::IngressDrop(3, 0.0));
+        sim.schedule_fault(sim.now(), Fault::EgressDrop(3, 0.0));
+        sim.run_until(sim.now() + 30_000);
+        assert!(sim.actor(3).is_shutdown(), "removed node must shut down");
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    fn ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("m{i}"), 2552)
+    }
+
+    #[test]
+    fn member_merge_prefers_higher_version_and_removed_is_sticky() {
+        let mut node = AkkaNode::new(ep(0), vec![], AkkaConfig::default(), 1);
+        node.merge(
+            &GossipState {
+                members: vec![(ep(1), 3, MemberStatus::Up)],
+                reach: vec![],
+            },
+            0,
+        );
+        assert_eq!(node.cluster_size(), 2);
+        // Lower-version removal loses.
+        node.merge(
+            &GossipState {
+                members: vec![(ep(1), 2, MemberStatus::Removed)],
+                reach: vec![],
+            },
+            0,
+        );
+        assert_eq!(node.cluster_size(), 2);
+        // Equal-version removal is sticky.
+        node.merge(
+            &GossipState {
+                members: vec![(ep(1), 3, MemberStatus::Removed)],
+                reach: vec![],
+            },
+            0,
+        );
+        assert_eq!(node.cluster_size(), 1);
+        // A later Up at the same version cannot resurrect.
+        node.merge(
+            &GossipState {
+                members: vec![(ep(1), 3, MemberStatus::Up)],
+                reach: vec![],
+            },
+            0,
+        );
+        assert_eq!(node.cluster_size(), 1);
+    }
+
+    #[test]
+    fn reachability_merge_is_versioned_per_observer() {
+        let mut node = AkkaNode::new(ep(0), vec![], AkkaConfig::default(), 1);
+        node.merge(
+            &GossipState {
+                members: vec![(ep(1), 1, MemberStatus::Up), (ep(2), 1, MemberStatus::Up)],
+                reach: vec![(ep(2), ep(1), 5, true)],
+            },
+            0,
+        );
+        assert!(node.is_unreachable(&ep(1)));
+        // A newer retraction from the same observer wins.
+        node.merge(
+            &GossipState {
+                members: vec![],
+                reach: vec![(ep(2), ep(1), 6, false)],
+            },
+            0,
+        );
+        assert!(!node.is_unreachable(&ep(1)));
+        // A stale accusation does not regress the state.
+        node.merge(
+            &GossipState {
+                members: vec![],
+                reach: vec![(ep(2), ep(1), 4, true)],
+            },
+            0,
+        );
+        assert!(!node.is_unreachable(&ep(1)));
+    }
+
+    #[test]
+    fn self_learns_removal_and_shuts_down() {
+        let mut node = AkkaNode::new(ep(0), vec![], AkkaConfig::default(), 1);
+        node.merge(
+            &GossipState {
+                members: vec![(ep(0), 9, MemberStatus::Removed)],
+                reach: vec![],
+            },
+            0,
+        );
+        assert!(node.is_shutdown());
+    }
+}

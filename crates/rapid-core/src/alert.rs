@@ -1,0 +1,154 @@
+//! Edge alerts: the raw input of cut detection (paper §4.1).
+//!
+//! Observers broadcast `REMOVE` alerts when their edge-monitor declares a
+//! subject unresponsive, and `JOIN` alerts when contacted by a joiner.
+//! Alerts are **irrevocable** within a configuration: Rapid never spreads a
+//! retraction, which is what prevents the accusation/refutation flapping of
+//! gossip-based membership.
+
+use crate::config::ConfigId;
+use crate::hash::StableHasher;
+use crate::id::{Endpoint, NodeId};
+use crate::metadata::Metadata;
+
+/// The direction of an edge alert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeStatus {
+    /// A JOIN alert: an edge to the subject is to be created; the subject
+    /// is joining the cluster.
+    Up,
+    /// A REMOVE alert: the edge to the subject is faulty; the subject is
+    /// suspected and should be removed.
+    Down,
+}
+
+/// An alert broadcast by an `observer` about a `subject` on one ring.
+///
+/// A JOIN alert additionally carries the joiner's metadata so that every
+/// member can construct the successor configuration locally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alert {
+    /// The observer that generated the alert.
+    pub observer: NodeId,
+    /// The subject the alert is about.
+    pub subject_id: NodeId,
+    /// The subject's listen address.
+    pub subject_addr: Endpoint,
+    /// JOIN (`Up`) or REMOVE (`Down`).
+    pub status: EdgeStatus,
+    /// The configuration in which the alert was issued; alerts from other
+    /// configurations are discarded.
+    pub config_id: ConfigId,
+    /// The ring this observer covers for the subject. Tallies are counted
+    /// per ring slot, so duplicate observers still contribute K distinct
+    /// slots.
+    pub ring: u8,
+    /// Joiner metadata (empty for REMOVE alerts).
+    pub metadata: Metadata,
+}
+
+impl Alert {
+    /// Creates a REMOVE alert.
+    pub fn remove(
+        observer: NodeId,
+        subject_id: NodeId,
+        subject_addr: Endpoint,
+        config_id: ConfigId,
+        ring: u8,
+    ) -> Self {
+        Alert {
+            observer,
+            subject_id,
+            subject_addr,
+            status: EdgeStatus::Down,
+            config_id,
+            ring,
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Creates a JOIN alert.
+    pub fn join(
+        observer: NodeId,
+        subject_id: NodeId,
+        subject_addr: Endpoint,
+        config_id: ConfigId,
+        ring: u8,
+        metadata: Metadata,
+    ) -> Self {
+        Alert {
+            observer,
+            subject_id,
+            subject_addr,
+            status: EdgeStatus::Up,
+            config_id,
+            ring,
+            metadata,
+        }
+    }
+
+    /// A stable 64-bit key identifying this alert for gossip deduplication.
+    ///
+    /// Two alerts from the same observer about the same subject/ring/status
+    /// in the same configuration are the same item.
+    pub fn dedup_key(&self) -> u64 {
+        let mut h = StableHasher::new("rapid-alert");
+        h.write_u64(self.config_id.0)
+            .write_u128(self.observer.as_u128())
+            .write_u128(self.subject_id.as_u128())
+            .write_u64(self.ring as u64)
+            .write_u64(matches!(self.status, EdgeStatus::Up) as u64);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep() -> Endpoint {
+        Endpoint::new("s", 1)
+    }
+
+    #[test]
+    fn dedup_key_identifies_same_alert() {
+        let a = Alert::remove(NodeId::from_u128(1), NodeId::from_u128(2), ep(), ConfigId(5), 3);
+        let b = Alert::remove(NodeId::from_u128(1), NodeId::from_u128(2), ep(), ConfigId(5), 3);
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn dedup_key_varies() {
+        let base = Alert::remove(NodeId::from_u128(1), NodeId::from_u128(2), ep(), ConfigId(5), 3);
+        let other_ring = Alert::remove(NodeId::from_u128(1), NodeId::from_u128(2), ep(), ConfigId(5), 4);
+        let other_observer =
+            Alert::remove(NodeId::from_u128(9), NodeId::from_u128(2), ep(), ConfigId(5), 3);
+        let other_cfg = Alert::remove(NodeId::from_u128(1), NodeId::from_u128(2), ep(), ConfigId(6), 3);
+        let join = Alert::join(
+            NodeId::from_u128(1),
+            NodeId::from_u128(2),
+            ep(),
+            ConfigId(5),
+            3,
+            Metadata::new(),
+        );
+        for o in [&other_ring, &other_observer, &other_cfg, &join] {
+            assert_ne!(base.dedup_key(), o.dedup_key());
+        }
+    }
+
+    #[test]
+    fn join_alert_carries_metadata() {
+        let md = Metadata::with_entry("role", "backend");
+        let a = Alert::join(
+            NodeId::from_u128(1),
+            NodeId::from_u128(2),
+            ep(),
+            ConfigId(5),
+            0,
+            md.clone(),
+        );
+        assert_eq!(a.metadata, md);
+        assert_eq!(a.status, EdgeStatus::Up);
+    }
+}

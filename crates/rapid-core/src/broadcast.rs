@@ -1,0 +1,368 @@
+//! Alert and vote dissemination (paper §4.3, §6).
+//!
+//! Two pluggable modes:
+//!
+//! * **Unicast-to-all** — the sender transmits each alert batch directly to
+//!   every member (what the paper's Java implementation does for alerts by
+//!   default). Simple, one hop, `O(n)` messages per broadcast.
+//! * **Epidemic gossip** — alert items are relayed for `O(log n)` rounds to
+//!   a random fan-out of peers, and fast-path vote bitmaps are piggybacked
+//!   and *aggregated* along the way ("The counting protocol itself uses
+//!   gossip to disseminate and aggregate a bitmap of votes for each unique
+//!   proposal", §4.3). Robust to loss and cheap at large N.
+//!
+//! Alerts are batched per tick in both modes (§6: "Rapid batches multiple
+//! alerts into a single message").
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use crate::alert::Alert;
+use crate::config::{ConfigId, Configuration};
+use crate::id::Endpoint;
+use crate::paxos::VoteState;
+use crate::rng::Xoshiro256;
+use crate::settings::Settings;
+use crate::wire::Message;
+
+/// Dissemination strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BroadcastMode {
+    /// Send each batch directly to every member.
+    UnicastAll,
+    /// Epidemic gossip with vote-bitmap aggregation.
+    Gossip,
+}
+
+/// Maximum alert items carried by a single gossip message.
+const MAX_ALERTS_PER_MESSAGE: usize = 2048;
+
+/// The dissemination component owned by each node.
+pub struct Disseminator {
+    mode: BroadcastMode,
+    fanout: usize,
+    interval_ms: u64,
+    retransmit_factor: f64,
+    /// Addresses of all *other* members of the current configuration.
+    peers: Vec<Endpoint>,
+    config_id: ConfigId,
+    config_seq: u64,
+    rng: Xoshiro256,
+    /// Dedup filter over alert item keys for the current configuration.
+    seen: HashSet<u64>,
+    /// Gossip relay buffer: `(alert, remaining transmissions)`.
+    buffer: VecDeque<(Alert, u32)>,
+    /// Alerts queued since the last flush (unicast mode).
+    outbox: Vec<Alert>,
+    next_gossip_at: u64,
+    retransmit_rounds: u32,
+}
+
+impl Disseminator {
+    /// Creates a disseminator from the node settings.
+    pub fn new(settings: &Settings, rng_seed: u64) -> Self {
+        Disseminator {
+            mode: if settings.use_gossip_broadcast {
+                BroadcastMode::Gossip
+            } else {
+                BroadcastMode::UnicastAll
+            },
+            fanout: settings.gossip_fanout,
+            interval_ms: settings.gossip_interval_ms,
+            retransmit_factor: settings.gossip_retransmit_factor,
+            peers: Vec::new(),
+            config_id: ConfigId::NONE,
+            config_seq: 0,
+            rng: Xoshiro256::seed_from_u64(rng_seed),
+            seen: HashSet::new(),
+            buffer: VecDeque::new(),
+            outbox: Vec::new(),
+            next_gossip_at: 0,
+            retransmit_rounds: 1,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> BroadcastMode {
+        self.mode
+    }
+
+    /// Installs a new configuration; all dissemination state is reset
+    /// (alerts are scoped to one configuration).
+    pub fn set_view(&mut self, config: &Configuration, self_addr: &Endpoint) {
+        self.peers = config
+            .members()
+            .iter()
+            .map(|m| m.addr.clone())
+            .filter(|a| a != self_addr)
+            .collect();
+        self.config_id = config.id();
+        self.config_seq = config.seq();
+        self.seen.clear();
+        self.buffer.clear();
+        self.outbox.clear();
+        let n = config.len().max(2);
+        self.retransmit_rounds =
+            ((self.retransmit_factor * (n as f64).log2()).ceil() as u32).max(1);
+    }
+
+    /// Queues a locally originated alert for dissemination. Returns `false`
+    /// if the alert was already seen (and is therefore not re-queued).
+    pub fn queue_alert(&mut self, alert: Alert) -> bool {
+        if !self.seen.insert(alert.dedup_key()) {
+            return false;
+        }
+        match self.mode {
+            BroadcastMode::UnicastAll => self.outbox.push(alert),
+            BroadcastMode::Gossip => self.buffer.push_back((alert, self.retransmit_rounds)),
+        }
+        true
+    }
+
+    /// Filters received alerts to fresh ones (never seen before), marking
+    /// them seen and scheduling them for relay in gossip mode.
+    pub fn ingest_alerts(&mut self, alerts: &[Alert]) -> Vec<Alert> {
+        let mut fresh = Vec::new();
+        for a in alerts {
+            if a.config_id != self.config_id {
+                continue;
+            }
+            if self.seen.insert(a.dedup_key()) {
+                if self.mode == BroadcastMode::Gossip {
+                    self.buffer.push_back((a.clone(), self.retransmit_rounds));
+                }
+                fresh.push(a.clone());
+            }
+        }
+        fresh
+    }
+
+    /// Flushes queued alerts and (in gossip mode) runs one gossip round if
+    /// due, piggybacking the supplied vote states.
+    pub fn tick(&mut self, now: u64, votes: &[VoteState], out: &mut Vec<(Endpoint, Message)>) {
+        match self.mode {
+            BroadcastMode::UnicastAll => {
+                if self.outbox.is_empty() {
+                    return;
+                }
+                let alerts: Arc<[Alert]> = std::mem::take(&mut self.outbox).into();
+                for peer in &self.peers {
+                    out.push((
+                        peer.clone(),
+                        Message::AlertBatch {
+                            config_id: self.config_id,
+                            alerts: Arc::clone(&alerts),
+                        },
+                    ));
+                }
+            }
+            BroadcastMode::Gossip => {
+                if now < self.next_gossip_at || self.peers.is_empty() {
+                    return;
+                }
+                self.next_gossip_at = now + self.interval_ms;
+                // Collect up to a message worth of active items, decrement
+                // their budgets, and drop exhausted ones.
+                let mut batch = Vec::new();
+                let mut rotated = VecDeque::with_capacity(self.buffer.len());
+                while let Some((alert, remaining)) = self.buffer.pop_front() {
+                    if batch.len() < MAX_ALERTS_PER_MESSAGE {
+                        batch.push(alert.clone());
+                        if remaining > 1 {
+                            rotated.push_back((alert, remaining - 1));
+                        }
+                    } else {
+                        rotated.push_back((alert, remaining));
+                    }
+                }
+                self.buffer = rotated;
+                if batch.is_empty() && votes.is_empty() {
+                    return; // Quiescent: nothing to gossip.
+                }
+                let alerts: Arc<[Alert]> = batch.into();
+                let votes: Arc<[VoteState]> = votes.to_vec().into();
+                let fanout = self.fanout.min(self.peers.len());
+                let picks = self.rng.choose_indices(self.peers.len(), fanout);
+                for i in picks {
+                    out.push((
+                        self.peers[i].clone(),
+                        Message::Gossip {
+                            config_id: self.config_id,
+                            config_seq: self.config_seq,
+                            alerts: Arc::clone(&alerts),
+                            votes: Arc::clone(&votes),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Picks `count` random peers (for vote unicast, body requests, etc.).
+    pub fn random_peers(&mut self, count: usize) -> Vec<Endpoint> {
+        let picks = self.rng.choose_indices(self.peers.len(), count);
+        picks.into_iter().map(|i| self.peers[i].clone()).collect()
+    }
+
+    /// All peers of the current configuration (everyone but this node).
+    pub fn peers(&self) -> &[Endpoint] {
+        &self.peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Member;
+    use crate::id::NodeId;
+
+    fn config(n: u128) -> std::sync::Arc<Configuration> {
+        Configuration::bootstrap(
+            (1..=n)
+                .map(|i| Member::new(NodeId::from_u128(i), Endpoint::new(format!("n{i}"), 1)))
+                .collect(),
+        )
+    }
+
+    fn alert(cfg: &Configuration, observer: u128, subject: u128, ring: u8) -> Alert {
+        Alert::remove(
+            NodeId::from_u128(observer),
+            NodeId::from_u128(subject),
+            Endpoint::new(format!("n{subject}"), 1),
+            cfg.id(),
+            ring,
+        )
+    }
+
+    fn settings(gossip: bool) -> Settings {
+        Settings {
+            use_gossip_broadcast: gossip,
+            gossip_fanout: 3,
+            gossip_interval_ms: 100,
+            ..Settings::default()
+        }
+    }
+
+    #[test]
+    fn unicast_sends_batch_to_all_peers() {
+        let cfg = config(5);
+        let mut d = Disseminator::new(&settings(false), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        assert!(d.queue_alert(alert(&cfg, 1, 2, 0)));
+        assert!(d.queue_alert(alert(&cfg, 1, 2, 1)));
+        let mut out = Vec::new();
+        d.tick(0, &[], &mut out);
+        assert_eq!(out.len(), 4, "one batch per peer");
+        match &out[0].1 {
+            Message::AlertBatch { alerts, .. } => assert_eq!(alerts.len(), 2),
+            other => panic!("expected AlertBatch, got {}", other.kind()),
+        }
+        out.clear();
+        d.tick(100, &[], &mut out);
+        assert!(out.is_empty(), "outbox drained");
+    }
+
+    #[test]
+    fn duplicate_alerts_not_requeued() {
+        let cfg = config(3);
+        let mut d = Disseminator::new(&settings(false), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        assert!(d.queue_alert(alert(&cfg, 1, 2, 0)));
+        assert!(!d.queue_alert(alert(&cfg, 1, 2, 0)));
+    }
+
+    #[test]
+    fn gossip_respects_interval_and_fanout() {
+        let cfg = config(10);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        d.queue_alert(alert(&cfg, 1, 2, 0));
+        let mut out = Vec::new();
+        d.tick(0, &[], &mut out);
+        assert_eq!(out.len(), 3, "fanout peers");
+        out.clear();
+        d.tick(50, &[], &mut out);
+        assert!(out.is_empty(), "interval not yet elapsed");
+        d.tick(100, &[], &mut out);
+        assert_eq!(out.len(), 3, "next round due");
+    }
+
+    #[test]
+    fn gossip_quiescent_sends_nothing() {
+        let cfg = config(10);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        let mut out = Vec::new();
+        d.tick(0, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gossip_items_expire_after_budget() {
+        let cfg = config(4); // retransmit_rounds = ceil(log2(4)) = 2
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        d.queue_alert(alert(&cfg, 1, 2, 0));
+        let mut rounds_with_items = 0;
+        for t in 0..10u64 {
+            let mut out = Vec::new();
+            d.tick(t * 100, &[], &mut out);
+            if out
+                .iter()
+                .any(|(_, m)| matches!(m, Message::Gossip { alerts, .. } if !alerts.is_empty()))
+            {
+                rounds_with_items += 1;
+            }
+        }
+        assert_eq!(rounds_with_items, 2, "budget of log2(n) rounds");
+    }
+
+    #[test]
+    fn ingest_filters_fresh_and_requeues_for_relay() {
+        let cfg = config(8);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        let a = alert(&cfg, 1, 2, 0);
+        let fresh = d.ingest_alerts(&[a.clone(), a.clone()]);
+        assert_eq!(fresh.len(), 1);
+        assert!(d.ingest_alerts(&[a.clone()]).is_empty());
+        // The fresh item is relayed on the next round.
+        let mut out = Vec::new();
+        d.tick(0, &[], &mut out);
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Gossip { alerts, .. } if alerts.len() == 1)));
+    }
+
+    #[test]
+    fn ingest_rejects_other_configurations() {
+        let cfg = config(8);
+        let other = config(9);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        let a = alert(&other, 1, 2, 0);
+        assert!(d.ingest_alerts(&[a]).is_empty());
+    }
+
+    #[test]
+    fn set_view_resets_dedup() {
+        let cfg = config(4);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        let a = alert(&cfg, 1, 2, 0);
+        assert!(d.queue_alert(a.clone()));
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        assert!(d.queue_alert(a), "fresh after reset");
+    }
+
+    #[test]
+    fn random_peers_excludes_self_and_bounds() {
+        let cfg = config(5);
+        let mut d = Disseminator::new(&settings(true), 1);
+        let me = Endpoint::new("n1", 1);
+        d.set_view(&cfg, &me);
+        let peers = d.random_peers(10);
+        assert_eq!(peers.len(), 4);
+        assert!(!peers.contains(&me));
+    }
+}

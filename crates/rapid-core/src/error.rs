@@ -1,0 +1,43 @@
+//! Error types.
+
+use core::fmt;
+
+/// Errors surfaced by the Rapid library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RapidError {
+    /// An endpoint string could not be parsed as `host:port`.
+    InvalidEndpoint(String),
+    /// A wire message could not be decoded.
+    Decode(String),
+    /// A join attempt was rejected (e.g. configuration changed mid-join).
+    JoinRejected(String),
+    /// An operation was attempted in a node state that does not allow it.
+    InvalidState(String),
+    /// Settings validation failed.
+    InvalidSettings(String),
+}
+
+impl fmt::Display for RapidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RapidError::InvalidEndpoint(s) => write!(f, "invalid endpoint: {s}"),
+            RapidError::Decode(s) => write!(f, "decode error: {s}"),
+            RapidError::JoinRejected(s) => write!(f, "join rejected: {s}"),
+            RapidError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            RapidError::InvalidSettings(s) => write!(f, "invalid settings: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RapidError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = RapidError::Decode("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
+}

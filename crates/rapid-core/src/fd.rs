@@ -1,0 +1,373 @@
+//! Pluggable edge failure detectors (paper §6).
+//!
+//! A monitoring edge between an observer and its subject is a pluggable
+//! component: Rapid can host phi-accrual detectors, indirect probes,
+//! application health checks, etc. The default [`ProbeFailureDetector`]
+//! reproduces the paper's implementation: observers send probes to their
+//! subjects and mark an edge faulty when the number of failed probes
+//! exceeds a threshold (40% of the last 10 attempts fail).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::id::{Endpoint, NodeId};
+use crate::wire::Message;
+
+/// A sans-io edge failure detector monitoring this node's K subjects.
+///
+/// Implementations emit probe messages from `tick` and learn outcomes from
+/// `on_probe_ack`; the node drains faulty edges with `take_faulty` and
+/// broadcasts REMOVE alerts for them. Each faulty edge is reported exactly
+/// once per configuration (alerts are irrevocable).
+pub trait EdgeFailureDetector: Send {
+    /// Installs the subject set after a view change.
+    fn set_subjects(&mut self, subjects: Vec<(NodeId, Endpoint)>, now: u64);
+    /// Advances time; may emit probe messages.
+    fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, Message)>);
+    /// Records a probe acknowledgement from a subject.
+    fn on_probe_ack(&mut self, from: &Endpoint, seq: u64, now: u64);
+    /// Drains subjects newly deemed faulty.
+    fn take_faulty(&mut self) -> Vec<(NodeId, Endpoint)>;
+}
+
+#[derive(Debug)]
+struct SubjectState {
+    id: NodeId,
+    addr: Endpoint,
+    /// Sliding window of probe outcomes, newest last.
+    history: VecDeque<bool>,
+    outstanding: Option<(u64, u64)>, // (seq, sent_at)
+    next_probe_at: u64,
+    reported: bool,
+}
+
+/// The default probe/timeout detector (paper §6).
+pub struct ProbeFailureDetector {
+    probe_interval_ms: u64,
+    probe_timeout_ms: u64,
+    window: usize,
+    fail_threshold: usize,
+    subjects: Vec<SubjectState>,
+    by_addr: HashMap<Endpoint, usize>,
+    next_seq: u64,
+    faulty: Vec<(NodeId, Endpoint)>,
+}
+
+impl ProbeFailureDetector {
+    /// Creates a detector from the protocol settings.
+    pub fn from_settings(settings: &crate::settings::Settings) -> Self {
+        ProbeFailureDetector::new(
+            settings.fd_probe_interval_ms,
+            settings.fd_probe_timeout_ms,
+            settings.fd_window,
+            settings.fd_fail_fraction,
+        )
+    }
+
+    /// Creates a detector with explicit parameters.
+    pub fn new(
+        probe_interval_ms: u64,
+        probe_timeout_ms: u64,
+        window: usize,
+        fail_fraction: f64,
+    ) -> Self {
+        let fail_threshold = ((window as f64 * fail_fraction).ceil() as usize).max(1);
+        ProbeFailureDetector {
+            probe_interval_ms,
+            probe_timeout_ms,
+            window,
+            fail_threshold,
+            subjects: Vec::new(),
+            by_addr: HashMap::new(),
+            next_seq: 1,
+            faulty: Vec::new(),
+        }
+    }
+
+    fn record_outcome(state: &mut SubjectState, ok: bool, window: usize) {
+        state.history.push_back(ok);
+        while state.history.len() > window {
+            state.history.pop_front();
+        }
+    }
+
+    fn failures(state: &SubjectState) -> usize {
+        state.history.iter().filter(|&&ok| !ok).count()
+    }
+}
+
+impl EdgeFailureDetector for ProbeFailureDetector {
+    fn set_subjects(&mut self, subjects: Vec<(NodeId, Endpoint)>, now: u64) {
+        self.subjects.clear();
+        self.by_addr.clear();
+        self.faulty.clear();
+        for (i, (id, addr)) in subjects.into_iter().enumerate() {
+            if self.by_addr.contains_key(&addr) {
+                continue; // Duplicate ring edges probe once.
+            }
+            self.by_addr.insert(addr.clone(), i.min(self.subjects.len()));
+            self.subjects.push(SubjectState {
+                id,
+                addr,
+                history: VecDeque::with_capacity(self.window + 1),
+                outstanding: None,
+                next_probe_at: now,
+                reported: false,
+            });
+        }
+        // Rebuild the index map to match the deduplicated vec.
+        self.by_addr = self
+            .subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.addr.clone(), i))
+            .collect();
+    }
+
+    fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, Message)>) {
+        for state in &mut self.subjects {
+            // Expire an outstanding probe.
+            if let Some((_, sent_at)) = state.outstanding {
+                if now >= sent_at + self.probe_timeout_ms {
+                    state.outstanding = None;
+                    Self::record_outcome(state, false, self.window);
+                    if !state.reported && Self::failures(state) >= self.fail_threshold {
+                        state.reported = true;
+                        self.faulty.push((state.id, state.addr.clone()));
+                    }
+                }
+            }
+            // Issue the next probe. Subjects already reported faulty are
+            // still probed (alerts are irrevocable, so nothing is re-sent):
+            // the probe acks carry the peer's configuration sequence, which
+            // is how a node that was partitioned out discovers that the
+            // cluster moved on without it.
+            if state.outstanding.is_none() && now >= state.next_probe_at {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                state.outstanding = Some((seq, now));
+                state.next_probe_at = now + self.probe_interval_ms;
+                out.push((state.addr.clone(), Message::Probe { seq }));
+            }
+        }
+    }
+
+    fn on_probe_ack(&mut self, from: &Endpoint, seq: u64, _now: u64) {
+        let Some(&i) = self.by_addr.get(from) else {
+            return;
+        };
+        let state = &mut self.subjects[i];
+        match state.outstanding {
+            Some((expected, _)) if expected == seq => {
+                state.outstanding = None;
+                Self::record_outcome(state, true, self.window);
+            }
+            _ => {} // Late or unknown ack: the timeout already counted it.
+        }
+    }
+
+    fn take_faulty(&mut self) -> Vec<(NodeId, Endpoint)> {
+        std::mem::take(&mut self.faulty)
+    }
+}
+
+/// A scripted failure detector for tests and custom integrations: edges
+/// are marked faulty explicitly (e.g. by an application health check, as
+/// in the paper's transactional-platform integration, §7).
+#[derive(Default)]
+pub struct ScriptedFailureDetector {
+    subjects: Vec<(NodeId, Endpoint)>,
+    pending: Vec<NodeId>,
+    faulty: Vec<(NodeId, Endpoint)>,
+}
+
+impl ScriptedFailureDetector {
+    /// Creates an empty scripted detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a subject faulty; it will be reported at the next tick if it
+    /// is among the monitored subjects.
+    pub fn mark_faulty(&mut self, id: NodeId) {
+        self.pending.push(id);
+    }
+}
+
+impl EdgeFailureDetector for ScriptedFailureDetector {
+    fn set_subjects(&mut self, subjects: Vec<(NodeId, Endpoint)>, _now: u64) {
+        self.subjects = subjects;
+        self.faulty.clear();
+    }
+
+    fn tick(&mut self, _now: u64, _out: &mut Vec<(Endpoint, Message)>) {
+        let pending = std::mem::take(&mut self.pending);
+        for id in pending {
+            if let Some((_, addr)) = self.subjects.iter().find(|(sid, _)| *sid == id) {
+                self.faulty.push((id, addr.clone()));
+            }
+        }
+    }
+
+    fn on_probe_ack(&mut self, _from: &Endpoint, _seq: u64, _now: u64) {}
+
+    fn take_faulty(&mut self) -> Vec<(NodeId, Endpoint)> {
+        std::mem::take(&mut self.faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subject(i: u128) -> (NodeId, Endpoint) {
+        (NodeId::from_u128(i), Endpoint::new(format!("s{i}"), 1))
+    }
+
+    fn probes_sent(out: &[(Endpoint, Message)]) -> Vec<(Endpoint, u64)> {
+        out.iter()
+            .filter_map(|(ep, m)| match m {
+                Message::Probe { seq } => Some((ep.clone(), *seq)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probes_each_subject_on_interval() {
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        fd.set_subjects(vec![subject(1), subject(2)], 0);
+        let mut out = Vec::new();
+        fd.tick(0, &mut out);
+        assert_eq!(probes_sent(&out).len(), 2);
+        out.clear();
+        fd.tick(100, &mut out);
+        assert!(probes_sent(&out).is_empty(), "probe outstanding, none new");
+    }
+
+    #[test]
+    fn acked_probes_never_fault() {
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        let (_, addr) = subject(1);
+        fd.set_subjects(vec![subject(1)], 0);
+        let mut now = 0;
+        for _ in 0..50 {
+            let mut out = Vec::new();
+            fd.tick(now, &mut out);
+            for (ep, seq) in probes_sent(&out) {
+                fd.on_probe_ack(&ep, seq, now);
+                assert_eq!(ep, addr);
+            }
+            now += 500;
+        }
+        assert!(fd.take_faulty().is_empty());
+    }
+
+    #[test]
+    fn unresponsive_subject_is_faulted_after_threshold() {
+        // 40% of window 10 = 4 failed probes.
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        fd.set_subjects(vec![subject(1)], 0);
+        let mut now = 0;
+        let mut faulted_at = None;
+        for _ in 0..30 {
+            let mut out = Vec::new();
+            fd.tick(now, &mut out);
+            if !fd.faulty.is_empty() {
+                faulted_at = Some(now);
+                break;
+            }
+            now += 500;
+        }
+        let faulted_at = faulted_at.expect("must fault a dead subject");
+        // 4 timeouts at 1s probe interval + 1s timeout each, overlapping:
+        // roughly 4-8 seconds.
+        assert!(
+            (4000..=9000).contains(&faulted_at),
+            "faulted at {faulted_at}ms"
+        );
+        let f = fd.take_faulty();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0, NodeId::from_u128(1));
+        assert!(fd.take_faulty().is_empty(), "reported once");
+    }
+
+    #[test]
+    fn intermittent_loss_below_threshold_is_tolerated() {
+        // Subject answers 7 of every 10 probes: 3 failures < threshold 4.
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        fd.set_subjects(vec![subject(1)], 0);
+        let mut now = 0;
+        let mut i = 0u64;
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            fd.tick(now, &mut out);
+            for (ep, seq) in probes_sent(&out) {
+                if i % 10 < 7 {
+                    fd.on_probe_ack(&ep, seq, now);
+                }
+                i += 1;
+            }
+            now += 500;
+        }
+        assert!(fd.take_faulty().is_empty(), "must tolerate 30% loss");
+    }
+
+    #[test]
+    fn late_acks_are_ignored() {
+        let mut fd = ProbeFailureDetector::new(1000, 500, 10, 0.4);
+        fd.set_subjects(vec![subject(1)], 0);
+        let mut out = Vec::new();
+        fd.tick(0, &mut out);
+        let (ep, seq) = probes_sent(&out)[0].clone();
+        // Timeout expires at 500; the ack arrives afterwards.
+        out.clear();
+        fd.tick(600, &mut out);
+        fd.on_probe_ack(&ep, seq, 700);
+        // The failure was recorded; subsequent silence faults the subject.
+        let mut now = 700;
+        for _ in 0..30 {
+            let mut o = Vec::new();
+            fd.tick(now, &mut o);
+            now += 500;
+        }
+        assert_eq!(fd.take_faulty().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_subject_addresses_probe_once() {
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        let s = subject(1);
+        fd.set_subjects(vec![s.clone(), s.clone(), subject(2)], 0);
+        let mut out = Vec::new();
+        fd.tick(0, &mut out);
+        assert_eq!(probes_sent(&out).len(), 2);
+    }
+
+    #[test]
+    fn set_subjects_resets_state() {
+        let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
+        fd.set_subjects(vec![subject(1)], 0);
+        let mut now = 0;
+        for _ in 0..30 {
+            let mut out = Vec::new();
+            fd.tick(now, &mut out);
+            now += 500;
+        }
+        assert!(!fd.faulty.is_empty());
+        fd.set_subjects(vec![subject(2)], now);
+        assert!(fd.take_faulty().is_empty(), "reset must clear pending faults");
+    }
+
+    #[test]
+    fn scripted_detector_reports_marked_subjects() {
+        let mut fd = ScriptedFailureDetector::new();
+        fd.set_subjects(vec![subject(1), subject(2)], 0);
+        fd.mark_faulty(NodeId::from_u128(2));
+        fd.mark_faulty(NodeId::from_u128(99)); // unmonitored: ignored
+        let mut out = Vec::new();
+        fd.tick(0, &mut out);
+        let f = fd.take_faulty();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0, NodeId::from_u128(2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Small, stable, dependency-free hashing utilities.
+//!
+//! Configuration identifiers (paper §3) must be identical across processes
+//! and stable across program runs and platforms, so we cannot use
+//! `std::collections::hash_map::DefaultHasher` (randomly keyed). We use
+//! FNV-1a for byte strings and a splitmix-based combiner for structured
+//! hashing.
+
+use crate::rng::mix64;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte slice.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the 16 little-endian bytes of a `u128`.
+#[inline]
+pub fn fnv1a_u128(x: u128) -> u64 {
+    fnv1a(&x.to_le_bytes())
+}
+
+/// An order-dependent structured hasher with strong avalanche behaviour.
+///
+/// Used to derive [`crate::config::ConfigId`]s from membership lists and
+/// proposal hashes from cut proposals.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher with a domain-separation tag.
+    pub fn new(domain: &str) -> Self {
+        StableHasher {
+            state: fnv1a(domain.as_bytes()),
+        }
+    }
+
+    /// Mixes a `u64` into the state.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.state = mix64(self.state.rotate_left(29) ^ v.wrapping_mul(FNV_PRIME));
+        self
+    }
+
+    /// Mixes a `u128` into the state.
+    #[inline]
+    pub fn write_u128(&mut self, v: u128) -> &mut Self {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64)
+    }
+
+    /// Mixes a byte slice into the state (length-prefixed, so that
+    /// `"ab","c"` and `"a","bc"` hash differently).
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        self.write_u64(fnv1a(bytes));
+        self
+    }
+
+    /// Finalizes and returns the 64-bit digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn stable_hasher_is_order_dependent() {
+        let mut a = StableHasher::new("t");
+        a.write_u64(1).write_u64(2);
+        let mut b = StableHasher::new("t");
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hasher_domain_separation() {
+        let mut a = StableHasher::new("x");
+        a.write_u64(7);
+        let mut b = StableHasher::new("y");
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hasher_length_prefixing() {
+        let mut a = StableHasher::new("t");
+        a.write_bytes(b"ab").write_bytes(b"c");
+        let mut b = StableHasher::new("t");
+        b.write_bytes(b"a").write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hasher_deterministic() {
+        let run = || {
+            let mut h = StableHasher::new("d");
+            h.write_u128(42).write_bytes(b"hello");
+            h.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,189 @@
+//! Node identities and network endpoints.
+//!
+//! Rapid assigns every process a fresh 128-bit logical identifier each time
+//! it joins a cluster (paper §3): a process that leaves and rejoins does so
+//! under a new [`NodeId`]. The identifier is internal to Rapid and distinct
+//! from any application-level identity.
+
+use core::fmt;
+
+/// A 128-bit logical process identifier, unique per join.
+///
+/// The paper's Java implementation uses UUIDs; we use a raw `u128` which is
+/// equivalent in size and ordering. Identifiers are generated from entropy
+/// at join time (via [`NodeId::random`]) or deterministically in tests and
+/// simulations (via [`NodeId::from_u128`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u128);
+
+impl NodeId {
+    /// Creates an identifier from a raw `u128`.
+    pub const fn from_u128(raw: u128) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Generates a fresh random identifier from the given RNG stream.
+    ///
+    /// Simulations pass a seeded deterministic RNG; real deployments pass an
+    /// entropy-seeded one (see `rapid-transport`).
+    pub fn random(rng: &mut crate::rng::Xoshiro256) -> Self {
+        NodeId(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
+    }
+
+    /// A 64-bit digest of this identifier, used for seeding per-node RNG
+    /// streams and hashing.
+    pub fn digest(&self) -> u64 {
+        crate::hash::fnv1a_u128(self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render like a UUID for familiarity.
+        let b = self.0;
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (b >> 96) as u32,
+            (b >> 80) as u16,
+            (b >> 64) as u16,
+            (b >> 48) as u16,
+            b & 0xffff_ffff_ffff
+        )
+    }
+}
+
+/// A process' TCP/IP listen address (`HOST:PORT`, paper §3).
+///
+/// Hosts are arbitrary UTF-8 strings so the same type serves real DNS names,
+/// IP literals, and symbolic simulator node names.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    host: Box<str>,
+    port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from a host string and port.
+    pub fn new(host: impl Into<String>, port: u16) -> Self {
+        Endpoint {
+            host: host.into().into_boxed_str(),
+            port,
+        }
+    }
+
+    /// Parses a `host:port` string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rapid_core::id::Endpoint;
+    /// let ep = Endpoint::parse("10.0.0.1:5000").unwrap();
+    /// assert_eq!(ep.host(), "10.0.0.1");
+    /// assert_eq!(ep.port(), 5000);
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, crate::error::RapidError> {
+        let (host, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| crate::error::RapidError::InvalidEndpoint(s.to_string()))?;
+        let port: u16 = port
+            .parse()
+            .map_err(|_| crate::error::RapidError::InvalidEndpoint(s.to_string()))?;
+        if host.is_empty() {
+            return Err(crate::error::RapidError::InvalidEndpoint(s.to_string()));
+        }
+        Ok(Endpoint::new(host, port))
+    }
+
+    /// The host portion.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port portion.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A 64-bit digest of this endpoint, used in ring-position hashing.
+    pub fn digest(&self) -> u64 {
+        let h = crate::hash::fnv1a(self.host.as_bytes());
+        h.wrapping_mul(0x100000001b3) ^ self.port as u64
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_order() {
+        let a = NodeId::from_u128(1);
+        let b = NodeId::from_u128(2);
+        assert!(a < b);
+        assert_eq!(a.as_u128(), 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn node_id_display_is_uuid_like() {
+        let id = NodeId::from_u128(0x0123456789abcdef_0123456789abcdef);
+        let s = id.to_string();
+        assert_eq!(s.split('-').count(), 5);
+        assert_eq!(s.len(), 36);
+    }
+
+    #[test]
+    fn endpoint_parse_ok() {
+        let ep = Endpoint::parse("example.com:80").unwrap();
+        assert_eq!(ep.host(), "example.com");
+        assert_eq!(ep.port(), 80);
+        assert_eq!(ep.to_string(), "example.com:80");
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_garbage() {
+        assert!(Endpoint::parse("nocolon").is_err());
+        assert!(Endpoint::parse(":123").is_err());
+        assert!(Endpoint::parse("host:notaport").is_err());
+        assert!(Endpoint::parse("host:99999").is_err());
+    }
+
+    #[test]
+    fn endpoint_digest_varies_with_port() {
+        let a = Endpoint::new("h", 1);
+        let b = Endpoint::new("h", 2);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn random_ids_differ() {
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(42);
+        let a = NodeId::random(&mut rng);
+        let b = NodeId::random(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! View-change proposals and notifications.
+//!
+//! A multi-process cut detection yields a [`Proposal`]: the canonical,
+//! sorted set of joins and removals that a process believes should be
+//! applied to the current configuration. Consensus (paper §4.3) then picks
+//! exactly one proposal per configuration, and every correct process
+//! delivers the same [`ViewChange`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::config::{ConfigId, Configuration};
+use crate::hash::StableHasher;
+use crate::id::{Endpoint, NodeId};
+use crate::metadata::Metadata;
+
+/// One element of a cut: a process joining or being removed.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProposalItem {
+    /// The subject's logical identifier.
+    pub id: NodeId,
+    /// The subject's address.
+    pub addr: Endpoint,
+    /// `true` for a join, `false` for a removal.
+    pub join: bool,
+    /// Metadata carried by JOIN alerts (empty for removals).
+    pub metadata: Metadata,
+}
+
+impl ProposalItem {
+    /// Creates a join item.
+    pub fn join(id: NodeId, addr: Endpoint, metadata: Metadata) -> Self {
+        ProposalItem {
+            id,
+            addr,
+            join: true,
+            metadata,
+        }
+    }
+
+    /// Creates a removal item.
+    pub fn remove(id: NodeId, addr: Endpoint) -> Self {
+        ProposalItem {
+            id,
+            addr,
+            join: false,
+            metadata: Metadata::new(),
+        }
+    }
+}
+
+/// A 64-bit digest identifying a proposal's content.
+///
+/// Vote bitmaps are keyed by proposal hash so that the (possibly large)
+/// proposal body need only be transmitted once per node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProposalHash(pub u64);
+
+impl fmt::Debug for ProposalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProposalHash({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for ProposalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A view-change proposal: a multi-process cut for one configuration.
+///
+/// Proposals compare equal iff their configuration identifier and canonical
+/// item lists are equal; [`Proposal::hash`] is a stable digest of exactly
+/// that content.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proposal {
+    config_id: ConfigId,
+    items: Vec<ProposalItem>,
+}
+
+impl Proposal {
+    /// Creates an empty proposal for a configuration.
+    pub fn new(config_id: ConfigId) -> Self {
+        Proposal {
+            config_id,
+            items: Vec::new(),
+        }
+    }
+
+    /// Creates a proposal from items (will be canonicalised).
+    pub fn from_items(config_id: ConfigId, items: Vec<ProposalItem>) -> Self {
+        Proposal { config_id, items }.canonical()
+    }
+
+    /// Adds an item (call [`Proposal::canonical`] before comparing/hashing).
+    pub fn push(&mut self, item: ProposalItem) {
+        self.items.push(item);
+    }
+
+    /// Returns the canonical form: items sorted by subject id, deduplicated.
+    pub fn canonical(mut self) -> Self {
+        self.items.sort();
+        self.items.dedup_by(|a, b| a.id == b.id);
+        self
+    }
+
+    /// The configuration this proposal applies to.
+    pub fn config_id(&self) -> ConfigId {
+        self.config_id
+    }
+
+    /// The cut items.
+    pub fn items(&self) -> &[ProposalItem] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the proposal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Stable digest of the proposal content.
+    pub fn hash(&self) -> ProposalHash {
+        let mut h = StableHasher::new("rapid-proposal");
+        h.write_u64(self.config_id.0);
+        h.write_u64(self.items.len() as u64);
+        for it in &self.items {
+            h.write_u128(it.id.as_u128());
+            h.write_bytes(it.addr.host().as_bytes());
+            h.write_u64(it.addr.port() as u64);
+            h.write_u64(it.join as u64);
+            it.metadata.hash_into(&mut h);
+        }
+        ProposalHash(h.finish())
+    }
+
+    /// Splits into `(joiners, removals)` id lists, for logging/tests.
+    pub fn partition_ids(&self) -> (Vec<NodeId>, Vec<NodeId>) {
+        let joins = self.items.iter().filter(|i| i.join).map(|i| i.id).collect();
+        let removes = self
+            .items
+            .iter()
+            .filter(|i| !i.join)
+            .map(|i| i.id)
+            .collect();
+        (joins, removes)
+    }
+}
+
+/// The outcome of a view-change consensus decision, delivered to the
+/// application through the `VIEW-CHANGE-CALLBACK` (paper §3).
+#[derive(Clone, Debug)]
+pub struct ViewChange {
+    /// The configuration that was current when the cut was decided.
+    pub previous_id: ConfigId,
+    /// The newly installed configuration.
+    pub configuration: Arc<Configuration>,
+    /// Members that joined in this view change.
+    pub joined: Vec<NodeId>,
+    /// Members that were removed in this view change.
+    pub removed: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: u128, join: bool) -> ProposalItem {
+        if join {
+            ProposalItem::join(
+                NodeId::from_u128(i),
+                Endpoint::new(format!("n{i}"), 1),
+                Metadata::new(),
+            )
+        } else {
+            ProposalItem::remove(NodeId::from_u128(i), Endpoint::new(format!("n{i}"), 1))
+        }
+    }
+
+    #[test]
+    fn canonicalisation_sorts_and_dedups() {
+        let p = Proposal::from_items(ConfigId(1), vec![item(3, false), item(1, true), item(3, false)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.items()[0].id, NodeId::from_u128(1));
+    }
+
+    #[test]
+    fn hash_is_order_insensitive_after_canonicalisation() {
+        let a = Proposal::from_items(ConfigId(9), vec![item(1, true), item(2, false)]);
+        let b = Proposal::from_items(ConfigId(9), vec![item(2, false), item(1, true)]);
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn hash_depends_on_config_and_content() {
+        let a = Proposal::from_items(ConfigId(1), vec![item(1, true)]);
+        let b = Proposal::from_items(ConfigId(2), vec![item(1, true)]);
+        let c = Proposal::from_items(ConfigId(1), vec![item(1, false)]);
+        assert_ne!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn partition_ids_splits() {
+        let p = Proposal::from_items(ConfigId(1), vec![item(1, true), item(2, false), item(3, true)]);
+        let (j, r) = p.partition_ids();
+        assert_eq!(j, vec![NodeId::from_u128(1), NodeId::from_u128(3)]);
+        assert_eq!(r, vec![NodeId::from_u128(2)]);
+    }
+}

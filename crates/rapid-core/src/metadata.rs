@@ -1,0 +1,125 @@
+//! Application-supplied per-process metadata.
+//!
+//! Like Serf and Akka Cluster tags, Rapid lets applications associate
+//! key/value metadata with a process at join time (paper §6, e.g.
+//! `"role" -> "backend"`). Metadata travels with JOIN alerts and is part of
+//! the configuration delivered in view-change callbacks.
+
+use std::collections::BTreeMap;
+
+/// An ordered map of application metadata attached to a member.
+///
+/// Keys are UTF-8 strings; values are arbitrary bytes. The map is ordered so
+/// that configuration hashing is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Metadata {
+    entries: BTreeMap<String, Vec<u8>>,
+}
+
+impl Metadata {
+    /// Creates an empty metadata map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a metadata map with a single string-valued entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rapid_core::metadata::Metadata;
+    /// let md = Metadata::with_entry("role", "backend");
+    /// assert_eq!(md.get_str("role"), Some("backend"));
+    /// ```
+    pub fn with_entry(key: impl Into<String>, value: impl AsRef<[u8]>) -> Self {
+        let mut md = Self::new();
+        md.insert(key, value);
+        md
+    }
+
+    /// Inserts an entry, replacing any previous value for the key.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl AsRef<[u8]>) {
+        self.entries.insert(key.into(), value.as_ref().to_vec());
+    }
+
+    /// Returns the raw bytes for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(|v| v.as_slice())
+    }
+
+    /// Returns the value for `key` as UTF-8, if present and valid.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(|v| std::str::from_utf8(v).ok())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Mixes this metadata into a [`crate::hash::StableHasher`].
+    pub fn hash_into(&self, hasher: &mut crate::hash::StableHasher) {
+        hasher.write_u64(self.entries.len() as u64);
+        for (k, v) in &self.entries {
+            hasher.write_bytes(k.as_bytes());
+            hasher.write_bytes(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut md = Metadata::new();
+        md.insert("role", "frontend");
+        md.insert("zone", [1u8, 2, 3]);
+        assert_eq!(md.get_str("role"), Some("frontend"));
+        assert_eq!(md.get("zone"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(md.get("missing"), None);
+        assert_eq!(md.len(), 2);
+        assert!(!md.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut md = Metadata::with_entry("k", "v1");
+        md.insert("k", "v2");
+        assert_eq!(md.get_str("k"), Some("v2"));
+        assert_eq!(md.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut md = Metadata::new();
+        md.insert("b", "2");
+        md.insert("a", "1");
+        let keys: Vec<_> = md.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn hashing_depends_on_content() {
+        let h = |md: &Metadata| {
+            let mut s = crate::hash::StableHasher::new("md");
+            md.hash_into(&mut s);
+            s.finish()
+        };
+        let a = Metadata::with_entry("k", "v");
+        let b = Metadata::with_entry("k", "w");
+        assert_ne!(h(&a), h(&b));
+        assert_eq!(h(&a), h(&a.clone()));
+    }
+}

@@ -1,0 +1,324 @@
+//! The leaderless fast path: counting identical proposals (paper §4.3).
+//!
+//! Every process sets its own bit in a bitmap associated with the proposal
+//! it votes for, and bitmaps are merged (bitwise OR) as they travel through
+//! the cluster — either piggybacked on gossip rounds or unicast to all.
+//! A process that observes `⌈3N/4⌉` bits set for one proposal decides it.
+//!
+//! Proposal *bodies* can be large (a 2000-node bootstrap cut lists 2000
+//! joiners), so vote states carry only a 64-bit proposal hash; a process
+//! that needs an unknown body requests it from a peer that voted for it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::membership::{Proposal, ProposalHash};
+use crate::util::BitVec;
+
+/// A proposal's voting state: its hash, the merged vote bitmap, and
+/// (locally, not on the wire) the proposal body if known.
+#[derive(Clone, Debug)]
+pub struct VoteState {
+    /// Digest of the proposal content.
+    pub hash: ProposalHash,
+    /// One bit per membership rank; set bits are votes for this proposal.
+    pub bitmap: BitVec,
+}
+
+/// The fast-round state for one configuration.
+#[derive(Clone, Debug)]
+pub struct FastRound {
+    n: usize,
+    my_rank: u32,
+    quorum: usize,
+    states: HashMap<ProposalHash, VoteState>,
+    bodies: HashMap<ProposalHash, Arc<Proposal>>,
+    my_vote: Option<ProposalHash>,
+    decided: Option<ProposalHash>,
+}
+
+impl FastRound {
+    /// Creates the fast round for a membership of `n` processes in which
+    /// this process has rank `my_rank`. The fast quorum is `⌈3N/4⌉`.
+    pub fn new(n: usize, my_rank: u32) -> Self {
+        FastRound {
+            n,
+            my_rank,
+            quorum: n - n / 4,
+            states: HashMap::new(),
+            bodies: HashMap::new(),
+            my_vote: None,
+            decided: None,
+        }
+    }
+
+    /// The fast-path quorum size.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Casts this process' one fast-round vote. Returns the vote state to
+    /// disseminate, or `None` if a vote was already cast (votes are
+    /// irrevocable within a configuration).
+    pub fn vote(&mut self, proposal: Proposal) -> Option<VoteState> {
+        if self.my_vote.is_some() {
+            return None;
+        }
+        let hash = proposal.hash();
+        self.my_vote = Some(hash);
+        self.bodies.entry(hash).or_insert_with(|| Arc::new(proposal));
+        let n = self.n;
+        let my_rank = self.my_rank;
+        let st = self.states.entry(hash).or_insert_with(|| VoteState {
+            hash,
+            bitmap: BitVec::new(n),
+        });
+        st.bitmap.set(my_rank as usize);
+        let snapshot = st.clone();
+        self.check_decision();
+        Some(snapshot)
+    }
+
+    /// The hash this process voted for, if any.
+    pub fn my_vote(&self) -> Option<ProposalHash> {
+        self.my_vote
+    }
+
+    /// The proposal body this process voted for, if any.
+    pub fn my_vote_body(&self) -> Option<Arc<Proposal>> {
+        self.my_vote.and_then(|h| self.bodies.get(&h).cloned())
+    }
+
+    /// Merges a received vote state. Returns `true` if any new vote was
+    /// learned (i.e. our aggregate changed and is worth re-disseminating).
+    pub fn merge(&mut self, hash: ProposalHash, bitmap: &BitVec, body: Option<&Proposal>) -> bool {
+        if bitmap.len() != self.n {
+            return false; // Stale or corrupt: wrong membership size.
+        }
+        if let Some(b) = body {
+            self.bodies
+                .entry(hash)
+                .or_insert_with(|| Arc::new(b.clone()));
+        }
+        let st = self.states.entry(hash).or_insert_with(|| VoteState {
+            hash,
+            bitmap: BitVec::new(bitmap.len()),
+        });
+        let gained = st.bitmap.merge(bitmap);
+        if gained {
+            self.check_decision();
+        }
+        gained
+    }
+
+    /// Registers a proposal body learned out of band (e.g. via a
+    /// `ProposalBody` response).
+    pub fn learn_body(&mut self, proposal: &Proposal) {
+        let hash = proposal.hash();
+        self.bodies
+            .entry(hash)
+            .or_insert_with(|| Arc::new(proposal.clone()));
+    }
+
+    fn check_decision(&mut self) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.decided = self
+            .states
+            .values()
+            .find(|st| st.bitmap.count_ones() >= self.quorum)
+            .map(|st| st.hash);
+    }
+
+    /// The decided proposal hash, if a fast quorum was observed.
+    pub fn decided_hash(&self) -> Option<ProposalHash> {
+        self.decided
+    }
+
+    /// The decided proposal body, if both the decision and its body are
+    /// known.
+    pub fn decision(&self) -> Option<Arc<Proposal>> {
+        self.decided.and_then(|h| self.bodies.get(&h).cloned())
+    }
+
+    /// The body for a hash, if known.
+    pub fn body_of(&self, hash: ProposalHash) -> Option<Arc<Proposal>> {
+        self.bodies.get(&hash).cloned()
+    }
+
+    /// Current vote states (hash + bitmap), for dissemination.
+    pub fn vote_states(&self) -> Vec<VoteState> {
+        self.states.values().cloned().collect()
+    }
+
+    /// Hashes for which votes exist but no body is known.
+    pub fn missing_bodies(&self) -> Vec<ProposalHash> {
+        self.states
+            .keys()
+            .filter(|h| !self.bodies.contains_key(h))
+            .copied()
+            .collect()
+    }
+
+    /// Whether the fast path can no longer succeed: the votes not yet cast
+    /// cannot lift any proposal to the fast quorum. Used for early fallback
+    /// to classic Paxos (paper §4.3: "conflicting proposals").
+    pub fn fast_path_impossible(&self) -> bool {
+        if self.decided.is_some() || self.states.is_empty() {
+            return false;
+        }
+        let mut union = BitVec::new(self.n);
+        for st in self.states.values() {
+            union.merge(&st.bitmap);
+        }
+        let outstanding = self.n - union.count_ones();
+        !self
+            .states
+            .values()
+            .any(|st| st.bitmap.count_ones() + outstanding >= self.quorum)
+    }
+
+    /// Number of distinct proposals seen so far.
+    pub fn distinct_proposals(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Votes observed for a hash (0 if unknown).
+    pub fn votes_for(&self, hash: ProposalHash) -> usize {
+        self.states.get(&hash).map_or(0, |s| s.bitmap.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigId;
+    use crate::id::{Endpoint, NodeId};
+    use crate::membership::ProposalItem;
+
+    fn proposal(tag: u128) -> Proposal {
+        Proposal::from_items(
+            ConfigId(1),
+            vec![ProposalItem::remove(
+                NodeId::from_u128(tag),
+                Endpoint::new(format!("n{tag}"), 1),
+            )],
+        )
+    }
+
+    /// Simulates `voters` of `n` processes voting for `p` and merging into
+    /// one observer's state.
+    fn observe(n: usize, votes: &[(u32, &Proposal)]) -> FastRound {
+        let mut me = FastRound::new(n, 0);
+        for &(rank, p) in votes {
+            let mut other = FastRound::new(n, rank);
+            let st = other.vote(p.clone()).unwrap();
+            me.merge(st.hash, &st.bitmap, Some(p));
+        }
+        me
+    }
+
+    #[test]
+    fn unanimous_votes_decide() {
+        let p = proposal(9);
+        let votes: Vec<(u32, &Proposal)> = (0..8).map(|r| (r, &p)).collect();
+        let fr = observe(8, &votes);
+        assert_eq!(fr.decided_hash(), Some(p.hash()));
+        assert_eq!(fr.decision().unwrap().as_ref(), &p);
+    }
+
+    #[test]
+    fn exactly_three_quarters_decides() {
+        let p = proposal(9);
+        // n = 8 -> quorum 6.
+        let votes: Vec<(u32, &Proposal)> = (0..6).map(|r| (r, &p)).collect();
+        let fr = observe(8, &votes);
+        assert_eq!(fr.quorum(), 6);
+        assert!(fr.decided_hash().is_some());
+        let votes: Vec<(u32, &Proposal)> = (0..5).map(|r| (r, &p)).collect();
+        let fr = observe(8, &votes);
+        assert!(fr.decided_hash().is_none());
+    }
+
+    #[test]
+    fn single_node_cluster_decides_alone() {
+        let mut fr = FastRound::new(1, 0);
+        fr.vote(proposal(1)).unwrap();
+        assert!(fr.decision().is_some());
+    }
+
+    #[test]
+    fn votes_are_irrevocable() {
+        let mut fr = FastRound::new(4, 0);
+        assert!(fr.vote(proposal(1)).is_some());
+        assert!(fr.vote(proposal(2)).is_none(), "second vote must be refused");
+        assert_eq!(fr.my_vote(), Some(proposal(1).hash()));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_reports_gain() {
+        let p = proposal(1);
+        let mut a = FastRound::new(4, 0);
+        let mut b = FastRound::new(4, 1);
+        let st = b.vote(p.clone()).unwrap();
+        assert!(a.merge(st.hash, &st.bitmap, Some(&p)));
+        assert!(!a.merge(st.hash, &st.bitmap, Some(&p)), "no new votes");
+    }
+
+    #[test]
+    fn merge_rejects_wrong_size_bitmaps() {
+        let p = proposal(1);
+        let mut a = FastRound::new(4, 0);
+        let mut b = FastRound::new(5, 1);
+        let st = b.vote(p.clone()).unwrap();
+        assert!(!a.merge(st.hash, &st.bitmap, Some(&p)));
+        assert_eq!(a.distinct_proposals(), 0);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        // n=4, quorum=3. Two camps of 2: no proposal can reach 3.
+        let p1 = proposal(1);
+        let p2 = proposal(2);
+        let fr = observe(4, &[(0, &p1), (1, &p1), (2, &p2), (3, &p2)]);
+        assert!(fr.decided_hash().is_none());
+        assert!(fr.fast_path_impossible());
+    }
+
+    #[test]
+    fn conflict_not_yet_impossible_with_outstanding_votes() {
+        let p1 = proposal(1);
+        let p2 = proposal(2);
+        // n=8, quorum=6; 1 vote for p2, 3 for p1, 4 outstanding: p1 can
+        // still reach 7 >= 6.
+        let fr = observe(8, &[(0, &p1), (1, &p1), (2, &p1), (3, &p2)]);
+        assert!(!fr.fast_path_impossible());
+    }
+
+    #[test]
+    fn decision_without_body_waits_for_body() {
+        let p = proposal(3);
+        let mut me = FastRound::new(4, 0);
+        // Merge only bitmaps (no bodies), as a pure learner.
+        let mut donor = FastRound::new(4, 1);
+        let mut st = donor.vote(p.clone()).unwrap();
+        for r in [2u32, 3] {
+            st.bitmap.set(r as usize);
+        }
+        me.merge(st.hash, &st.bitmap, None);
+        assert_eq!(me.decided_hash(), Some(p.hash()));
+        assert!(me.decision().is_none());
+        assert_eq!(me.missing_bodies(), vec![p.hash()]);
+        me.learn_body(&p);
+        assert_eq!(me.decision().unwrap().as_ref(), &p);
+    }
+
+    #[test]
+    fn votes_for_counts() {
+        let p = proposal(1);
+        let fr = observe(8, &[(0, &p), (5, &p)]);
+        assert_eq!(fr.votes_for(p.hash()), 2);
+        assert_eq!(fr.votes_for(proposal(2).hash()), 0);
+    }
+}

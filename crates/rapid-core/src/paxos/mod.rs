@@ -1,0 +1,62 @@
+//! View-change consensus (paper §4.3).
+//!
+//! Rapid's consensus has a fast, leaderless path in the common case built
+//! around Fast Paxos (Lamport 2006): each process uses its cut-detection
+//! output as its *initial vote* (round 0), and a process that observes a
+//! quorum of **three quarters** of the membership voting for an identical
+//! proposal decides with no leader and no further communication. Because
+//! cut detection agrees almost everywhere, this is overwhelmingly the path
+//! taken. On conflicting proposals or timeout, the protocol falls back to
+//! classic single-decree Paxos (round numbers ≥ 1) whose coordinator
+//! rotates by rank, using the Fast Paxos value-selection rule to remain
+//! safe with respect to a possibly-decided fast round.
+
+pub mod classic;
+pub mod fast;
+
+pub use classic::ClassicPaxos;
+pub use fast::{FastRound, VoteState};
+
+use core::fmt;
+
+/// A Paxos ballot rank: `(round, coordinator rank)`, ordered
+/// lexicographically. Round 0 is the leaderless fast round.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank {
+    /// Ballot round number; 0 is the fast round, classic rounds are ≥ 1.
+    pub round: u32,
+    /// Rank (membership index) of the round's coordinator.
+    pub coordinator: u32,
+}
+
+impl Rank {
+    /// The fast round's rank.
+    pub const FAST: Rank = Rank {
+        round: 0,
+        coordinator: 0,
+    };
+
+    /// Creates a classic-round rank.
+    pub fn classic(round: u32, coordinator: u32) -> Rank {
+        debug_assert!(round >= 1, "classic rounds start at 1");
+        Rank { round, coordinator }
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rank({}.{})", self.round, self.coordinator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_ordering_is_lexicographic() {
+        assert!(Rank::FAST < Rank::classic(1, 0));
+        assert!(Rank::classic(1, 5) < Rank::classic(2, 0));
+        assert!(Rank::classic(2, 1) < Rank::classic(2, 2));
+    }
+}

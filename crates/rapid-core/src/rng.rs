@@ -1,0 +1,218 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The K-ring topology (paper §4.1) must be a *deterministic* function of
+//! the configuration: every member locally derives the identical expander
+//! overlay from the membership list. We therefore implement our own
+//! `splitmix64` and `xoshiro256**` generators rather than depending on the
+//! (version-dependent) stream of an external crate. Both follow the public
+//! reference implementations by Blackman & Vigna.
+
+/// The `splitmix64` mixing function: maps a state to the next output.
+///
+/// Used both to expand seeds for [`Xoshiro256`] and as a standalone integer
+/// mixer for hashing ring positions.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a single `u64` through one splitmix64 step (stateless convenience).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+/// The xoshiro256** generator (Blackman & Vigna, 2018).
+///
+/// All-purpose generator with 256 bits of state; we use it for ring
+/// shuffles, simulation workloads, and identifier generation.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the generator by expanding `seed` with splitmix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` index in `[0, bound)`.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform dyadic rational in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Chooses `count` distinct indices from `[0, n)` (reservoir-free
+    /// partial Fisher–Yates). Returns fewer if `count > n`.
+    pub fn choose_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        let count = count.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + self.gen_index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(count);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vectors() {
+        // Reference values for seed 1234567 from the public splitmix64.c.
+        let mut s = 1234567u64;
+        let v1 = splitmix64(&mut s);
+        let v2 = splitmix64(&mut s);
+        let v3 = splitmix64(&mut s);
+        assert_eq!(v1, 6457827717110365317);
+        assert_eq!(v2, 3203168211198807973);
+        assert_eq!(v3, 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(99);
+        let mut b = Xoshiro256::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_across_seeds() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all values should appear");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn choose_indices_distinct() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let picked = rng.choose_indices(50, 10);
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn choose_indices_caps_at_n() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let picked = rng.choose_indices(3, 10);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Protocol tuning parameters.
+//!
+//! The paper's evaluation (§7) fixes `{K, H, L} = {10, 9, 3}`; Figure 11
+//! explores the sensitivity to other choices. All time-valued parameters
+//! are in milliseconds of protocol time (virtual in simulation, wall-clock
+//! on a real transport).
+
+/// All tunable parameters of a Rapid node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Settings {
+    /// Number of monitoring rings / observers per subject (paper `K`).
+    pub k: usize,
+    /// High watermark: a subject with `tally >= H` is in stable report mode.
+    pub h: usize,
+    /// Low watermark: a subject with `L <= tally < H` is in unstable report
+    /// mode; fewer than `L` alerts are treated as noise.
+    pub l: usize,
+
+    /// Interval between `Tick` events the host must deliver.
+    pub tick_interval_ms: u64,
+
+    /// Edge failure detector: probe period per subject.
+    pub fd_probe_interval_ms: u64,
+    /// Edge failure detector: probe response timeout.
+    pub fd_probe_timeout_ms: u64,
+    /// Edge failure detector: sliding window size (paper §6: last 10).
+    pub fd_window: usize,
+    /// Edge failure detector: minimum failed fraction of the window to mark
+    /// an edge faulty (paper §6: 40%).
+    pub fd_fail_fraction: f64,
+
+    /// How long a subject may stay in unstable report mode before observers
+    /// reinforce the detection by echoing REMOVE alerts (paper §4.2).
+    pub reinforce_timeout_ms: u64,
+
+    /// Base delay before a node abandons the Fast Paxos fast path and falls
+    /// back to classic Paxos (paper §4.3).
+    pub consensus_fallback_base_ms: u64,
+    /// Random additional jitter added to the fallback delay, to stagger
+    /// classic-round coordinators.
+    pub consensus_fallback_jitter_ms: u64,
+    /// Per-round timeout for the classic Paxos recovery path before the
+    /// next-ranked coordinator takes over.
+    pub classic_round_timeout_ms: u64,
+
+    /// Gossip broadcaster: fan-out per round.
+    pub gossip_fanout: usize,
+    /// Gossip broadcaster: interval between rounds.
+    pub gossip_interval_ms: u64,
+    /// Gossip broadcaster: retransmission factor; each item is relayed for
+    /// `ceil(retransmit_factor * log2(n + 1))` rounds.
+    pub gossip_retransmit_factor: f64,
+
+    /// Joiner: timeout before retrying a join phase.
+    pub join_timeout_ms: u64,
+    /// Maximum number of joiners admitted in the very first view change of
+    /// a freshly seeded cluster, so that a Paxos quorum forms quickly
+    /// (paper §7: the seed "bootstraps a cluster large enough to support a
+    /// Paxos quorum"; Figure 7 shows 1 -> 5 -> N).
+    pub bootstrap_batch: usize,
+
+    /// Logically centralized mode: how often cluster members probe the
+    /// ensemble for configuration updates (paper §7 uses 5 s).
+    pub centralized_poll_interval_ms: u64,
+
+    /// Use the epidemic gossip broadcaster instead of unicast-to-all.
+    pub use_gossip_broadcast: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            k: 10,
+            h: 9,
+            l: 3,
+            tick_interval_ms: 100,
+            fd_probe_interval_ms: 1_000,
+            fd_probe_timeout_ms: 1_000,
+            fd_window: 10,
+            fd_fail_fraction: 0.4,
+            reinforce_timeout_ms: 10_000,
+            consensus_fallback_base_ms: 4_000,
+            consensus_fallback_jitter_ms: 2_000,
+            classic_round_timeout_ms: 4_000,
+            gossip_fanout: 8,
+            gossip_interval_ms: 200,
+            gossip_retransmit_factor: 1.0,
+            join_timeout_ms: 5_000,
+            bootstrap_batch: 4,
+            centralized_poll_interval_ms: 5_000,
+            use_gossip_broadcast: true,
+        }
+    }
+}
+
+impl Settings {
+    /// Validates the parameter combination, returning a description of the
+    /// first violated constraint.
+    ///
+    /// The watermarks must satisfy `1 <= L <= H <= K` (paper §4.2).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("K must be at least 1".into());
+        }
+        if !(1 <= self.l && self.l <= self.h && self.h <= self.k) {
+            return Err(format!(
+                "watermarks must satisfy 1 <= L <= H <= K, got K={} H={} L={}",
+                self.k, self.h, self.l
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.fd_fail_fraction) {
+            return Err("fd_fail_fraction must be within [0, 1]".into());
+        }
+        if self.fd_window == 0 {
+            return Err("fd_window must be at least 1".into());
+        }
+        if self.gossip_fanout == 0 {
+            return Err("gossip_fanout must be at least 1".into());
+        }
+        if self.tick_interval_ms == 0 {
+            return Err("tick_interval_ms must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Convenience constructor overriding the `{K, H, L}` watermarks.
+    pub fn with_watermarks(k: usize, h: usize, l: usize) -> Self {
+        Settings {
+            k,
+            h,
+            l,
+            ..Settings::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_configuration() {
+        let s = Settings::default();
+        assert_eq!((s.k, s.h, s.l), (10, 9, 3));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_watermarks() {
+        assert!(Settings::with_watermarks(10, 11, 3).validate().is_err());
+        assert!(Settings::with_watermarks(10, 9, 0).validate().is_err());
+        assert!(Settings::with_watermarks(10, 3, 9).validate().is_err());
+        assert!(Settings::with_watermarks(0, 0, 0).validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fd_fraction() {
+        let mut s = Settings::default();
+        s.fd_fail_fraction = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn watermark_constructor() {
+        let s = Settings::with_watermarks(8, 7, 2);
+        assert_eq!((s.k, s.h, s.l), (8, 7, 2));
+        assert!(s.validate().is_ok());
+    }
+}

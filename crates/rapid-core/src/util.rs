@@ -1,0 +1,170 @@
+//! Small utilities: a compact bit vector used for consensus vote tallies.
+
+/// A fixed-length bit vector backed by `u64` words.
+///
+/// Used by the Fast Paxos fast path (paper §4.3): each process sets its own
+/// bit in the bitmap of the proposal it votes for, and bitmaps are merged
+/// (bitwise OR) as they are gossiped through the cluster.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Merges another bitmap into this one (bitwise OR). Returns `true` if
+    /// any new bit was gained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn merge(&mut self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "cannot merge bitmaps of different lengths");
+        let mut gained = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let merged = *w | *o;
+            gained |= merged != *w;
+            *w = merged;
+        }
+        gained
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Raw word access for wire encoding.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs from raw words; excess bits beyond `len` are cleared.
+    pub fn from_words(len: usize, mut words: Vec<u64>) -> Self {
+        words.resize(len.div_ceil(64), 0);
+        // Clear any stray bits above `len` so equality and popcounts are sound.
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitVec { len, words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = BitVec::new(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = BitVec::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn merge_gains() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(1);
+        b.set(2);
+        assert!(a.merge(&b));
+        assert!(a.get(1) && a.get(2));
+        assert!(!a.merge(&b), "second merge gains nothing");
+    }
+
+    #[test]
+    fn iter_ones_ordered() {
+        let mut b = BitVec::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<_> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn from_words_clears_stray_bits() {
+        let b = BitVec::from_words(3, vec![0xff]);
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn roundtrip_words() {
+        let mut a = BitVec::new(70);
+        a.set(5);
+        a.set(69);
+        let b = BitVec::from_words(a.len(), a.words().to_vec());
+        assert_eq!(a, b);
+    }
+}

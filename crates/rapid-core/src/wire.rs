@@ -1,0 +1,1062 @@
+//! Wire messages and their binary codec.
+//!
+//! The paper's implementation uses gRPC/Netty for RPC and UDP for alert and
+//! vote dissemination (§6). We define one [`Message`] enum covering the
+//! whole protocol and a compact hand-rolled binary encoding (length-
+//! prefixed, little-endian) over [`bytes`]. The same encoding is used by
+//! the real TCP/UDP transport and by the simulator's bandwidth accounting,
+//! so Table 2's byte counts reflect real message sizes.
+//!
+//! Large payloads (alert batches, proposal bodies) are wrapped in [`Arc`]
+//! so that broadcasting to thousands of simulated recipients clones a
+//! pointer, not a vector.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+
+use crate::alert::{Alert, EdgeStatus};
+use crate::config::{ConfigId, Member};
+use crate::error::RapidError;
+use crate::id::{Endpoint, NodeId};
+use crate::membership::{Proposal, ProposalHash, ProposalItem};
+use crate::metadata::Metadata;
+use crate::paxos::{Rank, VoteState};
+use crate::util::BitVec;
+
+/// A configuration snapshot as carried on the wire (join confirmations,
+/// centralized-mode pushes, laggard catch-up).
+#[derive(Clone, Debug)]
+pub struct ConfigSnapshot {
+    /// The configuration identifier (trusted as-is by the receiver; it is
+    /// the hash chained over the view history).
+    pub id: ConfigId,
+    /// The configuration sequence number.
+    pub seq: u64,
+    /// The sorted member list.
+    pub members: Arc<Vec<Member>>,
+}
+
+/// Outcome of a join phase reported by a cluster member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStatus {
+    /// The phase succeeded / may proceed.
+    SafeToJoin,
+    /// The configuration changed under the joiner; restart phase 1.
+    ConfigChanged,
+    /// The joiner's address is already a member (e.g. the join succeeded
+    /// but the confirmation was lost); a snapshot is attached.
+    AlreadyMember,
+    /// The contacted process is itself not yet an active member.
+    NotReady,
+}
+
+/// Every message exchanged by the Rapid protocol.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Join phase 1: joiner asks a seed for its temporary observers.
+    PreJoinReq {
+        /// The joining process (fresh id, address, metadata).
+        joiner: Member,
+    },
+    /// Join phase 1 response.
+    PreJoinResp {
+        /// Phase outcome.
+        status: JoinStatus,
+        /// The configuration the observer list is valid for.
+        config_id: ConfigId,
+        /// The K temporary observers to contact in phase 2.
+        observers: Vec<Endpoint>,
+        /// Snapshot for `AlreadyMember` recovery.
+        snapshot: Option<ConfigSnapshot>,
+    },
+    /// Join phase 2: joiner asks a temporary observer to announce it.
+    JoinReq {
+        /// The joining process.
+        joiner: Member,
+        /// Configuration the join targets.
+        config_id: ConfigId,
+        /// The ring this observer covers for the joiner.
+        ring: u8,
+    },
+    /// Join confirmation (sent once the view change installs the joiner)
+    /// or rejection.
+    JoinResp {
+        /// Join outcome.
+        status: JoinStatus,
+        /// The new configuration on success.
+        snapshot: Option<ConfigSnapshot>,
+    },
+    /// A batch of alerts (unicast-to-all dissemination mode).
+    AlertBatch {
+        /// Configuration the alerts belong to.
+        config_id: ConfigId,
+        /// The alerts.
+        alerts: Arc<[Alert]>,
+    },
+    /// One epidemic gossip round: fresh alert items plus the sender's
+    /// aggregated vote bitmaps.
+    Gossip {
+        /// Sender's configuration.
+        config_id: ConfigId,
+        /// Sender's configuration sequence number (laggard detection).
+        config_seq: u64,
+        /// Relayed alert items.
+        alerts: Arc<[Alert]>,
+        /// Aggregated fast-path vote states.
+        votes: Arc<[VoteState]>,
+    },
+    /// A fast-path vote state (unicast dissemination mode), carrying the
+    /// proposal body so one hop suffices.
+    Vote {
+        /// Sender's configuration.
+        config_id: ConfigId,
+        /// The vote state (hash + bitmap).
+        state: VoteState,
+        /// Proposal body, attached on the first send.
+        body: Option<Arc<Proposal>>,
+    },
+    /// Request for an unknown proposal body.
+    NeedProposal {
+        /// Configuration of the vote.
+        config_id: ConfigId,
+        /// The wanted proposal hash.
+        hash: ProposalHash,
+    },
+    /// Response carrying a proposal body.
+    ProposalBody {
+        /// Configuration of the vote.
+        config_id: ConfigId,
+        /// The proposal.
+        proposal: Arc<Proposal>,
+    },
+    /// Classic Paxos phase 1a (prepare).
+    Phase1a {
+        /// Configuration being decided.
+        config_id: ConfigId,
+        /// Coordinator's ballot rank.
+        rank: Rank,
+    },
+    /// Classic Paxos phase 1b (promise).
+    Phase1b {
+        /// Configuration being decided.
+        config_id: ConfigId,
+        /// Ballot rank being promised.
+        rank: Rank,
+        /// Responding acceptor's membership rank.
+        sender: u32,
+        /// Highest round the acceptor voted in, if any.
+        vrnd: Option<Rank>,
+        /// The value voted for, if any.
+        vval: Option<Arc<Proposal>>,
+    },
+    /// Classic Paxos phase 2a (accept request).
+    Phase2a {
+        /// Configuration being decided.
+        config_id: ConfigId,
+        /// Ballot rank.
+        rank: Rank,
+        /// The chosen value.
+        value: Arc<Proposal>,
+    },
+    /// Classic Paxos phase 2b (accepted).
+    Phase2b {
+        /// Configuration being decided.
+        config_id: ConfigId,
+        /// Ballot rank.
+        rank: Rank,
+        /// Accepting acceptor's membership rank.
+        sender: u32,
+    },
+    /// A learned decision, broadcast by a deciding coordinator.
+    Decision {
+        /// Configuration the decision applies to.
+        config_id: ConfigId,
+        /// The decided cut.
+        proposal: Arc<Proposal>,
+    },
+    /// Edge failure detector probe.
+    Probe {
+        /// Sequence number echoed by the ack.
+        seq: u64,
+    },
+    /// Edge failure detector probe acknowledgement.
+    ProbeAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Responder's configuration sequence (staleness hint).
+        config_seq: u64,
+    },
+    /// Voluntary departure announcement to the leaver's observers.
+    Leave {
+        /// The departing process.
+        subject: NodeId,
+    },
+    /// Request the peer's configuration if newer than `have_seq`.
+    ConfigPull {
+        /// The requester's configuration sequence number.
+        have_seq: u64,
+    },
+    /// A configuration snapshot push (catch-up / centralized mode).
+    ConfigPush {
+        /// The snapshot.
+        snapshot: ConfigSnapshot,
+    },
+}
+
+impl Message {
+    /// A short static label for logging and per-type metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::PreJoinReq { .. } => "PreJoinReq",
+            Message::PreJoinResp { .. } => "PreJoinResp",
+            Message::JoinReq { .. } => "JoinReq",
+            Message::JoinResp { .. } => "JoinResp",
+            Message::AlertBatch { .. } => "AlertBatch",
+            Message::Gossip { .. } => "Gossip",
+            Message::Vote { .. } => "Vote",
+            Message::NeedProposal { .. } => "NeedProposal",
+            Message::ProposalBody { .. } => "ProposalBody",
+            Message::Phase1a { .. } => "Phase1a",
+            Message::Phase1b { .. } => "Phase1b",
+            Message::Phase2a { .. } => "Phase2a",
+            Message::Phase2b { .. } => "Phase2b",
+            Message::Decision { .. } => "Decision",
+            Message::Probe { .. } => "Probe",
+            Message::ProbeAck { .. } => "ProbeAck",
+            Message::Leave { .. } => "Leave",
+            Message::ConfigPull { .. } => "ConfigPull",
+            Message::ConfigPush { .. } => "ConfigPush",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_endpoint(buf: &mut Vec<u8>, ep: &Endpoint) {
+    put_str(buf, ep.host());
+    buf.put_u16_le(ep.port());
+}
+
+fn put_metadata(buf: &mut Vec<u8>, md: &Metadata) {
+    buf.put_u16_le(md.len() as u16);
+    for (k, v) in md.iter() {
+        put_str(buf, k);
+        buf.put_u32_le(v.len() as u32);
+        buf.put_slice(v);
+    }
+}
+
+fn put_member(buf: &mut Vec<u8>, m: &Member) {
+    buf.put_u128_le(m.id.as_u128());
+    put_endpoint(buf, &m.addr);
+    put_metadata(buf, &m.metadata);
+}
+
+fn put_alert(buf: &mut Vec<u8>, a: &Alert) {
+    buf.put_u128_le(a.observer.as_u128());
+    buf.put_u128_le(a.subject_id.as_u128());
+    put_endpoint(buf, &a.subject_addr);
+    buf.put_u8(matches!(a.status, EdgeStatus::Up) as u8);
+    buf.put_u64_le(a.config_id.0);
+    buf.put_u8(a.ring);
+    put_metadata(buf, &a.metadata);
+}
+
+fn put_rank(buf: &mut Vec<u8>, r: Rank) {
+    buf.put_u32_le(r.round);
+    buf.put_u32_le(r.coordinator);
+}
+
+fn put_proposal(buf: &mut Vec<u8>, p: &Proposal) {
+    buf.put_u64_le(p.config_id().0);
+    buf.put_u32_le(p.len() as u32);
+    for it in p.items() {
+        buf.put_u128_le(it.id.as_u128());
+        put_endpoint(buf, &it.addr);
+        buf.put_u8(it.join as u8);
+        put_metadata(buf, &it.metadata);
+    }
+}
+
+fn put_bitvec(buf: &mut Vec<u8>, b: &BitVec) {
+    buf.put_u32_le(b.len() as u32);
+    for w in b.words() {
+        buf.put_u64_le(*w);
+    }
+}
+
+fn put_vote_state(buf: &mut Vec<u8>, v: &VoteState) {
+    buf.put_u64_le(v.hash.0);
+    put_bitvec(buf, &v.bitmap);
+}
+
+fn put_snapshot(buf: &mut Vec<u8>, s: &ConfigSnapshot) {
+    buf.put_u64_le(s.id.0);
+    buf.put_u64_le(s.seq);
+    buf.put_u32_le(s.members.len() as u32);
+    for m in s.members.iter() {
+        put_member(buf, m);
+    }
+}
+
+fn put_opt<T>(buf: &mut Vec<u8>, v: &Option<T>, put: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => buf.put_u8(0),
+        Some(x) => {
+            buf.put_u8(1);
+            put(buf, x);
+        }
+    }
+}
+
+const TAG_PRE_JOIN_REQ: u8 = 1;
+const TAG_PRE_JOIN_RESP: u8 = 2;
+const TAG_JOIN_REQ: u8 = 3;
+const TAG_JOIN_RESP: u8 = 4;
+const TAG_ALERT_BATCH: u8 = 5;
+const TAG_GOSSIP: u8 = 6;
+const TAG_VOTE: u8 = 7;
+const TAG_NEED_PROPOSAL: u8 = 8;
+const TAG_PROPOSAL_BODY: u8 = 9;
+const TAG_PHASE1A: u8 = 10;
+const TAG_PHASE1B: u8 = 11;
+const TAG_PHASE2A: u8 = 12;
+const TAG_PHASE2B: u8 = 13;
+const TAG_DECISION: u8 = 14;
+const TAG_PROBE: u8 = 15;
+const TAG_PROBE_ACK: u8 = 16;
+const TAG_LEAVE: u8 = 17;
+const TAG_CONFIG_PULL: u8 = 18;
+const TAG_CONFIG_PUSH: u8 = 19;
+
+fn join_status_to_u8(s: JoinStatus) -> u8 {
+    match s {
+        JoinStatus::SafeToJoin => 0,
+        JoinStatus::ConfigChanged => 1,
+        JoinStatus::AlreadyMember => 2,
+        JoinStatus::NotReady => 3,
+    }
+}
+
+fn join_status_from_u8(v: u8) -> Result<JoinStatus, RapidError> {
+    Ok(match v {
+        0 => JoinStatus::SafeToJoin,
+        1 => JoinStatus::ConfigChanged,
+        2 => JoinStatus::AlreadyMember,
+        3 => JoinStatus::NotReady,
+        _ => return Err(RapidError::Decode(format!("bad JoinStatus {v}"))),
+    })
+}
+
+/// Encodes a message, appending to `buf`.
+pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
+    match msg {
+        Message::PreJoinReq { joiner } => {
+            buf.put_u8(TAG_PRE_JOIN_REQ);
+            put_member(buf, joiner);
+        }
+        Message::PreJoinResp {
+            status,
+            config_id,
+            observers,
+            snapshot,
+        } => {
+            buf.put_u8(TAG_PRE_JOIN_RESP);
+            buf.put_u8(join_status_to_u8(*status));
+            buf.put_u64_le(config_id.0);
+            buf.put_u16_le(observers.len() as u16);
+            for o in observers {
+                put_endpoint(buf, o);
+            }
+            put_opt(buf, snapshot, put_snapshot);
+        }
+        Message::JoinReq {
+            joiner,
+            config_id,
+            ring,
+        } => {
+            buf.put_u8(TAG_JOIN_REQ);
+            put_member(buf, joiner);
+            buf.put_u64_le(config_id.0);
+            buf.put_u8(*ring);
+        }
+        Message::JoinResp { status, snapshot } => {
+            buf.put_u8(TAG_JOIN_RESP);
+            buf.put_u8(join_status_to_u8(*status));
+            put_opt(buf, snapshot, put_snapshot);
+        }
+        Message::AlertBatch { config_id, alerts } => {
+            buf.put_u8(TAG_ALERT_BATCH);
+            buf.put_u64_le(config_id.0);
+            buf.put_u32_le(alerts.len() as u32);
+            for a in alerts.iter() {
+                put_alert(buf, a);
+            }
+        }
+        Message::Gossip {
+            config_id,
+            config_seq,
+            alerts,
+            votes,
+        } => {
+            buf.put_u8(TAG_GOSSIP);
+            buf.put_u64_le(config_id.0);
+            buf.put_u64_le(*config_seq);
+            buf.put_u32_le(alerts.len() as u32);
+            for a in alerts.iter() {
+                put_alert(buf, a);
+            }
+            buf.put_u16_le(votes.len() as u16);
+            for v in votes.iter() {
+                put_vote_state(buf, v);
+            }
+        }
+        Message::Vote {
+            config_id,
+            state,
+            body,
+        } => {
+            buf.put_u8(TAG_VOTE);
+            buf.put_u64_le(config_id.0);
+            put_vote_state(buf, state);
+            put_opt(buf, body, |b, p| put_proposal(b, p));
+        }
+        Message::NeedProposal { config_id, hash } => {
+            buf.put_u8(TAG_NEED_PROPOSAL);
+            buf.put_u64_le(config_id.0);
+            buf.put_u64_le(hash.0);
+        }
+        Message::ProposalBody {
+            config_id,
+            proposal,
+        } => {
+            buf.put_u8(TAG_PROPOSAL_BODY);
+            buf.put_u64_le(config_id.0);
+            put_proposal(buf, proposal);
+        }
+        Message::Phase1a { config_id, rank } => {
+            buf.put_u8(TAG_PHASE1A);
+            buf.put_u64_le(config_id.0);
+            put_rank(buf, *rank);
+        }
+        Message::Phase1b {
+            config_id,
+            rank,
+            sender,
+            vrnd,
+            vval,
+        } => {
+            buf.put_u8(TAG_PHASE1B);
+            buf.put_u64_le(config_id.0);
+            put_rank(buf, *rank);
+            buf.put_u32_le(*sender);
+            put_opt(buf, vrnd, |b, r| put_rank(b, *r));
+            put_opt(buf, vval, |b, p| put_proposal(b, p));
+        }
+        Message::Phase2a {
+            config_id,
+            rank,
+            value,
+        } => {
+            buf.put_u8(TAG_PHASE2A);
+            buf.put_u64_le(config_id.0);
+            put_rank(buf, *rank);
+            put_proposal(buf, value);
+        }
+        Message::Phase2b {
+            config_id,
+            rank,
+            sender,
+        } => {
+            buf.put_u8(TAG_PHASE2B);
+            buf.put_u64_le(config_id.0);
+            put_rank(buf, *rank);
+            buf.put_u32_le(*sender);
+        }
+        Message::Decision {
+            config_id,
+            proposal,
+        } => {
+            buf.put_u8(TAG_DECISION);
+            buf.put_u64_le(config_id.0);
+            put_proposal(buf, proposal);
+        }
+        Message::Probe { seq } => {
+            buf.put_u8(TAG_PROBE);
+            buf.put_u64_le(*seq);
+        }
+        Message::ProbeAck { seq, config_seq } => {
+            buf.put_u8(TAG_PROBE_ACK);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(*config_seq);
+        }
+        Message::Leave { subject } => {
+            buf.put_u8(TAG_LEAVE);
+            buf.put_u128_le(subject.as_u128());
+        }
+        Message::ConfigPull { have_seq } => {
+            buf.put_u8(TAG_CONFIG_PULL);
+            buf.put_u64_le(*have_seq);
+        }
+        Message::ConfigPush { snapshot } => {
+            buf.put_u8(TAG_CONFIG_PUSH);
+            put_snapshot(buf, snapshot);
+        }
+    }
+}
+
+/// Encodes a message into a fresh buffer.
+pub fn encode_to_vec(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    encode(msg, &mut buf);
+    buf
+}
+
+thread_local! {
+    static LEN_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The encoded size of a message in bytes (plus the 4-byte length frame
+/// used by the TCP transport). Used by the simulator's bandwidth
+/// accounting so Table 2 reflects real wire sizes.
+pub fn encoded_len(msg: &Message) -> usize {
+    LEN_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        encode(msg, &mut buf);
+        buf.len() + 4
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), RapidError> {
+        if self.buf.remaining() < n {
+            Err(RapidError::Decode(format!(
+                "truncated: need {n}, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+    fn u8(&mut self) -> Result<u8, RapidError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    fn u16(&mut self) -> Result<u16, RapidError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+    fn u32(&mut self) -> Result<u32, RapidError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    fn u64(&mut self) -> Result<u64, RapidError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    fn u128(&mut self) -> Result<u128, RapidError> {
+        self.need(16)?;
+        Ok(self.buf.get_u128_le())
+    }
+    fn str(&mut self) -> Result<String, RapidError> {
+        let len = self.u16()? as usize;
+        self.need(len)?;
+        let s = std::str::from_utf8(&self.buf[..len])
+            .map_err(|_| RapidError::Decode("invalid utf8".into()))?
+            .to_string();
+        self.buf.advance(len);
+        Ok(s)
+    }
+    fn bytes_vec(&mut self) -> Result<Vec<u8>, RapidError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let v = self.buf[..len].to_vec();
+        self.buf.advance(len);
+        Ok(v)
+    }
+    fn endpoint(&mut self) -> Result<Endpoint, RapidError> {
+        let host = self.str()?;
+        let port = self.u16()?;
+        Ok(Endpoint::new(host, port))
+    }
+    fn metadata(&mut self) -> Result<Metadata, RapidError> {
+        let count = self.u16()? as usize;
+        let mut md = Metadata::new();
+        for _ in 0..count {
+            let k = self.str()?;
+            let v = self.bytes_vec()?;
+            md.insert(k, v);
+        }
+        Ok(md)
+    }
+    fn member(&mut self) -> Result<Member, RapidError> {
+        let id = NodeId::from_u128(self.u128()?);
+        let addr = self.endpoint()?;
+        let metadata = self.metadata()?;
+        Ok(Member::with_metadata(id, addr, metadata))
+    }
+    fn alert(&mut self) -> Result<Alert, RapidError> {
+        let observer = NodeId::from_u128(self.u128()?);
+        let subject_id = NodeId::from_u128(self.u128()?);
+        let subject_addr = self.endpoint()?;
+        let status = if self.u8()? == 1 {
+            EdgeStatus::Up
+        } else {
+            EdgeStatus::Down
+        };
+        let config_id = ConfigId(self.u64()?);
+        let ring = self.u8()?;
+        let metadata = self.metadata()?;
+        Ok(Alert {
+            observer,
+            subject_id,
+            subject_addr,
+            status,
+            config_id,
+            ring,
+            metadata,
+        })
+    }
+    fn rank(&mut self) -> Result<Rank, RapidError> {
+        let round = self.u32()?;
+        let coordinator = self.u32()?;
+        Ok(Rank { round, coordinator })
+    }
+    fn proposal(&mut self) -> Result<Proposal, RapidError> {
+        let config_id = ConfigId(self.u64()?);
+        let count = self.u32()? as usize;
+        let mut items = Vec::with_capacity(count.min(65_536));
+        for _ in 0..count {
+            let id = NodeId::from_u128(self.u128()?);
+            let addr = self.endpoint()?;
+            let join = self.u8()? == 1;
+            let metadata = self.metadata()?;
+            items.push(ProposalItem {
+                id,
+                addr,
+                join,
+                metadata,
+            });
+        }
+        Ok(Proposal::from_items(config_id, items))
+    }
+    fn bitvec(&mut self) -> Result<BitVec, RapidError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 24 {
+            return Err(RapidError::Decode("bitvec too large".into()));
+        }
+        let words = len.div_ceil(64);
+        let mut w = Vec::with_capacity(words);
+        for _ in 0..words {
+            w.push(self.u64()?);
+        }
+        Ok(BitVec::from_words(len, w))
+    }
+    fn vote_state(&mut self) -> Result<VoteState, RapidError> {
+        let hash = ProposalHash(self.u64()?);
+        let bitmap = self.bitvec()?;
+        Ok(VoteState { hash, bitmap })
+    }
+    fn snapshot(&mut self) -> Result<ConfigSnapshot, RapidError> {
+        let id = ConfigId(self.u64()?);
+        let seq = self.u64()?;
+        let count = self.u32()? as usize;
+        let mut members = Vec::with_capacity(count.min(65_536));
+        for _ in 0..count {
+            members.push(self.member()?);
+        }
+        Ok(ConfigSnapshot {
+            id,
+            seq,
+            members: Arc::new(members),
+        })
+    }
+    fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, RapidError>,
+    ) -> Result<Option<T>, RapidError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            v => Err(RapidError::Decode(format!("bad option tag {v}"))),
+        }
+    }
+}
+
+/// Decodes one message from `buf`.
+pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
+    let mut r = Reader { buf };
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_PRE_JOIN_REQ => Message::PreJoinReq { joiner: r.member()? },
+        TAG_PRE_JOIN_RESP => {
+            let status = join_status_from_u8(r.u8()?)?;
+            let config_id = ConfigId(r.u64()?);
+            let count = r.u16()? as usize;
+            let mut observers = Vec::with_capacity(count);
+            for _ in 0..count {
+                observers.push(r.endpoint()?);
+            }
+            let snapshot = r.opt(|r| r.snapshot())?;
+            Message::PreJoinResp {
+                status,
+                config_id,
+                observers,
+                snapshot,
+            }
+        }
+        TAG_JOIN_REQ => {
+            let joiner = r.member()?;
+            let config_id = ConfigId(r.u64()?);
+            let ring = r.u8()?;
+            Message::JoinReq {
+                joiner,
+                config_id,
+                ring,
+            }
+        }
+        TAG_JOIN_RESP => {
+            let status = join_status_from_u8(r.u8()?)?;
+            let snapshot = r.opt(|r| r.snapshot())?;
+            Message::JoinResp { status, snapshot }
+        }
+        TAG_ALERT_BATCH => {
+            let config_id = ConfigId(r.u64()?);
+            let count = r.u32()? as usize;
+            let mut alerts = Vec::with_capacity(count.min(65_536));
+            for _ in 0..count {
+                alerts.push(r.alert()?);
+            }
+            Message::AlertBatch {
+                config_id,
+                alerts: alerts.into(),
+            }
+        }
+        TAG_GOSSIP => {
+            let config_id = ConfigId(r.u64()?);
+            let config_seq = r.u64()?;
+            let count = r.u32()? as usize;
+            let mut alerts = Vec::with_capacity(count.min(65_536));
+            for _ in 0..count {
+                alerts.push(r.alert()?);
+            }
+            let vcount = r.u16()? as usize;
+            let mut votes = Vec::with_capacity(vcount);
+            for _ in 0..vcount {
+                votes.push(r.vote_state()?);
+            }
+            Message::Gossip {
+                config_id,
+                config_seq,
+                alerts: alerts.into(),
+                votes: votes.into(),
+            }
+        }
+        TAG_VOTE => {
+            let config_id = ConfigId(r.u64()?);
+            let state = r.vote_state()?;
+            let body = r.opt(|r| r.proposal())?.map(Arc::new);
+            Message::Vote {
+                config_id,
+                state,
+                body,
+            }
+        }
+        TAG_NEED_PROPOSAL => Message::NeedProposal {
+            config_id: ConfigId(r.u64()?),
+            hash: ProposalHash(r.u64()?),
+        },
+        TAG_PROPOSAL_BODY => Message::ProposalBody {
+            config_id: ConfigId(r.u64()?),
+            proposal: Arc::new(r.proposal()?),
+        },
+        TAG_PHASE1A => Message::Phase1a {
+            config_id: ConfigId(r.u64()?),
+            rank: r.rank()?,
+        },
+        TAG_PHASE1B => {
+            let config_id = ConfigId(r.u64()?);
+            let rank = r.rank()?;
+            let sender = r.u32()?;
+            let vrnd = r.opt(|r| r.rank())?;
+            let vval = r.opt(|r| r.proposal())?.map(Arc::new);
+            Message::Phase1b {
+                config_id,
+                rank,
+                sender,
+                vrnd,
+                vval,
+            }
+        }
+        TAG_PHASE2A => Message::Phase2a {
+            config_id: ConfigId(r.u64()?),
+            rank: r.rank()?,
+            value: Arc::new(r.proposal()?),
+        },
+        TAG_PHASE2B => Message::Phase2b {
+            config_id: ConfigId(r.u64()?),
+            rank: r.rank()?,
+            sender: r.u32()?,
+        },
+        TAG_DECISION => Message::Decision {
+            config_id: ConfigId(r.u64()?),
+            proposal: Arc::new(r.proposal()?),
+        },
+        TAG_PROBE => Message::Probe { seq: r.u64()? },
+        TAG_PROBE_ACK => Message::ProbeAck {
+            seq: r.u64()?,
+            config_seq: r.u64()?,
+        },
+        TAG_LEAVE => Message::Leave {
+            subject: NodeId::from_u128(r.u128()?),
+        },
+        TAG_CONFIG_PULL => Message::ConfigPull { have_seq: r.u64()? },
+        TAG_CONFIG_PUSH => Message::ConfigPush {
+            snapshot: r.snapshot()?,
+        },
+        other => return Err(RapidError::Decode(format!("unknown tag {other}"))),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(i: u128) -> Member {
+        Member::with_metadata(
+            NodeId::from_u128(i),
+            Endpoint::new(format!("host-{i}"), (i % 65_535) as u16 + 1),
+            Metadata::with_entry("role", format!("r{i}")),
+        )
+    }
+
+    fn sample_proposal() -> Proposal {
+        Proposal::from_items(
+            ConfigId(77),
+            vec![
+                ProposalItem::join(
+                    NodeId::from_u128(5),
+                    Endpoint::new("a", 1),
+                    Metadata::with_entry("x", "y"),
+                ),
+                ProposalItem::remove(NodeId::from_u128(6), Endpoint::new("b", 2)),
+            ],
+        )
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        let bytes = encode_to_vec(msg);
+        decode(&bytes).expect("decode must succeed")
+    }
+
+    #[test]
+    fn roundtrip_join_messages() {
+        let m = roundtrip(&Message::PreJoinReq { joiner: member(1) });
+        match m {
+            Message::PreJoinReq { joiner } => assert_eq!(joiner, member(1)),
+            _ => panic!("wrong variant"),
+        }
+
+        let resp = Message::PreJoinResp {
+            status: JoinStatus::SafeToJoin,
+            config_id: ConfigId(4),
+            observers: vec![Endpoint::new("o1", 1), Endpoint::new("o2", 2)],
+            snapshot: None,
+        };
+        match roundtrip(&resp) {
+            Message::PreJoinResp {
+                status, observers, ..
+            } => {
+                assert_eq!(status, JoinStatus::SafeToJoin);
+                assert_eq!(observers.len(), 2);
+            }
+            _ => panic!("wrong variant"),
+        }
+
+        let jr = Message::JoinResp {
+            status: JoinStatus::AlreadyMember,
+            snapshot: Some(ConfigSnapshot {
+                id: ConfigId(9),
+                seq: 3,
+                members: Arc::new(vec![member(1), member(2)]),
+            }),
+        };
+        match roundtrip(&jr) {
+            Message::JoinResp {
+                status,
+                snapshot: Some(s),
+            } => {
+                assert_eq!(status, JoinStatus::AlreadyMember);
+                assert_eq!(s.seq, 3);
+                assert_eq!(s.members.len(), 2);
+                assert_eq!(s.members[1], member(2));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_alert_batch() {
+        let alerts: Arc<[Alert]> = vec![
+            Alert::remove(
+                NodeId::from_u128(1),
+                NodeId::from_u128(2),
+                Endpoint::new("s", 9),
+                ConfigId(3),
+                4,
+            ),
+            Alert::join(
+                NodeId::from_u128(5),
+                NodeId::from_u128(6),
+                Endpoint::new("j", 9),
+                ConfigId(3),
+                7,
+                Metadata::with_entry("role", "db"),
+            ),
+        ]
+        .into();
+        match roundtrip(&Message::AlertBatch {
+            config_id: ConfigId(3),
+            alerts: Arc::clone(&alerts),
+        }) {
+            Message::AlertBatch {
+                alerts: decoded, ..
+            } => assert_eq!(&*decoded, &*alerts),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_gossip_with_votes() {
+        let p = sample_proposal();
+        let mut bitmap = BitVec::new(100);
+        bitmap.set(3);
+        bitmap.set(99);
+        let msg = Message::Gossip {
+            config_id: ConfigId(1),
+            config_seq: 12,
+            alerts: Vec::new().into(),
+            votes: vec![VoteState {
+                hash: p.hash(),
+                bitmap: bitmap.clone(),
+            }]
+            .into(),
+        };
+        match roundtrip(&msg) {
+            Message::Gossip {
+                config_seq, votes, ..
+            } => {
+                assert_eq!(config_seq, 12);
+                assert_eq!(votes[0].hash, p.hash());
+                assert_eq!(votes[0].bitmap, bitmap);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_paxos_messages() {
+        let p = Arc::new(sample_proposal());
+        let m = Message::Phase1b {
+            config_id: ConfigId(2),
+            rank: Rank::classic(3, 1),
+            sender: 17,
+            vrnd: Some(Rank::FAST),
+            vval: Some(Arc::clone(&p)),
+        };
+        match roundtrip(&m) {
+            Message::Phase1b {
+                rank,
+                sender,
+                vrnd,
+                vval,
+                ..
+            } => {
+                assert_eq!(rank, Rank::classic(3, 1));
+                assert_eq!(sender, 17);
+                assert_eq!(vrnd, Some(Rank::FAST));
+                assert_eq!(vval.unwrap().hash(), p.hash());
+            }
+            _ => panic!("wrong variant"),
+        }
+
+        match roundtrip(&Message::Phase2a {
+            config_id: ConfigId(2),
+            rank: Rank::classic(1, 0),
+            value: Arc::clone(&p),
+        }) {
+            Message::Phase2a { value, .. } => assert_eq!(value.hash(), p.hash()),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_messages() {
+        for msg in [
+            Message::Probe { seq: 7 },
+            Message::ProbeAck {
+                seq: 7,
+                config_seq: 3,
+            },
+            Message::Leave {
+                subject: NodeId::from_u128(42),
+            },
+            Message::ConfigPull { have_seq: 11 },
+            Message::NeedProposal {
+                config_id: ConfigId(1),
+                hash: ProposalHash(0xdead),
+            },
+        ] {
+            let decoded = roundtrip(&msg);
+            assert_eq!(encode_to_vec(&decoded), encode_to_vec(&msg));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let bytes = encode_to_vec(&Message::PreJoinReq { joiner: member(1) });
+        for cut in 1..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        assert!(decode(&[250, 0, 0]).is_err(), "unknown tag");
+        assert!(decode(&[]).is_err(), "empty");
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_plus_frame() {
+        let msg = Message::Probe { seq: 1 };
+        assert_eq!(encoded_len(&msg), encode_to_vec(&msg).len() + 4);
+    }
+
+    #[test]
+    fn proposal_roundtrip_preserves_hash() {
+        let p = sample_proposal();
+        let m = Message::Decision {
+            config_id: ConfigId(77),
+            proposal: Arc::new(p.clone()),
+        };
+        match roundtrip(&m) {
+            Message::Decision { proposal, .. } => assert_eq!(proposal.hash(), p.hash()),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

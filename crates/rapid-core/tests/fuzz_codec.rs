@@ -1,0 +1,161 @@
+//! Robustness properties of the wire codec: decoding must never panic on
+//! arbitrary or mutated input, and valid messages round-trip exactly.
+
+use proptest::prelude::*;
+
+use rapid_core::alert::Alert;
+use rapid_core::config::{ConfigId, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::{Proposal, ProposalItem};
+use rapid_core::metadata::Metadata;
+use rapid_core::paxos::{Rank, VoteState};
+use rapid_core::util::BitVec;
+use rapid_core::wire::{self, ConfigSnapshot, JoinStatus, Message};
+
+proptest! {
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Truncating or flipping a byte of a valid message never panics.
+    #[test]
+    fn decode_survives_mutation(
+        seed in 0u64..1_000,
+        cut in any::<prop::sample::Index>(),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let msg = sample_message(seed);
+        let mut bytes = wire::encode_to_vec(&msg);
+        // Truncation.
+        let cut_at = cut.index(bytes.len().max(1));
+        let _ = wire::decode(&bytes[..cut_at]);
+        // Bit flip.
+        if !bytes.is_empty() {
+            let i = flip.index(bytes.len());
+            bytes[i] ^= 0x55;
+            let _ = wire::decode(&bytes);
+        }
+    }
+
+    /// Every generated message round-trips to an identical encoding.
+    #[test]
+    fn roundtrip_is_exact(seed in 0u64..100_000) {
+        let msg = sample_message(seed);
+        let bytes = wire::encode_to_vec(&msg);
+        let decoded = wire::decode(&bytes).expect("valid message must decode");
+        prop_assert_eq!(wire::encode_to_vec(&decoded), bytes);
+    }
+}
+
+/// Deterministically generates one of each message family from a seed.
+fn sample_message(seed: u64) -> Message {
+    let mut rng = rapid_core::rng::Xoshiro256::seed_from_u64(seed);
+    let member = |rng: &mut rapid_core::rng::Xoshiro256| {
+        Member::with_metadata(
+            NodeId::from_u128(rng.next_u64() as u128),
+            Endpoint::new(format!("h{}", rng.gen_range(1_000)), rng.gen_range(65_535) as u16 + 1),
+            if rng.gen_bool(0.5) {
+                Metadata::with_entry("role", format!("r{}", rng.gen_range(10)))
+            } else {
+                Metadata::new()
+            },
+        )
+    };
+    let alert = |rng: &mut rapid_core::rng::Xoshiro256| {
+        Alert::remove(
+            NodeId::from_u128(rng.next_u64() as u128),
+            NodeId::from_u128(rng.next_u64() as u128),
+            Endpoint::new(format!("s{}", rng.gen_range(100)), 1),
+            ConfigId(rng.next_u64()),
+            rng.gen_range(10) as u8,
+        )
+    };
+    let proposal = |rng: &mut rapid_core::rng::Xoshiro256| {
+        let items = (0..rng.gen_range(5))
+            .map(|_| {
+                ProposalItem::remove(
+                    NodeId::from_u128(rng.next_u64() as u128),
+                    Endpoint::new(format!("p{}", rng.gen_range(100)), 2),
+                )
+            })
+            .collect();
+        std::sync::Arc::new(Proposal::from_items(ConfigId(rng.next_u64()), items))
+    };
+    match seed % 12 {
+        0 => Message::PreJoinReq { joiner: member(&mut rng) },
+        1 => Message::PreJoinResp {
+            status: JoinStatus::SafeToJoin,
+            config_id: ConfigId(rng.next_u64()),
+            observers: (0..rng.gen_range(12))
+                .map(|i| Endpoint::new(format!("o{i}"), 1))
+                .collect(),
+            snapshot: None,
+        },
+        2 => Message::JoinReq {
+            joiner: member(&mut rng),
+            config_id: ConfigId(rng.next_u64()),
+            ring: rng.gen_range(10) as u8,
+        },
+        3 => Message::JoinResp {
+            status: JoinStatus::AlreadyMember,
+            snapshot: Some(ConfigSnapshot {
+                id: ConfigId(rng.next_u64()),
+                seq: rng.next_u64(),
+                members: std::sync::Arc::new(
+                    (0..rng.gen_range(6)).map(|_| member(&mut rng)).collect(),
+                ),
+            }),
+        },
+        4 => Message::AlertBatch {
+            config_id: ConfigId(rng.next_u64()),
+            alerts: (0..rng.gen_range(8))
+                .map(|_| alert(&mut rng))
+                .collect::<Vec<_>>()
+                .into(),
+        },
+        5 => {
+            let n = rng.gen_range(200) as usize + 1;
+            let mut bm = BitVec::new(n);
+            for _ in 0..rng.gen_range(8) {
+                bm.set(rng.gen_index(n));
+            }
+            Message::Gossip {
+                config_id: ConfigId(rng.next_u64()),
+                config_seq: rng.next_u64(),
+                alerts: (0..rng.gen_range(4))
+                    .map(|_| alert(&mut rng))
+                    .collect::<Vec<_>>()
+                    .into(),
+                votes: vec![VoteState {
+                    hash: rapid_core::membership::ProposalHash(rng.next_u64()),
+                    bitmap: bm,
+                }]
+                .into(),
+            }
+        }
+        6 => Message::Phase1b {
+            config_id: ConfigId(rng.next_u64()),
+            rank: Rank::classic(rng.gen_range(100) as u32 + 1, rng.gen_range(64) as u32),
+            sender: rng.gen_range(64) as u32,
+            vrnd: Some(Rank::FAST),
+            vval: Some(proposal(&mut rng)),
+        },
+        7 => Message::Phase2a {
+            config_id: ConfigId(rng.next_u64()),
+            rank: Rank::classic(1, 0),
+            value: proposal(&mut rng),
+        },
+        8 => Message::Decision {
+            config_id: ConfigId(rng.next_u64()),
+            proposal: proposal(&mut rng),
+        },
+        9 => Message::Probe { seq: rng.next_u64() },
+        10 => Message::ProbeAck {
+            seq: rng.next_u64(),
+            config_seq: rng.next_u64(),
+        },
+        _ => Message::ConfigPull { have_seq: rng.next_u64() },
+    }
+}

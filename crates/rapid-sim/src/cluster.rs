@@ -1,0 +1,401 @@
+//! Harnesses assembling whole Rapid deployments inside the simulator.
+//!
+//! Two deployment shapes from the paper:
+//!
+//! * **Decentralized** (§4): a seed plus N−1 joiners (bootstrap
+//!   experiments, Figures 5–7), or a pre-formed static cluster (failure
+//!   experiments, Figures 8–10 start from a stable steady state).
+//! * **Logically centralized, "Rapid-C"** (§5): a small ensemble `S`
+//!   manages the membership of `C`.
+
+use std::sync::Arc;
+
+use rapid_core::centralized::{EdgeAgent, EnsembleNode};
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::ViewChange;
+use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::ring::TopologyCache;
+use rapid_core::settings::Settings;
+use rapid_core::wire::{self, Message};
+
+use crate::engine::{Actor, Outbox, Simulation};
+
+/// Application-visible protocol events recorded per actor.
+#[derive(Clone, Debug, Default)]
+pub struct ActorLog {
+    /// View changes delivered, with virtual timestamps.
+    pub views: Vec<(u64, ViewChange)>,
+    /// When the actor completed its join.
+    pub joined_at: Option<u64>,
+    /// When the actor learned it was removed.
+    pub kicked_at: Option<u64>,
+}
+
+enum Inner {
+    Node(Box<Node>),
+    Ensemble(Box<EnsembleNode>),
+    Agent(Box<EdgeAgent>),
+}
+
+/// A simulated process hosting one Rapid protocol instance.
+pub struct RapidActor {
+    inner: Inner,
+    /// Recorded protocol events.
+    pub log: ActorLog,
+}
+
+impl RapidActor {
+    /// Wraps a decentralized node.
+    pub fn node(node: Node) -> Self {
+        RapidActor {
+            inner: Inner::Node(Box::new(node)),
+            log: ActorLog::default(),
+        }
+    }
+
+    /// Wraps a Rapid-C ensemble node.
+    pub fn ensemble(node: EnsembleNode) -> Self {
+        RapidActor {
+            inner: Inner::Ensemble(Box::new(node)),
+            log: ActorLog::default(),
+        }
+    }
+
+    /// Wraps a Rapid-C edge agent.
+    pub fn agent(agent: EdgeAgent) -> Self {
+        RapidActor {
+            inner: Inner::Agent(Box::new(agent)),
+            log: ActorLog::default(),
+        }
+    }
+
+    /// The wrapped decentralized node, if this actor is one.
+    pub fn as_node(&self) -> Option<&Node> {
+        match &self.inner {
+            Inner::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the wrapped decentralized node.
+    pub fn as_node_mut(&mut self) -> Option<&mut Node> {
+        match &mut self.inner {
+            Inner::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The wrapped ensemble node, if this actor is one.
+    pub fn as_ensemble(&self) -> Option<&EnsembleNode> {
+        match &self.inner {
+            Inner::Ensemble(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The wrapped edge agent, if this actor is one.
+    pub fn as_agent(&self) -> Option<&EdgeAgent> {
+        match &self.inner {
+            Inner::Agent(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn dispatch(&mut self, event: Event, now: u64, out: &mut Outbox<Message>) {
+        let mut actions = Vec::new();
+        match &mut self.inner {
+            Inner::Node(n) => n.handle(event, &mut actions),
+            Inner::Ensemble(e) => e.handle(event, &mut actions),
+            Inner::Agent(a) => a.handle(event, &mut actions),
+        }
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => out.send(to, msg),
+                Action::View(v) => self.log.views.push((now, v)),
+                Action::Joined { .. } => self.log.joined_at = Some(now),
+                Action::Kicked => self.log.kicked_at = Some(now),
+            }
+        }
+    }
+}
+
+impl Actor for RapidActor {
+    type Msg = Message;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<Message>) {
+        self.dispatch(Event::Tick { now_ms: now }, now, out);
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: Message, now: u64, out: &mut Outbox<Message>) {
+        self.dispatch(Event::Receive { from, msg }, now, out);
+    }
+
+    fn msg_size(msg: &Message) -> usize {
+        wire::encoded_len(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        match &self.inner {
+            Inner::Node(n) => {
+                (n.status() == NodeStatus::Active).then(|| n.configuration().len() as f64)
+            }
+            Inner::Agent(a) => a.is_member().then(|| a.configuration().len() as f64),
+            // The paper's plots show cluster processes, not the auxiliary
+            // ensemble.
+            Inner::Ensemble(_) => None,
+        }
+    }
+}
+
+/// Builds the canonical member identity for simulated process `i`.
+pub fn sim_member(i: usize) -> Member {
+    Member::new(
+        NodeId::from_u128(i as u128 + 1),
+        Endpoint::new(format!("node-{i}"), 4000),
+    )
+}
+
+/// Builder for simulated Rapid deployments.
+pub struct RapidClusterBuilder {
+    /// Number of cluster processes (excluding any ensemble).
+    pub n: usize,
+    /// Protocol settings applied to every node.
+    pub settings: Settings,
+    /// Simulation seed (network + per-node RNG streams).
+    pub seed: u64,
+    /// Delay before the joiner group is spawned (the paper spawns the
+    /// N−1 group ten seconds after the seed).
+    pub join_delay_ms: u64,
+}
+
+impl RapidClusterBuilder {
+    /// A builder with the paper's defaults.
+    pub fn new(n: usize) -> Self {
+        RapidClusterBuilder {
+            n,
+            settings: Settings::default(),
+            seed: 1,
+            join_delay_ms: 10_000,
+        }
+    }
+
+    /// Overrides the protocol settings.
+    pub fn settings(mut self, settings: Settings) -> Self {
+        self.settings = settings;
+        self
+    }
+
+    /// Overrides the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Decentralized bootstrap: actor 0 is the seed; actors `1..n` join
+    /// through it after `join_delay_ms` (Figures 5–7).
+    pub fn build_bootstrap(&self) -> Simulation<RapidActor> {
+        let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        let cache = TopologyCache::new();
+        let seed_member = sim_member(0);
+        let seed_node = Node::with_parts(
+            seed_member.clone(),
+            self.settings.clone(),
+            NodeStatus::Active,
+            Configuration::bootstrap(vec![seed_member.clone()]),
+            None,
+            None,
+            Some(cache.clone()),
+            Some(self.seed ^ 0xBEEF),
+        );
+        sim.add_actor(seed_member.addr.clone(), RapidActor::node(seed_node));
+        for i in 1..self.n {
+            let m = sim_member(i);
+            let node = Node::with_parts(
+                m.clone(),
+                self.settings.clone(),
+                NodeStatus::Joining,
+                Configuration::bootstrap(Vec::new()),
+                Some(vec![seed_member.addr.clone()]),
+                None,
+                Some(cache.clone()),
+                Some(self.seed.wrapping_add(i as u64)),
+            );
+            sim.add_actor_at(m.addr.clone(), RapidActor::node(node), self.join_delay_ms);
+        }
+        sim
+    }
+
+    /// Decentralized steady state: all `n` processes start as members of
+    /// one static configuration (failure experiments, Figures 8–10).
+    pub fn build_static(&self) -> Simulation<RapidActor> {
+        let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        let members: Vec<Member> = (0..self.n).map(sim_member).collect();
+        let cfg = Configuration::bootstrap(members.clone());
+        let cache = TopologyCache::new();
+        for (i, m) in members.iter().enumerate() {
+            let node = Node::with_parts(
+                m.clone(),
+                self.settings.clone(),
+                NodeStatus::Active,
+                Arc::clone(&cfg),
+                None,
+                None,
+                Some(cache.clone()),
+                Some(self.seed.wrapping_add(i as u64)),
+            );
+            sim.add_actor(m.addr.clone(), RapidActor::node(node));
+        }
+        sim
+    }
+
+    /// Rapid-C: `ensemble_size` ensemble nodes (actors `0..s`) manage `n`
+    /// agents (actors `s..s+n`) that join after `join_delay_ms`.
+    ///
+    /// Returns the simulation and the index of the first agent.
+    pub fn build_centralized(&self, ensemble_size: usize) -> (Simulation<RapidActor>, usize) {
+        let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        let ensemble_members: Vec<Member> =
+            (0..ensemble_size).map(|i| {
+                Member::new(
+                    NodeId::from_u128(900_000 + i as u128),
+                    Endpoint::new(format!("ensemble-{i}"), 4000),
+                )
+            })
+            .collect();
+        for m in &ensemble_members {
+            let e = EnsembleNode::new(m.clone(), ensemble_members.clone(), self.settings.clone());
+            sim.add_actor(m.addr.clone(), RapidActor::ensemble(e));
+        }
+        let ensemble_addrs: Vec<Endpoint> =
+            ensemble_members.iter().map(|m| m.addr.clone()).collect();
+        let cache = TopologyCache::new();
+        for i in 0..self.n {
+            let m = sim_member(i);
+            let agent = EdgeAgent::with_cache(
+                m.clone(),
+                ensemble_addrs.clone(),
+                self.settings.clone(),
+                cache.clone(),
+            );
+            sim.add_actor_at(m.addr.clone(), RapidActor::agent(agent), self.join_delay_ms);
+        }
+        (sim, ensemble_size)
+    }
+}
+
+/// Whether every non-crashed, active actor currently reports cluster size
+/// `target` (ensemble actors are skipped — they report no sample).
+pub fn all_report(sim: &Simulation<RapidActor>, target: usize) -> bool {
+    let mut reporters = 0;
+    for i in 0..sim.len() {
+        if sim.net.is_crashed(i) {
+            continue;
+        }
+        match sim.actor(i).sample() {
+            Some(v) if (v - target as f64).abs() < 0.5 => reporters += 1,
+            Some(_) => return false,
+            None => {}
+        }
+    }
+    reporters > 0
+}
+
+/// The number of non-crashed actors that are active members right now.
+pub fn active_members(sim: &Simulation<RapidActor>) -> usize {
+    (0..sim.len())
+        .filter(|&i| !sim.net.is_crashed(i) && sim.actor(i).sample().is_some())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Fault;
+
+    fn quick_settings() -> Settings {
+        Settings {
+            consensus_fallback_base_ms: 3_000,
+            consensus_fallback_jitter_ms: 1_000,
+            ..Settings::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_small_cluster_converges() {
+        let mut sim = RapidClusterBuilder::new(20)
+            .settings(quick_settings())
+            .seed(11)
+            .build_bootstrap();
+        let t = sim.run_until_pred(180_000, |s| all_report(s, 20) && active_members(s) == 20);
+        assert!(t.is_some(), "20-node bootstrap must converge");
+    }
+
+    #[test]
+    fn static_cluster_removes_crashed_nodes() {
+        let mut sim = RapidClusterBuilder::new(30)
+            .settings(quick_settings())
+            .seed(12)
+            .build_static();
+        sim.run_until(5_000);
+        for i in [3usize, 17, 25] {
+            sim.schedule_fault(5_000, Fault::Crash(i));
+        }
+        let t = sim.run_until_pred(120_000, |s| all_report(s, 27));
+        assert!(t.is_some(), "survivors must converge to 27");
+        // Every survivor decided the same single view change.
+        let mut hists = Vec::new();
+        for i in 0..30 {
+            if !sim.net.is_crashed(i) {
+                hists.push(sim.actor(i).as_node().unwrap().view_history().to_vec());
+            }
+        }
+        assert!(hists.windows(2).all(|w| w[0] == w[1]), "histories must agree");
+    }
+
+    #[test]
+    fn centralized_cluster_bootstraps_and_heals() {
+        let builder = RapidClusterBuilder::new(12)
+            .settings(quick_settings())
+            .seed(13);
+        let (mut sim, first_agent) = builder.build_centralized(3);
+        let t = sim.run_until_pred(240_000, |s| all_report(s, 12));
+        assert!(t.is_some(), "Rapid-C bootstrap must converge");
+        sim.schedule_fault(sim.now() + 1_000, Fault::Crash(first_agent + 2));
+        let t = sim.run_until_pred(sim.now() + 120_000, |s| all_report(s, 11));
+        assert!(t.is_some(), "Rapid-C must remove the crashed agent");
+    }
+
+    #[test]
+    fn bootstrap_timeseries_shows_few_unique_sizes() {
+        let mut sim = RapidClusterBuilder::new(25)
+            .settings(quick_settings())
+            .seed(14)
+            .build_bootstrap();
+        sim.run_until_pred(180_000, |s| all_report(s, 25));
+        let uniques = crate::series::unique_values(sim.samples());
+        // Paper Table 1: Rapid reports ~4-8 unique sizes; seed-phase sizes
+        // (1, bootstrap batch, N) should dominate here.
+        assert!(uniques <= 6, "expected few unique sizes, got {uniques}");
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+
+    /// Paper-scale smoke test; run explicitly with
+    /// `cargo test -p rapid-sim --release -- --ignored scale`.
+    #[test]
+    #[ignore = "paper-scale; run in release"]
+    fn scale_bootstrap_1000() {
+        let mut sim = RapidClusterBuilder::new(1000).seed(42).build_bootstrap();
+        let t = sim.run_until_pred(600_000, |s| all_report(s, 1000));
+        eprintln!(
+            "bootstrap(1000): converged at {:?} ms, {} events",
+            t,
+            sim.events_processed()
+        );
+        assert!(t.is_some(), "1000-node bootstrap must converge");
+    }
+}

@@ -1,0 +1,562 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] hosts a set of [`Actor`]s addressed by
+//! [`Endpoint`], delivers their messages through the
+//! [`NetworkModel`](crate::net::NetworkModel), ticks them at a fixed
+//! cadence, applies scheduled [`Fault`]s, and samples each actor's
+//! observed cluster size once per (virtual) second — reproducing exactly
+//! the measurement methodology of the paper's Figures 1 and 7–10.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use rapid_core::id::Endpoint;
+
+use crate::net::NetworkModel;
+use crate::series::Sample;
+
+/// A protocol instance hosted by the simulator.
+///
+/// Baselines (SWIM, ZooKeeper-like, Akka-like) and Rapid itself implement
+/// this trait, so every system runs on the identical substrate.
+pub trait Actor {
+    /// The wire message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called every tick interval.
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<Self::Msg>);
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, from: Endpoint, msg: Self::Msg, now: u64, out: &mut Outbox<Self::Msg>);
+
+    /// Encoded size of a message in bytes, for bandwidth accounting.
+    fn msg_size(msg: &Self::Msg) -> usize;
+
+    /// The actor's current observation of the cluster size (`None` while
+    /// it is not an active member). Sampled once per second.
+    fn sample(&self) -> Option<f64>;
+}
+
+/// Messages an actor wants transmitted.
+pub struct Outbox<M> {
+    /// `(destination, message, extra delay before hitting the wire)`.
+    pub msgs: Vec<(Endpoint, M, u64)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues a message for sending.
+    pub fn send(&mut self, to: Endpoint, msg: M) {
+        self.msgs.push((to, msg, 0));
+    }
+
+    /// Queues a message that leaves the process after `delay_ms` (models
+    /// server-side service time, e.g. a ZooKeeper leader serialising
+    /// full-membership reads during a watch herd).
+    pub fn send_delayed(&mut self, to: Endpoint, msg: M, delay_ms: u64) {
+        self.msgs.push((to, msg, delay_ms));
+    }
+}
+
+/// A scheduled fault-injection action.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Crash an actor (no further sends, receives, or ticks).
+    Crash(usize),
+    /// Set an actor's ingress packet drop probability.
+    IngressDrop(usize, f64),
+    /// Set an actor's egress packet drop probability.
+    EgressDrop(usize, f64),
+    /// Install a bidirectional blackhole between two actors.
+    BlackholePair(usize, usize),
+    /// Remove the bidirectional blackhole between two actors.
+    ClearBlackholePair(usize, usize),
+    /// Partition `group` from the rest of the cluster.
+    Partition(Vec<usize>),
+}
+
+/// Per-actor traffic counters.
+#[derive(Clone, Debug, Default)]
+pub struct Traffic {
+    /// Total bytes received.
+    pub bytes_in: u64,
+    /// Total bytes sent (counted at the sender even if dropped en route,
+    /// like NIC counters).
+    pub bytes_out: u64,
+    /// Messages received.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// Per-second `(bytes_in, bytes_out)` rates, index = virtual second.
+    pub per_second: Vec<(u64, u64)>,
+    cur_sec: u64,
+    sec_in: u64,
+    sec_out: u64,
+}
+
+impl Traffic {
+    fn roll_to(&mut self, sec: u64) {
+        while self.cur_sec < sec {
+            self.per_second.push((self.sec_in, self.sec_out));
+            self.sec_in = 0;
+            self.sec_out = 0;
+            self.cur_sec += 1;
+        }
+    }
+}
+
+struct Slot<A> {
+    actor: A,
+    addr: Endpoint,
+    started: bool,
+    traffic: Traffic,
+}
+
+#[derive(Debug)]
+enum Entry<M> {
+    Deliver { dst: usize, from: Endpoint, msg: M },
+    Tick { idx: usize },
+    Start { idx: usize },
+    Fault(Fault),
+    SampleAll,
+}
+
+/// Heap item ordered by `(time, seq)` only — `BinaryHeap` is a max-heap,
+/// so the ordering is reversed to pop the earliest event first.
+struct QueueItem<M> {
+    key: (u64, u64),
+    entry: Entry<M>,
+}
+
+impl<M> PartialEq for QueueItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for QueueItem<M> {}
+impl<M> PartialOrd for QueueItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueItem<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+/// The simulation: actors + network + event queue.
+pub struct Simulation<A: Actor> {
+    slots: Vec<Slot<A>>,
+    by_addr: HashMap<Endpoint, usize>,
+    /// The network model (public for scenario-specific tweaking).
+    pub net: NetworkModel,
+    queue: BinaryHeap<QueueItem<A::Msg>>,
+    now: u64,
+    seq: u64,
+    tick_interval_ms: u64,
+    sample_interval_ms: u64,
+    samples: Vec<Sample>,
+    events_processed: u64,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates an empty simulation with the given seed and tick cadence.
+    pub fn new(seed: u64, tick_interval_ms: u64) -> Self {
+        let mut sim = Simulation {
+            slots: Vec::new(),
+            by_addr: HashMap::new(),
+            net: NetworkModel::lan(seed),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            tick_interval_ms,
+            sample_interval_ms: 1_000,
+            samples: Vec::new(),
+            events_processed: 0,
+        };
+        sim.push(1_000, Entry::SampleAll);
+        sim
+    }
+
+    fn push(&mut self, at: u64, entry: Entry<A::Msg>) {
+        self.seq += 1;
+        self.queue.push(QueueItem {
+            key: (at, self.seq),
+            entry,
+        });
+    }
+
+    /// Adds an actor that starts ticking at `start_at`. Returns its index.
+    pub fn add_actor_at(&mut self, addr: Endpoint, actor: A, start_at: u64) -> usize {
+        let idx = self.slots.len();
+        self.by_addr.insert(addr.clone(), idx);
+        self.slots.push(Slot {
+            actor,
+            addr,
+            started: false,
+            traffic: Traffic::default(),
+        });
+        // Stagger the tick phase so thousands of actors do not tick in
+        // lockstep (the paper's processes start at arbitrary phases too).
+        let phase = (idx as u64).wrapping_mul(7919) % self.tick_interval_ms.max(1);
+        self.push(start_at + phase, Entry::Start { idx });
+        idx
+    }
+
+    /// Adds an actor that starts immediately.
+    pub fn add_actor(&mut self, addr: Endpoint, actor: A) -> usize {
+        self.add_actor_at(addr, actor, self.now)
+    }
+
+    /// Schedules a fault at an absolute virtual time.
+    pub fn schedule_fault(&mut self, at: u64, fault: Fault) {
+        self.push(at, Entry::Fault(fault));
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of actors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the simulation hosts no actors.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Immutable access to an actor.
+    pub fn actor(&self, idx: usize) -> &A {
+        &self.slots[idx].actor
+    }
+
+    /// Mutable access to an actor (e.g. to invoke `leave`).
+    pub fn actor_mut(&mut self, idx: usize) -> &mut A {
+        &mut self.slots[idx].actor
+    }
+
+    /// The address of an actor.
+    pub fn addr_of(&self, idx: usize) -> &Endpoint {
+        &self.slots[idx].addr
+    }
+
+    /// Index of the actor listening on `addr`.
+    pub fn index_of(&self, addr: &Endpoint) -> Option<usize> {
+        self.by_addr.get(addr).copied()
+    }
+
+    /// Traffic counters of an actor.
+    pub fn traffic(&self, idx: usize) -> &Traffic {
+        &self.slots[idx].traffic
+    }
+
+    /// All collected per-second cluster-size samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Total events processed (for performance reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Lets an actor interact with the outside world (application-level
+    /// sends, voluntary leave): runs `f` with the actor and an outbox, then
+    /// routes the produced messages.
+    pub fn with_actor<R>(&mut self, idx: usize, f: impl FnOnce(&mut A, &mut Outbox<A::Msg>) -> R) -> R {
+        let mut out = Outbox::new();
+        let r = f(&mut self.slots[idx].actor, &mut out);
+        self.route_outbox(idx, out);
+        r
+    }
+
+    fn route_outbox(&mut self, src: usize, out: Outbox<A::Msg>) {
+        let from = self.slots[src].addr.clone();
+        for (to, msg, delay) in out.msgs {
+            let size = A::msg_size(&msg) as u64;
+            {
+                let t = &mut self.slots[src].traffic;
+                t.roll_to(self.now / 1_000);
+                t.bytes_out += size;
+                t.msgs_out += 1;
+                t.sec_out += size;
+            }
+            let Some(&dst) = self.by_addr.get(&to) else {
+                continue; // Unknown destination: dropped.
+            };
+            if let Some(latency) = self.net.route(src, dst) {
+                let at = self.now + delay + latency;
+                self.push(
+                    at,
+                    Entry::Deliver {
+                        dst,
+                        from: from.clone(),
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(i) => self.net.crash(i),
+            Fault::IngressDrop(i, p) => self.net.set_ingress_drop(i, p),
+            Fault::EgressDrop(i, p) => self.net.set_egress_drop(i, p),
+            Fault::BlackholePair(a, b) => self.net.blackhole_pair(a, b),
+            Fault::ClearBlackholePair(a, b) => {
+                self.net.clear_blackhole(a, b);
+                self.net.clear_blackhole(b, a);
+            }
+            Fault::Partition(group) => {
+                let n = self.slots.len();
+                self.net.partition(&group, n);
+            }
+        }
+    }
+
+    /// Runs the simulation until virtual time `until_ms`.
+    pub fn run_until(&mut self, until_ms: u64) {
+        while let Some(item) = self.queue.peek() {
+            if item.key.0 > until_ms {
+                break;
+            }
+            let QueueItem { key: (at, _), entry } = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.events_processed += 1;
+            match entry {
+                Entry::Start { idx } => {
+                    if !self.net.is_crashed(idx) {
+                        self.slots[idx].started = true;
+                        self.dispatch_tick(idx);
+                    }
+                }
+                Entry::Tick { idx } => {
+                    if self.slots[idx].started && !self.net.is_crashed(idx) {
+                        self.dispatch_tick(idx);
+                    }
+                }
+                Entry::Deliver { dst, from, msg } => {
+                    if self.slots[dst].started && !self.net.is_crashed(dst) {
+                        let size = A::msg_size(&msg) as u64;
+                        {
+                            let t = &mut self.slots[dst].traffic;
+                            t.roll_to(self.now / 1_000);
+                            t.bytes_in += size;
+                            t.msgs_in += 1;
+                            t.sec_in += size;
+                        }
+                        let mut out = Outbox::new();
+                        self.slots[dst]
+                            .actor
+                            .on_message(from, msg, self.now, &mut out);
+                        self.route_outbox(dst, out);
+                    }
+                }
+                Entry::Fault(f) => self.apply_fault(f),
+                Entry::SampleAll => {
+                    for (idx, slot) in self.slots.iter().enumerate() {
+                        if slot.started && !self.net.is_crashed(idx) {
+                            if let Some(v) = slot.actor.sample() {
+                                self.samples.push(Sample {
+                                    t_ms: self.now,
+                                    actor: idx,
+                                    value: v,
+                                });
+                            }
+                        }
+                    }
+                    let next = self.now + self.sample_interval_ms;
+                    self.push(next, Entry::SampleAll);
+                }
+            }
+        }
+        self.now = self.now.max(until_ms);
+    }
+
+    /// Runs until `until_ms`, checking `pred` every virtual second;
+    /// returns the virtual time at which the predicate first held.
+    pub fn run_until_pred(
+        &mut self,
+        until_ms: u64,
+        mut pred: impl FnMut(&Simulation<A>) -> bool,
+    ) -> Option<u64> {
+        let mut t = self.now;
+        while t < until_ms {
+            t = (t + 1_000).min(until_ms);
+            self.run_until(t);
+            if pred(self) {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+
+    fn dispatch_tick(&mut self, idx: usize) {
+        let mut out = Outbox::new();
+        self.slots[idx].actor.on_tick(self.now, &mut out);
+        self.route_outbox(idx, out);
+        let next = self.now + self.tick_interval_ms;
+        self.push(next, Entry::Tick { idx });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial ping-counting actor for engine tests.
+    struct Counter {
+        peers: Vec<Endpoint>,
+        pings_sent: u64,
+        pings_got: u64,
+    }
+
+    impl Actor for Counter {
+        type Msg = u64;
+
+        fn on_tick(&mut self, _now: u64, out: &mut Outbox<u64>) {
+            for p in &self.peers {
+                out.send(p.clone(), 1);
+            }
+            self.pings_sent += self.peers.len() as u64;
+        }
+
+        fn on_message(&mut self, _from: Endpoint, msg: u64, _now: u64, _out: &mut Outbox<u64>) {
+            self.pings_got += msg;
+        }
+
+        fn msg_size(_msg: &u64) -> usize {
+            8
+        }
+
+        fn sample(&self) -> Option<f64> {
+            Some(self.pings_got as f64)
+        }
+    }
+
+    fn ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("c{i}"), 1)
+    }
+
+    fn two_counters(seed: u64) -> Simulation<Counter> {
+        let mut sim = Simulation::new(seed, 100);
+        for i in 0..2 {
+            let peers = vec![ep(1 - i)];
+            sim.add_actor(
+                ep(i),
+                Counter {
+                    peers,
+                    pings_sent: 0,
+                    pings_got: 0,
+                },
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn messages_flow_and_are_counted() {
+        let mut sim = two_counters(1);
+        sim.run_until(10_000);
+        // ~100 ticks each; allow the tail in flight.
+        for i in 0..2 {
+            assert!(sim.actor(i).pings_got >= 95, "got {}", sim.actor(i).pings_got);
+            assert_eq!(sim.traffic(i).bytes_out, sim.actor(i).pings_sent * 8);
+            assert!(sim.traffic(i).msgs_in >= 95);
+        }
+    }
+
+    #[test]
+    fn crash_stops_receiving_and_sending() {
+        let mut sim = two_counters(2);
+        sim.schedule_fault(5_000, Fault::Crash(1));
+        sim.run_until(20_000);
+        let got0 = sim.actor(0).pings_got;
+        assert!(got0 <= 52, "node 0 must stop hearing from crashed peer, got {got0}");
+        let got1 = sim.actor(1).pings_got;
+        assert!(got1 <= 52, "crashed node must not receive, got {got1}");
+    }
+
+    #[test]
+    fn delayed_start_defers_first_tick() {
+        let mut sim: Simulation<Counter> = Simulation::new(3, 100);
+        sim.add_actor(
+            ep(0),
+            Counter {
+                peers: vec![ep(1)],
+                pings_sent: 0,
+                pings_got: 0,
+            },
+        );
+        sim.add_actor_at(
+            ep(1),
+            Counter {
+                peers: vec![],
+                pings_sent: 0,
+                pings_got: 0,
+            },
+            5_000,
+        );
+        sim.run_until(1_000);
+        assert_eq!(sim.actor(1).pings_got, 0, "not started: drops deliveries");
+        sim.run_until(10_000);
+        assert!(sim.actor(1).pings_got > 0, "receives after start");
+    }
+
+    #[test]
+    fn sampling_collects_one_sample_per_second_per_actor() {
+        let mut sim = two_counters(4);
+        sim.run_until(10_500);
+        // Samples at t=1000..10000: 10 instants x 2 actors.
+        assert_eq!(sim.samples().len(), 20);
+        assert!(sim.samples().windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+
+    #[test]
+    fn per_second_traffic_rates_roll() {
+        let mut sim = two_counters(5);
+        sim.run_until(10_000);
+        let t = sim.traffic(0);
+        assert!(t.per_second.len() >= 9);
+        // Each full second carries ~10 ticks x 8 bytes out.
+        let (_, out_rate) = t.per_second[5];
+        assert!((64..=96).contains(&out_rate), "rate {out_rate}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = two_counters(seed);
+            sim.net.set_ingress_drop(0, 0.3);
+            sim.run_until(20_000);
+            (sim.actor(0).pings_got, sim.actor(1).pings_got, sim.events_processed())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn ingress_drop_thins_delivery() {
+        let mut sim = two_counters(8);
+        sim.schedule_fault(0, Fault::IngressDrop(0, 0.8));
+        sim.run_until(50_000);
+        let got = sim.actor(0).pings_got as f64;
+        assert!(got < 0.35 * 500.0, "80% drop must thin traffic, got {got}");
+        assert!(got > 0.05 * 500.0, "some packets survive");
+    }
+
+    #[test]
+    fn with_actor_routes_side_effect_messages() {
+        let mut sim = two_counters(9);
+        sim.run_until(1_000); // Let both actors start.
+        sim.with_actor(0, |_a, out| out.send(ep(1), 100));
+        sim.run_until(2_000);
+        assert!(sim.actor(1).pings_got >= 100);
+    }
+}

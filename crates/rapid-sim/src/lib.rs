@@ -1,0 +1,35 @@
+//! # rapid-sim
+//!
+//! A deterministic discrete-event simulator that stands in for the paper's
+//! evaluation substrate (100 VMs with `iptables` fault injection, §7).
+//!
+//! The simulator hosts thousands of protocol instances in one process:
+//!
+//! * [`engine`] — the event queue: timed message deliveries, per-actor
+//!   ticks, scheduled faults, and per-second cluster-size sampling (every
+//!   process logs its observed cluster size every second, exactly like the
+//!   paper's plots).
+//! * [`net`] — the network model: per-link latency with jitter, and
+//!   **directional** fault injection (ingress vs egress drop rates,
+//!   blackholed pairs, crashes), matching the paper's `iptables INPUT`
+//!   chain experiments (Figs. 8–10).
+//! * [`cluster`] — harnesses that assemble decentralized Rapid clusters and
+//!   logically centralized (Rapid-C) deployments from `rapid-core` nodes.
+//!
+//! Determinism: every run is a pure function of its seed. Baseline
+//! implementations (SWIM, ZooKeeper-like, Akka-like) implement the same
+//! [`engine::Actor`] trait and run on the identical network model, so
+//! comparisons are apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+pub mod net;
+pub mod series;
+
+pub use cluster::{RapidActor, RapidClusterBuilder};
+pub use engine::{Actor, Fault, Outbox, Simulation};
+pub use net::NetworkModel;
+pub use series::{ecdf, percentile, Sample};

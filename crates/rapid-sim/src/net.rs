@@ -1,0 +1,218 @@
+//! The simulated network: latency, loss, and directional fault injection.
+//!
+//! The paper's failure scenarios are *directional*: dropping packets in the
+//! `iptables INPUT` chain of a node kills its ingress while its egress
+//! (e.g. heartbeats it sends) still flows — which is exactly why ZooKeeper
+//! fails to react in Figure 9. The model therefore applies, independently
+//! and in order: source crash, destination crash, source egress drop,
+//! destination ingress drop, directional blackholes, then link latency.
+
+use std::collections::{HashMap, HashSet};
+
+use rapid_core::rng::Xoshiro256;
+
+/// Network latency and fault state, addressed by actor index.
+pub struct NetworkModel {
+    rng: Xoshiro256,
+    /// Minimum one-way latency in milliseconds.
+    pub base_latency_ms: f64,
+    /// Uniform jitter added on top of the base latency.
+    pub jitter_ms: f64,
+    ingress_drop: HashMap<usize, f64>,
+    egress_drop: HashMap<usize, f64>,
+    /// Directional blackholes `(src, dst)`: all packets vanish.
+    blackholes: HashSet<(usize, usize)>,
+    crashed: HashSet<usize>,
+}
+
+impl NetworkModel {
+    /// Creates a LAN-like model (1 ± 0.5 ms) with the given RNG seed.
+    pub fn lan(seed: u64) -> Self {
+        NetworkModel {
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x4E45_5457),
+            base_latency_ms: 0.5,
+            jitter_ms: 1.0,
+            ingress_drop: HashMap::new(),
+            egress_drop: HashMap::new(),
+            blackholes: HashSet::new(),
+            crashed: HashSet::new(),
+        }
+    }
+
+    /// Sets the fraction of packets dropped on a node's receive path
+    /// (`iptables INPUT`). `0.0` clears the fault.
+    pub fn set_ingress_drop(&mut self, node: usize, p: f64) {
+        if p <= 0.0 {
+            self.ingress_drop.remove(&node);
+        } else {
+            self.ingress_drop.insert(node, p.min(1.0));
+        }
+    }
+
+    /// Sets the fraction of packets dropped on a node's send path
+    /// (`iptables OUTPUT`). `0.0` clears the fault.
+    pub fn set_egress_drop(&mut self, node: usize, p: f64) {
+        if p <= 0.0 {
+            self.egress_drop.remove(&node);
+        } else {
+            self.egress_drop.insert(node, p.min(1.0));
+        }
+    }
+
+    /// Installs a directional blackhole: packets from `src` to `dst` vanish.
+    pub fn blackhole(&mut self, src: usize, dst: usize) {
+        self.blackholes.insert((src, dst));
+    }
+
+    /// Installs a bidirectional blackhole between two nodes (the "packet
+    /// blackhole" of the paper's transactional-platform experiment).
+    pub fn blackhole_pair(&mut self, a: usize, b: usize) {
+        self.blackholes.insert((a, b));
+        self.blackholes.insert((b, a));
+    }
+
+    /// Removes blackholes between `src` and `dst` (one direction).
+    pub fn clear_blackhole(&mut self, src: usize, dst: usize) {
+        self.blackholes.remove(&(src, dst));
+    }
+
+    /// Marks a node crashed: it neither sends nor receives from now on.
+    pub fn crash(&mut self, node: usize) {
+        self.crashed.insert(node);
+    }
+
+    /// Whether a node is crashed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Partitions the cluster: nodes in `group` can talk among themselves
+    /// but not across the boundary (bidirectional).
+    pub fn partition(&mut self, group: &[usize], n_total: usize) {
+        let set: HashSet<usize> = group.iter().copied().collect();
+        for a in 0..n_total {
+            for b in 0..n_total {
+                if a != b && set.contains(&a) != set.contains(&b) {
+                    self.blackholes.insert((a, b));
+                }
+            }
+        }
+    }
+
+    /// Routes one packet. Returns the one-way latency if it survives, or
+    /// `None` if any fault drops it.
+    pub fn route(&mut self, src: usize, dst: usize) -> Option<u64> {
+        if self.crashed.contains(&src) || self.crashed.contains(&dst) {
+            return None;
+        }
+        if self.blackholes.contains(&(src, dst)) {
+            return None;
+        }
+        if let Some(&p) = self.egress_drop.get(&src) {
+            if self.rng.gen_bool(p) {
+                return None;
+            }
+        }
+        if let Some(&p) = self.ingress_drop.get(&dst) {
+            if self.rng.gen_bool(p) {
+                return None;
+            }
+        }
+        let latency = self.base_latency_ms + self.rng.gen_f64() * self.jitter_ms;
+        Some(latency.max(0.0).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_links_deliver_with_bounded_latency() {
+        let mut net = NetworkModel::lan(1);
+        for _ in 0..1000 {
+            let lat = net.route(0, 1).expect("no faults configured");
+            assert!(lat <= 2, "latency {lat} out of LAN bounds");
+        }
+    }
+
+    #[test]
+    fn ingress_drop_is_directional() {
+        let mut net = NetworkModel::lan(2);
+        net.set_ingress_drop(5, 1.0);
+        for _ in 0..100 {
+            assert!(net.route(0, 5).is_none(), "to the faulty node: dropped");
+            assert!(net.route(5, 0).is_some(), "from the faulty node: flows");
+        }
+    }
+
+    #[test]
+    fn egress_drop_is_directional() {
+        let mut net = NetworkModel::lan(3);
+        net.set_egress_drop(5, 1.0);
+        for _ in 0..100 {
+            assert!(net.route(5, 0).is_none());
+            assert!(net.route(0, 5).is_some());
+        }
+    }
+
+    #[test]
+    fn partial_drop_rate_is_statistical() {
+        let mut net = NetworkModel::lan(4);
+        net.set_ingress_drop(1, 0.8);
+        let delivered = (0..10_000).filter(|_| net.route(0, 1).is_some()).count();
+        assert!((1_500..2_500).contains(&delivered), "~20% of 10k, got {delivered}");
+    }
+
+    #[test]
+    fn clearing_faults_restores_flow() {
+        let mut net = NetworkModel::lan(5);
+        net.set_ingress_drop(1, 1.0);
+        assert!(net.route(0, 1).is_none());
+        net.set_ingress_drop(1, 0.0);
+        assert!(net.route(0, 1).is_some());
+    }
+
+    #[test]
+    fn crash_kills_both_directions() {
+        let mut net = NetworkModel::lan(6);
+        net.crash(2);
+        assert!(net.route(2, 0).is_none());
+        assert!(net.route(0, 2).is_none());
+        assert!(net.is_crashed(2));
+        assert!(net.route(0, 1).is_some(), "others unaffected");
+    }
+
+    #[test]
+    fn blackhole_pair_and_clear() {
+        let mut net = NetworkModel::lan(7);
+        net.blackhole_pair(1, 2);
+        assert!(net.route(1, 2).is_none());
+        assert!(net.route(2, 1).is_none());
+        assert!(net.route(1, 3).is_some());
+        net.clear_blackhole(1, 2);
+        assert!(net.route(1, 2).is_some());
+        assert!(net.route(2, 1).is_none(), "other direction still holed");
+    }
+
+    #[test]
+    fn partition_separates_groups() {
+        let mut net = NetworkModel::lan(8);
+        net.partition(&[0, 1], 5);
+        assert!(net.route(0, 1).is_some());
+        assert!(net.route(3, 4).is_some());
+        assert!(net.route(0, 2).is_none());
+        assert!(net.route(2, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed: u64| {
+            let mut net = NetworkModel::lan(seed);
+            net.set_ingress_drop(1, 0.5);
+            (0..100).map(|_| net.route(0, 1)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

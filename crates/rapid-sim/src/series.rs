@@ -1,0 +1,139 @@
+//! Timeseries and distribution helpers for experiment analysis.
+
+use std::collections::BTreeSet;
+
+/// One per-second observation: at `t_ms`, actor `actor` observed `value`
+/// (typically its view of the cluster size).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the observation.
+    pub t_ms: u64,
+    /// Observing actor index.
+    pub actor: usize,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// The `p`-th percentile (0–100) of an unsorted slice, by linear
+/// interpolation. Returns `NaN` on empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Arithmetic mean; `NaN` on empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Maximum; `NaN` on empty input.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Empirical CDF points `(value, fraction <= value)` for plotting
+/// (Figure 6 of the paper).
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// The number of distinct values observed across a sample set (Table 1 of
+/// the paper counts unique cluster sizes reported during bootstrap).
+pub fn unique_values(samples: &[Sample]) -> usize {
+    let set: BTreeSet<u64> = samples.iter().map(|s| s.value.round() as u64).collect();
+    set.len()
+}
+
+/// The earliest time at which *every* actor in `actors` has reported
+/// `target` (and therefore the cluster converged), if it happened.
+pub fn convergence_time(samples: &[Sample], actors: usize, target: f64) -> Option<u64> {
+    let mut first_at = vec![None; actors];
+    for s in samples {
+        if s.actor < actors && (s.value - target).abs() < 0.5 {
+            if first_at[s.actor].is_none() {
+                first_at[s.actor] = Some(s.t_ms);
+            }
+        } else if s.actor < actors {
+            first_at[s.actor] = None; // Regressed: must re-reach the target.
+        }
+    }
+    first_at
+        .into_iter()
+        .collect::<Option<Vec<u64>>>()
+        .map(|v| v.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn ecdf_is_monotone_to_one() {
+        let pts = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn unique_values_counts_distinct_sizes() {
+        let samples = vec![
+            Sample { t_ms: 0, actor: 0, value: 5.0 },
+            Sample { t_ms: 1, actor: 1, value: 5.0 },
+            Sample { t_ms: 2, actor: 0, value: 7.0 },
+        ];
+        assert_eq!(unique_values(&samples), 2);
+    }
+
+    #[test]
+    fn convergence_requires_all_actors_to_hold_target() {
+        let mk = |t, a, v| Sample { t_ms: t, actor: a, value: v };
+        // Actor 1 regresses at t=3 then recovers at t=4.
+        let samples = vec![
+            mk(1_000, 0, 10.0),
+            mk(1_000, 1, 10.0),
+            mk(3_000, 1, 9.0),
+            mk(4_000, 1, 10.0),
+        ];
+        assert_eq!(convergence_time(&samples, 2, 10.0), Some(4_000));
+        assert_eq!(convergence_time(&samples, 3, 10.0), None, "actor 2 never reported");
+    }
+}

@@ -1,0 +1,499 @@
+//! A real-network host for `rapid-core` nodes.
+//!
+//! The paper's implementation runs over gRPC/Netty; this crate provides the
+//! equivalent plumbing with `std::net` TCP and threads, with no async
+//! runtime dependency. The sans-io [`rapid_core::node::Node`] is driven by
+//! a single driver thread that multiplexes inbound frames (from a
+//! listener + per-connection reader threads) with periodic ticks, and
+//! writes outbound frames through a lazily connected stream pool.
+//!
+//! Framing: every message is `[u32 total_len][u16 host_len][host bytes]
+//! [u16 port][rapid_core::wire body]`, where `host:port` is the *logical*
+//! listen address of the sender (connections are unidirectional and
+//! ephemeral; the protocol addresses peers by listen address).
+//!
+//! Delivery is best effort, like the UDP the paper uses for gossip: a
+//! failed connect or write simply drops the message — Rapid's dissemination
+//! and failure detection are built to tolerate exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use rapid_core::config::Configuration;
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::ViewChange;
+use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::rng::Xoshiro256;
+use rapid_core::settings::Settings;
+use rapid_core::wire::{self, Message};
+use rapid_core::Member;
+
+/// Application-visible events surfaced by the runtime.
+#[derive(Clone, Debug)]
+pub enum AppEvent {
+    /// A view change was installed (the paper's view-change callback).
+    View(ViewChange),
+    /// This node completed its join.
+    Joined(Arc<Configuration>),
+    /// This node was removed from the membership.
+    Kicked,
+}
+
+/// Maximum accepted frame size (a full 5000-member snapshot fits well
+/// within this).
+const MAX_FRAME: u32 = 32 * 1024 * 1024;
+
+fn write_frame(stream: &mut TcpStream, from: &Endpoint, msg: &Message) -> std::io::Result<()> {
+    let body = wire::encode_to_vec(msg);
+    let host = from.host().as_bytes();
+    let total = 2 + host.len() + 2 + body.len();
+    let mut buf = Vec::with_capacity(4 + total);
+    buf.extend_from_slice(&(total as u32).to_le_bytes());
+    buf.extend_from_slice(&(host.len() as u16).to_le_bytes());
+    buf.extend_from_slice(host);
+    buf.extend_from_slice(&from.port().to_le_bytes());
+    buf.extend_from_slice(&body);
+    stream.write_all(&buf)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Message)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut frame = vec![0u8; len as usize];
+    stream.read_exact(&mut frame)?;
+    if frame.len() < 4 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "short frame",
+        ));
+    }
+    let host_len = u16::from_le_bytes([frame[0], frame[1]]) as usize;
+    if frame.len() < 2 + host_len + 2 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "short frame header",
+        ));
+    }
+    let host = std::str::from_utf8(&frame[2..2 + host_len])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad host"))?
+        .to_string();
+    let port = u16::from_le_bytes([frame[2 + host_len], frame[3 + host_len]]);
+    let body = &frame[4 + host_len..];
+    let msg = wire::decode(body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((Endpoint::new(host, port), msg))
+}
+
+/// A lazily connected pool of outbound streams.
+struct StreamPool {
+    me: Endpoint,
+    streams: std::collections::HashMap<Endpoint, TcpStream>,
+    connect_timeout: Duration,
+}
+
+impl StreamPool {
+    fn new(me: Endpoint, connect_timeout: Duration) -> Self {
+        StreamPool {
+            me,
+            streams: std::collections::HashMap::new(),
+            connect_timeout,
+        }
+    }
+
+    /// Best-effort send; drops the message on any error.
+    fn send(&mut self, to: &Endpoint, msg: &Message) {
+        if !self.streams.contains_key(to) {
+            let addr = match format!("{to}").to_socket_addrs() {
+                Ok(mut addrs) => addrs.next(),
+                Err(_) => None,
+            };
+            let Some(addr) = addr else { return };
+            let Ok(stream) = TcpStream::connect_timeout(&addr, self.connect_timeout) else {
+                return;
+            };
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            self.streams.insert(to.clone(), stream);
+        }
+        let failed = {
+            let stream = self.streams.get_mut(to).expect("just inserted");
+            write_frame(stream, &self.me, msg).is_err()
+        };
+        if failed {
+            if let Some(s) = self.streams.remove(to) {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A running Rapid node bound to a real TCP socket.
+pub struct Runtime {
+    me: Member,
+    events_rx: Receiver<AppEvent>,
+    view: Arc<Mutex<Arc<Configuration>>>,
+    status: Arc<Mutex<NodeStatus>>,
+    shutdown: Arc<AtomicBool>,
+    control_tx: Sender<Control>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+enum Control {
+    Leave,
+}
+
+impl Runtime {
+    /// Starts a seed node bootstrapping a fresh cluster on `listen`.
+    pub fn start_seed(listen: Endpoint, settings: Settings) -> std::io::Result<Runtime> {
+        Self::start(listen, settings, Vec::new(), rapid_core::Metadata::new())
+    }
+
+    /// Starts a node that joins an existing cluster through `seeds`.
+    pub fn start_joiner(
+        listen: Endpoint,
+        seeds: Vec<Endpoint>,
+        settings: Settings,
+        metadata: rapid_core::Metadata,
+    ) -> std::io::Result<Runtime> {
+        Self::start(listen, settings, seeds, metadata)
+    }
+
+    fn start(
+        listen: Endpoint,
+        settings: Settings,
+        seeds: Vec<Endpoint>,
+        metadata: rapid_core::Metadata,
+    ) -> std::io::Result<Runtime> {
+        let listener = TcpListener::bind(format!("{listen}"))?;
+        let actual: SocketAddr = listener.local_addr()?;
+        let me_ep = Endpoint::new(listen.host(), actual.port());
+        // Fresh logical id per join, seeded from OS entropy via the
+        // address of a stack local + time (no extra dependencies).
+        let seed_entropy = Instant::now().elapsed().as_nanos() as u64
+            ^ std::process::id() as u64
+            ^ me_ep.digest();
+        let mut rng = Xoshiro256::seed_from_u64(seed_entropy);
+        let id = NodeId::random(&mut rng);
+        let me = Member::with_metadata(id, me_ep.clone(), metadata);
+
+        let node = if seeds.is_empty() {
+            Node::new_seed(me.clone(), settings.clone())
+        } else {
+            Node::new_joiner(me.clone(), settings.clone(), seeds)
+        };
+
+        let (inbound_tx, inbound_rx) = bounded::<(Endpoint, Message)>(64 * 1024);
+        let (events_tx, events_rx) = bounded::<AppEvent>(16 * 1024);
+        let (control_tx, control_rx) = bounded::<Control>(16);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let view = Arc::new(Mutex::new(node.configuration()));
+        let status = Arc::new(Mutex::new(node.status()));
+
+        let mut threads = Vec::new();
+
+        // Listener thread: accept connections, spawn frame readers.
+        {
+            let inbound_tx = inbound_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            listener.set_nonblocking(true)?;
+            threads.push(std::thread::spawn(move || {
+                let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let tx = inbound_tx.clone();
+                            let stop = Arc::clone(&shutdown);
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                            readers.push(std::thread::spawn(move || {
+                                let mut stream = stream;
+                                while !stop.load(Ordering::Relaxed) {
+                                    match read_frame(&mut stream) {
+                                        Ok((from, msg)) => {
+                                            if tx.send((from, msg)).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        Err(e)
+                                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                                        {
+                                            continue
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            }));
+        }
+
+        // Driver thread: ticks + message dispatch.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let view = Arc::clone(&view);
+            let status = Arc::clone(&status);
+            let tick = Duration::from_millis(settings.tick_interval_ms);
+            let me_ep2 = me_ep.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut node = node;
+                let mut pool = StreamPool::new(me_ep2, Duration::from_millis(250));
+                let start = Instant::now();
+                let mut next_tick = Instant::now();
+                let mut actions = Vec::new();
+                loop {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Control commands.
+                    while let Ok(cmd) = control_rx.try_recv() {
+                        match cmd {
+                            Control::Leave => node.leave(&mut actions),
+                        }
+                    }
+                    // Inbound frames until the next tick is due.
+                    let budget = next_tick.saturating_duration_since(Instant::now());
+                    match inbound_rx.recv_timeout(budget) {
+                        Ok((from, msg)) => {
+                            node.handle(Event::Receive { from, msg }, &mut actions);
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            let now_ms = start.elapsed().as_millis() as u64;
+                            node.handle(Event::Tick { now_ms }, &mut actions);
+                            next_tick += tick;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                    // Dispatch actions.
+                    for action in actions.drain(..) {
+                        match action {
+                            Action::Send { to, msg } => pool.send(&to, &msg),
+                            Action::View(vc) => {
+                                *view.lock() = Arc::clone(&vc.configuration);
+                                *status.lock() = node.status();
+                                let _ = events_tx.try_send(AppEvent::View(vc));
+                            }
+                            Action::Joined { config } => {
+                                *view.lock() = Arc::clone(&config);
+                                *status.lock() = node.status();
+                                let _ = events_tx.try_send(AppEvent::Joined(config));
+                            }
+                            Action::Kicked => {
+                                *status.lock() = NodeStatus::Kicked;
+                                let _ = events_tx.try_send(AppEvent::Kicked);
+                            }
+                        }
+                    }
+                    *status.lock() = node.status();
+                }
+            }));
+        }
+
+        Ok(Runtime {
+            me,
+            events_rx,
+            view,
+            status,
+            shutdown,
+            control_tx,
+            threads,
+        })
+    }
+
+    /// This node's identity.
+    pub fn member(&self) -> &Member {
+        &self.me
+    }
+
+    /// The node's listen address (with the actual bound port).
+    pub fn addr(&self) -> &Endpoint {
+        &self.me.addr
+    }
+
+    /// The latest installed configuration.
+    pub fn view(&self) -> Arc<Configuration> {
+        Arc::clone(&self.view.lock())
+    }
+
+    /// The node's lifecycle status.
+    pub fn status(&self) -> NodeStatus {
+        *self.status.lock()
+    }
+
+    /// The stream of application events (view changes, join, kick).
+    pub fn events(&self) -> &Receiver<AppEvent> {
+        &self.events_rx
+    }
+
+    /// Announces a voluntary departure, then shuts the runtime down.
+    pub fn leave(self) {
+        let _ = self.control_tx.send(Control::Leave);
+        std::thread::sleep(Duration::from_millis(200));
+        self.shutdown_now();
+    }
+
+    /// Stops all threads without announcing departure (a crash, as far as
+    /// the cluster is concerned).
+    pub fn shutdown_now(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            tick_interval_ms: 20,
+            fd_probe_interval_ms: 200,
+            fd_probe_timeout_ms: 200,
+            consensus_fallback_base_ms: 1_500,
+            consensus_fallback_jitter_ms: 500,
+            join_timeout_ms: 1_000,
+            gossip_interval_ms: 50,
+            ..Settings::default()
+        }
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+
+    #[test]
+    fn frame_roundtrip_over_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut stream,
+                &Endpoint::new("me", 42),
+                &Message::Probe { seq: 7 },
+            )
+            .unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let (from, msg) = read_frame(&mut conn).unwrap();
+        assert_eq!(from, Endpoint::new("me", 42));
+        assert!(matches!(msg, Message::Probe { seq: 7 }));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn cluster_forms_and_removes_crashed_node_over_tcp() {
+        let settings = fast_settings();
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
+        let seed_addr = seed.addr().clone();
+        let mut joiners = Vec::new();
+        for _ in 0..3 {
+            joiners.push(
+                Runtime::start_joiner(
+                    Endpoint::new("127.0.0.1", 0),
+                    vec![seed_addr.clone()],
+                    settings.clone(),
+                    rapid_core::Metadata::with_entry("role", "test"),
+                )
+                .unwrap(),
+            );
+        }
+        assert!(
+            wait_for(
+                || seed.view().len() == 4 && joiners.iter().all(|j| j.view().len() == 4),
+                Duration::from_secs(30)
+            ),
+            "4-node cluster must form over TCP, seed sees {}",
+            seed.view().len()
+        );
+        // All views agree.
+        let id = seed.view().id();
+        assert!(joiners.iter().all(|j| j.view().id() == id));
+        // Hard-kill one joiner; the survivors must remove it.
+        let victim = joiners.pop().unwrap();
+        let victim_id = victim.member().id;
+        victim.shutdown_now();
+        assert!(
+            wait_for(
+                || seed.view().len() == 3 && !seed.view().contains(victim_id),
+                Duration::from_secs(60)
+            ),
+            "crashed node must be removed, seed sees {}",
+            seed.view().len()
+        );
+        for j in joiners {
+            j.shutdown_now();
+        }
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn voluntary_leave_is_faster_than_crash_detection() {
+        let settings = fast_settings();
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
+        let seed_addr = seed.addr().clone();
+        let j1 = Runtime::start_joiner(
+            Endpoint::new("127.0.0.1", 0),
+            vec![seed_addr.clone()],
+            settings.clone(),
+            rapid_core::Metadata::new(),
+        )
+        .unwrap();
+        let j2 = Runtime::start_joiner(
+            Endpoint::new("127.0.0.1", 0),
+            vec![seed_addr],
+            settings,
+            rapid_core::Metadata::new(),
+        )
+        .unwrap();
+        assert!(wait_for(
+            || seed.view().len() == 3,
+            Duration::from_secs(30)
+        ));
+        let t0 = Instant::now();
+        j2.leave();
+        assert!(
+            wait_for(|| seed.view().len() == 2, Duration::from_secs(30)),
+            "leaver must be removed"
+        );
+        // A leave announcement skips the probe timeout path.
+        assert!(t0.elapsed() < Duration::from_secs(25));
+        j1.shutdown_now();
+        seed.shutdown_now();
+    }
+}

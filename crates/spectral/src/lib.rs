@@ -1,0 +1,243 @@
+//! Spectral verification of the monitoring overlay's expansion (paper §8).
+//!
+//! The union of Rapid's K rings, viewed as an undirected multigraph, is
+//! `d = 2K`-regular. The paper's correctness argument (§8.1) requires the
+//! graph to be an expander: its second eigenvalue λ must satisfy
+//! `λ/d < 1`, and the detection bound `β < 1 − L/K − λ/d` (Equation 2)
+//! tells us what fraction β of faulty processes is guaranteed to be
+//! detected. The authors observe `λ/d < 0.45` consistently for `K = 10`;
+//! the `spectral_expansion` bench binary reproduces that observation.
+//!
+//! The eigensolver is a dependency-free power iteration on the space
+//! orthogonal to the all-ones vector (the top eigenvector of any regular
+//! graph), returning the largest remaining eigenvalue magnitude — exactly
+//! the λ of the expander-mixing lemma used in the paper's Lemma 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rapid_core::config::Configuration;
+use rapid_core::ring::Topology;
+use rapid_core::rng::Xoshiro256;
+
+/// The undirected monitoring multigraph of a configuration (paper §8.1:
+/// `(u,v)` appears once per direction-ignoring monitoring edge, with
+/// multiplicity).
+pub struct MonitoringGraph {
+    n: usize,
+    d: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl MonitoringGraph {
+    /// Builds the multigraph underlying a topology.
+    pub fn from_topology(topology: &Topology) -> Self {
+        let n = topology.n();
+        let d = 2 * topology.k();
+        let mut adj = vec![Vec::with_capacity(d); n];
+        for (_, o, s) in topology.edges() {
+            adj[o as usize].push(s);
+            adj[s as usize].push(o);
+        }
+        MonitoringGraph { n, d, adj }
+    }
+
+    /// Convenience: builds the graph for a configuration and ring count.
+    pub fn build(config: &Configuration, k: usize) -> Self {
+        Self::from_topology(&Topology::build(config, k))
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The regular degree `d = 2K`.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// Edges within an induced subgraph (the `e(F)` of Lemma 1), counting
+    /// multiplicity.
+    pub fn induced_edges(&self, subset: &[u32]) -> usize {
+        let mut inside = vec![false; self.n];
+        for &v in subset {
+            inside[v as usize] = true;
+        }
+        let mut twice = 0usize;
+        for &v in subset {
+            twice += self.adj[v as usize]
+                .iter()
+                .filter(|&&u| inside[u as usize])
+                .count();
+        }
+        twice / 2
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        for (v, row) in self.adj.iter().enumerate() {
+            let mut acc = 0.0;
+            for &u in row {
+                acc += x[u as usize];
+            }
+            y[v] = acc;
+        }
+    }
+
+    /// Estimates λ — the largest eigenvalue magnitude orthogonal to the
+    /// all-ones vector — by deflated power iteration.
+    ///
+    /// Returns `None` for graphs with fewer than 3 vertices.
+    pub fn second_eigenvalue(&self, iterations: usize, seed: u64) -> Option<f64> {
+        if self.n < 3 {
+            return None;
+        }
+        let n = self.n;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5EC7);
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_f64() - 0.5).collect();
+        let mut w = vec![0.0; n];
+        let deflate = |x: &mut [f64]| {
+            let mean = x.iter().sum::<f64>() / x.len() as f64;
+            for xi in x.iter_mut() {
+                *xi -= mean;
+            }
+        };
+        let normalize = |x: &mut [f64]| {
+            let norm = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for xi in x.iter_mut() {
+                    *xi /= norm;
+                }
+            }
+        };
+        deflate(&mut v);
+        normalize(&mut v);
+        // Random regular graphs have a most-negative eigenvalue of nearly
+        // the same magnitude as λ2, which makes plain power iteration
+        // oscillate between the two extreme eigenvectors. Iterating on A²
+        // (two matvecs per step) converges to the largest |λ| on the
+        // deflated space: λ = sqrt(v·A²v).
+        let mut tmp = vec![0.0; n];
+        let mut lambda_sq = 0.0;
+        for _ in 0..iterations {
+            self.matvec(&v, &mut tmp);
+            deflate(&mut tmp);
+            self.matvec(&tmp, &mut w);
+            deflate(&mut w);
+            lambda_sq = v.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+            std::mem::swap(&mut v, &mut w);
+            normalize(&mut v);
+        }
+        Some(lambda_sq.max(0.0).sqrt())
+    }
+
+    /// λ/d, the normalised second eigenvalue the paper reports.
+    pub fn lambda_over_d(&self, iterations: usize, seed: u64) -> Option<f64> {
+        self.second_eigenvalue(iterations, seed)
+            .map(|l| l / self.d as f64)
+    }
+}
+
+/// The paper's detection bound (Equation 2): the overlay guarantees
+/// detection of any faulty set of density `β < 1 − L/K − λ/d`.
+pub fn detection_bound(l: usize, k: usize, lambda_over_d: f64) -> f64 {
+    1.0 - l as f64 / k as f64 - lambda_over_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_core::config::Member;
+    use rapid_core::id::{Endpoint, NodeId};
+
+    fn config(n: u128) -> std::sync::Arc<Configuration> {
+        Configuration::bootstrap(
+            (1..=n)
+                .map(|i| Member::new(NodeId::from_u128(i), Endpoint::new(format!("n{i}"), 1)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn graph_is_2k_regular() {
+        let g = MonitoringGraph::build(&config(100), 10);
+        assert_eq!(g.degree(), 20);
+        assert!(g.adj.iter().all(|row| row.len() == 20));
+    }
+
+    #[test]
+    fn single_ring_is_a_poor_expander() {
+        // K=1 is a union of one cycle: λ2 = 2·cos(2π/n) → λ/d ≈ 1.
+        let g = MonitoringGraph::build(&config(64), 1);
+        let lam = g.second_eigenvalue(2_000, 1).unwrap();
+        let expected = 2.0 * (2.0 * std::f64::consts::PI / 64.0).cos();
+        assert!(
+            (lam - expected).abs() < 0.05,
+            "cycle eigenvalue: got {lam}, expected {expected}"
+        );
+        assert!(g.lambda_over_d(2_000, 1).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn k10_overlay_matches_paper_expansion_claim() {
+        // Paper §8.1: "with K = 10 (and d = 20), we have observed
+        // consistently that λ/d < 0.45".
+        for n in [200u128, 500] {
+            let g = MonitoringGraph::build(&config(n), 10);
+            let ratio = g.lambda_over_d(400, 7).unwrap();
+            assert!(
+                ratio < 0.45,
+                "λ/d must be < 0.45 for K=10 at n={n}, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_bound_is_positive_for_paper_parameters() {
+        // With L=3, K=10 and λ/d < 0.45: β < 1 − 0.3 − 0.45 = 0.25, i.e.
+        // the quarter-of-the-cluster bound the paper states.
+        let bound = detection_bound(3, 10, 0.45);
+        assert!((bound - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expander_mixing_bound_holds_on_random_subsets() {
+        // Lemma 1: |e(F) − d·β²n/2| ≤ λ·β·n/2.
+        let n = 300u128;
+        let k = 10;
+        let g = MonitoringGraph::build(&config(n), k);
+        let lam = g.second_eigenvalue(400, 3).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        for frac in [0.1, 0.25, 0.5] {
+            let size = (frac * n as f64) as usize;
+            let subset: Vec<u32> = rng
+                .choose_indices(n as usize, size)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            let e = g.induced_edges(&subset) as f64;
+            let beta = size as f64 / n as f64;
+            let expected = 0.5 * beta * beta * g.degree() as f64 * n as f64;
+            let slack = 0.5 * lam * beta * n as f64;
+            assert!(
+                (e - expected).abs() <= slack * 1.2,
+                "mixing lemma violated: e={e} expected={expected} slack={slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_return_none() {
+        let g = MonitoringGraph::build(&config(2), 3);
+        assert!(g.second_eigenvalue(100, 1).is_none());
+    }
+
+    #[test]
+    fn induced_edges_counts_multiplicity() {
+        let g = MonitoringGraph::build(&config(50), 4);
+        let all: Vec<u32> = (0..50).collect();
+        // The whole graph induces all K·n edges.
+        assert_eq!(g.induced_edges(&all), 4 * 50);
+        assert_eq!(g.induced_edges(&[]), 0);
+    }
+}

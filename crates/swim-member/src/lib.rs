@@ -1,0 +1,32 @@
+//! A SWIM-style gossip membership implementation, modelled on HashiCorp's
+//! Memberlist library (the baseline the paper compares against, §7).
+//!
+//! The protocol follows Das et al. (DSN 2002) with Memberlist's
+//! `DefaultLANConfig` parameters:
+//!
+//! * round-robin **probing** over a shuffled member order, 1 probe/s with a
+//!   500 ms direct timeout;
+//! * **indirect probes** through 3 relays when a direct probe times out;
+//! * **suspicion** instead of immediate death: a suspect is declared dead
+//!   only after `suspicion_mult × log10(n+1)` probe intervals, during which
+//!   the accused can *refute* by gossiping a higher incarnation;
+//! * **piggybacked dissemination** of membership updates, each relayed
+//!   `retransmit_mult × log10(n+1)` times, plus a dedicated gossip pump
+//!   (Memberlist gossips every 200 ms to 3 peers over UDP);
+//! * periodic **push-pull anti-entropy**: a full state exchange with one
+//!   random peer every 30 s — the mechanism responsible for Memberlist's
+//!   slow bootstrap convergence in Figure 7.
+//!
+//! The accusation/refutation cycle is exactly what makes gossip membership
+//! unstable under asymmetric faults (Figures 1, 9, 10): a process whose
+//! ingress is impaired keeps *sending* suspicions about everyone it can no
+//! longer hear, while refuting suspicions about itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod state;
+
+pub use node::{SwimConfig, SwimNode};
+pub use state::{MemberState, SwimMsg, Update};

@@ -1,0 +1,659 @@
+//! The SWIM protocol state machine.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+use rapid_core::rng::Xoshiro256;
+use rapid_sim::{Actor, Outbox};
+
+use crate::state::{merge, msg_size, MemberState, SwimMsg, Update};
+
+/// Memberlist `DefaultLANConfig`-equivalent parameters.
+#[derive(Clone, Debug)]
+pub struct SwimConfig {
+    /// Interval between probes of successive members.
+    pub probe_interval_ms: u64,
+    /// Direct probe timeout before indirect probes are sent.
+    pub probe_timeout_ms: u64,
+    /// Number of indirect-probe relays.
+    pub indirect_checks: usize,
+    /// Suspicion timeout = `suspicion_mult × log10(n+1) × probe_interval`.
+    pub suspicion_mult: f64,
+    /// Dedicated gossip pump interval.
+    pub gossip_interval_ms: u64,
+    /// Peers gossiped to per pump.
+    pub gossip_nodes: usize,
+    /// Updates are piggybacked `retransmit_mult × log10(n+1)` times.
+    pub retransmit_mult: f64,
+    /// Full-state anti-entropy interval (Memberlist: 30 s on LAN).
+    pub push_pull_interval_ms: u64,
+    /// Maximum piggybacked updates per packet (UDP MTU budget).
+    pub max_piggyback: usize,
+}
+
+impl Default for SwimConfig {
+    fn default() -> Self {
+        SwimConfig {
+            probe_interval_ms: 1_000,
+            probe_timeout_ms: 500,
+            indirect_checks: 3,
+            suspicion_mult: 4.0,
+            gossip_interval_ms: 200,
+            gossip_nodes: 3,
+            retransmit_mult: 4.0,
+            push_pull_interval_ms: 30_000,
+            max_piggyback: 32,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MemberInfo {
+    incarnation: u64,
+    state: MemberState,
+    suspect_since: u64,
+}
+
+#[derive(Clone, Debug)]
+struct ProbeState {
+    target: Endpoint,
+    seq: u64,
+    indirect_at: u64,
+    deadline: u64,
+    indirect_sent: bool,
+}
+
+/// One SWIM/Memberlist process.
+pub struct SwimNode {
+    cfg: SwimConfig,
+    me: Endpoint,
+    incarnation: u64,
+    members: HashMap<Endpoint, MemberInfo>,
+    probe_order: Vec<Endpoint>,
+    probe_idx: usize,
+    probe: Option<ProbeState>,
+    relayed: HashMap<u64, Endpoint>,
+    piggyback: VecDeque<(Update, u32)>,
+    live_count: usize,
+    suspect_count: usize,
+    seq: u64,
+    seeds: Vec<Endpoint>,
+    join_retry_at: u64,
+    next_probe_at: u64,
+    next_gossip_at: u64,
+    next_push_pull_at: u64,
+    rng: Xoshiro256,
+}
+
+impl SwimNode {
+    /// Creates a node that joins through `seeds` (empty for the first
+    /// seed process itself).
+    pub fn new(me: Endpoint, seeds: Vec<Endpoint>, cfg: SwimConfig, rng_seed: u64) -> Self {
+        SwimNode {
+            cfg,
+            me,
+            incarnation: 1,
+            members: HashMap::new(),
+            probe_order: Vec::new(),
+            probe_idx: 0,
+            probe: None,
+            relayed: HashMap::new(),
+            piggyback: VecDeque::new(),
+            live_count: 0,
+            suspect_count: 0,
+            seq: 0,
+            seeds,
+            join_retry_at: 0,
+            next_probe_at: 0,
+            next_gossip_at: 0,
+            next_push_pull_at: 0,
+            rng: Xoshiro256::seed_from_u64(rng_seed ^ 0x5717),
+        }
+    }
+
+    /// The number of members this node currently believes are in the
+    /// cluster (alive + suspect, including itself) — what a Memberlist
+    /// agent logs as the cluster size.
+    pub fn cluster_size(&self) -> usize {
+        1 + self.live_count
+    }
+
+    /// The addresses of all members currently considered live or suspect
+    /// (excluding this node itself), sorted.
+    pub fn live_members(&self) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.state != MemberState::Dead)
+            .map(|(a, _)| a.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `addr` is currently considered a live (or suspect) member.
+    pub fn considers_member(&self, addr: &Endpoint) -> bool {
+        self.members
+            .get(addr)
+            .map(|m| m.state != MemberState::Dead)
+            .unwrap_or(false)
+    }
+
+    /// This node's incarnation number (grows with each refutation).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    fn n(&self) -> usize {
+        self.cluster_size()
+    }
+
+    fn retransmit_limit(&self) -> u32 {
+        (self.cfg.retransmit_mult * ((self.n() + 1) as f64).log10()).ceil() as u32 + 1
+    }
+
+    fn suspicion_timeout(&self) -> u64 {
+        let factor = ((self.n() + 1) as f64).log10().max(1.0);
+        (self.cfg.suspicion_mult * factor * self.cfg.probe_interval_ms as f64) as u64
+    }
+
+    fn queue_update(&mut self, update: Update) {
+        let limit = self.retransmit_limit();
+        self.piggyback.push_back((update, limit));
+    }
+
+    fn take_piggyback(&mut self) -> Arc<Vec<Update>> {
+        // Pop up to a packet's worth from the front and rotate surviving
+        // items to the back, so every item is transmitted `limit` times in
+        // FIFO order at O(packet) cost per call (a full-queue rebuild here
+        // is quadratic during bootstrap churn).
+        let count = self.cfg.max_piggyback.min(self.piggyback.len());
+        let mut batch = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (u, remaining) = self.piggyback.pop_front().expect("count bounded");
+            batch.push(u.clone());
+            if remaining > 1 {
+                self.piggyback.push_back((u, remaining - 1));
+            }
+        }
+        Arc::new(batch)
+    }
+
+    fn full_state(&self) -> Arc<Vec<Update>> {
+        let mut v: Vec<Update> = self
+            .members
+            .iter()
+            .map(|(addr, m)| Update {
+                addr: addr.clone(),
+                incarnation: m.incarnation,
+                state: m.state,
+            })
+            .collect();
+        v.push(Update {
+            addr: self.me.clone(),
+            incarnation: self.incarnation,
+            state: MemberState::Alive,
+        });
+        Arc::new(v)
+    }
+
+    fn apply_update(&mut self, u: &Update, now: u64) {
+        if u.addr == self.me {
+            // Refutation: if someone accuses us, assert a higher
+            // incarnation and gossip it.
+            if u.state != MemberState::Alive && u.incarnation >= self.incarnation {
+                self.incarnation = u.incarnation + 1;
+                let refute = Update {
+                    addr: self.me.clone(),
+                    incarnation: self.incarnation,
+                    state: MemberState::Alive,
+                };
+                self.queue_update(refute);
+            }
+            return;
+        }
+        match self.members.get_mut(&u.addr) {
+            None => {
+                if u.state == MemberState::Dead {
+                    return; // Don't learn about members only to bury them.
+                }
+                self.members.insert(
+                    u.addr.clone(),
+                    MemberInfo {
+                        incarnation: u.incarnation,
+                        state: u.state,
+                        suspect_since: now,
+                    },
+                );
+                self.live_count += 1;
+                if u.state == MemberState::Suspect {
+                    self.suspect_count += 1;
+                }
+                self.probe_order.push(u.addr.clone());
+                self.queue_update(u.clone());
+            }
+            Some(info) => {
+                let merged = merge((info.incarnation, info.state), (u.incarnation, u.state));
+                if merged != (info.incarnation, info.state) {
+                    if merged.1 == MemberState::Suspect && info.state != MemberState::Suspect {
+                        info.suspect_since = now;
+                    }
+                    match (info.state, merged.1) {
+                        (MemberState::Suspect, s) if s != MemberState::Suspect => {
+                            self.suspect_count -= 1;
+                        }
+                        (s, MemberState::Suspect) if s != MemberState::Suspect => {
+                            self.suspect_count += 1;
+                        }
+                        _ => {}
+                    }
+                    if info.state != MemberState::Dead && merged.1 == MemberState::Dead {
+                        self.live_count -= 1;
+                    } else if info.state == MemberState::Dead && merged.1 != MemberState::Dead {
+                        self.live_count += 1;
+                    }
+                    info.incarnation = merged.0;
+                    info.state = merged.1;
+                    self.queue_update(u.clone());
+                }
+            }
+        }
+    }
+
+    fn apply_all(&mut self, updates: &[Update], now: u64) {
+        for u in updates {
+            self.apply_update(u, now);
+        }
+    }
+
+    fn accuse(&mut self, target: Endpoint, now: u64) {
+        let Some(info) = self.members.get(&target) else {
+            return;
+        };
+        if info.state != MemberState::Alive {
+            return;
+        }
+        let u = Update {
+            addr: target,
+            incarnation: info.incarnation,
+            state: MemberState::Suspect,
+        };
+        self.apply_update(&u, now);
+    }
+
+    fn declare_dead(&mut self, target: Endpoint, now: u64) {
+        let Some(info) = self.members.get(&target) else {
+            return;
+        };
+        let u = Update {
+            addr: target,
+            incarnation: info.incarnation,
+            state: MemberState::Dead,
+        };
+        self.apply_update(&u, now);
+    }
+
+    fn next_probe_target(&mut self) -> Option<Endpoint> {
+        // Round-robin over a shuffled order, skipping dead entries.
+        for _ in 0..self.probe_order.len().max(1) {
+            if self.probe_idx >= self.probe_order.len() {
+                self.probe_idx = 0;
+                let mut order = self.probe_order.clone();
+                self.rng.shuffle(&mut order);
+                self.probe_order = order;
+                if self.probe_order.is_empty() {
+                    return None;
+                }
+            }
+            let candidate = self.probe_order[self.probe_idx].clone();
+            self.probe_idx += 1;
+            if self
+                .members
+                .get(&candidate)
+                .map(|m| m.state != MemberState::Dead)
+                .unwrap_or(false)
+            {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn random_members(&mut self, count: usize, exclude: Option<&Endpoint>) -> Vec<Endpoint> {
+        // Rejection-sample from the ever-seen list; live members dominate
+        // it in practice, so this avoids materialising a candidate vector
+        // on every gossip round.
+        if self.probe_order.is_empty() || self.live_count == 0 {
+            return Vec::new();
+        }
+        let mut picked = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while picked.len() < count && attempts < count * 8 + 16 {
+            attempts += 1;
+            let cand = &self.probe_order[self.rng.gen_index(self.probe_order.len())];
+            if Some(cand) == exclude || picked.contains(cand) {
+                continue;
+            }
+            if self
+                .members
+                .get(cand)
+                .map(|m| m.state != MemberState::Dead)
+                .unwrap_or(false)
+            {
+                picked.push(cand.clone());
+            }
+        }
+        picked
+    }
+}
+
+impl Actor for SwimNode {
+    type Msg = SwimMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<SwimMsg>) {
+        // Join through a seed until we know somebody.
+        if self.members.is_empty() {
+            if !self.seeds.is_empty() && now >= self.join_retry_at {
+                self.join_retry_at = now + 2_000;
+                let seed = self.seeds[self.rng.gen_index(self.seeds.len())].clone();
+                if seed != self.me {
+                    out.send(
+                        seed,
+                        SwimMsg::PushPull {
+                            state: self.full_state(),
+                            reply: true,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+
+        // Drive the outstanding probe.
+        if let Some(probe) = self.probe.clone() {
+            if !probe.indirect_sent && now >= probe.indirect_at {
+                if let Some(p) = &mut self.probe {
+                    p.indirect_sent = true;
+                }
+                let relays = self.random_members(self.cfg.indirect_checks, Some(&probe.target));
+                let updates = self.take_piggyback();
+                for r in relays {
+                    out.send(
+                        r,
+                        SwimMsg::PingReq {
+                            seq: probe.seq,
+                            target: probe.target.clone(),
+                            updates: Arc::clone(&updates),
+                        },
+                    );
+                }
+            }
+            if now >= probe.deadline {
+                self.probe = None;
+                self.accuse(probe.target, now);
+            }
+        }
+
+        // Issue the next probe.
+        if self.probe.is_none() && now >= self.next_probe_at {
+            self.next_probe_at = now + self.cfg.probe_interval_ms;
+            if let Some(target) = self.next_probe_target() {
+                self.seq += 1;
+                let seq = self.seq;
+                self.probe = Some(ProbeState {
+                    target: target.clone(),
+                    seq,
+                    indirect_at: now + self.cfg.probe_timeout_ms,
+                    deadline: now + self.cfg.probe_interval_ms,
+                    indirect_sent: false,
+                });
+                let updates = self.take_piggyback();
+                out.send(target, SwimMsg::Ping { seq, updates });
+            }
+        }
+
+        // Suspicion timeouts (scan only while suspects exist).
+        let timeout = self.suspicion_timeout();
+        let expired: Vec<Endpoint> = if self.suspect_count == 0 {
+            Vec::new()
+        } else {
+            self.members
+            .iter()
+            .filter(|(_, m)| {
+                m.state == MemberState::Suspect && now.saturating_sub(m.suspect_since) >= timeout
+            })
+            .map(|(a, _)| a.clone())
+            .collect()
+        };
+        for target in expired {
+            self.declare_dead(target, now);
+        }
+
+        // Dedicated gossip pump.
+        if now >= self.next_gossip_at {
+            self.next_gossip_at = now + self.cfg.gossip_interval_ms;
+            if !self.piggyback.is_empty() {
+                let updates = self.take_piggyback();
+                for peer in self.random_members(self.cfg.gossip_nodes, None) {
+                    out.send(
+                        peer,
+                        SwimMsg::PushPull {
+                            state: Arc::clone(&updates),
+                            reply: false,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Periodic full-state anti-entropy.
+        if now >= self.next_push_pull_at {
+            self.next_push_pull_at = now + self.cfg.push_pull_interval_ms;
+            if let Some(peer) = self.random_members(1, None).pop() {
+                out.send(
+                    peer,
+                    SwimMsg::PushPull {
+                        state: self.full_state(),
+                        reply: true,
+                    },
+                );
+            }
+        }
+
+        // Garbage-collect relay bookkeeping (coarse).
+        if self.relayed.len() > 1024 {
+            self.relayed.clear();
+        }
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: SwimMsg, now: u64, out: &mut Outbox<SwimMsg>) {
+        match msg {
+            SwimMsg::Ping { seq, updates } => {
+                self.apply_all(&updates, now);
+                let reply_updates = self.take_piggyback();
+                out.send(
+                    from,
+                    SwimMsg::Ack {
+                        seq,
+                        updates: reply_updates,
+                    },
+                );
+            }
+            SwimMsg::Ack { seq, updates } => {
+                self.apply_all(&updates, now);
+                if let Some(origin) = self.relayed.remove(&seq) {
+                    out.send(origin, SwimMsg::IndirectAck { seq, target: from });
+                } else if let Some(probe) = &self.probe {
+                    if probe.seq == seq && probe.target == from {
+                        self.probe = None;
+                    }
+                }
+            }
+            SwimMsg::PingReq {
+                seq,
+                target,
+                updates,
+            } => {
+                self.apply_all(&updates, now);
+                self.relayed.insert(seq, from.clone());
+                let relay_updates = self.take_piggyback();
+                out.send(
+                    target,
+                    SwimMsg::RelayPing {
+                        seq,
+                        origin: from,
+                        updates: relay_updates,
+                    },
+                );
+            }
+            SwimMsg::RelayPing { seq, updates, .. } => {
+                self.apply_all(&updates, now);
+                let reply_updates = self.take_piggyback();
+                out.send(
+                    from,
+                    SwimMsg::Ack {
+                        seq,
+                        updates: reply_updates,
+                    },
+                );
+            }
+            SwimMsg::IndirectAck { seq, target } => {
+                if let Some(probe) = &self.probe {
+                    if probe.seq == seq && probe.target == target {
+                        self.probe = None;
+                    }
+                }
+            }
+            SwimMsg::PushPull { state, reply } => {
+                self.apply_all(&state, now);
+                if reply {
+                    out.send(
+                        from,
+                        SwimMsg::PushPull {
+                            state: self.full_state(),
+                            reply: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn msg_size(msg: &SwimMsg) -> usize {
+        msg_size(msg)
+    }
+
+    fn sample(&self) -> Option<f64> {
+        if self.members.is_empty() && !self.seeds.is_empty() {
+            None // Not yet joined.
+        } else {
+            Some(self.cluster_size() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::{Fault, Simulation};
+
+    fn ep(i: usize) -> Endpoint {
+        Endpoint::new(format!("swim-{i}"), 7000)
+    }
+
+    /// Builds a SWIM cluster: node 0 is the seed, the rest join at 1 s.
+    fn cluster(n: usize, seed: u64) -> Simulation<SwimNode> {
+        let mut sim = Simulation::new(seed, 100);
+        sim.add_actor(ep(0), SwimNode::new(ep(0), vec![], SwimConfig::default(), seed));
+        for i in 1..n {
+            sim.add_actor_at(
+                ep(i),
+                SwimNode::new(ep(i), vec![ep(0)], SwimConfig::default(), seed + i as u64),
+                1_000,
+            );
+        }
+        sim
+    }
+
+    fn all_sizes(sim: &Simulation<SwimNode>) -> Vec<usize> {
+        (0..sim.len())
+            .filter(|&i| !sim.net.is_crashed(i))
+            .map(|i| sim.actor(i).cluster_size())
+            .collect()
+    }
+
+    #[test]
+    fn cluster_bootstraps_to_full_view() {
+        let mut sim = cluster(20, 1);
+        let t = sim.run_until_pred(120_000, |s| all_sizes(s).iter().all(|&x| x == 20));
+        assert!(t.is_some(), "SWIM must converge to 20");
+    }
+
+    #[test]
+    fn crashed_member_is_suspected_then_removed() {
+        let mut sim = cluster(15, 2);
+        assert!(sim
+            .run_until_pred(120_000, |s| all_sizes(s).iter().all(|&x| x == 15))
+            .is_some());
+        sim.schedule_fault(sim.now() + 500, Fault::Crash(7));
+        let t = sim.run_until_pred(sim.now() + 120_000, |s| {
+            all_sizes(s).iter().all(|&x| x == 14)
+        });
+        assert!(t.is_some(), "survivors must drop the crashed member");
+    }
+
+    #[test]
+    fn suspected_live_member_refutes_and_survives() {
+        let mut sim = cluster(10, 3);
+        assert!(sim
+            .run_until_pred(120_000, |s| all_sizes(s).iter().all(|&x| x == 10))
+            .is_some());
+        // 60% ingress loss: probes often fail, suspicion cycles begin, but
+        // the member's egress works so refutations get out.
+        sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(4, 0.6));
+        sim.run_until(sim.now() + 60_000);
+        assert!(
+            sim.actor(4).incarnation() > 1,
+            "the accused must have refuted at least once"
+        );
+        // It must still be a member somewhere (refutations work), even if
+        // views flap — this is the instability of Figure 1.
+        let still_member = (0..sim.len())
+            .filter(|&i| i != 4)
+            .filter(|&i| sim.actor(i).considers_member(&ep(4)))
+            .count();
+        assert!(still_member > 0, "refutation must keep the node around");
+    }
+
+    #[test]
+    fn updates_stop_being_piggybacked_after_retransmit_budget() {
+        let mut node = SwimNode::new(ep(0), vec![], SwimConfig::default(), 1);
+        let u = Update {
+            addr: ep(1),
+            incarnation: 1,
+            state: MemberState::Alive,
+        };
+        node.apply_update(&u, 0);
+        let limit = node.retransmit_limit() as usize;
+        let mut total = 0;
+        for _ in 0..limit + 5 {
+            total += node.take_piggyback().len();
+        }
+        assert_eq!(total, limit, "update relayed exactly `limit` times");
+    }
+
+    #[test]
+    fn dead_updates_do_not_introduce_members() {
+        let mut node = SwimNode::new(ep(0), vec![], SwimConfig::default(), 1);
+        node.apply_update(
+            &Update {
+                addr: ep(9),
+                incarnation: 3,
+                state: MemberState::Dead,
+            },
+            0,
+        );
+        assert_eq!(node.cluster_size(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! SWIM membership state, update precedence rules, and wire messages.
+
+use std::sync::Arc;
+
+use rapid_core::id::Endpoint;
+
+/// The lifecycle state of a member as seen by some process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemberState {
+    /// Believed healthy.
+    Alive,
+    /// Accused; will be declared dead unless refuted in time.
+    Suspect,
+    /// Declared failed.
+    Dead,
+}
+
+/// A disseminated membership update (the SWIM "gossip" unit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Update {
+    /// The member the update is about.
+    pub addr: Endpoint,
+    /// The member's incarnation number at the time of the update.
+    pub incarnation: u64,
+    /// The asserted state.
+    pub state: MemberState,
+}
+
+/// Applies SWIM's update precedence rules: returns the winning
+/// `(incarnation, state)` given the current and incoming values.
+///
+/// Higher incarnations always win; at equal incarnation the stronger
+/// accusation wins (`Dead > Suspect > Alive`).
+pub fn merge(
+    current: (u64, MemberState),
+    incoming: (u64, MemberState),
+) -> (u64, MemberState) {
+    use std::cmp::Ordering;
+    match incoming.0.cmp(&current.0) {
+        Ordering::Greater => incoming,
+        Ordering::Less => current,
+        Ordering::Equal => {
+            if incoming.1 > current.1 {
+                incoming
+            } else {
+                current
+            }
+        }
+    }
+}
+
+/// SWIM wire messages.
+#[derive(Clone, Debug)]
+pub enum SwimMsg {
+    /// Direct probe; carries piggybacked updates.
+    Ping {
+        /// Sequence number echoed by the ack.
+        seq: u64,
+        /// Piggybacked membership updates.
+        updates: Arc<Vec<Update>>,
+    },
+    /// Probe acknowledgement.
+    Ack {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Piggybacked membership updates.
+        updates: Arc<Vec<Update>>,
+    },
+    /// Ask a relay to probe `target` on our behalf.
+    PingReq {
+        /// Sequence number, echoed end-to-end.
+        seq: u64,
+        /// The suspected member to probe.
+        target: Endpoint,
+        /// Piggybacked membership updates.
+        updates: Arc<Vec<Update>>,
+    },
+    /// Relay-internal probe on behalf of `origin`.
+    RelayPing {
+        /// Sequence number of the original ping-req.
+        seq: u64,
+        /// Who asked for the indirect probe.
+        origin: Endpoint,
+        /// Piggybacked membership updates.
+        updates: Arc<Vec<Update>>,
+    },
+    /// Relay forwarding the target's ack back to the origin.
+    IndirectAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// The member that answered.
+        target: Endpoint,
+    },
+    /// Push-pull anti-entropy request carrying full local state.
+    PushPull {
+        /// `(member, incarnation, state)` triples for the whole view.
+        state: Arc<Vec<Update>>,
+        /// Whether the receiver should reply with its own state.
+        reply: bool,
+    },
+}
+
+/// Approximate encoded size in bytes (endpoint strings + tags), used for
+/// bandwidth accounting on the shared simulator substrate.
+pub fn msg_size(msg: &SwimMsg) -> usize {
+    fn ep(e: &Endpoint) -> usize {
+        e.host().len() + 4
+    }
+    fn updates(u: &[Update]) -> usize {
+        u.iter().map(|x| ep(&x.addr) + 9 + 2).sum::<usize>() + 4
+    }
+    let body = match msg {
+        SwimMsg::Ping { updates: u, .. } | SwimMsg::Ack { updates: u, .. } => 8 + updates(u),
+        SwimMsg::PingReq {
+            target, updates: u, ..
+        } => 8 + ep(target) + updates(u),
+        SwimMsg::RelayPing {
+            origin, updates: u, ..
+        } => 8 + ep(origin) + updates(u),
+        SwimMsg::IndirectAck { target, .. } => 8 + ep(target),
+        SwimMsg::PushPull { state, .. } => 1 + updates(state),
+    };
+    body + 5 // tag + UDP-ish framing overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_incarnation_wins() {
+        assert_eq!(
+            merge((3, MemberState::Dead), (4, MemberState::Alive)),
+            (4, MemberState::Alive)
+        );
+        assert_eq!(
+            merge((4, MemberState::Alive), (3, MemberState::Dead)),
+            (4, MemberState::Alive)
+        );
+    }
+
+    #[test]
+    fn stronger_state_wins_at_equal_incarnation() {
+        assert_eq!(
+            merge((2, MemberState::Alive), (2, MemberState::Suspect)),
+            (2, MemberState::Suspect)
+        );
+        assert_eq!(
+            merge((2, MemberState::Suspect), (2, MemberState::Dead)),
+            (2, MemberState::Dead)
+        );
+        assert_eq!(
+            merge((2, MemberState::Dead), (2, MemberState::Alive)),
+            (2, MemberState::Dead)
+        );
+    }
+
+    #[test]
+    fn sizes_grow_with_piggyback() {
+        let empty = SwimMsg::Ping {
+            seq: 1,
+            updates: Arc::new(vec![]),
+        };
+        let loaded = SwimMsg::Ping {
+            seq: 1,
+            updates: Arc::new(vec![Update {
+                addr: Endpoint::new("host-12", 9),
+                incarnation: 1,
+                state: MemberState::Alive,
+            }]),
+        };
+        assert!(msg_size(&loaded) > msg_size(&empty));
+    }
+}

@@ -1,0 +1,65 @@
+//! Prints a node's K-ring neighbourhood (the paper's Figure 2) and the
+//! expander statistics of the monitoring overlay (§8).
+//!
+//! Run with: `cargo run --release --example ring_topology`
+
+use rapid::core::config::{Configuration, Member};
+use rapid::core::ring::Topology;
+use rapid::{Endpoint, NodeId};
+use rapid::spectral::{detection_bound, MonitoringGraph};
+
+fn main() {
+    let n = 10u128;
+    let k = 4;
+    let members: Vec<Member> = (1..=n)
+        .map(|i| Member::new(NodeId::from_u128(i), Endpoint::new(format!("p{i}"), 5000)))
+        .collect();
+    let cfg = Configuration::bootstrap(members);
+    let topo = Topology::build(&cfg, k);
+
+    println!("K = {k} rings over {n} processes (configuration {}):\n", cfg.id());
+    let p = 0u32;
+    println!("process {} ({})", p, cfg.member_at(p as usize).addr);
+    println!("  observers (who monitors p):");
+    for e in topo.observers_of(p) {
+        println!(
+            "    ring {}: {}",
+            e.ring,
+            cfg.member_at(e.rank as usize).addr
+        );
+    }
+    println!("  subjects (whom p monitors):");
+    for e in topo.subjects_of(p) {
+        println!(
+            "    ring {}: {}",
+            e.ring,
+            cfg.member_at(e.rank as usize).addr
+        );
+    }
+
+    // Where would a joiner's temporary observers land?
+    let joiner = NodeId::from_u128(999);
+    println!("\ntemporary observers for joiner {joiner}:");
+    for e in topo.joiner_observers(cfg.id(), joiner) {
+        println!(
+            "    ring {}: {}",
+            e.ring,
+            cfg.member_at(e.rank as usize).addr
+        );
+    }
+
+    // Expansion at the paper's parameters.
+    println!("\nexpansion of the K=10 overlay (paper §8, λ/d < 0.45):");
+    for size in [100u128, 500, 1000] {
+        let members: Vec<Member> = (1..=size)
+            .map(|i| Member::new(NodeId::from_u128(i), Endpoint::new(format!("m{i}"), 1)))
+            .collect();
+        let cfg = Configuration::bootstrap(members);
+        let g = MonitoringGraph::build(&cfg, 10);
+        let ratio = g.lambda_over_d(600, 7).unwrap();
+        println!(
+            "  n={size:5}: λ/d = {ratio:.4}  -> guaranteed detection of any cut up to {:.0}% of the cluster (L=3)",
+            detection_bound(3, 10, ratio) * 100.0
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Service discovery (the paper's Figure 13 scenario, as a demo).
+//!
+//! A load balancer discovers 30 backends through Rapid, an open-loop
+//! generator offers requests, and 10 backends are crash-failed at once.
+//! Rapid detects the whole group as one multi-process cut, so the load
+//! balancer reloads its configuration exactly once.
+//!
+//! Run with: `cargo run --release --example service_discovery`
+
+use rapid::discovery::{build_world, DiscoveryProc};
+use rapid::sim::Fault;
+
+fn main() {
+    let backends = 30;
+    println!("bootstrapping: LB + {backends} backends joining via Rapid...");
+    let mut sim = build_world(backends, true, 20, 7);
+    let t = sim
+        .run_until_pred(600_000, |s| match s.actor(0) {
+            DiscoveryProc::Lb(lb) => lb.backend_count() == backends,
+            _ => false,
+        })
+        .expect("discovery must complete");
+    println!("  all {backends} backends in rotation at t={:.0}s", t as f64 / 1000.0);
+
+    // Serve traffic for a while, then fail 10 backends simultaneously.
+    sim.run_until(sim.now() + 10_000);
+    let reloads_before = lb(&sim).reloads;
+    let fail_at = sim.now();
+    println!("\nfailing 10 backends at t={:.0}s ...", fail_at as f64 / 1000.0);
+    for i in 1..=10 {
+        sim.schedule_fault(fail_at, Fault::Crash(i));
+    }
+    sim.run_until(fail_at + 60_000);
+
+    let reloads = lb(&sim).reloads - reloads_before;
+    println!(
+        "  LB rotation now has {} backends after {} config reload(s)",
+        lb(&sim).backend_count(),
+        reloads
+    );
+
+    // Latency report around the failure.
+    if let DiscoveryProc::Gen(g) = sim.actor(backends + 1) {
+        let mut before: Vec<f64> = Vec::new();
+        let mut after: Vec<f64> = Vec::new();
+        for (t, l) in &g.latencies {
+            if *t < fail_at {
+                before.push(*l as f64);
+            } else {
+                after.push(*l as f64);
+            }
+        }
+        let p = |v: &[f64], q| rapid::sim::series::percentile(v, q);
+        println!("\nrequest latency (ms):");
+        println!(
+            "  before failure: p50={:.1} p99={:.1} max={:.0}",
+            p(&before, 50.0),
+            p(&before, 99.0),
+            p(&before, 100.0)
+        );
+        println!(
+            "  after failure:  p50={:.1} p99={:.1} max={:.0}",
+            p(&after, 50.0),
+            p(&after, 99.0),
+            p(&after, 100.0)
+        );
+    }
+    println!("\nwith Serf/Memberlist the same scenario causes several reloads;");
+    println!("run `cargo run --release -p bench --bin fig13_discovery` to compare.");
+}
+
+fn lb(sim: &rapid::sim::Simulation<DiscoveryProc>) -> &rapid::discovery::LoadBalancer {
+    match sim.actor(0) {
+        DiscoveryProc::Lb(lb) => lb,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,45 @@
+//! # rapid
+//!
+//! A from-scratch Rust reproduction of *"Stable and Consistent Membership
+//! at Scale with Rapid"* (Suresh et al., USENIX ATC 2018): the Rapid
+//! membership service, every substrate its evaluation depends on, and a
+//! harness regenerating each table and figure of the paper.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`](rapid_core) — the sans-io Rapid protocol: K-ring expander
+//!   monitoring, multi-process cut detection, and leaderless Fast Paxos
+//!   view changes, plus the logically centralized "Rapid-C" mode.
+//! * [`sim`](rapid_sim) — the deterministic discrete-event simulator the
+//!   experiments run on.
+//! * [`transport`](rapid_transport) — a threaded TCP host for real
+//!   deployments.
+//! * [`swim`](swim_member), [`central`](central_config),
+//!   [`gossip`](gossip_member) — the Memberlist-, ZooKeeper- and
+//!   Akka-style baselines the paper compares against.
+//! * [`dataplatform`] and [`discovery`] — the two end-to-end application
+//!   substrates of §7 (transactional data platform, service discovery).
+//! * [`spectral`] — expander analysis backing the §8 proofs.
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use rapid::{Endpoint, Member, Node, NodeId, Settings};
+//!
+//! let seed = Member::new(NodeId::from_u128(1), Endpoint::new("10.0.0.1", 5000));
+//! let node = Node::new_seed(seed, Settings::default());
+//! assert_eq!(node.configuration().len(), 1);
+//! ```
+
+pub use central_config as central;
+pub use dataplatform;
+pub use discovery;
+pub use gossip_member as gossip;
+pub use rapid_core as core;
+pub use rapid_sim as sim;
+pub use rapid_transport as transport;
+pub use spectral;
+pub use swim_member as swim;
+
+pub use rapid_core::prelude::*;
+pub use rapid_transport::{AppEvent, Runtime};

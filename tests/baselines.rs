@@ -1,0 +1,116 @@
+//! Integration sanity for the baseline implementations: the paper's
+//! comparisons are only meaningful if the baselines behave like the real
+//! systems in both their good and their pathological regimes.
+
+use rapid::sim::Fault;
+use bench_like::*;
+
+/// Minimal copies of the bench-harness world builders (the facade crate
+/// does not depend on the bench crate).
+mod bench_like {
+    pub use rapid::central::world::{build_world as zk_world, client_sizes as zk_sizes};
+    use rapid::gossip::{AkkaConfig, AkkaNode};
+    use rapid::sim::Simulation;
+    use rapid::swim::{SwimConfig, SwimNode};
+    use rapid::Endpoint;
+
+    pub fn swim_cluster(n: usize, seed: u64) -> Simulation<SwimNode> {
+        let ep = |i: usize| Endpoint::new(format!("s{i}"), 7000);
+        let mut sim = Simulation::new(seed, 100);
+        sim.add_actor(ep(0), SwimNode::new(ep(0), vec![], SwimConfig::default(), seed));
+        for i in 1..n {
+            sim.add_actor_at(
+                ep(i),
+                SwimNode::new(ep(i), vec![ep(0)], SwimConfig::default(), seed + i as u64),
+                1_000,
+            );
+        }
+        sim
+    }
+
+    pub fn akka_cluster(n: usize, seed: u64) -> Simulation<AkkaNode> {
+        let ep = |i: usize| Endpoint::new(format!("a{i}"), 2552);
+        let mut sim = Simulation::new(seed, 100);
+        sim.add_actor(ep(0), AkkaNode::new(ep(0), vec![], AkkaConfig::default(), seed));
+        for i in 1..n {
+            sim.add_actor_at(
+                ep(i),
+                AkkaNode::new(ep(i), vec![ep(0)], AkkaConfig::default(), seed + i as u64),
+                1_000,
+            );
+        }
+        sim
+    }
+
+}
+
+#[test]
+fn memberlist_handles_crash_but_flaps_under_partial_loss() {
+    let n = 25;
+    let mut sim = swim_cluster(n, 401);
+    sim.run_until_pred(180_000, |s| {
+        (0..s.len()).all(|i| s.actor(i).cluster_size() == n)
+    })
+    .expect("bootstrap");
+    // Clean crash: handled correctly.
+    sim.schedule_fault(sim.now() + 100, Fault::Crash(5));
+    sim.run_until_pred(sim.now() + 120_000, |s| {
+        (0..s.len())
+            .filter(|&i| !s.net.is_crashed(i))
+            .all(|i| s.actor(i).cluster_size() == n - 1)
+    })
+    .expect("crash removal");
+    // Partial ingress loss: the refutation cycle must kick in (the
+    // accused node raises its incarnation), i.e. no stable removal.
+    sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(9, 0.7));
+    sim.run_until(sim.now() + 90_000);
+    assert!(
+        sim.actor(9).incarnation() > 1,
+        "partial loss must trigger suspicion/refutation cycles"
+    );
+}
+
+#[test]
+fn zookeeper_like_service_is_blind_to_ingress_failures() {
+    // Figure 9's ZooKeeper non-reaction, as an invariant of the baseline.
+    let mut sim = zk_world(3, 12, 6_000, 1_000, 402);
+    sim.run_until_pred(180_000, |s| {
+        zk_sizes(s, 3).iter().all(|x| *x == Some(12))
+    })
+    .expect("bootstrap");
+    sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(3 + 5, 1.0));
+    sim.run_until(sim.now() + 90_000);
+    let views: Vec<Option<usize>> = zk_sizes(&sim, 3)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 5)
+        .map(|(_, v)| v)
+        .collect();
+    assert!(
+        views.iter().all(|v| *v == Some(12)),
+        "heartbeats still flow out, so nothing may be removed: {views:?}"
+    );
+}
+
+#[test]
+fn akka_like_membership_destabilises_under_loss() {
+    let n = 20;
+    let mut sim = akka_cluster(n, 403);
+    sim.run_until_pred(180_000, |s| {
+        (0..s.len())
+            .filter(|&i| !s.actor(i).is_shutdown())
+            .all(|i| s.actor(i).cluster_size() == n)
+    })
+    .expect("bootstrap");
+    sim.schedule_fault(sim.now() + 100, Fault::IngressDrop(4, 0.8));
+    sim.run_until(sim.now() + 120_000);
+    let views: Vec<usize> = (0..sim.len())
+        .filter(|&i| !sim.net.is_crashed(i) && !sim.actor(i).is_shutdown())
+        .map(|i| sim.actor(i).cluster_size())
+        .collect();
+    let stable = views.iter().all(|&v| v == n);
+    assert!(
+        !stable,
+        "the Akka-like baseline must destabilise under 80% loss: {views:?}"
+    );
+}

@@ -1,0 +1,69 @@
+//! Integration tests for the logically centralized deployment (§5):
+//! an auxiliary ensemble records the membership of a managed cluster.
+
+use rapid::sim::cluster::{all_report, RapidClusterBuilder};
+use rapid::sim::{Actor, Fault};
+
+#[test]
+fn rapid_c_bootstraps_and_absorbs_crashes() {
+    let n = 20;
+    let (mut sim, first_agent) = RapidClusterBuilder::new(n)
+        .seed(301)
+        .build_centralized(3);
+    sim.run_until_pred(360_000, |s| all_report(s, n))
+        .expect("Rapid-C bootstrap");
+    // Crash two agents; the ensemble's cut detection removes them.
+    sim.schedule_fault(sim.now() + 500, Fault::Crash(first_agent + 4));
+    sim.schedule_fault(sim.now() + 500, Fault::Crash(first_agent + 9));
+    sim.run_until_pred(sim.now() + 180_000, |s| all_report(s, n - 2))
+        .expect("ensemble must cut the crashed agents");
+    // The ensemble nodes agree on the managed configuration.
+    let ids: Vec<_> = (0..3)
+        .map(|i| sim.actor(i).as_ensemble().unwrap().managed_configuration().id())
+        .collect();
+    assert!(ids.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn rapid_c_tolerates_one_ensemble_member_down() {
+    // Resiliency is bound to a majority of S (§5): with 1 of 3 ensemble
+    // nodes crashed, view changes still go through.
+    let n = 15;
+    let (mut sim, first_agent) = RapidClusterBuilder::new(n)
+        .seed(302)
+        .build_centralized(3);
+    sim.run_until_pred(360_000, |s| all_report(s, n))
+        .expect("bootstrap");
+    sim.schedule_fault(sim.now() + 500, Fault::Crash(2)); // ensemble member
+    sim.run_until(sim.now() + 5_000);
+    sim.schedule_fault(sim.now(), Fault::Crash(first_agent + 3));
+    sim.run_until_pred(sim.now() + 240_000, |s| all_report(s, n - 1))
+        .expect("a 2-of-3 ensemble must still decide view changes");
+}
+
+#[test]
+fn rapid_c_halts_without_ensemble_majority() {
+    // With 2 of 3 ensemble nodes down there is no quorum: the managed
+    // membership must freeze (availability is traded for safety).
+    let n = 12;
+    let (mut sim, first_agent) = RapidClusterBuilder::new(n)
+        .seed(303)
+        .build_centralized(3);
+    sim.run_until_pred(360_000, |s| all_report(s, n))
+        .expect("bootstrap");
+    sim.schedule_fault(sim.now() + 500, Fault::Crash(1));
+    sim.schedule_fault(sim.now() + 500, Fault::Crash(2));
+    sim.run_until(sim.now() + 5_000);
+    sim.schedule_fault(sim.now(), Fault::Crash(first_agent + 2));
+    sim.run_until(sim.now() + 120_000);
+    // The crashed agent is still in every view: no quorum, no change.
+    let views: Vec<usize> = (0..sim.len())
+        .filter(|&i| !sim.net.is_crashed(i))
+        .filter_map(|i| sim.actor(i).sample())
+        .map(|v| v as usize)
+        .collect();
+    assert!(
+        views.iter().all(|&v| v == n),
+        "no view change may be decided without an ensemble majority: {views:?}"
+    );
+}

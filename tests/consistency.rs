@@ -1,0 +1,142 @@
+//! Cross-crate integration tests for Rapid's core guarantees: strict
+//! consistency of view changes (§3, "View-Change: Any view-change
+//! notification in C is by consensus, maintaining Agreement ... among all
+//! correct processes").
+
+use rapid::core::node::NodeStatus;
+use rapid::sim::cluster::{all_report, RapidClusterBuilder};
+use rapid::sim::Fault;
+use rapid::Settings;
+
+/// Collects the view-change history of every active node.
+fn histories(sim: &rapid::sim::Simulation<rapid::sim::RapidActor>) -> Vec<Vec<rapid::ConfigId>> {
+    (0..sim.len())
+        .filter(|&i| !sim.net.is_crashed(i))
+        .filter_map(|i| sim.actor(i).as_node())
+        .filter(|n| n.status() == NodeStatus::Active)
+        .map(|n| n.view_history().to_vec())
+        .collect()
+}
+
+/// The cluster walks one immutable sequence of configurations decided by
+/// consensus (§4). A node may *start* its history anywhere in the sequence
+/// (joiners install the configuration they joined; catch-up snapshots can
+/// skip ahead), so every node's history must be an ordered subsequence of
+/// the longest observed history, and all nodes must agree on the final
+/// configuration.
+fn assert_prefix_consistent(hists: &[Vec<rapid::ConfigId>]) {
+    let reference = hists
+        .iter()
+        .max_by_key(|h| h.len())
+        .expect("at least one history");
+    for h in hists {
+        let mut it = reference.iter();
+        for id in h {
+            assert!(
+                it.any(|r| r == id),
+                "history {h:?} is not a subsequence of {reference:?}"
+            );
+        }
+    }
+    let finals: Vec<_> = hists.iter().map(|h| h.last().unwrap()).collect();
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "final configurations disagree"
+    );
+}
+
+#[test]
+fn view_histories_agree_under_sequential_crashes() {
+    let mut sim = RapidClusterBuilder::new(40).seed(101).build_static();
+    sim.run_until(5_000);
+    // Three waves of crashes.
+    for (wave, victims) in [(0u64, vec![1usize, 2]), (1, vec![10, 11, 12]), (2, vec![30])]
+        .into_iter()
+    {
+        let at = sim.now() + wave * 30_000 + 1_000;
+        for v in victims {
+            sim.schedule_fault(at, Fault::Crash(v));
+        }
+    }
+    sim.run_until(sim.now() + 150_000);
+    assert!(all_report(&sim, 34), "all six victims must be removed");
+    let hists = histories(&sim);
+    assert!(hists.len() >= 30);
+    assert_prefix_consistent(&hists);
+}
+
+#[test]
+fn view_histories_agree_under_churn_with_joins_and_crashes() {
+    let mut sim = RapidClusterBuilder::new(30).seed(102).build_bootstrap();
+    sim.run_until_pred(240_000, |s| all_report(s, 30))
+        .expect("bootstrap");
+    // Crash five nodes while the cluster is live.
+    for i in [3usize, 7, 13, 19, 25] {
+        sim.schedule_fault(sim.now() + 2_000, Fault::Crash(i));
+    }
+    sim.run_until_pred(sim.now() + 180_000, |s| all_report(s, 25))
+        .expect("crashes must be cut");
+    assert_prefix_consistent(&histories(&sim));
+}
+
+#[test]
+fn no_view_change_without_quorum_support() {
+    // Partition a 20-node cluster 5 / 15: the minority cannot decide any
+    // view change (no majority), so its configuration must stay frozen at
+    // the pre-partition one; the majority removes the minority.
+    let mut sim = RapidClusterBuilder::new(20).seed(103).build_static();
+    sim.run_until(5_000);
+    let pre = sim.actor(0).as_node().unwrap().configuration().id();
+    sim.schedule_fault(6_000, Fault::Partition(vec![0, 1, 2, 3, 4]));
+    sim.run_until(240_000);
+    // Majority side converged to 15.
+    for i in 5..20 {
+        let node = sim.actor(i).as_node().unwrap();
+        assert_eq!(node.configuration().len(), 15, "majority node {i}");
+    }
+    // Minority side: still active nodes must hold the old configuration.
+    for i in 0..5 {
+        let node = sim.actor(i).as_node().unwrap();
+        if node.status() == NodeStatus::Active {
+            assert_eq!(
+                node.configuration().id(),
+                pre,
+                "minority node {i} must not install a view without quorum"
+            );
+        }
+    }
+}
+
+#[test]
+fn stability_no_spurious_view_changes_in_healthy_cluster() {
+    let settings = Settings::default();
+    let mut sim = RapidClusterBuilder::new(50)
+        .settings(settings)
+        .seed(104)
+        .build_static();
+    sim.run_until(300_000); // Five quiet minutes.
+    for i in 0..50 {
+        let node = sim.actor(i).as_node().unwrap();
+        assert_eq!(
+            node.view_history().len(),
+            1,
+            "node {i} must never change views without failures"
+        );
+        assert_eq!(node.metrics().proposals, 0);
+    }
+}
+
+#[test]
+fn partial_loss_below_watermark_causes_no_view_change() {
+    // The paper's stability pitch: a single bad link (blackhole between
+    // two live nodes) stays below L distinct reports and must not evict
+    // anyone.
+    let mut sim = RapidClusterBuilder::new(40).seed(105).build_static();
+    sim.run_until(5_000);
+    sim.schedule_fault(5_500, Fault::BlackholePair(4, 17));
+    sim.run_until(180_000);
+    for i in 0..40 {
+        let node = sim.actor(i).as_node().unwrap();
+        assert_eq!(node.configuration().len(), 40, "node {i} evicted someone");
+    }
+}

@@ -1,0 +1,245 @@
+//! Randomized safety checking of the view-change consensus (§4.3).
+//!
+//! An adversarial scheduler drives an ensemble of Fast Paxos + classic
+//! Paxos instances through random message interleavings, drops, delays,
+//! and coordinator changes, and asserts the single-decree safety property:
+//! **no two processes ever decide different proposals**, including across
+//! the fast round / classic recovery boundary.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rapid::core::config::ConfigId;
+use rapid::core::membership::{Proposal, ProposalItem};
+use rapid::core::paxos::classic::{ClassicPaxos, CoordinatorStep, Promise};
+use rapid::core::paxos::fast::FastRound;
+use rapid::core::paxos::Rank;
+use rapid::core::rng::Xoshiro256;
+use rapid::{Endpoint, NodeId};
+
+fn proposal(tag: u128) -> Arc<Proposal> {
+    Arc::new(Proposal::from_items(
+        ConfigId(1),
+        vec![ProposalItem::remove(
+            NodeId::from_u128(tag),
+            Endpoint::new(format!("n{tag}"), 1),
+        )],
+    ))
+}
+
+/// In-flight protocol messages of the combined fast/classic protocol.
+#[derive(Clone, Debug)]
+enum Msg {
+    Vote { from: usize, hash: u64 },
+    P1a { rank: Rank },
+    P1b { to: usize, rank: Rank, promise: (usize, Option<Rank>, Option<u64>) },
+    P2a { rank: Rank, value: u64 },
+    P2b { to: usize, rank: Rank, from: usize },
+}
+
+struct Process {
+    fast: FastRound,
+    classic: ClassicPaxos,
+    decided: Option<u64>,
+    my_value: u64,
+}
+
+/// Runs one randomized schedule. `n` processes; each starts with one of
+/// two candidate proposals (a split vote); the scheduler randomly delivers,
+/// drops, duplicates and reorders messages and starts classic rounds with
+/// random coordinators. Returns the set of decided value-tags.
+fn run_schedule(n: usize, split: usize, seed: u64, steps: usize) -> Vec<Option<u64>> {
+    let p1 = proposal(1);
+    let p2 = proposal(2);
+    let values = [&p1, &p2];
+    let value_of = |tag: u64| -> Arc<Proposal> {
+        if tag == p1.hash().0 {
+            Arc::clone(&p1)
+        } else {
+            Arc::clone(&p2)
+        }
+    };
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut procs: Vec<Process> = (0..n)
+        .map(|i| {
+            let v = values[if i < split { 0 } else { 1 }];
+            let mut fast = FastRound::new(n, i as u32);
+            let mut classic = ClassicPaxos::new(n, i as u32);
+            fast.vote((**v).clone());
+            classic.record_fast_vote(Arc::clone(v));
+            Process {
+                fast,
+                classic,
+                decided: None,
+                my_value: v.hash().0,
+            }
+        })
+        .collect();
+
+    // Initial fast votes on the wire (to everyone).
+    let mut wire: VecDeque<Msg> = VecDeque::new();
+    for (i, p) in procs.iter().enumerate() {
+        let _ = p;
+        wire.push_back(Msg::Vote {
+            from: i,
+            hash: procs[i].my_value,
+        });
+    }
+
+    let mut next_round = 1u32;
+    for _ in 0..steps {
+        let action = rng.gen_range(100);
+        match action {
+            // Drop a message.
+            0..=14 => {
+                if !wire.is_empty() {
+                    let i = rng.gen_index(wire.len());
+                    wire.remove(i);
+                }
+            }
+            // Duplicate a message.
+            15..=19 => {
+                if !wire.is_empty() {
+                    let i = rng.gen_index(wire.len());
+                    let m = wire[i].clone();
+                    wire.push_back(m);
+                }
+            }
+            // Start a new classic round at a random coordinator.
+            20..=27 => {
+                let coord = (next_round as usize) % n;
+                let rank = procs[coord].classic.start_round(next_round);
+                next_round += 1;
+                wire.push_back(Msg::P1a { rank });
+            }
+            // Deliver a random message to a random process.
+            _ => {
+                if wire.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_index(wire.len());
+                let msg = wire.remove(i).expect("bounded");
+                match msg {
+                    Msg::Vote { from, hash } => {
+                        // Broadcast semantics: deliver to one random peer.
+                        let dst = rng.gen_index(n);
+                        let mut bm = rapid::core::util::BitVec::new(n);
+                        bm.set(from);
+                        let h = rapid::core::membership::ProposalHash(hash);
+                        procs[dst].fast.merge(h, &bm, Some(&value_of(hash)));
+                        if let Some(d) = procs[dst].fast.decision() {
+                            let tag = d.hash().0;
+                            assert_decide(&mut procs[dst], tag);
+                        }
+                        // Re-enqueue so other peers can also hear it
+                        // (bounded by `steps`).
+                        if rng.gen_bool(0.7) {
+                            wire.push_back(Msg::Vote { from, hash });
+                        }
+                    }
+                    Msg::P1a { rank } => {
+                        let dst = rng.gen_index(n);
+                        if let Some(pr) = procs[dst].classic.on_phase1a(rank) {
+                            wire.push_back(Msg::P1b {
+                                to: rank.coordinator as usize,
+                                rank,
+                                promise: (
+                                    pr.sender as usize,
+                                    pr.vrnd,
+                                    pr.vval.map(|v| v.hash().0),
+                                ),
+                            });
+                        }
+                        if rng.gen_bool(0.5) {
+                            wire.push_back(Msg::P1a { rank });
+                        }
+                    }
+                    Msg::P1b { to, rank, promise } => {
+                        let (sender, vrnd, vhash) = promise;
+                        let pr = Promise {
+                            sender: sender as u32,
+                            vrnd,
+                            vval: vhash.map(value_of),
+                        };
+                        let fallback = Some(value_of(procs[to].my_value));
+                        if let CoordinatorStep::SendPhase2a(v) =
+                            procs[to].classic.on_promise(rank, pr, fallback)
+                        {
+                            wire.push_back(Msg::P2a {
+                                rank,
+                                value: v.hash().0,
+                            });
+                        }
+                    }
+                    Msg::P2a { rank, value } => {
+                        let dst = rng.gen_index(n);
+                        if procs[dst].classic.on_phase2a(rank, value_of(value)) {
+                            wire.push_back(Msg::P2b {
+                                to: rank.coordinator as usize,
+                                rank,
+                                from: dst,
+                            });
+                        }
+                        if rng.gen_bool(0.5) {
+                            wire.push_back(Msg::P2a { rank, value });
+                        }
+                    }
+                    Msg::P2b { to, rank, from } => {
+                        if let CoordinatorStep::Decided(v) =
+                            procs[to].classic.on_phase2b(rank, from as u32)
+                        {
+                            let tag = v.hash().0;
+                            assert_decide(&mut procs[to], tag);
+                            // The decision is learned by everyone.
+                            for p in procs.iter_mut() {
+                                assert_decide(p, tag);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    procs.iter().map(|p| p.decided).collect()
+}
+
+fn assert_decide(p: &mut Process, tag: u64) {
+    if let Some(prev) = p.decided {
+        assert_eq!(prev, tag, "a process decided two different values");
+    }
+    p.decided = Some(tag);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement: across thousands of adversarial schedules, all decisions
+    /// (fast or classic) agree.
+    #[test]
+    fn consensus_agreement_under_adversarial_scheduling(
+        n in 3usize..9,
+        split_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let split = ((n as f64) * split_frac) as usize;
+        let decisions = run_schedule(n, split, seed, 600);
+        let decided: Vec<u64> = decisions.into_iter().flatten().collect();
+        prop_assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "conflicting decisions: {decided:?}"
+        );
+    }
+
+    /// Fast-path soundness: with a unanimous initial vote, any decision
+    /// must be that value.
+    #[test]
+    fn unanimous_vote_decides_that_value(n in 3usize..9, seed in any::<u64>()) {
+        let decisions = run_schedule(n, n, seed, 600);
+        let p1_tag = proposal(1).hash().0;
+        for d in decisions.into_iter().flatten() {
+            prop_assert_eq!(d, p1_tag);
+        }
+    }
+}
