@@ -1,0 +1,182 @@
+//! Offline micro-benchmark harness with a `criterion`-compatible API
+//! subset: `Criterion`, `benchmark_group`/`bench_with_input`,
+//! `bench_function`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is timed adaptively (~0.3 s
+//! after warm-up) and reported as ns/iter on stdout.
+//!
+//! Set `BENCH_QUICK=1` to run each benchmark for a handful of iterations
+//! only (CI smoke mode).
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+    iters: u64,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring adaptively.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let (warm, budget) = if self.quick {
+            (1u64, Duration::from_millis(10))
+        } else {
+            (3, Duration::from_millis(300))
+        };
+        for _ in 0..warm {
+            hint_black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            hint_black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            quick: self.quick,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Finishes the group (no-op; mirrors criterion's API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false),
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("bench {name:<44} {human:>12}/iter ({} iters)", b.iters);
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            quick: self.quick,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            name: name.to_string(),
+            quick,
+            _c: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

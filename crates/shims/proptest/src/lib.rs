@@ -1,0 +1,376 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), integer/float range strategies, tuple
+//! strategies, `any::<T>()`, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::Index`, and a tiny `.{a,b}` string-regex strategy.
+//!
+//! Cases are generated from a deterministic per-test RNG so failures are
+//! reproducible; set `PROPTEST_CASES` to override the case count globally.
+
+use std::ops::Range;
+
+/// Deterministic case-generation RNG (splitmix64 core).
+pub mod test_runner {
+    /// Per-case random source handed to strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a deterministic stream from a test name and case index.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// A float uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// A uniform index in `[0, n)`. `n` must be nonzero.
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Per-run configuration: number of generated cases.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Cases generated per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// The effective case count: `PROPTEST_CASES` overrides the default.
+    pub fn effective_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Produces one value from the RNG stream.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u128;
+                self.start + (rng.next_u128() % width) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, u128);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// String strategy from a regex-like pattern. Supports `.{a,b}` (a string
+/// of `a..=b` arbitrary non-newline chars, mixing ASCII and multi-byte);
+/// any other pattern is produced literally.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> String {
+        if let Some(rest) = self.strip_prefix(".{") {
+            if let Some(body) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                        let len = lo + rng.index(hi - lo + 1);
+                        const POOL: &[char] = &[
+                            'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', '-', '_', '.',
+                            ':', '/', ' ', '~', 'é', 'ß', 'λ', '中', '🦀',
+                        ];
+                        return (0..len).map(|_| POOL[rng.index(POOL.len())]).collect();
+                    }
+                }
+            }
+        }
+        (*self).to_string()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, u128);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace mirrored from the real crate.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{test_runner::TestRng, Strategy};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy for `BTreeSet`s with target sizes drawn from `size`.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let span = self.size.end - self.size.start;
+                let target = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+                let mut set = BTreeSet::new();
+                // Duplicates shrink the set below target; retry a bounded
+                // number of times like the real crate does.
+                for _ in 0..target.saturating_mul(16).max(16) {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+
+        /// A set of roughly `size` elements drawn from `element`.
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, size }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{test_runner::TestRng, Arbitrary};
+
+        /// An abstract index into a collection of not-yet-known size.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolves the index against a concrete size (must be > 0).
+            pub fn index(&self, size: usize) -> usize {
+                assert!(size > 0, "Index::index on empty collection");
+                (self.0 % size as u64) as usize
+            }
+
+            /// Picks the referenced element of a slice.
+            pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+                &slice[self.index(slice.len())]
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests. Each named function runs `cases` times with
+/// values drawn from the listed strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest! { @cases ($cfg).cases; $($rest)* }
+    };
+    ( @cases $cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::effective_cases($cases);
+            for case in 0..cases {
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut __pt_rng); )+
+                $body
+            }
+        }
+    )*};
+    ( $($rest:tt)* ) => {
+        $crate::proptest! { @cases $crate::ProptestConfig::default().cases; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` passthrough).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` passthrough).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` passthrough).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, y in 0usize..3, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        /// Collections respect their size bounds.
+        #[test]
+        fn collections_sized(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            s in prop::collection::btree_set(0u128..50, 1..6),
+            idx in any::<prop::sample::Index>(),
+            tup in (0u8..4, ".{0,12}"),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() < 6);
+            prop_assert!(idx.index(7) < 7);
+            prop_assert!(tup.0 < 4);
+            prop_assert!(tup.1.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
