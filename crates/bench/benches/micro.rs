@@ -4,6 +4,8 @@
 //! (bandwidth) depends on message sizes and batching, and the CD fast path
 //! depends on alert ingestion and bitmap merging being cheap.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -19,6 +21,53 @@ use rapid_core::ring::Topology;
 use rapid_core::util::BitVec;
 use rapid_core::wire::{self, Message};
 use spectral::MonitoringGraph;
+
+/// Counting allocator wrapping the system one, for the zero-allocation
+/// steady-state verification below.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no aliasing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations per simulator event over a steady-state window
+/// (64 members, converged, no churn): the delivery path is required to be
+/// allocation-free, so the per-event rate must stay ~0 (only amortised
+/// growth of sample/traffic vectors remains).
+fn bench_steady_state_allocations(_c: &mut Criterion) {
+    use rapid_sim::cluster::RapidClusterBuilder;
+    let mut sim = RapidClusterBuilder::new(64).seed(5).build_static();
+    sim.run_until(30_000); // Bootstrap + warm-up: buffers reach capacity.
+    let events_before = sim.events_processed();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_until(90_000); // Steady state: probes/acks/ticks only.
+    let events = sim.events_processed() - events_before;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let per_event = allocs as f64 / events as f64;
+    println!(
+        "bench steady_state_allocs                         {allocs} allocs / {events} events = {per_event:.4}/event"
+    );
+    assert!(
+        per_event < 0.05,
+        "steady-state delivery path must be allocation-free, got {per_event:.4} allocs/event"
+    );
+}
 
 fn config(n: u128) -> Arc<Configuration> {
     Configuration::bootstrap(
@@ -148,6 +197,7 @@ fn bench_spectral(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_steady_state_allocations,
     bench_ring_build,
     bench_cut_detector_ingest,
     bench_vote_merge,

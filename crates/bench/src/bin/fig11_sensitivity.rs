@@ -59,7 +59,7 @@ fn main() {
                             alerts.push(Alert::remove(
                                 obs.id,
                                 sub.id,
-                                sub.addr.clone(),
+                                sub.addr,
                                 cfg.id(),
                                 e.ring,
                             ));

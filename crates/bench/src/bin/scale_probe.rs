@@ -1,18 +1,98 @@
 //! Utility: measures wall-clock cost and event counts of bootstrapping
 //! one system at one size (`scale_probe <n> <rapid|rc|zk|ml>`), for sizing
 //! `--full` runs.
+//!
+//! `scale_probe --bench-json [path]` instead runs the Rapid hot-path
+//! benchmark matrix (N ∈ {256, 1024, 4096}, K = 10) and writes
+//! `BENCH_sim.json` with events/sec for the current build next to the
+//! frozen baseline recorded from the seed implementation.
 use bench::{SystemKind, World};
+
+/// Baseline recorded from the seed implementation (pre zero-clone
+/// refactor) on the reference machine, same workload and seed. The seed
+/// build drew per-process-random map iteration orders, so its event count
+/// per run varied; these are representative single runs.
+///
+/// Speedups computed against this table are only meaningful on hardware
+/// comparable to the reference machine (and on a quiet one — wall-clock
+/// measurements are load-sensitive); on other hosts they mix the hardware
+/// ratio into the figure. `bench_json` prints a reminder.
+const BASELINE: [(usize, u64, f64); 3] = [
+    (256, 17_777, 0.1538),
+    (1024, 81_533, 3.3596),
+    (4096, 264_915, 45.2565),
+];
+
+fn probe(n: usize, kind: SystemKind) -> (Option<u64>, u64, f64) {
+    let t0 = std::time::Instant::now();
+    let mut w = World::bootstrap(kind, n, 42);
+    let t = w.converge(n, 1_200_000);
+    let events = match &w {
+        World::Swim(s) => s.events_processed(),
+        World::Zk(s) => s.events_processed(),
+        World::Rapid(s) | World::RapidC(s) => s.events_processed(),
+        World::Akka(s) => s.events_processed(),
+    };
+    (t, events, t0.elapsed().as_secs_f64())
+}
+
+fn bench_json(path: &str) {
+    eprintln!(
+        "note: baseline wall-clock was recorded on the reference machine; \
+speedups on other hardware (or a loaded machine) mix in the hardware ratio"
+    );
+    let mut rows = String::new();
+    for &(n, base_events, base_wall) in &BASELINE {
+        let (t, events, wall) = probe(n, SystemKind::Rapid);
+        assert!(t.is_some(), "bootstrap at n={n} must converge");
+        let base_rate = base_events as f64 / base_wall;
+        let rate = events as f64 / wall;
+        eprintln!(
+            "n={n}: {events} events in {wall:.4}s = {:.0} events/s ({:.2}x baseline)",
+            rate,
+            rate / base_rate
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"n\": {n}, \"k\": 10, \"workload\": \"bootstrap-to-convergence\", \
+\"baseline\": {{\"events\": {base_events}, \"wall_s\": {base_wall:.4}, \"events_per_s\": {base_rate:.1}}}, \
+\"current\": {{\"events\": {events}, \"wall_s\": {wall:.4}, \"events_per_s\": {rate:.1}}}, \
+\"speedup_events_per_s\": {:.2}}}",
+            rate / base_rate
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"rapid-sim bootstrap events/sec\",\n  \
+\"note\": \"baseline = seed implementation before the zero-clone refactor (interned endpoints, Arc fan-out, index-routed engine, deterministic hashing, shared view caches); regenerate with `cargo run --release -p bench --bin scale_probe -- --bench-json`\",\n  \
+\"seed\": 42,\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write BENCH_sim.json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
-    let n: usize = std::env::args().nth(1).unwrap().parse().unwrap();
-    let kind = match std::env::args().nth(2).unwrap().as_str() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(|s| s.as_str()) == Some("--bench-json") {
+        let path = args.get(2).map(|s| s.as_str()).unwrap_or("BENCH_sim.json");
+        bench_json(path);
+        return;
+    }
+    let n: usize = args.get(1).expect("usage: scale_probe <n> [system]").parse().unwrap();
+    let kind = match args.get(2).map(|s| s.as_str()).unwrap_or("rapid") {
         "zk" => SystemKind::ZooKeeper,
         "ml" => SystemKind::Memberlist,
         "rc" => SystemKind::RapidC,
         _ => SystemKind::Rapid,
     };
-    let t0 = std::time::Instant::now();
-    let mut w = World::bootstrap(kind, n, 42);
-    let t = w.converge(n, 1_200_000);
-    let events = match &w { bench::World::Swim(s) => s.events_processed(), bench::World::Zk(s) => s.events_processed(), bench::World::Rapid(s)|bench::World::RapidC(s) => s.events_processed(), bench::World::Akka(s) => s.events_processed() };
-    eprintln!("{} n={}: virtual={:?}s wall={:?} events={}", kind.label(), n, t.map(|x| x/1000), t0.elapsed(), events);
+    let (t, events, wall) = probe(n, kind);
+    eprintln!(
+        "{} n={}: virtual={:?}s wall={:.4}s events={}",
+        kind.label(),
+        n,
+        t.map(|x| x / 1000),
+        wall,
+        events
+    );
 }

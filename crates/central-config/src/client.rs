@@ -44,7 +44,7 @@ impl ZkClient {
     /// its own address over `servers`.
     pub fn new(me: Endpoint, servers: &[Endpoint], session_timeout_ms: u64) -> Self {
         assert!(!servers.is_empty());
-        let server = servers[(me.digest() % servers.len() as u64) as usize].clone();
+        let server = servers[(me.digest() % servers.len() as u64) as usize];
         ZkClient {
             me,
             server,
@@ -78,7 +78,7 @@ impl Actor for ZkClient {
             Phase::Opening => {
                 if now >= self.retry_at {
                     self.retry_at = now + 2_000;
-                    out.send(self.server.clone(), ZkMsg::OpenSession);
+                    out.send(self.server, ZkMsg::OpenSession);
                 }
             }
             Phase::Registering => {
@@ -86,14 +86,14 @@ impl Actor for ZkClient {
                     self.retry_at = now + 2_000;
                     if let Some(session) = self.session {
                         out.send(
-                            self.server.clone(),
+                            self.server,
                             ZkMsg::CreateEphemeral {
                                 session,
-                                member: self.me.clone(),
+                                member: self.me,
                             },
                         );
                         out.send(
-                            self.server.clone(),
+                            self.server,
                             ZkMsg::GetChildren {
                                 session,
                                 watch: true,
@@ -109,7 +109,7 @@ impl Actor for ZkClient {
         if let Some(session) = self.session {
             if now >= self.next_heartbeat_at {
                 self.next_heartbeat_at = now + self.session_timeout_ms / 3;
-                out.send(self.server.clone(), ZkMsg::Heartbeat { session });
+                out.send(self.server, ZkMsg::Heartbeat { session });
             }
         }
     }
@@ -142,7 +142,7 @@ impl Actor for ZkClient {
                 // Herd behaviour: re-read the full list and re-watch.
                 if let Some(session) = self.session {
                     out.send(
-                        self.server.clone(),
+                        self.server,
                         ZkMsg::GetChildren {
                             session,
                             watch: true,
@@ -214,7 +214,7 @@ mod tests {
         let servers: Vec<Endpoint> = (0..3).map(server_ep).collect();
         let mut sim = Simulation::new(seed, 100);
         for s in &servers {
-            sim.add_actor(s.clone(), P::S(ZkServer::new(s.clone(), servers.clone(), 6_000)));
+            sim.add_actor(*s, P::S(ZkServer::new(*s, servers.clone(), 6_000)));
         }
         for i in 0..n {
             sim.add_actor_at(

@@ -77,7 +77,7 @@ impl ZkServer {
     /// Creates a server. The first entry of `ensemble` is the leader.
     pub fn new(me: Endpoint, ensemble: Vec<Endpoint>, session_timeout_ms: u64) -> Self {
         assert!(!ensemble.is_empty());
-        let leader = ensemble[0].clone();
+        let leader = ensemble[0];
         let is_leader = me == leader;
         ZkServer {
             me,
@@ -159,7 +159,7 @@ impl ZkServer {
     fn apply_commit(&mut self, zxid: u64, op: WriteOp, out: &mut Outbox<ZkMsg>) {
         let changed = match &op {
             WriteOp::Create { member, session } => {
-                self.members.insert(member.clone(), *session).is_none()
+                self.members.insert(*member, *session).is_none()
             }
             WriteOp::Delete { member } => self.members.remove(member).is_some(),
         };
@@ -189,7 +189,7 @@ impl ZkServer {
                     let delay = self.service_delay_ms(now, self.costs.write_us);
                     out.send_delayed(client, ZkMsg::SessionOpened { session }, delay);
                 } else {
-                    let leader = self.leader.clone();
+                    let leader = self.leader;
                     out.send(
                         leader,
                         ZkMsg::Forward {
@@ -211,7 +211,7 @@ impl ZkServer {
                         None => out.send(client, ZkMsg::SessionExpired),
                     }
                 } else {
-                    let leader = self.leader.clone();
+                    let leader = self.leader;
                     out.send(
                         leader,
                         ZkMsg::Forward {
@@ -225,14 +225,14 @@ impl ZkServer {
                 if self.is_leader {
                     match self.sessions.get_mut(&session) {
                         Some(info) => {
-                            info.ephemeral = Some(member.clone());
+                            info.ephemeral = Some(member);
                             info.last_seen = now;
                             self.propose(WriteOp::Create { member, session }, out);
                         }
                         None => out.send(client, ZkMsg::SessionExpired),
                     }
                 } else {
-                    let leader = self.leader.clone();
+                    let leader = self.leader;
                     out.send(
                         leader,
                         ZkMsg::Forward {
@@ -246,7 +246,7 @@ impl ZkServer {
                 // Served locally (possibly stale), with a service time
                 // linear in the member count.
                 if watch {
-                    self.watchers.push(client.clone());
+                    self.watchers.push(client);
                 }
                 let cost = self.read_cost_us();
                 let delay = self.service_delay_ms(now, cost);

@@ -68,9 +68,9 @@ pub fn build_world(
     let mut sim = Simulation::new(seed, 100);
     for s in &servers {
         sim.add_actor(
-            s.clone(),
+            *s,
             ZkProc::Server(Box::new(ZkServer::new(
-                s.clone(),
+                *s,
                 servers.clone(),
                 session_timeout_ms,
             ))),

@@ -39,7 +39,7 @@ impl TxnClient {
         let _ = me; // Identity is implicit: responses come back to us.
         let mut sorted = servers.clone();
         sorted.sort();
-        let serializer_guess = sorted[0].clone();
+        let serializer_guess = sorted[0];
         TxnClient {
             servers,
             serializer_guess,
@@ -68,7 +68,7 @@ impl TxnClient {
     fn send_ts_req(&mut self, kind: TsKind, now: u64, out: &mut Outbox<DpMsg>) {
         self.request_sent_at = now;
         out.send(
-            self.serializer_guess.clone(),
+            self.serializer_guess,
             DpMsg::TsReq {
                 txn: self.txn,
                 kind,
@@ -88,7 +88,7 @@ impl TxnClient {
         self.ops_outstanding = self.ops_per_txn;
         self.request_sent_at = now;
         for op in 0..self.ops_per_txn {
-            let server = self.servers[self.rng.gen_index(self.servers.len())].clone();
+            let server = self.servers[self.rng.gen_index(self.servers.len())];
             out.send(
                 server,
                 DpMsg::OpReq {
@@ -180,7 +180,7 @@ mod tests {
         Endpoint::new(format!("dpc-{i}"), 6100)
     }
 
-    enum P {
+    pub enum P {
         S(Box<PlatformServer>),
         C(Box<TxnClient>),
     }
@@ -216,11 +216,11 @@ mod tests {
             let membership = if rapid {
                 Membership::rapid(i, &servers, cache.clone())
             } else {
-                Membership::baseline(addr.clone(), servers.clone())
+                Membership::baseline(*addr, servers.clone())
             };
             sim.add_actor(
-                addr.clone(),
-                P::S(Box::new(PlatformServer::new(addr.clone(), membership, 1_000))),
+                *addr,
+                P::S(Box::new(PlatformServer::new(*addr, membership, 1_000))),
             );
         }
         for i in 0..n_clients {

@@ -58,7 +58,7 @@ impl BaselineFd {
             self.next_hb_at = now + self.hb_interval_ms;
             for p in &self.peers {
                 if *p != self.me {
-                    out.push((p.clone(), DpMsg::Hb));
+                    out.push((*p, DpMsg::Hb));
                 }
             }
         }
@@ -88,13 +88,13 @@ impl BaselineFd {
                 self.accusations += 1;
                 // Quarantine locally and tell everyone.
                 self.quarantined_until
-                    .insert(target.clone(), now + self.quarantine_ms);
+                    .insert(target, now + self.quarantine_ms);
                 for p in &self.peers {
                     if *p != self.me {
                         out.push((
-                            p.clone(),
+                            *p,
                             DpMsg::Accuse {
-                                target: target.clone(),
+                                target,
                             },
                         ));
                     }
@@ -112,7 +112,7 @@ impl BaselineFd {
     ) {
         match msg {
             DpMsg::Hb => {
-                self.last_heard.insert(from.clone(), now);
+                self.last_heard.insert(from, now);
                 // A quarantined peer that contacts us clearly has not heard
                 // of its removal (e.g. the accusation was lost on the same
                 // bad link that caused it): bounce the accusation back so
@@ -124,12 +124,12 @@ impl BaselineFd {
                     .map(|&until| now < until)
                     .unwrap_or(false)
                 {
-                    out.push((from.clone(), DpMsg::Accuse { target: from }));
+                    out.push((from, DpMsg::Accuse { target: from }));
                 }
             }
             DpMsg::Accuse { target } => {
                 self.quarantined_until
-                    .insert(target.clone(), now + self.quarantine_ms);
+                    .insert(*target, now + self.quarantine_ms);
             }
             _ => {}
         }
@@ -162,7 +162,7 @@ impl RapidMembership {
         let members: Vec<Member> = servers
             .iter()
             .enumerate()
-            .map(|(i, addr)| Member::new(NodeId::from_u128(i as u128 + 1), addr.clone()))
+            .map(|(i, addr)| Member::new(NodeId::from_u128(i as u128 + 1), *addr))
             .collect();
         let cfg = Configuration::bootstrap(members.clone());
         let node = Node::with_parts(
@@ -197,7 +197,7 @@ impl RapidMembership {
             .configuration()
             .members()
             .iter()
-            .map(|m| m.addr.clone())
+            .map(|m| m.addr)
             .collect()
     }
 }

@@ -99,8 +99,7 @@ impl Actor for PlatformServer {
                 if self.serializer.as_ref() != Some(&self.me) {
                     let serializer = self
                         .serializer
-                        .clone()
-                        .unwrap_or_else(|| self.me.clone());
+                        .unwrap_or(self.me);
                     out.send(from, DpMsg::Redirect { txn: *txn, serializer });
                 } else if now < self.warm_until {
                     self.queued.push((from, *txn, *kind));

@@ -75,12 +75,12 @@ pub fn build_world(
         let membership = if rapid {
             Membership::rapid(i, &servers, cache.clone())
         } else {
-            Membership::baseline(addr.clone(), servers.clone())
+            Membership::baseline(*addr, servers.clone())
         };
         sim.add_actor(
-            addr.clone(),
+            *addr,
             PlatformProc::Server(Box::new(PlatformServer::new(
-                addr.clone(),
+                *addr,
                 membership,
                 failover_pause_ms,
             ))),

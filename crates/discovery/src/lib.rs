@@ -162,7 +162,7 @@ impl MemberStack {
                     .members()
                     .iter()
                     .filter(|m| m.metadata.get_str("role") == Some("backend"))
-                    .map(|m| m.addr.clone())
+                    .map(|m| m.addr)
                     .collect();
                 v.sort();
                 v
@@ -238,13 +238,13 @@ impl LoadBalancer {
             self.queued.push((client, id));
             return;
         }
-        let backend = self.backends[self.rr % self.backends.len()].clone();
+        let backend = self.backends[self.rr % self.backends.len()];
         self.rr += 1;
         self.pending.insert(
             id,
             PendingReq {
                 client,
-                backend: backend.clone(),
+                backend,
                 sent_at: now,
                 attempts: 1,
             },
@@ -280,9 +280,9 @@ impl Actor for LoadBalancer {
                 if p.attempts > 5 || self.backends.is_empty() {
                     (None, true)
                 } else {
-                    let b = self.backends[self.rr % self.backends.len()].clone();
+                    let b = self.backends[self.rr % self.backends.len()];
                     self.rr += 1;
-                    p.backend = b.clone();
+                    p.backend = b;
                     p.sent_at = now;
                     (Some(b), false)
                 }
@@ -404,7 +404,7 @@ impl Actor for RequestGen {
             let id = self.next_id;
             self.next_id += 1;
             self.sent_at.insert(id, now);
-            out.send(self.lb.clone(), DiscMsg::Request { id });
+            out.send(self.lb, DiscMsg::Request { id });
         }
     }
 
@@ -486,7 +486,7 @@ pub fn build_world(
 
     if use_rapid {
         let cache = TopologyCache::new();
-        let lb_member = Member::new(NodeId::from_u128(1), lb_ep.clone());
+        let lb_member = Member::new(NodeId::from_u128(1), lb_ep);
         let lb_node = Node::with_parts(
             lb_member.clone(),
             Settings::default(),
@@ -498,7 +498,7 @@ pub fn build_world(
             Some(seed),
         );
         sim.add_actor(
-            lb_ep.clone(),
+            lb_ep,
             DiscoveryProc::Lb(Box::new(LoadBalancer::new(
                 MemberStack::Rapid(Box::new(lb_node)),
                 300,
@@ -515,7 +515,7 @@ pub fn build_world(
                 Settings::default(),
                 NodeStatus::Joining,
                 Configuration::bootstrap(Vec::new()),
-                Some(vec![lb_ep.clone()]),
+                Some(vec![lb_ep]),
                 None,
                 Some(cache.clone()),
                 Some(seed + i as u64 + 1),
@@ -529,9 +529,9 @@ pub fn build_world(
             );
         }
     } else {
-        let lb_swim = SwimNode::new(lb_ep.clone(), vec![], SwimConfig::default(), seed);
+        let lb_swim = SwimNode::new(lb_ep, vec![], SwimConfig::default(), seed);
         sim.add_actor(
-            lb_ep.clone(),
+            lb_ep,
             DiscoveryProc::Lb(Box::new(LoadBalancer::new(
                 MemberStack::Swim(Box::new(lb_swim)),
                 300,
@@ -540,7 +540,7 @@ pub fn build_world(
         for i in 0..n_backends {
             let node = SwimNode::new(
                 backend_ep(i),
-                vec![lb_ep.clone()],
+                vec![lb_ep],
                 SwimConfig::default(),
                 seed + i as u64 + 1,
             );

@@ -142,7 +142,7 @@ impl AkkaNode {
     pub fn new(me: Endpoint, seeds: Vec<Endpoint>, cfg: AkkaConfig, rng_seed: u64) -> Self {
         let mut members = HashMap::new();
         if seeds.is_empty() {
-            members.insert(me.clone(), (1, MemberStatus::Up));
+            members.insert(me, (1, MemberStatus::Up));
         }
         AkkaNode {
             cfg,
@@ -179,7 +179,7 @@ impl AkkaNode {
             .members
             .iter()
             .filter(|(_, (_, s))| *s == MemberStatus::Up)
-            .map(|(m, _)| m.clone())
+            .map(|(m, _)| *m)
             .collect();
         v.sort_by_key(|e| e.digest());
         v
@@ -192,7 +192,7 @@ impl AkkaNode {
             return Vec::new();
         };
         (1..=self.cfg.monitored_count.min(ring.len().saturating_sub(1)))
-            .map(|i| ring[(pos + i) % ring.len()].clone())
+            .map(|i| ring[(pos + i) % ring.len()])
             .collect()
     }
 
@@ -218,7 +218,7 @@ impl AkkaNode {
     fn record_reachability(&mut self, subject: Endpoint, unreachable: bool) {
         self.my_version += 1;
         self.reach
-            .insert((self.me.clone(), subject), (self.my_version, unreachable));
+            .insert((self.me, subject), (self.my_version, unreachable));
     }
 
     fn snapshot(&self) -> Arc<GossipState> {
@@ -226,12 +226,12 @@ impl AkkaNode {
             members: self
                 .members
                 .iter()
-                .map(|(m, (v, s))| (m.clone(), *v, *s))
+                .map(|(m, (v, s))| (*m, *v, *s))
                 .collect(),
             reach: self
                 .reach
                 .iter()
-                .map(|((o, s), (v, u))| (o.clone(), s.clone(), *v, *u))
+                .map(|((o, s), (v, u))| (*o, *s, *v, *u))
                 .collect(),
         })
     }
@@ -240,7 +240,7 @@ impl AkkaNode {
         for (m, v, s) in &state.members {
             match self.members.get_mut(m) {
                 None => {
-                    self.members.insert(m.clone(), (*v, *s));
+                    self.members.insert(*m, (*v, *s));
                 }
                 Some((cur_v, cur_s)) => {
                     if *v > *cur_v || (*v == *cur_v && *s > *cur_s) {
@@ -251,7 +251,7 @@ impl AkkaNode {
             }
         }
         for (o, s, v, u) in &state.reach {
-            let key = (o.clone(), s.clone());
+            let key = (*o, *s);
             match self.reach.get_mut(&key) {
                 None => {
                     self.reach.insert(key, (*v, *u));
@@ -283,7 +283,7 @@ impl AkkaNode {
         let state = self.snapshot();
         for i in self.rng.choose_indices(peers.len(), count) {
             out.send(
-                peers[i].clone(),
+                peers[i],
                 AkkaMsg::Gossip {
                     state: Arc::clone(&state),
                 },
@@ -303,11 +303,11 @@ impl Actor for AkkaNode {
         if !self.members.contains_key(&self.me) {
             if now >= self.join_retry_at && !self.seeds.is_empty() {
                 self.join_retry_at = now + 2_000;
-                let seed = self.seeds[self.rng.gen_index(self.seeds.len())].clone();
+                let seed = self.seeds[self.rng.gen_index(self.seeds.len())];
                 out.send(
                     seed,
                     AkkaMsg::Join {
-                        member: self.me.clone(),
+                        member: self.me,
                     },
                 );
             }
@@ -321,7 +321,7 @@ impl Actor for AkkaNode {
             // Forget state for nodes no longer monitored.
             self.hb.retain(|k, _| monitored.contains(k));
             for m in monitored {
-                let state = self.hb.entry(m.clone()).or_insert(HeartbeatState {
+                let state = self.hb.entry(m).or_insert(HeartbeatState {
                     outstanding: 0,
                     unreachable_since: None,
                 });
@@ -329,7 +329,7 @@ impl Actor for AkkaNode {
                 if state.outstanding > self.cfg.heartbeat_misses
                     && state.unreachable_since.is_none() {
                         state.unreachable_since = Some(now);
-                        self.record_reachability(m.clone(), true);
+                        self.record_reachability(m, true);
                     }
                 out.send(m, AkkaMsg::Heartbeat);
             }
@@ -346,7 +346,7 @@ impl Actor for AkkaNode {
                         .map(|t| now.saturating_sub(t) >= deadline)
                         .unwrap_or(false)
                 })
-                .map(|(m, _)| m.clone())
+                .map(|(m, _)| *m)
                 .collect();
             // Also down members *others* flagged unreachable long enough —
             // approximated by any unreachable record we hold.
@@ -354,7 +354,7 @@ impl Actor for AkkaNode {
                 .reach
                 .iter()
                 .filter(|((_, s), (_, u))| *u && *s != self.me)
-                .map(|((_, s), _)| s.clone())
+                .map(|((_, s), _)| *s)
                 .collect();
             rumored.retain(|s| {
                 self.hb
@@ -368,7 +368,7 @@ impl Actor for AkkaNode {
                 if let Some((v, s)) = self.members.get(&target).copied() {
                     if s == MemberStatus::Up {
                         self.members
-                            .insert(target.clone(), (v + 1, MemberStatus::Removed));
+                            .insert(target, (v + 1, MemberStatus::Removed));
                         self.record_reachability(target, true);
                     }
                 }

@@ -14,11 +14,12 @@
 //! Alerts are batched per tick in both modes (§6: "Rapid batches multiple
 //! alerts into a single message").
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::alert::Alert;
 use crate::config::{ConfigId, Configuration};
+use crate::hash::DetHashSet;
 use crate::id::Endpoint;
 use crate::paxos::VoteState;
 use crate::rng::Xoshiro256;
@@ -38,20 +39,36 @@ pub enum BroadcastMode {
 const MAX_ALERTS_PER_MESSAGE: usize = 2048;
 
 /// The dissemination component owned by each node.
+///
+/// Peers are addressed by *rank* into the shared [`Configuration`] rather
+/// than through a materialised `Vec<Endpoint>`: installing a view is O(1)
+/// and each fan-out resolves endpoints straight from the configuration the
+/// node already holds.
 pub struct Disseminator {
     mode: BroadcastMode,
     fanout: usize,
     interval_ms: u64,
     retransmit_factor: f64,
-    /// Addresses of all *other* members of the current configuration.
-    peers: Vec<Endpoint>,
+    /// The current configuration (shared with the owning node).
+    config: Arc<Configuration>,
+    /// This node's rank in `config`, or `config.len()` when not a member.
+    self_rank: usize,
     config_id: ConfigId,
     config_seq: u64,
     rng: Xoshiro256,
     /// Dedup filter over alert item keys for the current configuration.
-    seen: HashSet<u64>,
+    seen: DetHashSet<u64>,
     /// Gossip relay buffer: `(alert, remaining transmissions)`.
     buffer: VecDeque<(Alert, u32)>,
+    /// Keys of alerts currently in `buffer`. Today every push is already
+    /// gated by a first-time `seen` insert, so this set is defense in
+    /// depth: it makes "no duplicate keys in the retransmit queue" a
+    /// structural invariant rather than a property of the callers, and
+    /// keeps it true if a future entry point bypasses `seen`.
+    in_flight: DetHashSet<u64>,
+    /// Spare deque swapped with `buffer` during rotation (no per-round
+    /// allocation).
+    rotation_spare: VecDeque<(Alert, u32)>,
     /// Alerts queued since the last flush (unicast mode).
     outbox: Vec<Alert>,
     next_gossip_at: u64,
@@ -70,12 +87,15 @@ impl Disseminator {
             fanout: settings.gossip_fanout,
             interval_ms: settings.gossip_interval_ms,
             retransmit_factor: settings.gossip_retransmit_factor,
-            peers: Vec::new(),
+            config: Configuration::bootstrap(Vec::new()),
+            self_rank: 0,
             config_id: ConfigId::NONE,
             config_seq: 0,
             rng: Xoshiro256::seed_from_u64(rng_seed),
-            seen: HashSet::new(),
+            seen: DetHashSet::default(),
             buffer: VecDeque::new(),
+            in_flight: DetHashSet::default(),
+            rotation_spare: VecDeque::new(),
             outbox: Vec::new(),
             next_gossip_at: 0,
             retransmit_rounds: 1,
@@ -89,21 +109,38 @@ impl Disseminator {
 
     /// Installs a new configuration; all dissemination state is reset
     /// (alerts are scoped to one configuration).
-    pub fn set_view(&mut self, config: &Configuration, self_addr: &Endpoint) {
-        self.peers = config
-            .members()
-            .iter()
-            .map(|m| m.addr.clone())
-            .filter(|a| a != self_addr)
-            .collect();
+    pub fn set_view(&mut self, config: &Arc<Configuration>, self_addr: &Endpoint) {
+        self.self_rank = config.rank_of_addr(self_addr).unwrap_or(config.len());
+        self.config = Arc::clone(config);
         self.config_id = config.id();
         self.config_seq = config.seq();
         self.seen.clear();
         self.buffer.clear();
+        self.in_flight.clear();
         self.outbox.clear();
         let n = config.len().max(2);
         self.retransmit_rounds =
             ((self.retransmit_factor * (n as f64).log2()).ceil() as u32).max(1);
+    }
+
+    /// Number of peers (members of the current view other than this node).
+    pub fn peer_count(&self) -> usize {
+        let n = self.config.len();
+        if self.self_rank < n { n - 1 } else { n }
+    }
+
+    /// The `i`-th peer in rank order, skipping this node.
+    fn peer_at(&self, i: usize) -> Endpoint {
+        let rank = if i >= self.self_rank { i + 1 } else { i };
+        self.config.member_at(rank).addr
+    }
+
+    /// Pushes an alert onto the gossip relay buffer unless a copy of the
+    /// same item is already in flight.
+    fn push_relay(&mut self, alert: Alert) {
+        if self.in_flight.insert(alert.dedup_key()) {
+            self.buffer.push_back((alert, self.retransmit_rounds));
+        }
     }
 
     /// Queues a locally originated alert for dissemination. Returns `false`
@@ -114,27 +151,30 @@ impl Disseminator {
         }
         match self.mode {
             BroadcastMode::UnicastAll => self.outbox.push(alert),
-            BroadcastMode::Gossip => self.buffer.push_back((alert, self.retransmit_rounds)),
+            BroadcastMode::Gossip => self.push_relay(alert),
         }
         true
     }
 
     /// Filters received alerts to fresh ones (never seen before), marking
-    /// them seen and scheduling them for relay in gossip mode.
-    pub fn ingest_alerts(&mut self, alerts: &[Alert]) -> Vec<Alert> {
-        let mut fresh = Vec::new();
-        for a in alerts {
+    /// them seen and scheduling them for relay in gossip mode. The index
+    /// of each fresh alert is pushed into `fresh` (cleared first), so the
+    /// caller applies fresh alerts straight from the received batch
+    /// without cloning them.
+    pub fn ingest_alerts(&mut self, alerts: &[Alert], fresh: &mut Vec<u32>) {
+        fresh.clear();
+        for (i, a) in alerts.iter().enumerate() {
             if a.config_id != self.config_id {
                 continue;
             }
-            if self.seen.insert(a.dedup_key()) {
-                if self.mode == BroadcastMode::Gossip {
+            let key = a.dedup_key();
+            if self.seen.insert(key) {
+                if self.mode == BroadcastMode::Gossip && self.in_flight.insert(key) {
                     self.buffer.push_back((a.clone(), self.retransmit_rounds));
                 }
-                fresh.push(a.clone());
+                fresh.push(i as u32);
             }
         }
-        fresh
     }
 
     /// Flushes queued alerts and (in gossip mode) runs one gossip round if
@@ -146,9 +186,9 @@ impl Disseminator {
                     return;
                 }
                 let alerts: Arc<[Alert]> = std::mem::take(&mut self.outbox).into();
-                for peer in &self.peers {
+                for i in 0..self.peer_count() {
                     out.push((
-                        peer.clone(),
+                        self.peer_at(i),
                         Message::AlertBatch {
                             config_id: self.config_id,
                             alerts: Arc::clone(&alerts),
@@ -157,35 +197,41 @@ impl Disseminator {
                 }
             }
             BroadcastMode::Gossip => {
-                if now < self.next_gossip_at || self.peers.is_empty() {
+                let peer_count = self.peer_count();
+                if now < self.next_gossip_at || peer_count == 0 {
                     return;
                 }
                 self.next_gossip_at = now + self.interval_ms;
                 // Collect up to a message worth of active items, decrement
-                // their budgets, and drop exhausted ones.
+                // their budgets, and drop exhausted ones. The spare deque is
+                // swapped in so rotation allocates nothing in steady state.
                 let mut batch = Vec::new();
-                let mut rotated = VecDeque::with_capacity(self.buffer.len());
+                let mut rotated = std::mem::take(&mut self.rotation_spare);
+                rotated.clear();
                 while let Some((alert, remaining)) = self.buffer.pop_front() {
                     if batch.len() < MAX_ALERTS_PER_MESSAGE {
-                        batch.push(alert.clone());
                         if remaining > 1 {
+                            batch.push(alert.clone());
                             rotated.push_back((alert, remaining - 1));
+                        } else {
+                            self.in_flight.remove(&alert.dedup_key());
+                            batch.push(alert);
                         }
                     } else {
                         rotated.push_back((alert, remaining));
                     }
                 }
-                self.buffer = rotated;
+                self.rotation_spare = std::mem::replace(&mut self.buffer, rotated);
                 if batch.is_empty() && votes.is_empty() {
                     return; // Quiescent: nothing to gossip.
                 }
                 let alerts: Arc<[Alert]> = batch.into();
                 let votes: Arc<[VoteState]> = votes.to_vec().into();
-                let fanout = self.fanout.min(self.peers.len());
-                let picks = self.rng.choose_indices(self.peers.len(), fanout);
+                let fanout = self.fanout.min(peer_count);
+                let picks = self.rng.choose_indices(peer_count, fanout);
                 for i in picks {
                     out.push((
-                        self.peers[i].clone(),
+                        self.peer_at(i),
                         Message::Gossip {
                             config_id: self.config_id,
                             config_seq: self.config_seq,
@@ -200,13 +246,8 @@ impl Disseminator {
 
     /// Picks `count` random peers (for vote unicast, body requests, etc.).
     pub fn random_peers(&mut self, count: usize) -> Vec<Endpoint> {
-        let picks = self.rng.choose_indices(self.peers.len(), count);
-        picks.into_iter().map(|i| self.peers[i].clone()).collect()
-    }
-
-    /// All peers of the current configuration (everyone but this node).
-    pub fn peers(&self) -> &[Endpoint] {
-        &self.peers
+        let picks = self.rng.choose_indices(self.peer_count(), count);
+        picks.into_iter().map(|i| self.peer_at(i)).collect()
     }
 }
 
@@ -323,9 +364,11 @@ mod tests {
         let mut d = Disseminator::new(&settings(true), 1);
         d.set_view(&cfg, &Endpoint::new("n1", 1));
         let a = alert(&cfg, 1, 2, 0);
-        let fresh = d.ingest_alerts(&[a.clone(), a.clone()]);
-        assert_eq!(fresh.len(), 1);
-        assert!(d.ingest_alerts(&[a.clone()]).is_empty());
+        let mut fresh = Vec::new();
+        d.ingest_alerts(&[a.clone(), a.clone()], &mut fresh);
+        assert_eq!(fresh, vec![0], "first copy fresh, duplicate filtered");
+        d.ingest_alerts(std::slice::from_ref(&a), &mut fresh);
+        assert!(fresh.is_empty());
         // The fresh item is relayed on the next round.
         let mut out = Vec::new();
         d.tick(0, &[], &mut out);
@@ -341,7 +384,36 @@ mod tests {
         let mut d = Disseminator::new(&settings(true), 1);
         d.set_view(&cfg, &Endpoint::new("n1", 1));
         let a = alert(&other, 1, 2, 0);
-        assert!(d.ingest_alerts(&[a]).is_empty());
+        let mut fresh = Vec::new();
+        d.ingest_alerts(&[a], &mut fresh);
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn relay_buffer_never_holds_duplicate_keys() {
+        // Two alerts with the same dedup identity must never coexist in
+        // the retransmit queue, whatever mix of entry points queued them.
+        let cfg = config(8);
+        let mut d = Disseminator::new(&settings(true), 1);
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        let a = alert(&cfg, 1, 2, 0);
+        assert!(d.queue_alert(a.clone()));
+        let mut fresh = Vec::new();
+        d.ingest_alerts(std::slice::from_ref(&a), &mut fresh);
+        assert!(fresh.is_empty());
+        // Count items carried by the first gossip round: exactly one copy.
+        let mut out = Vec::new();
+        d.tick(0, &[], &mut out);
+        match &out[0].1 {
+            Message::Gossip { alerts, .. } => {
+                assert_eq!(alerts.len(), 1, "one in-flight copy, not two")
+            }
+            other => panic!("expected Gossip, got {}", other.kind()),
+        }
+        // Once the budget expires the key is released and a fresh view
+        // (which resets dedup) may enqueue it again.
+        d.set_view(&cfg, &Endpoint::new("n1", 1));
+        assert!(d.queue_alert(a), "fresh after view reset");
     }
 
     #[test]

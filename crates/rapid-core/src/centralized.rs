@@ -18,7 +18,7 @@
 //! Two roles are provided: [`EnsembleNode`] (a member of `S`) and
 //! [`EdgeAgent`] (a member of `C`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::alert::{Alert, EdgeStatus};
@@ -65,7 +65,8 @@ pub struct EnsembleNode {
     consensus_deadline: Option<u64>,
     classic_round: u32,
     classic_deadline: Option<u64>,
-    pending_joiners: HashMap<NodeId, Member>,
+    /// Ordered so join confirmations go out in identical order every run.
+    pending_joiners: BTreeMap<NodeId, Member>,
     rng: Xoshiro256,
     now: u64,
     metrics: NodeMetrics,
@@ -100,7 +101,7 @@ impl EnsembleNode {
             consensus_deadline: None,
             classic_round: 0,
             classic_deadline: None,
-            pending_joiners: HashMap::new(),
+            pending_joiners: BTreeMap::new(),
             rng,
             now: 0,
             metrics: NodeMetrics::default(),
@@ -123,13 +124,15 @@ impl EnsembleNode {
         out.push(Action::Send { to, msg });
     }
 
-    fn ensemble_peers(&self) -> Vec<Endpoint> {
-        self.ensemble
-            .members()
-            .iter()
-            .filter(|m| m.id != self.me.id)
-            .map(|m| m.addr.clone())
-            .collect()
+    /// Sends one message per ensemble peer, resolving addresses by rank
+    /// (no peer list is materialised).
+    fn send_ensemble_peers(&mut self, out: &mut Vec<Action>, mut make: impl FnMut() -> Message) {
+        let ensemble = Arc::clone(&self.ensemble);
+        for m in ensemble.members() {
+            if m.id != self.me.id {
+                self.send(out, m.addr, make());
+            }
+        }
     }
 
     /// Feeds one event into the ensemble state machine.
@@ -178,8 +181,7 @@ impl EnsembleNode {
                         let coord = self
                             .ensemble
                             .member_at(rank.coordinator as usize)
-                            .addr
-                            .clone();
+                            .addr;
                         self.send(
                             out,
                             coord,
@@ -213,8 +215,7 @@ impl EnsembleNode {
                     let coord = self
                         .ensemble
                         .member_at(rank.coordinator as usize)
-                        .addr
-                        .clone();
+                        .addr;
                     self.send(
                         out,
                         coord,
@@ -251,7 +252,7 @@ impl EnsembleNode {
             }
             Message::Leave { subject } => {
                 if let Some(m) = self.managed.member_by_id(subject) {
-                    let addr = m.addr.clone();
+                    let addr = m.addr;
                     let rank = self.managed.rank_of(subject).unwrap() as u32;
                     // Synthesize REMOVE alerts on every ring (the leaver
                     // asked to go; observers need not time out first).
@@ -260,7 +261,7 @@ impl EnsembleNode {
                         let alert = Alert::remove(
                             self.me.id,
                             subject,
-                            addr.clone(),
+                            addr,
                             self.managed.id(),
                             ring,
                         );
@@ -297,14 +298,13 @@ impl EnsembleNode {
                     self.ensemble
                         .member_at(r % self.ensemble.len())
                         .addr
-                        .clone()
                 })
                 .collect()
         } else {
             self.managed_topology
                 .joiner_observers(self.managed.id(), joiner.id)
                 .into_iter()
-                .map(|e| self.managed.member_at(e.rank as usize).addr.clone())
+                .map(|e| self.managed.member_at(e.rank as usize).addr)
                 .collect()
         };
         let config_id = self.managed.id();
@@ -357,7 +357,7 @@ impl EnsembleNode {
         let alert = Alert::join(
             self.me.id,
             joiner.id,
-            joiner.addr.clone(),
+            joiner.addr,
             config_id,
             ring,
             joiner.metadata.clone(),
@@ -371,16 +371,10 @@ impl EnsembleNode {
     fn share_alert(&mut self, alert: &Alert, out: &mut Vec<Action>) {
         let batch: Arc<[Alert]> = vec![alert.clone()].into();
         let config_id = self.managed.id();
-        for to in self.ensemble_peers() {
-            self.send(
-                out,
-                to,
-                Message::AlertBatch {
-                    config_id,
-                    alerts: Arc::clone(&batch),
-                },
-            );
-        }
+        self.send_ensemble_peers(out, || Message::AlertBatch {
+            config_id,
+            alerts: Arc::clone(&batch),
+        });
     }
 
     /// Validates and records one alert about the managed cluster. The
@@ -442,17 +436,11 @@ impl EnsembleNode {
                 self.arm_consensus_deadline();
                 let body = Some(Arc::new(p));
                 let config_id = self.managed.id();
-                for to in self.ensemble_peers() {
-                    self.send(
-                        out,
-                        to,
-                        Message::Vote {
-                            config_id,
-                            state: state.clone(),
-                            body: body.clone(),
-                        },
-                    );
-                }
+                self.send_ensemble_peers(out, || Message::Vote {
+                    config_id,
+                    state: state.clone(),
+                    body: body.clone(),
+                });
             }
         }
         if let Some(p) = self.fast.decision() {
@@ -482,9 +470,7 @@ impl EnsembleNode {
         }
         let rank = self.classic.start_round(self.classic_round);
         let config_id = self.managed.id();
-        for to in self.ensemble_peers() {
-            self.send(out, to, Message::Phase1a { config_id, rank });
-        }
+        self.send_ensemble_peers(out, || Message::Phase1a { config_id, rank });
         if let Some(promise) = self.classic.on_phase1a(rank) {
             self.coordinator_on_promise(rank, promise, out);
         }
@@ -503,17 +489,11 @@ impl EnsembleNode {
         if let CoordinatorStep::SendPhase2a(value) = self.classic.on_promise(rank, promise, fallback)
         {
             let config_id = self.managed.id();
-            for to in self.ensemble_peers() {
-                self.send(
-                    out,
-                    to,
-                    Message::Phase2a {
-                        config_id,
-                        rank,
-                        value: Arc::clone(&value),
-                    },
-                );
-            }
+            self.send_ensemble_peers(out, || Message::Phase2a {
+                config_id,
+                rank,
+                value: Arc::clone(&value),
+            });
             if self.classic.on_phase2a(rank, Arc::clone(&value)) {
                 self.fast.learn_body(&value);
                 self.coordinator_on_phase2b(rank, self.my_rank, out);
@@ -529,16 +509,10 @@ impl EnsembleNode {
     ) {
         if let CoordinatorStep::Decided(value) = self.classic.on_phase2b(rank, sender) {
             let config_id = self.managed.id();
-            for to in self.ensemble_peers() {
-                self.send(
-                    out,
-                    to,
-                    Message::Decision {
-                        config_id,
-                        proposal: Arc::clone(&value),
-                    },
-                );
-            }
+            self.send_ensemble_peers(out, || Message::Decision {
+                config_id,
+                proposal: Arc::clone(&value),
+            });
             self.decide(value, false, out);
         }
     }
@@ -548,7 +522,7 @@ impl EnsembleNode {
             return;
         }
         let prev = self.managed.id();
-        let new_cfg = self.managed.apply(&proposal);
+        let new_cfg = self.cache.apply(&self.managed, &proposal);
         let (joined, removed) = proposal.partition_ids();
         if fast_path {
             self.metrics.fast_decisions += 1;
@@ -572,10 +546,10 @@ impl EnsembleNode {
         }));
         // Notify the managed cluster (§5: "notifications from S").
         let snapshot = snapshot_of(&new_cfg);
-        for m in new_cfg.members().iter().map(|m| m.addr.clone()).collect::<Vec<_>>() {
+        for m in new_cfg.members() {
             self.send(
                 out,
-                m,
+                m.addr,
                 Message::ConfigPush {
                     snapshot: snapshot.clone(),
                 },
@@ -625,7 +599,8 @@ pub struct EdgeAgent {
     my_rank: u32,
     fd: Box<dyn EdgeFailureDetector>,
     phase: AgentPhase,
-    pending_joiners: HashMap<NodeId, Member>,
+    /// Ordered so join confirmations go out in identical order every run.
+    pending_joiners: BTreeMap<NodeId, Member>,
     next_poll_at: u64,
     join_deadline: u64,
     attempt: u32,
@@ -664,7 +639,7 @@ impl EdgeAgent {
             my_rank: 0,
             fd,
             phase: AgentPhase::PreJoin,
-            pending_joiners: HashMap::new(),
+            pending_joiners: BTreeMap::new(),
             next_poll_at: 0,
             join_deadline: 0,
             attempt: 0,
@@ -696,7 +671,7 @@ impl EdgeAgent {
 
     fn random_ensemble(&mut self) -> Endpoint {
         let i = self.rng.gen_index(self.ensemble_addrs.len());
-        self.ensemble_addrs[i].clone()
+        self.ensemble_addrs[i]
     }
 
     /// Feeds one event into the agent state machine.
@@ -759,7 +734,7 @@ impl EdgeAgent {
             alerts.push(Alert::remove(
                 self.me.id,
                 id,
-                addr.clone(),
+                addr,
                 self.managed.id(),
                 ring,
             ));
@@ -770,7 +745,8 @@ impl EdgeAgent {
         self.metrics.alerts_originated += alerts.len() as u64;
         let batch: Arc<[Alert]> = alerts.into();
         let config_id = self.managed.id();
-        for to in self.ensemble_addrs.clone() {
+        for i in 0..self.ensemble_addrs.len() {
+            let to = self.ensemble_addrs[i];
             self.send(
                 out,
                 to,
@@ -880,14 +856,15 @@ impl EdgeAgent {
                 let alert = Alert::join(
                     self.me.id,
                     joiner.id,
-                    joiner.addr.clone(),
+                    joiner.addr,
                     config_id,
                     ring,
                     joiner.metadata.clone(),
                 );
                 self.metrics.alerts_originated += 1;
                 let batch: Arc<[Alert]> = vec![alert].into();
-                for to in self.ensemble_addrs.clone() {
+                for i in 0..self.ensemble_addrs.len() {
+                    let to = self.ensemble_addrs[i];
                     self.send(
                         out,
                         to,
@@ -907,7 +884,7 @@ impl EdgeAgent {
     }
 
     fn install(&mut self, snapshot: ConfigSnapshot, out: &mut Vec<Action>) {
-        let cfg = Configuration::from_parts(snapshot.id, snapshot.seq, snapshot.members.to_vec());
+        let cfg = self.cache.from_snapshot(&snapshot);
         let was_member = self.phase == AgentPhase::Member;
         if !cfg.contains(self.me.id) {
             if was_member {
@@ -926,7 +903,7 @@ impl EdgeAgent {
             .into_iter()
             .map(|e| {
                 let m = cfg.member_at(e.rank as usize);
-                (m.id, m.addr.clone())
+                (m.id, m.addr)
             })
             .collect();
         self.fd.set_subjects(subjects, self.now);
@@ -981,13 +958,13 @@ impl EdgeAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::{HashSet, VecDeque};
+    use std::collections::{HashMap, HashSet, VecDeque};
 
     const TICK: u64 = 100;
 
     enum Proc {
-        Ensemble(EnsembleNode),
-        Agent(EdgeAgent),
+        Ensemble(Box<EnsembleNode>),
+        Agent(Box<EdgeAgent>),
     }
 
     struct Harness {
@@ -1015,25 +992,25 @@ mod tests {
         fn new(n_ensemble: u128, n_agents: u128) -> Harness {
             let ensemble_members: Vec<Member> = (1..=n_ensemble).map(member).collect();
             let ensemble_addrs: Vec<Endpoint> =
-                ensemble_members.iter().map(|m| m.addr.clone()).collect();
+                ensemble_members.iter().map(|m| m.addr).collect();
             let mut procs = Vec::new();
             let mut by_addr = HashMap::new();
             for m in &ensemble_members {
-                by_addr.insert(m.addr.clone(), procs.len());
-                procs.push(Proc::Ensemble(EnsembleNode::new(
+                by_addr.insert(m.addr, procs.len());
+                procs.push(Proc::Ensemble(Box::new(EnsembleNode::new(
                     m.clone(),
                     ensemble_members.clone(),
                     settings(),
-                )));
+                ))));
             }
             for i in 0..n_agents {
                 let m = member(100 + i);
-                by_addr.insert(m.addr.clone(), procs.len());
-                procs.push(Proc::Agent(EdgeAgent::new(
+                by_addr.insert(m.addr, procs.len());
+                procs.push(Proc::Agent(Box::new(EdgeAgent::new(
                     m,
                     ensemble_addrs.clone(),
                     settings(),
-                )));
+                ))));
             }
             Harness {
                 procs,
@@ -1051,12 +1028,12 @@ mod tests {
                 Proc::Agent(a) => a.handle(ev, &mut actions),
             }
             let from = match &self.procs[i] {
-                Proc::Ensemble(e) => e.me.addr.clone(),
-                Proc::Agent(a) => a.me.addr.clone(),
+                Proc::Ensemble(e) => e.me.addr,
+                Proc::Agent(a) => a.me.addr,
             };
             for act in actions {
                 if let Action::Send { to, msg } = act {
-                    self.queue.push_back((from.clone(), to, msg));
+                    self.queue.push_back((from, to, msg));
                 }
             }
         }

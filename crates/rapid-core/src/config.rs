@@ -5,11 +5,10 @@
 //! each configuration may drive a single configuration-change decision, and
 //! the next configuration is logically a new system (virtual synchrony).
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::hash::StableHasher;
+use crate::hash::{DetHashMap, DetHashSet, StableHasher};
 use crate::id::{Endpoint, NodeId};
 use crate::membership::{Proposal, ProposalItem};
 use crate::metadata::Metadata;
@@ -78,8 +77,8 @@ pub struct Configuration {
     /// Sequence number of this configuration (bootstrap = 0), for display.
     seq: u64,
     members: Vec<Member>,
-    by_id: HashMap<NodeId, usize>,
-    by_addr: HashMap<Endpoint, usize>,
+    by_id: DetHashMap<NodeId, usize>,
+    by_addr: DetHashMap<Endpoint, usize>,
 }
 
 impl PartialEq for Configuration {
@@ -112,7 +111,7 @@ impl Configuration {
         let by_addr = members
             .iter()
             .enumerate()
-            .map(|(i, m)| (m.addr.clone(), i))
+            .map(|(i, m)| (m.addr, i))
             .collect();
         Configuration {
             id,
@@ -128,7 +127,7 @@ impl Configuration {
     /// deterministic function of `(self, proposal)`.
     pub fn apply(&self, proposal: &Proposal) -> Arc<Configuration> {
         let mut members: Vec<Member> = Vec::with_capacity(self.members.len() + proposal.len());
-        let removed: std::collections::HashSet<NodeId> = proposal
+        let removed: DetHashSet<NodeId> = proposal
             .items()
             .iter()
             .filter(|it| !it.join)
@@ -144,7 +143,7 @@ impl Configuration {
             if it.join && !self.by_id.contains_key(&it.id) {
                 members.push(Member::with_metadata(
                     it.id,
-                    it.addr.clone(),
+                    it.addr,
                     it.metadata.clone(),
                 ));
             }
@@ -164,7 +163,7 @@ impl Configuration {
         let by_addr = members
             .iter()
             .enumerate()
-            .map(|(i, m)| (m.addr.clone(), i))
+            .map(|(i, m)| (m.addr, i))
             .collect();
         Arc::new(Configuration {
             id,
@@ -229,6 +228,11 @@ impl Configuration {
         self.by_addr.get(addr).map(|&i| &self.members[i])
     }
 
+    /// The rank of the member listening on `addr`, if present.
+    pub fn rank_of_addr(&self, addr: &Endpoint) -> Option<usize> {
+        self.by_addr.get(addr).copied()
+    }
+
     /// Looks up a member by identifier.
     pub fn member_by_id(&self, id: NodeId) -> Option<&Member> {
         self.by_id.get(&id).map(|&i| &self.members[i])
@@ -248,7 +252,7 @@ impl Configuration {
     /// Builds the canonical proposal item describing the removal of `rank`.
     pub fn removal_item(&self, rank: usize) -> ProposalItem {
         let m = &self.members[rank];
-        ProposalItem::remove(m.id, m.addr.clone())
+        ProposalItem::remove(m.id, m.addr)
     }
 }
 

@@ -79,6 +79,11 @@ pub struct CutDetector {
     trackers: BTreeMap<NodeId, Tracker>,
     unstable_count: usize,
     stable_count: usize,
+    /// REMOVE-tracked subjects with `tally >= L`: the only processes that
+    /// can act as *faulty observers* for the implicit-alert rule. Kept
+    /// incrementally so the rule short-circuits to O(1) when none exist
+    /// (the common case during join herds).
+    faulty_observer_count: usize,
 }
 
 impl CutDetector {
@@ -101,6 +106,7 @@ impl CutDetector {
             trackers: BTreeMap::new(),
             unstable_count: 0,
             stable_count: 0,
+            faulty_observer_count: 0,
         }
     }
 
@@ -111,6 +117,7 @@ impl CutDetector {
         self.trackers.clear();
         self.unstable_count = 0;
         self.stable_count = 0;
+        self.faulty_observer_count = 0;
     }
 
     /// The configuration this detector is aggregating for.
@@ -128,7 +135,7 @@ impl CutDetector {
         }
         let k = self.k;
         let tracker = self.trackers.entry(alert.subject_id).or_insert_with(|| Tracker {
-            addr: alert.subject_addr.clone(),
+            addr: alert.subject_addr,
             status: alert.status,
             metadata: alert.metadata.clone(),
             slots: vec![None; k],
@@ -164,6 +171,9 @@ impl CutDetector {
         if old < self.h && new >= self.h {
             self.stable_count += 1;
         }
+        if tracker.status == EdgeStatus::Down && old < self.l && new >= self.l {
+            self.faulty_observer_count += 1;
+        }
         true
     }
 
@@ -191,6 +201,12 @@ impl CutDetector {
         self.unstable_count
     }
 
+    /// Whether any REMOVE-tracked subject has reached the `L` watermark,
+    /// i.e. whether the implicit-alert rule can fire at all.
+    pub fn has_faulty_observers(&self) -> bool {
+        self.faulty_observer_count > 0
+    }
+
     /// Number of subjects in stable report mode.
     pub fn stable_count(&self) -> usize {
         self.stable_count
@@ -216,8 +232,8 @@ impl CutDetector {
         for (&id, t) in &self.trackers {
             if t.tally >= self.h {
                 p.push(match t.status {
-                    EdgeStatus::Up => ProposalItem::join(id, t.addr.clone(), t.metadata.clone()),
-                    EdgeStatus::Down => ProposalItem::remove(id, t.addr.clone()),
+                    EdgeStatus::Up => ProposalItem::join(id, t.addr, t.metadata.clone()),
+                    EdgeStatus::Down => ProposalItem::remove(id, t.addr),
                 });
             }
         }
@@ -232,7 +248,7 @@ impl CutDetector {
             .filter(|(_, t)| t.tally >= self.l && t.tally < self.h)
             .map(|(&id, t)| UnstableSubject {
                 id,
-                addr: t.addr.clone(),
+                addr: t.addr,
                 status: t.status,
                 since: t.unstable_since.unwrap_or(0),
                 missing_rings: t
@@ -268,12 +284,18 @@ impl CutDetector {
     where
         F: Fn(NodeId) -> Vec<(u8, NodeId)>,
     {
+        if self.faulty_observer_count == 0 {
+            // No REMOVE-tracked subject has reached L: no observer can be
+            // faulty, so no implicit alert can fire. Skipping the scan here
+            // is exact (not an approximation) and keeps join herds O(1).
+            return 0;
+        }
         let mut applied = 0;
         loop {
             // An observer counts as "faulty" only for REMOVE tracking (a
             // joining process is not a member and observes nobody), and
             // qualifies from the unstable region onwards (see above).
-            let unstable_observers: std::collections::HashSet<NodeId> = self
+            let unstable_observers: crate::hash::DetHashSet<NodeId> = self
                 .trackers
                 .iter()
                 .filter(|(_, t)| t.status == EdgeStatus::Down && t.tally >= self.l)
@@ -287,12 +309,12 @@ impl CutDetector {
                     }
                     pending.push(match s.status {
                         EdgeStatus::Down => {
-                            Alert::remove(o, s.id, s.addr.clone(), self.config_id, ring)
+                            Alert::remove(o, s.id, s.addr, self.config_id, ring)
                         }
                         EdgeStatus::Up => Alert::join(
                             o,
                             s.id,
-                            s.addr.clone(),
+                            s.addr,
                             self.config_id,
                             ring,
                             Metadata::new(),

@@ -7,7 +7,9 @@
 //! subjects and mark an edge faulty when the number of failed probes
 //! exceeds a threshold (40% of the last 10 attempts fail).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::hash::DetHashMap;
 
 use crate::id::{Endpoint, NodeId};
 use crate::wire::Message;
@@ -47,7 +49,7 @@ pub struct ProbeFailureDetector {
     window: usize,
     fail_threshold: usize,
     subjects: Vec<SubjectState>,
-    by_addr: HashMap<Endpoint, usize>,
+    by_addr: DetHashMap<Endpoint, usize>,
     next_seq: u64,
     faulty: Vec<(NodeId, Endpoint)>,
 }
@@ -77,7 +79,7 @@ impl ProbeFailureDetector {
             window,
             fail_threshold,
             subjects: Vec::new(),
-            by_addr: HashMap::new(),
+            by_addr: DetHashMap::default(),
             next_seq: 1,
             faulty: Vec::new(),
         }
@@ -104,7 +106,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
             if self.by_addr.contains_key(&addr) {
                 continue; // Duplicate ring edges probe once.
             }
-            self.by_addr.insert(addr.clone(), i.min(self.subjects.len()));
+            self.by_addr.insert(addr, i.min(self.subjects.len()));
             self.subjects.push(SubjectState {
                 id,
                 addr,
@@ -119,7 +121,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
             .subjects
             .iter()
             .enumerate()
-            .map(|(i, s)| (s.addr.clone(), i))
+            .map(|(i, s)| (s.addr, i))
             .collect();
     }
 
@@ -132,7 +134,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
                     Self::record_outcome(state, false, self.window);
                     if !state.reported && Self::failures(state) >= self.fail_threshold {
                         state.reported = true;
-                        self.faulty.push((state.id, state.addr.clone()));
+                        self.faulty.push((state.id, state.addr));
                     }
                 }
             }
@@ -146,7 +148,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
                 self.next_seq += 1;
                 state.outstanding = Some((seq, now));
                 state.next_probe_at = now + self.probe_interval_ms;
-                out.push((state.addr.clone(), Message::Probe { seq }));
+                out.push((state.addr, Message::Probe { seq }));
             }
         }
     }
@@ -203,7 +205,7 @@ impl EdgeFailureDetector for ScriptedFailureDetector {
         let pending = std::mem::take(&mut self.pending);
         for id in pending {
             if let Some((_, addr)) = self.subjects.iter().find(|(sid, _)| *sid == id) {
-                self.faulty.push((id, addr.clone()));
+                self.faulty.push((id, *addr));
             }
         }
     }
@@ -226,7 +228,7 @@ mod tests {
     fn probes_sent(out: &[(Endpoint, Message)]) -> Vec<(Endpoint, u64)> {
         out.iter()
             .filter_map(|(ep, m)| match m {
-                Message::Probe { seq } => Some((ep.clone(), *seq)),
+                Message::Probe { seq } => Some((*ep, *seq)),
                 _ => None,
             })
             .collect()
@@ -318,7 +320,7 @@ mod tests {
         fd.set_subjects(vec![subject(1)], 0);
         let mut out = Vec::new();
         fd.tick(0, &mut out);
-        let (ep, seq) = probes_sent(&out)[0].clone();
+        let (ep, seq) = probes_sent(&out)[0];
         // Timeout expires at 500; the ack arrives afterwards.
         out.clear();
         fd.tick(600, &mut out);
@@ -337,7 +339,7 @@ mod tests {
     fn duplicate_subject_addresses_probe_once() {
         let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
         let s = subject(1);
-        fd.set_subjects(vec![s.clone(), s.clone(), subject(2)], 0);
+        fd.set_subjects(vec![s, s, subject(2)], 0);
         let mut out = Vec::new();
         fd.tick(0, &mut out);
         assert_eq!(probes_sent(&out).len(), 2);

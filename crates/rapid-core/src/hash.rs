@@ -75,6 +75,78 @@ impl StableHasher {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic std-collection hashing
+// ---------------------------------------------------------------------------
+
+/// A fixed-seed `BuildHasher` for protocol- and simulator-internal maps.
+///
+/// `std`'s default `RandomState` draws a fresh key per process, which makes
+/// `HashMap`/`HashSet` *iteration order* vary from run to run. Any map the
+/// protocol iterates while emitting messages would silently break the
+/// simulator's cross-run reproducibility, so internal maps use this
+/// deterministic state instead. It is also faster than SipHash for the
+/// short integer keys (endpoints, node ids, ranks) these maps hold. Not
+/// DoS-resistant — never expose such a map to untrusted keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DetState;
+
+impl std::hash::BuildHasher for DetState {
+    type Hasher = DetHasher;
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher(FNV_OFFSET)
+    }
+}
+
+/// The hasher produced by [`DetState`]: FNV-1a with a splitmix finalizer
+/// (`HashMap` consumes the low bits, where raw FNV avalanches poorly).
+pub struct DetHasher(u64);
+
+impl std::hash::Hasher for DetHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+}
+
+/// A `HashMap` with deterministic, run-stable iteration order.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+/// A `HashSet` with deterministic, run-stable iteration order.
+pub type DetHashSet<T> = std::collections::HashSet<T, DetState>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

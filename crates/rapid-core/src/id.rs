@@ -64,21 +64,102 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Interned host names: `Endpoint` stores a `u32` symbol instead of a
+/// heap string, so copying, hashing and comparing endpoints are integer
+/// operations on every hot path (broadcast fan-out, simulator routing).
+///
+/// Host strings are leaked once per unique name — bounded by the number of
+/// distinct hosts a process ever talks to — and the FNV digest each host
+/// contributes to ring hashing is cached alongside, so [`Endpoint::digest`]
+/// never re-hashes string bytes.
+///
+/// **Trust model:** anything that constructs an `Endpoint` (including the
+/// wire decoder) interns its host permanently. That is the right trade in
+/// simulations and cooperative clusters, where the host set is small and
+/// stable; a transport exposed to *untrusted* peers must validate or
+/// rate-limit sender-supplied host names before decoding, or an attacker
+/// can grow the table without bound (see ROADMAP open items).
+mod host_interner {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+
+    struct Interner {
+        by_name: HashMap<&'static str, u32>,
+        names: Vec<&'static str>,
+        digests: Vec<u64>,
+    }
+
+    fn global() -> &'static RwLock<Interner> {
+        static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            RwLock::new(Interner {
+                by_name: HashMap::new(),
+                names: Vec::new(),
+                digests: Vec::new(),
+            })
+        })
+    }
+
+    /// Returns the symbol for `host`, interning it on first sight.
+    pub fn intern(host: &str) -> u32 {
+        let lock = global();
+        if let Some(&sym) = lock.read().unwrap_or_else(|e| e.into_inner()).by_name.get(host) {
+            return sym;
+        }
+        let mut w = lock.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&sym) = w.by_name.get(host) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(host.to_owned().into_boxed_str());
+        let sym = w.names.len() as u32;
+        w.names.push(leaked);
+        w.digests.push(crate::hash::fnv1a(leaked.as_bytes()));
+        w.by_name.insert(leaked, sym);
+        sym
+    }
+
+    /// The host string behind a symbol.
+    pub fn name(sym: u32) -> &'static str {
+        global().read().unwrap_or_else(|e| e.into_inner()).names[sym as usize]
+    }
+
+    /// The cached FNV-1a digest of the host string behind a symbol.
+    pub fn digest(sym: u32) -> u64 {
+        global().read().unwrap_or_else(|e| e.into_inner()).digests[sym as usize]
+    }
+}
+
 /// A process' TCP/IP listen address (`HOST:PORT`, paper §3).
 ///
 /// Hosts are arbitrary UTF-8 strings so the same type serves real DNS names,
-/// IP literals, and symbolic simulator node names.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// IP literals, and symbolic simulator node names. The string is interned
+/// into a global symbol table, making `Endpoint` a `Copy` value whose
+/// equality and hashing are integer operations; the wire format still
+/// carries the full host string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Endpoint {
-    host: Box<str>,
+    host: u32,
+    /// Byte length of the host string, cached inline so wire-size
+    /// accounting never touches the interner lock. Redundant with `host`
+    /// (same symbol ⇒ same length), so derived Eq/Hash stay correct.
+    host_len: u16,
     port: u16,
 }
 
 impl Endpoint {
     /// Creates an endpoint from a host string and port.
-    pub fn new(host: impl Into<String>, port: u16) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host exceeds 65535 bytes — the wire format's length
+    /// prefix cannot carry it, and truncating silently would desync the
+    /// codec's size accounting.
+    pub fn new(host: impl AsRef<str>, port: u16) -> Self {
+        let host = host.as_ref();
+        assert!(host.len() <= u16::MAX as usize, "host name too long for the wire format");
         Endpoint {
-            host: host.into().into_boxed_str(),
+            host: host_interner::intern(host),
+            host_len: host.len() as u16,
             port,
         }
     }
@@ -107,8 +188,8 @@ impl Endpoint {
     }
 
     /// The host portion.
-    pub fn host(&self) -> &str {
-        &self.host
+    pub fn host(&self) -> &'static str {
+        host_interner::name(self.host)
     }
 
     /// The port portion.
@@ -116,22 +197,46 @@ impl Endpoint {
         self.port
     }
 
+    /// Byte length of the host string (no interner access).
+    pub fn host_len(&self) -> usize {
+        self.host_len as usize
+    }
+
     /// A 64-bit digest of this endpoint, used in ring-position hashing.
+    /// Identical to hashing the host string directly (the per-host FNV
+    /// digest is cached by the interner).
     pub fn digest(&self) -> u64 {
-        let h = crate::hash::fnv1a(self.host.as_bytes());
-        h.wrapping_mul(0x100000001b3) ^ self.port as u64
+        host_interner::digest(self.host).wrapping_mul(0x100000001b3) ^ self.port as u64
+    }
+}
+
+/// Ordering compares `(host string, port)` — the same ordering the
+/// pre-interning representation had — not interner symbol numbers, which
+/// depend on interning order.
+impl PartialOrd for Endpoint {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Endpoint {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        if self.host == other.host {
+            return self.port.cmp(&other.port);
+        }
+        (self.host(), self.port).cmp(&(other.host(), other.port))
     }
 }
 
 impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.host, self.port)
+        write!(f, "{}:{}", self.host(), self.port)
     }
 }
 
 impl fmt::Display for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.host, self.port)
+        write!(f, "{}:{}", self.host(), self.port)
     }
 }
 
@@ -177,6 +282,41 @@ mod tests {
         let a = Endpoint::new("h", 1);
         let b = Endpoint::new("h", 2);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn interning_is_stable_and_copy() {
+        let a = Endpoint::new("intern-test-host", 9);
+        let b = Endpoint::new(String::from("intern-test-host"), 9);
+        let c = a; // Copy, not move.
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.host(), "intern-test-host");
+        assert_eq!(a.digest(), b.digest());
+        assert!(std::mem::size_of::<Endpoint>() <= 8, "Endpoint must stay register-sized");
+    }
+
+    #[test]
+    fn ordering_follows_host_string_not_symbol() {
+        // Intern in reverse lexicographic order: symbol order disagrees
+        // with string order, the public Ord must follow the strings.
+        let z = Endpoint::new("zz-order-test", 1);
+        let a = Endpoint::new("aa-order-test", 1);
+        assert!(a < z);
+        let p1 = Endpoint::new("aa-order-test", 1);
+        let p2 = Endpoint::new("aa-order-test", 2);
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn non_ascii_and_empty_hosts_intern() {
+        let e = Endpoint::new("", 5);
+        assert_eq!(e.host(), "");
+        assert_eq!(e.to_string(), ":5");
+        let u = Endpoint::new("höst-中-🦀", 7);
+        assert_eq!(u.host(), "höst-中-🦀");
+        assert_eq!(u, Endpoint::new("höst-中-🦀", 7));
+        assert_ne!(u, Endpoint::new("höst-中-🦀", 8));
     }
 
     #[test]

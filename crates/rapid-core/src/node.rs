@@ -14,7 +14,7 @@
 //! case it observes [`Action::Kicked`] and may rejoin with a fresh
 //! identifier.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::alert::{Alert, EdgeStatus};
@@ -22,6 +22,7 @@ use crate::broadcast::{BroadcastMode, Disseminator};
 use crate::config::{ConfigId, Configuration, Member};
 use crate::cut::CutDetector;
 use crate::fd::{EdgeFailureDetector, ProbeFailureDetector};
+use crate::hash::DetHashSet;
 use crate::id::{Endpoint, NodeId};
 use crate::membership::{Proposal, ProposalHash, ViewChange};
 use crate::metrics::NodeMetrics;
@@ -121,13 +122,20 @@ pub struct Node {
     consensus_deadline: Option<u64>,
     classic_round: u32,
     classic_deadline: Option<u64>,
-    reinforced: HashSet<NodeId>,
-    body_requested: HashSet<ProposalHash>,
-    pending_joiners: HashMap<NodeId, Member>,
+    reinforced: DetHashSet<NodeId>,
+    body_requested: DetHashSet<ProposalHash>,
+    /// Ordered so join confirmations go out in identical order every run.
+    pending_joiners: BTreeMap<NodeId, Member>,
 
     join: Option<JoinState>,
     metrics: NodeMetrics,
     view_log: Vec<ConfigId>,
+    /// Reusable `(to, msg)` buffer for the failure-detector and
+    /// dissemination tick hand-offs (no per-tick allocation).
+    scratch_msgs: Vec<(Endpoint, Message)>,
+    /// Reusable fresh-alert index buffer for gossip ingest (no per-message
+    /// allocation).
+    scratch_fresh: Vec<u32>,
 }
 
 impl Node {
@@ -199,9 +207,9 @@ impl Node {
             consensus_deadline: None,
             classic_round: 0,
             classic_deadline: None,
-            reinforced: HashSet::new(),
-            body_requested: HashSet::new(),
-            pending_joiners: HashMap::new(),
+            reinforced: DetHashSet::default(),
+            body_requested: DetHashSet::default(),
+            pending_joiners: BTreeMap::new(),
             join: seeds.map(|seeds| JoinState {
                 seeds,
                 attempt: 0,
@@ -210,6 +218,8 @@ impl Node {
             }),
             metrics: NodeMetrics::default(),
             view_log: Vec::new(),
+            scratch_msgs: Vec::new(),
+            scratch_fresh: Vec::new(),
             config: Arc::clone(&config),
             settings,
         };
@@ -302,7 +312,7 @@ impl Node {
             return;
         }
         for e in self.topology.observers_of(self.my_rank) {
-            let to = self.config.member_at(e.rank as usize).addr.clone();
+            let to = self.config.member_at(e.rank as usize).addr;
             self.send(out, to, Message::Leave { subject: self.me.id });
         }
         self.status = NodeStatus::Left;
@@ -311,6 +321,18 @@ impl Node {
     fn send(&mut self, out: &mut Vec<Action>, to: Endpoint, msg: Message) {
         self.metrics.msgs_sent += 1;
         out.push(Action::Send { to, msg });
+    }
+
+    /// Sends one message per peer of the current view, resolving addresses
+    /// by rank straight from the shared configuration (no peer list is
+    /// materialised; `make` typically clones `Arc` payloads).
+    fn send_all_peers(&mut self, out: &mut Vec<Action>, mut make: impl FnMut() -> Message) {
+        let cfg = Arc::clone(&self.config);
+        for (rank, m) in cfg.members().iter().enumerate() {
+            if rank as u32 != self.my_rank {
+                self.send(out, m.addr, make());
+            }
+        }
     }
 
     fn snapshot(&self) -> ConfigSnapshot {
@@ -333,7 +355,7 @@ impl Node {
         if !due {
             return;
         }
-        let seed = join.seeds[join.attempt as usize % join.seeds.len()].clone();
+        let seed = join.seeds[join.attempt as usize % join.seeds.len()];
         join.attempt += 1;
         join.phase = JoinPhase::AwaitPreJoin;
         join.deadline = self.now + self.settings.join_timeout_ms;
@@ -410,8 +432,7 @@ impl Node {
     }
 
     fn complete_join(&mut self, snapshot: ConfigSnapshot, out: &mut Vec<Action>) {
-        let cfg =
-            Configuration::from_parts(snapshot.id, snapshot.seq, snapshot.members.to_vec());
+        let cfg = self.cache.from_snapshot(&snapshot);
         if !cfg.contains(self.me.id) {
             return; // Defensive: a confirmation must include us.
         }
@@ -427,9 +448,9 @@ impl Node {
 
     fn tick_active(&mut self, out: &mut Vec<Action>) {
         // 1. Drive the edge failure detector.
-        let mut fd_msgs = Vec::new();
-        self.fd.tick(self.now, &mut fd_msgs);
-        for (to, msg) in fd_msgs {
+        let mut msgs = std::mem::take(&mut self.scratch_msgs);
+        self.fd.tick(self.now, &mut msgs);
+        for (to, msg) in msgs.drain(..) {
             self.send(out, to, msg);
         }
         for (id, addr) in self.fd.take_faulty() {
@@ -452,11 +473,11 @@ impl Node {
         } else {
             Vec::new()
         };
-        let mut diss_msgs = Vec::new();
-        self.diss.tick(self.now, &votes, &mut diss_msgs);
-        for (to, msg) in diss_msgs {
+        self.diss.tick(self.now, &votes, &mut msgs);
+        for (to, msg) in msgs.drain(..) {
             self.send(out, to, msg);
         }
+        self.scratch_msgs = msgs;
     }
 
     /// Queues REMOVE alerts for a faulty subject on every ring this node
@@ -466,7 +487,7 @@ impl Node {
             return;
         };
         for ring in self.topology.rings_observing(self.my_rank, rank as u32) {
-            let alert = Alert::remove(self.me.id, id, addr.clone(), self.config.id(), ring);
+            let alert = Alert::remove(self.me.id, id, addr, self.config.id(), ring);
             self.enqueue_alert(alert);
         }
     }
@@ -510,12 +531,12 @@ impl Node {
                 }
                 let alert = match s.status {
                     EdgeStatus::Down => {
-                        Alert::remove(self.me.id, s.id, s.addr.clone(), self.config.id(), ring)
+                        Alert::remove(self.me.id, s.id, s.addr, self.config.id(), ring)
                     }
                     EdgeStatus::Up => Alert::join(
                         self.me.id,
                         s.id,
-                        s.addr.clone(),
+                        s.addr,
                         self.config.id(),
                         ring,
                         crate::metadata::Metadata::new(),
@@ -586,17 +607,12 @@ impl Node {
                 self.arm_consensus_deadline();
                 if self.diss.mode() == BroadcastMode::UnicastAll {
                     let body = Some(Arc::new(p));
-                    for to in self.diss.peers().to_vec() {
-                        self.send(
-                            out,
-                            to,
-                            Message::Vote {
-                                config_id: self.config.id(),
-                                state: state.clone(),
-                                body: body.clone(),
-                            },
-                        );
-                    }
+                    let config_id = self.config.id();
+                    self.send_all_peers(out, || Message::Vote {
+                        config_id,
+                        state: state.clone(),
+                        body: body.clone(),
+                    });
                 }
             }
         }
@@ -661,9 +677,7 @@ impl Node {
         }
         let rank = self.classic.start_round(self.classic_round);
         let config_id = self.config.id();
-        for to in self.diss.peers().to_vec() {
-            self.send(out, to, Message::Phase1a { config_id, rank });
-        }
+        self.send_all_peers(out, || Message::Phase1a { config_id, rank });
         // Self-promise.
         if let Some(promise) = self.classic.on_phase1a(rank) {
             self.coordinator_on_promise(rank, promise, out);
@@ -683,17 +697,11 @@ impl Node {
         match self.classic.on_promise(rank, promise, fallback) {
             CoordinatorStep::SendPhase2a(value) => {
                 let config_id = self.config.id();
-                for to in self.diss.peers().to_vec() {
-                    self.send(
-                        out,
-                        to,
-                        Message::Phase2a {
-                            config_id,
-                            rank,
-                            value: Arc::clone(&value),
-                        },
-                    );
-                }
+                self.send_all_peers(out, || Message::Phase2a {
+                    config_id,
+                    rank,
+                    value: Arc::clone(&value),
+                });
                 // Self-accept.
                 if self.classic.on_phase2a(rank, Arc::clone(&value)) {
                     self.fast.learn_body(&value);
@@ -712,16 +720,10 @@ impl Node {
     ) {
         if let CoordinatorStep::Decided(value) = self.classic.on_phase2b(rank, sender) {
             let config_id = self.config.id();
-            for to in self.diss.peers().to_vec() {
-                self.send(
-                    out,
-                    to,
-                    Message::Decision {
-                        config_id,
-                        proposal: Arc::clone(&value),
-                    },
-                );
-            }
+            self.send_all_peers(out, || Message::Decision {
+                config_id,
+                proposal: Arc::clone(&value),
+            });
             self.decide(value, false, out);
         }
     }
@@ -735,7 +737,7 @@ impl Node {
             return;
         }
         let prev = self.config.id();
-        let new_cfg = self.config.apply(&proposal);
+        let new_cfg = self.cache.apply(&self.config, &proposal);
         let (joined, removed) = proposal.partition_ids();
         if fast_path {
             self.metrics.fast_decisions += 1;
@@ -793,7 +795,7 @@ impl Node {
             .into_iter()
             .map(|e| {
                 let m = cfg.member_at(e.rank as usize);
-                (m.id, m.addr.clone())
+                (m.id, m.addr)
             })
             .collect();
         self.fd.set_subjects(subjects, self.now);
@@ -806,7 +808,7 @@ impl Node {
         if snapshot.seq <= self.config.seq() {
             return;
         }
-        let cfg = Configuration::from_parts(snapshot.id, snapshot.seq, snapshot.members.to_vec());
+        let cfg = self.cache.from_snapshot(&snapshot);
         if !cfg.contains(self.me.id) {
             // The cluster moved on without us: logically depart (§4.3).
             self.status = NodeStatus::Kicked;
@@ -917,8 +919,7 @@ impl Node {
                         let coord = self
                             .config
                             .member_at(rank.coordinator as usize)
-                            .addr
-                            .clone();
+                            .addr;
                         self.send(
                             out,
                             coord,
@@ -956,8 +957,7 @@ impl Node {
                         let coord = self
                             .config
                             .member_at(rank.coordinator as usize)
-                            .addr
-                            .clone();
+                            .addr;
                         self.send(out, coord, Message::Phase2b { config_id, rank, sender: self.my_rank });
                     }
             }
@@ -998,7 +998,7 @@ impl Node {
             Message::Leave { subject } => {
                 if self.status == NodeStatus::Active {
                     if let Some(member) = self.config.member_by_id(subject) {
-                        let addr = member.addr.clone();
+                        let addr = member.addr;
                         self.originate_remove_alerts(subject, addr);
                         self.post_process(out);
                     }
@@ -1052,7 +1052,7 @@ impl Node {
             .topology
             .joiner_observers(self.config.id(), joiner.id)
             .into_iter()
-            .map(|e| self.config.member_at(e.rank as usize).addr.clone())
+            .map(|e| self.config.member_at(e.rank as usize).addr)
             .collect();
         let config_id = self.config.id();
         self.send(
@@ -1113,7 +1113,7 @@ impl Node {
         let alert = Alert::join(
             self.me.id,
             joiner.id,
-            joiner.addr.clone(),
+            joiner.addr,
             config_id,
             ring,
             joiner.metadata.clone(),
@@ -1145,10 +1145,12 @@ impl Node {
             }
             return;
         }
-        let fresh = self.diss.ingest_alerts(alerts);
-        for a in &fresh {
-            self.apply_alert(a);
+        let mut fresh = std::mem::take(&mut self.scratch_fresh);
+        self.diss.ingest_alerts(alerts, &mut fresh);
+        for &i in &fresh {
+            self.apply_alert(&alerts[i as usize]);
         }
+        self.scratch_fresh = fresh;
         if !votes.is_empty() {
             for v in votes {
                 self.fast.merge(v.hash, &v.bitmap, None);
@@ -1166,7 +1168,7 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::VecDeque;
+    use std::collections::{HashMap, HashSet, VecDeque};
 
     const TICK: u64 = 100;
 
@@ -1207,7 +1209,7 @@ mod tests {
             let by_addr = nodes
                 .iter()
                 .enumerate()
-                .map(|(i, n)| (n.addr().clone(), i))
+                .map(|(i, n)| (*n.addr(), i))
                 .collect();
             Harness {
                 nodes,
@@ -1221,16 +1223,16 @@ mod tests {
 
         fn add_joiner(&mut self, m: Member, seeds: Vec<Endpoint>, settings: Settings) {
             let node = Node::new_joiner(m, settings, seeds);
-            self.by_addr.insert(node.addr().clone(), self.nodes.len());
+            self.by_addr.insert(*node.addr(), self.nodes.len());
             self.nodes.push(node);
         }
 
         fn dispatch(&mut self, i: usize, actions: Vec<Action>) {
-            let from = self.nodes[i].addr().clone();
+            let from = *self.nodes[i].addr();
             for a in actions {
                 match a {
                     Action::Send { to, msg } => {
-                        self.queue.push_back((from.clone(), to, msg));
+                        self.queue.push_back((from, to, msg));
                     }
                     other => self.events.push((i, other)),
                 }
@@ -1251,7 +1253,7 @@ mod tests {
                     }
                 }
                 let mut actions = Vec::new();
-                self.nodes[dst].handle(Event::Receive { from: from.clone(), msg }, &mut actions);
+                self.nodes[dst].handle(Event::Receive { from, msg }, &mut actions);
                 self.dispatch(dst, actions);
             }
         }
@@ -1356,9 +1358,9 @@ mod tests {
             queue: VecDeque::new(),
             events: Vec::new(),
         };
-        h.by_addr.insert(seed_member.addr.clone(), 0);
+        h.by_addr.insert(seed_member.addr, 0);
         for i in 2..=4 {
-            h.add_joiner(member(i), vec![seed_member.addr.clone()], s.clone());
+            h.add_joiner(member(i), vec![seed_member.addr], s.clone());
         }
         let ok = h.run_until(60_000, |h| {
             h.nodes
@@ -1381,7 +1383,7 @@ mod tests {
     fn join_and_crash_mix() {
         let mut h = Harness::static_cluster(6, settings());
         h.run_until(2_000, |_| false);
-        h.add_joiner(member(100), vec![h.nodes[0].addr().clone()], settings());
+        h.add_joiner(member(100), vec![*h.nodes[0].addr()], settings());
         h.crashed.insert(2);
         let ok = h.run_until(90_000, |h| {
             (0..h.nodes.len()).filter(|i| !h.crashed.contains(i)).all(|i| {

@@ -12,7 +12,7 @@
 //! **more than N/4** of them (any value a fast quorum could have decided
 //! intersects every majority in more than N/4 acceptors).
 
-use std::collections::{HashMap, HashSet};
+use crate::hash::{DetHashMap, DetHashSet};
 use std::sync::Arc;
 
 use super::Rank;
@@ -55,10 +55,10 @@ pub struct ClassicPaxos {
     // -------- Coordinator state --------
     /// The round this process is currently coordinating, if any.
     crnd: Option<Rank>,
-    promises: HashMap<u32, Promise>,
+    promises: DetHashMap<u32, Promise>,
     /// Value sent in phase 2a for `crnd`.
     cval: Option<Arc<Proposal>>,
-    phase2b_acks: HashSet<u32>,
+    phase2b_acks: DetHashSet<u32>,
     decided: Option<Arc<Proposal>>,
 }
 
@@ -72,9 +72,9 @@ impl ClassicPaxos {
             promised: Rank::FAST,
             accepted: None,
             crnd: None,
-            promises: HashMap::new(),
+            promises: DetHashMap::default(),
             cval: None,
-            phase2b_acks: HashSet::new(),
+            phase2b_acks: DetHashSet::default(),
             decided: None,
         }
     }
@@ -184,7 +184,7 @@ impl ClassicPaxos {
         // Highest voted round is the fast round. A value that might have
         // been decided by a fast quorum appears in > N/4 of any majority of
         // promises; there can be at most one such value.
-        let mut counts: HashMap<ProposalHash, (usize, Arc<Proposal>)> = HashMap::new();
+        let mut counts: DetHashMap<ProposalHash, (usize, Arc<Proposal>)> = DetHashMap::default();
         for p in &at_max {
             if let Some(v) = &p.vval {
                 let e = counts

@@ -9,7 +9,9 @@
 //! joiners), so vote states carry only a 64-bit proposal hash; a process
 //! that needs an unknown body requests it from a peer that voted for it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use crate::hash::DetHashMap;
 use std::sync::Arc;
 
 use crate::membership::{Proposal, ProposalHash};
@@ -31,8 +33,10 @@ pub struct FastRound {
     n: usize,
     my_rank: u32,
     quorum: usize,
-    states: HashMap<ProposalHash, VoteState>,
-    bodies: HashMap<ProposalHash, Arc<Proposal>>,
+    /// Keyed in hash order so vote-state emission (and therefore the
+    /// simulator's event trace) is identical across process runs.
+    states: BTreeMap<ProposalHash, VoteState>,
+    bodies: DetHashMap<ProposalHash, Arc<Proposal>>,
     my_vote: Option<ProposalHash>,
     decided: Option<ProposalHash>,
 }
@@ -45,8 +49,8 @@ impl FastRound {
             n,
             my_rank,
             quorum: n - n / 4,
-            states: HashMap::new(),
-            bodies: HashMap::new(),
+            states: BTreeMap::new(),
+            bodies: DetHashMap::default(),
             my_vote: None,
             decided: None,
         }

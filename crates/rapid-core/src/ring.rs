@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use crate::hash::DetHashMap;
 
 use crate::config::{ConfigId, Configuration};
 use crate::id::NodeId;
@@ -159,14 +159,22 @@ impl Topology {
     }
 }
 
-/// A process-wide memo of topologies keyed by `(ConfigId, K)`.
+/// A shared memo table: key to `Arc`'d value behind a mutex.
+type Memo<K, V> = Arc<Mutex<DetHashMap<K, Arc<V>>>>;
+
+/// A process-wide memo of topologies keyed by `(ConfigId, K)` and of
+/// decided successor configurations keyed by `(ConfigId, proposal hash)`.
 ///
-/// Building a topology is `O(K·n)`; in simulations hosting thousands of
-/// nodes in one process, sharing one cache avoids recomputing the identical
-/// expander at every node. Each real deployment simply holds its own cache.
+/// Building a topology is `O(K·n)` and applying a view-change proposal is
+/// `O(n)` (sort + index maps); in simulations hosting thousands of nodes
+/// in one process, every node derives the *identical* results, so sharing
+/// one cache collapses that `O(n²)`-per-decision work to `O(n)`. Each real
+/// deployment simply holds its own cache.
 #[derive(Clone, Default)]
 pub struct TopologyCache {
-    inner: Arc<Mutex<HashMap<(ConfigId, usize), Arc<Topology>>>>,
+    inner: Memo<(ConfigId, usize), Topology>,
+    configs: Memo<(ConfigId, crate::membership::ProposalHash), Configuration>,
+    snapshots: Memo<(ConfigId, u64), Configuration>,
 }
 
 impl TopologyCache {
@@ -190,6 +198,46 @@ impl TopologyCache {
         }
         map.insert(key, Arc::clone(&t));
         t
+    }
+
+    /// Returns the memoised successor of `base` under `proposal`,
+    /// computing it on miss. `Configuration::apply` is deterministic, so
+    /// all nodes deciding the same proposal share one successor value.
+    pub fn apply(
+        &self,
+        base: &Arc<Configuration>,
+        proposal: &crate::membership::Proposal,
+    ) -> Arc<Configuration> {
+        let key = (base.id(), proposal.hash());
+        let mut map = self.configs.lock();
+        if let Some(c) = map.get(&key) {
+            return Arc::clone(c);
+        }
+        let next = base.apply(proposal);
+        if map.len() > 64 {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&next));
+        next
+    }
+
+    /// Returns the memoised configuration for a wire snapshot, building it
+    /// on miss. Snapshot identifiers are the content hash chained over the
+    /// view history and every receiver already trusts them as-is, so
+    /// `(id, seq)` keys the memo; a join herd then reconstructs the new
+    /// view once instead of once per joiner.
+    pub fn from_snapshot(&self, snapshot: &crate::wire::ConfigSnapshot) -> Arc<Configuration> {
+        let key = (snapshot.id, snapshot.seq);
+        let mut map = self.snapshots.lock();
+        if let Some(c) = map.get(&key) {
+            return Arc::clone(c);
+        }
+        let cfg = Configuration::from_parts(snapshot.id, snapshot.seq, snapshot.members.to_vec());
+        if map.len() > 64 {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&cfg));
+        cfg
     }
 }
 

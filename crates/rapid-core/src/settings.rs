@@ -155,8 +155,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fd_fraction() {
-        let mut s = Settings::default();
-        s.fd_fail_fraction = 1.5;
+        let s = Settings {
+            fd_fail_fraction: 1.5,
+            ..Settings::default()
+        };
         assert!(s.validate().is_err());
     }
 

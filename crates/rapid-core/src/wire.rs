@@ -521,20 +521,111 @@ pub fn encode_to_vec(msg: &Message) -> Vec<u8> {
     buf
 }
 
-thread_local! {
-    static LEN_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+// ---------------------------------------------------------------------------
+// Size accounting
+// ---------------------------------------------------------------------------
+//
+// `encoded_len` mirrors the encoder arithmetically instead of serialising
+// into a scratch buffer: the simulator calls it for every routed message,
+// and a gossip batch can carry thousands of alerts, so measuring by
+// actually encoding dominated the simulator's hot path. Each `*_len`
+// function below must stay in lockstep with its `put_*` counterpart (the
+// codec tests assert exact agreement over every message family).
+
+fn str_len(s: &str) -> usize {
+    2 + s.len()
+}
+
+fn endpoint_len(ep: &Endpoint) -> usize {
+    2 + ep.host_len() + 2
+}
+
+fn metadata_len(md: &Metadata) -> usize {
+    2 + md.iter().map(|(k, v)| str_len(k) + 4 + v.len()).sum::<usize>()
+}
+
+fn member_len(m: &Member) -> usize {
+    16 + endpoint_len(&m.addr) + metadata_len(&m.metadata)
+}
+
+fn alert_len(a: &Alert) -> usize {
+    16 + 16 + endpoint_len(&a.subject_addr) + 1 + 8 + 1 + metadata_len(&a.metadata)
+}
+
+const RANK_LEN: usize = 8;
+
+fn proposal_len(p: &Proposal) -> usize {
+    8 + 4
+        + p.items()
+            .iter()
+            .map(|it| 16 + endpoint_len(&it.addr) + 1 + metadata_len(&it.metadata))
+            .sum::<usize>()
+}
+
+fn bitvec_len(b: &BitVec) -> usize {
+    4 + 8 * b.words().len()
+}
+
+fn vote_state_len(v: &VoteState) -> usize {
+    8 + bitvec_len(&v.bitmap)
+}
+
+fn snapshot_len(s: &ConfigSnapshot) -> usize {
+    8 + 8 + 4 + s.members.iter().map(member_len).sum::<usize>()
+}
+
+fn opt_len<T>(v: &Option<T>, len: impl FnOnce(&T) -> usize) -> usize {
+    1 + v.as_ref().map_or(0, len)
 }
 
 /// The encoded size of a message in bytes (plus the 4-byte length frame
 /// used by the TCP transport). Used by the simulator's bandwidth
-/// accounting so Table 2 reflects real wire sizes.
+/// accounting so Table 2 reflects real wire sizes. Computed
+/// arithmetically — nothing is serialised.
 pub fn encoded_len(msg: &Message) -> usize {
-    LEN_SCRATCH.with(|cell| {
-        let mut buf = cell.borrow_mut();
-        buf.clear();
-        encode(msg, &mut buf);
-        buf.len() + 4
-    })
+    let body = match msg {
+        Message::PreJoinReq { joiner } => member_len(joiner),
+        Message::PreJoinResp {
+            observers,
+            snapshot,
+            ..
+        } => {
+            1 + 8
+                + 2
+                + observers.iter().map(endpoint_len).sum::<usize>()
+                + opt_len(snapshot, snapshot_len)
+        }
+        Message::JoinReq { joiner, .. } => member_len(joiner) + 8 + 1,
+        Message::JoinResp { snapshot, .. } => 1 + opt_len(snapshot, snapshot_len),
+        Message::AlertBatch { alerts, .. } => {
+            8 + 4 + alerts.iter().map(alert_len).sum::<usize>()
+        }
+        Message::Gossip { alerts, votes, .. } => {
+            8 + 8
+                + 4
+                + alerts.iter().map(alert_len).sum::<usize>()
+                + 2
+                + votes.iter().map(vote_state_len).sum::<usize>()
+        }
+        Message::Vote { state, body, .. } => {
+            8 + vote_state_len(state) + opt_len(body, |p| proposal_len(p))
+        }
+        Message::NeedProposal { .. } => 8 + 8,
+        Message::ProposalBody { proposal, .. } => 8 + proposal_len(proposal),
+        Message::Phase1a { .. } => 8 + RANK_LEN,
+        Message::Phase1b { vrnd, vval, .. } => {
+            8 + RANK_LEN + 4 + opt_len(vrnd, |_| RANK_LEN) + opt_len(vval, |p| proposal_len(p))
+        }
+        Message::Phase2a { value, .. } => 8 + RANK_LEN + proposal_len(value),
+        Message::Phase2b { .. } => 8 + RANK_LEN + 4,
+        Message::Decision { proposal, .. } => 8 + proposal_len(proposal),
+        Message::Probe { .. } => 8,
+        Message::ProbeAck { .. } => 8 + 8,
+        Message::Leave { .. } => 16,
+        Message::ConfigPull { .. } => 8,
+        Message::ConfigPush { snapshot } => snapshot_len(snapshot),
+    };
+    1 + body + 4
 }
 
 // ---------------------------------------------------------------------------
@@ -576,14 +667,17 @@ impl<'a> Reader<'a> {
         self.need(16)?;
         Ok(self.buf.get_u128_le())
     }
-    fn str(&mut self) -> Result<String, RapidError> {
+    /// Borrows a length-prefixed string straight out of the input buffer,
+    /// so interned lookups (endpoints) never allocate.
+    fn str_slice(&mut self) -> Result<&'a str, RapidError> {
         let len = self.u16()? as usize;
         self.need(len)?;
-        let s = std::str::from_utf8(&self.buf[..len])
-            .map_err(|_| RapidError::Decode("invalid utf8".into()))?
-            .to_string();
-        self.buf.advance(len);
-        Ok(s)
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        std::str::from_utf8(head).map_err(|_| RapidError::Decode("invalid utf8".into()))
+    }
+    fn str(&mut self) -> Result<String, RapidError> {
+        Ok(self.str_slice()?.to_string())
     }
     fn bytes_vec(&mut self) -> Result<Vec<u8>, RapidError> {
         let len = self.u32()? as usize;
@@ -593,7 +687,7 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
     fn endpoint(&mut self) -> Result<Endpoint, RapidError> {
-        let host = self.str()?;
+        let host = self.str_slice()?;
         let port = self.u16()?;
         Ok(Endpoint::new(host, port))
     }
@@ -1045,6 +1139,124 @@ mod tests {
     fn encoded_len_matches_encoding_plus_frame() {
         let msg = Message::Probe { seq: 1 };
         assert_eq!(encoded_len(&msg), encode_to_vec(&msg).len() + 4);
+    }
+
+    #[test]
+    fn encoded_len_matches_for_every_message_family() {
+        let p = Arc::new(sample_proposal());
+        let snapshot = ConfigSnapshot {
+            id: ConfigId(9),
+            seq: 3,
+            members: Arc::new(vec![member(1), member(2)]),
+        };
+        let alerts: Arc<[Alert]> = vec![
+            Alert::remove(
+                NodeId::from_u128(1),
+                NodeId::from_u128(2),
+                Endpoint::new("söme-hóst", 9),
+                ConfigId(3),
+                4,
+            ),
+            Alert::join(
+                NodeId::from_u128(5),
+                NodeId::from_u128(6),
+                Endpoint::new("", 9),
+                ConfigId(3),
+                7,
+                Metadata::with_entry("role", "db"),
+            ),
+        ]
+        .into();
+        let mut bitmap = BitVec::new(77);
+        bitmap.set(5);
+        let vote = VoteState {
+            hash: ProposalHash(0xfeed),
+            bitmap,
+        };
+        let msgs = vec![
+            Message::PreJoinReq { joiner: member(1) },
+            Message::PreJoinResp {
+                status: JoinStatus::SafeToJoin,
+                config_id: ConfigId(4),
+                observers: vec![Endpoint::new("o1", 1), Endpoint::new("o2", 2)],
+                snapshot: Some(snapshot.clone()),
+            },
+            Message::JoinReq {
+                joiner: member(2),
+                config_id: ConfigId(4),
+                ring: 3,
+            },
+            Message::JoinResp {
+                status: JoinStatus::AlreadyMember,
+                snapshot: Some(snapshot.clone()),
+            },
+            Message::AlertBatch {
+                config_id: ConfigId(3),
+                alerts: Arc::clone(&alerts),
+            },
+            Message::Gossip {
+                config_id: ConfigId(1),
+                config_seq: 12,
+                alerts,
+                votes: vec![vote.clone()].into(),
+            },
+            Message::Vote {
+                config_id: ConfigId(1),
+                state: vote,
+                body: Some(Arc::clone(&p)),
+            },
+            Message::NeedProposal {
+                config_id: ConfigId(1),
+                hash: ProposalHash(0xdead),
+            },
+            Message::ProposalBody {
+                config_id: ConfigId(1),
+                proposal: Arc::clone(&p),
+            },
+            Message::Phase1a {
+                config_id: ConfigId(2),
+                rank: Rank::classic(3, 1),
+            },
+            Message::Phase1b {
+                config_id: ConfigId(2),
+                rank: Rank::classic(3, 1),
+                sender: 17,
+                vrnd: Some(Rank::FAST),
+                vval: Some(Arc::clone(&p)),
+            },
+            Message::Phase2a {
+                config_id: ConfigId(2),
+                rank: Rank::classic(1, 0),
+                value: Arc::clone(&p),
+            },
+            Message::Phase2b {
+                config_id: ConfigId(2),
+                rank: Rank::classic(1, 0),
+                sender: 4,
+            },
+            Message::Decision {
+                config_id: ConfigId(77),
+                proposal: p,
+            },
+            Message::Probe { seq: 7 },
+            Message::ProbeAck {
+                seq: 7,
+                config_seq: 3,
+            },
+            Message::Leave {
+                subject: NodeId::from_u128(42),
+            },
+            Message::ConfigPull { have_seq: 11 },
+            Message::ConfigPush { snapshot },
+        ];
+        for msg in msgs {
+            assert_eq!(
+                encoded_len(&msg),
+                encode_to_vec(&msg).len() + 4,
+                "size accounting must mirror the encoder for {}",
+                msg.kind()
+            );
+        }
     }
 
     #[test]

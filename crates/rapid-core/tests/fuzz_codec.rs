@@ -19,6 +19,45 @@ proptest! {
         let _ = wire::decode(&bytes);
     }
 
+    /// Interned endpoints survive the wire bit-exactly: the host string
+    /// (ASCII, non-ASCII, or empty) and port come back unchanged, and the
+    /// decoded endpoint is `==` to (i.e. interns to the same symbol as)
+    /// the original.
+    #[test]
+    fn interned_endpoints_roundtrip_through_wire(
+        hosts in prop::collection::vec(".{0,24}", 1..8),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = rapid_core::rng::Xoshiro256::seed_from_u64(seed);
+        let observers: Vec<Endpoint> = hosts
+            .iter()
+            .map(|h| Endpoint::new(h, rng.gen_range(65_535) as u16 + 1))
+            .collect();
+        // Also exercise the explicit edge cases every round.
+        let mut all = observers.clone();
+        all.push(Endpoint::new("", 1));
+        all.push(Endpoint::new("höst-中-🦀", 7));
+        let msg = Message::PreJoinResp {
+            status: JoinStatus::SafeToJoin,
+            config_id: ConfigId(seed),
+            observers: all.clone(),
+            snapshot: None,
+        };
+        let bytes = wire::encode_to_vec(&msg);
+        prop_assert_eq!(wire::encoded_len(&msg), bytes.len() + 4);
+        match wire::decode(&bytes).expect("valid message must decode") {
+            Message::PreJoinResp { observers: decoded, .. } => {
+                prop_assert_eq!(&decoded, &all, "endpoints must round-trip");
+                for (d, o) in decoded.iter().zip(&all) {
+                    prop_assert_eq!(d.host(), o.host());
+                    prop_assert_eq!(d.port(), o.port());
+                    prop_assert_eq!(d.digest(), o.digest());
+                }
+            }
+            other => prop_assert!(false, "wrong variant {}", other.kind()),
+        }
+    }
+
     /// Truncating or flipping a byte of a valid message never panics.
     #[test]
     fn decode_survives_mutation(
@@ -39,11 +78,13 @@ proptest! {
         }
     }
 
-    /// Every generated message round-trips to an identical encoding.
+    /// Every generated message round-trips to an identical encoding, and
+    /// the arithmetic size accounting agrees with the real encoder.
     #[test]
     fn roundtrip_is_exact(seed in 0u64..100_000) {
         let msg = sample_message(seed);
         let bytes = wire::encode_to_vec(&msg);
+        prop_assert_eq!(wire::encoded_len(&msg), bytes.len() + 4);
         let decoded = wire::decode(&bytes).expect("valid message must decode");
         prop_assert_eq!(wire::encode_to_vec(&decoded), bytes);
     }

@@ -43,6 +43,9 @@ pub struct RapidActor {
     inner: Inner,
     /// Recorded protocol events.
     pub log: ActorLog,
+    /// Reusable action buffer handed to the node on every event, so the
+    /// steady-state delivery path allocates nothing in the harness.
+    actions: Vec<Action>,
 }
 
 impl RapidActor {
@@ -51,6 +54,7 @@ impl RapidActor {
         RapidActor {
             inner: Inner::Node(Box::new(node)),
             log: ActorLog::default(),
+            actions: Vec::new(),
         }
     }
 
@@ -59,6 +63,7 @@ impl RapidActor {
         RapidActor {
             inner: Inner::Ensemble(Box::new(node)),
             log: ActorLog::default(),
+            actions: Vec::new(),
         }
     }
 
@@ -67,6 +72,7 @@ impl RapidActor {
         RapidActor {
             inner: Inner::Agent(Box::new(agent)),
             log: ActorLog::default(),
+            actions: Vec::new(),
         }
     }
 
@@ -103,13 +109,13 @@ impl RapidActor {
     }
 
     fn dispatch(&mut self, event: Event, now: u64, out: &mut Outbox<Message>) {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.actions);
         match &mut self.inner {
             Inner::Node(n) => n.handle(event, &mut actions),
             Inner::Ensemble(e) => e.handle(event, &mut actions),
             Inner::Agent(a) => a.handle(event, &mut actions),
         }
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => out.send(to, msg),
                 Action::View(v) => self.log.views.push((now, v)),
@@ -117,6 +123,7 @@ impl RapidActor {
                 Action::Kicked => self.log.kicked_at = Some(now),
             }
         }
+        self.actions = actions;
     }
 }
 
@@ -133,6 +140,40 @@ impl Actor for RapidActor {
 
     fn msg_size(msg: &Message) -> usize {
         wire::encoded_len(msg)
+    }
+
+    fn same_size(a: &Message, b: &Message) -> bool {
+        // A broadcast fan-out emits the same Arc'd payload once per peer,
+        // back to back; every non-payload field of these variants is
+        // fixed-size, so shared payload pointers imply identical wire
+        // sizes and the engine can skip re-measuring K-1 of K copies.
+        use std::sync::Arc;
+        match (a, b) {
+            (
+                Message::AlertBatch { alerts: x, .. },
+                Message::AlertBatch { alerts: y, .. },
+            ) => std::ptr::eq(x.as_ptr(), y.as_ptr()),
+            (
+                Message::Gossip { alerts: xa, votes: xv, .. },
+                Message::Gossip { alerts: ya, votes: yv, .. },
+            ) => std::ptr::eq(xa.as_ptr(), ya.as_ptr()) && std::ptr::eq(xv.as_ptr(), yv.as_ptr()),
+            (Message::Phase1a { .. }, Message::Phase1a { .. })
+            | (Message::Phase2b { .. }, Message::Phase2b { .. })
+            | (Message::Probe { .. }, Message::Probe { .. })
+            | (Message::ProbeAck { .. }, Message::ProbeAck { .. })
+            | (Message::Leave { .. }, Message::Leave { .. })
+            | (Message::ConfigPull { .. }, Message::ConfigPull { .. }) => true,
+            (Message::Phase2a { value: x, .. }, Message::Phase2a { value: y, .. })
+            | (Message::Decision { proposal: x, .. }, Message::Decision { proposal: y, .. })
+            | (
+                Message::ProposalBody { proposal: x, .. },
+                Message::ProposalBody { proposal: y, .. },
+            ) => Arc::ptr_eq(x, y),
+            (Message::ConfigPush { snapshot: x }, Message::ConfigPush { snapshot: y }) => {
+                Arc::ptr_eq(&x.members, &y.members)
+            }
+            _ => false,
+        }
     }
 
     fn sample(&self) -> Option<f64> {
@@ -208,7 +249,7 @@ impl RapidClusterBuilder {
             Some(cache.clone()),
             Some(self.seed ^ 0xBEEF),
         );
-        sim.add_actor(seed_member.addr.clone(), RapidActor::node(seed_node));
+        sim.add_actor(seed_member.addr, RapidActor::node(seed_node));
         for i in 1..self.n {
             let m = sim_member(i);
             let node = Node::with_parts(
@@ -216,12 +257,12 @@ impl RapidClusterBuilder {
                 self.settings.clone(),
                 NodeStatus::Joining,
                 Configuration::bootstrap(Vec::new()),
-                Some(vec![seed_member.addr.clone()]),
+                Some(vec![seed_member.addr]),
                 None,
                 Some(cache.clone()),
                 Some(self.seed.wrapping_add(i as u64)),
             );
-            sim.add_actor_at(m.addr.clone(), RapidActor::node(node), self.join_delay_ms);
+            sim.add_actor_at(m.addr, RapidActor::node(node), self.join_delay_ms);
         }
         sim
     }
@@ -244,7 +285,7 @@ impl RapidClusterBuilder {
                 Some(cache.clone()),
                 Some(self.seed.wrapping_add(i as u64)),
             );
-            sim.add_actor(m.addr.clone(), RapidActor::node(node));
+            sim.add_actor(m.addr, RapidActor::node(node));
         }
         sim
     }
@@ -265,10 +306,10 @@ impl RapidClusterBuilder {
             .collect();
         for m in &ensemble_members {
             let e = EnsembleNode::new(m.clone(), ensemble_members.clone(), self.settings.clone());
-            sim.add_actor(m.addr.clone(), RapidActor::ensemble(e));
+            sim.add_actor(m.addr, RapidActor::ensemble(e));
         }
         let ensemble_addrs: Vec<Endpoint> =
-            ensemble_members.iter().map(|m| m.addr.clone()).collect();
+            ensemble_members.iter().map(|m| m.addr).collect();
         let cache = TopologyCache::new();
         for i in 0..self.n {
             let m = sim_member(i);
@@ -278,7 +319,7 @@ impl RapidClusterBuilder {
                 self.settings.clone(),
                 cache.clone(),
             );
-            sim.add_actor_at(m.addr.clone(), RapidActor::agent(agent), self.join_delay_ms);
+            sim.add_actor_at(m.addr, RapidActor::agent(agent), self.join_delay_ms);
         }
         (sim, ensemble_size)
     }

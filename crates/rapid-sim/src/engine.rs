@@ -7,7 +7,9 @@
 //! observed cluster size once per (virtual) second — reproducing exactly
 //! the measurement methodology of the paper's Figures 1 and 7–10.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+use rapid_core::hash::DetHashMap;
 
 use rapid_core::id::Endpoint;
 
@@ -31,6 +33,14 @@ pub trait Actor {
     /// Encoded size of a message in bytes, for bandwidth accounting.
     fn msg_size(msg: &Self::Msg) -> usize;
 
+    /// Whether two messages are guaranteed to have identical encoded
+    /// sizes (e.g. they share the same `Arc`'d payload). The engine uses
+    /// this to measure a broadcast fan-out once instead of once per peer.
+    /// The default is conservative.
+    fn same_size(_a: &Self::Msg, _b: &Self::Msg) -> bool {
+        false
+    }
+
     /// The actor's current observation of the cluster size (`None` while
     /// it is not an active member). Sampled once per second.
     fn sample(&self) -> Option<f64>;
@@ -43,10 +53,6 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    fn new() -> Self {
-        Outbox { msgs: Vec::new() }
-    }
-
     /// Queues a message for sending.
     pub fn send(&mut self, to: Endpoint, msg: M) {
         self.msgs.push((to, msg, 0));
@@ -116,7 +122,11 @@ struct Slot<A> {
 
 #[derive(Debug)]
 enum Entry<M> {
-    Deliver { dst: usize, from: Endpoint, msg: M },
+    /// A message in flight. Source and destination are actor slot indices
+    /// and the wire size is computed once, all at send time; the sender's
+    /// endpoint is looked up at delivery, so queue entries carry no
+    /// endpoint payload and delivery re-measures nothing.
+    Deliver { dst: u32, src: u32, size: u32, msg: M },
     Tick { idx: usize },
     Start { idx: usize },
     Fault(Fault),
@@ -150,7 +160,7 @@ impl<M> Ord for QueueItem<M> {
 /// The simulation: actors + network + event queue.
 pub struct Simulation<A: Actor> {
     slots: Vec<Slot<A>>,
-    by_addr: HashMap<Endpoint, usize>,
+    by_addr: DetHashMap<Endpoint, usize>,
     /// The network model (public for scenario-specific tweaking).
     pub net: NetworkModel,
     queue: BinaryHeap<QueueItem<A::Msg>>,
@@ -160,6 +170,12 @@ pub struct Simulation<A: Actor> {
     sample_interval_ms: u64,
     samples: Vec<Sample>,
     events_processed: u64,
+    /// Reusable outbox backing store: every tick/delivery borrows this
+    /// buffer instead of allocating a fresh `Vec`, so the steady-state
+    /// delivery path performs no heap allocation in the engine.
+    outbox_scratch: Vec<(Endpoint, A::Msg, u64)>,
+    /// Reusable per-outbox message-size buffer (see `route_outbox`).
+    size_scratch: Vec<u32>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -167,7 +183,7 @@ impl<A: Actor> Simulation<A> {
     pub fn new(seed: u64, tick_interval_ms: u64) -> Self {
         let mut sim = Simulation {
             slots: Vec::new(),
-            by_addr: HashMap::new(),
+            by_addr: DetHashMap::default(),
             net: NetworkModel::lan(seed),
             queue: BinaryHeap::new(),
             now: 0,
@@ -176,6 +192,8 @@ impl<A: Actor> Simulation<A> {
             sample_interval_ms: 1_000,
             samples: Vec::new(),
             events_processed: 0,
+            outbox_scratch: Vec::new(),
+            size_scratch: Vec::new(),
         };
         sim.push(1_000, Entry::SampleAll);
         sim
@@ -192,7 +210,7 @@ impl<A: Actor> Simulation<A> {
     /// Adds an actor that starts ticking at `start_at`. Returns its index.
     pub fn add_actor_at(&mut self, addr: Endpoint, actor: A, start_at: u64) -> usize {
         let idx = self.slots.len();
-        self.by_addr.insert(addr.clone(), idx);
+        self.by_addr.insert(addr, idx);
         self.slots.push(Slot {
             actor,
             addr,
@@ -270,16 +288,33 @@ impl<A: Actor> Simulation<A> {
     /// sends, voluntary leave): runs `f` with the actor and an outbox, then
     /// routes the produced messages.
     pub fn with_actor<R>(&mut self, idx: usize, f: impl FnOnce(&mut A, &mut Outbox<A::Msg>) -> R) -> R {
-        let mut out = Outbox::new();
+        let mut out = self.take_outbox();
         let r = f(&mut self.slots[idx].actor, &mut out);
         self.route_outbox(idx, out);
         r
     }
 
-    fn route_outbox(&mut self, src: usize, out: Outbox<A::Msg>) {
-        let from = self.slots[src].addr.clone();
-        for (to, msg, delay) in out.msgs {
-            let size = A::msg_size(&msg) as u64;
+    /// Borrows the reusable outbox buffer.
+    fn take_outbox(&mut self) -> Outbox<A::Msg> {
+        Outbox {
+            msgs: std::mem::take(&mut self.outbox_scratch),
+        }
+    }
+
+    fn route_outbox(&mut self, src: usize, mut out: Outbox<A::Msg>) {
+        // Measure messages first: adjacent fan-out copies sharing one
+        // payload are measured once (`Actor::same_size`).
+        self.size_scratch.clear();
+        for i in 0..out.msgs.len() {
+            let size = if i > 0 && A::same_size(&out.msgs[i - 1].1, &out.msgs[i].1) {
+                self.size_scratch[i - 1]
+            } else {
+                A::msg_size(&out.msgs[i].1) as u32
+            };
+            self.size_scratch.push(size);
+        }
+        for (i, (to, msg, delay)) in out.msgs.drain(..).enumerate() {
+            let size = self.size_scratch[i] as u64;
             {
                 let t = &mut self.slots[src].traffic;
                 t.roll_to(self.now / 1_000);
@@ -295,13 +330,16 @@ impl<A: Actor> Simulation<A> {
                 self.push(
                     at,
                     Entry::Deliver {
-                        dst,
-                        from: from.clone(),
+                        dst: dst as u32,
+                        src: src as u32,
+                        size: size as u32,
                         msg,
                     },
                 );
             }
         }
+        // Return the (now empty) buffer for the next event.
+        self.outbox_scratch = out.msgs;
     }
 
     fn apply_fault(&mut self, fault: Fault) {
@@ -342,9 +380,10 @@ impl<A: Actor> Simulation<A> {
                         self.dispatch_tick(idx);
                     }
                 }
-                Entry::Deliver { dst, from, msg } => {
+                Entry::Deliver { dst, src, size, msg } => {
+                    let dst = dst as usize;
                     if self.slots[dst].started && !self.net.is_crashed(dst) {
-                        let size = A::msg_size(&msg) as u64;
+                        let size = size as u64;
                         {
                             let t = &mut self.slots[dst].traffic;
                             t.roll_to(self.now / 1_000);
@@ -352,7 +391,8 @@ impl<A: Actor> Simulation<A> {
                             t.msgs_in += 1;
                             t.sec_in += size;
                         }
-                        let mut out = Outbox::new();
+                        let from = self.slots[src as usize].addr;
+                        let mut out = self.take_outbox();
                         self.slots[dst]
                             .actor
                             .on_message(from, msg, self.now, &mut out);
@@ -399,7 +439,7 @@ impl<A: Actor> Simulation<A> {
     }
 
     fn dispatch_tick(&mut self, idx: usize) {
-        let mut out = Outbox::new();
+        let mut out = self.take_outbox();
         self.slots[idx].actor.on_tick(self.now, &mut out);
         self.route_outbox(idx, out);
         let next = self.now + self.tick_interval_ms;
@@ -423,7 +463,7 @@ mod tests {
 
         fn on_tick(&mut self, _now: u64, out: &mut Outbox<u64>) {
             for p in &self.peers {
-                out.send(p.clone(), 1);
+                out.send(*p, 1);
             }
             self.pings_sent += self.peers.len() as u64;
         }

@@ -7,7 +7,7 @@
 //! and in order: source crash, destination crash, source egress drop,
 //! destination ingress drop, directional blackholes, then link latency.
 
-use std::collections::{HashMap, HashSet};
+use rapid_core::hash::{DetHashMap, DetHashSet};
 
 use rapid_core::rng::Xoshiro256;
 
@@ -18,11 +18,11 @@ pub struct NetworkModel {
     pub base_latency_ms: f64,
     /// Uniform jitter added on top of the base latency.
     pub jitter_ms: f64,
-    ingress_drop: HashMap<usize, f64>,
-    egress_drop: HashMap<usize, f64>,
+    ingress_drop: DetHashMap<usize, f64>,
+    egress_drop: DetHashMap<usize, f64>,
     /// Directional blackholes `(src, dst)`: all packets vanish.
-    blackholes: HashSet<(usize, usize)>,
-    crashed: HashSet<usize>,
+    blackholes: DetHashSet<(usize, usize)>,
+    crashed: DetHashSet<usize>,
 }
 
 impl NetworkModel {
@@ -32,10 +32,10 @@ impl NetworkModel {
             rng: Xoshiro256::seed_from_u64(seed ^ 0x4E45_5457),
             base_latency_ms: 0.5,
             jitter_ms: 1.0,
-            ingress_drop: HashMap::new(),
-            egress_drop: HashMap::new(),
-            blackholes: HashSet::new(),
-            crashed: HashSet::new(),
+            ingress_drop: DetHashMap::default(),
+            egress_drop: DetHashMap::default(),
+            blackholes: DetHashSet::default(),
+            crashed: DetHashSet::default(),
         }
     }
 
@@ -89,7 +89,7 @@ impl NetworkModel {
     /// Partitions the cluster: nodes in `group` can talk among themselves
     /// but not across the boundary (bidirectional).
     pub fn partition(&mut self, group: &[usize], n_total: usize) {
-        let set: HashSet<usize> = group.iter().copied().collect();
+        let set: DetHashSet<usize> = group.iter().copied().collect();
         for a in 0..n_total {
             for b in 0..n_total {
                 if a != b && set.contains(&a) != set.contains(&b) {

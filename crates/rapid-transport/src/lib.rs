@@ -53,17 +53,24 @@ pub enum AppEvent {
 /// within this).
 const MAX_FRAME: u32 = 32 * 1024 * 1024;
 
-fn write_frame(stream: &mut TcpStream, from: &Endpoint, msg: &Message) -> std::io::Result<()> {
-    let body = wire::encode_to_vec(msg);
+/// Writes one frame, encoding straight into the caller's scratch buffer
+/// (cleared first) so the steady-state send path allocates nothing.
+fn write_frame(
+    stream: &mut TcpStream,
+    from: &Endpoint,
+    msg: &Message,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
     let host = from.host().as_bytes();
-    let total = 2 + host.len() + 2 + body.len();
-    let mut buf = Vec::with_capacity(4 + total);
-    buf.extend_from_slice(&(total as u32).to_le_bytes());
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]); // Length placeholder, patched below.
     buf.extend_from_slice(&(host.len() as u16).to_le_bytes());
     buf.extend_from_slice(host);
     buf.extend_from_slice(&from.port().to_le_bytes());
-    buf.extend_from_slice(&body);
-    stream.write_all(&buf)
+    wire::encode(msg, buf);
+    let total = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&total.to_le_bytes());
+    stream.write_all(buf)
 }
 
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Message)> {
@@ -106,6 +113,8 @@ struct StreamPool {
     me: Endpoint,
     streams: std::collections::HashMap<Endpoint, TcpStream>,
     connect_timeout: Duration,
+    /// Reused frame-encode buffer (see [`write_frame`]).
+    encode_buf: Vec<u8>,
 }
 
 impl StreamPool {
@@ -114,6 +123,7 @@ impl StreamPool {
             me,
             streams: std::collections::HashMap::new(),
             connect_timeout,
+            encode_buf: Vec::new(),
         }
     }
 
@@ -130,11 +140,11 @@ impl StreamPool {
             };
             let _ = stream.set_nodelay(true);
             let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-            self.streams.insert(to.clone(), stream);
+            self.streams.insert(*to, stream);
         }
         let failed = {
             let stream = self.streams.get_mut(to).expect("just inserted");
-            write_frame(stream, &self.me, msg).is_err()
+            write_frame(stream, &self.me, msg, &mut self.encode_buf).is_err()
         };
         if failed {
             if let Some(s) = self.streams.remove(to) {
@@ -191,7 +201,7 @@ impl Runtime {
             ^ me_ep.digest();
         let mut rng = Xoshiro256::seed_from_u64(seed_entropy);
         let id = NodeId::random(&mut rng);
-        let me = Member::with_metadata(id, me_ep.clone(), metadata);
+        let me = Member::with_metadata(id, me_ep, metadata);
 
         let node = if seeds.is_empty() {
             Node::new_seed(me.clone(), settings.clone())
@@ -260,7 +270,7 @@ impl Runtime {
             let view = Arc::clone(&view);
             let status = Arc::clone(&status);
             let tick = Duration::from_millis(settings.tick_interval_ms);
-            let me_ep2 = me_ep.clone();
+            let me_ep2 = me_ep;
             threads.push(std::thread::spawn(move || {
                 let mut node = node;
                 let mut pool = StreamPool::new(me_ep2, Duration::from_millis(250));
@@ -406,6 +416,7 @@ mod tests {
                 &mut stream,
                 &Endpoint::new("me", 42),
                 &Message::Probe { seq: 7 },
+                &mut Vec::new(),
             )
             .unwrap();
         });
@@ -420,13 +431,13 @@ mod tests {
     fn cluster_forms_and_removes_crashed_node_over_tcp() {
         let settings = fast_settings();
         let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
-        let seed_addr = seed.addr().clone();
+        let seed_addr = *seed.addr();
         let mut joiners = Vec::new();
         for _ in 0..3 {
             joiners.push(
                 Runtime::start_joiner(
                     Endpoint::new("127.0.0.1", 0),
-                    vec![seed_addr.clone()],
+                    vec![seed_addr],
                     settings.clone(),
                     rapid_core::Metadata::with_entry("role", "test"),
                 )
@@ -466,10 +477,10 @@ mod tests {
     fn voluntary_leave_is_faster_than_crash_detection() {
         let settings = fast_settings();
         let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
-        let seed_addr = seed.addr().clone();
+        let seed_addr = *seed.addr();
         let j1 = Runtime::start_joiner(
             Endpoint::new("127.0.0.1", 0),
-            vec![seed_addr.clone()],
+            vec![seed_addr],
             settings.clone(),
             rapid_core::Metadata::new(),
         )

@@ -126,7 +126,7 @@ impl SwimNode {
             .members
             .iter()
             .filter(|(_, m)| m.state != MemberState::Dead)
-            .map(|(a, _)| a.clone())
+            .map(|(a, _)| *a)
             .collect();
         v.sort();
         v
@@ -185,13 +185,13 @@ impl SwimNode {
             .members
             .iter()
             .map(|(addr, m)| Update {
-                addr: addr.clone(),
+                addr: *addr,
                 incarnation: m.incarnation,
                 state: m.state,
             })
             .collect();
         v.push(Update {
-            addr: self.me.clone(),
+            addr: self.me,
             incarnation: self.incarnation,
             state: MemberState::Alive,
         });
@@ -205,7 +205,7 @@ impl SwimNode {
             if u.state != MemberState::Alive && u.incarnation >= self.incarnation {
                 self.incarnation = u.incarnation + 1;
                 let refute = Update {
-                    addr: self.me.clone(),
+                    addr: self.me,
                     incarnation: self.incarnation,
                     state: MemberState::Alive,
                 };
@@ -219,7 +219,7 @@ impl SwimNode {
                     return; // Don't learn about members only to bury them.
                 }
                 self.members.insert(
-                    u.addr.clone(),
+                    u.addr,
                     MemberInfo {
                         incarnation: u.incarnation,
                         state: u.state,
@@ -230,7 +230,7 @@ impl SwimNode {
                 if u.state == MemberState::Suspect {
                     self.suspect_count += 1;
                 }
-                self.probe_order.push(u.addr.clone());
+                self.probe_order.push(u.addr);
                 self.queue_update(u.clone());
             }
             Some(info) => {
@@ -306,7 +306,7 @@ impl SwimNode {
                     return None;
                 }
             }
-            let candidate = self.probe_order[self.probe_idx].clone();
+            let candidate = self.probe_order[self.probe_idx];
             self.probe_idx += 1;
             if self
                 .members
@@ -341,7 +341,7 @@ impl SwimNode {
                 .map(|m| m.state != MemberState::Dead)
                 .unwrap_or(false)
             {
-                picked.push(cand.clone());
+                picked.push(*cand);
             }
         }
         picked
@@ -356,7 +356,7 @@ impl Actor for SwimNode {
         if self.members.is_empty() {
             if !self.seeds.is_empty() && now >= self.join_retry_at {
                 self.join_retry_at = now + 2_000;
-                let seed = self.seeds[self.rng.gen_index(self.seeds.len())].clone();
+                let seed = self.seeds[self.rng.gen_index(self.seeds.len())];
                 if seed != self.me {
                     out.send(
                         seed,
@@ -383,7 +383,7 @@ impl Actor for SwimNode {
                         r,
                         SwimMsg::PingReq {
                             seq: probe.seq,
-                            target: probe.target.clone(),
+                            target: probe.target,
                             updates: Arc::clone(&updates),
                         },
                     );
@@ -402,7 +402,7 @@ impl Actor for SwimNode {
                 self.seq += 1;
                 let seq = self.seq;
                 self.probe = Some(ProbeState {
-                    target: target.clone(),
+                    target,
                     seq,
                     indirect_at: now + self.cfg.probe_timeout_ms,
                     deadline: now + self.cfg.probe_interval_ms,
@@ -423,7 +423,7 @@ impl Actor for SwimNode {
             .filter(|(_, m)| {
                 m.state == MemberState::Suspect && now.saturating_sub(m.suspect_since) >= timeout
             })
-            .map(|(a, _)| a.clone())
+            .map(|(a, _)| *a)
             .collect()
         };
         for target in expired {
@@ -496,7 +496,7 @@ impl Actor for SwimNode {
                 updates,
             } => {
                 self.apply_all(&updates, now);
-                self.relayed.insert(seq, from.clone());
+                self.relayed.insert(seq, from);
                 let relay_updates = self.take_piggyback();
                 out.send(
                     target,

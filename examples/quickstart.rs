@@ -31,7 +31,7 @@ fn main() -> std::io::Result<()> {
     for i in 0..4 {
         let node = Runtime::start_joiner(
             Endpoint::new("127.0.0.1", 0),
-            vec![seed.addr().clone()],
+            vec![*seed.addr()],
             settings.clone(),
             Metadata::with_entry("role", if i % 2 == 0 { "frontend" } else { "backend" }),
         )?;

@@ -143,7 +143,7 @@ proptest! {
             .collect();
         for idx in &removals {
             let m = idx.get(&members);
-            items.push(ProposalItem::remove(m.id, m.addr.clone()));
+            items.push(ProposalItem::remove(m.id, m.addr));
         }
         let proposal = Proposal::from_items(cfg.id(), items);
         let a = cfg.apply(&proposal);
