@@ -5,14 +5,21 @@
 //! multi-process cut and removes them in a single 1-step consensus
 //! decision (its line drops vertically). Rapid's stable edge detector
 //! reacts ~10 s later than Memberlist's.
+//!
+//! The experiment itself is data: `scenarios/fig08_crashes.toml`. This
+//! binary replays it per system and renders the figure's CSV.
 
-use bench::{aggregate_timeseries, print_csv, Args, SystemKind, World};
-use rapid_sim::Fault;
+use bench::{aggregate_timeseries, load_scenario, print_csv, Args, SystemKind};
+use rapid_scenario::{runner, SimDriver};
 
 fn main() {
     let args = Args::parse();
-    let n = if args.full { 1000 } else { 200 };
-    let crashes = 10;
+    let scenario = load_scenario("fig08_crashes", &args);
+    let n = scenario.n;
+    let crashes = scenario
+        .resolve_group_name("victims")
+        .expect("shipped scenario has a victims group")
+        .len();
     let systems = [
         SystemKind::ZooKeeper,
         SystemKind::Memberlist,
@@ -21,16 +28,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut summary = Vec::new();
     for kind in systems {
-        let mut world = World::bootstrap(kind, n, args.seed);
-        let max = if args.full { 1_200_000 } else { 600_000 };
-        let start = world.converge(n, max).expect("bootstrap must converge");
-        let crash_at = start + 10_000;
-        for i in 0..crashes {
-            // Spread victims across the id space.
-            world.schedule_cluster_fault(crash_at, Fault::Crash(1 + i * (n / crashes - 1)));
-        }
-        let detected = world.converge(n - crashes, 300_000);
-        let detect_s = detected.map(|t| (t - crash_at) as f64 / 1_000.0);
+        let mut driver = SimDriver::new(kind, &scenario).expect("sim driver");
+        let report = runner::run(&scenario, &mut driver).expect("scenario run");
+        assert!(
+            report.phases[0].converged_at_ms.is_some(),
+            "bootstrap must converge"
+        );
+        let crash_phase = &report.phases[1];
+        let crash_at = crash_phase.start_ms + 10_000;
+        let detect_s = crash_phase
+            .converged_at_ms
+            .map(|t| (t - crash_at) as f64 / 1_000.0);
+        let world = driver.world();
         // Count distinct intermediate sizes during the transition.
         let transition: Vec<_> = world
             .samples()

@@ -5,14 +5,21 @@
 //! Paper result: ZooKeeper does not react at all (the faulty clients keep
 //! *sending* heartbeats); Memberlist oscillates and never removes all
 //! faulty processes; Rapid detects and removes them.
+//!
+//! The experiment itself is data: `scenarios/fig09_flipflop.toml`. This
+//! binary replays it per system and renders the figure's CSV.
 
-use bench::{aggregate_timeseries, print_csv, Args, SystemKind, World};
-use rapid_sim::Fault;
+use bench::{aggregate_timeseries, load_scenario, print_csv, Args, SystemKind};
+use rapid_scenario::{runner, SimDriver};
 
 fn main() {
     let args = Args::parse();
-    let n = if args.full { 1000 } else { 200 };
-    let faulty = (n / 100).max(2);
+    let scenario = load_scenario("fig09_flipflop", &args);
+    let n = scenario.n;
+    let faulty = scenario
+        .resolve_group_name("faulty")
+        .expect("shipped scenario has a faulty group")
+        .len();
     let systems = [
         SystemKind::ZooKeeper,
         SystemKind::Memberlist,
@@ -21,24 +28,27 @@ fn main() {
     let mut rows = Vec::new();
     let mut summary = Vec::new();
     for kind in systems {
-        let mut world = World::bootstrap(kind, n, args.seed);
-        let max = if args.full { 1_200_000 } else { 600_000 };
-        let start = world.converge(n, max).expect("bootstrap must converge");
-        // 20 s on / 20 s off cycles for 300 s.
-        let fault_start = start + 10_000;
-        let mut t = fault_start;
-        let end = fault_start + 300_000;
-        while t < end {
-            for i in 0..faulty {
-                world.schedule_cluster_fault(t, Fault::IngressDrop(i, 1.0));
-                world.schedule_cluster_fault(t + 20_000, Fault::IngressDrop(i, 0.0));
-            }
-            t += 40_000;
-        }
-        world.run_until(end);
+        let mut driver = SimDriver::new(kind, &scenario).expect("sim driver");
+        let report = runner::run(&scenario, &mut driver).expect("scenario run");
+        assert!(
+            report.phases[0].converged_at_ms.is_some(),
+            "bootstrap must converge"
+        );
+        let phase = &report.phases[1];
+        let fault_start = phase.start_ms + 10_000;
         // Outcome: how many healthy processes still count the faulty ones?
-        let final_sizes: Vec<f64> = world.observations().into_iter().flatten().collect();
-        let removed_everywhere = final_sizes.iter().all(|&v| v <= (n - faulty) as f64 + 0.5);
+        // The scenario's max_size expectation is exactly the paper's
+        // "removed everywhere" criterion (looked up by kind, not
+        // position, so editing the TOML's expectation list cannot
+        // silently swap the headline number).
+        let removed_everywhere = phase
+            .expects
+            .iter()
+            .find(|e| e.desc.starts_with("max_size"))
+            .expect("shipped fig09 scenario carries a max_size expectation")
+            .passed
+            == Some(true);
+        let world = driver.world();
         let window: Vec<_> = world
             .samples()
             .iter()

@@ -6,14 +6,21 @@
 //! sessions); Memberlist's conservative suspicion keeps oscillating
 //! without conclusively removing the set; Rapid identifies and removes
 //! exactly the faulty processes.
+//!
+//! The experiment itself is data: `scenarios/fig10_packet_loss.toml`.
+//! This binary replays it per system and renders the figure's CSV.
 
-use bench::{aggregate_timeseries, print_csv, Args, SystemKind, World};
-use rapid_sim::Fault;
+use bench::{aggregate_timeseries, load_scenario, print_csv, Args, SystemKind};
+use rapid_scenario::{runner, SimDriver};
 
 fn main() {
     let args = Args::parse();
-    let n = if args.full { 1000 } else { 200 };
-    let faulty = (n / 100).max(2);
+    let scenario = load_scenario("fig10_packet_loss", &args);
+    let n = scenario.n;
+    let faulty = scenario
+        .resolve_group_name("faulty")
+        .expect("shipped scenario has a faulty group")
+        .len();
     let systems = [
         SystemKind::ZooKeeper,
         SystemKind::Memberlist,
@@ -22,14 +29,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut summary = Vec::new();
     for kind in systems {
-        let mut world = World::bootstrap(kind, n, args.seed);
-        let max = if args.full { 1_200_000 } else { 600_000 };
-        let start = world.converge(n, max).expect("bootstrap must converge");
-        let fault_at = start + 10_000;
-        for i in 0..faulty {
-            world.schedule_cluster_fault(fault_at, Fault::EgressDrop(i, 0.8));
-        }
-        world.run_until(fault_at + 300_000);
+        let mut driver = SimDriver::new(kind, &scenario).expect("sim driver");
+        let report = runner::run(&scenario, &mut driver).expect("scenario run");
+        assert!(
+            report.phases[0].converged_at_ms.is_some(),
+            "bootstrap must converge"
+        );
+        let fault_at = report.phases[1].start_ms + 10_000;
+        let world = driver.world();
         let removed_at = {
             // First time every healthy process stopped counting all faulty.
             let healthy_target = (n - faulty) as f64;

@@ -6,23 +6,17 @@
 //! `RAPID_BENCH_FULL=1`) for paper-scale parameters. All runs are
 //! deterministic in `--seed`.
 //!
-//! The [`World`] type hosts any of the compared membership systems —
-//! Rapid (decentralized), Rapid-C (logically centralized), Memberlist
-//! (SWIM), ZooKeeper-like, and Akka-like — behind one interface on the
-//! identical simulated network, so cross-system comparisons share fault
-//! injection and measurement code.
+//! The multi-system deployment harness ([`World`], [`SystemKind`]) lives
+//! in `rapid-scenario` since the scenario subsystem landed — the failure
+//! figures are now thin wrappers over shipped `scenarios/*.toml` files —
+//! and is re-exported here for the remaining bespoke binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 
-use central_config::world::{build_world as build_zk, ZkProc};
-use gossip_member::{AkkaConfig, AkkaNode};
-use rapid_core::id::Endpoint;
-use rapid_sim::cluster::{RapidActor, RapidClusterBuilder};
-use rapid_sim::{Fault, Sample, Simulation};
-use swim_member::{SwimConfig, SwimNode};
+pub use rapid_scenario::{aggregate_timeseries, SystemKind, World};
 
 /// Command-line arguments shared by all experiment binaries.
 #[derive(Clone, Debug)]
@@ -31,6 +25,9 @@ pub struct Args {
     pub full: bool,
     /// Master seed.
     pub seed: u64,
+    /// Whether `--seed` was passed explicitly (a shipped scenario's own
+    /// seed wins otherwise).
+    pub seed_explicit: bool,
 }
 
 impl Args {
@@ -39,6 +36,7 @@ impl Args {
     pub fn parse() -> Args {
         let mut full = std::env::var("RAPID_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
         let mut seed = 42;
+        let mut seed_explicit = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -46,14 +44,41 @@ impl Args {
                 "--full" => full = true,
                 "--seed" => {
                     i += 1;
-                    seed = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+                    if let Some(v) = argv.get(i).and_then(|s| s.parse().ok()) {
+                        seed = v;
+                        seed_explicit = true;
+                    }
                 }
                 _ => {}
             }
             i += 1;
         }
-        Args { full, seed }
+        Args { full, seed, seed_explicit }
     }
+
+    /// Applies this invocation to a loaded scenario: an explicit `--seed`
+    /// overrides the shipped seed, `--full` applies the scenario's
+    /// `[full]` overrides.
+    pub fn configure(&self, scenario: &mut rapid_scenario::Scenario) {
+        if self.seed_explicit {
+            scenario.seed = self.seed;
+        }
+        if self.full {
+            scenario.apply_full();
+        }
+    }
+}
+
+/// Loads a shipped scenario from the workspace `scenarios/` directory by
+/// file stem (`"fig08_crashes"`), applying [`Args`] overrides.
+pub fn load_scenario(stem: &str, args: &Args) -> rapid_scenario::Scenario {
+    let path = format!("{}/../../scenarios/{stem}.toml", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read shipped scenario {path}: {e}"));
+    let mut scenario = rapid_scenario::Scenario::from_toml(&text)
+        .unwrap_or_else(|e| panic!("shipped scenario {path} is invalid: {e}"));
+    args.configure(&mut scenario);
+    scenario
 }
 
 /// Prints a CSV header + rows to stdout.
@@ -64,357 +89,25 @@ pub fn print_csv<R: Display>(header: &str, rows: impl IntoIterator<Item = R>) {
     }
 }
 
-/// The membership systems compared in the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SystemKind {
-    /// Decentralized Rapid (§4).
-    Rapid,
-    /// Logically centralized Rapid (§5), 3-node ensemble.
-    RapidC,
-    /// Memberlist / SWIM.
-    Memberlist,
-    /// ZooKeeper-like central configuration service, 3-node ensemble.
-    ZooKeeper,
-    /// Akka-Cluster-like epidemic membership.
-    AkkaLike,
-}
-
-impl SystemKind {
-    /// Short label used in CSV output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            SystemKind::Rapid => "rapid",
-            SystemKind::RapidC => "rapid-c",
-            SystemKind::Memberlist => "memberlist",
-            SystemKind::ZooKeeper => "zookeeper",
-            SystemKind::AkkaLike => "akka",
-        }
-    }
-
-    /// The systems compared in the bootstrap experiments (Figs. 5–7).
-    pub fn bootstrap_set() -> [SystemKind; 4] {
-        [
-            SystemKind::ZooKeeper,
-            SystemKind::Memberlist,
-            SystemKind::RapidC,
-            SystemKind::Rapid,
-        ]
-    }
-}
-
-const ENSEMBLE: usize = 3;
-
-/// A simulated deployment of one membership system with `n` cluster
-/// processes (plus a 3-node auxiliary ensemble for the centralized ones).
-pub enum World {
-    /// Decentralized Rapid.
-    Rapid(Simulation<RapidActor>),
-    /// Rapid-C (ensemble actors `0..3`).
-    RapidC(Simulation<RapidActor>),
-    /// SWIM.
-    Swim(Simulation<SwimNode>),
-    /// ZooKeeper-like (server actors `0..3`).
-    Zk(Simulation<ZkProc>),
-    /// Akka-like.
-    Akka(Simulation<AkkaNode>),
-}
-
-fn swim_ep(i: usize) -> Endpoint {
-    Endpoint::new(format!("node-{i}"), 7000)
-}
-
-fn akka_ep(i: usize) -> Endpoint {
-    Endpoint::new(format!("node-{i}"), 2552)
-}
-
-impl World {
-    /// Builds a bootstrap deployment: cluster process 0 (or the auxiliary
-    /// ensemble) starts at t=0; the remaining processes start joining at
-    /// t=10 s, as in the paper's bootstrap experiments.
-    pub fn bootstrap(kind: SystemKind, n: usize, seed: u64) -> World {
-        match kind {
-            SystemKind::Rapid => {
-                World::Rapid(RapidClusterBuilder::new(n).seed(seed).build_bootstrap())
-            }
-            SystemKind::RapidC => {
-                let (sim, _) = RapidClusterBuilder::new(n).seed(seed).build_centralized(ENSEMBLE);
-                World::RapidC(sim)
-            }
-            SystemKind::Memberlist => {
-                let mut sim = Simulation::new(seed, 100);
-                sim.add_actor(
-                    swim_ep(0),
-                    SwimNode::new(swim_ep(0), vec![], SwimConfig::default(), seed),
-                );
-                for i in 1..n {
-                    sim.add_actor_at(
-                        swim_ep(i),
-                        SwimNode::new(
-                            swim_ep(i),
-                            vec![swim_ep(0)],
-                            SwimConfig::default(),
-                            seed + i as u64,
-                        ),
-                        10_000,
-                    );
-                }
-                World::Swim(sim)
-            }
-            SystemKind::ZooKeeper => World::Zk(build_zk(ENSEMBLE, n, 6_000, 10_000, seed)),
-            SystemKind::AkkaLike => {
-                let mut sim = Simulation::new(seed, 100);
-                sim.add_actor(
-                    akka_ep(0),
-                    AkkaNode::new(akka_ep(0), vec![], AkkaConfig::default(), seed),
-                );
-                for i in 1..n {
-                    sim.add_actor_at(
-                        akka_ep(i),
-                        AkkaNode::new(
-                            akka_ep(i),
-                            vec![akka_ep(0)],
-                            AkkaConfig::default(),
-                            seed + i as u64,
-                        ),
-                        10_000,
-                    );
-                }
-                World::Akka(sim)
-            }
-        }
-    }
-
-    /// Index offset of cluster process 0 in actor space (the auxiliary
-    /// ensembles occupy the first indices in centralized systems).
-    pub fn cluster_offset(&self) -> usize {
-        match self {
-            World::Rapid(_) | World::Swim(_) | World::Akka(_) => 0,
-            World::RapidC(_) | World::Zk(_) => ENSEMBLE,
-        }
-    }
-
-    /// Number of actors (including auxiliary ensembles).
-    pub fn actors(&self) -> usize {
-        match self {
-            World::Rapid(s) | World::RapidC(s) => s.len(),
-            World::Swim(s) => s.len(),
-            World::Zk(s) => s.len(),
-            World::Akka(s) => s.len(),
-        }
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> u64 {
-        match self {
-            World::Rapid(s) | World::RapidC(s) => s.now(),
-            World::Swim(s) => s.now(),
-            World::Zk(s) => s.now(),
-            World::Akka(s) => s.now(),
-        }
-    }
-
-    /// Runs until virtual time `until_ms`.
-    pub fn run_until(&mut self, until_ms: u64) {
-        match self {
-            World::Rapid(s) | World::RapidC(s) => s.run_until(until_ms),
-            World::Swim(s) => s.run_until(until_ms),
-            World::Zk(s) => s.run_until(until_ms),
-            World::Akka(s) => s.run_until(until_ms),
-        }
-    }
-
-    /// Schedules a fault on a *cluster process index* (auxiliary ensembles
-    /// are shielded, as in the paper, which injects faults only on cluster
-    /// processes).
-    pub fn schedule_cluster_fault(&mut self, at: u64, fault: Fault) {
-        let off = self.cluster_offset();
-        let shifted = match fault {
-            Fault::Crash(i) => Fault::Crash(i + off),
-            Fault::IngressDrop(i, p) => Fault::IngressDrop(i + off, p),
-            Fault::EgressDrop(i, p) => Fault::EgressDrop(i + off, p),
-            Fault::BlackholePair(a, b) => Fault::BlackholePair(a + off, b + off),
-            Fault::ClearBlackholePair(a, b) => Fault::ClearBlackholePair(a + off, b + off),
-            Fault::Partition(g) => Fault::Partition(g.into_iter().map(|i| i + off).collect()),
-        };
-        match self {
-            World::Rapid(s) | World::RapidC(s) => s.schedule_fault(at, shifted),
-            World::Swim(s) => s.schedule_fault(at, shifted),
-            World::Zk(s) => s.schedule_fault(at, shifted),
-            World::Akka(s) => s.schedule_fault(at, shifted),
-        }
-    }
-
-    /// The current cluster-size observation of each live cluster process
-    /// (`None` while a process has no view).
-    pub fn observations(&self) -> Vec<Option<f64>> {
-        fn collect<A: rapid_sim::Actor>(s: &Simulation<A>, off: usize) -> Vec<Option<f64>> {
-            (off..s.len())
-                .filter(|&i| !s.net.is_crashed(i))
-                .map(|i| s.actor(i).sample())
-                .collect()
-        }
-        let off = self.cluster_offset();
-        match self {
-            World::Rapid(s) | World::RapidC(s) => collect(s, off),
-            World::Swim(s) => collect(s, off),
-            World::Zk(s) => collect(s, off),
-            World::Akka(s) => collect(s, off),
-        }
-    }
-
-    /// Whether every live cluster process currently reports exactly
-    /// `target` members.
-    pub fn all_report(&self, target: usize) -> bool {
-        let obs = self.observations();
-        !obs.is_empty()
-            && obs
-                .iter()
-                .all(|o| matches!(o, Some(v) if (v - target as f64).abs() < 0.5))
-    }
-
-    /// Runs until every live cluster process reports `target`, checking
-    /// once per virtual second. Returns the convergence time.
-    pub fn converge(&mut self, target: usize, max_ms: u64) -> Option<u64> {
-        let deadline = self.now() + max_ms;
-        while self.now() < deadline {
-            let next = (self.now() + 1_000).min(deadline);
-            self.run_until(next);
-            if self.all_report(target) {
-                return Some(self.now());
-            }
-        }
-        None
-    }
-
-    /// All per-second cluster-size samples collected so far (actor indices
-    /// are raw; subtract [`World::cluster_offset`] for process numbering).
-    pub fn samples(&self) -> &[Sample] {
-        match self {
-            World::Rapid(s) | World::RapidC(s) => s.samples(),
-            World::Swim(s) => s.samples(),
-            World::Zk(s) => s.samples(),
-            World::Akka(s) => s.samples(),
-        }
-    }
-
-    /// Per-second `(bytes_in, bytes_out)` rates of every cluster process,
-    /// skipping each process' first `skip_secs` seconds (e.g. to exclude
-    /// bootstrap traffic from a steady-state measurement).
-    pub fn per_second_rates(&self, skip_secs: usize) -> Vec<(u64, u64)> {
-        fn collect<A: rapid_sim::Actor>(
-            s: &Simulation<A>,
-            off: usize,
-            skip: usize,
-        ) -> Vec<(u64, u64)> {
-            let mut v = Vec::new();
-            for i in off..s.len() {
-                v.extend(s.traffic(i).per_second.iter().skip(skip).copied());
-            }
-            v
-        }
-        let off = self.cluster_offset();
-        match self {
-            World::Rapid(s) | World::RapidC(s) => collect(s, off, skip_secs),
-            World::Swim(s) => collect(s, off, skip_secs),
-            World::Zk(s) => collect(s, off, skip_secs),
-            World::Akka(s) => collect(s, off, skip_secs),
-        }
-    }
-
-    /// Per-process convergence times: the first instant each cluster
-    /// process reported `target` (relative to experiment start).
-    pub fn per_process_convergence(&self, target: usize) -> Vec<f64> {
-        let off = self.cluster_offset();
-        let mut first: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
-        for s in self.samples() {
-            if s.actor >= off && (s.value - target as f64).abs() < 0.5 {
-                first.entry(s.actor).or_insert(s.t_ms);
-            }
-        }
-        first.values().map(|&t| t as f64 / 1_000.0).collect()
-    }
-
-    /// Distinct cluster sizes reported across all samples (Table 1).
-    pub fn unique_sizes(&self) -> usize {
-        rapid_sim::series::unique_values(self.samples())
-    }
-}
-
-/// Aggregates a sample timeseries into per-second rows of
-/// `(t_s, min, median, max, distinct)` over cluster processes.
-pub fn aggregate_timeseries(samples: &[Sample], offset: usize) -> Vec<(u64, f64, f64, f64, usize)> {
-    use std::collections::BTreeMap;
-    let mut by_t: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
-    for s in samples {
-        if s.actor >= offset {
-            by_t.entry(s.t_ms / 1_000).or_default().push(s.value);
-        }
-    }
-    by_t.into_iter()
-        .map(|(t, mut vs)| {
-            vs.sort_by(|a, b| a.total_cmp(b));
-            let distinct = {
-                let mut d = vs.iter().map(|v| v.round() as i64).collect::<Vec<_>>();
-                d.dedup();
-                d.len()
-            };
-            (t, vs[0], vs[vs.len() / 2], vs[vs.len() - 1], distinct)
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn args_default() {
-        let a = Args { full: false, seed: 1 };
+        let a = Args { full: false, seed: 1, seed_explicit: false };
         assert!(!a.full);
     }
 
     #[test]
-    fn worlds_bootstrap_small() {
-        for kind in [
-            SystemKind::Rapid,
-            SystemKind::Memberlist,
-            SystemKind::AkkaLike,
-        ] {
-            let mut w = World::bootstrap(kind, 15, 3);
-            let t = w.converge(15, 180_000);
-            assert!(t.is_some(), "{} must converge", kind.label());
-        }
-    }
-
-    #[test]
-    fn centralized_worlds_bootstrap_small() {
-        for kind in [SystemKind::ZooKeeper, SystemKind::RapidC] {
-            let mut w = World::bootstrap(kind, 10, 4);
-            let t = w.converge(10, 240_000);
-            assert!(t.is_some(), "{} must converge", kind.label());
-            assert_eq!(w.cluster_offset(), 3);
-        }
-    }
-
-    #[test]
-    fn cluster_fault_indices_are_offset() {
-        let mut w = World::bootstrap(SystemKind::ZooKeeper, 8, 5);
-        w.converge(8, 240_000).expect("bootstrap");
-        // Crash cluster process 0 (actor 3).
-        w.schedule_cluster_fault(w.now() + 100, Fault::Crash(0));
-        let t = w.converge(7, 120_000);
-        assert!(t.is_some(), "crashed client must be expired");
-    }
-
-    #[test]
-    fn aggregate_timeseries_shapes() {
-        let samples = vec![
-            Sample { t_ms: 1_000, actor: 0, value: 3.0 },
-            Sample { t_ms: 1_200, actor: 1, value: 5.0 },
-            Sample { t_ms: 2_000, actor: 0, value: 5.0 },
-        ];
-        let rows = aggregate_timeseries(&samples, 0);
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], (1, 3.0, 5.0, 5.0, 2));
+    fn shipped_scenarios_load_and_apply_args() {
+        let args = Args { full: true, seed: 7, seed_explicit: true };
+        let s = load_scenario("fig08_crashes", &args);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.n, 1000, "--full must apply the [full] overrides");
+        // Without an explicit --seed, the shipped seed wins.
+        let args = Args { full: false, seed: 99, seed_explicit: false };
+        let s = load_scenario("fig08_crashes", &args);
+        assert_eq!(s.seed, 42, "shipped seed must survive a default invocation");
     }
 }

@@ -7,7 +7,9 @@
 //! with ZooKeeper's local-read staleness. Watches are one-shot and
 //! per-server. Session liveness is tracked by the leader.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use rapid_core::hash::DetHashMap;
 use std::sync::Arc;
 
 use rapid_core::id::Endpoint;
@@ -60,10 +62,10 @@ pub struct ZkServer {
     members: BTreeMap<Endpoint, u64>,
     members_snapshot: Arc<Vec<Endpoint>>,
     /// Leader: in-flight proposals awaiting majority.
-    pending: HashMap<u64, (WriteOp, usize)>,
+    pending: DetHashMap<u64, (WriteOp, usize)>,
 
     // Leader-only session table.
-    sessions: HashMap<u64, SessionInfo>,
+    sessions: DetHashMap<u64, SessionInfo>,
     next_session: u64,
 
     // Per-server one-shot watches.
@@ -90,8 +92,8 @@ impl ZkServer {
             last_committed: 0,
             members: BTreeMap::new(),
             members_snapshot: Arc::new(Vec::new()),
-            pending: HashMap::new(),
-            sessions: HashMap::new(),
+            pending: DetHashMap::default(),
+            sessions: DetHashMap::default(),
             next_session: 1,
             watchers: Vec::new(),
             busy_until_us: 0,

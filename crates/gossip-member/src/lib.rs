@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use rapid_core::hash::DetHashMap;
 use std::sync::Arc;
 
 use rapid_core::id::Endpoint;
@@ -126,10 +126,10 @@ pub struct AkkaNode {
     cfg: AkkaConfig,
     me: Endpoint,
     seeds: Vec<Endpoint>,
-    members: HashMap<Endpoint, (u64, MemberStatus)>,
-    reach: HashMap<(Endpoint, Endpoint), (u64, bool)>,
+    members: DetHashMap<Endpoint, (u64, MemberStatus)>,
+    reach: DetHashMap<(Endpoint, Endpoint), (u64, bool)>,
     my_version: u64,
-    hb: HashMap<Endpoint, HeartbeatState>,
+    hb: DetHashMap<Endpoint, HeartbeatState>,
     next_heartbeat_at: u64,
     next_gossip_at: u64,
     join_retry_at: u64,
@@ -140,7 +140,7 @@ pub struct AkkaNode {
 impl AkkaNode {
     /// Creates a node; `seeds` empty makes this the first (seed) node.
     pub fn new(me: Endpoint, seeds: Vec<Endpoint>, cfg: AkkaConfig, rng_seed: u64) -> Self {
-        let mut members = HashMap::new();
+        let mut members = DetHashMap::default();
         if seeds.is_empty() {
             members.insert(me, (1, MemberStatus::Up));
         }
@@ -149,9 +149,9 @@ impl AkkaNode {
             me,
             seeds,
             members,
-            reach: HashMap::new(),
+            reach: DetHashMap::default(),
             my_version: 1,
-            hb: HashMap::new(),
+            hb: DetHashMap::default(),
             next_heartbeat_at: 0,
             next_gossip_at: 0,
             join_retry_at: 0,

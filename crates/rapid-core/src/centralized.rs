@@ -431,14 +431,16 @@ impl EnsembleNode {
         if self.fast.my_vote().is_none() {
             if let Some(p) = self.cut.proposal() {
                 self.metrics.proposals += 1;
-                let state = self.fast.vote(p.clone()).expect("first vote");
-                self.classic.record_fast_vote(Arc::new(p.clone()));
+                let shared = Arc::new(p.clone());
+                let state = self.fast.vote(p).expect("first vote");
+                self.classic.record_fast_vote(Arc::clone(&shared));
                 self.arm_consensus_deadline();
-                let body = Some(Arc::new(p));
+                let state = Arc::new(state);
+                let body = Some(shared);
                 let config_id = self.managed.id();
                 self.send_ensemble_peers(out, || Message::Vote {
                     config_id,
-                    state: state.clone(),
+                    state: Arc::clone(&state),
                     body: body.clone(),
                 });
             }

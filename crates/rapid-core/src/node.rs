@@ -602,15 +602,17 @@ impl Node {
             if let Some(p) = self.cut.proposal() {
                 let p = self.cap_bootstrap_proposal(p);
                 self.metrics.proposals += 1;
-                let state = self.fast.vote(p.clone()).expect("first vote must be accepted");
-                self.classic.record_fast_vote(Arc::new(p.clone()));
+                let shared = Arc::new(p.clone());
+                let state = self.fast.vote(p).expect("first vote must be accepted");
+                self.classic.record_fast_vote(Arc::clone(&shared));
                 self.arm_consensus_deadline();
                 if self.diss.mode() == BroadcastMode::UnicastAll {
-                    let body = Some(Arc::new(p));
+                    let state = Arc::new(state);
+                    let body = Some(shared);
                     let config_id = self.config.id();
                     self.send_all_peers(out, || Message::Vote {
                         config_id,
-                        state: state.clone(),
+                        state: Arc::clone(&state),
                         body: body.clone(),
                     });
                 }

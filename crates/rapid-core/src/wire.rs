@@ -111,8 +111,9 @@ pub enum Message {
     Vote {
         /// Sender's configuration.
         config_id: ConfigId,
-        /// The vote state (hash + bitmap).
-        state: VoteState,
+        /// The vote state (hash + bitmap), `Arc`'d so a unicast fan-out to
+        /// N−1 peers clones a pointer instead of the bitmap.
+        state: Arc<VoteState>,
         /// Proposal body, attached on the first send.
         body: Option<Arc<Proposal>>,
     },
@@ -632,6 +633,19 @@ pub fn encoded_len(msg: &Message) -> usize {
 // Decoding
 // ---------------------------------------------------------------------------
 
+/// Decode-side cap on host-name length. The wire format can carry up to
+/// 65535 bytes, but no legitimate DNS name or IP literal exceeds 255 —
+/// and every decoded host is *interned permanently* (see
+/// [`crate::id::Endpoint`]), so a hostile peer streaming unique oversized
+/// names would grow the interner without bound. Rejecting before
+/// `Endpoint::new` keeps garbage out of the table entirely.
+pub const MAX_WIRE_HOST_LEN: usize = 255;
+
+/// Decode-side cap on repeated-item counts (alerts, members, proposal
+/// items). A 5000-member deployment — 5× the paper's largest — stays an
+/// order of magnitude below this; a count above it is hostile or corrupt.
+pub const MAX_WIRE_ITEMS: usize = 65_536;
+
 struct Reader<'a> {
     buf: &'a [u8],
 }
@@ -686,8 +700,26 @@ impl<'a> Reader<'a> {
         self.buf.advance(len);
         Ok(v)
     }
+    /// Validates an item count against [`MAX_WIRE_ITEMS`] *and* against the
+    /// bytes actually remaining (each item encodes to at least
+    /// `min_item_len` bytes), so a forged count can neither trigger a huge
+    /// allocation nor run a long decode loop over a short buffer.
+    fn count(&self, count: usize, min_item_len: usize) -> Result<(), RapidError> {
+        if count > MAX_WIRE_ITEMS {
+            return Err(RapidError::Decode(format!(
+                "item count {count} exceeds cap {MAX_WIRE_ITEMS}"
+            )));
+        }
+        self.need(count.saturating_mul(min_item_len))
+    }
     fn endpoint(&mut self) -> Result<Endpoint, RapidError> {
         let host = self.str_slice()?;
+        if host.len() > MAX_WIRE_HOST_LEN {
+            return Err(RapidError::Decode(format!(
+                "host name of {} bytes exceeds cap {MAX_WIRE_HOST_LEN}",
+                host.len()
+            )));
+        }
         let port = self.u16()?;
         Ok(Endpoint::new(host, port))
     }
@@ -737,7 +769,8 @@ impl<'a> Reader<'a> {
     fn proposal(&mut self) -> Result<Proposal, RapidError> {
         let config_id = ConfigId(self.u64()?);
         let count = self.u32()? as usize;
-        let mut items = Vec::with_capacity(count.min(65_536));
+        self.count(count, 23)?; // id + empty endpoint + flag + empty metadata
+        let mut items = Vec::with_capacity(count);
         for _ in 0..count {
             let id = NodeId::from_u128(self.u128()?);
             let addr = self.endpoint()?;
@@ -773,7 +806,8 @@ impl<'a> Reader<'a> {
         let id = ConfigId(self.u64()?);
         let seq = self.u64()?;
         let count = self.u32()? as usize;
-        let mut members = Vec::with_capacity(count.min(65_536));
+        self.count(count, 22)?; // id + empty endpoint + empty metadata
+        let mut members = Vec::with_capacity(count);
         for _ in 0..count {
             members.push(self.member()?);
         }
@@ -805,6 +839,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
             let status = join_status_from_u8(r.u8()?)?;
             let config_id = ConfigId(r.u64()?);
             let count = r.u16()? as usize;
+            r.count(count, 4)?; // empty host + port
             let mut observers = Vec::with_capacity(count);
             for _ in 0..count {
                 observers.push(r.endpoint()?);
@@ -835,7 +870,8 @@ pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
         TAG_ALERT_BATCH => {
             let config_id = ConfigId(r.u64()?);
             let count = r.u32()? as usize;
-            let mut alerts = Vec::with_capacity(count.min(65_536));
+            r.count(count, 48)?; // two ids + endpoint + status + config + ring
+            let mut alerts = Vec::with_capacity(count);
             for _ in 0..count {
                 alerts.push(r.alert()?);
             }
@@ -848,7 +884,8 @@ pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
             let config_id = ConfigId(r.u64()?);
             let config_seq = r.u64()?;
             let count = r.u32()? as usize;
-            let mut alerts = Vec::with_capacity(count.min(65_536));
+            r.count(count, 48)?;
+            let mut alerts = Vec::with_capacity(count);
             for _ in 0..count {
                 alerts.push(r.alert()?);
             }
@@ -866,7 +903,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
         }
         TAG_VOTE => {
             let config_id = ConfigId(r.u64()?);
-            let state = r.vote_state()?;
+            let state = Arc::new(r.vote_state()?);
             let body = r.opt(|r| r.proposal())?.map(Arc::new);
             Message::Vote {
                 config_id,
@@ -1202,7 +1239,7 @@ mod tests {
             },
             Message::Vote {
                 config_id: ConfigId(1),
-                state: vote,
+                state: Arc::new(vote),
                 body: Some(Arc::clone(&p)),
             },
             Message::NeedProposal {
@@ -1257,6 +1294,51 @@ mod tests {
                 msg.kind()
             );
         }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_host_before_interning() {
+        // An in-process Endpoint may carry hosts up to 64 KiB, but the
+        // decoder must refuse to intern anything a peer sends above
+        // MAX_WIRE_HOST_LEN.
+        let long_host = "h".repeat(MAX_WIRE_HOST_LEN + 1);
+        let msg = Message::PreJoinReq {
+            joiner: Member::new(NodeId::from_u128(1), Endpoint::new(&long_host, 1)),
+        };
+        let bytes = encode_to_vec(&msg);
+        let err = decode(&bytes).expect_err("oversized host must be rejected");
+        assert!(err.to_string().contains("exceeds cap"), "got: {err}");
+        // The cap itself is accepted.
+        let ok_host = "h".repeat(MAX_WIRE_HOST_LEN);
+        let msg = Message::PreJoinReq {
+            joiner: Member::new(NodeId::from_u128(1), Endpoint::new(&ok_host, 1)),
+        };
+        assert!(decode(&encode_to_vec(&msg)).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_absurd_counts_without_allocating() {
+        // A forged AlertBatch claiming u32::MAX alerts in a tiny buffer.
+        let mut bytes = vec![TAG_ALERT_BATCH];
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // config_id
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        let err = decode(&bytes).expect_err("absurd count must be rejected");
+        assert!(err.to_string().contains("exceeds cap"), "got: {err}");
+
+        // A count under the cap but impossible for the remaining bytes is
+        // rejected up front (truncation guard), not after a decode loop.
+        let mut bytes = vec![TAG_ALERT_BATCH];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&1_000u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]); // far fewer than 1000 alerts
+        assert!(decode(&bytes).is_err());
+
+        // Snapshot member counts get the same treatment.
+        let mut bytes = vec![TAG_CONFIG_PUSH];
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // id
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // seq
+        bytes.extend_from_slice(&(MAX_WIRE_ITEMS as u32 + 1).to_le_bytes());
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]

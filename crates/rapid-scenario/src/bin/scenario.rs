@@ -1,0 +1,186 @@
+//! Runs a TOML scenario file on a chosen driver and prints the report.
+//!
+//! ```text
+//! cargo run --release -p rapid-scenario --bin scenario -- \
+//!     scenarios/smoke_crash.toml [--driver sim|real|both] \
+//!     [--system rapid|rapid-c|memberlist|zookeeper|akka] \
+//!     [--seed N] [--full] [--json]
+//! ```
+//!
+//! Exit status is non-zero if any evaluated expectation failed.
+
+use rapid_scenario::{runner, RealDriver, Scenario, SimDriver, SystemKind};
+
+struct Opts {
+    path: String,
+    driver: String,
+    system: SystemKind,
+    seed: Option<u64>,
+    full: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut opts = Opts {
+        path: String::new(),
+        driver: "sim".into(),
+        system: SystemKind::Rapid,
+        seed: None,
+        full: false,
+        json: false,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--driver" => {
+                i += 1;
+                opts.driver = argv.get(i).cloned().ok_or("--driver needs a value")?;
+            }
+            "--system" => {
+                i += 1;
+                let s = argv.get(i).ok_or("--system needs a value")?;
+                opts.system =
+                    SystemKind::parse(s).ok_or_else(|| format!("unknown system {s:?}"))?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--seed needs an integer")?,
+                );
+            }
+            "--full" => opts.full = true,
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            path => {
+                if !opts.path.is_empty() {
+                    return Err("more than one scenario file given".into());
+                }
+                opts.path = path.to_string();
+            }
+        }
+        i += 1;
+    }
+    if opts.path.is_empty() {
+        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--full] [--json]".into());
+    }
+    Ok(opts)
+}
+
+fn print_report(report: &rapid_scenario::Report, json: bool) {
+    if json {
+        println!("{}", report.to_json().to_pretty(2));
+        return;
+    }
+    println!(
+        "scenario {:?} on {} (n={}, seed={}): {}",
+        report.scenario,
+        report.driver,
+        report.n,
+        report.seed,
+        if report.passed { "PASS" } else { "FAIL" }
+    );
+    for p in &report.phases {
+        let dur = p.end_ms - p.start_ms;
+        print!("  phase {:<16} {:>7}ms", p.name, dur);
+        if let Some(t) = p.converged_at_ms {
+            print!("  converged@{}ms", t - p.start_ms);
+        }
+        if let Some(v) = p.view_changes {
+            print!("  views={v}");
+        }
+        if let Some(t) = p.traffic {
+            print!("  tx={}B rx={}B", t.bytes_out, t.bytes_in);
+        }
+        println!();
+        for e in &p.expects {
+            let verdict = match e.passed {
+                Some(true) => "ok",
+                Some(false) => "FAILED",
+                None => "skipped (unsupported on this driver)",
+            };
+            println!("    expect {:<40} {verdict}", e.desc);
+        }
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.path);
+            std::process::exit(2);
+        }
+    };
+    let mut scenario = match Scenario::from_toml(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.path);
+            std::process::exit(2);
+        }
+    };
+    if let Some(seed) = opts.seed {
+        scenario.seed = seed;
+    }
+    if opts.full {
+        scenario.apply_full();
+    }
+
+    let mut all_passed = true;
+    let drivers: Vec<&str> = match opts.driver.as_str() {
+        "both" => vec!["sim", "real"],
+        d => vec![d],
+    };
+    for d in drivers {
+        let report = match d {
+            "sim" => {
+                let mut driver = match SimDriver::new(opts.system, &scenario) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("sim driver: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                runner::run(&scenario, &mut driver)
+            }
+            "real" => {
+                if opts.system != SystemKind::Rapid {
+                    eprintln!("the real driver hosts rapid only");
+                    std::process::exit(2);
+                }
+                let mut driver = match RealDriver::new(&scenario) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("real driver: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                runner::run(&scenario, &mut driver)
+            }
+            other => {
+                eprintln!("unknown driver {other:?} (sim, real, both)");
+                std::process::exit(2);
+            }
+        };
+        match report {
+            Ok(r) => {
+                print_report(&r, opts.json);
+                all_passed &= r.passed;
+            }
+            Err(e) => {
+                eprintln!("scenario failed to run: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(if all_passed { 0 } else { 1 });
+}

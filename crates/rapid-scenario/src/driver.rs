@@ -1,0 +1,386 @@
+//! Scenario execution backends.
+//!
+//! One [`Driver`] trait, two implementations:
+//!
+//! * [`SimDriver`] — the deterministic discrete-event simulator
+//!   ([`crate::world::World`]), hosting any compared system. Time is
+//!   virtual; runs are pure functions of the seed.
+//! * [`RealDriver`] — a multi-threaded [`rapid_transport::Runtime`]
+//!   cluster on loopback TCP. Time is wall-clock; only fault kinds a real
+//!   process can experience (crashes, voluntary leaves, joins) are
+//!   supported, and timing-derived report fields vary run to run.
+//!
+//! The runner treats `Err(Unsupported)` from a driver as a scenario
+//! authoring error — a scenario meant for both drivers must stick to the
+//! shared vocabulary (see `docs/SCENARIOS.md`).
+
+use std::time::{Duration, Instant};
+
+use rapid_core::id::Endpoint;
+use rapid_core::node::NodeStatus;
+use rapid_core::settings::Settings;
+use rapid_sim::Fault;
+use rapid_transport::{AppEvent, Runtime};
+
+use crate::model::{Scenario, Topology};
+use crate::world::{SystemKind, TrafficTotals, World};
+
+/// A workload action with targets resolved to cluster-process indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResolvedWorkload {
+    /// Start `count` fresh joiners.
+    Join(usize),
+    /// Voluntary departure of these processes.
+    Leave(Vec<usize>),
+}
+
+/// Why a driver refused an action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An execution backend for scenarios. All indices are in cluster-process
+/// space (`0..n`); auxiliary ensembles are the driver's business.
+pub trait Driver {
+    /// Display label (`sim:rapid`, `real:rapid`, ...).
+    fn label(&self) -> String;
+
+    /// Current driver time in ms (virtual or wall-clock since start).
+    fn now_ms(&self) -> u64;
+
+    /// Runs until driver time `t_ms` (no-op if already past).
+    fn run_until(&mut self, t_ms: u64);
+
+    /// Schedules a fault at absolute driver time `at_ms`.
+    fn schedule_fault(&mut self, at_ms: u64, fault: Fault) -> Result<(), Unsupported>;
+
+    /// Applies a workload action now.
+    fn apply_workload(&mut self, w: &ResolvedWorkload) -> Result<(), Unsupported>;
+
+    /// Cluster-size observation of each live process.
+    fn observations(&self) -> Vec<Option<f64>>;
+
+    /// Runs until every live process reports `target` (checked once per
+    /// second of driver time); returns the convergence instant.
+    fn converge(&mut self, target: usize, within_ms: u64) -> Option<u64>;
+
+    /// Cumulative view changes, where tracked.
+    fn view_changes(&self) -> Option<u64>;
+
+    /// Aggregate traffic counters, where metered.
+    fn traffic_totals(&self) -> Option<TrafficTotals>;
+
+    /// Whether all view histories agree, where inspectable.
+    fn consistent_histories(&self) -> Option<bool>;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator driver
+// ---------------------------------------------------------------------------
+
+/// Runs scenarios on the deterministic simulator.
+pub struct SimDriver {
+    world: World,
+}
+
+impl SimDriver {
+    /// Builds the world a scenario describes, hosting `kind`.
+    pub fn new(kind: SystemKind, scenario: &Scenario) -> Result<SimDriver, String> {
+        let world = match scenario.topology {
+            Topology::Bootstrap => World::bootstrap(kind, scenario.n, scenario.seed),
+            Topology::Static => World::static_cluster(kind, scenario.n, scenario.seed)?,
+        };
+        Ok(SimDriver { world })
+    }
+
+    /// The underlying world (post-run analysis: samples, rates, ...).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Consumes the driver, returning the world.
+    pub fn into_world(self) -> World {
+        self.world
+    }
+}
+
+impl Driver for SimDriver {
+    fn label(&self) -> String {
+        format!("sim:{}", self.world.kind_label())
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.world.now()
+    }
+
+    fn run_until(&mut self, t_ms: u64) {
+        self.world.run_until(t_ms);
+    }
+
+    fn schedule_fault(&mut self, at_ms: u64, fault: Fault) -> Result<(), Unsupported> {
+        self.world.schedule_cluster_fault(at_ms, fault);
+        Ok(())
+    }
+
+    fn apply_workload(&mut self, w: &ResolvedWorkload) -> Result<(), Unsupported> {
+        match w {
+            ResolvedWorkload::Join(count) => self.world.join(*count).map_err(Unsupported),
+            ResolvedWorkload::Leave(idxs) => {
+                for &i in idxs {
+                    self.world.leave(i).map_err(Unsupported)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn observations(&self) -> Vec<Option<f64>> {
+        self.world.observations()
+    }
+
+    fn converge(&mut self, target: usize, within_ms: u64) -> Option<u64> {
+        self.world.converge(target, within_ms)
+    }
+
+    fn view_changes(&self) -> Option<u64> {
+        self.world.view_changes()
+    }
+
+    fn traffic_totals(&self) -> Option<TrafficTotals> {
+        Some(self.world.traffic_totals())
+    }
+
+    fn consistent_histories(&self) -> Option<bool> {
+        self.world.consistent_histories()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-transport driver
+// ---------------------------------------------------------------------------
+
+/// Cap on real processes per scenario: each one is a thread cluster with
+/// a listener, and a scenario asking for hundreds is a mistake, not a
+/// load test.
+const MAX_REAL_NODES: usize = 64;
+
+/// Poll cadence for the wall-clock event loop.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Runs scenarios on a real multi-threaded TCP cluster (loopback).
+///
+/// Process `i` of the scenario maps to the `i`-th runtime; the seed is
+/// process 0. Whatever the scenario's topology, the cluster *bootstraps*
+/// (a real deployment cannot start pre-converged) — scenarios meant for
+/// both drivers begin with a `converge` expectation, which absorbs the
+/// difference. Time budgets are wall-clock upper bounds; a healthy
+/// cluster converges far sooner.
+pub struct RealDriver {
+    nodes: Vec<Option<Runtime>>,
+    view_counts: Vec<u64>,
+    start: Instant,
+    pending: Vec<(u64, usize)>, // (due_ms, process) crash schedule
+    settings: Settings,
+    seed_addr: Endpoint,
+}
+
+impl RealDriver {
+    /// Starts `scenario.n` real processes on loopback.
+    pub fn new(scenario: &Scenario) -> Result<RealDriver, String> {
+        Self::with_settings(scenario, Self::default_settings())
+    }
+
+    /// Protocol settings tuned for wall-clock scenario runs (sub-second
+    /// probe cadence, seconds-scale consensus fallback).
+    pub fn default_settings() -> Settings {
+        Settings {
+            tick_interval_ms: 20,
+            fd_probe_interval_ms: 200,
+            fd_probe_timeout_ms: 200,
+            consensus_fallback_base_ms: 1_500,
+            consensus_fallback_jitter_ms: 500,
+            join_timeout_ms: 1_000,
+            gossip_interval_ms: 50,
+            ..Settings::default()
+        }
+    }
+
+    /// Starts the cluster with explicit protocol settings.
+    pub fn with_settings(scenario: &Scenario, settings: Settings) -> Result<RealDriver, String> {
+        let n = scenario.n;
+        if n == 0 || n > MAX_REAL_NODES {
+            return Err(format!(
+                "real driver supports 1..={MAX_REAL_NODES} processes, scenario wants {n}"
+            ));
+        }
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone())
+            .map_err(|e| format!("seed start failed: {e}"))?;
+        let seed_addr = *seed.addr();
+        let mut nodes = vec![Some(seed)];
+        for i in 1..n {
+            let joiner = Runtime::start_joiner(
+                Endpoint::new("127.0.0.1", 0),
+                vec![seed_addr],
+                settings.clone(),
+                rapid_core::Metadata::with_entry("proc", format!("{i}")),
+            )
+            .map_err(|e| format!("joiner {i} start failed: {e}"))?;
+            nodes.push(Some(joiner));
+        }
+        Ok(RealDriver {
+            view_counts: vec![0; nodes.len()],
+            nodes,
+            start: Instant::now(),
+            pending: Vec::new(),
+            settings,
+            seed_addr,
+        })
+    }
+
+    fn poll(&mut self) {
+        let now = self.now_ms();
+        // Fire due crashes.
+        let mut due = Vec::new();
+        self.pending.retain(|&(at, i)| {
+            if at <= now {
+                due.push(i);
+                false
+            } else {
+                true
+            }
+        });
+        for i in due {
+            if let Some(rt) = self.nodes[i].take() {
+                rt.shutdown_now();
+            }
+        }
+        // Drain application events (view-change accounting).
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if let Some(rt) = slot {
+                while let Ok(ev) = rt.events().try_recv() {
+                    if matches!(ev, AppEvent::View(_)) {
+                        self.view_counts[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tears every process down (also runs on drop).
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.nodes {
+            if let Some(rt) = slot.take() {
+                rt.shutdown_now();
+            }
+        }
+    }
+}
+
+impl Drop for RealDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Driver for RealDriver {
+    fn label(&self) -> String {
+        "real:rapid".to_string()
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn run_until(&mut self, t_ms: u64) {
+        while self.now_ms() < t_ms {
+            self.poll();
+            let remaining = t_ms.saturating_sub(self.now_ms());
+            std::thread::sleep(POLL.min(Duration::from_millis(remaining.max(1))));
+        }
+        self.poll();
+    }
+
+    fn schedule_fault(&mut self, at_ms: u64, fault: Fault) -> Result<(), Unsupported> {
+        match fault {
+            Fault::Crash(i) => {
+                if i >= self.nodes.len() {
+                    return Err(Unsupported(format!("crash target {i} out of range")));
+                }
+                self.pending.push((at_ms, i));
+                Ok(())
+            }
+            other => Err(Unsupported(format!(
+                "the real driver cannot inject {other:?}; only process crashes, \
+                 leaves, and joins exist outside the simulator"
+            ))),
+        }
+    }
+
+    fn apply_workload(&mut self, w: &ResolvedWorkload) -> Result<(), Unsupported> {
+        match w {
+            ResolvedWorkload::Join(count) => {
+                for k in 0..*count {
+                    let joiner = Runtime::start_joiner(
+                        Endpoint::new("127.0.0.1", 0),
+                        vec![self.seed_addr],
+                        self.settings.clone(),
+                        rapid_core::Metadata::with_entry("proc", format!("j{k}")),
+                    )
+                    .map_err(|e| Unsupported(format!("join failed: {e}")))?;
+                    self.nodes.push(Some(joiner));
+                    self.view_counts.push(0);
+                }
+                Ok(())
+            }
+            ResolvedWorkload::Leave(idxs) => {
+                for &i in idxs {
+                    if let Some(rt) = self.nodes.get_mut(i).and_then(Option::take) {
+                        rt.leave();
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn observations(&self) -> Vec<Option<f64>> {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|rt| {
+                (rt.status() == NodeStatus::Active).then(|| rt.view().len() as f64)
+            })
+            .collect()
+    }
+
+    fn converge(&mut self, target: usize, within_ms: u64) -> Option<u64> {
+        let deadline = self.now_ms() + within_ms;
+        loop {
+            self.poll();
+            if crate::world::obs_all_report(&self.observations(), target) {
+                return Some(self.now_ms());
+            }
+            if self.now_ms() >= deadline {
+                return None;
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+
+    fn view_changes(&self) -> Option<u64> {
+        self.view_counts.iter().copied().max()
+    }
+
+    fn traffic_totals(&self) -> Option<TrafficTotals> {
+        None
+    }
+
+    fn consistent_histories(&self) -> Option<bool> {
+        None
+    }
+}

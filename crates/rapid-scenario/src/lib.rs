@@ -1,0 +1,43 @@
+//! # rapid-scenario
+//!
+//! Declarative chaos/workload orchestration over the Rapid reproduction.
+//!
+//! The paper's core claim is *stability under messy, directional failure
+//! scenarios* — flip-flopping members, asymmetric `iptables` drops,
+//! packet blackholes. This crate turns such experiments from bespoke
+//! binaries into data:
+//!
+//! * [`model`] — the scenario language: node groups, a timeline of
+//!   phases, each phase a set of fault injections, workload actions, and
+//!   expectations. Built in code ([`Scenario::build`]) or loaded from
+//!   TOML ([`Scenario::from_toml`]; shipped examples live in
+//!   `scenarios/`).
+//! * [`driver`] — one [`Driver`] trait, two backends: the deterministic
+//!   simulator ([`SimDriver`], hosting Rapid and every baseline) and a
+//!   real multi-threaded TCP cluster ([`RealDriver`]).
+//! * [`runner`] — deterministic execution: same scenario + same seed +
+//!   sim driver ⇒ byte-identical [`Report`] JSON.
+//! * [`world`] — the multi-system simulated deployment harness (moved
+//!   here from `bench`, which re-exports it).
+//!
+//! See `docs/SCENARIOS.md` for the schema and driver caveats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod json;
+pub mod load;
+pub mod model;
+pub mod report;
+pub mod runner;
+pub mod toml;
+pub mod world;
+
+pub use driver::{Driver, RealDriver, SimDriver};
+pub use model::{
+    Expect, FaultSpec, Group, Inject, Phase, Repeat, Scenario, SizeExpr, Target, Topology,
+    Workload, WorkloadAction,
+};
+pub use report::{ExpectReport, PhaseReport, Report};
+pub use world::{aggregate_timeseries, SystemKind, TrafficTotals, World};

@@ -1,0 +1,457 @@
+//! Converts parsed TOML into a [`Scenario`] (schema in
+//! `docs/SCENARIOS.md`).
+
+use rapid_sim::LatencyDist;
+
+use crate::model::{
+    Expect, FaultSpec, FullOverrides, Group, Inject, Phase, Repeat, Scenario, SizeExpr, Target,
+    Topology, Workload, WorkloadAction,
+};
+use crate::toml::Value;
+
+fn req<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing {key:?}"))
+}
+
+/// Required non-negative integer — negative values are an error, never a
+/// silent unsigned wrap.
+fn req_uint(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    let i = req(v, key, ctx)?
+        .as_int()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be an integer"))?;
+    u64::try_from(i).map_err(|_| format!("{ctx}: {key:?} must be non-negative, got {i}"))
+}
+
+fn req_usize(v: &Value, key: &str, ctx: &str) -> Result<usize, String> {
+    Ok(req_uint(v, key, ctx)? as usize)
+}
+
+fn req_f64(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    req(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be a number"))
+}
+
+fn req_str<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a str, String> {
+    req(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be a string"))
+}
+
+fn opt_u64(v: &Value, key: &str, ctx: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => {
+            let i = x
+                .as_int()
+                .ok_or_else(|| format!("{ctx}: {key:?} must be an integer"))?;
+            u64::try_from(i)
+                .map(Some)
+                .map_err(|_| format!("{ctx}: {key:?} must be non-negative, got {i}"))
+        }
+    }
+}
+
+/// Loads a scenario from a parsed TOML root table.
+pub fn scenario_from_value(root: &Value) -> Result<Scenario, String> {
+    let ctx = "scenario";
+    let name = req_str(root, "name", ctx)?.to_string();
+    let n = req_usize(root, "n", ctx)?;
+    let seed = match root.get("seed") {
+        None => 1,
+        Some(v) => u64::try_from(v.as_int().ok_or("scenario: seed must be an integer")?)
+            .map_err(|_| "scenario: seed must be non-negative".to_string())?,
+    };
+    let topology = match root.get("topology").and_then(|v| v.as_str()).unwrap_or("bootstrap") {
+        "bootstrap" => Topology::Bootstrap,
+        "static" => Topology::Static,
+        other => return Err(format!("{ctx}: unknown topology {other:?}")),
+    };
+
+    let mut groups = Vec::new();
+    if let Some(gtab) = root.get("groups") {
+        let table = gtab
+            .as_table()
+            .ok_or_else(|| format!("{ctx}: groups must be a table"))?;
+        for (gname, gval) in table {
+            groups.push((gname.clone(), group_from_value(gval, gname)?));
+        }
+    }
+
+    let mut phases = Vec::new();
+    if let Some(parr) = root.get("phase") {
+        let arr = parr
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: phase must be an array of tables"))?;
+        for (i, pval) in arr.iter().enumerate() {
+            phases.push(phase_from_value(pval, i)?);
+        }
+    }
+    if phases.is_empty() {
+        return Err(format!("{ctx}: at least one [[phase]] is required"));
+    }
+
+    let full = match root.get("full") {
+        None => FullOverrides::default(),
+        Some(f) => FullOverrides {
+            n: match f.get("n") {
+                None => None,
+                Some(_) => Some(req_usize(f, "n", "[full]")?),
+            },
+        },
+    };
+
+    Ok(Scenario {
+        name,
+        n,
+        seed,
+        topology,
+        groups,
+        phases,
+        full,
+    })
+}
+
+fn group_from_value(v: &Value, name: &str) -> Result<Group, String> {
+    let ctx = format!("group {name:?}");
+    if let Some(nodes) = v.get("nodes") {
+        let arr = nodes
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: nodes must be an array"))?;
+        let mut out = Vec::new();
+        for x in arr {
+            let i = x
+                .as_int()
+                .ok_or_else(|| format!("{ctx}: nodes entries must be integers"))?;
+            out.push(
+                usize::try_from(i)
+                    .map_err(|_| format!("{ctx}: node index must be non-negative, got {i}"))?,
+            );
+        }
+        Ok(Group::Nodes(out))
+    } else if let Some(r) = v.get("range") {
+        Ok(Group::Range {
+            first: req_usize(r, "first", &ctx)?,
+            count: req_usize(r, "count", &ctx)?,
+        })
+    } else if let Some(r) = v.get("stride") {
+        Ok(Group::Stride {
+            first: req_usize(r, "first", &ctx)?,
+            step: req_usize(r, "step", &ctx)?,
+            count: req_usize(r, "count", &ctx)?,
+        })
+    } else if let Some(r) = v.get("spread") {
+        Ok(Group::Spread {
+            first: req_usize(r, "first", &ctx)?,
+            count: req_usize(r, "count", &ctx)?,
+        })
+    } else if let Some(r) = v.get("percent") {
+        Ok(Group::Percent {
+            pct: req_f64(r, "pct", &ctx)?,
+            min: req_usize(r, "min", &ctx)?,
+        })
+    } else {
+        Err(format!(
+            "{ctx}: expected one of nodes/range/stride/spread/percent"
+        ))
+    }
+}
+
+fn target_from_value(v: &Value, ctx: &str) -> Result<Target, String> {
+    if let Some(g) = v.get("group") {
+        Ok(Target::Group(
+            g.as_str()
+                .ok_or_else(|| format!("{ctx}: group must be a string"))?
+                .to_string(),
+        ))
+    } else if let Some(nodes) = v.get("nodes") {
+        let arr = nodes
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: nodes must be an array"))?;
+        let mut out = Vec::new();
+        for x in arr {
+            let i = x
+                .as_int()
+                .ok_or_else(|| format!("{ctx}: nodes entries must be integers"))?;
+            out.push(
+                usize::try_from(i)
+                    .map_err(|_| format!("{ctx}: node index must be non-negative, got {i}"))?,
+            );
+        }
+        Ok(Target::Nodes(out))
+    } else {
+        Err(format!("{ctx}: expected group = \"...\" or nodes = [...]"))
+    }
+}
+
+fn latency_from_value(v: &Value, ctx: &str) -> Result<LatencyDist, String> {
+    match req_str(v, "dist", ctx)? {
+        "uniform" => Ok(LatencyDist::Uniform {
+            base_ms: req_f64(v, "base_ms", ctx)?,
+            jitter_ms: req_f64(v, "jitter_ms", ctx)?,
+        }),
+        "exponential" => Ok(LatencyDist::Exponential {
+            base_ms: req_f64(v, "base_ms", ctx)?,
+            mean_ms: req_f64(v, "mean_ms", ctx)?,
+        }),
+        "pareto" => Ok(LatencyDist::Pareto {
+            base_ms: req_f64(v, "base_ms", ctx)?,
+            scale_ms: req_f64(v, "scale_ms", ctx)?,
+            alpha: req_f64(v, "alpha", ctx)?,
+        }),
+        other => Err(format!("{ctx}: unknown latency dist {other:?}")),
+    }
+}
+
+const FAULT_KEYS: &[&str] = &[
+    "crash",
+    "ingress_drop",
+    "egress_drop",
+    "partition",
+    "blackhole_pair",
+    "clear_blackhole_pair",
+    "link_loss",
+    "slow_node",
+    "duplicate",
+    "reorder",
+    "latency",
+];
+
+fn inject_from_value(v: &Value, phase: usize, idx: usize) -> Result<Inject, String> {
+    let ctx = format!("phase {phase} inject {idx}");
+    let at_ms = opt_u64(v, "at_ms", &ctx)?.unwrap_or(0);
+    let repeat = match v.get("repeat") {
+        None => None,
+        Some(r) => Some(Repeat {
+            period_ms: req_uint(r, "period_ms", &ctx)?,
+            count: u32::try_from(req_uint(r, "count", &ctx)?)
+                .map_err(|_| format!("{ctx}: repeat count too large"))?,
+        }),
+    };
+    let mut found = None;
+    for key in FAULT_KEYS {
+        if let Some(fv) = v.get(key) {
+            if found.is_some() {
+                return Err(format!("{ctx}: more than one fault key"));
+            }
+            found = Some((*key, fv));
+        }
+    }
+    let Some((key, fv)) = found else {
+        return Err(format!("{ctx}: expected one fault key of {FAULT_KEYS:?}"));
+    };
+    let fault = match key {
+        "crash" => FaultSpec::Crash(target_from_value(fv, &ctx)?),
+        "ingress_drop" => {
+            FaultSpec::IngressDrop(target_from_value(fv, &ctx)?, req_f64(fv, "p", &ctx)?)
+        }
+        "egress_drop" => {
+            FaultSpec::EgressDrop(target_from_value(fv, &ctx)?, req_f64(fv, "p", &ctx)?)
+        }
+        "partition" => FaultSpec::Partition(target_from_value(fv, &ctx)?),
+        "blackhole_pair" => FaultSpec::BlackholePair(
+            req_usize(fv, "a", &ctx)?,
+            req_usize(fv, "b", &ctx)?,
+        ),
+        "clear_blackhole_pair" => FaultSpec::ClearBlackholePair(
+            req_usize(fv, "a", &ctx)?,
+            req_usize(fv, "b", &ctx)?,
+        ),
+        "link_loss" => FaultSpec::LinkLoss(
+            req_usize(fv, "src", &ctx)?,
+            req_usize(fv, "dst", &ctx)?,
+            req_f64(fv, "p", &ctx)?,
+        ),
+        "slow_node" => {
+            FaultSpec::SlowNode(target_from_value(fv, &ctx)?, req_f64(fv, "factor", &ctx)?)
+        }
+        "duplicate" => FaultSpec::Duplicate(req_f64(fv, "p", &ctx)?),
+        "reorder" => FaultSpec::Reorder(
+            req_f64(fv, "p", &ctx)?,
+            req_uint(fv, "extra_ms", &ctx)?,
+        ),
+        "latency" => FaultSpec::Latency(latency_from_value(fv, &ctx)?),
+        _ => unreachable!("key list is exhaustive"),
+    };
+    Ok(Inject {
+        at_ms,
+        fault,
+        repeat,
+    })
+}
+
+fn workload_from_value(v: &Value, phase: usize, idx: usize) -> Result<Workload, String> {
+    let ctx = format!("phase {phase} workload {idx}");
+    let at_ms = opt_u64(v, "at_ms", &ctx)?.unwrap_or(0);
+    let action = if let Some(j) = v.get("join") {
+        WorkloadAction::Join {
+            count: req_usize(j, "count", &ctx)?,
+        }
+    } else if let Some(l) = v.get("leave") {
+        WorkloadAction::Leave(target_from_value(l, &ctx)?)
+    } else {
+        return Err(format!("{ctx}: expected join = {{...}} or leave = {{...}}"));
+    };
+    Ok(Workload { at_ms, action })
+}
+
+fn expect_from_value(v: &Value, phase: usize, idx: usize) -> Result<Expect, String> {
+    let ctx = format!("phase {phase} expect {idx}");
+    if let Some(c) = v.get("converge") {
+        let to = size_expr(c, "to", &ctx)?;
+        Ok(Expect::Converge {
+            to,
+            within_ms: req_uint(c, "within_ms", &ctx)?,
+            within_full_ms: opt_u64(c, "within_full_ms", &ctx)?,
+        })
+    } else if let Some(a) = v.get("all_report") {
+        Ok(Expect::AllReport(size_expr(a, "size", &ctx)?))
+    } else if let Some(m) = v.get("max_size") {
+        Ok(Expect::MaxSize(size_expr(m, "at_most", &ctx)?))
+    } else if v.get("consistent_histories").is_some() {
+        Ok(Expect::ConsistentHistories)
+    } else {
+        Err(format!(
+            "{ctx}: expected converge/all_report/max_size/consistent_histories"
+        ))
+    }
+}
+
+fn size_expr(v: &Value, key: &str, ctx: &str) -> Result<SizeExpr, String> {
+    let raw = req(v, key, ctx)?;
+    if let Some(i) = raw.as_int() {
+        return Ok(SizeExpr::abs(i as usize));
+    }
+    let s = raw
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: {key:?} must be an integer or a size expression"))?;
+    SizeExpr::parse(s).map_err(|e| format!("{ctx}: {e}"))
+}
+
+fn phase_from_value(v: &Value, idx: usize) -> Result<Phase, String> {
+    let ctx = format!("phase {idx}");
+    let name = req_str(v, "name", &ctx)?.to_string();
+    let run_ms = opt_u64(v, "run_ms", &ctx)?;
+    let mut injects = Vec::new();
+    if let Some(arr) = v.get("inject") {
+        let arr = arr
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: inject must be an array of tables"))?;
+        for (i, iv) in arr.iter().enumerate() {
+            injects.push(inject_from_value(iv, idx, i)?);
+        }
+    }
+    let mut workloads = Vec::new();
+    if let Some(arr) = v.get("workload") {
+        let arr = arr
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: workload must be an array of tables"))?;
+        for (i, wv) in arr.iter().enumerate() {
+            workloads.push(workload_from_value(wv, idx, i)?);
+        }
+    }
+    let mut expects = Vec::new();
+    if let Some(arr) = v.get("expect") {
+        let arr = arr
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: expect must be an array of tables"))?;
+        for (i, ev) in arr.iter().enumerate() {
+            expects.push(expect_from_value(ev, idx, i)?);
+        }
+    }
+    Ok(Phase {
+        name,
+        injects,
+        workloads,
+        run_ms,
+        expects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+name = "demo"
+n = 50
+seed = 7
+topology = "static"
+
+[full]
+n = 500
+
+[groups.victims]
+stride = { first = 2, step = 5, count = 10 }
+
+[groups.lossy]
+percent = { pct = 1.0, min = 2 }
+
+[[phase]]
+name = "steady"
+run_ms = 5000
+  [[phase.expect]]
+  all_report = { size = "n" }
+
+[[phase]]
+name = "chaos"
+  [[phase.inject]]
+  at_ms = 0
+  crash = { group = "victims" }
+  [[phase.inject]]
+  at_ms = 1000
+  ingress_drop = { group = "lossy", p = 1.0 }
+  repeat = { period_ms = 40000, count = 3 }
+  [[phase.inject]]
+  latency = { dist = "pareto", base_ms = 1.0, scale_ms = 2.0, alpha = 1.5 }
+  [[phase.workload]]
+  at_ms = 2000
+  leave = { nodes = [30] }
+  [[phase.expect]]
+  converge = { to = "n - victims", within_ms = 180000, within_full_ms = 360000 }
+  [[phase.expect]]
+  consistent_histories = true
+"#;
+
+    #[test]
+    fn loads_the_full_schema() {
+        let s = Scenario::from_toml(DOC).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!((s.n, s.seed), (50, 7));
+        assert_eq!(s.topology, Topology::Static);
+        assert_eq!(s.full.n, Some(500));
+        assert_eq!(s.groups.len(), 2);
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].run_ms, Some(5000));
+        assert_eq!(s.phases[1].injects.len(), 3);
+        assert_eq!(
+            s.phases[1].injects[1].repeat,
+            Some(Repeat { period_ms: 40_000, count: 3 })
+        );
+        assert!(matches!(
+            s.phases[1].injects[2].fault,
+            FaultSpec::Latency(LatencyDist::Pareto { .. })
+        ));
+        assert_eq!(s.phases[1].workloads.len(), 1);
+        match &s.phases[1].expects[0] {
+            Expect::Converge { to, within_ms, within_full_ms } => {
+                assert_eq!(to.describe(), "n-victims");
+                assert_eq!(*within_ms, 180_000);
+                assert_eq!(*within_full_ms, Some(360_000));
+            }
+            other => panic!("wrong expect {other:?}"),
+        }
+        assert_eq!(s.phases[1].expects[1], Expect::ConsistentHistories);
+    }
+
+    #[test]
+    fn helpful_errors_on_bad_schema() {
+        assert!(Scenario::from_toml("n = 5\n").unwrap_err().contains("name"));
+        let no_phase = "name = \"x\"\nn = 5\n";
+        assert!(Scenario::from_toml(no_phase).unwrap_err().contains("phase"));
+        let bad_fault = "name=\"x\"\nn=5\n[[phase]]\nname=\"p\"\n[[phase.inject]]\nfoo = 1\n";
+        assert!(Scenario::from_toml(bad_fault).unwrap_err().contains("fault key"));
+        let two_faults = "name=\"x\"\nn=5\n[[phase]]\nname=\"p\"\n[[phase.inject]]\ncrash = { nodes = [0] }\nduplicate = { p = 0.5 }\n";
+        assert!(Scenario::from_toml(two_faults).unwrap_err().contains("more than one"));
+    }
+}

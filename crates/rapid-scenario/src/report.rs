@@ -1,0 +1,191 @@
+//! Structured scenario results.
+//!
+//! A [`Report`] is everything a scenario run measured: per-phase
+//! convergence instants, expectation verdicts, view-change counts, and
+//! traffic deltas. Serialization is deterministic (field order fixed, no
+//! timestamps, no float formatting surprises), so two runs of the same
+//! seed on the same driver produce byte-identical JSON — the golden tests
+//! pin exactly that.
+
+use crate::json::Json;
+use crate::world::TrafficTotals;
+
+/// Verdict of one expectation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpectReport {
+    /// Human-readable label (`converge(n-victims) within 300000ms`).
+    pub desc: String,
+    /// `Some(true)`/`Some(false)` = evaluated; `None` = the driver does
+    /// not support this expectation (skipped, does not fail the run).
+    pub passed: Option<bool>,
+}
+
+/// Results of one phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name.
+    pub name: String,
+    /// Driver time when the phase began.
+    pub start_ms: u64,
+    /// Driver time when the phase ended.
+    pub end_ms: u64,
+    /// Absolute instant the first `converge` expectation held, if any.
+    pub converged_at_ms: Option<u64>,
+    /// View changes installed so far (cumulative), where the driver
+    /// tracks them.
+    pub view_changes: Option<u64>,
+    /// Traffic during this phase, where the driver meters it.
+    pub traffic: Option<TrafficTotals>,
+    /// Expectation verdicts, in scenario order.
+    pub expects: Vec<ExpectReport>,
+}
+
+/// A complete scenario result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: String,
+    /// Driver label (`sim:rapid`, `real:rapid`, ...).
+    pub driver: String,
+    /// Cluster size the run used.
+    pub n: usize,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Whether every evaluated expectation passed.
+    pub passed: bool,
+    /// Per-phase results.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl Report {
+    /// Whether any expectation was evaluated and failed.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.phases {
+            for e in &p.expects {
+                if e.passed == Some(false) {
+                    out.push(format!("{}: {}", p.name, e.desc));
+                }
+            }
+        }
+        out
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("driver", Json::Str(self.driver.clone())),
+            ("n", Json::uint(self.n as u64)),
+            ("seed", Json::uint(self.seed)),
+            ("passed", Json::Bool(self.passed)),
+            (
+                "phases",
+                Json::Array(self.phases.iter().map(phase_json).collect()),
+            ),
+        ])
+    }
+
+    /// Compact JSON string (byte-stable across runs of one seed).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+fn phase_json(p: &PhaseReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(p.name.clone())),
+        ("start_ms", Json::uint(p.start_ms)),
+        ("end_ms", Json::uint(p.end_ms)),
+        (
+            "converged_at_ms",
+            Json::opt(p.converged_at_ms, Json::uint),
+        ),
+        ("view_changes", Json::opt(p.view_changes, Json::uint)),
+        (
+            "traffic",
+            Json::opt(p.traffic, |t| {
+                Json::obj(vec![
+                    ("bytes_in", Json::uint(t.bytes_in)),
+                    ("bytes_out", Json::uint(t.bytes_out)),
+                    ("msgs_in", Json::uint(t.msgs_in)),
+                    ("msgs_out", Json::uint(t.msgs_out)),
+                ])
+            }),
+        ),
+        (
+            "expects",
+            Json::Array(
+                p.expects
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("desc", Json::Str(e.desc.clone())),
+                            ("passed", Json::opt(e.passed, Json::Bool)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_stable_and_complete() {
+        let r = Report {
+            scenario: "demo".into(),
+            driver: "sim:rapid".into(),
+            n: 50,
+            seed: 7,
+            passed: true,
+            phases: vec![PhaseReport {
+                name: "boot".into(),
+                start_ms: 0,
+                end_ms: 42_000,
+                converged_at_ms: Some(41_000),
+                view_changes: Some(3),
+                traffic: Some(TrafficTotals {
+                    bytes_in: 10,
+                    bytes_out: 20,
+                    msgs_in: 1,
+                    msgs_out: 2,
+                }),
+                expects: vec![
+                    ExpectReport { desc: "converge(n)".into(), passed: Some(true) },
+                    ExpectReport { desc: "histories".into(), passed: None },
+                ],
+            }],
+        };
+        let s = r.to_json_string();
+        assert_eq!(s, r.to_json_string(), "serialization must be stable");
+        assert!(s.starts_with(r#"{"scenario":"demo","driver":"sim:rapid","n":50,"seed":7,"passed":true"#));
+        assert!(s.contains(r#""converged_at_ms":41000"#));
+        assert!(s.contains(r#""passed":null"#));
+        assert!(r.failures().is_empty());
+    }
+
+    #[test]
+    fn failures_list_failed_expectations() {
+        let r = Report {
+            scenario: "x".into(),
+            driver: "d".into(),
+            n: 1,
+            seed: 1,
+            passed: false,
+            phases: vec![PhaseReport {
+                name: "p".into(),
+                start_ms: 0,
+                end_ms: 1,
+                converged_at_ms: None,
+                view_changes: None,
+                traffic: None,
+                expects: vec![ExpectReport { desc: "boom".into(), passed: Some(false) }],
+            }],
+        };
+        assert_eq!(r.failures(), vec!["p: boom"]);
+    }
+}

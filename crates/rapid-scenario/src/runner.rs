@@ -1,0 +1,398 @@
+//! Executes a [`Scenario`] against a [`Driver`] and produces a
+//! [`Report`].
+//!
+//! The execution discipline per phase is fixed, so the same scenario is
+//! comparable across drivers and runs:
+//!
+//! 1. All fault injections are scheduled up front at
+//!    `phase_start + at_ms` (repeats expanded), mirroring how the
+//!    original experiment binaries pre-scheduled their fault timelines —
+//!    which keeps ported scenarios event-for-event identical to them.
+//! 2. Workloads run at their offsets (time advances to each).
+//! 3. If `run_ms` is set, time advances to `phase_start + run_ms`.
+//! 4. Expectations evaluate in order; `converge` advances time itself.
+
+use rapid_sim::Fault;
+
+use crate::driver::{Driver, ResolvedWorkload};
+use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
+use crate::report::{ExpectReport, PhaseReport, Report};
+
+/// Expands one injection into concrete `(at_ms, Fault)` pairs (absolute
+/// driver times), resolving group targets.
+fn expand_inject(
+    scenario: &Scenario,
+    phase_start: u64,
+    inject: &Inject,
+) -> Result<Vec<(u64, Fault)>, String> {
+    let times: Vec<u64> = match inject.repeat {
+        None => vec![phase_start + inject.at_ms],
+        Some(r) => (0..r.count as u64)
+            .map(|k| phase_start + inject.at_ms + k * r.period_ms)
+            .collect(),
+    };
+    let per_fire: Vec<Fault> = match &inject.fault {
+        FaultSpec::Crash(t) => scenario
+            .resolve_target(t)?
+            .into_iter()
+            .map(Fault::Crash)
+            .collect(),
+        FaultSpec::IngressDrop(t, p) => scenario
+            .resolve_target(t)?
+            .into_iter()
+            .map(|i| Fault::IngressDrop(i, *p))
+            .collect(),
+        FaultSpec::EgressDrop(t, p) => scenario
+            .resolve_target(t)?
+            .into_iter()
+            .map(|i| Fault::EgressDrop(i, *p))
+            .collect(),
+        FaultSpec::Partition(t) => vec![Fault::Partition(scenario.resolve_target(t)?)],
+        FaultSpec::BlackholePair(a, b) => vec![Fault::BlackholePair(*a, *b)],
+        FaultSpec::ClearBlackholePair(a, b) => vec![Fault::ClearBlackholePair(*a, *b)],
+        FaultSpec::LinkLoss(a, b, p) => vec![Fault::LinkLoss(*a, *b, *p)],
+        FaultSpec::SlowNode(t, f) => scenario
+            .resolve_target(t)?
+            .into_iter()
+            .map(|i| Fault::SlowNode(i, *f))
+            .collect(),
+        FaultSpec::Duplicate(p) => vec![Fault::Duplicate(*p)],
+        FaultSpec::Reorder(p, extra) => vec![Fault::Reorder(*p, *extra)],
+        FaultSpec::Latency(d) => vec![Fault::Latency(*d)],
+    };
+    let mut out = Vec::with_capacity(times.len() * per_fire.len());
+    for t in times {
+        for f in &per_fire {
+            out.push((t, f.clone()));
+        }
+    }
+    Ok(out)
+}
+
+fn run_phase(
+    scenario: &Scenario,
+    phase: &Phase,
+    driver: &mut dyn Driver,
+) -> Result<PhaseReport, String> {
+    let start = driver.now_ms();
+    let traffic_before = driver.traffic_totals();
+
+    // 1. Schedule every injection up front.
+    for inject in &phase.injects {
+        for (at, fault) in expand_inject(scenario, start, inject)? {
+            driver
+                .schedule_fault(at, fault)
+                .map_err(|e| format!("phase {:?}: {e}", phase.name))?;
+        }
+    }
+
+    // 2. Workloads at their offsets (stable-sorted: time cannot run
+    // backwards to honor a later-declared, earlier-offset action).
+    let mut workloads: Vec<_> = phase.workloads.iter().collect();
+    workloads.sort_by_key(|w| w.at_ms);
+    for w in workloads {
+        let due = start + w.at_ms;
+        if driver.now_ms() < due {
+            driver.run_until(due);
+        }
+        let resolved = match &w.action {
+            WorkloadAction::Join { count } => ResolvedWorkload::Join(*count),
+            WorkloadAction::Leave(t) => ResolvedWorkload::Leave(scenario.resolve_target(t)?),
+        };
+        driver
+            .apply_workload(&resolved)
+            .map_err(|e| format!("phase {:?}: {e}", phase.name))?;
+    }
+
+    // 3. Fixed run window.
+    if let Some(run_ms) = phase.run_ms {
+        driver.run_until(start + run_ms);
+    }
+
+    // 4. Expectations.
+    let mut expects = Vec::new();
+    let mut converged_at_ms = None;
+    for e in &phase.expects {
+        let report = match e {
+            Expect::Converge { to, within_ms, .. } => {
+                let target = to.resolve(scenario)?;
+                let at = driver.converge(target, *within_ms);
+                if converged_at_ms.is_none() {
+                    converged_at_ms = at;
+                }
+                ExpectReport {
+                    desc: format!("converge({}={target}) within {within_ms}ms", to.describe()),
+                    passed: Some(at.is_some()),
+                }
+            }
+            Expect::AllReport(size) => {
+                let target = size.resolve(scenario)?;
+                let ok = crate::world::obs_all_report(&driver.observations(), target);
+                ExpectReport {
+                    desc: format!("all_report({}={target})", size.describe()),
+                    passed: Some(ok),
+                }
+            }
+            Expect::MaxSize(size) => {
+                let target = size.resolve(scenario)?;
+                let ok = driver
+                    .observations()
+                    .into_iter()
+                    .flatten()
+                    .all(|v| v <= target as f64 + 0.5);
+                ExpectReport {
+                    desc: format!("max_size({}={target})", size.describe()),
+                    passed: Some(ok),
+                }
+            }
+            Expect::ConsistentHistories => ExpectReport {
+                desc: "consistent_histories".to_string(),
+                passed: driver.consistent_histories(),
+            },
+        };
+        expects.push(report);
+    }
+
+    let end = driver.now_ms();
+    let traffic = match (traffic_before, driver.traffic_totals()) {
+        (Some(a), Some(b)) => Some(b - a),
+        _ => None,
+    };
+    Ok(PhaseReport {
+        name: phase.name.clone(),
+        start_ms: start,
+        end_ms: end,
+        converged_at_ms,
+        view_changes: driver.view_changes(),
+        traffic,
+        expects,
+    })
+}
+
+/// Every cluster-process index a fault touches, for validation.
+fn fault_indices(scenario: &Scenario, fault: &FaultSpec) -> Result<Vec<usize>, String> {
+    Ok(match fault {
+        FaultSpec::Crash(t)
+        | FaultSpec::IngressDrop(t, _)
+        | FaultSpec::EgressDrop(t, _)
+        | FaultSpec::Partition(t)
+        | FaultSpec::SlowNode(t, _) => scenario.resolve_target(t)?,
+        FaultSpec::BlackholePair(a, b) | FaultSpec::ClearBlackholePair(a, b) => vec![*a, *b],
+        FaultSpec::LinkLoss(a, b, _) => vec![*a, *b],
+        FaultSpec::Duplicate(_) | FaultSpec::Reorder(_, _) | FaultSpec::Latency(_) => Vec::new(),
+    })
+}
+
+/// Fails fast on dangling group references and out-of-range indices —
+/// including inline `nodes = [...]` targets, which would otherwise
+/// surface as a mid-run panic (leave) or a silent no-op (crash).
+fn validate(scenario: &Scenario) -> Result<(), String> {
+    let check = |what: &str, idxs: &[usize]| -> Result<(), String> {
+        if let Some(&bad) = idxs.iter().find(|&&i| i >= scenario.n) {
+            return Err(format!(
+                "{what} resolves to index {bad} outside 0..{}",
+                scenario.n
+            ));
+        }
+        Ok(())
+    };
+    for (name, g) in &scenario.groups {
+        check(&format!("group {name:?}"), &g.resolve(scenario.n))?;
+    }
+    for phase in &scenario.phases {
+        for inject in &phase.injects {
+            check(
+                &format!("phase {:?} inject", phase.name),
+                &fault_indices(scenario, &inject.fault)?,
+            )?;
+        }
+        for w in &phase.workloads {
+            if let WorkloadAction::Leave(t) = &w.action {
+                check(
+                    &format!("phase {:?} leave", phase.name),
+                    &scenario.resolve_target(t)?,
+                )?;
+            }
+        }
+        for e in &phase.expects {
+            // Resolve size expressions now: a typo'd group name in a
+            // late expectation must not abort a multi-minute run midway.
+            if let Expect::Converge { to, .. } | Expect::AllReport(to) | Expect::MaxSize(to) = e {
+                to.resolve(scenario)
+                    .map_err(|err| format!("phase {:?} expect: {err}", phase.name))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a scenario to completion on a driver.
+pub fn run(scenario: &Scenario, driver: &mut dyn Driver) -> Result<Report, String> {
+    validate(scenario)?;
+    let mut phases = Vec::new();
+    for phase in &scenario.phases {
+        phases.push(run_phase(scenario, phase, driver)?);
+    }
+    let passed = phases
+        .iter()
+        .flat_map(|p| &p.expects)
+        .all(|e| e.passed != Some(false));
+    Ok(Report {
+        scenario: scenario.name.clone(),
+        driver: driver.label(),
+        n: scenario.n,
+        seed: scenario.seed,
+        passed,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SimDriver;
+    use crate::model::{Group, Phase, SizeExpr, Target, Topology};
+    use crate::world::SystemKind;
+
+    fn crash_scenario() -> Scenario {
+        Scenario::build("crash-three", 30)
+            .seed(12)
+            .topology(Topology::Static)
+            .group("victims", Group::Nodes(vec![3, 17, 25]))
+            .phase(Phase::new("steady").run_for(5_000).expect(Expect::AllReport(SizeExpr::n())))
+            .phase(
+                Phase::new("crash")
+                    .inject(Inject::at(0, FaultSpec::Crash(Target::group("victims"))))
+                    .expect(Expect::Converge {
+                        to: SizeExpr::n_minus_group("victims"),
+                        within_ms: 120_000,
+                        within_full_ms: None,
+                    })
+                    .expect(Expect::ConsistentHistories),
+            )
+            .finish()
+    }
+
+    #[test]
+    fn sim_run_produces_a_passing_report() {
+        let s = crash_scenario();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        let report = run(&s, &mut driver).unwrap();
+        assert!(report.passed, "failures: {:?}", report.failures());
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].start_ms, 0);
+        assert_eq!(report.phases[0].end_ms, 5_000);
+        assert!(report.phases[1].converged_at_ms.is_some());
+        assert_eq!(report.phases[1].view_changes, Some(1), "one cut decision");
+        let t = report.phases[1].traffic.unwrap();
+        assert!(t.bytes_out > 0);
+    }
+
+    #[test]
+    fn same_seed_same_report_json() {
+        let s = crash_scenario();
+        let run_once = || {
+            let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+            run(&s, &mut driver).unwrap().to_json_string()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn failed_expectation_fails_the_report() {
+        let s = Scenario::build("impossible", 10)
+            .seed(3)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").run_for(1_000).expect(Expect::AllReport(SizeExpr::abs(99))))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        let report = run(&s, &mut driver).unwrap();
+        assert!(!report.passed);
+        assert_eq!(report.failures().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_groups_are_rejected() {
+        let s = Scenario::build("bad", 5)
+            .group("g", Group::Nodes(vec![7]))
+            .phase(Phase::new("p"))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        assert!(run(&s, &mut driver).is_err());
+    }
+
+    #[test]
+    fn out_of_range_inline_targets_are_rejected_up_front() {
+        // Inline nodes never pass through a named group, so they need
+        // their own validation — a leave at 99 would otherwise panic
+        // mid-run, and a crash at 99 would silently do nothing.
+        let crash = Scenario::build("bad-crash", 5)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").inject(Inject::at(0, FaultSpec::Crash(Target::node(99)))))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &crash).unwrap();
+        assert!(run(&crash, &mut driver).unwrap_err().contains("99"));
+
+        let leave = Scenario::build("bad-leave", 5)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").workload(0, crate::model::WorkloadAction::Leave(Target::node(99))))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &leave).unwrap();
+        assert!(run(&leave, &mut driver).unwrap_err().contains("99"));
+
+        let link = Scenario::build("bad-link", 5)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").inject(Inject::at(0, FaultSpec::LinkLoss(0, 99, 0.5))))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &link).unwrap();
+        assert!(run(&link, &mut driver).unwrap_err().contains("99"));
+    }
+
+    #[test]
+    fn workloads_run_in_offset_order_not_declaration_order() {
+        // A leave declared *after* a later-offset workload must still
+        // fire at its own offset.
+        let s = Scenario::build("order", 10)
+            .seed(5)
+            .topology(Topology::Static)
+            .phase(
+                Phase::new("p")
+                    .workload(8_000, crate::model::WorkloadAction::Leave(Target::node(3)))
+                    .workload(1_000, crate::model::WorkloadAction::Leave(Target::node(4)))
+                    .run_for(10_000),
+            )
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        run(&s, &mut driver).unwrap();
+        let world = driver.world();
+        assert_eq!(world.now(), 10_000);
+        assert_eq!(world.observations().len(), 8, "both leavers terminated");
+        // Node 4's departure was processed at t=1000, so the survivors'
+        // first view change lands well before the t=8000 workload; under
+        // declaration order both leaves would fire at 8000.
+        let crate::world::World::Rapid(sim) = world else {
+            unreachable!()
+        };
+        let first_view_at = sim.actor(0).log.views.first().map(|(t, _)| *t);
+        assert!(
+            first_view_at.is_some_and(|t| t < 8_000),
+            "first view change must predate the later workload, got {first_view_at:?}"
+        );
+    }
+
+    #[test]
+    fn repeats_expand_into_flip_flop_schedules() {
+        let s = Scenario::build("t", 50)
+            .group("f", Group::Range { first: 0, count: 2 })
+            .finish();
+        let inject = Inject::at(
+            10_000,
+            FaultSpec::IngressDrop(Target::group("f"), 1.0),
+        )
+        .every(40_000, 3);
+        let fires = expand_inject(&s, 100_000, &inject).unwrap();
+        assert_eq!(fires.len(), 6, "3 firings x 2 nodes");
+        assert_eq!(fires[0].0, 110_000);
+        assert_eq!(fires[5].0, 190_000);
+    }
+}

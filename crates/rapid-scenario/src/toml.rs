@@ -1,0 +1,424 @@
+//! A dependency-free parser for the TOML subset scenario files use.
+//!
+//! Supported: `[table]` headers, `[[array-of-tables]]` headers, bare and
+//! quoted keys, dotted header paths, basic `"..."` strings, integers,
+//! floats, booleans, single- or multi-line arrays, and inline tables
+//! (`{ k = v, ... }`). Comments start with `#`. That covers every shipped
+//! scenario; anything outside the subset is a parse error, never a silent
+//! misread.
+
+use std::collections::BTreeMap;
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (including arrays of tables).
+    Array(Vec<Value>),
+    /// A table.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The table behind this value, if it is one.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer behind this value (floats with zero fraction qualify).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The number behind this value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+}
+
+/// Parses a TOML document into its root table.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut root = BTreeMap::new();
+    // Path of the table currently being filled, as (key, array_index)
+    // steps; None index = plain table.
+    let mut current: Vec<(String, Option<usize>)> = Vec::new();
+
+    let mut lines = text.lines().enumerate();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+
+        if let Some(path) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let keys = parse_key_path(path).map_err(&err)?;
+            let idx = push_array_table(&mut root, &keys).map_err(&err)?;
+            current = keys
+                .iter()
+                .map(|k| (k.clone(), None))
+                .collect();
+            current.last_mut().expect("non-empty path").1 = Some(idx);
+        } else if let Some(path) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let keys = parse_key_path(path).map_err(&err)?;
+            ensure_table(&mut root, &keys).map_err(&err)?;
+            current = keys.into_iter().map(|k| (k, None)).collect();
+        } else if let Some(eq) = find_top_level_eq(&line) {
+            let key = parse_key(line[..eq].trim()).map_err(&err)?;
+            let mut rhs = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance outside of strings.
+            while !brackets_balanced(&rhs) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err("unterminated array".into()));
+                };
+                rhs.push(' ');
+                rhs.push_str(strip_comment(next).trim());
+            }
+            let (value, rest) = parse_value(rhs.trim()).map_err(&err)?;
+            if !rest.trim().is_empty() {
+                return Err(err(format!("trailing characters: {rest:?}")));
+            }
+            let table = navigate_mut(&mut root, &current).map_err(&err)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(format!("duplicate key {key:?}")));
+            }
+        } else {
+            return Err(err(format!("unrecognized line: {line:?}")));
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let (mut depth, mut in_str) = (0i32, false);
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Finds the first `=` that is not inside a string.
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(s: &str) -> Result<String, String> {
+    let s = s.trim();
+    if let Some(q) = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Ok(q.to_string());
+    }
+    if !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(s.to_string())
+    } else {
+        Err(format!("bad key {s:?}"))
+    }
+}
+
+fn parse_key_path(s: &str) -> Result<Vec<String>, String> {
+    let keys: Result<Vec<String>, String> = s.split('.').map(parse_key).collect();
+    let keys = keys?;
+    if keys.is_empty() {
+        return Err("empty table path".into());
+    }
+    Ok(keys)
+}
+
+fn ensure_table<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    keys: &[String],
+) -> Result<&'a mut BTreeMap<String, Value>, String> {
+    let mut cur = root;
+    for k in keys {
+        let entry = cur
+            .entry(k.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("{k:?} is not a table")),
+            },
+            _ => return Err(format!("{k:?} is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Appends a fresh table to the array at `keys`, creating it on first
+/// sight. Returns the new element's index.
+fn push_array_table(root: &mut BTreeMap<String, Value>, keys: &[String]) -> Result<usize, String> {
+    let (last, parents) = keys.split_last().expect("checked non-empty");
+    let parent = ensure_table(root, parents)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(a) => {
+            a.push(Value::Table(BTreeMap::new()));
+            Ok(a.len() - 1)
+        }
+        _ => Err(format!("{last:?} is not an array of tables")),
+    }
+}
+
+fn navigate_mut<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[(String, Option<usize>)],
+) -> Result<&'a mut BTreeMap<String, Value>, String> {
+    let mut cur = root;
+    for (k, idx) in path {
+        let entry = cur
+            .get_mut(k)
+            .ok_or_else(|| format!("missing table {k:?}"))?;
+        cur = match (entry, idx) {
+            (Value::Table(t), None) => t,
+            (Value::Array(a), Some(i)) => match a.get_mut(*i) {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("{k:?}[{i}] is not a table")),
+            },
+            (Value::Array(a), None) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("{k:?} is not a table")),
+            },
+            _ => return Err(format!("{k:?} is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+/// Parses one value off the front of `s`; returns it and the rest.
+fn parse_value(s: &str) -> Result<(Value, &str), String> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((Value::Str(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    } else if let Some(mut rest) = s.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok((Value::Array(items), r));
+            }
+            let (v, r) = parse_value(rest)?;
+            items.push(v);
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r;
+            } else if !rest.starts_with(']') {
+                return Err(format!("expected ',' or ']' at {rest:?}"));
+            }
+        }
+    } else if let Some(mut rest) = s.strip_prefix('{') {
+        let mut table = BTreeMap::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Ok((Value::Table(table), r));
+            }
+            let eq = find_top_level_eq(rest).ok_or_else(|| format!("expected key = value at {rest:?}"))?;
+            let key = parse_key(&rest[..eq])?;
+            let (v, r) = parse_value(rest[eq + 1..].trim_start())?;
+            if table.insert(key.clone(), v).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            rest = r.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r;
+            } else if !rest.starts_with('}') {
+                return Err(format!("expected ',' or '}}' at {rest:?}"));
+            }
+        }
+    } else {
+        // Bare scalar: runs to the next delimiter.
+        let end = s.find([',', ']', '}']).unwrap_or(s.len());
+        let (tok, rest) = s.split_at(end);
+        let tok = tok.trim();
+        let v = if tok == "true" {
+            Value::Bool(true)
+        } else if tok == "false" {
+            Value::Bool(false)
+        } else if let Ok(i) = tok.replace('_', "").parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = tok.replace('_', "").parse::<f64>() {
+            Value::Float(f)
+        } else {
+            return Err(format!("unrecognized value {tok:?}"));
+        };
+        Ok((v, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# a scenario
+name = "demo"
+n = 1_000
+ratio = 0.75
+on = true
+
+[groups.victims]
+nodes = [1, 2, 3]
+
+[[phase]]
+name = "one"
+inline = { p = 0.8, extra_ms = 50 }
+
+[[phase]]
+name = "two"
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("n").unwrap().as_int(), Some(1000));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.75));
+        assert_eq!(v.get("on").unwrap().as_bool(), Some(true));
+        let victims = v.get("groups").unwrap().get("victims").unwrap();
+        assert_eq!(
+            victims.get("nodes").unwrap().as_array().unwrap().len(),
+            3
+        );
+        let phases = v.get("phase").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("one"));
+        assert_eq!(
+            phases[0].get("inline").unwrap().get("p").unwrap().as_f64(),
+            Some(0.8)
+        );
+        assert_eq!(phases[1].get("name").unwrap().as_str(), Some("two"));
+    }
+
+    #[test]
+    fn subtables_of_array_elements_attach_to_last_element() {
+        let doc = r#"
+[[phase]]
+name = "a"
+[phase.opts]
+x = 1
+[[phase]]
+name = "b"
+[phase.opts]
+x = 2
+"#;
+        let v = parse(doc).unwrap();
+        let phases = v.get("phase").unwrap().as_array().unwrap();
+        assert_eq!(phases[0].get("opts").unwrap().get("x").unwrap().as_int(), Some(1));
+        assert_eq!(phases[1].get("opts").unwrap().get("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments() {
+        let doc = "xs = [\n 1, # one\n 2,\n 3\n]\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not a line").is_err());
+        assert!(parse("x = ").is_err());
+        assert!(parse("x = \"unterminated").is_err());
+        assert!(parse("x = [1, 2").is_err());
+        assert!(parse("x = 1\nx = 2").is_err());
+        assert!(parse("x = {p}").is_err());
+    }
+
+    #[test]
+    fn strings_keep_hashes_and_escapes() {
+        let v = parse("s = \"a # not comment \\\"q\\\"\"\n").unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a # not comment \"q\""));
+    }
+}

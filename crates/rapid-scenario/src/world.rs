@@ -1,0 +1,588 @@
+//! Simulated multi-system deployments behind one interface.
+//!
+//! [`World`] hosts any of the compared membership systems — Rapid
+//! (decentralized), Rapid-C (logically centralized), Memberlist (SWIM),
+//! ZooKeeper-like, and Akka-like — on the identical simulated network, so
+//! cross-system scenarios share fault injection and measurement code.
+//! This lived in the `bench` crate until the scenario subsystem landed;
+//! `bench` now re-exports it from here.
+
+use central_config::world::{build_world as build_zk, ZkProc};
+use gossip_member::{AkkaConfig, AkkaNode};
+use rapid_core::id::Endpoint;
+use rapid_core::node::{Node, NodeStatus};
+use rapid_core::settings::Settings;
+use rapid_sim::cluster::{sim_member, RapidActor, RapidClusterBuilder};
+use rapid_sim::{Fault, Sample, Simulation};
+use swim_member::{SwimConfig, SwimNode};
+
+/// The membership systems compared in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Decentralized Rapid (§4).
+    Rapid,
+    /// Logically centralized Rapid (§5), 3-node ensemble.
+    RapidC,
+    /// Memberlist / SWIM.
+    Memberlist,
+    /// ZooKeeper-like central configuration service, 3-node ensemble.
+    ZooKeeper,
+    /// Akka-Cluster-like epidemic membership.
+    AkkaLike,
+}
+
+impl SystemKind {
+    /// Short label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Rapid => "rapid",
+            SystemKind::RapidC => "rapid-c",
+            SystemKind::Memberlist => "memberlist",
+            SystemKind::ZooKeeper => "zookeeper",
+            SystemKind::AkkaLike => "akka",
+        }
+    }
+
+    /// Parses a label back into a kind.
+    pub fn parse(s: &str) -> Option<SystemKind> {
+        Some(match s {
+            "rapid" => SystemKind::Rapid,
+            "rapid-c" => SystemKind::RapidC,
+            "memberlist" => SystemKind::Memberlist,
+            "zookeeper" => SystemKind::ZooKeeper,
+            "akka" => SystemKind::AkkaLike,
+            _ => return None,
+        })
+    }
+
+    /// The systems compared in the bootstrap experiments (Figs. 5–7).
+    pub fn bootstrap_set() -> [SystemKind; 4] {
+        [
+            SystemKind::ZooKeeper,
+            SystemKind::Memberlist,
+            SystemKind::RapidC,
+            SystemKind::Rapid,
+        ]
+    }
+}
+
+const ENSEMBLE: usize = 3;
+
+/// Aggregate traffic counters over all cluster processes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficTotals {
+    /// Total bytes received.
+    pub bytes_in: u64,
+    /// Total bytes sent.
+    pub bytes_out: u64,
+    /// Messages received.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+}
+
+impl std::ops::Sub for TrafficTotals {
+    type Output = TrafficTotals;
+    fn sub(self, rhs: TrafficTotals) -> TrafficTotals {
+        TrafficTotals {
+            bytes_in: self.bytes_in - rhs.bytes_in,
+            bytes_out: self.bytes_out - rhs.bytes_out,
+            msgs_in: self.msgs_in - rhs.msgs_in,
+            msgs_out: self.msgs_out - rhs.msgs_out,
+        }
+    }
+}
+
+/// Whether every live observation equals `target` — THE "converged"
+/// predicate, shared by [`World::all_report`], the real driver's poll
+/// loop, and the runner's `all_report` expectation so the definition
+/// cannot drift between backends.
+pub fn obs_all_report(obs: &[Option<f64>], target: usize) -> bool {
+    !obs.is_empty()
+        && obs
+            .iter()
+            .all(|o| matches!(o, Some(v) if (v - target as f64).abs() < 0.5))
+}
+
+/// A simulated deployment of one membership system with `n` cluster
+/// processes (plus a 3-node auxiliary ensemble for the centralized ones).
+pub enum World {
+    /// Decentralized Rapid.
+    Rapid(Simulation<RapidActor>),
+    /// Rapid-C (ensemble actors `0..3`).
+    RapidC(Simulation<RapidActor>),
+    /// SWIM.
+    Swim(Simulation<SwimNode>),
+    /// ZooKeeper-like (server actors `0..3`).
+    Zk(Simulation<ZkProc>),
+    /// Akka-like.
+    Akka(Simulation<AkkaNode>),
+}
+
+fn swim_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("node-{i}"), 7000)
+}
+
+fn akka_ep(i: usize) -> Endpoint {
+    Endpoint::new(format!("node-{i}"), 2552)
+}
+
+impl World {
+    /// Builds a bootstrap deployment: cluster process 0 (or the auxiliary
+    /// ensemble) starts at t=0; the remaining processes start joining at
+    /// t=10 s, as in the paper's bootstrap experiments.
+    pub fn bootstrap(kind: SystemKind, n: usize, seed: u64) -> World {
+        match kind {
+            SystemKind::Rapid => {
+                World::Rapid(RapidClusterBuilder::new(n).seed(seed).build_bootstrap())
+            }
+            SystemKind::RapidC => {
+                let (sim, _) = RapidClusterBuilder::new(n).seed(seed).build_centralized(ENSEMBLE);
+                World::RapidC(sim)
+            }
+            SystemKind::Memberlist => {
+                let mut sim = Simulation::new(seed, 100);
+                sim.add_actor(
+                    swim_ep(0),
+                    SwimNode::new(swim_ep(0), vec![], SwimConfig::default(), seed),
+                );
+                for i in 1..n {
+                    sim.add_actor_at(
+                        swim_ep(i),
+                        SwimNode::new(
+                            swim_ep(i),
+                            vec![swim_ep(0)],
+                            SwimConfig::default(),
+                            seed + i as u64,
+                        ),
+                        10_000,
+                    );
+                }
+                World::Swim(sim)
+            }
+            SystemKind::ZooKeeper => World::Zk(build_zk(ENSEMBLE, n, 6_000, 10_000, seed)),
+            SystemKind::AkkaLike => {
+                let mut sim = Simulation::new(seed, 100);
+                sim.add_actor(
+                    akka_ep(0),
+                    AkkaNode::new(akka_ep(0), vec![], AkkaConfig::default(), seed),
+                );
+                for i in 1..n {
+                    sim.add_actor_at(
+                        akka_ep(i),
+                        AkkaNode::new(
+                            akka_ep(i),
+                            vec![akka_ep(0)],
+                            AkkaConfig::default(),
+                            seed + i as u64,
+                        ),
+                        10_000,
+                    );
+                }
+                World::Akka(sim)
+            }
+        }
+    }
+
+    /// Builds a steady-state deployment: all `n` processes start as
+    /// members of one static configuration (the paper's failure
+    /// experiments start from here). Only decentralized Rapid supports
+    /// this shape today.
+    pub fn static_cluster(kind: SystemKind, n: usize, seed: u64) -> Result<World, String> {
+        match kind {
+            SystemKind::Rapid => {
+                Ok(World::Rapid(RapidClusterBuilder::new(n).seed(seed).build_static()))
+            }
+            other => Err(format!(
+                "static topology is not implemented for {}",
+                other.label()
+            )),
+        }
+    }
+
+    /// Index offset of cluster process 0 in actor space (the auxiliary
+    /// ensembles occupy the first indices in centralized systems).
+    pub fn cluster_offset(&self) -> usize {
+        match self {
+            World::Rapid(_) | World::Swim(_) | World::Akka(_) => 0,
+            World::RapidC(_) | World::Zk(_) => ENSEMBLE,
+        }
+    }
+
+    /// Number of actors (including auxiliary ensembles).
+    pub fn actors(&self) -> usize {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => s.len(),
+            World::Swim(s) => s.len(),
+            World::Zk(s) => s.len(),
+            World::Akka(s) => s.len(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => s.now(),
+            World::Swim(s) => s.now(),
+            World::Zk(s) => s.now(),
+            World::Akka(s) => s.now(),
+        }
+    }
+
+    /// Runs until virtual time `until_ms`.
+    pub fn run_until(&mut self, until_ms: u64) {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => s.run_until(until_ms),
+            World::Swim(s) => s.run_until(until_ms),
+            World::Zk(s) => s.run_until(until_ms),
+            World::Akka(s) => s.run_until(until_ms),
+        }
+    }
+
+    /// Schedules a fault on a *cluster process index* (auxiliary ensembles
+    /// are shielded, as in the paper, which injects faults only on cluster
+    /// processes).
+    pub fn schedule_cluster_fault(&mut self, at: u64, fault: Fault) {
+        let off = self.cluster_offset();
+        let shifted = match fault {
+            Fault::Crash(i) => Fault::Crash(i + off),
+            Fault::IngressDrop(i, p) => Fault::IngressDrop(i + off, p),
+            Fault::EgressDrop(i, p) => Fault::EgressDrop(i + off, p),
+            Fault::BlackholePair(a, b) => Fault::BlackholePair(a + off, b + off),
+            Fault::ClearBlackholePair(a, b) => Fault::ClearBlackholePair(a + off, b + off),
+            Fault::Partition(g) => Fault::Partition(g.into_iter().map(|i| i + off).collect()),
+            Fault::LinkLoss(a, b, p) => Fault::LinkLoss(a + off, b + off, p),
+            Fault::SlowNode(i, f) => Fault::SlowNode(i + off, f),
+            Fault::Duplicate(p) => Fault::Duplicate(p),
+            Fault::Reorder(p, extra) => Fault::Reorder(p, extra),
+            Fault::Latency(d) => Fault::Latency(d),
+        };
+        match self {
+            World::Rapid(s) | World::RapidC(s) => s.schedule_fault(at, shifted),
+            World::Swim(s) => s.schedule_fault(at, shifted),
+            World::Zk(s) => s.schedule_fault(at, shifted),
+            World::Akka(s) => s.schedule_fault(at, shifted),
+        }
+    }
+
+    /// The current cluster-size observation of each live cluster process
+    /// (`None` while a process has no view).
+    pub fn observations(&self) -> Vec<Option<f64>> {
+        fn collect<A: rapid_sim::Actor>(s: &Simulation<A>, off: usize) -> Vec<Option<f64>> {
+            (off..s.len())
+                .filter(|&i| !s.net.is_crashed(i))
+                .map(|i| s.actor(i).sample())
+                .collect()
+        }
+        let off = self.cluster_offset();
+        match self {
+            World::Rapid(s) | World::RapidC(s) => collect(s, off),
+            World::Swim(s) => collect(s, off),
+            World::Zk(s) => collect(s, off),
+            World::Akka(s) => collect(s, off),
+        }
+    }
+
+    /// Whether every live cluster process currently reports exactly
+    /// `target` members.
+    pub fn all_report(&self, target: usize) -> bool {
+        obs_all_report(&self.observations(), target)
+    }
+
+    /// Runs until every live cluster process reports `target`, checking
+    /// once per virtual second. Returns the convergence time.
+    pub fn converge(&mut self, target: usize, max_ms: u64) -> Option<u64> {
+        let deadline = self.now() + max_ms;
+        while self.now() < deadline {
+            let next = (self.now() + 1_000).min(deadline);
+            self.run_until(next);
+            if self.all_report(target) {
+                return Some(self.now());
+            }
+        }
+        None
+    }
+
+    /// All per-second cluster-size samples collected so far (actor indices
+    /// are raw; subtract [`World::cluster_offset`] for process numbering).
+    pub fn samples(&self) -> &[Sample] {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => s.samples(),
+            World::Swim(s) => s.samples(),
+            World::Zk(s) => s.samples(),
+            World::Akka(s) => s.samples(),
+        }
+    }
+
+    /// Per-second `(bytes_in, bytes_out)` rates of every cluster process,
+    /// skipping each process' first `skip_secs` seconds (e.g. to exclude
+    /// bootstrap traffic from a steady-state measurement).
+    pub fn per_second_rates(&self, skip_secs: usize) -> Vec<(u64, u64)> {
+        fn collect<A: rapid_sim::Actor>(
+            s: &Simulation<A>,
+            off: usize,
+            skip: usize,
+        ) -> Vec<(u64, u64)> {
+            let mut v = Vec::new();
+            for i in off..s.len() {
+                v.extend(s.traffic(i).per_second.iter().skip(skip).copied());
+            }
+            v
+        }
+        let off = self.cluster_offset();
+        match self {
+            World::Rapid(s) | World::RapidC(s) => collect(s, off, skip_secs),
+            World::Swim(s) => collect(s, off, skip_secs),
+            World::Zk(s) => collect(s, off, skip_secs),
+            World::Akka(s) => collect(s, off, skip_secs),
+        }
+    }
+
+    /// Per-process convergence times: the first instant each cluster
+    /// process reported `target` (relative to experiment start).
+    pub fn per_process_convergence(&self, target: usize) -> Vec<f64> {
+        let off = self.cluster_offset();
+        let mut first: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for s in self.samples() {
+            if s.actor >= off && (s.value - target as f64).abs() < 0.5 {
+                first.entry(s.actor).or_insert(s.t_ms);
+            }
+        }
+        first.values().map(|&t| t as f64 / 1_000.0).collect()
+    }
+
+    /// Distinct cluster sizes reported across all samples (Table 1).
+    pub fn unique_sizes(&self) -> usize {
+        rapid_sim::series::unique_values(self.samples())
+    }
+
+    /// Aggregate traffic counters over all cluster processes (phase
+    /// deltas come from subtracting two snapshots).
+    pub fn traffic_totals(&self) -> TrafficTotals {
+        fn collect<A: rapid_sim::Actor>(s: &Simulation<A>, off: usize) -> TrafficTotals {
+            let mut t = TrafficTotals::default();
+            for i in off..s.len() {
+                let tr = s.traffic(i);
+                t.bytes_in += tr.bytes_in;
+                t.bytes_out += tr.bytes_out;
+                t.msgs_in += tr.msgs_in;
+                t.msgs_out += tr.msgs_out;
+            }
+            t
+        }
+        let off = self.cluster_offset();
+        match self {
+            World::Rapid(s) | World::RapidC(s) => collect(s, off),
+            World::Swim(s) => collect(s, off),
+            World::Zk(s) => collect(s, off),
+            World::Akka(s) => collect(s, off),
+        }
+    }
+
+    /// The maximum number of view changes any live Rapid node has
+    /// installed (`None` for systems without strongly consistent views).
+    pub fn view_changes(&self) -> Option<u64> {
+        match self {
+            World::Rapid(s) => {
+                let mut max = 0;
+                for i in 0..s.len() {
+                    if s.net.is_crashed(i) {
+                        continue;
+                    }
+                    if let Some(n) = s.actor(i).as_node() {
+                        max = max.max(n.metrics().view_changes);
+                    }
+                }
+                Some(max)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether every active Rapid node installed the same view-change
+    /// sequence, prefix-wise (`None` for systems without view histories).
+    pub fn consistent_histories(&self) -> Option<bool> {
+        match self {
+            World::Rapid(s) => {
+                let mut histories = Vec::new();
+                for i in 0..s.len() {
+                    if s.net.is_crashed(i) {
+                        continue;
+                    }
+                    if let Some(node) = s.actor(i).as_node() {
+                        if node.status() == NodeStatus::Active {
+                            histories.push(node.view_history().to_vec());
+                        }
+                    }
+                }
+                // Strong consistency means every node's history is a
+                // contiguous window of one global configuration chain: a
+                // laggard's window ends early, a late joiner's starts
+                // late. Check every history against the longest one.
+                let reference = histories
+                    .iter()
+                    .max_by_key(|h| h.len())
+                    .cloned()
+                    .unwrap_or_default();
+                Some(histories.iter().all(|h| {
+                    h.len() <= reference.len()
+                        && (h.is_empty()
+                            || reference.windows(h.len()).any(|w| w == &h[..]))
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Voluntary departure of cluster process `idx` (decentralized Rapid
+    /// only).
+    pub fn leave(&mut self, idx: usize) -> Result<(), String> {
+        match self {
+            World::Rapid(s) => {
+                let now = s.now();
+                s.with_actor(idx, |a, out| a.leave(now, out));
+                // The departed process terminates: its announcements are
+                // already in flight, and a terminated process must not
+                // keep ticking or block convergence checks.
+                s.net.crash(idx);
+                Ok(())
+            }
+            other => Err(format!(
+                "leave workload is not implemented for {}",
+                other.kind_label()
+            )),
+        }
+    }
+
+    /// Starts `count` fresh processes that join through cluster process 0
+    /// (decentralized Rapid only).
+    pub fn join(&mut self, count: usize) -> Result<(), String> {
+        match self {
+            World::Rapid(s) => {
+                let seed_addr = sim_member(0).addr;
+                let base = s.len();
+                for k in 0..count {
+                    let m = sim_member(base + k);
+                    let node = Node::new_joiner(
+                        m.clone(),
+                        Settings::default(),
+                        vec![seed_addr],
+                    );
+                    s.add_actor(m.addr, RapidActor::node(node));
+                }
+                Ok(())
+            }
+            other => Err(format!(
+                "join workload is not implemented for {}",
+                other.kind_label()
+            )),
+        }
+    }
+
+    /// The system kind hosted by this world.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            World::Rapid(_) => "rapid",
+            World::RapidC(_) => "rapid-c",
+            World::Swim(_) => "memberlist",
+            World::Zk(_) => "zookeeper",
+            World::Akka(_) => "akka",
+        }
+    }
+}
+
+/// Aggregates a sample timeseries into per-second rows of
+/// `(t_s, min, median, max, distinct)` over cluster processes.
+pub fn aggregate_timeseries(samples: &[Sample], offset: usize) -> Vec<(u64, f64, f64, f64, usize)> {
+    use std::collections::BTreeMap;
+    let mut by_t: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for s in samples {
+        if s.actor >= offset {
+            by_t.entry(s.t_ms / 1_000).or_default().push(s.value);
+        }
+    }
+    by_t.into_iter()
+        .map(|(t, mut vs)| {
+            vs.sort_by(|a, b| a.total_cmp(b));
+            let distinct = {
+                let mut d = vs.iter().map(|v| v.round() as i64).collect::<Vec<_>>();
+                d.dedup();
+                d.len()
+            };
+            (t, vs[0], vs[vs.len() / 2], vs[vs.len() - 1], distinct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_bootstrap_small() {
+        for kind in [
+            SystemKind::Rapid,
+            SystemKind::Memberlist,
+            SystemKind::AkkaLike,
+        ] {
+            let mut w = World::bootstrap(kind, 15, 3);
+            let t = w.converge(15, 180_000);
+            assert!(t.is_some(), "{} must converge", kind.label());
+            let tt = w.traffic_totals();
+            assert!(tt.msgs_out > 0 && tt.bytes_out > 0);
+        }
+    }
+
+    #[test]
+    fn centralized_worlds_bootstrap_small() {
+        for kind in [SystemKind::ZooKeeper, SystemKind::RapidC] {
+            let mut w = World::bootstrap(kind, 10, 4);
+            let t = w.converge(10, 240_000);
+            assert!(t.is_some(), "{} must converge", kind.label());
+            assert_eq!(w.cluster_offset(), 3);
+        }
+    }
+
+    #[test]
+    fn cluster_fault_indices_are_offset() {
+        let mut w = World::bootstrap(SystemKind::ZooKeeper, 8, 5);
+        w.converge(8, 240_000).expect("bootstrap");
+        // Crash cluster process 0 (actor 3).
+        w.schedule_cluster_fault(w.now() + 100, Fault::Crash(0));
+        let t = w.converge(7, 120_000);
+        assert!(t.is_some(), "crashed client must be expired");
+    }
+
+    #[test]
+    fn static_rapid_world_and_consistency_probe() {
+        let mut w = World::static_cluster(SystemKind::Rapid, 20, 6).unwrap();
+        w.run_until(5_000);
+        assert!(w.all_report(20));
+        assert_eq!(w.view_changes(), Some(0));
+        assert_eq!(w.consistent_histories(), Some(true));
+        assert!(World::static_cluster(SystemKind::Memberlist, 20, 6).is_err());
+    }
+
+    #[test]
+    fn leave_and_join_workloads_on_rapid() {
+        let mut w = World::static_cluster(SystemKind::Rapid, 12, 7).unwrap();
+        w.run_until(5_000);
+        w.leave(5).unwrap();
+        assert!(w.converge(11, 120_000).is_some(), "leaver must be removed");
+        w.join(2).unwrap();
+        assert!(w.converge(13, 240_000).is_some(), "joiners must be admitted");
+        assert_eq!(w.consistent_histories(), Some(true));
+    }
+
+    #[test]
+    fn aggregate_timeseries_shapes() {
+        let samples = vec![
+            Sample { t_ms: 1_000, actor: 0, value: 3.0 },
+            Sample { t_ms: 1_200, actor: 1, value: 5.0 },
+            Sample { t_ms: 2_000, actor: 0, value: 5.0 },
+        ];
+        let rows = aggregate_timeseries(&samples, 0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (1, 3.0, 5.0, 5.0, 2));
+    }
+}

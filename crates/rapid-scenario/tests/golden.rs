@@ -1,0 +1,104 @@
+//! Determinism and cross-driver pins for the shipped scenario files.
+
+use rapid_scenario::{runner, RealDriver, Scenario, SimDriver, SystemKind};
+
+fn shipped(stem: &str) -> Scenario {
+    let path = format!(
+        "{}/../../scenarios/{stem}.toml",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("shipped scenario readable");
+    Scenario::from_toml(&text).expect("shipped scenario valid")
+}
+
+/// Every shipped scenario file must parse, resolve its groups, and carry
+/// at least one expectation or fixed run window per phase.
+#[test]
+fn all_shipped_scenarios_are_well_formed() {
+    for stem in [
+        "smoke_crash",
+        "fig08_crashes",
+        "fig09_flipflop",
+        "fig10_packet_loss",
+        "chaos_partition",
+    ] {
+        let s = shipped(stem);
+        for (name, g) in &s.groups {
+            let idxs = g.resolve(s.n);
+            assert!(!idxs.is_empty(), "{stem}: group {name} resolves empty");
+            assert!(
+                idxs.iter().all(|&i| i < s.n),
+                "{stem}: group {name} out of range"
+            );
+        }
+        for p in &s.phases {
+            assert!(
+                p.run_ms.is_some() || !p.expects.is_empty(),
+                "{stem}: phase {} neither runs nor expects",
+                p.name
+            );
+        }
+    }
+}
+
+/// The golden determinism pin: a shipped TOML scenario produces an
+/// *identical* Report JSON across two runs of the same seed on the sim
+/// driver.
+#[test]
+fn shipped_scenario_report_json_is_identical_across_runs() {
+    let scenario = shipped("smoke_crash");
+    let run_once = || {
+        let mut driver = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+        runner::run(&scenario, &mut driver)
+            .expect("run")
+            .to_json_string()
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "same seed must give byte-identical reports");
+    assert!(first.contains("\"passed\":true"), "smoke must pass: {first}");
+}
+
+/// A different seed must change the trace-derived fields (convergence
+/// instants), i.e. the report is genuinely seed-dependent, not constant.
+#[test]
+fn different_seed_changes_the_report() {
+    let scenario = shipped("smoke_crash");
+    let mut reseeded = scenario.clone();
+    reseeded.seed = scenario.seed + 1;
+    let json = |s: &Scenario| {
+        let mut driver = SimDriver::new(SystemKind::Rapid, s).expect("sim driver");
+        runner::run(s, &mut driver).expect("run").to_json_string()
+    };
+    assert_ne!(json(&scenario), json(&reseeded));
+}
+
+/// The cross-driver contract: the same smoke scenario file runs
+/// unmodified on the simulator and on a real TCP cluster, and passes on
+/// both.
+#[test]
+fn smoke_scenario_passes_on_both_drivers() {
+    let scenario = shipped("smoke_crash");
+
+    let mut sim = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+    let sim_report = runner::run(&scenario, &mut sim).expect("sim run");
+    assert!(
+        sim_report.passed,
+        "sim failures: {:?}",
+        sim_report.failures()
+    );
+    assert_eq!(sim_report.driver, "sim:rapid");
+
+    let mut real = RealDriver::new(&scenario).expect("real driver");
+    let real_report = runner::run(&scenario, &mut real).expect("real run");
+    assert!(
+        real_report.passed,
+        "real failures: {:?}",
+        real_report.failures()
+    );
+    assert_eq!(real_report.driver, "real:rapid");
+    assert!(
+        real_report.phases[1].converged_at_ms.is_some(),
+        "crash must be detected over real TCP"
+    );
+}

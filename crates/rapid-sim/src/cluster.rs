@@ -115,6 +115,20 @@ impl RapidActor {
             Inner::Ensemble(e) => e.handle(event, &mut actions),
             Inner::Agent(a) => a.handle(event, &mut actions),
         }
+        self.apply_actions(actions, now, out);
+    }
+
+    /// Announces a voluntary departure (scenario `leave` workloads). Only
+    /// meaningful for decentralized nodes; other roles ignore it.
+    pub fn leave(&mut self, now: u64, out: &mut Outbox<Message>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        if let Inner::Node(n) = &mut self.inner {
+            n.leave(&mut actions);
+        }
+        self.apply_actions(actions, now, out);
+    }
+
+    fn apply_actions(&mut self, mut actions: Vec<Action>, now: u64, out: &mut Outbox<Message>) {
         for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => out.send(to, msg),
@@ -163,6 +177,17 @@ impl Actor for RapidActor {
             | (Message::ProbeAck { .. }, Message::ProbeAck { .. })
             | (Message::Leave { .. }, Message::Leave { .. })
             | (Message::ConfigPull { .. }, Message::ConfigPull { .. }) => true,
+            (
+                Message::Vote { state: xs, body: xb, .. },
+                Message::Vote { state: ys, body: yb, .. },
+            ) => {
+                Arc::ptr_eq(xs, ys)
+                    && match (xb, yb) {
+                        (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+                        (None, None) => true,
+                        _ => false,
+                    }
+            }
             (Message::Phase2a { value: x, .. }, Message::Phase2a { value: y, .. })
             | (Message::Decision { proposal: x, .. }, Message::Decision { proposal: y, .. })
             | (

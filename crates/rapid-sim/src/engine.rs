@@ -81,6 +81,19 @@ pub enum Fault {
     ClearBlackholePair(usize, usize),
     /// Partition `group` from the rest of the cluster.
     Partition(Vec<usize>),
+    /// Set the one-way loss probability of the `src -> dst` link
+    /// (`0.0` clears it).
+    LinkLoss(usize, usize, f64),
+    /// Multiply the latency of every link touching an actor
+    /// (`<= 1.0` clears it).
+    SlowNode(usize, f64),
+    /// Set the global packet-duplication probability.
+    Duplicate(f64),
+    /// With probability `.0`, hold a delivered packet back an extra
+    /// `U[0, .1)` ms so later sends overtake it (reordering).
+    Reorder(f64, u64),
+    /// Replace the latency model for every link.
+    Latency(crate::net::LatencyDist),
 }
 
 /// Per-actor traffic counters.
@@ -326,6 +339,20 @@ impl<A: Actor> Simulation<A> {
                 continue; // Unknown destination: dropped.
             };
             if let Some(latency) = self.net.route(src, dst) {
+                // A duplicated packet is a *network* artifact: the sender
+                // paid for one transmission (bytes_out above), the
+                // receiver sees two deliveries.
+                if let Some(dup_latency) = self.net.maybe_duplicate(src, dst) {
+                    self.push(
+                        self.now + delay + dup_latency,
+                        Entry::Deliver {
+                            dst: dst as u32,
+                            src: src as u32,
+                            size: size as u32,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
                 let at = self.now + delay + latency;
                 self.push(
                     at,
@@ -356,6 +383,11 @@ impl<A: Actor> Simulation<A> {
                 let n = self.slots.len();
                 self.net.partition(&group, n);
             }
+            Fault::LinkLoss(src, dst, p) => self.net.set_link_loss(src, dst, p),
+            Fault::SlowNode(i, f) => self.net.set_slow_node(i, f),
+            Fault::Duplicate(p) => self.net.set_duplication(p),
+            Fault::Reorder(p, extra) => self.net.set_reordering(p, extra),
+            Fault::Latency(dist) => self.net.set_latency(dist),
         }
     }
 
@@ -589,6 +621,43 @@ mod tests {
         let got = sim.actor(0).pings_got as f64;
         assert!(got < 0.35 * 500.0, "80% drop must thin traffic, got {got}");
         assert!(got > 0.05 * 500.0, "some packets survive");
+    }
+
+    #[test]
+    fn duplication_inflates_deliveries_not_sends() {
+        let mut plain = two_counters(10);
+        plain.run_until(20_000);
+        let mut dup = two_counters(10);
+        dup.schedule_fault(0, Fault::Duplicate(0.5));
+        dup.run_until(20_000);
+        assert_eq!(
+            dup.traffic(0).msgs_out,
+            plain.traffic(0).msgs_out,
+            "senders transmit once either way"
+        );
+        let (got, base) = (dup.traffic(0).msgs_in, plain.traffic(0).msgs_in);
+        assert!(
+            got as f64 > base as f64 * 1.3 && (got as f64) < base as f64 * 1.7,
+            "~50% duplicates expected: {got} vs {base}"
+        );
+    }
+
+    #[test]
+    fn scheduled_latency_swap_changes_delivery_profile() {
+        let mut sim = two_counters(11);
+        sim.schedule_fault(
+            0,
+            Fault::Latency(crate::net::LatencyDist::Pareto {
+                base_ms: 10.0,
+                scale_ms: 5.0,
+                alpha: 1.2,
+            }),
+        );
+        sim.run_until(10_000);
+        // 10ms floor on every link: strictly fewer deliveries than the
+        // sub-2ms LAN default would produce, but traffic still flows.
+        assert!(sim.actor(0).pings_got > 0);
+        assert!(sim.traffic(0).msgs_in >= 50);
     }
 
     #[test]

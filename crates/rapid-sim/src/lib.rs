@@ -31,5 +31,5 @@ pub mod series;
 
 pub use cluster::{RapidActor, RapidClusterBuilder};
 pub use engine::{Actor, Fault, Outbox, Simulation};
-pub use net::NetworkModel;
+pub use net::{LatencyDist, NetworkModel};
 pub use series::{ecdf, percentile, Sample};

@@ -11,6 +11,57 @@ use rapid_core::hash::{DetHashMap, DetHashSet};
 
 use rapid_core::rng::Xoshiro256;
 
+/// A one-way link latency distribution.
+///
+/// The default model is uniform jitter (a LAN); the heavier-tailed
+/// distributions model congested or cross-datacenter links, where the
+/// occasional multi-hundred-millisecond straggler both delays and
+/// *reorders* messages relative to later sends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyDist {
+    /// `base + U[0, jitter)`.
+    Uniform {
+        /// Minimum one-way latency in milliseconds.
+        base_ms: f64,
+        /// Width of the uniform jitter band.
+        jitter_ms: f64,
+    },
+    /// `base + Exp(mean)`: light tail, memoryless stragglers.
+    Exponential {
+        /// Minimum one-way latency in milliseconds.
+        base_ms: f64,
+        /// Mean of the exponential tail.
+        mean_ms: f64,
+    },
+    /// `base + (Pareto(scale, alpha) − scale)`: heavy tail. `alpha`
+    /// close to 1 produces dramatic stragglers; larger `alpha` tames it.
+    Pareto {
+        /// Minimum one-way latency in milliseconds.
+        base_ms: f64,
+        /// Pareto scale (the tail's onset).
+        scale_ms: f64,
+        /// Pareto shape; must be `> 0` (`> 1` for a finite mean).
+        alpha: f64,
+    },
+}
+
+impl LatencyDist {
+    fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        match *self {
+            LatencyDist::Uniform { base_ms, jitter_ms } => base_ms + rng.gen_f64() * jitter_ms,
+            LatencyDist::Exponential { base_ms, mean_ms } => {
+                // Inverse transform; 1-U keeps the argument in (0, 1].
+                base_ms - mean_ms * (1.0 - rng.gen_f64()).ln()
+            }
+            LatencyDist::Pareto {
+                base_ms,
+                scale_ms,
+                alpha,
+            } => base_ms + scale_ms * ((1.0 - rng.gen_f64()).powf(-1.0 / alpha) - 1.0),
+        }
+    }
+}
+
 /// Network latency and fault state, addressed by actor index.
 pub struct NetworkModel {
     rng: Xoshiro256,
@@ -18,8 +69,23 @@ pub struct NetworkModel {
     pub base_latency_ms: f64,
     /// Uniform jitter added on top of the base latency.
     pub jitter_ms: f64,
+    /// Latency distribution override. `None` keeps the classic
+    /// `base_latency_ms + U[0, jitter_ms)` draw (and its exact RNG
+    /// stream, which pinned traces depend on).
+    latency: Option<LatencyDist>,
     ingress_drop: DetHashMap<usize, f64>,
     egress_drop: DetHashMap<usize, f64>,
+    /// Per-link one-way loss probability `(src, dst) -> p`.
+    link_loss: DetHashMap<(usize, usize), f64>,
+    /// Per-node latency multipliers (a "slow node" degrades every link
+    /// it touches, in both directions).
+    slow: DetHashMap<usize, f64>,
+    /// Probability that a delivered packet is duplicated once.
+    dup_prob: f64,
+    /// Probability that a delivered packet is held back an extra
+    /// `reorder_extra_ms`, letting later sends overtake it.
+    reorder_prob: f64,
+    reorder_extra_ms: u64,
     /// Directional blackholes `(src, dst)`: all packets vanish.
     blackholes: DetHashSet<(usize, usize)>,
     crashed: DetHashSet<usize>,
@@ -32,11 +98,56 @@ impl NetworkModel {
             rng: Xoshiro256::seed_from_u64(seed ^ 0x4E45_5457),
             base_latency_ms: 0.5,
             jitter_ms: 1.0,
+            latency: None,
             ingress_drop: DetHashMap::default(),
             egress_drop: DetHashMap::default(),
+            link_loss: DetHashMap::default(),
+            slow: DetHashMap::default(),
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra_ms: 0,
             blackholes: DetHashSet::default(),
             crashed: DetHashSet::default(),
         }
+    }
+
+    /// Installs a latency distribution, replacing the classic uniform
+    /// draw. Every link (healthy or degraded) samples from it.
+    pub fn set_latency(&mut self, dist: LatencyDist) {
+        self.latency = Some(dist);
+    }
+
+    /// Sets the one-way loss probability of a single link (`iptables`
+    /// on one address pair). `0.0` clears the fault.
+    pub fn set_link_loss(&mut self, src: usize, dst: usize, p: f64) {
+        if p <= 0.0 {
+            self.link_loss.remove(&(src, dst));
+        } else {
+            self.link_loss.insert((src, dst), p.min(1.0));
+        }
+    }
+
+    /// Multiplies the latency of every link touching `node` by `factor`
+    /// (a CPU-starved or GC-pausing process). `factor <= 1.0` clears it.
+    pub fn set_slow_node(&mut self, node: usize, factor: f64) {
+        if factor <= 1.0 {
+            self.slow.remove(&node);
+        } else {
+            self.slow.insert(node, factor);
+        }
+    }
+
+    /// Sets the probability that a delivered packet is duplicated once
+    /// (retransmit storms, misbehaving middleboxes).
+    pub fn set_duplication(&mut self, p: f64) {
+        self.dup_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// With probability `p`, holds a delivered packet back an extra
+    /// `U[0, extra_ms)` so later traffic overtakes it.
+    pub fn set_reordering(&mut self, p: f64, extra_ms: u64) {
+        self.reorder_prob = p.clamp(0.0, 1.0);
+        self.reorder_extra_ms = extra_ms;
     }
 
     /// Sets the fraction of packets dropped on a node's receive path
@@ -101,12 +212,25 @@ impl NetworkModel {
 
     /// Routes one packet. Returns the one-way latency if it survives, or
     /// `None` if any fault drops it.
+    ///
+    /// RNG discipline: a fault that is not configured draws nothing, so
+    /// runs that never touch the extended vocabulary (per-link loss,
+    /// non-uniform latency, slow nodes, reordering, duplication) consume
+    /// the exact RNG stream of the classic model — pinned traces and
+    /// published figures stay bit-identical.
     pub fn route(&mut self, src: usize, dst: usize) -> Option<u64> {
         if self.crashed.contains(&src) || self.crashed.contains(&dst) {
             return None;
         }
         if self.blackholes.contains(&(src, dst)) {
             return None;
+        }
+        if !self.link_loss.is_empty() {
+            if let Some(&p) = self.link_loss.get(&(src, dst)) {
+                if self.rng.gen_bool(p) {
+                    return None;
+                }
+            }
         }
         if let Some(&p) = self.egress_drop.get(&src) {
             if self.rng.gen_bool(p) {
@@ -118,8 +242,37 @@ impl NetworkModel {
                 return None;
             }
         }
-        let latency = self.base_latency_ms + self.rng.gen_f64() * self.jitter_ms;
-        Some(latency.max(0.0).round() as u64)
+        Some(self.sample_latency(src, dst))
+    }
+
+    /// Draws one delivery latency for the `src -> dst` link.
+    fn sample_latency(&mut self, src: usize, dst: usize) -> u64 {
+        let mut latency = match self.latency {
+            None => self.base_latency_ms + self.rng.gen_f64() * self.jitter_ms,
+            Some(d) => d.sample(&mut self.rng),
+        };
+        if !self.slow.is_empty() {
+            if let Some(&f) = self.slow.get(&src) {
+                latency *= f;
+            }
+            if let Some(&f) = self.slow.get(&dst) {
+                latency *= f;
+            }
+        }
+        if self.reorder_prob > 0.0 && self.rng.gen_bool(self.reorder_prob) {
+            latency += self.rng.gen_range(self.reorder_extra_ms.max(1)) as f64;
+        }
+        latency.max(0.0).round() as u64
+    }
+
+    /// After a successful [`route`](Self::route), decides whether the
+    /// packet is also duplicated; returns the duplicate's (independent)
+    /// latency. Draws nothing while duplication is unconfigured.
+    pub fn maybe_duplicate(&mut self, src: usize, dst: usize) -> Option<u64> {
+        if self.dup_prob <= 0.0 || !self.rng.gen_bool(self.dup_prob) {
+            return None;
+        }
+        Some(self.sample_latency(src, dst))
     }
 }
 
@@ -203,6 +356,90 @@ mod tests {
         assert!(net.route(3, 4).is_some());
         assert!(net.route(0, 2).is_none());
         assert!(net.route(2, 1).is_none());
+    }
+
+    #[test]
+    fn link_loss_hits_one_direction_of_one_pair() {
+        let mut net = NetworkModel::lan(21);
+        net.set_link_loss(2, 3, 1.0);
+        for _ in 0..100 {
+            assert!(net.route(2, 3).is_none(), "lossy link drops");
+            assert!(net.route(3, 2).is_some(), "reverse direction flows");
+            assert!(net.route(2, 4).is_some(), "other links untouched");
+        }
+        net.set_link_loss(2, 3, 0.0);
+        assert!(net.route(2, 3).is_some(), "cleared");
+    }
+
+    #[test]
+    fn exponential_and_pareto_tails_exceed_base() {
+        for dist in [
+            LatencyDist::Exponential { base_ms: 2.0, mean_ms: 5.0 },
+            LatencyDist::Pareto { base_ms: 2.0, scale_ms: 1.0, alpha: 1.5 },
+        ] {
+            let mut net = NetworkModel::lan(22);
+            net.set_latency(dist);
+            let lats: Vec<u64> = (0..5_000).map(|_| net.route(0, 1).unwrap()).collect();
+            assert!(lats.iter().all(|&l| l >= 2), "below base for {dist:?}");
+            let max = *lats.iter().max().unwrap();
+            assert!(max > 10, "no tail for {dist:?}: max {max}");
+            let mean = lats.iter().sum::<u64>() as f64 / lats.len() as f64;
+            assert!(mean < 60.0, "implausible mean {mean} for {dist:?}");
+        }
+    }
+
+    #[test]
+    fn slow_node_multiplies_latency_in_both_directions() {
+        let mut net = NetworkModel::lan(23);
+        net.set_slow_node(5, 100.0);
+        for _ in 0..100 {
+            assert!(net.route(0, 5).unwrap() >= 50, "to the slow node");
+            assert!(net.route(5, 0).unwrap() >= 50, "from the slow node");
+            assert!(net.route(0, 1).unwrap() <= 2, "others unaffected");
+        }
+        net.set_slow_node(5, 1.0);
+        assert!(net.route(0, 5).unwrap() <= 2, "cleared");
+    }
+
+    #[test]
+    fn duplication_is_statistical_and_off_by_default() {
+        let mut net = NetworkModel::lan(24);
+        assert!(net.maybe_duplicate(0, 1).is_none());
+        net.set_duplication(0.5);
+        let dups = (0..10_000).filter(|_| net.maybe_duplicate(0, 1).is_some()).count();
+        assert!((4_500..5_500).contains(&dups), "~50% of 10k, got {dups}");
+    }
+
+    #[test]
+    fn reordering_adds_bounded_extra_delay() {
+        let mut net = NetworkModel::lan(25);
+        net.set_reordering(1.0, 50);
+        let lats: Vec<u64> = (0..1_000).map(|_| net.route(0, 1).unwrap()).collect();
+        assert!(lats.iter().any(|&l| l > 10), "extra delay must appear");
+        assert!(lats.iter().all(|&l| l <= 52), "bounded by extra_ms");
+    }
+
+    #[test]
+    fn unused_extended_faults_leave_the_rng_stream_untouched() {
+        // Configuring-and-clearing the new vocabulary must reproduce the
+        // classic trace exactly: unconfigured faults draw nothing.
+        let classic = {
+            let mut net = NetworkModel::lan(26);
+            (0..200).map(|i| net.route(i % 4, (i + 1) % 4)).collect::<Vec<_>>()
+        };
+        let toured = {
+            let mut net = NetworkModel::lan(26);
+            net.set_link_loss(0, 1, 0.7);
+            net.set_link_loss(0, 1, 0.0);
+            net.set_slow_node(2, 9.0);
+            net.set_slow_node(2, 0.5);
+            net.set_duplication(0.9);
+            net.set_duplication(0.0);
+            net.set_reordering(0.9, 10);
+            net.set_reordering(0.0, 0);
+            (0..200).map(|i| net.route(i % 4, (i + 1) % 4)).collect::<Vec<_>>()
+        };
+        assert_eq!(classic, toured);
     }
 
     #[test]

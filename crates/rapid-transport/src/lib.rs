@@ -92,6 +92,12 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Message)> {
         ));
     }
     let host_len = u16::from_le_bytes([frame[0], frame[1]]) as usize;
+    if host_len > wire::MAX_WIRE_HOST_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "sender host name exceeds cap",
+        ));
+    }
     if frame.len() < 2 + host_len + 2 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,

@@ -1,6 +1,8 @@
 //! The SWIM protocol state machine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use rapid_core::hash::DetHashMap;
 use std::sync::Arc;
 
 use rapid_core::id::Endpoint;
@@ -69,11 +71,11 @@ pub struct SwimNode {
     cfg: SwimConfig,
     me: Endpoint,
     incarnation: u64,
-    members: HashMap<Endpoint, MemberInfo>,
+    members: DetHashMap<Endpoint, MemberInfo>,
     probe_order: Vec<Endpoint>,
     probe_idx: usize,
     probe: Option<ProbeState>,
-    relayed: HashMap<u64, Endpoint>,
+    relayed: DetHashMap<u64, Endpoint>,
     piggyback: VecDeque<(Update, u32)>,
     live_count: usize,
     suspect_count: usize,
@@ -94,11 +96,11 @@ impl SwimNode {
             cfg,
             me,
             incarnation: 1,
-            members: HashMap::new(),
+            members: DetHashMap::default(),
             probe_order: Vec::new(),
             probe_idx: 0,
             probe: None,
-            relayed: HashMap::new(),
+            relayed: DetHashMap::default(),
             piggyback: VecDeque::new(),
             live_count: 0,
             suspect_count: 0,

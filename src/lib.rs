@@ -12,6 +12,9 @@
 //!   view changes, plus the logically centralized "Rapid-C" mode.
 //! * [`sim`](rapid_sim) — the deterministic discrete-event simulator the
 //!   experiments run on.
+//! * [`scenario`](rapid_scenario) — declarative chaos/workload scenarios
+//!   (TOML or builder API) runnable on the simulator or a real transport
+//!   cluster behind one driver trait.
 //! * [`transport`](rapid_transport) — a threaded TCP host for real
 //!   deployments.
 //! * [`swim`](swim_member), [`central`](central_config),
@@ -36,6 +39,7 @@ pub use dataplatform;
 pub use discovery;
 pub use gossip_member as gossip;
 pub use rapid_core as core;
+pub use rapid_scenario as scenario;
 pub use rapid_sim as sim;
 pub use rapid_transport as transport;
 pub use spectral;

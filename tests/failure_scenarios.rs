@@ -1,28 +1,59 @@
 //! Integration tests reproducing the paper's failure scenarios (§7,
-//! Figures 8–10) at test scale.
+//! Figures 8–10) at test scale — written against the declarative
+//! scenario DSL (`rapid::scenario`), with protocol-level assertions on
+//! the underlying world where the DSL's expectations are coarser than
+//! the paper's claims.
 
 use rapid::core::node::NodeStatus;
-use rapid::sim::cluster::{all_report, RapidClusterBuilder};
-use rapid::sim::Fault;
+use rapid::scenario::{
+    runner, Expect, FaultSpec, Group, Inject, Phase, Scenario, SimDriver, SizeExpr, SystemKind,
+    Target, Topology, World,
+};
+
+/// Runs a scenario on the simulator hosting decentralized Rapid and
+/// returns the report plus the finished world for protocol assertions.
+fn run_rapid(scenario: &Scenario) -> (rapid::scenario::Report, World) {
+    let mut driver = SimDriver::new(SystemKind::Rapid, scenario).expect("sim driver");
+    let report = runner::run(scenario, &mut driver).expect("scenario run");
+    (report, driver.into_world())
+}
+
+fn rapid_sim_of(world: &World) -> &rapid::sim::Simulation<rapid::sim::RapidActor> {
+    match world {
+        World::Rapid(s) => s,
+        _ => panic!("expected a rapid world"),
+    }
+}
 
 #[test]
 fn ten_concurrent_crashes_removed_in_one_cut() {
     // Figure 8: Rapid detects all ten failures concurrently and removes
     // them with a single consensus decision.
-    let n = 60;
-    let mut sim = RapidClusterBuilder::new(n).seed(201).build_static();
-    sim.run_until(5_000);
-    for i in 0..10 {
-        sim.schedule_fault(5_000, Fault::Crash(i * 5 + 2));
-    }
-    sim.run_until_pred(180_000, |s| all_report(s, n - 10))
-        .expect("survivors must converge");
-    let survivor = sim.actor(0).as_node().unwrap();
+    let scenario = Scenario::build("ten-crashes", 60)
+        .seed(201)
+        .topology(Topology::Static)
+        .group("victims", Group::Stride { first: 2, step: 5, count: 10 })
+        .phase(Phase::new("steady").run_for(5_000))
+        .phase(
+            Phase::new("crash")
+                .inject(Inject::at(0, FaultSpec::Crash(Target::group("victims"))))
+                .expect(Expect::Converge {
+                    to: SizeExpr::n_minus_group("victims"),
+                    within_ms: 180_000,
+                    within_full_ms: None,
+                }),
+        )
+        .finish();
+    let (report, world) = run_rapid(&scenario);
+    assert!(report.passed, "failures: {:?}", report.failures());
     assert_eq!(
-        survivor.view_history().len(),
-        2,
+        report.phases[1].view_changes,
+        Some(1),
         "the ten crashes must land as one multi-process cut"
     );
+    let sim = rapid_sim_of(&world);
+    let survivor = sim.actor(0).as_node().unwrap();
+    assert_eq!(survivor.view_history().len(), 2);
     assert_eq!(survivor.metrics().view_changes, 1);
 }
 
@@ -32,28 +63,46 @@ fn flip_flop_ingress_partition_removes_faulty_nodes() {
     // ingress path are detected and removed (unlike ZooKeeper, which
     // never reacts, and Memberlist, which oscillates).
     let n = 50;
-    let mut sim = RapidClusterBuilder::new(n).seed(202).build_static();
-    sim.run_until(5_000);
-    for cycle in 0..5u64 {
-        let t = 5_000 + cycle * 40_000;
-        for i in 0..2 {
-            sim.schedule_fault(t, Fault::IngressDrop(i, 1.0));
-            sim.schedule_fault(t + 20_000, Fault::IngressDrop(i, 0.0));
-        }
-    }
+    let scenario = Scenario::build("flip-flop", n)
+        .seed(202)
+        .topology(Topology::Static)
+        .group("faulty", Group::Range { first: 0, count: 2 })
+        .phase(Phase::new("steady").run_for(5_000))
+        .phase(
+            Phase::new("flipflop")
+                .inject(
+                    Inject::at(0, FaultSpec::IngressDrop(Target::group("faulty"), 1.0))
+                        .every(40_000, 5),
+                )
+                .inject(
+                    Inject::at(20_000, FaultSpec::IngressDrop(Target::group("faulty"), 0.0))
+                        .every(40_000, 5),
+                )
+                .run_for(300_000)
+                .expect(Expect::MaxSize(SizeExpr::n_minus_group("faulty"))),
+        )
+        .phase(
+            Phase::new("settle")
+                .run_for(60_000)
+                .expect(Expect::ConsistentHistories),
+        )
+        .finish();
+    let (report, world) = run_rapid(&scenario);
     // The faulty nodes must be cut. A faulty node whose ingress is dark
     // accuses all of *its* subjects too (it hears no probe acks), so at
     // this small scale a healthy node can collect >= L of those alerts and
     // be removed as collateral — at the paper's scale (1% of 1000, K=10)
     // this is vanishingly rare. Assert the cut of the faulty pair, strong
     // consistency, and bounded collateral.
-    let faulty_gone = sim.run_until_pred(300_000, |s| {
-        let cfg = s.actor(10).as_node().unwrap().configuration();
-        (0..2).all(|i| !cfg.contains(rapid::sim::cluster::sim_member(i).id))
-    });
-    assert!(faulty_gone.is_some(), "flip-flopping nodes must be cut");
-    sim.run_until(sim.now() + 60_000);
+    assert!(report.passed, "failures: {:?}", report.failures());
+    let sim = rapid_sim_of(&world);
     let reference = sim.actor(10).as_node().unwrap().configuration();
+    for i in 0..2 {
+        assert!(
+            !reference.contains(rapid::sim::cluster::sim_member(i).id),
+            "flip-flopping node {i} must be cut"
+        );
+    }
     assert!(reference.len() >= n - 6, "collateral must be bounded");
     for i in 2..n {
         let node = sim.actor(i).as_node().unwrap();
@@ -67,18 +116,29 @@ fn flip_flop_ingress_partition_removes_faulty_nodes() {
 fn heavy_egress_loss_nodes_are_cut_cleanly() {
     // Figure 10: 80% egress loss on 2 nodes; Rapid removes exactly those.
     let n = 50;
-    let mut sim = RapidClusterBuilder::new(n).seed(203).build_static();
-    sim.run_until(5_000);
-    for i in 0..2 {
-        sim.schedule_fault(5_000, Fault::EgressDrop(i, 0.8));
-    }
-    let faulty_gone = sim.run_until_pred(300_000, |s| {
-        let cfg = s.actor(5).as_node().unwrap().configuration();
-        (0..2).all(|i| !cfg.contains(rapid::sim::cluster::sim_member(i).id))
-    });
-    assert!(faulty_gone.is_some(), "lossy nodes must be removed");
-    // Bounded collateral (see the flip-flop test for why any can occur).
+    let scenario = Scenario::build("egress-loss", n)
+        .seed(203)
+        .topology(Topology::Static)
+        .group("lossy", Group::Range { first: 0, count: 2 })
+        .phase(Phase::new("steady").run_for(5_000))
+        .phase(
+            Phase::new("loss")
+                .inject(Inject::at(0, FaultSpec::EgressDrop(Target::group("lossy"), 0.8)))
+                .run_for(300_000)
+                .expect(Expect::MaxSize(SizeExpr::n_minus_group("lossy"))),
+        )
+        .finish();
+    let (report, world) = run_rapid(&scenario);
+    assert!(report.passed, "failures: {:?}", report.failures());
+    let sim = rapid_sim_of(&world);
     let cfg = sim.actor(5).as_node().unwrap().configuration();
+    for i in 0..2 {
+        assert!(
+            !cfg.contains(rapid::sim::cluster::sim_member(i).id),
+            "lossy node {i} must be removed"
+        );
+    }
+    // Bounded collateral (see the flip-flop test for why any can occur).
     assert!(cfg.len() >= n - 5, "view shrank too much: {}", cfg.len());
 }
 
@@ -87,22 +147,35 @@ fn kicked_node_learns_of_its_removal() {
     // A fully isolated node is removed; when connectivity heals it learns
     // its configuration is gone and reports Kicked (the application can
     // then rejoin with a fresh id, §3).
-    let n = 30;
-    let mut sim = RapidClusterBuilder::new(n).seed(204).build_static();
-    sim.run_until(5_000);
-    sim.schedule_fault(5_000, Fault::IngressDrop(7, 1.0));
-    sim.schedule_fault(5_000, Fault::EgressDrop(7, 1.0));
-    sim.run_until_pred(180_000, |s| {
-        let cfg = s.actor(0).as_node().unwrap().configuration();
-        !cfg.contains(rapid::sim::cluster::sim_member(7).id)
-    })
-    .expect("isolated node removed");
-    // Heal the links; the node's probes get config-seq hints and it pulls
-    // the new configuration, discovering it is out.
-    sim.schedule_fault(sim.now(), Fault::IngressDrop(7, 0.0));
-    sim.schedule_fault(sim.now(), Fault::EgressDrop(7, 0.0));
-    let end = sim.now() + 120_000;
-    sim.run_until(end);
+    let scenario = Scenario::build("kicked", 30)
+        .seed(204)
+        .topology(Topology::Static)
+        .phase(Phase::new("steady").run_for(5_000))
+        .phase(
+            Phase::new("isolate")
+                .inject(Inject::at(0, FaultSpec::IngressDrop(Target::node(7), 1.0)))
+                .inject(Inject::at(0, FaultSpec::EgressDrop(Target::node(7), 1.0)))
+                .run_for(180_000),
+        )
+        .phase(
+            // Heal the links; the node's probes get config-seq hints and
+            // it pulls the new configuration, discovering it is out.
+            Phase::new("heal")
+                .inject(Inject::at(0, FaultSpec::IngressDrop(Target::node(7), 0.0)))
+                .inject(Inject::at(0, FaultSpec::EgressDrop(Target::node(7), 0.0)))
+                .run_for(120_000),
+        )
+        .finish();
+    let (_, world) = run_rapid(&scenario);
+    let sim = rapid_sim_of(&world);
+    assert!(
+        !sim.actor(0)
+            .as_node()
+            .unwrap()
+            .configuration()
+            .contains(rapid::sim::cluster::sim_member(7).id),
+        "isolated node must be removed"
+    );
     assert_eq!(
         sim.actor(7).as_node().unwrap().status(),
         NodeStatus::Kicked,
@@ -112,14 +185,27 @@ fn kicked_node_learns_of_its_removal() {
 
 #[test]
 fn joins_and_failures_interleave() {
-    let n = 30;
-    let mut sim = RapidClusterBuilder::new(n).seed(205).build_bootstrap();
-    sim.run_until_pred(240_000, |s| all_report(s, n))
-        .expect("bootstrap");
-    // Crash three, and they must be removed even with late joiners around.
-    for i in [5usize, 6, 7] {
-        sim.schedule_fault(sim.now() + 1_000, Fault::Crash(i));
-    }
-    sim.run_until_pred(sim.now() + 180_000, |s| all_report(s, n - 3))
-        .expect("cut decided");
+    let scenario = Scenario::build("join-crash-mix", 30)
+        .seed(205)
+        .topology(Topology::Bootstrap)
+        .group("victims", Group::Nodes(vec![5, 6, 7]))
+        .phase(Phase::new("bootstrap").expect(Expect::Converge {
+            to: SizeExpr::n(),
+            within_ms: 240_000,
+            within_full_ms: None,
+        }))
+        .phase(
+            // Crash three, and they must be removed even with late
+            // joiners around.
+            Phase::new("crash")
+                .inject(Inject::at(1_000, FaultSpec::Crash(Target::group("victims"))))
+                .expect(Expect::Converge {
+                    to: SizeExpr::n_minus_group("victims"),
+                    within_ms: 180_000,
+                    within_full_ms: None,
+                }),
+        )
+        .finish();
+    let (report, _) = run_rapid(&scenario);
+    assert!(report.passed, "failures: {:?}", report.failures());
 }
