@@ -1,0 +1,274 @@
+//! Benchmarks the `rapid-route` KV data plane on the simulator:
+//! steady-state operation throughput plus the cost of a rebalance
+//! (bytes moved, partitions copied, unavailability window) under crash
+//! and partition faults, at N = 64 / 256 / 1024.
+//!
+//! ```text
+//! cargo run --release -p bench --bin route_bench           # full sweep
+//! cargo run --release -p bench --bin route_bench -- --quick
+//! cargo run --release -p bench --bin route_bench -- --bench-json > BENCH_route.json
+//! ```
+//!
+//! Throughput is wall-clock (how fast the engine pushes data-plane
+//! operations end to end, membership traffic included); rebalance
+//! metrics are virtual-time and deterministic for a given seed.
+
+use std::time::Instant;
+
+use rapid_route::sim::{KvClusterBuilder, KvSimActor};
+use rapid_route::{KvOutcome, KvStats, PlacementConfig};
+use rapid_scenario::json::Json;
+use rapid_sim::{Fault, Simulation};
+
+const PARTITIONS: u32 = 256;
+const REPLICATION: usize = 3;
+const KEYS: usize = 1_000;
+const OP_WINDOW_MS: u64 = 2_000;
+
+struct FaultResult {
+    faults: usize,
+    detect_ms: u64,
+    unavailability_ms: u64,
+    bytes_moved: u64,
+    partitions_moved: u64,
+    handoffs: u64,
+    lost: u64,
+}
+
+fn spec() -> PlacementConfig {
+    PlacementConfig {
+        partitions: PARTITIONS,
+        replication: REPLICATION,
+    }
+}
+
+fn aggregate(sim: &Simulation<KvSimActor>) -> KvStats {
+    let mut stats = KvStats::default();
+    for i in 0..sim.len() {
+        stats.absorb(sim.actor(i).kv_stats());
+    }
+    stats
+}
+
+fn first_live(sim: &Simulation<KvSimActor>) -> usize {
+    (0..sim.len())
+        .find(|&i| !sim.net.is_crashed(i))
+        .expect("someone survives")
+}
+
+/// Runs a batch of ops through one coordinator and returns the outcomes.
+fn batch(sim: &mut Simulation<KvSimActor>, ops: &[(String, Option<String>)]) -> Vec<KvOutcome> {
+    let via = first_live(sim);
+    let now = sim.now();
+    let reqs: Vec<u64> = ops
+        .iter()
+        .map(|(key, val)| {
+            sim.with_actor(via, |a, out| match val {
+                Some(v) => a.begin_put(key, v, now, out),
+                None => a.begin_get(key, now, out),
+            })
+        })
+        .collect();
+    sim.run_until(now + OP_WINDOW_MS);
+    let completed = std::mem::take(&mut sim.actor_mut(via).completed);
+    reqs.iter()
+        .map(|req| {
+            completed
+                .iter()
+                .find(|(r, _)| r == req)
+                .map(|(_, o)| o.clone())
+                .unwrap_or(KvOutcome::Failed)
+        })
+        .collect()
+}
+
+fn key(i: usize) -> String {
+    format!("bench-{i:06}")
+}
+
+fn load_keys(sim: &mut Simulation<KvSimActor>, keys: usize) -> usize {
+    let mut acked = 0;
+    for chunk in (0..keys).collect::<Vec<_>>().chunks(500) {
+        let ops: Vec<_> = chunk
+            .iter()
+            .map(|&i| (key(i), Some(format!("val-{i:06}"))))
+            .collect();
+        acked += batch(sim, &ops)
+            .iter()
+            .filter(|o| matches!(o, KvOutcome::Acked { .. }))
+            .count();
+    }
+    acked
+}
+
+/// Members outside the faulted set all report `target` (a partitioned
+/// minority cannot learn it was kicked, so it is excluded from the
+/// detection predicate — the majority serving traffic is what matters).
+fn converged(sim: &Simulation<KvSimActor>, target: usize, faulted: &[usize]) -> bool {
+    use rapid_sim::Actor;
+    let mut seen = 0;
+    for i in 0..sim.len() {
+        if sim.net.is_crashed(i) || faulted.contains(&i) {
+            continue;
+        }
+        match sim.actor(i).sample() {
+            Some(v) if (v - target as f64).abs() < 0.5 => seen += 1,
+            Some(_) => return false,
+            None => {}
+        }
+    }
+    seen > 0
+}
+
+/// Injects a fault, then measures membership detection and the window
+/// until every loaded key reads back `Found` again.
+fn measure_fault(
+    sim: &mut Simulation<KvSimActor>,
+    keys: usize,
+    survivors: usize,
+    inject: impl FnOnce(&mut Simulation<KvSimActor>) -> Vec<usize>,
+) -> FaultResult {
+    let before = aggregate(sim);
+    let fault_at = sim.now();
+    let faulted = inject(sim);
+
+    // Detection: run until the survivors converge on the shrunk view.
+    let detect_deadline = fault_at + 600_000;
+    while sim.now() < detect_deadline && !converged(sim, survivors, &faulted) {
+        let next = (sim.now() + 1_000).min(detect_deadline);
+        sim.run_until(next);
+    }
+    let detect_ms = sim.now() - fault_at;
+
+    // Availability: sweep all keys until every one reads back.
+    let avail_deadline = sim.now() + 600_000;
+    let mut unavailability_ms = None;
+    while sim.now() < avail_deadline {
+        let ops: Vec<_> = (0..keys).map(|i| (key(i), None)).collect();
+        let all_found = batch(sim, &ops)
+            .iter()
+            .all(|o| matches!(o, KvOutcome::Found { .. }));
+        if all_found {
+            unavailability_ms = Some(sim.now() - fault_at);
+            break;
+        }
+    }
+    let after = aggregate(sim);
+    FaultResult {
+        faults: faulted.len(),
+        detect_ms,
+        unavailability_ms: unavailability_ms.unwrap_or(u64::MAX),
+        bytes_moved: after.bytes_moved - before.bytes_moved,
+        partitions_moved: after.partitions_moved - before.partitions_moved,
+        handoffs: after.handoffs_sent - before.handoffs_sent,
+        lost: after.partitions_lost - before.partitions_lost,
+    }
+}
+
+fn fault_json(r: &FaultResult) -> Json {
+    Json::obj(vec![
+        ("faults", Json::uint(r.faults as u64)),
+        ("detect_ms", Json::uint(r.detect_ms)),
+        ("unavailability_ms", Json::uint(r.unavailability_ms)),
+        ("bytes_moved", Json::uint(r.bytes_moved)),
+        ("partitions_moved", Json::uint(r.partitions_moved)),
+        ("handoffs", Json::uint(r.handoffs)),
+        ("partitions_lost", Json::uint(r.lost)),
+    ])
+}
+
+fn run_scale(n: usize, seed: u64) -> Json {
+    // Steady state + throughput.
+    let mut sim = KvClusterBuilder::new(n, spec())
+        .seed(seed)
+        .op_timeout_ms(OP_WINDOW_MS - 500)
+        .build_static();
+    sim.run_until(2_000);
+    let acked = load_keys(&mut sim, KEYS);
+
+    // Timed mixed workload: alternate get/overwrite batches.
+    let t0 = Instant::now();
+    let mut ops_done = 0usize;
+    for round in 0..4 {
+        let ops: Vec<_> = (0..500)
+            .map(|i| {
+                let k = key((round * 137 + i) % KEYS);
+                if i % 2 == 0 {
+                    (k, None)
+                } else {
+                    (k, Some(format!("re-{round}-{i}")))
+                }
+            })
+            .collect();
+        ops_done += batch(&mut sim, &ops).len();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let ops_per_sec = ops_done as f64 / wall.max(1e-9);
+
+    // Crash ~1.5% of the cluster (at least one, well under RF).
+    let crash_count = (n / 64).max(1);
+    let crash = measure_fault(&mut sim, KEYS, n - crash_count, |sim| {
+        let at = sim.now() + 10;
+        // Spread victims across the id space.
+        let victims: Vec<usize> = (0..crash_count).map(|c| 1 + c * (n / crash_count)).collect();
+        for &v in &victims {
+            sim.schedule_fault(at, Fault::Crash(v));
+        }
+        sim.run_until(at + 1);
+        victims
+    });
+
+    // Fresh cluster for the partition fault (a clean baseline).
+    let mut sim = KvClusterBuilder::new(n, spec())
+        .seed(seed ^ 0x9E37)
+        .op_timeout_ms(OP_WINDOW_MS - 500)
+        .build_static();
+    sim.run_until(2_000);
+    load_keys(&mut sim, KEYS);
+    let part_count = (n / 64).max(1);
+    let partition = measure_fault(&mut sim, KEYS, n - part_count, |sim| {
+        let group: Vec<usize> = (0..part_count).map(|c| 2 + c * 3).collect();
+        let at = sim.now() + 10;
+        sim.schedule_fault(at, Fault::Partition(group.clone()));
+        sim.run_until(at + 1);
+        group
+    });
+
+    eprintln!(
+        "n={n}: {acked}/{KEYS} loaded, {ops_per_sec:.0} ops/s wall, \
+         crash: {}B moved / {}ms unavailable, partition: {}B moved / {}ms unavailable",
+        crash.bytes_moved, crash.unavailability_ms, partition.bytes_moved,
+        partition.unavailability_ms
+    );
+
+    Json::obj(vec![
+        ("n", Json::uint(n as u64)),
+        ("load_acked", Json::uint(acked as u64)),
+        ("steady_ops_per_sec_wall", Json::Float(ops_per_sec)),
+        ("crash", fault_json(&crash)),
+        ("partition", fault_json(&partition)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_out = args.iter().any(|a| a == "--bench-json");
+    let scales: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
+
+    let mut results = Vec::new();
+    for (i, &n) in scales.iter().enumerate() {
+        results.push(run_scale(n, 0xB0 + i as u64));
+    }
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("route_bench".into())),
+        ("partitions", Json::uint(PARTITIONS as u64)),
+        ("replication", Json::uint(REPLICATION as u64)),
+        ("keys", Json::uint(KEYS as u64)),
+        ("op_window_ms", Json::uint(OP_WINDOW_MS)),
+        ("results", Json::Array(results)),
+    ]);
+    if json_out {
+        println!("{}", doc.to_pretty(2));
+    }
+}

@@ -31,6 +31,7 @@ fn probe(n: usize, kind: SystemKind) -> (Option<u64>, u64, f64) {
         World::Swim(s) => s.events_processed(),
         World::Zk(s) => s.events_processed(),
         World::Rapid(s) | World::RapidC(s) => s.events_processed(),
+        World::RapidKv(kw) => kw.sim.events_processed(),
         World::Akka(s) => s.events_processed(),
     };
     (t, events, t0.elapsed().as_secs_f64())

@@ -160,6 +160,24 @@ impl AkkaNode {
         }
     }
 
+    /// Creates a node that starts inside a pre-formed static cluster:
+    /// every peer in `peers` (and this node) is already `Up`, so no join
+    /// handshake runs and heartbeating starts immediately — the
+    /// steady-state starting point of the paper's failure experiments
+    /// (`topology = "static"` in scenario files).
+    pub fn new_static(
+        me: Endpoint,
+        peers: impl IntoIterator<Item = Endpoint>,
+        cfg: AkkaConfig,
+        rng_seed: u64,
+    ) -> Self {
+        let mut node = AkkaNode::new(me, Vec::new(), cfg, rng_seed);
+        for addr in peers {
+            node.members.entry(addr).or_insert((1, MemberStatus::Up));
+        }
+        node
+    }
+
     /// Whether this node shut itself down after being removed.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown

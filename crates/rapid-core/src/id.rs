@@ -102,20 +102,35 @@ mod host_interner {
 
     /// Returns the symbol for `host`, interning it on first sight.
     pub fn intern(host: &str) -> u32 {
+        intern_bounded(host, usize::MAX).expect("unbounded intern cannot fail")
+    }
+
+    /// Like [`intern`], but refuses to grow the table past `max_distinct`
+    /// total hosts. Already-interned hosts always succeed, so a cap can
+    /// never break communication with hosts a process legitimately knows.
+    pub fn intern_bounded(host: &str, max_distinct: usize) -> Result<u32, usize> {
         let lock = global();
         if let Some(&sym) = lock.read().unwrap_or_else(|e| e.into_inner()).by_name.get(host) {
-            return sym;
+            return Ok(sym);
         }
         let mut w = lock.write().unwrap_or_else(|e| e.into_inner());
         if let Some(&sym) = w.by_name.get(host) {
-            return sym;
+            return Ok(sym);
+        }
+        if w.names.len() >= max_distinct {
+            return Err(w.names.len());
         }
         let leaked: &'static str = Box::leak(host.to_owned().into_boxed_str());
         let sym = w.names.len() as u32;
         w.names.push(leaked);
         w.digests.push(crate::hash::fnv1a(leaked.as_bytes()));
         w.by_name.insert(leaked, sym);
-        sym
+        Ok(sym)
+    }
+
+    /// Number of distinct hosts interned so far, process-wide.
+    pub fn len() -> usize {
+        global().read().unwrap_or_else(|e| e.into_inner()).names.len()
     }
 
     /// The host string behind a symbol.
@@ -162,6 +177,32 @@ impl Endpoint {
             host_len: host.len() as u16,
             port,
         }
+    }
+
+    /// Creates an endpoint only if doing so keeps the process-wide host
+    /// table at or under `max_distinct` entries. Endpoints whose host is
+    /// already interned always succeed; on refusal, returns the current
+    /// table size. This is the decoder-facing guard against a peer
+    /// streaming unique host names to grow the interner without bound
+    /// (see [`crate::wire::DecodeLimits`]).
+    pub fn new_bounded(
+        host: impl AsRef<str>,
+        port: u16,
+        max_distinct: usize,
+    ) -> Result<Self, usize> {
+        let host = host.as_ref();
+        assert!(host.len() <= u16::MAX as usize, "host name too long for the wire format");
+        let sym = host_interner::intern_bounded(host, max_distinct)?;
+        Ok(Endpoint {
+            host: sym,
+            host_len: host.len() as u16,
+            port,
+        })
+    }
+
+    /// Number of distinct host names interned process-wide so far.
+    pub fn interned_hosts() -> usize {
+        host_interner::len()
     }
 
     /// Parses a `host:port` string.
@@ -317,6 +358,23 @@ mod tests {
         assert_eq!(u.host(), "höst-中-🦀");
         assert_eq!(u, Endpoint::new("höst-中-🦀", 7));
         assert_ne!(u, Endpoint::new("höst-中-🦀", 8));
+    }
+
+    #[test]
+    fn bounded_interning_refuses_new_hosts_at_cap() {
+        // Known hosts always pass regardless of the cap...
+        let known = Endpoint::new("bounded-intern-known", 1);
+        let cap = Endpoint::interned_hosts();
+        assert_eq!(Endpoint::new_bounded("bounded-intern-known", 2, cap), Ok(Endpoint::new("bounded-intern-known", 2)));
+        let _ = known;
+        // ...but a cap at the current size refuses any fresh name (other
+        // tests may intern concurrently, so only assert the refusal shape,
+        // re-reading the live size as the cap).
+        let refused = Endpoint::new_bounded("bounded-intern-fresh", 1, 0);
+        assert!(matches!(refused, Err(n) if n >= cap));
+        // With headroom the same name interns fine.
+        let ok = Endpoint::new_bounded("bounded-intern-fresh", 1, usize::MAX).unwrap();
+        assert_eq!(ok.host(), "bounded-intern-fresh");
     }
 
     #[test]

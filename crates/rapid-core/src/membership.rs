@@ -167,6 +167,23 @@ pub struct ViewChange {
     pub removed: Vec<NodeId>,
 }
 
+impl ViewChange {
+    /// The synthetic "first view" notification a view subscriber receives
+    /// when it comes up inside an already-formed configuration (a static
+    /// deployment, or a joiner handed a snapshot): every current member
+    /// appears as joined, nothing as removed. Subsystems deriving state
+    /// from views (placement, leadership, discovery) handle bootstrap and
+    /// steady-state churn through one code path this way.
+    pub fn initial(configuration: Arc<Configuration>) -> ViewChange {
+        ViewChange {
+            previous_id: ConfigId::NONE,
+            joined: configuration.members().iter().map(|m| m.id).collect(),
+            removed: Vec::new(),
+            configuration,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

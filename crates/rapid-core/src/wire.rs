@@ -646,8 +646,38 @@ pub const MAX_WIRE_HOST_LEN: usize = 255;
 /// order of magnitude below this; a count above it is hostile or corrupt.
 pub const MAX_WIRE_ITEMS: usize = 65_536;
 
+/// Default cap on *distinct* host names the decoder will ever intern,
+/// process-wide. The per-name length cap ([`MAX_WIRE_HOST_LEN`]) stops a
+/// peer interning huge strings; this cap stops a peer interning *many*
+/// short, valid, unique strings — each one permanent (the interner is
+/// append-only). 4096 is double the paper's largest deployment, and a
+/// real transport sees only the hosts it actually talks to.
+pub const MAX_DISTINCT_WIRE_HOSTS: usize = 4_096;
+
+/// Resource limits applied while decoding untrusted bytes.
+///
+/// [`decode`] uses [`DecodeLimits::default`]; transports exposed to
+/// less-trusted peers can tighten (or loosen, for genuinely huge
+/// cooperative clusters) the caps via [`decode_with_limits`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum total distinct host names the process-wide interner may
+    /// hold after this decode; a message introducing a host beyond the
+    /// cap fails to decode (already-known hosts always pass).
+    pub max_distinct_hosts: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_distinct_hosts: MAX_DISTINCT_WIRE_HOSTS,
+        }
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
+    limits: DecodeLimits,
 }
 
 impl<'a> Reader<'a> {
@@ -721,7 +751,13 @@ impl<'a> Reader<'a> {
             )));
         }
         let port = self.u16()?;
-        Ok(Endpoint::new(host, port))
+        Endpoint::new_bounded(host, port, self.limits.max_distinct_hosts).map_err(|n| {
+            RapidError::Decode(format!(
+                "sender-supplied host {host:?} would grow the interner past \
+                 the max_distinct_hosts cap ({n} >= {})",
+                self.limits.max_distinct_hosts
+            ))
+        })
     }
     fn metadata(&mut self) -> Result<Metadata, RapidError> {
         let count = self.u16()? as usize;
@@ -829,9 +865,14 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes one message from `buf`.
+/// Decodes one message from `buf` under [`DecodeLimits::default`].
 pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
-    let mut r = Reader { buf };
+    decode_with_limits(buf, DecodeLimits::default())
+}
+
+/// Decodes one message from `buf` under explicit resource limits.
+pub fn decode_with_limits(buf: &[u8], limits: DecodeLimits) -> Result<Message, RapidError> {
+    let mut r = Reader { buf, limits };
     let tag = r.u8()?;
     let msg = match tag {
         TAG_PRE_JOIN_REQ => Message::PreJoinReq { joiner: r.member()? },
@@ -1314,6 +1355,52 @@ mod tests {
             joiner: Member::new(NodeId::from_u128(1), Endpoint::new(&ok_host, 1)),
         };
         assert!(decode(&encode_to_vec(&msg)).is_ok());
+    }
+
+    /// Hand-encodes a `PreJoinReq` whose joiner lives at `host` — without
+    /// ever constructing an `Endpoint`, which would intern the host on
+    /// the *encode* side and defeat a decoder-interning test.
+    fn raw_pre_join_req(host: &str) -> Vec<u8> {
+        let mut bytes = vec![TAG_PRE_JOIN_REQ];
+        bytes.extend_from_slice(&1u128.to_le_bytes()); // joiner id
+        bytes.extend_from_slice(&(host.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(host.as_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // port
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty metadata
+        bytes
+    }
+
+    #[test]
+    fn decode_rejects_a_flood_of_distinct_valid_hosts() {
+        // Every host here is short and well-formed — the per-name length
+        // cap cannot help. The distinct-hosts cap must stop the flood:
+        // once the process-wide interner would exceed the limit, decoding
+        // a message that introduces yet another fresh host fails.
+        let limit = DecodeLimits {
+            max_distinct_hosts: Endpoint::interned_hosts() + 8,
+        };
+        let mut refused = 0usize;
+        for i in 0..64 {
+            let bytes = raw_pre_join_req(&format!("flood-{i}.example"));
+            if decode_with_limits(&bytes, limit).is_err() {
+                refused += 1;
+            }
+        }
+        // At most 8 fresh hosts fit under the cap; the rest of the flood
+        // must be refused (other tests may intern concurrently, which
+        // only tightens the headroom).
+        assert!(refused >= 64 - 8, "only {refused}/64 flood hosts refused");
+
+        // Already-interned hosts decode fine even at a zero-headroom cap:
+        // the cap bounds growth, not membership.
+        let _known = Endpoint::new("flood-known.example", 1);
+        let tight = DecodeLimits {
+            max_distinct_hosts: 0,
+        };
+        assert!(decode_with_limits(&raw_pre_join_req("flood-known.example"), tight).is_ok());
+        let err = decode_with_limits(&raw_pre_join_req("flood-never-seen"), tight)
+            .expect_err("fresh host must be refused at cap 0");
+        assert!(err.to_string().contains("max_distinct_hosts"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,1216 @@
+//! The replicated in-memory KV data plane.
+//!
+//! [`KvNode`] is a sans-io state machine, like the membership node it
+//! rides on: it consumes view changes, peer messages, client operations
+//! and ticks, and emits [`KvOut`] actions (sends and client results).
+//! The same state machine runs under the deterministic simulator
+//! ([`crate::sim::KvSimActor`]) and the real TCP transport
+//! ([`crate::real::KvRuntime`]).
+//!
+//! Protocol (all placement-driven, zero coordination messages):
+//!
+//! * **Routing** — any node accepts a client op, computes the partition's
+//!   leader from its placement, and forwards. Leaders are a pure function
+//!   of the view, so there is no leader election and no lease.
+//! * **Writes** — the leader versions the write, applies it locally, and
+//!   replicates to every other replica; the client is acked only after
+//!   *all* replicas confirmed, so an acked write survives any failure
+//!   that leaves at least one replica alive.
+//! * **Reads** — served by the leader (which holds every acked write).
+//! * **Rebalance** — on a view change every node recomputes placement,
+//!   diffs it against the previous one ([`RebalancePlan`]) and the
+//!   deterministically chosen surviving source pushes each moved
+//!   partition to its new replicas. Gets on a partition awaiting handoff
+//!   fail (retryable) rather than serving an empty store.
+
+use std::sync::Arc;
+
+use rapid_core::config::{Configuration, Member};
+use rapid_core::hash::{DetHashMap, DetHashSet};
+use rapid_core::id::Endpoint;
+
+use crate::placement::{partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan};
+
+/// One stored entry: value plus its replication version.
+pub type Entry = (String, u64);
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// Data-plane messages exchanged between KV nodes. On the real transport
+/// these ride in opaque app frames; in the simulator they share the
+/// simulated network with membership traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KvMsg {
+    /// Client write, forwarded from the coordinator to the leader.
+    Put {
+        /// Coordinator-local request id.
+        req: u64,
+        /// The coordinator to ack.
+        origin: Endpoint,
+        /// Key.
+        key: String,
+        /// Value.
+        val: String,
+    },
+    /// Leader's write verdict, routed back to the coordinator.
+    PutAck {
+        /// Request id.
+        req: u64,
+        /// Whether the write was fully replicated.
+        ok: bool,
+        /// Version assigned to the write (0 when `!ok`).
+        version: u64,
+    },
+    /// Client read, forwarded from the coordinator to the leader.
+    Get {
+        /// Coordinator-local request id.
+        req: u64,
+        /// The coordinator to answer.
+        origin: Endpoint,
+        /// Key.
+        key: String,
+    },
+    /// Leader's read answer.
+    GetResp {
+        /// Request id.
+        req: u64,
+        /// `false` when the receiver could not serve (not the leader, or
+        /// still awaiting a handoff) — a retryable failure, not a miss.
+        ok: bool,
+        /// Whether the key exists.
+        found: bool,
+        /// The value (empty when absent).
+        val: String,
+        /// The value's version (0 when absent).
+        version: u64,
+    },
+    /// Leader-to-replica write propagation.
+    Replicate {
+        /// Partition of the key.
+        partition: u32,
+        /// Leader-local request id.
+        req: u64,
+        /// The leader to confirm to.
+        leader: Endpoint,
+        /// Key.
+        key: String,
+        /// Value.
+        val: String,
+        /// Version assigned by the leader.
+        version: u64,
+    },
+    /// Replica's write confirmation.
+    RepAck {
+        /// Leader-local request id.
+        req: u64,
+    },
+    /// Bulk partition transfer during rebalance.
+    Handoff {
+        /// The partition being transferred.
+        partition: u32,
+        /// `(key, value, version)` triples; receivers merge by highest
+        /// version, so handoffs commute with concurrent writes.
+        entries: Vec<(String, String, u64)>,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_PUT_ACK: u8 = 2;
+const TAG_GET: u8 = 3;
+const TAG_GET_RESP: u8 = 4;
+const TAG_REPLICATE: u8 = 5;
+const TAG_REP_ACK: u8 = 6;
+const TAG_HANDOFF: u8 = 7;
+
+fn put_ep(buf: &mut Vec<u8>, ep: &Endpoint) {
+    let host = ep.host().as_bytes();
+    buf.extend_from_slice(&(host.len() as u16).to_le_bytes());
+    buf.extend_from_slice(host);
+    buf.extend_from_slice(&ep.port().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn ep_len(ep: &Endpoint) -> usize {
+    2 + ep.host_len() + 2
+}
+
+fn str_len(s: &str) -> usize {
+    4 + s.len()
+}
+
+/// Encoded size of a message, for simulator bandwidth accounting and
+/// rebalance byte metering — kept in lockstep with [`encode`].
+pub fn encoded_len(msg: &KvMsg) -> usize {
+    1 + match msg {
+        KvMsg::Put { origin, key, val, .. } => 8 + ep_len(origin) + str_len(key) + str_len(val),
+        KvMsg::PutAck { .. } => 8 + 1 + 8,
+        KvMsg::Get { origin, key, .. } => 8 + ep_len(origin) + str_len(key),
+        KvMsg::GetResp { val, .. } => 8 + 1 + 1 + str_len(val) + 8,
+        KvMsg::Replicate {
+            leader, key, val, ..
+        } => 4 + 8 + ep_len(leader) + str_len(key) + str_len(val) + 8,
+        KvMsg::RepAck { .. } => 8,
+        KvMsg::Handoff { entries, .. } => {
+            4 + 4
+                + entries
+                    .iter()
+                    .map(|(k, v, _)| str_len(k) + str_len(v) + 8)
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Encodes a message into `buf` (appended).
+pub fn encode(msg: &KvMsg, buf: &mut Vec<u8>) {
+    match msg {
+        KvMsg::Put {
+            req,
+            origin,
+            key,
+            val,
+        } => {
+            buf.push(TAG_PUT);
+            buf.extend_from_slice(&req.to_le_bytes());
+            put_ep(buf, origin);
+            put_str(buf, key);
+            put_str(buf, val);
+        }
+        KvMsg::PutAck { req, ok, version } => {
+            buf.push(TAG_PUT_ACK);
+            buf.extend_from_slice(&req.to_le_bytes());
+            buf.push(*ok as u8);
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        KvMsg::Get { req, origin, key } => {
+            buf.push(TAG_GET);
+            buf.extend_from_slice(&req.to_le_bytes());
+            put_ep(buf, origin);
+            put_str(buf, key);
+        }
+        KvMsg::GetResp {
+            req,
+            ok,
+            found,
+            val,
+            version,
+        } => {
+            buf.push(TAG_GET_RESP);
+            buf.extend_from_slice(&req.to_le_bytes());
+            buf.push(*ok as u8);
+            buf.push(*found as u8);
+            put_str(buf, val);
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        KvMsg::Replicate {
+            partition,
+            req,
+            leader,
+            key,
+            val,
+            version,
+        } => {
+            buf.push(TAG_REPLICATE);
+            buf.extend_from_slice(&partition.to_le_bytes());
+            buf.extend_from_slice(&req.to_le_bytes());
+            put_ep(buf, leader);
+            put_str(buf, key);
+            put_str(buf, val);
+            buf.extend_from_slice(&version.to_le_bytes());
+        }
+        KvMsg::RepAck { req } => {
+            buf.push(TAG_REP_ACK);
+            buf.extend_from_slice(&req.to_le_bytes());
+        }
+        KvMsg::Handoff { partition, entries } => {
+            buf.push(TAG_HANDOFF);
+            buf.extend_from_slice(&partition.to_le_bytes());
+            buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v, ver) in entries {
+                put_str(buf, k);
+                put_str(buf, v);
+                buf.extend_from_slice(&ver.to_le_bytes());
+            }
+        }
+    }
+}
+
+struct KvReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> KvReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() < n {
+            return Err(format!("kv decode: need {n}, have {}", self.buf.len()));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn ep(&mut self) -> Result<Endpoint, String> {
+        let len = self.u16()? as usize;
+        // Same hostile-peer hygiene as the membership decoder: cap the
+        // per-name length and refuse to grow the process-wide interner
+        // past the distinct-hosts limit (interning is permanent).
+        if len > rapid_core::wire::MAX_WIRE_HOST_LEN {
+            return Err(format!(
+                "kv decode: host name of {len} bytes exceeds cap {}",
+                rapid_core::wire::MAX_WIRE_HOST_LEN
+            ));
+        }
+        let host = std::str::from_utf8(self.take(len)?).map_err(|_| "kv decode: bad host")?;
+        let port = self.u16()?;
+        Endpoint::new_bounded(host, port, rapid_core::wire::MAX_DISTINCT_WIRE_HOSTS).map_err(
+            |n| {
+                format!(
+                    "kv decode: host {host:?} would grow the interner past the \
+                     distinct-hosts cap ({n} >= {})",
+                    rapid_core::wire::MAX_DISTINCT_WIRE_HOSTS
+                )
+            },
+        )
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        // Item guard: a forged length cannot out-size the buffer.
+        let s = std::str::from_utf8(self.take(len)?).map_err(|_| "kv decode: bad utf8")?;
+        Ok(s.to_string())
+    }
+}
+
+/// Decodes one message.
+pub fn decode(bytes: &[u8]) -> Result<KvMsg, String> {
+    let mut r = KvReader { buf: bytes };
+    let msg = match r.u8()? {
+        TAG_PUT => KvMsg::Put {
+            req: r.u64()?,
+            origin: r.ep()?,
+            key: r.str()?,
+            val: r.str()?,
+        },
+        TAG_PUT_ACK => KvMsg::PutAck {
+            req: r.u64()?,
+            ok: r.u8()? == 1,
+            version: r.u64()?,
+        },
+        TAG_GET => KvMsg::Get {
+            req: r.u64()?,
+            origin: r.ep()?,
+            key: r.str()?,
+        },
+        TAG_GET_RESP => KvMsg::GetResp {
+            req: r.u64()?,
+            ok: r.u8()? == 1,
+            found: r.u8()? == 1,
+            val: r.str()?,
+            version: r.u64()?,
+        },
+        TAG_REPLICATE => KvMsg::Replicate {
+            partition: r.u32()?,
+            req: r.u64()?,
+            leader: r.ep()?,
+            key: r.str()?,
+            val: r.str()?,
+            version: r.u64()?,
+        },
+        TAG_REP_ACK => KvMsg::RepAck { req: r.u64()? },
+        TAG_HANDOFF => {
+            let partition = r.u32()?;
+            let count = r.u32()? as usize;
+            if count > r.buf.len() / 16 + 1 {
+                return Err(format!("kv decode: absurd handoff count {count}"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = r.str()?;
+                let v = r.str()?;
+                let ver = r.u64()?;
+                entries.push((k, v, ver));
+            }
+            KvMsg::Handoff { partition, entries }
+        }
+        other => return Err(format!("kv decode: unknown tag {other}")),
+    };
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Client-visible results and stats
+// ---------------------------------------------------------------------------
+
+/// The final result of a client operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOutcome {
+    /// The write reached every replica.
+    Acked {
+        /// Version assigned to the write.
+        version: u64,
+    },
+    /// The read found the key.
+    Found {
+        /// The value.
+        val: String,
+        /// The value's version.
+        version: u64,
+    },
+    /// The read completed and the key does not exist.
+    Missing,
+    /// The operation failed or timed out (retryable).
+    Failed,
+}
+
+/// An action the host must perform for the KV node.
+#[derive(Clone, Debug)]
+pub enum KvOut {
+    /// Transmit a data-plane message.
+    Send(Endpoint, KvMsg),
+    /// A client operation completed.
+    Done(u64, KvOutcome),
+}
+
+/// Data-plane counters.
+///
+/// `puts_*`/`gets_*`/`handoffs_*`/`bytes_moved`/`partitions_moved` are
+/// per-node and sum across a cluster; `rebalances`, `partitions_lost`
+/// and `leader_changes` are plan-level (every node computes the same
+/// plan) and aggregate by max — [`KvStats::absorb`] applies those rules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Writes acked to clients by this coordinator.
+    pub puts_acked: u64,
+    /// Writes failed/timed out at this coordinator.
+    pub puts_failed: u64,
+    /// Reads completed (found or missing) at this coordinator.
+    pub gets_ok: u64,
+    /// Reads failed/timed out at this coordinator.
+    pub gets_failed: u64,
+    /// View changes processed by the data plane.
+    pub rebalances: u64,
+    /// Handoff messages this node pushed as a rebalance source.
+    pub handoffs_sent: u64,
+    /// Handoff messages applied.
+    pub handoffs_applied: u64,
+    /// Encoded bytes of handoff traffic this node pushed.
+    pub bytes_moved: u64,
+    /// Distinct partition copies this node pushed.
+    pub partitions_moved: u64,
+    /// Partitions whose whole replica set vanished in one view change.
+    pub partitions_lost: u64,
+    /// Partitions whose leader moved across all rebalances.
+    pub leader_changes: u64,
+}
+
+impl KvStats {
+    /// Folds another node's counters into this one (cluster aggregate).
+    pub fn absorb(&mut self, other: &KvStats) {
+        self.puts_acked += other.puts_acked;
+        self.puts_failed += other.puts_failed;
+        self.gets_ok += other.gets_ok;
+        self.gets_failed += other.gets_failed;
+        self.handoffs_sent += other.handoffs_sent;
+        self.handoffs_applied += other.handoffs_applied;
+        self.bytes_moved += other.bytes_moved;
+        self.partitions_moved += other.partitions_moved;
+        self.rebalances = self.rebalances.max(other.rebalances);
+        self.partitions_lost = self.partitions_lost.max(other.partitions_lost);
+        self.leader_changes = self.leader_changes.max(other.leader_changes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The state machine
+// ---------------------------------------------------------------------------
+
+struct PendingClient {
+    req: u64,
+    deadline: u64,
+    is_put: bool,
+}
+
+struct PendingPut {
+    origin: Endpoint,
+    /// The coordinator's request id (leader-side replication waits are
+    /// keyed by a *leader-local* id — coordinator ids from different
+    /// origins can collide).
+    client_req: u64,
+    /// Replicas whose ack is still outstanding, by identity — a
+    /// duplicated RepAck (the simulator's `duplicate` fault) must not
+    /// satisfy the quorum early.
+    waiting: Vec<Endpoint>,
+    version: u64,
+    deadline: u64,
+}
+
+/// The per-process replicated-KV state machine.
+pub struct KvNode {
+    me: Member,
+    spec: PlacementConfig,
+    op_timeout_ms: u64,
+    cache: Option<PlacementCache>,
+    view: Option<(Arc<Configuration>, Arc<Placement>)>,
+    store: DetHashMap<u32, DetHashMap<String, Entry>>,
+    /// Partitions this node was just assigned and whose handoff has not
+    /// arrived yet: reads fail retryably instead of serving emptiness.
+    awaiting: DetHashMap<u32, u64>,
+    /// Set on processes that join an *established* cluster: their first
+    /// view must treat every owned partition as awaiting handoff (the
+    /// cluster may hold data), unlike a fresh static/seed start where no
+    /// data exists anywhere.
+    expect_initial_handoffs: bool,
+    /// Handoffs that arrived *before* the first view installed (sources
+    /// push as soon as they install the new view, which can race the
+    /// joiner's own install) — these partitions are already served.
+    early_handoffs: DetHashSet<u32>,
+    pending_client: Vec<PendingClient>,
+    pending_rep: DetHashMap<u64, PendingPut>,
+    seqs: DetHashMap<u32, u64>,
+    next_req: u64,
+    stats: KvStats,
+}
+
+impl KvNode {
+    /// Creates the data plane for process `me`. `cache` lets co-hosted
+    /// nodes (the simulator) share placement computations.
+    pub fn new(
+        me: Member,
+        spec: PlacementConfig,
+        op_timeout_ms: u64,
+        cache: Option<PlacementCache>,
+    ) -> KvNode {
+        KvNode {
+            me,
+            spec,
+            op_timeout_ms,
+            cache,
+            view: None,
+            store: DetHashMap::default(),
+            awaiting: DetHashMap::default(),
+            expect_initial_handoffs: false,
+            early_handoffs: DetHashSet::default(),
+            pending_client: Vec::new(),
+            pending_rep: DetHashMap::default(),
+            seqs: DetHashMap::default(),
+            next_req: 1,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Marks this node as joining an established cluster: its first
+    /// installed view treats every partition it owns as awaiting a
+    /// handoff, so it cannot serve reads from its (empty) store while
+    /// the plan-chosen sources are still pushing. Sources push even for
+    /// empty partitions, so the guard clears promptly; if a source died
+    /// mid-push, the usual grace period applies.
+    pub fn expect_initial_handoffs(mut self) -> KvNode {
+        self.expect_initial_handoffs = true;
+        self
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> &Member {
+        &self.me
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    /// The current placement, if a view was installed.
+    pub fn placement(&self) -> Option<&Arc<Placement>> {
+        self.view.as_ref().map(|(_, p)| p)
+    }
+
+    /// Number of keys currently stored locally (all partitions).
+    pub fn local_keys(&self) -> usize {
+        self.store.values().map(|m| m.len()).sum()
+    }
+
+    /// Whether any partition is still awaiting a rebalance handoff.
+    pub fn rebalance_settled(&self) -> bool {
+        self.awaiting.is_empty()
+    }
+
+    fn placement_for(&self, config: &Arc<Configuration>) -> Arc<Placement> {
+        match &self.cache {
+            Some(c) => c.get(config, &self.spec),
+            None => Arc::new(Placement::compute(config, &self.spec)),
+        }
+    }
+
+    /// Installs a new membership view — the subscription hook the whole
+    /// subsystem hangs off. Recomputes placement, diffs, and pushes the
+    /// handoffs this node deterministically owns as a source.
+    pub fn on_view(&mut self, config: Arc<Configuration>, now: u64, out: &mut Vec<KvOut>) {
+        let placement = self.placement_for(&config);
+        if self.view.is_none() && self.expect_initial_handoffs {
+            // First view after joining an established cluster: everything
+            // this node now owns may hold data elsewhere.
+            if let Some(my_rank) = config.rank_of(self.me.id) {
+                for p in 0..placement.partitions() {
+                    if placement.replicas(p).contains(&(my_rank as u32))
+                        && !self.early_handoffs.contains(&p)
+                    {
+                        self.awaiting.insert(p, now + 2 * self.op_timeout_ms);
+                    }
+                }
+            }
+            self.early_handoffs = DetHashSet::default();
+        }
+        if let Some((old_cfg, old_pl)) = self.view.take() {
+            if old_cfg.id() == config.id() {
+                self.view = Some((old_cfg, old_pl));
+                return;
+            }
+            let plan = RebalancePlan::diff(&old_pl, &old_cfg, &placement, &config);
+            self.stats.rebalances += 1;
+            self.stats.partitions_lost += plan.lost.len() as u64;
+            self.stats.leader_changes += plan.leader_changes as u64;
+            let mut last_partition = None;
+            for mv in &plan.moves {
+                // Never push a partition this node is itself still
+                // awaiting: the plan cannot see local handoff progress,
+                // and pushing an empty store would clear the receiver's
+                // guard with wrong (missing) data. The receiver falls
+                // back to its grace period instead.
+                if mv.source == self.me.addr && !self.awaiting.contains_key(&mv.partition) {
+                    let entries: Vec<(String, String, u64)> = self
+                        .store
+                        .get(&mv.partition)
+                        .map(|m| {
+                            let mut v: Vec<_> = m
+                                .iter()
+                                .map(|(k, (val, ver))| (k.clone(), val.clone(), *ver))
+                                .collect();
+                            v.sort();
+                            v
+                        })
+                        .unwrap_or_default();
+                    let msg = KvMsg::Handoff {
+                        partition: mv.partition,
+                        entries,
+                    };
+                    self.stats.handoffs_sent += 1;
+                    self.stats.bytes_moved += encoded_len(&msg) as u64;
+                    if last_partition != Some(mv.partition) {
+                        self.stats.partitions_moved += 1;
+                        last_partition = Some(mv.partition);
+                    }
+                    out.push(KvOut::Send(mv.to, msg));
+                }
+                if mv.to == self.me.addr {
+                    // Expect data; until it lands, reads on this partition
+                    // fail retryably. Budget: two op timeouts, then serve
+                    // whatever arrived (the source may have died mid-push).
+                    self.awaiting
+                        .insert(mv.partition, now + 2 * self.op_timeout_ms);
+                }
+            }
+            // Drop partitions this node no longer replicates.
+            if let Some(my_rank) = config.rank_of(self.me.id) {
+                let keep: DetHashSet<u32> = (0..placement.partitions())
+                    .filter(|&p| placement.replicas(p).contains(&(my_rank as u32)))
+                    .collect();
+                self.store.retain(|p, _| keep.contains(p));
+                self.awaiting.retain(|p, _| keep.contains(p));
+            } else {
+                // Not in the view at all (kicked/left): nothing to serve.
+                self.store.clear();
+                self.awaiting.clear();
+            }
+        }
+        self.view = Some((config, placement));
+    }
+
+    fn leader_addr(&self, partition: u32) -> Option<Endpoint> {
+        let (cfg, pl) = self.view.as_ref()?;
+        let rank = pl.leader(partition) as usize;
+        Some(cfg.members()[rank].addr)
+    }
+
+    fn is_leader(&self, partition: u32) -> bool {
+        let Some((cfg, pl)) = self.view.as_ref() else {
+            return false;
+        };
+        cfg.rank_of(self.me.id) == Some(pl.leader(partition) as usize)
+    }
+
+    fn replica_addrs_except_me(&self, partition: u32) -> Vec<Endpoint> {
+        let Some((cfg, pl)) = self.view.as_ref() else {
+            return Vec::new();
+        };
+        pl.replicas(partition)
+            .iter()
+            .map(|&i| cfg.members()[i as usize].addr)
+            .filter(|a| *a != self.me.addr)
+            .collect()
+    }
+
+    fn resolve_client(&mut self, req: u64, outcome: KvOutcome, out: &mut Vec<KvOut>) {
+        let Some(pos) = self.pending_client.iter().position(|p| p.req == req) else {
+            return; // Already timed out.
+        };
+        let pc = self.pending_client.swap_remove(pos);
+        match (&outcome, pc.is_put) {
+            (KvOutcome::Acked { .. }, _) => self.stats.puts_acked += 1,
+            (KvOutcome::Failed, true) => self.stats.puts_failed += 1,
+            (KvOutcome::Failed, false) => self.stats.gets_failed += 1,
+            (_, false) => self.stats.gets_ok += 1,
+            _ => {}
+        }
+        out.push(KvOut::Done(req, outcome));
+    }
+
+    /// Begins a client write through this node as coordinator; the result
+    /// arrives later as [`KvOut::Done`] with the returned request id.
+    pub fn client_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending_client.push(PendingClient {
+            req,
+            deadline: now + self.op_timeout_ms,
+            is_put: true,
+        });
+        let partition = partition_of(key, self.spec.partitions);
+        match self.leader_addr(partition) {
+            None => self.resolve_client(req, KvOutcome::Failed, out),
+            Some(leader) if leader == self.me.addr => {
+                self.leader_put(req, self.me.addr, key, val, now, out);
+            }
+            Some(leader) => out.push(KvOut::Send(
+                leader,
+                KvMsg::Put {
+                    req,
+                    origin: self.me.addr,
+                    key: key.to_string(),
+                    val: val.to_string(),
+                },
+            )),
+        }
+        req
+    }
+
+    /// Begins a client read through this node as coordinator.
+    pub fn client_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending_client.push(PendingClient {
+            req,
+            deadline: now + self.op_timeout_ms,
+            is_put: false,
+        });
+        let partition = partition_of(key, self.spec.partitions);
+        match self.leader_addr(partition) {
+            None => self.resolve_client(req, KvOutcome::Failed, out),
+            Some(leader) if leader == self.me.addr => {
+                let resp = self.leader_get_resp(req, key);
+                self.finish_get(resp, out);
+            }
+            Some(leader) => out.push(KvOut::Send(
+                leader,
+                KvMsg::Get {
+                    req,
+                    origin: self.me.addr,
+                    key: key.to_string(),
+                },
+            )),
+        }
+        req
+    }
+
+    fn put_fail(&mut self, req: u64, origin: Endpoint, out: &mut Vec<KvOut>) {
+        if origin == self.me.addr {
+            self.resolve_client(req, KvOutcome::Failed, out);
+        } else {
+            out.push(KvOut::Send(
+                origin,
+                KvMsg::PutAck {
+                    req,
+                    ok: false,
+                    version: 0,
+                },
+            ));
+        }
+    }
+
+    fn put_ack(&mut self, req: u64, origin: Endpoint, version: u64, out: &mut Vec<KvOut>) {
+        if origin == self.me.addr {
+            self.resolve_client(req, KvOutcome::Acked { version }, out);
+        } else {
+            out.push(KvOut::Send(
+                origin,
+                KvMsg::PutAck {
+                    req,
+                    ok: true,
+                    version,
+                },
+            ));
+        }
+    }
+
+    fn leader_put(
+        &mut self,
+        req: u64,
+        origin: Endpoint,
+        key: &str,
+        val: &str,
+        now: u64,
+        out: &mut Vec<KvOut>,
+    ) {
+        let partition = partition_of(key, self.spec.partitions);
+        if !self.is_leader(partition) {
+            return self.put_fail(req, origin, out);
+        }
+        let config_seq = self.view.as_ref().map(|(c, _)| c.seq()).unwrap_or(0);
+        // Versions are (config seq, per-partition counter); the counter
+        // saturates rather than wrapping into the seq bits, so an absurd
+        // write volume stalls (newer writes refused as stale) instead of
+        // silently regressing versions.
+        let seq = self.seqs.entry(partition).or_insert(0);
+        if *seq < u32::MAX as u64 {
+            *seq += 1;
+        }
+        let version = (config_seq << 32) | *seq;
+        self.store
+            .entry(partition)
+            .or_default()
+            .insert(key.to_string(), (val.to_string(), version));
+        let others = self.replica_addrs_except_me(partition);
+        if others.is_empty() {
+            return self.put_ack(req, origin, version, out);
+        }
+        // Leader-local id for the replication round: coordinator request
+        // ids are only unique per origin, and two origins can race the
+        // same leader.
+        let rep = self.next_req;
+        self.next_req += 1;
+        self.pending_rep.insert(
+            rep,
+            PendingPut {
+                origin,
+                client_req: req,
+                waiting: others.clone(),
+                version,
+                deadline: now + self.op_timeout_ms,
+            },
+        );
+        for r in others {
+            out.push(KvOut::Send(
+                r,
+                KvMsg::Replicate {
+                    partition,
+                    req: rep,
+                    leader: self.me.addr,
+                    key: key.to_string(),
+                    val: val.to_string(),
+                    version,
+                },
+            ));
+        }
+    }
+
+    fn leader_get_resp(&self, req: u64, key: &str) -> KvMsg {
+        let partition = partition_of(key, self.spec.partitions);
+        if !self.is_leader(partition) || self.awaiting.contains_key(&partition) {
+            return KvMsg::GetResp {
+                req,
+                ok: false,
+                found: false,
+                val: String::new(),
+                version: 0,
+            };
+        }
+        match self.store.get(&partition).and_then(|m| m.get(key)) {
+            Some((val, version)) => KvMsg::GetResp {
+                req,
+                ok: true,
+                found: true,
+                val: val.clone(),
+                version: *version,
+            },
+            None => KvMsg::GetResp {
+                req,
+                ok: true,
+                found: false,
+                val: String::new(),
+                version: 0,
+            },
+        }
+    }
+
+    fn finish_get(&mut self, resp: KvMsg, out: &mut Vec<KvOut>) {
+        let KvMsg::GetResp {
+            req,
+            ok,
+            found,
+            val,
+            version,
+        } = resp
+        else {
+            unreachable!("finish_get only consumes GetResp");
+        };
+        let outcome = match (ok, found) {
+            (false, _) => KvOutcome::Failed,
+            (true, false) => KvOutcome::Missing,
+            (true, true) => KvOutcome::Found { val, version },
+        };
+        self.resolve_client(req, outcome, out);
+    }
+
+    fn merge(&mut self, partition: u32, key: String, val: String, version: u64) {
+        let slot = self.store.entry(partition).or_default();
+        match slot.get(&key) {
+            Some((_, existing)) if *existing >= version => {}
+            _ => {
+                slot.insert(key, (val, version));
+            }
+        }
+    }
+
+    /// Handles a data-plane message from a peer.
+    pub fn on_message(&mut self, from: Endpoint, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
+        match msg {
+            KvMsg::Put {
+                req,
+                origin,
+                key,
+                val,
+            } => self.leader_put(req, origin, &key, &val, now, out),
+            KvMsg::PutAck { req, ok, version } => {
+                let outcome = if ok {
+                    KvOutcome::Acked { version }
+                } else {
+                    KvOutcome::Failed
+                };
+                self.resolve_client(req, outcome, out);
+            }
+            KvMsg::Get { req, origin, key } => {
+                let resp = self.leader_get_resp(req, &key);
+                out.push(KvOut::Send(origin, resp));
+            }
+            resp @ KvMsg::GetResp { .. } => self.finish_get(resp, out),
+            KvMsg::Replicate {
+                partition,
+                req,
+                leader,
+                key,
+                val,
+                version,
+            } => {
+                self.merge(partition, key, val, version);
+                out.push(KvOut::Send(leader, KvMsg::RepAck { req }));
+            }
+            KvMsg::RepAck { req } => {
+                let done = match self.pending_rep.get_mut(&req) {
+                    Some(p) => {
+                        p.waiting.retain(|r| *r != from);
+                        p.waiting.is_empty()
+                    }
+                    None => false,
+                };
+                if done {
+                    let p = self.pending_rep.remove(&req).expect("checked above");
+                    self.put_ack(p.client_req, p.origin, p.version, out);
+                }
+            }
+            KvMsg::Handoff { partition, entries } => {
+                for (k, v, ver) in entries {
+                    self.merge(partition, k, v, ver);
+                }
+                self.awaiting.remove(&partition);
+                if self.view.is_none() {
+                    self.early_handoffs.insert(partition);
+                }
+                self.stats.handoffs_applied += 1;
+            }
+        }
+    }
+
+    /// Advances time: expires client ops, replication waits, and stale
+    /// handoff expectations.
+    pub fn on_tick(&mut self, now: u64, out: &mut Vec<KvOut>) {
+        let expired: Vec<u64> = self
+            .pending_client
+            .iter()
+            .filter(|p| p.deadline <= now)
+            .map(|p| p.req)
+            .collect();
+        for req in expired {
+            self.resolve_client(req, KvOutcome::Failed, out);
+        }
+        let rep_expired: Vec<u64> = self
+            .pending_rep
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&req, _)| req)
+            .collect();
+        for req in rep_expired {
+            if let Some(p) = self.pending_rep.remove(&req) {
+                self.put_fail(p.client_req, p.origin, out);
+            }
+        }
+        self.awaiting.retain(|_, deadline| *deadline > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_core::id::NodeId;
+
+    fn members(n: usize) -> Vec<Member> {
+        (0..n)
+            .map(|i| {
+                Member::new(
+                    NodeId::from_u128(i as u128 + 1),
+                    Endpoint::new(format!("kv-{i}"), 7100),
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> PlacementConfig {
+        PlacementConfig {
+            partitions: 16,
+            replication: 2,
+        }
+    }
+
+    /// A little in-process cluster harness delivering KV messages
+    /// synchronously, for unit-testing the state machine without a
+    /// simulator.
+    struct Mesh {
+        nodes: Vec<KvNode>,
+        config: Arc<Configuration>,
+    }
+
+    impl Mesh {
+        fn new(n: usize) -> Mesh {
+            let ms = members(n);
+            let config = Configuration::bootstrap(ms.clone());
+            let cache = PlacementCache::new();
+            let mut nodes: Vec<KvNode> = ms
+                .into_iter()
+                .map(|m| KvNode::new(m, spec(), 1_000, Some(cache.clone())))
+                .collect();
+            let mut out = Vec::new();
+            for node in &mut nodes {
+                node.on_view(Arc::clone(&config), 0, &mut out);
+            }
+            assert!(out.is_empty(), "initial view must not emit traffic");
+            Mesh { nodes, config }
+        }
+
+        fn idx_of(&self, addr: Endpoint) -> usize {
+            self.nodes
+                .iter()
+                .position(|n| n.me().addr == addr)
+                .expect("addressed node exists")
+        }
+
+        /// Runs the message pump to quiescence, returning client results.
+        /// `origin` is the node whose outputs seeded the queue (the real
+        /// hosts know the sender of every frame; RepAck quorums depend
+        /// on it).
+        fn pump_from(&mut self, origin: usize, seed: Vec<KvOut>) -> Vec<(u64, KvOutcome)> {
+            let origin_addr = self.nodes[origin].me().addr;
+            let mut queue: Vec<(Endpoint, KvOut)> =
+                seed.into_iter().map(|item| (origin_addr, item)).collect();
+            let mut done = Vec::new();
+            let mut hops = 0;
+            while let Some((from, item)) = queue.pop() {
+                hops += 1;
+                assert!(hops < 10_000, "message storm");
+                match item {
+                    KvOut::Done(req, outcome) => done.push((req, outcome)),
+                    KvOut::Send(to, msg) => {
+                        let idx = self.idx_of(to);
+                        let mut out = Vec::new();
+                        self.nodes[idx].on_message(from, msg, 0, &mut out);
+                        queue.extend(out.into_iter().map(|item| (to, item)));
+                    }
+                }
+            }
+            done
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrip_through_any_coordinator() {
+        let mut mesh = Mesh::new(4);
+        let mut out = Vec::new();
+        let req = mesh.nodes[0].client_put("user:7", "v1", 0, &mut out);
+        let results = mesh.pump_from(0, out);
+        // The ack may have routed back through node 0's inbox; collect it.
+        let acked = results
+            .iter()
+            .any(|(r, o)| *r == req && matches!(o, KvOutcome::Acked { .. }));
+        assert!(acked, "put must ack: {results:?}");
+
+        // Read through a different coordinator.
+        let mut out = Vec::new();
+        let req = mesh.nodes[3].client_get("user:7", 0, &mut out);
+        let results = mesh.pump_from(3, out);
+        assert!(
+            results.iter().any(|(r, o)| *r == req
+                && matches!(o, KvOutcome::Found { val, .. } if val == "v1")),
+            "get must find the value: {results:?}"
+        );
+
+        // A missing key reads as Missing, not Failed.
+        let mut out = Vec::new();
+        let req = mesh.nodes[2].client_get("user:unseen", 0, &mut out);
+        let results = mesh.pump_from(2, out);
+        assert!(results
+            .iter()
+            .any(|(r, o)| *r == req && *o == KvOutcome::Missing));
+    }
+
+    #[test]
+    fn acked_writes_reach_every_replica() {
+        let mut mesh = Mesh::new(5);
+        let mut out = Vec::new();
+        mesh.nodes[1].client_put("k", "v", 0, &mut out);
+        let results = mesh.pump_from(1, out);
+        let version = match &results[..] {
+            [(_, KvOutcome::Acked { version })] => *version,
+            other => panic!("expected one ack, got {other:?}"),
+        };
+        let partition = partition_of("k", spec().partitions);
+        let placement = mesh.nodes[0].placement().unwrap().clone();
+        for &rank in placement.replicas(partition) {
+            let node = &mesh.nodes[mesh.idx_of(mesh.config.members()[rank as usize].addr)];
+            let entry = node
+                .store
+                .get(&partition)
+                .and_then(|m| m.get("k"))
+                .unwrap_or_else(|| panic!("replica rank {rank} missing the write"));
+            assert_eq!(entry, &("v".to_string(), version));
+        }
+    }
+
+    #[test]
+    fn overwrites_bump_versions_monotonically() {
+        let mut mesh = Mesh::new(3);
+        let mut versions = Vec::new();
+        for i in 0..4 {
+            let mut out = Vec::new();
+            mesh.nodes[0].client_put("key", &format!("v{i}"), 0, &mut out);
+            for (_, o) in mesh.pump_from(0, out) {
+                if let KvOutcome::Acked { version } = o {
+                    versions.push(version);
+                }
+            }
+        }
+        assert_eq!(versions.len(), 4);
+        assert!(versions.windows(2).all(|w| w[0] < w[1]), "{versions:?}");
+    }
+
+    #[test]
+    fn ops_without_a_view_fail_fast() {
+        let m = members(1).remove(0);
+        let mut kv = KvNode::new(m, spec(), 1_000, None);
+        let mut out = Vec::new();
+        let req = kv.client_put("k", "v", 0, &mut out);
+        assert!(matches!(&out[..], [KvOut::Done(r, KvOutcome::Failed)] if *r == req));
+        let mut out = Vec::new();
+        let req = kv.client_get("k", 0, &mut out);
+        assert!(matches!(&out[..], [KvOut::Done(r, KvOutcome::Failed)] if *r == req));
+        assert_eq!(kv.stats().puts_failed, 1);
+        assert_eq!(kv.stats().gets_failed, 1);
+    }
+
+    #[test]
+    fn client_ops_time_out() {
+        // A coordinator whose leader never answers (we just don't deliver
+        // the forward) fails the op at its deadline.
+        let mut mesh = Mesh::new(3);
+        let mut out = Vec::new();
+        // Find a key whose leader is NOT node 0 so the op stays pending.
+        let key = (0..100)
+            .map(|i| format!("probe-{i}"))
+            .find(|k| {
+                let p = partition_of(k, spec().partitions);
+                mesh.nodes[0].leader_addr(p) != Some(mesh.nodes[0].me().addr)
+            })
+            .expect("some key routes away from node 0");
+        let req = mesh.nodes[0].client_put(&key, "v", 0, &mut out);
+        assert!(matches!(&out[..], [KvOut::Send(..)]));
+        let mut tick_out = Vec::new();
+        mesh.nodes[0].on_tick(999, &mut tick_out);
+        assert!(tick_out.is_empty(), "not expired yet");
+        mesh.nodes[0].on_tick(1_000, &mut tick_out);
+        assert!(
+            matches!(&tick_out[..], [KvOut::Done(r, KvOutcome::Failed)] if *r == req),
+            "{tick_out:?}"
+        );
+    }
+
+    #[test]
+    fn codec_roundtrips_and_sizes_match() {
+        let msgs = vec![
+            KvMsg::Put {
+                req: 9,
+                origin: Endpoint::new("kv-0", 7100),
+                key: "k".into(),
+                val: "v".into(),
+            },
+            KvMsg::PutAck {
+                req: 9,
+                ok: true,
+                version: 77,
+            },
+            KvMsg::Get {
+                req: 10,
+                origin: Endpoint::new("kv-1", 7100),
+                key: "k".into(),
+            },
+            KvMsg::GetResp {
+                req: 10,
+                ok: true,
+                found: false,
+                val: String::new(),
+                version: 0,
+            },
+            KvMsg::Replicate {
+                partition: 3,
+                req: 11,
+                leader: Endpoint::new("kv-2", 7100),
+                key: "k".into(),
+                val: "v".into(),
+                version: 78,
+            },
+            KvMsg::RepAck { req: 11 },
+            KvMsg::Handoff {
+                partition: 4,
+                entries: vec![("a".into(), "1".into(), 5), ("b".into(), "2".into(), 6)],
+            },
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            encode(&msg, &mut buf);
+            assert_eq!(buf.len(), encoded_len(&msg), "size mismatch for {msg:?}");
+            assert_eq!(decode(&buf).unwrap(), msg);
+        }
+        assert!(decode(&[99, 0, 0]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # rapid-route
+//!
+//! View-driven partition placement and a replicated KV data plane.
+//!
+//! The paper's central claim — strong, consistent membership views — is
+//! only worth its cost if applications can *derive* coordination from
+//! the view instead of running more consensus. This crate is that
+//! derivation, generalizing the dataplatform (§7, Fig. 12) and
+//! discovery (§7, Fig. 13) integrations into a real serving layer:
+//!
+//! * [`placement`] — a deterministic balanced-rendezvous mapping of `P`
+//!   partitions onto `RF` replicas with a rank-derived leader, a pure
+//!   function of the [`Configuration`](rapid_core::config::Configuration)
+//!   every member already agrees on; plus the minimal
+//!   [`RebalancePlan`] between two placements.
+//! * [`kv`] — a sans-io replicated KV state machine: any node
+//!   coordinates, leaders version and replicate, acked writes survive
+//!   any failure leaving one replica alive, and view changes trigger
+//!   deterministic push handoffs.
+//! * [`sim`] — the data plane co-hosted with membership inside the
+//!   deterministic simulator ([`sim::KvSimActor`]).
+//! * [`real`] — the data plane on real TCP ([`real::KvRuntime`]), riding
+//!   the transport's app frames.
+//!
+//! See `docs/ROUTING.md` for the algorithm, the plan format, and driver
+//! caveats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod placement;
+pub mod real;
+pub mod sim;
+
+pub use kv::{KvMsg, KvNode, KvOut, KvOutcome, KvStats};
+pub use placement::{
+    partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
+};
+pub use real::KvRuntime;
+pub use sim::{KvClusterBuilder, KvSimActor, RouteMsg};

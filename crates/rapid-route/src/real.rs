@@ -1,0 +1,398 @@
+//! Hosting the KV data plane on the real TCP transport.
+//!
+//! [`KvRuntime`] owns a [`rapid_transport::Runtime`] and drives a
+//! [`KvNode`] from its event stream on a dedicated worker thread: view
+//! changes feed placement, app frames carry [`KvMsg`]s, and client
+//! operations arrive over a channel and resolve through per-op reply
+//! channels. The data plane is the same state machine the simulator
+//! runs — only the clock and the wires differ.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rapid_core::config::Member;
+use rapid_core::hash::DetHashMap;
+use rapid_core::id::Endpoint;
+use rapid_core::membership::ViewChange;
+use rapid_core::node::NodeStatus;
+use rapid_core::settings::Settings;
+use rapid_transport::{AppEvent, Runtime};
+
+use crate::kv::{self, KvNode, KvOut, KvOutcome, KvStats};
+use crate::placement::PlacementConfig;
+
+/// A client operation submitted to the worker.
+enum RealOp {
+    Put {
+        key: String,
+        val: String,
+        reply: Sender<KvOutcome>,
+    },
+    Get {
+        key: String,
+        reply: Sender<KvOutcome>,
+    },
+}
+
+enum RealCtl {
+    Leave,
+    Shutdown,
+}
+
+/// Worker-published view of the node, for the scenario driver's polls.
+#[derive(Clone, Debug)]
+struct Mirror {
+    status: NodeStatus,
+    view_len: usize,
+    view_count: u64,
+    stats: KvStats,
+}
+
+/// A real process running membership + the KV data plane.
+pub struct KvRuntime {
+    addr: Endpoint,
+    ops_tx: Sender<RealOp>,
+    ctl_tx: Sender<RealCtl>,
+    mirror: Arc<Mutex<Mirror>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl KvRuntime {
+    /// Starts a seed process with the data plane attached.
+    pub fn start_seed(
+        listen: Endpoint,
+        settings: Settings,
+        route: PlacementConfig,
+        op_timeout_ms: u64,
+    ) -> std::io::Result<KvRuntime> {
+        let rt = Runtime::start_seed(listen, settings)?;
+        Ok(Self::wrap(rt, route, op_timeout_ms, false))
+    }
+
+    /// Starts a joining process with the data plane attached.
+    pub fn start_joiner(
+        listen: Endpoint,
+        seeds: Vec<Endpoint>,
+        settings: Settings,
+        metadata: rapid_core::Metadata,
+        route: PlacementConfig,
+        op_timeout_ms: u64,
+    ) -> std::io::Result<KvRuntime> {
+        let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
+        Ok(Self::wrap(rt, route, op_timeout_ms, true))
+    }
+
+    fn wrap(rt: Runtime, route: PlacementConfig, op_timeout_ms: u64, joiner: bool) -> KvRuntime {
+        let addr = *rt.addr();
+        let me: Member = rt.member().clone();
+        let mut kv = KvNode::new(me, route, op_timeout_ms, None);
+        if joiner {
+            kv = kv.expect_initial_handoffs();
+        }
+        let (ops_tx, ops_rx) = bounded::<RealOp>(16 * 1024);
+        let (ctl_tx, ctl_rx) = bounded::<RealCtl>(16);
+        let mirror = Arc::new(Mutex::new(Mirror {
+            status: rt.status(),
+            view_len: rt.view().len(),
+            view_count: 0,
+            stats: KvStats::default(),
+        }));
+        let worker_mirror = Arc::clone(&mirror);
+        let handle = std::thread::spawn(move || {
+            worker(rt, kv, ops_rx, ctl_rx, worker_mirror);
+        });
+        KvRuntime {
+            addr,
+            ops_tx,
+            ctl_tx,
+            mirror,
+            handle: Some(handle),
+        }
+    }
+
+    /// The node's listen address.
+    pub fn addr(&self) -> Endpoint {
+        self.addr
+    }
+
+    /// Latest published lifecycle status.
+    pub fn status(&self) -> NodeStatus {
+        self.mirror.lock().status
+    }
+
+    /// Latest published view size.
+    pub fn view_len(&self) -> usize {
+        self.mirror.lock().view_len
+    }
+
+    /// View changes observed so far.
+    pub fn view_count(&self) -> u64 {
+        self.mirror.lock().view_count
+    }
+
+    /// Latest published data-plane counters.
+    pub fn stats(&self) -> KvStats {
+        self.mirror.lock().stats
+    }
+
+    /// Begins a write through this process; the outcome arrives on the
+    /// returned channel (dropped channel = op abandoned).
+    pub fn begin_put(&self, key: &str, val: &str) -> Receiver<KvOutcome> {
+        let (reply, rx) = bounded(1);
+        let _ = self.ops_tx.try_send(RealOp::Put {
+            key: key.to_string(),
+            val: val.to_string(),
+            reply,
+        });
+        rx
+    }
+
+    /// Begins a read through this process.
+    pub fn begin_get(&self, key: &str) -> Receiver<KvOutcome> {
+        let (reply, rx) = bounded(1);
+        let _ = self.ops_tx.try_send(RealOp::Get {
+            key: key.to_string(),
+            reply,
+        });
+        rx
+    }
+
+    /// Announces a voluntary departure and stops the process.
+    pub fn leave(mut self) {
+        let _ = self.ctl_tx.send(RealCtl::Leave);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Hard-stops the process (a crash, as far as the cluster knows).
+    pub fn shutdown_now(mut self) {
+        let _ = self.ctl_tx.send(RealCtl::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for KvRuntime {
+    fn drop(&mut self) {
+        let _ = self.ctl_tx.try_send(RealCtl::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker(
+    rt: Runtime,
+    mut kv: KvNode,
+    ops_rx: Receiver<RealOp>,
+    ctl_rx: Receiver<RealCtl>,
+    mirror: Arc<Mutex<Mirror>>,
+) {
+    let mut out: Vec<KvOut> = Vec::new();
+    let mut replies: DetHashMap<u64, Sender<KvOutcome>> = DetHashMap::default();
+    let start = Instant::now();
+    let mut view_count = 0u64;
+    let mut next_tick = Instant::now();
+    // If the process starts as an active seed, its one-member view is
+    // already installed — subscribe the data plane immediately.
+    if rt.status() == NodeStatus::Active {
+        let now = 0;
+        kv.on_view(ViewChange::initial(rt.view()).configuration, now, &mut out);
+    }
+    loop {
+        match ctl_rx.try_recv() {
+            Ok(RealCtl::Leave) => {
+                rt.leave();
+                let mut m = mirror.lock();
+                m.status = NodeStatus::Left;
+                return;
+            }
+            Ok(RealCtl::Shutdown) => {
+                rt.shutdown_now();
+                return;
+            }
+            Err(_) => {}
+        }
+        let now = start.elapsed().as_millis() as u64;
+        // Membership + app events.
+        match rt.events().recv_timeout(Duration::from_millis(5)) {
+            Ok(AppEvent::View(vc)) => {
+                view_count += 1;
+                kv.on_view(vc.configuration, now, &mut out);
+            }
+            Ok(AppEvent::Joined(config)) => {
+                kv.on_view(config, now, &mut out);
+            }
+            Ok(AppEvent::App(from, bytes)) => {
+                // Corrupt peer payloads are dropped, like the transport does.
+                if let Ok(msg) = kv::decode(&bytes) {
+                    kv.on_message(from, msg, now, &mut out);
+                }
+            }
+            Ok(AppEvent::Kicked) | Err(_) => {}
+        }
+        // Client submissions.
+        while let Ok(op) = ops_rx.try_recv() {
+            let (req, reply) = match op {
+                RealOp::Put { key, val, reply } => (kv.client_put(&key, &val, now, &mut out), reply),
+                RealOp::Get { key, reply } => (kv.client_get(&key, now, &mut out), reply),
+            };
+            replies.insert(req, reply);
+        }
+        // Timers.
+        if Instant::now() >= next_tick {
+            kv.on_tick(now, &mut out);
+            next_tick = Instant::now() + Duration::from_millis(20);
+        }
+        // Dispatch.
+        for item in out.drain(..) {
+            match item {
+                KvOut::Send(to, msg) => {
+                    let mut buf = Vec::with_capacity(kv::encoded_len(&msg));
+                    kv::encode(&msg, &mut buf);
+                    rt.send_app(to, buf);
+                }
+                KvOut::Done(req, outcome) => {
+                    if let Some(reply) = replies.remove(&req) {
+                        let _ = reply.try_send(outcome);
+                    }
+                }
+            }
+        }
+        // Publish.
+        {
+            let mut m = mirror.lock();
+            m.status = rt.status();
+            m.view_len = rt.view().len();
+            m.view_count = view_count;
+            m.stats = *kv.stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            tick_interval_ms: 20,
+            fd_probe_interval_ms: 200,
+            fd_probe_timeout_ms: 200,
+            consensus_fallback_base_ms: 1_500,
+            consensus_fallback_jitter_ms: 500,
+            join_timeout_ms: 1_000,
+            gossip_interval_ms: 50,
+            ..Settings::default()
+        }
+    }
+
+    fn spec() -> PlacementConfig {
+        PlacementConfig {
+            partitions: 8,
+            replication: 2,
+        }
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+
+    #[test]
+    fn real_kv_cluster_serves_and_survives_a_crash() {
+        let settings = fast_settings();
+        let seed =
+            KvRuntime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone(), spec(), 2_000)
+                .unwrap();
+        let seed_addr = seed.addr();
+        let mut joiners = Vec::new();
+        for i in 0..3 {
+            joiners.push(
+                KvRuntime::start_joiner(
+                    Endpoint::new("127.0.0.1", 0),
+                    vec![seed_addr],
+                    settings.clone(),
+                    rapid_core::Metadata::with_entry("proc", format!("{i}")),
+                    spec(),
+                    2_000,
+                )
+                .unwrap(),
+            );
+        }
+        assert!(
+            wait_for(
+                || seed.view_len() == 4 && joiners.iter().all(|j| j.view_len() == 4),
+                Duration::from_secs(30)
+            ),
+            "4-node KV cluster must form, seed sees {}",
+            seed.view_len()
+        );
+
+        // Write through different coordinators, read through others.
+        let mut acked = Vec::new();
+        for i in 0..12 {
+            let via = if i % 2 == 0 { &seed } else { &joiners[i % 3] };
+            let rx = via.begin_put(&format!("rk{i}"), &format!("rv{i}"));
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(KvOutcome::Acked { version }) => acked.push((format!("rk{i}"), version)),
+                other => panic!("put {i} failed: {other:?}"),
+            }
+        }
+
+        // Crash one joiner; the survivors rebalance and keep serving.
+        let victim = joiners.pop().unwrap();
+        victim.shutdown_now();
+        assert!(
+            wait_for(
+                || seed.view_len() == 3 && joiners.iter().all(|j| j.view_len() == 3),
+                Duration::from_secs(60)
+            ),
+            "crashed node must be removed everywhere"
+        );
+        // Give handoffs a moment, then verify every acked write.
+        std::thread::sleep(Duration::from_millis(500));
+        for (key, version) in &acked {
+            let got = (|| {
+                for _ in 0..40 {
+                    let rx = joiners[0].begin_get(key);
+                    match rx.recv_timeout(Duration::from_secs(5)) {
+                        Ok(KvOutcome::Found { val, version: v }) => return Some((val, v)),
+                        _ => std::thread::sleep(Duration::from_millis(250)),
+                    }
+                }
+                None
+            })();
+            match got {
+                Some((val, v)) => {
+                    assert!(val.starts_with("rv"), "garbage value for {key}");
+                    assert!(v >= *version, "version went backwards for {key}");
+                }
+                None => {
+                    eprintln!("seed stats: {:?}", seed.stats());
+                    for (i, j) in joiners.iter().enumerate() {
+                        eprintln!("joiner{i} stats: {:?}", j.stats());
+                    }
+                    panic!("acked key {key} lost after crash");
+                }
+            }
+        }
+        let stats = seed.stats();
+        assert!(stats.rebalances >= 1, "seed must have rebalanced: {stats:?}");
+        for j in joiners {
+            j.shutdown_now();
+        }
+        seed.shutdown_now();
+    }
+}

@@ -1,0 +1,469 @@
+//! Hosting the KV data plane inside the deterministic simulator.
+//!
+//! [`KvSimActor`] co-hosts one Rapid membership [`Node`] and one
+//! [`KvNode`] per simulated process; membership and data-plane traffic
+//! share the simulated network (and its fault injection) through the
+//! combined [`RouteMsg`] message type. View changes flow from the
+//! membership node straight into the data plane via the action stream —
+//! the paper's view-change callback, wired to placement.
+
+use std::sync::Arc;
+
+use rapid_core::config::Configuration;
+use rapid_core::id::Endpoint;
+use rapid_core::membership::ViewChange;
+use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::ring::TopologyCache;
+use rapid_core::settings::Settings;
+use rapid_core::wire::{self, Message};
+use rapid_sim::cluster::{sim_member, ActorLog, RapidActor, RapidClusterBuilder};
+use rapid_sim::{Actor, Outbox, Simulation};
+
+use crate::kv::{self, KvMsg, KvNode, KvOut, KvOutcome, KvStats};
+use crate::placement::{PlacementCache, PlacementConfig};
+
+/// The combined wire vocabulary of a routed deployment: membership
+/// control traffic plus KV data traffic on one network.
+#[derive(Clone, Debug)]
+pub enum RouteMsg {
+    /// Rapid membership protocol.
+    Rapid(Message),
+    /// KV data plane.
+    Kv(KvMsg),
+}
+
+/// A simulated process running membership + KV.
+pub struct KvSimActor {
+    node: Node,
+    kv: KvNode,
+    /// Protocol events recorded for measurements (same shape as the
+    /// membership-only actor's log).
+    pub log: ActorLog,
+    /// Completed client operations issued through this process, drained
+    /// by the scenario driver.
+    pub completed: Vec<(u64, KvOutcome)>,
+    actions: Vec<Action>,
+    kv_out: Vec<KvOut>,
+}
+
+impl KvSimActor {
+    /// Wraps a membership node and its data plane.
+    pub fn new(node: Node, kv: KvNode) -> KvSimActor {
+        KvSimActor {
+            node,
+            kv,
+            log: ActorLog::default(),
+            completed: Vec::new(),
+            actions: Vec::new(),
+            kv_out: Vec::new(),
+        }
+    }
+
+    /// The membership node.
+    pub fn as_node(&self) -> &Node {
+        &self.node
+    }
+
+    /// The data plane.
+    pub fn kv(&self) -> &KvNode {
+        &self.kv
+    }
+
+    /// Data-plane counters.
+    pub fn kv_stats(&self) -> &KvStats {
+        self.kv.stats()
+    }
+
+    /// Voluntary departure (scenario `leave` workloads).
+    pub fn leave(&mut self, now: u64, out: &mut Outbox<RouteMsg>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.node.leave(&mut actions);
+        self.apply_actions(actions, now, out);
+    }
+
+    /// Starts a client write with this process as coordinator; the
+    /// result lands in [`KvSimActor::completed`].
+    pub fn begin_put(&mut self, key: &str, val: &str, now: u64, out: &mut Outbox<RouteMsg>) -> u64 {
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        let req = self.kv.client_put(key, val, now, &mut kv_out);
+        self.drain_kv(kv_out, out);
+        req
+    }
+
+    /// Starts a client read with this process as coordinator.
+    pub fn begin_get(&mut self, key: &str, now: u64, out: &mut Outbox<RouteMsg>) -> u64 {
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        let req = self.kv.client_get(key, now, &mut kv_out);
+        self.drain_kv(kv_out, out);
+        req
+    }
+
+    fn drain_kv(&mut self, mut kv_out: Vec<KvOut>, out: &mut Outbox<RouteMsg>) {
+        for item in kv_out.drain(..) {
+            match item {
+                KvOut::Send(to, msg) => out.send(to, RouteMsg::Kv(msg)),
+                KvOut::Done(req, outcome) => self.completed.push((req, outcome)),
+            }
+        }
+        self.kv_out = kv_out;
+    }
+
+    fn apply_actions(&mut self, mut actions: Vec<Action>, now: u64, out: &mut Outbox<RouteMsg>) {
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        for a in actions.drain(..) {
+            match a {
+                Action::Send { to, msg } => out.send(to, RouteMsg::Rapid(msg)),
+                Action::View(v) => {
+                    self.kv.on_view(Arc::clone(&v.configuration), now, &mut kv_out);
+                    self.log.views.push((now, v));
+                }
+                Action::Joined { config } => {
+                    self.kv.on_view(config, now, &mut kv_out);
+                    self.log.joined_at = Some(now);
+                }
+                Action::Kicked => self.log.kicked_at = Some(now),
+            }
+        }
+        self.actions = actions;
+        self.drain_kv(kv_out, out);
+    }
+}
+
+impl Actor for KvSimActor {
+    type Msg = RouteMsg;
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<RouteMsg>) {
+        let mut actions = std::mem::take(&mut self.actions);
+        self.node.handle(Event::Tick { now_ms: now }, &mut actions);
+        self.apply_actions(actions, now, out);
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        self.kv.on_tick(now, &mut kv_out);
+        self.drain_kv(kv_out, out);
+    }
+
+    fn on_message(&mut self, from: Endpoint, msg: RouteMsg, now: u64, out: &mut Outbox<RouteMsg>) {
+        match msg {
+            RouteMsg::Rapid(m) => {
+                let mut actions = std::mem::take(&mut self.actions);
+                self.node.handle(Event::Receive { from, msg: m }, &mut actions);
+                self.apply_actions(actions, now, out);
+            }
+            RouteMsg::Kv(m) => {
+                let mut kv_out = std::mem::take(&mut self.kv_out);
+                self.kv.on_message(from, m, now, &mut kv_out);
+                self.drain_kv(kv_out, out);
+            }
+        }
+    }
+
+    fn msg_size(msg: &RouteMsg) -> usize {
+        match msg {
+            RouteMsg::Rapid(m) => wire::encoded_len(m),
+            RouteMsg::Kv(m) => kv::encoded_len(m),
+        }
+    }
+
+    fn same_size(a: &RouteMsg, b: &RouteMsg) -> bool {
+        match (a, b) {
+            (RouteMsg::Rapid(x), RouteMsg::Rapid(y)) => RapidActor::same_size(x, y),
+            _ => false,
+        }
+    }
+
+    fn sample(&self) -> Option<f64> {
+        (self.node.status() == NodeStatus::Active)
+            .then(|| self.node.configuration().len() as f64)
+    }
+}
+
+/// Builder for simulated routed (membership + KV) deployments, mirroring
+/// [`RapidClusterBuilder`] with the data plane attached.
+pub struct KvClusterBuilder {
+    inner: RapidClusterBuilder,
+    route: PlacementConfig,
+    op_timeout_ms: u64,
+}
+
+impl KvClusterBuilder {
+    /// A builder with membership defaults and the given placement shape.
+    pub fn new(n: usize, route: PlacementConfig) -> KvClusterBuilder {
+        KvClusterBuilder {
+            inner: RapidClusterBuilder::new(n),
+            route,
+            op_timeout_ms: 2_500,
+        }
+    }
+
+    /// Overrides the protocol settings.
+    pub fn settings(mut self, settings: Settings) -> Self {
+        self.inner.settings = settings;
+        self
+    }
+
+    /// Overrides the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Overrides the client-op timeout.
+    pub fn op_timeout_ms(mut self, ms: u64) -> Self {
+        self.op_timeout_ms = ms;
+        self
+    }
+
+    fn kv_node(&self, i: usize, cache: &PlacementCache) -> KvNode {
+        KvNode::new(
+            sim_member(i),
+            self.route,
+            self.op_timeout_ms,
+            Some(cache.clone()),
+        )
+    }
+
+    /// All `n` processes pre-formed into one static configuration, data
+    /// plane live from t=0 (the failure experiments' starting state).
+    pub fn build_static(&self) -> Simulation<KvSimActor> {
+        let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
+        let members: Vec<_> = (0..self.inner.n).map(sim_member).collect();
+        let cfg = Configuration::bootstrap(members.clone());
+        let topo = TopologyCache::new();
+        let cache = PlacementCache::new();
+        for (i, m) in members.iter().enumerate() {
+            let node = Node::with_parts(
+                m.clone(),
+                self.inner.settings.clone(),
+                NodeStatus::Active,
+                Arc::clone(&cfg),
+                None,
+                None,
+                Some(topo.clone()),
+                Some(self.inner.seed.wrapping_add(i as u64)),
+            );
+            let mut kv = self.kv_node(i, &cache);
+            let mut out = Vec::new();
+            kv.on_view(Arc::clone(&cfg), 0, &mut out);
+            debug_assert!(out.is_empty(), "initial view emits nothing");
+            sim.add_actor(m.addr, KvSimActor::new(node, kv));
+        }
+        sim
+    }
+
+    /// Seed at t=0, the rest joining at t=10 s; the data plane on each
+    /// process activates when its join completes.
+    pub fn build_bootstrap(&self) -> Simulation<KvSimActor> {
+        let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
+        let topo = TopologyCache::new();
+        let cache = PlacementCache::new();
+        let seed_member = sim_member(0);
+        let seed_cfg = Configuration::bootstrap(vec![seed_member.clone()]);
+        let seed_node = Node::with_parts(
+            seed_member.clone(),
+            self.inner.settings.clone(),
+            NodeStatus::Active,
+            Arc::clone(&seed_cfg),
+            None,
+            None,
+            Some(topo.clone()),
+            Some(self.inner.seed ^ 0xBEEF),
+        );
+        let mut seed_kv = self.kv_node(0, &cache);
+        let mut out = Vec::new();
+        seed_kv.on_view(ViewChange::initial(seed_cfg).configuration, 0, &mut out);
+        debug_assert!(out.is_empty(), "initial view emits nothing");
+        sim.add_actor(seed_member.addr, KvSimActor::new(seed_node, seed_kv));
+        for i in 1..self.inner.n {
+            let m = sim_member(i);
+            let node = Node::with_parts(
+                m.clone(),
+                self.inner.settings.clone(),
+                NodeStatus::Joining,
+                Configuration::bootstrap(Vec::new()),
+                Some(vec![seed_member.addr]),
+                None,
+                Some(topo.clone()),
+                Some(self.inner.seed.wrapping_add(i as u64)),
+            );
+            sim.add_actor_at(
+                m.addr,
+                KvSimActor::new(node, self.kv_node(i, &cache).expect_initial_handoffs()),
+                self.inner.join_delay_ms,
+            );
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_sim::Fault;
+
+    fn quick_settings() -> Settings {
+        Settings {
+            consensus_fallback_base_ms: 3_000,
+            consensus_fallback_jitter_ms: 1_000,
+            ..Settings::default()
+        }
+    }
+
+    fn spec() -> PlacementConfig {
+        PlacementConfig {
+            partitions: 16,
+            replication: 3,
+        }
+    }
+
+    fn all_report(sim: &Simulation<KvSimActor>, target: usize) -> bool {
+        let mut seen = 0;
+        for i in 0..sim.len() {
+            if sim.net.is_crashed(i) {
+                continue;
+            }
+            match sim.actor(i).sample() {
+                Some(v) if (v - target as f64).abs() < 0.5 => seen += 1,
+                Some(_) => return false,
+                None => {}
+            }
+        }
+        seen > 0
+    }
+
+    /// Issues a put via actor `via` and runs until it completes.
+    fn put(sim: &mut Simulation<KvSimActor>, via: usize, key: &str, val: &str) -> KvOutcome {
+        let now = sim.now();
+        let req = sim.with_actor(via, |a, out| a.begin_put(key, val, now, out));
+        run_op(sim, via, req)
+    }
+
+    fn get(sim: &mut Simulation<KvSimActor>, via: usize, key: &str) -> KvOutcome {
+        let now = sim.now();
+        let req = sim.with_actor(via, |a, out| a.begin_get(key, now, out));
+        run_op(sim, via, req)
+    }
+
+    fn run_op(sim: &mut Simulation<KvSimActor>, via: usize, req: u64) -> KvOutcome {
+        let deadline = sim.now() + 5_000;
+        while sim.now() < deadline {
+            sim.run_until(sim.now() + 100);
+            if let Some(pos) = sim
+                .actor(via)
+                .completed
+                .iter()
+                .position(|(r, _)| *r == req)
+            {
+                return sim.actor_mut(via).completed.swap_remove(pos).1;
+            }
+        }
+        panic!("op {req} via {via} never completed");
+    }
+
+    #[test]
+    fn static_kv_cluster_serves_puts_and_gets() {
+        let mut sim = KvClusterBuilder::new(8, spec())
+            .settings(quick_settings())
+            .seed(21)
+            .build_static();
+        sim.run_until(1_000);
+        for i in 0..10 {
+            let outcome = put(&mut sim, i % 8, &format!("key-{i}"), &format!("val-{i}"));
+            assert!(matches!(outcome, KvOutcome::Acked { .. }), "{outcome:?}");
+        }
+        for i in 0..10 {
+            let outcome = get(&mut sim, (i + 3) % 8, &format!("key-{i}"));
+            assert!(
+                matches!(&outcome, KvOutcome::Found { val, .. } if val == &format!("val-{i}")),
+                "{outcome:?}"
+            );
+        }
+        assert!(matches!(get(&mut sim, 0, "nope"), KvOutcome::Missing));
+    }
+
+    #[test]
+    fn crash_rebalances_and_acked_writes_survive() {
+        let mut sim = KvClusterBuilder::new(10, spec())
+            .settings(quick_settings())
+            .seed(22)
+            .build_static();
+        sim.run_until(1_000);
+        let mut acked = Vec::new();
+        for i in 0..24 {
+            let key = format!("k{i}");
+            if let KvOutcome::Acked { version } = put(&mut sim, i % 10, &key, &format!("v{i}")) {
+                acked.push((key, format!("v{i}"), version));
+            }
+        }
+        assert_eq!(acked.len(), 24, "healthy cluster must ack everything");
+
+        // Crash two processes (< RF), wait for the view change + handoff.
+        sim.schedule_fault(sim.now() + 100, Fault::Crash(2));
+        sim.schedule_fault(sim.now() + 100, Fault::Crash(7));
+        let t = sim.run_until_pred(sim.now() + 120_000, |s| all_report(s, 8));
+        assert!(t.is_some(), "membership must converge to 8");
+        sim.run_until(sim.now() + 10_000); // handoff settle
+
+        for (key, val, version) in &acked {
+            let via = (0..10).find(|&i| !sim.net.is_crashed(i)).unwrap();
+            match get(&mut sim, via, key) {
+                KvOutcome::Found { val: v, version: ver } => {
+                    assert_eq!(&v, val, "value for {key}");
+                    assert!(ver >= *version, "version went backwards for {key}");
+                }
+                other => panic!("acked key {key} lost: {other:?}"),
+            }
+        }
+        // A rebalance actually happened and moved bytes.
+        let mut stats = KvStats::default();
+        for i in 0..10 {
+            if !sim.net.is_crashed(i) {
+                stats.absorb(sim.actor(i).kv_stats());
+            }
+        }
+        assert!(stats.rebalances >= 1);
+        assert!(stats.bytes_moved > 0, "handoffs must move data");
+        assert_eq!(stats.partitions_lost, 0, "RF=3 survives 2 crashes");
+    }
+
+    #[test]
+    fn bootstrap_kv_cluster_comes_up_through_joins() {
+        let mut sim = KvClusterBuilder::new(6, spec())
+            .settings(quick_settings())
+            .seed(23)
+            .build_bootstrap();
+        let t = sim.run_until_pred(240_000, |s| all_report(s, 6));
+        assert!(t.is_some(), "bootstrap must converge");
+        sim.run_until(sim.now() + 10_000);
+        let outcome = put(&mut sim, 3, "boot-key", "boot-val");
+        assert!(matches!(outcome, KvOutcome::Acked { .. }), "{outcome:?}");
+        let outcome = get(&mut sim, 5, "boot-key");
+        assert!(
+            matches!(&outcome, KvOutcome::Found { val, .. } if val == "boot-val"),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = || {
+            let mut sim = KvClusterBuilder::new(6, spec())
+                .settings(quick_settings())
+                .seed(31)
+                .build_static();
+            sim.run_until(1_000);
+            for i in 0..8 {
+                put(&mut sim, i % 6, &format!("k{i}"), "v");
+            }
+            sim.schedule_fault(sim.now() + 50, Fault::Crash(1));
+            sim.run_until(sim.now() + 60_000);
+            let mut fp = rapid_core::hash::StableHasher::new("kv-trace");
+            fp.write_u64(sim.events_processed());
+            for i in 0..sim.len() {
+                let t = sim.traffic(i);
+                fp.write_u64(t.msgs_in).write_u64(t.msgs_out);
+                fp.write_u64(t.bytes_in).write_u64(t.bytes_out);
+            }
+            fp.finish()
+        };
+        assert_eq!(run(), run(), "KV trace must be deterministic");
+    }
+}

@@ -1,0 +1,194 @@
+//! Property pins of the placement function:
+//!
+//! 1. **Agreement** — any two nodes holding the same view compute
+//!    byte-identical placements, regardless of the order they learned
+//!    about members (the whole subsystem rests on this).
+//! 2. **Minimal disruption** — a single join or leave moves at most
+//!    `ceil(P/N)·RF` partitions (`N` the smaller cluster size) *in
+//!    expectation* — pinned as an aggregate over the sampled space —
+//!    and never more than twice that in any single event. The strict
+//!    per-event form is unattainable for any memoryless placement
+//!    (balance forces ~`P·RF/N` slots onto the churned node and hash
+//!    variance crosses any bound sitting at the mean; schemes with the
+//!    strict guarantee, e.g. AnchorHash, carry removal history that a
+//!    freshly joined member cannot reconstruct — see docs/ROUTING.md).
+
+use proptest::prelude::*;
+
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::{Proposal, ProposalItem};
+use rapid_core::metadata::Metadata;
+use rapid_route::{Placement, PlacementConfig};
+
+fn members_from_ids(ids: &[u128]) -> Vec<Member> {
+    ids.iter()
+        .map(|&id| {
+            Member::new(
+                NodeId::from_u128(id),
+                Endpoint::new(format!("prop-{id}"), 4100),
+            )
+        })
+        .collect()
+}
+
+/// Partitions whose replica sets differ between two placements, judged
+/// by member identity (NodeId), not rank.
+fn moved_partitions(
+    a: &Placement,
+    ca: &Configuration,
+    b: &Placement,
+    cb: &Configuration,
+) -> usize {
+    let to_ids = |pl: &Placement, cfg: &Configuration, p: u32| -> Vec<u128> {
+        let mut v: Vec<u128> = pl
+            .replicas(p)
+            .iter()
+            .map(|&i| cfg.members()[i as usize].id.as_u128())
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    (0..a.partitions())
+        .filter(|&p| to_ids(a, ca, p) != to_ids(b, cb, p))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two processes that install the same configuration agree on every
+    /// replica and every leader — placement digests (a hash of the full
+    /// map) and the maps themselves are identical even when the member
+    /// list was learned in a different order.
+    #[test]
+    fn nodes_sharing_a_view_compute_byte_identical_placement(
+        raw_ids in prop::collection::btree_set(1u128..1_000_000, 2..40),
+        partitions in 8u32..128,
+        replication in 1usize..5,
+    ) {
+        let ids: Vec<u128> = raw_ids.into_iter().collect();
+        let spec = PlacementConfig { partitions, replication };
+        // Node A learned members in sorted order; node B in reverse.
+        // Configuration canonicalises, so both views are equal — and the
+        // placement function must not care either way.
+        let cfg_a = Configuration::bootstrap(members_from_ids(&ids));
+        let mut rev = ids.clone();
+        rev.reverse();
+        let cfg_b = Configuration::bootstrap(members_from_ids(&rev));
+        prop_assert_eq!(cfg_a.id(), cfg_b.id(), "canonical configs must agree");
+        let pa = Placement::compute(&cfg_a, &spec);
+        let pb = Placement::compute(&cfg_b, &spec);
+        prop_assert_eq!(pa.digest(), pb.digest());
+        prop_assert_eq!(&pa, &pb);
+        // Structural sanity while we are here: RF distinct replicas, the
+        // leader among them.
+        let rf = replication.min(ids.len());
+        for p in 0..partitions {
+            prop_assert_eq!(pa.replicas(p).len(), rf);
+            let mut uniq = pa.replicas(p).to_vec();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), rf);
+            prop_assert!(pa.replicas(p).contains(&pa.leader(p)));
+        }
+    }
+
+    /// One membership event cannot reshuffle the world: every single
+    /// join/leave stays under twice the quota bound, and an identical
+    /// view moves nothing at all.
+    #[test]
+    fn single_churn_event_movement_is_hard_capped(
+        raw_ids in prop::collection::btree_set(1u128..1_000_000, 4..24),
+        density in 4u32..16,
+        replication in 2usize..5,
+        churn_seed in 0u64..1_000,
+    ) {
+        let ids: Vec<u128> = raw_ids.into_iter().collect();
+        let n = ids.len();
+        // Realistic sizing: several partitions per node (docs/ROUTING.md
+        // recommends P >= 4N); below that the per-event granularity is
+        // too coarse for any bound tighter than "a node's worth".
+        let partitions = n as u32 * density;
+        let spec = PlacementConfig { partitions, replication };
+        let cfg = Configuration::bootstrap(members_from_ids(&ids));
+        let before = Placement::compute(&cfg, &spec);
+
+        // Identical view => identical placement => zero movement.
+        prop_assert_eq!(moved_partitions(&before, &cfg, &before, &cfg), 0);
+
+        let bound = (partitions as usize).div_ceil(n) * replication.min(n);
+        let hard_cap = 2 * bound;
+
+        for (what, cfg_after) in churned_configs(&cfg, churn_seed) {
+            let after = Placement::compute(&cfg_after, &spec);
+            let moved = moved_partitions(&before, &cfg, &after, &cfg_after);
+            prop_assert!(
+                moved <= hard_cap,
+                "{} moved {} partitions > hard cap {} (n={}, P={}, RF={})",
+                what, moved, hard_cap, n, partitions, replication
+            );
+        }
+    }
+}
+
+/// The quota bound itself, `ceil(P/N)·RF`, holds in expectation: across a
+/// deterministic sweep of cluster shapes and churn events, the *total*
+/// movement stays under the total of the per-event bounds.
+#[test]
+fn churn_movement_stays_within_quota_bound_in_aggregate() {
+    let mut total_moved = 0usize;
+    let mut total_bound = 0usize;
+    let mut events = 0usize;
+    for n in [4usize, 7, 12, 19, 26] {
+        for density in [4u32, 8, 13] {
+            for rf in [2usize, 3] {
+                for seed in 0..4u64 {
+                    let ids: Vec<u128> =
+                        (0..n).map(|i| (i as u128 * 7919 + seed as u128 * 104_729) + 1).collect();
+                    // Offset by a few so P is not an exact multiple of N
+                    // (at exact multiples `ceil` has zero slop and the
+                    // bound coincides with the mean — a sizing any real
+                    // deployment avoids by construction).
+                    let partitions = n as u32 * density + 3;
+                    let spec = PlacementConfig { partitions, replication: rf };
+                    let cfg = Configuration::bootstrap(members_from_ids(&ids));
+                    let before = Placement::compute(&cfg, &spec);
+                    let bound = (partitions as usize).div_ceil(n) * rf;
+                    for (_, cfg_after) in churned_configs(&cfg, seed) {
+                        let after = Placement::compute(&cfg_after, &spec);
+                        total_moved += moved_partitions(&before, &cfg, &after, &cfg_after);
+                        total_bound += bound;
+                        events += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(events > 100, "sweep must be meaningful, got {events} events");
+    assert!(
+        total_moved <= total_bound,
+        "aggregate movement {total_moved} exceeds aggregate quota bound {total_bound} \
+         over {events} churn events"
+    );
+}
+
+/// The two single-event churn variants (one leave, one join) used by both
+/// movement pins.
+fn churned_configs(
+    cfg: &std::sync::Arc<Configuration>,
+    churn_seed: u64,
+) -> Vec<(&'static str, std::sync::Arc<Configuration>)> {
+    let n = cfg.len();
+    let leaver_rank = (churn_seed as usize) % n;
+    let leave = Proposal::from_items(cfg.id(), vec![cfg.removal_item(leaver_rank)]);
+    let joiner = NodeId::from_u128(2_000_000 + churn_seed as u128);
+    let join = Proposal::from_items(
+        cfg.id(),
+        vec![ProposalItem::join(
+            joiner,
+            Endpoint::new(format!("prop-j{churn_seed}"), 4100),
+            Metadata::new(),
+        )],
+    );
+    vec![("leave", cfg.apply(&leave)), ("join", cfg.apply(&join))]
+}

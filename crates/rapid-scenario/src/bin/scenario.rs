@@ -94,6 +94,15 @@ fn print_report(report: &rapid_scenario::Report, json: bool) {
         if let Some(t) = p.traffic {
             print!("  tx={}B rx={}B", t.bytes_out, t.bytes_in);
         }
+        if let Some(kv) = p.kv {
+            print!(
+                "  kv: {}/{} acked, {} rebalances, {}B moved",
+                kv.acked, kv.puts, kv.rebalances, kv.bytes_moved
+            );
+            if kv.partitions_lost > 0 {
+                print!(", {} partitions LOST", kv.partitions_lost);
+            }
+        }
         println!();
         for e in &p.expects {
             let verdict = match e.passed {

@@ -19,11 +19,12 @@ use std::time::{Duration, Instant};
 use rapid_core::id::Endpoint;
 use rapid_core::node::NodeStatus;
 use rapid_core::settings::Settings;
+use rapid_route::{KvOutcome, KvRuntime, KvStats};
 use rapid_sim::Fault;
 use rapid_transport::{AppEvent, Runtime};
 
-use crate::model::{Scenario, Topology};
-use crate::world::{SystemKind, TrafficTotals, World};
+use crate::model::{KvSpec, Scenario, Topology};
+use crate::world::{KvOp, SystemKind, TrafficTotals, World};
 
 /// A workload action with targets resolved to cluster-process indices.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,6 +78,24 @@ pub trait Driver {
 
     /// Whether all view histories agree, where inspectable.
     fn consistent_histories(&self) -> Option<bool>;
+
+    /// Runs a batch of KV client operations through coordinator `via`
+    /// (`None` = driver's choice of a live process) and returns one
+    /// outcome per op. Only drivers hosting the `[kv]` data plane
+    /// support this.
+    fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {
+        let _ = (via, ops);
+        Err(Unsupported(
+            "this driver hosts no KV data plane (scenario lacks [kv], or the system \
+             is not rapid)"
+                .into(),
+        ))
+    }
+
+    /// Aggregate data-plane counters, where hosted.
+    fn kv_stats(&self) -> Option<KvStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,16 +105,34 @@ pub trait Driver {
 /// Runs scenarios on the deterministic simulator.
 pub struct SimDriver {
     world: World,
+    /// The scenario's applied `[settings]` overrides, if any — joiners
+    /// spawned by `join` workloads must run the same parameters as the
+    /// rest of the cluster.
+    settings: Option<Settings>,
 }
 
 impl SimDriver {
-    /// Builds the world a scenario describes, hosting `kind`.
+    /// Builds the world a scenario describes, hosting `kind` — with the
+    /// scenario's `[settings]` overrides and `[kv]` data plane applied.
     pub fn new(kind: SystemKind, scenario: &Scenario) -> Result<SimDriver, String> {
-        let world = match scenario.topology {
-            Topology::Bootstrap => World::bootstrap(kind, scenario.n, scenario.seed),
-            Topology::Static => World::static_cluster(kind, scenario.n, scenario.seed)?,
+        let settings = if scenario.settings.is_empty() {
+            None
+        } else {
+            Some(scenario.settings.apply(Settings::default())?)
         };
-        Ok(SimDriver { world })
+        let world = match scenario.topology {
+            Topology::Bootstrap => World::bootstrap_cfg(
+                kind,
+                scenario.n,
+                scenario.seed,
+                settings.clone(),
+                scenario.kv,
+            )?,
+            Topology::Static => {
+                World::static_cfg(kind, scenario.n, scenario.seed, settings.clone(), scenario.kv)?
+            }
+        };
+        Ok(SimDriver { world, settings })
     }
 
     /// The underlying world (post-run analysis: samples, rates, ...).
@@ -129,7 +166,10 @@ impl Driver for SimDriver {
 
     fn apply_workload(&mut self, w: &ResolvedWorkload) -> Result<(), Unsupported> {
         match w {
-            ResolvedWorkload::Join(count) => self.world.join(*count).map_err(Unsupported),
+            ResolvedWorkload::Join(count) => self
+                .world
+                .join_cfg(*count, self.settings.clone())
+                .map_err(Unsupported),
             ResolvedWorkload::Leave(idxs) => {
                 for &i in idxs {
                     self.world.leave(i).map_err(Unsupported)?;
@@ -158,6 +198,14 @@ impl Driver for SimDriver {
     fn consistent_histories(&self) -> Option<bool> {
         self.world.consistent_histories()
     }
+
+    fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {
+        self.world.kv_batch(via, ops).map_err(Unsupported)
+    }
+
+    fn kv_stats(&self) -> Option<KvStats> {
+        self.world.kv_stats()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -172,6 +220,43 @@ const MAX_REAL_NODES: usize = 64;
 /// Poll cadence for the wall-clock event loop.
 const POLL: Duration = Duration::from_millis(20);
 
+/// One real process: a bare membership runtime, or one with the KV data
+/// plane attached (scenarios with a `[kv]` table).
+enum Proc {
+    Plain(Runtime),
+    Kv(KvRuntime),
+}
+
+impl Proc {
+    fn status(&self) -> NodeStatus {
+        match self {
+            Proc::Plain(rt) => rt.status(),
+            Proc::Kv(rt) => rt.status(),
+        }
+    }
+
+    fn view_len(&self) -> usize {
+        match self {
+            Proc::Plain(rt) => rt.view().len(),
+            Proc::Kv(rt) => rt.view_len(),
+        }
+    }
+
+    fn leave(self) {
+        match self {
+            Proc::Plain(rt) => rt.leave(),
+            Proc::Kv(rt) => rt.leave(),
+        }
+    }
+
+    fn shutdown_now(self) {
+        match self {
+            Proc::Plain(rt) => rt.shutdown_now(),
+            Proc::Kv(rt) => rt.shutdown_now(),
+        }
+    }
+}
+
 /// Runs scenarios on a real multi-threaded TCP cluster (loopback).
 ///
 /// Process `i` of the scenario maps to the `i`-th runtime; the seed is
@@ -181,18 +266,24 @@ const POLL: Duration = Duration::from_millis(20);
 /// difference. Time budgets are wall-clock upper bounds; a healthy
 /// cluster converges far sooner.
 pub struct RealDriver {
-    nodes: Vec<Option<Runtime>>,
+    nodes: Vec<Option<Proc>>,
     view_counts: Vec<u64>,
     start: Instant,
     pending: Vec<(u64, usize)>, // (due_ms, process) crash schedule
     settings: Settings,
+    kv: Option<KvSpec>,
+    /// Counters of KV processes that have since crashed or left — their
+    /// handoffs happened; the cumulative aggregate must not shrink.
+    retired_kv_stats: KvStats,
     seed_addr: Endpoint,
 }
 
 impl RealDriver {
-    /// Starts `scenario.n` real processes on loopback.
+    /// Starts `scenario.n` real processes on loopback, with the
+    /// scenario's `[settings]` overrides and `[kv]` data plane applied.
     pub fn new(scenario: &Scenario) -> Result<RealDriver, String> {
-        Self::with_settings(scenario, Self::default_settings())
+        let settings = scenario.settings.apply(Self::default_settings())?;
+        Self::with_settings(scenario, settings)
     }
 
     /// Protocol settings tuned for wall-clock scenario runs (sub-second
@@ -218,19 +309,37 @@ impl RealDriver {
                 "real driver supports 1..={MAX_REAL_NODES} processes, scenario wants {n}"
             ));
         }
-        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone())
-            .map_err(|e| format!("seed start failed: {e}"))?;
-        let seed_addr = *seed.addr();
+        let kv = scenario.kv;
+        let start_seed = || -> Result<Proc, String> {
+            Ok(match kv {
+                None => Proc::Plain(
+                    Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone())
+                        .map_err(|e| format!("seed start failed: {e}"))?,
+                ),
+                Some(spec) => Proc::Kv(
+                    KvRuntime::start_seed(
+                        Endpoint::new("127.0.0.1", 0),
+                        settings.clone(),
+                        spec.placement(),
+                        spec.op_timeout_ms(),
+                    )
+                    .map_err(|e| format!("seed start failed: {e}"))?,
+                ),
+            })
+        };
+        let seed = start_seed()?;
+        let seed_addr = match &seed {
+            Proc::Plain(rt) => *rt.addr(),
+            Proc::Kv(rt) => rt.addr(),
+        };
         let mut nodes = vec![Some(seed)];
         for i in 1..n {
-            let joiner = Runtime::start_joiner(
-                Endpoint::new("127.0.0.1", 0),
-                vec![seed_addr],
-                settings.clone(),
-                rapid_core::Metadata::with_entry("proc", format!("{i}")),
-            )
-            .map_err(|e| format!("joiner {i} start failed: {e}"))?;
-            nodes.push(Some(joiner));
+            nodes.push(Some(Self::start_joiner_proc(
+                seed_addr,
+                &settings,
+                kv,
+                &format!("{i}"),
+            )?));
         }
         Ok(RealDriver {
             view_counts: vec![0; nodes.len()],
@@ -238,7 +347,40 @@ impl RealDriver {
             start: Instant::now(),
             pending: Vec::new(),
             settings,
+            kv,
+            retired_kv_stats: KvStats::default(),
             seed_addr,
+        })
+    }
+
+    fn start_joiner_proc(
+        seed_addr: Endpoint,
+        settings: &Settings,
+        kv: Option<KvSpec>,
+        tag: &str,
+    ) -> Result<Proc, String> {
+        let metadata = rapid_core::Metadata::with_entry("proc", tag);
+        Ok(match kv {
+            None => Proc::Plain(
+                Runtime::start_joiner(
+                    Endpoint::new("127.0.0.1", 0),
+                    vec![seed_addr],
+                    settings.clone(),
+                    metadata,
+                )
+                .map_err(|e| format!("joiner {tag} start failed: {e}"))?,
+            ),
+            Some(spec) => Proc::Kv(
+                KvRuntime::start_joiner(
+                    Endpoint::new("127.0.0.1", 0),
+                    vec![seed_addr],
+                    settings.clone(),
+                    metadata,
+                    spec.placement(),
+                    spec.op_timeout_ms(),
+                )
+                .map_err(|e| format!("joiner {tag} start failed: {e}"))?,
+            ),
         })
     }
 
@@ -256,17 +398,25 @@ impl RealDriver {
         });
         for i in due {
             if let Some(rt) = self.nodes[i].take() {
+                if let Proc::Kv(kv) = &rt {
+                    self.retired_kv_stats.absorb(&kv.stats());
+                }
                 rt.shutdown_now();
             }
         }
-        // Drain application events (view-change accounting).
+        // View-change accounting: plain runtimes surface events here; KV
+        // runtimes consume their own event stream and publish a counter.
         for (i, slot) in self.nodes.iter().enumerate() {
-            if let Some(rt) = slot {
-                while let Ok(ev) = rt.events().try_recv() {
-                    if matches!(ev, AppEvent::View(_)) {
-                        self.view_counts[i] += 1;
+            match slot {
+                Some(Proc::Plain(rt)) => {
+                    while let Ok(ev) = rt.events().try_recv() {
+                        if matches!(ev, AppEvent::View(_)) {
+                            self.view_counts[i] += 1;
+                        }
                     }
                 }
+                Some(Proc::Kv(rt)) => self.view_counts[i] = rt.view_count(),
+                None => {}
             }
         }
     }
@@ -325,13 +475,13 @@ impl Driver for RealDriver {
         match w {
             ResolvedWorkload::Join(count) => {
                 for k in 0..*count {
-                    let joiner = Runtime::start_joiner(
-                        Endpoint::new("127.0.0.1", 0),
-                        vec![self.seed_addr],
-                        self.settings.clone(),
-                        rapid_core::Metadata::with_entry("proc", format!("j{k}")),
+                    let joiner = Self::start_joiner_proc(
+                        self.seed_addr,
+                        &self.settings,
+                        self.kv,
+                        &format!("j{k}"),
                     )
-                    .map_err(|e| Unsupported(format!("join failed: {e}")))?;
+                    .map_err(Unsupported)?;
                     self.nodes.push(Some(joiner));
                     self.view_counts.push(0);
                 }
@@ -340,6 +490,9 @@ impl Driver for RealDriver {
             ResolvedWorkload::Leave(idxs) => {
                 for &i in idxs {
                     if let Some(rt) = self.nodes.get_mut(i).and_then(Option::take) {
+                        if let Proc::Kv(kv) = &rt {
+                            self.retired_kv_stats.absorb(&kv.stats());
+                        }
                         rt.leave();
                     }
                 }
@@ -353,7 +506,7 @@ impl Driver for RealDriver {
             .iter()
             .flatten()
             .map(|rt| {
-                (rt.status() == NodeStatus::Active).then(|| rt.view().len() as f64)
+                (rt.status() == NodeStatus::Active).then(|| rt.view_len() as f64)
             })
             .collect()
     }
@@ -382,5 +535,61 @@ impl Driver for RealDriver {
 
     fn consistent_histories(&self) -> Option<bool> {
         None
+    }
+
+    fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {
+        if self.kv.is_none() {
+            return Err(Unsupported(
+                "this scenario has no [kv] table; the real driver hosts no data plane"
+                    .into(),
+            ));
+        }
+        let idx = match via {
+            Some(i) => i,
+            None => self
+                .nodes
+                .iter()
+                .position(Option::is_some)
+                .ok_or_else(|| Unsupported("no live process to coordinate kv ops".into()))?,
+        };
+        let Some(Proc::Kv(rt)) = self.nodes.get(idx).and_then(Option::as_ref) else {
+            return Err(Unsupported(format!(
+                "kv coordinator {idx} is out of range or crashed"
+            )));
+        };
+        // Submit everything, then collect within the op window.
+        let rxs: Vec<_> = ops
+            .iter()
+            .map(|op| match &op.put_val {
+                Some(v) => rt.begin_put(&op.key, v),
+                None => rt.begin_get(&op.key),
+            })
+            .collect();
+        let window = Duration::from_millis(self.kv.expect("checked above").op_window_ms);
+        let deadline = Instant::now() + window;
+        let outcomes = rxs
+            .into_iter()
+            .map(|rx| {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                rx.recv_timeout(budget.max(Duration::from_millis(1)))
+                    .unwrap_or(KvOutcome::Failed)
+            })
+            .collect();
+        self.poll();
+        Ok(outcomes)
+    }
+
+    fn kv_stats(&self) -> Option<KvStats> {
+        self.kv?;
+        // Start from the retired processes' counters so cumulative
+        // fields (bytes_moved, rebalances, ...) never shrink when a
+        // contributor crashes — mirroring the sim world's aggregation.
+        let mut stats = self.retired_kv_stats;
+        for slot in self.nodes.iter().flatten() {
+            if let Proc::Kv(rt) = slot {
+                stats.absorb(&rt.stats());
+            }
+        }
+        Some(stats)
     }
 }

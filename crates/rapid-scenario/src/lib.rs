@@ -36,8 +36,8 @@ pub mod world;
 
 pub use driver::{Driver, RealDriver, SimDriver};
 pub use model::{
-    Expect, FaultSpec, Group, Inject, Phase, Repeat, Scenario, SizeExpr, Target, Topology,
-    Workload, WorkloadAction,
+    Expect, FaultSpec, Group, Inject, KvSpec, Phase, Repeat, Scenario, SettingsPatch, SizeExpr,
+    Target, Topology, Workload, WorkloadAction,
 };
-pub use report::{ExpectReport, PhaseReport, Report};
-pub use world::{aggregate_timeseries, SystemKind, TrafficTotals, World};
+pub use report::{ExpectReport, KvPhaseReport, PhaseReport, Report};
+pub use world::{aggregate_timeseries, KvOp, KvWorld, SystemKind, TrafficTotals, World};

@@ -4,8 +4,8 @@
 use rapid_sim::LatencyDist;
 
 use crate::model::{
-    Expect, FaultSpec, FullOverrides, Group, Inject, Phase, Repeat, Scenario, SizeExpr, Target,
-    Topology, Workload, WorkloadAction,
+    Expect, FaultSpec, FullOverrides, Group, Inject, KvSpec, Phase, Repeat, Scenario,
+    SettingsPatch, SizeExpr, Target, Topology, Workload, WorkloadAction,
 };
 use crate::toml::Value;
 
@@ -101,6 +101,16 @@ pub fn scenario_from_value(root: &Value) -> Result<Scenario, String> {
         },
     };
 
+    let settings = match root.get("settings") {
+        None => SettingsPatch::default(),
+        Some(s) => settings_from_value(s)?,
+    };
+
+    let kv = match root.get("kv") {
+        None => None,
+        Some(k) => Some(kv_from_value(k)?),
+    };
+
     Ok(Scenario {
         name,
         n,
@@ -109,7 +119,88 @@ pub fn scenario_from_value(root: &Value) -> Result<Scenario, String> {
         groups,
         phases,
         full,
+        settings,
+        kv,
     })
+}
+
+fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
+    let ctx = "[settings]";
+    let table = v
+        .as_table()
+        .ok_or_else(|| format!("{ctx}: must be a table"))?;
+    let mut patch = SettingsPatch::default();
+    // Every key is matched explicitly so a typo'd override fails the
+    // load instead of silently running with protocol defaults.
+    for key in table.keys() {
+        match key.as_str() {
+            "k" => patch.k = Some(req_usize(v, "k", ctx)?),
+            "h" => patch.h = Some(req_usize(v, "h", ctx)?),
+            "l" => patch.l = Some(req_usize(v, "l", ctx)?),
+            "tick_interval_ms" => patch.tick_interval_ms = Some(req_uint(v, key, ctx)?),
+            "fd_probe_interval_ms" => patch.fd_probe_interval_ms = Some(req_uint(v, key, ctx)?),
+            "fd_probe_timeout_ms" => patch.fd_probe_timeout_ms = Some(req_uint(v, key, ctx)?),
+            "fd_window" => patch.fd_window = Some(req_usize(v, key, ctx)?),
+            "fd_fail_fraction" => patch.fd_fail_fraction = Some(req_f64(v, key, ctx)?),
+            "reinforce_timeout_ms" => patch.reinforce_timeout_ms = Some(req_uint(v, key, ctx)?),
+            "consensus_fallback_base_ms" => {
+                patch.consensus_fallback_base_ms = Some(req_uint(v, key, ctx)?)
+            }
+            "consensus_fallback_jitter_ms" => {
+                patch.consensus_fallback_jitter_ms = Some(req_uint(v, key, ctx)?)
+            }
+            "classic_round_timeout_ms" => {
+                patch.classic_round_timeout_ms = Some(req_uint(v, key, ctx)?)
+            }
+            "gossip_fanout" => patch.gossip_fanout = Some(req_usize(v, key, ctx)?),
+            "gossip_interval_ms" => patch.gossip_interval_ms = Some(req_uint(v, key, ctx)?),
+            "join_timeout_ms" => patch.join_timeout_ms = Some(req_uint(v, key, ctx)?),
+            "bootstrap_batch" => patch.bootstrap_batch = Some(req_usize(v, key, ctx)?),
+            "use_gossip_broadcast" => {
+                patch.use_gossip_broadcast = Some(
+                    v.get(key)
+                        .and_then(Value::as_bool)
+                        .ok_or_else(|| format!("{ctx}: {key:?} must be a boolean"))?,
+                )
+            }
+            other => return Err(format!("{ctx}: unknown settings key {other:?}")),
+        }
+    }
+    // Validate against the paper defaults now, so an invalid combination
+    // (H > K, a zero fan-out, an out-of-range fraction, ...) fails at
+    // load time with `[settings]` context instead of surfacing later at
+    // driver construction. Both drivers' baselines share every
+    // validation-relevant default, so this check is representative.
+    patch
+        .apply(rapid_core::settings::Settings::default())
+        .map(|_| ())?;
+    Ok(patch)
+}
+
+fn kv_from_value(v: &Value) -> Result<KvSpec, String> {
+    let ctx = "[kv]";
+    let table = v
+        .as_table()
+        .ok_or_else(|| format!("{ctx}: must be a table"))?;
+    let mut spec = KvSpec::default();
+    for key in table.keys() {
+        match key.as_str() {
+            "partitions" => {
+                spec.partitions = u32::try_from(req_uint(v, key, ctx)?)
+                    .map_err(|_| format!("{ctx}: partitions too large"))?
+            }
+            "replication" => spec.replication = req_usize(v, key, ctx)?,
+            "op_window_ms" => spec.op_window_ms = req_uint(v, key, ctx)?,
+            other => return Err(format!("{ctx}: unknown kv key {other:?}")),
+        }
+    }
+    if spec.partitions == 0 {
+        return Err(format!("{ctx}: partitions must be at least 1"));
+    }
+    if spec.replication == 0 {
+        return Err(format!("{ctx}: replication must be at least 1"));
+    }
+    Ok(spec)
 }
 
 fn group_from_value(v: &Value, name: &str) -> Result<Group, String> {
@@ -289,8 +380,18 @@ fn workload_from_value(v: &Value, phase: usize, idx: usize) -> Result<Workload, 
         }
     } else if let Some(l) = v.get("leave") {
         WorkloadAction::Leave(target_from_value(l, &ctx)?)
+    } else if let Some(p) = v.get("put") {
+        WorkloadAction::Put {
+            count: req_usize(p, "count", &ctx)?,
+            via: match p.get("via") {
+                None => None,
+                Some(_) => Some(req_usize(p, "via", &ctx)?),
+            },
+        }
     } else {
-        return Err(format!("{ctx}: expected join = {{...}} or leave = {{...}}"));
+        return Err(format!(
+            "{ctx}: expected join = {{...}}, leave = {{...}}, or put = {{...}}"
+        ));
     };
     Ok(Workload { at_ms, action })
 }
@@ -310,9 +411,14 @@ fn expect_from_value(v: &Value, phase: usize, idx: usize) -> Result<Expect, Stri
         Ok(Expect::MaxSize(size_expr(m, "at_most", &ctx)?))
     } else if v.get("consistent_histories").is_some() {
         Ok(Expect::ConsistentHistories)
+    } else if v.get("kv_available").is_some() {
+        Ok(Expect::KvAvailable)
+    } else if v.get("no_lost_acked_writes").is_some() {
+        Ok(Expect::NoLostAckedWrites)
     } else {
         Err(format!(
-            "{ctx}: expected converge/all_report/max_size/consistent_histories"
+            "{ctx}: expected converge/all_report/max_size/consistent_histories/\
+             kv_available/no_lost_acked_writes"
         ))
     }
 }
@@ -442,6 +548,56 @@ name = "chaos"
             other => panic!("wrong expect {other:?}"),
         }
         assert_eq!(s.phases[1].expects[1], Expect::ConsistentHistories);
+    }
+
+    #[test]
+    fn loads_settings_and_kv_tables() {
+        let doc = r#"
+name = "kv-demo"
+n = 8
+topology = "static"
+
+[settings]
+k = 8
+h = 7
+l = 2
+fd_probe_interval_ms = 500
+
+[kv]
+partitions = 16
+replication = 3
+op_window_ms = 4000
+
+[[phase]]
+name = "load"
+  [[phase.workload]]
+  at_ms = 1000
+  put = { count = 50, via = 0 }
+  [[phase.expect]]
+  kv_available = true
+  [[phase.expect]]
+  no_lost_acked_writes = true
+"#;
+        let s = Scenario::from_toml(doc).unwrap();
+        assert_eq!(s.settings.k, Some(8));
+        assert_eq!(s.settings.fd_probe_interval_ms, Some(500));
+        assert_eq!(s.settings.gossip_fanout, None);
+        let kv = s.kv.unwrap();
+        assert_eq!((kv.partitions, kv.replication, kv.op_window_ms), (16, 3, 4000));
+        assert_eq!(
+            s.phases[0].workloads[0].action,
+            WorkloadAction::Put { count: 50, via: Some(0) }
+        );
+        assert_eq!(s.phases[0].expects[0], Expect::KvAvailable);
+        assert_eq!(s.phases[0].expects[1], Expect::NoLostAckedWrites);
+
+        // Typo'd settings keys and invalid combinations fail the load.
+        let typo = "name=\"x\"\nn=5\n[settings]\nfd_probe_intervalms = 1\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
+        assert!(Scenario::from_toml(typo).unwrap_err().contains("unknown settings key"));
+        let bad = "name=\"x\"\nn=5\n[settings]\nk = 3\nh = 9\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
+        assert!(Scenario::from_toml(bad).unwrap_err().contains("invalid"));
+        let bad_kv = "name=\"x\"\nn=5\n[kv]\nreplication = 0\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
+        assert!(Scenario::from_toml(bad_kv).unwrap_err().contains("replication"));
     }
 
     #[test]

@@ -11,9 +11,121 @@
 //! ([`Scenario::from_toml`]); both produce identical values, and the
 //! shipped `scenarios/*.toml` files are the canonical examples.
 
+use rapid_core::settings::Settings;
+use rapid_route::PlacementConfig;
 use rapid_sim::LatencyDist;
 
+/// Configuration of the replicated KV data plane (`[kv]` TOML table).
+/// Present on a scenario ⇒ every cluster process hosts a
+/// `rapid-route` KV node next to its membership node, and `put`
+/// workloads / `kv_available` / `no_lost_acked_writes` expectations
+/// become available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvSpec {
+    /// Number of fixed partitions.
+    pub partitions: u32,
+    /// Replication factor.
+    pub replication: usize,
+    /// How long the driver lets a batch of client operations run before
+    /// scoring unresolved ones as failed (virtual ms on the simulator,
+    /// wall-clock on the real driver).
+    pub op_window_ms: u64,
+}
 
+impl Default for KvSpec {
+    fn default() -> Self {
+        KvSpec {
+            partitions: 32,
+            replication: 3,
+            op_window_ms: 5_000,
+        }
+    }
+}
+
+impl KvSpec {
+    /// The placement parameters this spec induces.
+    pub fn placement(&self) -> PlacementConfig {
+        PlacementConfig {
+            partitions: self.partitions,
+            replication: self.replication,
+        }
+    }
+
+    /// Per-operation timeout inside the data plane: half the batch
+    /// window (so one retry round fits), clamped to a sane range.
+    pub fn op_timeout_ms(&self) -> u64 {
+        (self.op_window_ms / 2).clamp(500, 2_500)
+    }
+}
+
+/// Per-scenario overrides of the protocol defaults (`[settings]` TOML
+/// table): only the named fields change, everything else stays at the
+/// driver's baseline (paper defaults on the simulator, wall-clock-tuned
+/// defaults on the real driver). `None` everywhere ⇒ no override.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SettingsPatch {
+    /// Monitoring rings (paper `K`).
+    pub k: Option<usize>,
+    /// High watermark (paper `H`).
+    pub h: Option<usize>,
+    /// Low watermark (paper `L`).
+    pub l: Option<usize>,
+    /// Host tick interval.
+    pub tick_interval_ms: Option<u64>,
+    /// Edge failure detector probe period.
+    pub fd_probe_interval_ms: Option<u64>,
+    /// Edge failure detector probe timeout.
+    pub fd_probe_timeout_ms: Option<u64>,
+    /// Edge failure detector window size.
+    pub fd_window: Option<usize>,
+    /// Edge failure detector failure fraction.
+    pub fd_fail_fraction: Option<f64>,
+    /// Unstable-mode reinforcement timeout.
+    pub reinforce_timeout_ms: Option<u64>,
+    /// Fast-path abandonment base delay.
+    pub consensus_fallback_base_ms: Option<u64>,
+    /// Fast-path abandonment jitter.
+    pub consensus_fallback_jitter_ms: Option<u64>,
+    /// Classic-round takeover timeout.
+    pub classic_round_timeout_ms: Option<u64>,
+    /// Gossip fan-out per round.
+    pub gossip_fanout: Option<usize>,
+    /// Gossip round interval.
+    pub gossip_interval_ms: Option<u64>,
+    /// Join phase retry timeout.
+    pub join_timeout_ms: Option<u64>,
+    /// First-view bootstrap batch.
+    pub bootstrap_batch: Option<usize>,
+    /// Gossip vs unicast-to-all broadcaster.
+    pub use_gossip_broadcast: Option<bool>,
+}
+
+impl SettingsPatch {
+    /// Whether the patch changes anything.
+    pub fn is_empty(&self) -> bool {
+        *self == SettingsPatch::default()
+    }
+
+    /// Applies the overrides to a baseline, validating the result (a
+    /// scenario demanding `H > K` should fail at load, not corrupt a
+    /// run).
+    pub fn apply(&self, mut base: Settings) -> Result<Settings, String> {
+        macro_rules! set {
+            ($($field:ident),*) => {
+                $(if let Some(v) = self.$field { base.$field = v; })*
+            };
+        }
+        set!(
+            k, h, l, tick_interval_ms, fd_probe_interval_ms, fd_probe_timeout_ms,
+            fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
+            consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
+            gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast
+        );
+        base.validate()
+            .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;
+        Ok(base)
+    }
+}
 
 /// How the cluster comes to exist.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -193,6 +305,15 @@ pub enum WorkloadAction {
     },
     /// Voluntary departure of every target node.
     Leave(Target),
+    /// Write `count` keys (`kv-00000`, `kv-00001`, ...) through the KV
+    /// data plane; repeated `put` workloads overwrite the same keys with
+    /// fresh values, exercising version monotonicity. Requires `[kv]`.
+    Put {
+        /// Number of keys written.
+        count: usize,
+        /// Coordinator process index (`None` = first live process).
+        via: Option<usize>,
+    },
 }
 
 /// A cluster-size expression, resolved against `n` and the scenario's
@@ -314,6 +435,13 @@ pub enum Expect {
     /// Every active Rapid node installed the same view-change sequence
     /// (strong consistency). Unsupported drivers record a skip.
     ConsistentHistories,
+    /// Every key acked so far is currently readable (a `Found` answer)
+    /// through a live coordinator. Requires `[kv]`.
+    KvAvailable,
+    /// Every key acked so far reads back at a version at least as new as
+    /// its last acked write — no acknowledged write was lost to churn or
+    /// rebalancing. Requires `[kv]`.
+    NoLostAckedWrites,
 }
 
 /// One phase of the timeline.
@@ -390,6 +518,11 @@ pub struct Scenario {
     pub phases: Vec<Phase>,
     /// `--full` scale overrides.
     pub full: FullOverrides,
+    /// Protocol-settings overrides (empty patch = driver defaults).
+    pub settings: SettingsPatch,
+    /// KV data-plane configuration; `Some` attaches a `rapid-route` KV
+    /// node to every cluster process.
+    pub kv: Option<KvSpec>,
 }
 
 impl Scenario {
@@ -404,6 +537,8 @@ impl Scenario {
                 groups: Vec::new(),
                 phases: Vec::new(),
                 full: FullOverrides::default(),
+                settings: SettingsPatch::default(),
+                kv: None,
             },
         }
     }
@@ -485,6 +620,18 @@ impl ScenarioBuilder {
     /// Sets the full-scale cluster size.
     pub fn full_n(mut self, n: usize) -> Self {
         self.scenario.full.n = Some(n);
+        self
+    }
+
+    /// Applies protocol-settings overrides.
+    pub fn settings(mut self, patch: SettingsPatch) -> Self {
+        self.scenario.settings = patch;
+        self
+    }
+
+    /// Attaches the KV data plane.
+    pub fn kv(mut self, spec: KvSpec) -> Self {
+        self.scenario.kv = Some(spec);
         self
     }
 

@@ -20,6 +20,22 @@ pub struct ExpectReport {
     pub passed: Option<bool>,
 }
 
+/// KV data-plane measurements of one phase (present only when the
+/// scenario carries a `[kv]` table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvPhaseReport {
+    /// Writes attempted by this phase's `put` workloads.
+    pub puts: u64,
+    /// Writes acknowledged (fully replicated).
+    pub acked: u64,
+    /// View changes the data plane has rebalanced over (cumulative).
+    pub rebalances: u64,
+    /// Handoff bytes pushed so far (cumulative).
+    pub bytes_moved: u64,
+    /// Partitions whose whole replica set vanished at once (cumulative).
+    pub partitions_lost: u64,
+}
+
 /// Results of one phase.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseReport {
@@ -36,6 +52,8 @@ pub struct PhaseReport {
     pub view_changes: Option<u64>,
     /// Traffic during this phase, where the driver meters it.
     pub traffic: Option<TrafficTotals>,
+    /// KV data-plane measurements, where hosted.
+    pub kv: Option<KvPhaseReport>,
     /// Expectation verdicts, in scenario order.
     pub expects: Vec<ExpectReport>,
 }
@@ -93,7 +111,7 @@ impl Report {
 }
 
 fn phase_json(p: &PhaseReport) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("name", Json::Str(p.name.clone())),
         ("start_ms", Json::uint(p.start_ms)),
         ("end_ms", Json::uint(p.end_ms)),
@@ -113,6 +131,22 @@ fn phase_json(p: &PhaseReport) -> Json {
                 ])
             }),
         ),
+    ];
+    // The kv object appears only on KV-hosting runs, so reports of
+    // membership-only scenarios keep their exact pre-KV shape.
+    if let Some(kv) = p.kv {
+        fields.push((
+            "kv",
+            Json::obj(vec![
+                ("puts", Json::uint(kv.puts)),
+                ("acked", Json::uint(kv.acked)),
+                ("rebalances", Json::uint(kv.rebalances)),
+                ("bytes_moved", Json::uint(kv.bytes_moved)),
+                ("partitions_lost", Json::uint(kv.partitions_lost)),
+            ]),
+        ));
+    }
+    fields.extend([
         (
             "expects",
             Json::Array(
@@ -127,7 +161,8 @@ fn phase_json(p: &PhaseReport) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 #[cfg(test)]
@@ -153,6 +188,13 @@ mod tests {
                     bytes_out: 20,
                     msgs_in: 1,
                     msgs_out: 2,
+                }),
+                kv: Some(KvPhaseReport {
+                    puts: 4,
+                    acked: 4,
+                    rebalances: 1,
+                    bytes_moved: 128,
+                    partitions_lost: 0,
                 }),
                 expects: vec![
                     ExpectReport { desc: "converge(n)".into(), passed: Some(true) },
@@ -183,6 +225,7 @@ mod tests {
                 converged_at_ms: None,
                 view_changes: None,
                 traffic: None,
+                kv: None,
                 expects: vec![ExpectReport { desc: "boom".into(), passed: Some(false) }],
             }],
         };

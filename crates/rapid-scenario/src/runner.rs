@@ -12,11 +12,80 @@
 //! 3. If `run_ms` is set, time advances to `phase_start + run_ms`.
 //! 4. Expectations evaluate in order; `converge` advances time itself.
 
+use rapid_core::hash::DetHashMap;
+use rapid_route::KvOutcome;
 use rapid_sim::Fault;
 
 use crate::driver::{Driver, ResolvedWorkload};
 use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
-use crate::report::{ExpectReport, PhaseReport, Report};
+use crate::report::{ExpectReport, KvPhaseReport, PhaseReport, Report};
+use crate::world::KvOp;
+
+/// The client-side record of every acknowledged write: key → latest
+/// acked `(value, version)`. The `no_lost_acked_writes` expectation is
+/// exactly "every entry here reads back at `>=` its acked version".
+#[derive(Default)]
+struct KvLedger {
+    acked: DetHashMap<String, (String, u64)>,
+    /// Monotone value counter, so repeated `put` workloads overwrite
+    /// keys with distinguishable fresh values.
+    seq: u64,
+}
+
+/// How a ledger sweep judges a read.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepKind {
+    /// `kv_available`: the key must read back `Found`.
+    Available,
+    /// `no_lost_acked_writes`: the key must read back `Found` at a
+    /// version at least as new as the last acked write (an equal version
+    /// must carry the acked value).
+    Durability,
+}
+
+/// Sweeps every acked key through the driver, retrying transient
+/// failures (rebalance windows) a bounded number of times. Returns
+/// `(total, failed_keys)`.
+fn sweep_ledger(
+    ledger: &KvLedger,
+    driver: &mut dyn Driver,
+    kind: SweepKind,
+) -> Result<(usize, Vec<String>), String> {
+    let mut pending: Vec<String> = ledger.acked.keys().cloned().collect();
+    pending.sort();
+    let total = pending.len();
+    for _attempt in 0..3 {
+        if pending.is_empty() {
+            break;
+        }
+        let ops: Vec<KvOp> = pending
+            .iter()
+            .map(|k| KvOp {
+                key: k.clone(),
+                put_val: None,
+            })
+            .collect();
+        let outcomes = driver
+            .kv_batch(None, &ops)
+            .map_err(|e| format!("kv sweep: {e}"))?;
+        let mut still = Vec::new();
+        for (key, outcome) in pending.into_iter().zip(outcomes) {
+            let ok = match (&outcome, kind) {
+                (KvOutcome::Found { .. }, SweepKind::Available) => true,
+                (KvOutcome::Found { val, version }, SweepKind::Durability) => {
+                    let (acked_val, acked_ver) = &ledger.acked[&key];
+                    *version > *acked_ver || (*version == *acked_ver && val == acked_val)
+                }
+                _ => false,
+            };
+            if !ok {
+                still.push(key);
+            }
+        }
+        pending = still;
+    }
+    Ok((total, pending))
+}
 
 /// Expands one injection into concrete `(at_ms, Fault)` pairs (absolute
 /// driver times), resolving group targets.
@@ -73,9 +142,12 @@ fn run_phase(
     scenario: &Scenario,
     phase: &Phase,
     driver: &mut dyn Driver,
+    ledger: &mut KvLedger,
 ) -> Result<PhaseReport, String> {
     let start = driver.now_ms();
     let traffic_before = driver.traffic_totals();
+    let mut kv_puts = 0u64;
+    let mut kv_acked = 0u64;
 
     // 1. Schedule every injection up front.
     for inject in &phase.injects {
@@ -98,6 +170,30 @@ fn run_phase(
         let resolved = match &w.action {
             WorkloadAction::Join { count } => ResolvedWorkload::Join(*count),
             WorkloadAction::Leave(t) => ResolvedWorkload::Leave(scenario.resolve_target(t)?),
+            WorkloadAction::Put { count, via } => {
+                let ops: Vec<KvOp> = (0..*count)
+                    .map(|i| {
+                        ledger.seq += 1;
+                        KvOp {
+                            key: format!("kv-{i:05}"),
+                            put_val: Some(format!("v{:06}", ledger.seq)),
+                        }
+                    })
+                    .collect();
+                let outcomes = driver
+                    .kv_batch(*via, &ops)
+                    .map_err(|e| format!("phase {:?}: {e}", phase.name))?;
+                kv_puts += ops.len() as u64;
+                for (op, outcome) in ops.into_iter().zip(outcomes) {
+                    if let KvOutcome::Acked { version } = outcome {
+                        kv_acked += 1;
+                        ledger
+                            .acked
+                            .insert(op.key, (op.put_val.expect("puts carry values"), version));
+                    }
+                }
+                continue;
+            }
         };
         driver
             .apply_workload(&resolved)
@@ -149,6 +245,22 @@ fn run_phase(
                 desc: "consistent_histories".to_string(),
                 passed: driver.consistent_histories(),
             },
+            Expect::KvAvailable => {
+                let (total, failed) = sweep_ledger(ledger, driver, SweepKind::Available)
+                    .map_err(|err| format!("phase {:?}: {err}", phase.name))?;
+                ExpectReport {
+                    desc: format!("kv_available({total} acked keys)"),
+                    passed: Some(failed.is_empty()),
+                }
+            }
+            Expect::NoLostAckedWrites => {
+                let (total, failed) = sweep_ledger(ledger, driver, SweepKind::Durability)
+                    .map_err(|err| format!("phase {:?}: {err}", phase.name))?;
+                ExpectReport {
+                    desc: format!("no_lost_acked_writes({total} acked keys)"),
+                    passed: Some(failed.is_empty()),
+                }
+            }
         };
         expects.push(report);
     }
@@ -158,6 +270,13 @@ fn run_phase(
         (Some(a), Some(b)) => Some(b - a),
         _ => None,
     };
+    let kv = driver.kv_stats().map(|stats| KvPhaseReport {
+        puts: kv_puts,
+        acked: kv_acked,
+        rebalances: stats.rebalances,
+        bytes_moved: stats.bytes_moved,
+        partitions_lost: stats.partitions_lost,
+    });
     Ok(PhaseReport {
         name: phase.name.clone(),
         start_ms: start,
@@ -165,6 +284,7 @@ fn run_phase(
         converged_at_ms,
         view_changes: driver.view_changes(),
         traffic,
+        kv,
         expects,
     })
 }
@@ -207,11 +327,23 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
             )?;
         }
         for w in &phase.workloads {
-            if let WorkloadAction::Leave(t) = &w.action {
-                check(
+            match &w.action {
+                WorkloadAction::Leave(t) => check(
                     &format!("phase {:?} leave", phase.name),
                     &scenario.resolve_target(t)?,
-                )?;
+                )?,
+                WorkloadAction::Put { via, .. } => {
+                    if scenario.kv.is_none() {
+                        return Err(format!(
+                            "phase {:?}: put workload requires a [kv] table on the scenario",
+                            phase.name
+                        ));
+                    }
+                    if let Some(i) = via {
+                        check(&format!("phase {:?} put via", phase.name), &[*i])?;
+                    }
+                }
+                WorkloadAction::Join { .. } => {}
             }
         }
         for e in &phase.expects {
@@ -220,6 +352,14 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
             if let Expect::Converge { to, .. } | Expect::AllReport(to) | Expect::MaxSize(to) = e {
                 to.resolve(scenario)
                     .map_err(|err| format!("phase {:?} expect: {err}", phase.name))?;
+            }
+            if matches!(e, Expect::KvAvailable | Expect::NoLostAckedWrites)
+                && scenario.kv.is_none()
+            {
+                return Err(format!(
+                    "phase {:?}: kv expectation requires a [kv] table on the scenario",
+                    phase.name
+                ));
             }
         }
     }
@@ -230,8 +370,9 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
 pub fn run(scenario: &Scenario, driver: &mut dyn Driver) -> Result<Report, String> {
     validate(scenario)?;
     let mut phases = Vec::new();
+    let mut ledger = KvLedger::default();
     for phase in &scenario.phases {
-        phases.push(run_phase(scenario, phase, driver)?);
+        phases.push(run_phase(scenario, phase, driver, &mut ledger)?);
     }
     let passed = phases
         .iter()
@@ -378,6 +519,136 @@ mod tests {
             first_view_at.is_some_and(|t| t < 8_000),
             "first view change must predate the later workload, got {first_view_at:?}"
         );
+    }
+
+    #[test]
+    fn kv_scenario_survives_crashes_with_no_lost_acked_writes() {
+        let s = Scenario::build("kv-crash", 8)
+            .seed(41)
+            .topology(Topology::Static)
+            .kv(crate::model::KvSpec {
+                partitions: 16,
+                replication: 3,
+                op_window_ms: 5_000,
+            })
+            .phase(
+                Phase::new("load")
+                    .workload(1_000, crate::model::WorkloadAction::Put { count: 20, via: None })
+                    .expect(Expect::KvAvailable),
+            )
+            .phase(
+                Phase::new("crash")
+                    .inject(Inject::at(0, FaultSpec::Crash(Target::Nodes(vec![2, 5]))))
+                    .expect(Expect::Converge {
+                        to: SizeExpr::n_minus(2),
+                        within_ms: 120_000,
+                        within_full_ms: None,
+                    })
+                    .expect(Expect::KvAvailable)
+                    .expect(Expect::NoLostAckedWrites),
+            )
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        let report = run(&s, &mut driver).unwrap();
+        assert!(report.passed, "failures: {:?}", report.failures());
+        let load_kv = report.phases[0].kv.expect("kv metrics present");
+        assert_eq!(load_kv.puts, 20);
+        assert_eq!(load_kv.acked, 20, "healthy cluster must ack everything");
+        let crash_kv = report.phases[1].kv.expect("kv metrics present");
+        assert!(crash_kv.rebalances >= 1, "crash must trigger a rebalance");
+        assert!(crash_kv.bytes_moved > 0, "rebalance must move data");
+        assert_eq!(crash_kv.partitions_lost, 0, "RF=3 survives 2 crashes");
+        // The kv object must appear in the JSON, and runs are byte-stable.
+        let json = report.to_json_string();
+        assert!(json.contains("\"kv\":{\"puts\":20"), "kv json missing: {json}");
+    }
+
+    #[test]
+    fn kv_workloads_without_kv_table_fail_validation() {
+        let s = Scenario::build("kv-missing", 4)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").workload(0, crate::model::WorkloadAction::Put {
+                count: 1,
+                via: None,
+            }))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        let err = run(&s, &mut driver).unwrap_err();
+        assert!(err.contains("[kv]"), "got: {err}");
+
+        let s = Scenario::build("kv-missing-expect", 4)
+            .topology(Topology::Static)
+            .phase(Phase::new("p").run_for(100).expect(Expect::KvAvailable))
+            .finish();
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
+        let err = run(&s, &mut driver).unwrap_err();
+        assert!(err.contains("[kv]"), "got: {err}");
+    }
+
+    #[test]
+    fn settings_overrides_change_protocol_behavior() {
+        use crate::model::SettingsPatch;
+        // A scenario that slashes the failure-detector cadence converges
+        // on a crash much faster than the default configuration.
+        let base = |patch: SettingsPatch| {
+            Scenario::build("tuned", 12)
+                .seed(17)
+                .topology(Topology::Static)
+                .settings(patch)
+                .phase(
+                    Phase::new("crash")
+                        .inject(Inject::at(1_000, FaultSpec::Crash(Target::node(5))))
+                        .expect(Expect::Converge {
+                            to: SizeExpr::n_minus(1),
+                            within_ms: 300_000,
+                            within_full_ms: None,
+                        }),
+                )
+                .finish()
+        };
+        let run_one = |s: &Scenario| {
+            let mut driver = SimDriver::new(SystemKind::Rapid, s).unwrap();
+            let report = run(s, &mut driver).unwrap();
+            assert!(report.passed, "failures: {:?}", report.failures());
+            report.phases[0].converged_at_ms.unwrap()
+        };
+        let slow = run_one(&base(SettingsPatch::default()));
+        let fast = run_one(&base(SettingsPatch {
+            fd_probe_interval_ms: Some(200),
+            fd_probe_timeout_ms: Some(200),
+            consensus_fallback_base_ms: Some(1_000),
+            consensus_fallback_jitter_ms: Some(500),
+            ..SettingsPatch::default()
+        }));
+        assert!(
+            fast < slow,
+            "5x faster probing must converge sooner: fast={fast}ms slow={slow}ms"
+        );
+    }
+
+    #[test]
+    fn settings_overrides_reject_baselines_and_bad_combinations() {
+        use crate::model::SettingsPatch;
+        let s = Scenario::build("t", 5)
+            .settings(SettingsPatch {
+                fd_probe_interval_ms: Some(500),
+                ..SettingsPatch::default()
+            })
+            .phase(Phase::new("p").run_for(100))
+            .finish();
+        let err = SimDriver::new(SystemKind::Memberlist, &s).err().expect("must reject");
+        assert!(err.contains("native configuration"), "got: {err}");
+        // An invalid combination (H > K) is rejected up front.
+        let bad = Scenario::build("t", 5)
+            .settings(SettingsPatch {
+                k: Some(4),
+                h: Some(9),
+                ..SettingsPatch::default()
+            })
+            .phase(Phase::new("p").run_for(100))
+            .finish();
+        let err = SimDriver::new(SystemKind::Rapid, &bad).err().expect("must reject");
+        assert!(err.contains("invalid"), "got: {err}");
     }
 
     #[test]

@@ -12,9 +12,13 @@ use gossip_member::{AkkaConfig, AkkaNode};
 use rapid_core::id::Endpoint;
 use rapid_core::node::{Node, NodeStatus};
 use rapid_core::settings::Settings;
+use rapid_route::sim::{KvClusterBuilder, KvSimActor};
+use rapid_route::{KvOutcome, KvStats};
 use rapid_sim::cluster::{sim_member, RapidActor, RapidClusterBuilder};
 use rapid_sim::{Fault, Sample, Simulation};
 use swim_member::{SwimConfig, SwimNode};
+
+use crate::model::{KvSpec, Topology};
 
 /// The membership systems compared in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,11 +108,30 @@ pub fn obs_all_report(obs: &[Option<f64>], target: usize) -> bool {
             .all(|o| matches!(o, Some(v) if (v - target as f64).abs() < 0.5))
 }
 
+/// One KV client operation submitted through a world/driver batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvOp {
+    /// The key.
+    pub key: String,
+    /// `Some(value)` = put, `None` = get.
+    pub put_val: Option<String>,
+}
+
+/// A Rapid deployment with the `rapid-route` KV data plane co-hosted on
+/// every cluster process.
+pub struct KvWorld {
+    /// The underlying simulation (public for post-run analysis).
+    pub sim: Simulation<KvSimActor>,
+    spec: KvSpec,
+}
+
 /// A simulated deployment of one membership system with `n` cluster
 /// processes (plus a 3-node auxiliary ensemble for the centralized ones).
 pub enum World {
     /// Decentralized Rapid.
     Rapid(Simulation<RapidActor>),
+    /// Decentralized Rapid with the KV data plane attached.
+    RapidKv(KvWorld),
     /// Rapid-C (ensemble actors `0..3`).
     RapidC(Simulation<RapidActor>),
     /// SWIM.
@@ -128,6 +151,99 @@ fn akka_ep(i: usize) -> Endpoint {
 }
 
 impl World {
+    /// Builds the KV-hosting Rapid world both `*_cfg` constructors share.
+    fn kv_world(
+        kind: SystemKind,
+        n: usize,
+        seed: u64,
+        settings: Option<Settings>,
+        spec: KvSpec,
+        topology: Topology,
+    ) -> Result<World, String> {
+        if kind != SystemKind::Rapid {
+            return Err(format!(
+                "the [kv] data plane requires system \"rapid\", not {:?}",
+                kind.label()
+            ));
+        }
+        let mut builder = KvClusterBuilder::new(n, spec.placement())
+            .seed(seed)
+            .op_timeout_ms(spec.op_timeout_ms());
+        if let Some(s) = settings {
+            builder = builder.settings(s);
+        }
+        let sim = match topology {
+            Topology::Bootstrap => builder.build_bootstrap(),
+            Topology::Static => builder.build_static(),
+        };
+        Ok(World::RapidKv(KvWorld { sim, spec }))
+    }
+
+    /// Builds a bootstrap deployment with protocol-settings overrides
+    /// and/or the KV data plane attached. Settings overrides apply to the
+    /// Rapid-protocol systems (the baselines run their own native
+    /// configurations); the KV data plane requires decentralized Rapid.
+    pub fn bootstrap_cfg(
+        kind: SystemKind,
+        n: usize,
+        seed: u64,
+        settings: Option<Settings>,
+        kv: Option<KvSpec>,
+    ) -> Result<World, String> {
+        if let Some(spec) = kv {
+            return Self::kv_world(kind, n, seed, settings, spec, Topology::Bootstrap);
+        }
+        match (kind, settings) {
+            (_, None) => Ok(World::bootstrap(kind, n, seed)),
+            (SystemKind::Rapid, Some(s)) => Ok(World::Rapid(
+                RapidClusterBuilder::new(n).seed(seed).settings(s).build_bootstrap(),
+            )),
+            (SystemKind::RapidC, Some(s)) => {
+                let (sim, _) = RapidClusterBuilder::new(n)
+                    .seed(seed)
+                    .settings(s)
+                    .build_centralized(ENSEMBLE);
+                Ok(World::RapidC(sim))
+            }
+            (other, Some(_)) => Err(format!(
+                "[settings] overrides Rapid-protocol parameters; system {:?} runs its \
+                 own native configuration",
+                other.label()
+            )),
+        }
+    }
+
+    /// Builds a static deployment with protocol-settings overrides and/or
+    /// the KV data plane attached (see [`World::bootstrap_cfg`] for the
+    /// support matrix, [`World::static_cluster`] for topology limits).
+    pub fn static_cfg(
+        kind: SystemKind,
+        n: usize,
+        seed: u64,
+        settings: Option<Settings>,
+        kv: Option<KvSpec>,
+    ) -> Result<World, String> {
+        if let Some(spec) = kv {
+            return Self::kv_world(kind, n, seed, settings, spec, Topology::Static);
+        }
+        match (kind, settings) {
+            (_, None) => World::static_cluster(kind, n, seed),
+            (SystemKind::Rapid, Some(s)) => Ok(World::Rapid(
+                RapidClusterBuilder::new(n).seed(seed).settings(s).build_static(),
+            )),
+            // The centralized systems reject static topology regardless;
+            // surface that diagnostic rather than a settings complaint.
+            (SystemKind::RapidC | SystemKind::ZooKeeper, Some(_)) => {
+                World::static_cluster(kind, n, seed)
+            }
+            (other, Some(_)) => Err(format!(
+                "[settings] overrides Rapid-protocol parameters; system {:?} runs its \
+                 own native configuration",
+                other.label()
+            )),
+        }
+    }
+
     /// Builds a bootstrap deployment: cluster process 0 (or the auxiliary
     /// ensemble) starts at t=0; the remaining processes start joining at
     /// t=10 s, as in the paper's bootstrap experiments.
@@ -186,15 +302,53 @@ impl World {
 
     /// Builds a steady-state deployment: all `n` processes start as
     /// members of one static configuration (the paper's failure
-    /// experiments start from here). Only decentralized Rapid supports
-    /// this shape today.
+    /// experiments start from here). Supported by the decentralized
+    /// systems (Rapid, Memberlist, Akka-like); the centralized ones
+    /// cannot teleport an ensemble plus registered clients into
+    /// existence and reject with a diagnostic.
     pub fn static_cluster(kind: SystemKind, n: usize, seed: u64) -> Result<World, String> {
         match kind {
             SystemKind::Rapid => {
                 Ok(World::Rapid(RapidClusterBuilder::new(n).seed(seed).build_static()))
             }
-            other => Err(format!(
-                "static topology is not implemented for {}",
+            SystemKind::Memberlist => {
+                let all: Vec<Endpoint> = (0..n).map(swim_ep).collect();
+                let mut sim = Simulation::new(seed, 100);
+                for (i, &ep) in all.iter().enumerate() {
+                    sim.add_actor(
+                        ep,
+                        SwimNode::new_static(
+                            ep,
+                            all.iter().copied(),
+                            SwimConfig::default(),
+                            seed + i as u64,
+                        ),
+                    );
+                }
+                Ok(World::Swim(sim))
+            }
+            SystemKind::AkkaLike => {
+                let all: Vec<Endpoint> = (0..n).map(akka_ep).collect();
+                let mut sim = Simulation::new(seed, 100);
+                for (i, &ep) in all.iter().enumerate() {
+                    sim.add_actor(
+                        ep,
+                        AkkaNode::new_static(
+                            ep,
+                            all.iter().copied(),
+                            AkkaConfig::default(),
+                            seed + i as u64,
+                        ),
+                    );
+                }
+                Ok(World::Akka(sim))
+            }
+            other @ (SystemKind::ZooKeeper | SystemKind::RapidC) => Err(format!(
+                "scenario field `topology = \"static\"` is not supported for system {:?} \
+                 ({}): its auxiliary ensemble must elect a leader and register every \
+                 client session, which cannot be teleported into a steady state — use \
+                 `topology = \"bootstrap\"` (the real driver always bootstraps anyway)",
+                other.label(),
                 other.label()
             )),
         }
@@ -204,7 +358,7 @@ impl World {
     /// ensembles occupy the first indices in centralized systems).
     pub fn cluster_offset(&self) -> usize {
         match self {
-            World::Rapid(_) | World::Swim(_) | World::Akka(_) => 0,
+            World::Rapid(_) | World::RapidKv(_) | World::Swim(_) | World::Akka(_) => 0,
             World::RapidC(_) | World::Zk(_) => ENSEMBLE,
         }
     }
@@ -213,6 +367,7 @@ impl World {
     pub fn actors(&self) -> usize {
         match self {
             World::Rapid(s) | World::RapidC(s) => s.len(),
+            World::RapidKv(w) => w.sim.len(),
             World::Swim(s) => s.len(),
             World::Zk(s) => s.len(),
             World::Akka(s) => s.len(),
@@ -223,6 +378,7 @@ impl World {
     pub fn now(&self) -> u64 {
         match self {
             World::Rapid(s) | World::RapidC(s) => s.now(),
+            World::RapidKv(w) => w.sim.now(),
             World::Swim(s) => s.now(),
             World::Zk(s) => s.now(),
             World::Akka(s) => s.now(),
@@ -233,6 +389,7 @@ impl World {
     pub fn run_until(&mut self, until_ms: u64) {
         match self {
             World::Rapid(s) | World::RapidC(s) => s.run_until(until_ms),
+            World::RapidKv(w) => w.sim.run_until(until_ms),
             World::Swim(s) => s.run_until(until_ms),
             World::Zk(s) => s.run_until(until_ms),
             World::Akka(s) => s.run_until(until_ms),
@@ -259,6 +416,7 @@ impl World {
         };
         match self {
             World::Rapid(s) | World::RapidC(s) => s.schedule_fault(at, shifted),
+            World::RapidKv(w) => w.sim.schedule_fault(at, shifted),
             World::Swim(s) => s.schedule_fault(at, shifted),
             World::Zk(s) => s.schedule_fault(at, shifted),
             World::Akka(s) => s.schedule_fault(at, shifted),
@@ -277,6 +435,7 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off),
+            World::RapidKv(w) => collect(&w.sim, off),
             World::Swim(s) => collect(s, off),
             World::Zk(s) => collect(s, off),
             World::Akka(s) => collect(s, off),
@@ -308,6 +467,7 @@ impl World {
     pub fn samples(&self) -> &[Sample] {
         match self {
             World::Rapid(s) | World::RapidC(s) => s.samples(),
+            World::RapidKv(w) => w.sim.samples(),
             World::Swim(s) => s.samples(),
             World::Zk(s) => s.samples(),
             World::Akka(s) => s.samples(),
@@ -332,6 +492,7 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off, skip_secs),
+            World::RapidKv(w) => collect(&w.sim, off, skip_secs),
             World::Swim(s) => collect(s, off, skip_secs),
             World::Zk(s) => collect(s, off, skip_secs),
             World::Akka(s) => collect(s, off, skip_secs),
@@ -373,6 +534,7 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off),
+            World::RapidKv(w) => collect(&w.sim, off),
             World::Swim(s) => collect(s, off),
             World::Zk(s) => collect(s, off),
             World::Akka(s) => collect(s, off),
@@ -392,6 +554,16 @@ impl World {
                     if let Some(n) = s.actor(i).as_node() {
                         max = max.max(n.metrics().view_changes);
                     }
+                }
+                Some(max)
+            }
+            World::RapidKv(w) => {
+                let mut max = 0;
+                for i in 0..w.sim.len() {
+                    if w.sim.net.is_crashed(i) {
+                        continue;
+                    }
+                    max = max.max(w.sim.actor(i).as_node().metrics().view_changes);
                 }
                 Some(max)
             }
@@ -430,6 +602,28 @@ impl World {
                             || reference.windows(h.len()).any(|w| w == &h[..]))
                 }))
             }
+            World::RapidKv(w) => {
+                let mut histories = Vec::new();
+                for i in 0..w.sim.len() {
+                    if w.sim.net.is_crashed(i) {
+                        continue;
+                    }
+                    let node = w.sim.actor(i).as_node();
+                    if node.status() == NodeStatus::Active {
+                        histories.push(node.view_history().to_vec());
+                    }
+                }
+                let reference = histories
+                    .iter()
+                    .max_by_key(|h| h.len())
+                    .cloned()
+                    .unwrap_or_default();
+                Some(histories.iter().all(|h| {
+                    h.len() <= reference.len()
+                        && (h.is_empty()
+                            || reference.windows(h.len()).any(|w| w == &h[..]))
+                }))
+            }
             _ => None,
         }
     }
@@ -447,6 +641,12 @@ impl World {
                 s.net.crash(idx);
                 Ok(())
             }
+            World::RapidKv(w) => {
+                let now = w.sim.now();
+                w.sim.with_actor(idx, |a, out| a.leave(now, out));
+                w.sim.net.crash(idx);
+                Ok(())
+            }
             other => Err(format!(
                 "leave workload is not implemented for {}",
                 other.kind_label()
@@ -455,8 +655,11 @@ impl World {
     }
 
     /// Starts `count` fresh processes that join through cluster process 0
-    /// (decentralized Rapid only).
-    pub fn join(&mut self, count: usize) -> Result<(), String> {
+    /// (decentralized Rapid only). `settings` must match what the running
+    /// cluster uses — a scenario's `[settings]` overrides apply to
+    /// joiners too, not just the initial membership.
+    pub fn join_cfg(&mut self, count: usize, settings: Option<Settings>) -> Result<(), String> {
+        let settings = settings.unwrap_or_default();
         match self {
             World::Rapid(s) => {
                 let seed_addr = sim_member(0).addr;
@@ -465,10 +668,29 @@ impl World {
                     let m = sim_member(base + k);
                     let node = Node::new_joiner(
                         m.clone(),
-                        Settings::default(),
+                        settings.clone(),
                         vec![seed_addr],
                     );
                     s.add_actor(m.addr, RapidActor::node(node));
+                }
+                Ok(())
+            }
+            World::RapidKv(w) => {
+                let seed_addr = sim_member(0).addr;
+                let base = w.sim.len();
+                for k in 0..count {
+                    let m = sim_member(base + k);
+                    let node = Node::new_joiner(m.clone(), settings.clone(), vec![seed_addr]);
+                    // Fresh caches are fine: placement is a pure function
+                    // of the view, caches only memoize it.
+                    let kv = rapid_route::KvNode::new(
+                        m.clone(),
+                        w.spec.placement(),
+                        w.spec.op_timeout_ms(),
+                        None,
+                    )
+                    .expect_initial_handoffs();
+                    w.sim.add_actor(m.addr, KvSimActor::new(node, kv));
                 }
                 Ok(())
             }
@@ -479,10 +701,71 @@ impl World {
         }
     }
 
+    /// Starts `count` fresh processes with default protocol settings
+    /// (see [`World::join_cfg`]).
+    pub fn join(&mut self, count: usize) -> Result<(), String> {
+        self.join_cfg(count, None)
+    }
+
+    /// Runs a batch of KV client operations through coordinator `via`
+    /// (`None` = first live process): all ops are submitted at once, the
+    /// simulation advances one op-window, and unresolved ops score as
+    /// failed. Requires the KV-hosting world.
+    pub fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, String> {
+        let World::RapidKv(w) = self else {
+            return Err(format!(
+                "kv workloads need the [kv] data plane; this world hosts {} without it",
+                self.kind_label()
+            ));
+        };
+        let n = w.sim.len();
+        let via = match via {
+            Some(i) if i < n && !w.sim.net.is_crashed(i) => i,
+            Some(i) => return Err(format!("kv coordinator {i} is out of range or crashed")),
+            None => (0..n)
+                .find(|&i| !w.sim.net.is_crashed(i))
+                .ok_or("no live process to coordinate kv ops")?,
+        };
+        let now = w.sim.now();
+        let reqs: Vec<u64> = ops
+            .iter()
+            .map(|op| {
+                w.sim.with_actor(via, |a, out| match &op.put_val {
+                    Some(v) => a.begin_put(&op.key, v, now, out),
+                    None => a.begin_get(&op.key, now, out),
+                })
+            })
+            .collect();
+        w.sim.run_until(now + w.spec.op_window_ms);
+        let completed = std::mem::take(&mut w.sim.actor_mut(via).completed);
+        Ok(reqs
+            .iter()
+            .map(|req| {
+                completed
+                    .iter()
+                    .find(|(r, _)| r == req)
+                    .map(|(_, o)| o.clone())
+                    .unwrap_or(KvOutcome::Failed)
+            })
+            .collect())
+    }
+
+    /// Aggregate data-plane counters over all processes (including
+    /// crashed ones, whose handoffs already happened), where hosted.
+    pub fn kv_stats(&self) -> Option<KvStats> {
+        let World::RapidKv(w) = self else { return None };
+        let mut stats = KvStats::default();
+        for i in 0..w.sim.len() {
+            stats.absorb(w.sim.actor(i).kv_stats());
+        }
+        Some(stats)
+    }
+
     /// The system kind hosted by this world.
     pub fn kind_label(&self) -> &'static str {
         match self {
             World::Rapid(_) => "rapid",
+            World::RapidKv(_) => "rapid",
             World::RapidC(_) => "rapid-c",
             World::Swim(_) => "memberlist",
             World::Zk(_) => "zookeeper",
@@ -560,7 +843,37 @@ mod tests {
         assert!(w.all_report(20));
         assert_eq!(w.view_changes(), Some(0));
         assert_eq!(w.consistent_histories(), Some(true));
-        assert!(World::static_cluster(SystemKind::Memberlist, 20, 6).is_err());
+    }
+
+    #[test]
+    fn static_baseline_worlds_start_converged_and_detect_crashes() {
+        for kind in [SystemKind::Memberlist, SystemKind::AkkaLike] {
+            let mut w = World::static_cluster(kind, 15, 9).unwrap();
+            w.run_until(3_000);
+            assert!(
+                w.all_report(15),
+                "{} static cluster must report full size immediately",
+                kind.label()
+            );
+            w.schedule_cluster_fault(w.now() + 100, Fault::Crash(7));
+            let t = w.converge(14, 120_000);
+            assert!(t.is_some(), "{} must expire the crashed member", kind.label());
+        }
+    }
+
+    #[test]
+    fn centralized_static_topology_is_rejected_with_a_diagnostic() {
+        for kind in [SystemKind::ZooKeeper, SystemKind::RapidC] {
+            let err = match World::static_cluster(kind, 10, 1) {
+                Err(e) => e,
+                Ok(_) => panic!("{} static topology must be rejected", kind.label()),
+            };
+            assert!(
+                err.contains("topology = \"static\"") && err.contains(kind.label()),
+                "diagnostic must name the field and the system, got: {err}"
+            );
+            assert!(err.contains("bootstrap"), "diagnostic must point at the fix: {err}");
+        }
     }
 
     #[test]

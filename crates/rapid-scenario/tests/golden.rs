@@ -21,6 +21,8 @@ fn all_shipped_scenarios_are_well_formed() {
         "fig09_flipflop",
         "fig10_packet_loss",
         "chaos_partition",
+        "kv_churn",
+        "kv_rebalance",
     ] {
         let s = shipped(stem);
         for (name, g) in &s.groups {
@@ -101,4 +103,54 @@ fn smoke_scenario_passes_on_both_drivers() {
         real_report.phases[1].converged_at_ms.is_some(),
         "crash must be detected over real TCP"
     );
+}
+
+/// The KV determinism pin: `kv_churn` (placement, replication, handoff,
+/// ledger sweeps and all) produces byte-identical report JSON across two
+/// sim runs of the same seed — and the report carries the KV metrics.
+#[test]
+fn kv_churn_report_json_is_identical_across_sim_runs() {
+    let scenario = shipped("kv_churn");
+    let run_once = || {
+        let mut driver = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+        runner::run(&scenario, &mut driver)
+            .expect("run")
+            .to_json_string()
+    };
+    let first = run_once();
+    assert_eq!(first, run_once(), "same seed must give byte-identical reports");
+    assert!(first.contains("\"passed\":true"), "kv_churn must pass: {first}");
+    assert!(first.contains("\"kv\":{"), "kv metrics must be reported: {first}");
+    assert!(
+        first.contains("no_lost_acked_writes"),
+        "durability expectation must be present: {first}"
+    );
+}
+
+/// The KV cross-driver contract: the same `kv_churn` file runs
+/// unmodified on a real TCP cluster and keeps every acked write.
+#[test]
+fn kv_churn_passes_on_the_real_driver() {
+    let scenario = shipped("kv_churn");
+    let mut real = RealDriver::new(&scenario).expect("real driver");
+    let report = runner::run(&scenario, &mut real).expect("real run");
+    assert!(report.passed, "real failures: {:?}", report.failures());
+    let kv = report.phases[2].kv.expect("kv metrics on the churn phase");
+    assert!(kv.rebalances >= 1, "crashes must trigger rebalancing");
+    assert_eq!(kv.partitions_lost, 0, "RF=3 must survive two crashes");
+}
+
+/// `kv_rebalance` exercises scale-out + scale-in handoff on the sim
+/// driver and must keep every acked write through both.
+#[test]
+fn kv_rebalance_passes_and_moves_data() {
+    let scenario = shipped("kv_rebalance");
+    let mut driver = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+    let report = runner::run(&scenario, &mut driver).expect("run");
+    assert!(report.passed, "failures: {:?}", report.failures());
+    let out = report.phases[1].kv.expect("kv metrics");
+    assert!(out.bytes_moved > 0, "scale-out must hand partitions to joiners");
+    let last = report.phases[2].kv.expect("kv metrics");
+    assert!(last.bytes_moved > out.bytes_moved, "scale-in must move more data");
+    assert_eq!(last.partitions_lost, 0, "graceful scaling loses nothing");
 }

@@ -47,33 +47,75 @@ pub enum AppEvent {
     Joined(Arc<Configuration>),
     /// This node was removed from the membership.
     Kicked,
+    /// An opaque application payload arrived from a peer (sent with
+    /// [`Runtime::send_app`]) — the hook data planes (e.g. `rapid-route`'s
+    /// replicated KV) build on without the transport knowing their wire
+    /// format.
+    App(Endpoint, Vec<u8>),
 }
 
 /// Maximum accepted frame size (a full 5000-member snapshot fits well
 /// within this).
 const MAX_FRAME: u32 = 32 * 1024 * 1024;
 
-/// Writes one frame, encoding straight into the caller's scratch buffer
-/// (cleared first) so the steady-state send path allocates nothing.
-fn write_frame(
-    stream: &mut TcpStream,
-    from: &Endpoint,
-    msg: &Message,
-    buf: &mut Vec<u8>,
-) -> std::io::Result<()> {
+/// First body byte of an application-payload frame. The membership codec
+/// owns the low tag space (see `rapid_core::wire`); this value is far
+/// outside it, so a protocol frame can never be mistaken for an app frame
+/// or vice versa.
+const APP_FRAME_TAG: u8 = 0xA5;
+
+/// A decoded inbound frame body: either a membership-protocol message or
+/// an opaque application payload.
+enum Inbound {
+    Proto(Message),
+    App(Vec<u8>),
+}
+
+/// Writes the shared `[len][host][port]` header into `buf` (cleared
+/// first), leaving the body to the caller, then returns nothing — callers
+/// patch the length and flush.
+fn begin_frame(from: &Endpoint, buf: &mut Vec<u8>) {
     let host = from.host().as_bytes();
     buf.clear();
     buf.extend_from_slice(&[0u8; 4]); // Length placeholder, patched below.
     buf.extend_from_slice(&(host.len() as u16).to_le_bytes());
     buf.extend_from_slice(host);
     buf.extend_from_slice(&from.port().to_le_bytes());
-    wire::encode(msg, buf);
+}
+
+fn finish_frame(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
     let total = (buf.len() - 4) as u32;
     buf[..4].copy_from_slice(&total.to_le_bytes());
     stream.write_all(buf)
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Message)> {
+/// Writes one protocol frame, encoding straight into the caller's scratch
+/// buffer (cleared first) so the steady-state send path allocates nothing.
+fn write_frame(
+    stream: &mut TcpStream,
+    from: &Endpoint,
+    msg: &Message,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    begin_frame(from, buf);
+    wire::encode(msg, buf);
+    finish_frame(stream, buf)
+}
+
+/// Writes one application-payload frame.
+fn write_app_frame(
+    stream: &mut TcpStream,
+    from: &Endpoint,
+    payload: &[u8],
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    begin_frame(from, buf);
+    buf.push(APP_FRAME_TAG);
+    buf.extend_from_slice(payload);
+    finish_frame(stream, buf)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Inbound)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
@@ -109,9 +151,24 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Message)> {
         .to_string();
     let port = u16::from_le_bytes([frame[2 + host_len], frame[3 + host_len]]);
     let body = &frame[4 + host_len..];
-    let msg = wire::decode(body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok((Endpoint::new(host, port), msg))
+    let inbound = if body.first() == Some(&APP_FRAME_TAG) {
+        Inbound::App(body[1..].to_vec())
+    } else {
+        Inbound::Proto(
+            wire::decode(body)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?,
+        )
+    };
+    // The frame-header sender address is peer-supplied too: apply the
+    // same distinct-hosts cap the body decoder enforces.
+    let from = Endpoint::new_bounded(host, port, wire::MAX_DISTINCT_WIRE_HOSTS)
+        .map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "sender host would exceed the distinct-hosts cap",
+            )
+        })?;
+    Ok((from, inbound))
 }
 
 /// A lazily connected pool of outbound streams.
@@ -133,30 +190,55 @@ impl StreamPool {
         }
     }
 
-    /// Best-effort send; drops the message on any error.
-    fn send(&mut self, to: &Endpoint, msg: &Message) {
-        if !self.streams.contains_key(to) {
-            let addr = match format!("{to}").to_socket_addrs() {
-                Ok(mut addrs) => addrs.next(),
-                Err(_) => None,
-            };
-            let Some(addr) = addr else { return };
-            let Ok(stream) = TcpStream::connect_timeout(&addr, self.connect_timeout) else {
-                return;
-            };
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-            self.streams.insert(*to, stream);
+    /// Connects lazily; `false` means the peer is unreachable right now.
+    fn ensure(&mut self, to: &Endpoint) -> bool {
+        if self.streams.contains_key(to) {
+            return true;
         }
-        let failed = {
-            let stream = self.streams.get_mut(to).expect("just inserted");
-            write_frame(stream, &self.me, msg, &mut self.encode_buf).is_err()
+        let addr = match format!("{to}").to_socket_addrs() {
+            Ok(mut addrs) => addrs.next(),
+            Err(_) => None,
         };
+        let Some(addr) = addr else { return false };
+        let Ok(stream) = TcpStream::connect_timeout(&addr, self.connect_timeout) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        self.streams.insert(*to, stream);
+        true
+    }
+
+    fn after_write(&mut self, to: &Endpoint, failed: bool) {
         if failed {
             if let Some(s) = self.streams.remove(to) {
                 let _ = s.shutdown(Shutdown::Both);
             }
         }
+    }
+
+    /// Best-effort send; drops the message on any error.
+    fn send(&mut self, to: &Endpoint, msg: &Message) {
+        if !self.ensure(to) {
+            return;
+        }
+        let failed = {
+            let stream = self.streams.get_mut(to).expect("just inserted");
+            write_frame(stream, &self.me, msg, &mut self.encode_buf).is_err()
+        };
+        self.after_write(to, failed);
+    }
+
+    /// Best-effort application-payload send; drops the payload on error.
+    fn send_app(&mut self, to: &Endpoint, payload: &[u8]) {
+        if !self.ensure(to) {
+            return;
+        }
+        let failed = {
+            let stream = self.streams.get_mut(to).expect("just inserted");
+            write_app_frame(stream, &self.me, payload, &mut self.encode_buf).is_err()
+        };
+        self.after_write(to, failed);
     }
 }
 
@@ -173,6 +255,7 @@ pub struct Runtime {
 
 enum Control {
     Leave,
+    SendApp(Endpoint, Vec<u8>),
 }
 
 impl Runtime {
@@ -215,9 +298,9 @@ impl Runtime {
             Node::new_joiner(me.clone(), settings.clone(), seeds)
         };
 
-        let (inbound_tx, inbound_rx) = bounded::<(Endpoint, Message)>(64 * 1024);
+        let (inbound_tx, inbound_rx) = bounded::<(Endpoint, Inbound)>(64 * 1024);
         let (events_tx, events_rx) = bounded::<AppEvent>(16 * 1024);
-        let (control_tx, control_rx) = bounded::<Control>(16);
+        let (control_tx, control_rx) = bounded::<Control>(4 * 1024);
         let shutdown = Arc::new(AtomicBool::new(false));
         let view = Arc::new(Mutex::new(node.configuration()));
         let status = Arc::new(Mutex::new(node.status()));
@@ -291,13 +374,17 @@ impl Runtime {
                     while let Ok(cmd) = control_rx.try_recv() {
                         match cmd {
                             Control::Leave => node.leave(&mut actions),
+                            Control::SendApp(to, payload) => pool.send_app(&to, &payload),
                         }
                     }
                     // Inbound frames until the next tick is due.
                     let budget = next_tick.saturating_duration_since(Instant::now());
                     match inbound_rx.recv_timeout(budget) {
-                        Ok((from, msg)) => {
+                        Ok((from, Inbound::Proto(msg))) => {
                             node.handle(Event::Receive { from, msg }, &mut actions);
+                        }
+                        Ok((from, Inbound::App(payload))) => {
+                            let _ = events_tx.try_send(AppEvent::App(from, payload));
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                             let now_ms = start.elapsed().as_millis() as u64;
@@ -362,9 +449,17 @@ impl Runtime {
         *self.status.lock()
     }
 
-    /// The stream of application events (view changes, join, kick).
+    /// The stream of application events (view changes, join, kick, app
+    /// payloads).
     pub fn events(&self) -> &Receiver<AppEvent> {
         &self.events_rx
+    }
+
+    /// Sends an opaque application payload to a peer runtime, best
+    /// effort, from the driver thread (shares the protocol's stream
+    /// pool). The peer surfaces it as [`AppEvent::App`].
+    pub fn send_app(&self, to: Endpoint, payload: Vec<u8>) {
+        let _ = self.control_tx.try_send(Control::SendApp(to, payload));
     }
 
     /// Announces a voluntary departure, then shuts the runtime down.
@@ -427,10 +522,66 @@ mod tests {
             .unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let (from, msg) = read_frame(&mut conn).unwrap();
+        let (from, inbound) = read_frame(&mut conn).unwrap();
         assert_eq!(from, Endpoint::new("me", 42));
-        assert!(matches!(msg, Message::Probe { seq: 7 }));
+        assert!(matches!(inbound, Inbound::Proto(Message::Probe { seq: 7 })));
         sender.join().unwrap();
+    }
+
+    #[test]
+    fn app_frame_roundtrip_over_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_app_frame(
+                &mut stream,
+                &Endpoint::new("me", 43),
+                b"kv: hello",
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let (from, inbound) = read_frame(&mut conn).unwrap();
+        assert_eq!(from, Endpoint::new("me", 43));
+        match inbound {
+            Inbound::App(payload) => assert_eq!(payload, b"kv: hello"),
+            Inbound::Proto(_) => panic!("app frame decoded as protocol frame"),
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn app_payloads_flow_between_runtimes() {
+        let settings = fast_settings();
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
+        let seed_addr = *seed.addr();
+        let j = Runtime::start_joiner(
+            Endpoint::new("127.0.0.1", 0),
+            vec![seed_addr],
+            settings,
+            rapid_core::Metadata::new(),
+        )
+        .unwrap();
+        assert!(wait_for(|| seed.view().len() == 2, Duration::from_secs(30)));
+        j.send_app(seed_addr, b"ping-42".to_vec());
+        let got = wait_for(
+            || {
+                while let Ok(ev) = seed.events().try_recv() {
+                    if let AppEvent::App(from, payload) = ev {
+                        assert_eq!(from, *j.addr());
+                        assert_eq!(payload, b"ping-42");
+                        return true;
+                    }
+                }
+                false
+            },
+            Duration::from_secs(10),
+        );
+        assert!(got, "app payload must arrive at the seed");
+        j.shutdown_now();
+        seed.shutdown_now();
     }
 
     #[test]

@@ -114,6 +114,36 @@ impl SwimNode {
         }
     }
 
+    /// Creates a node that starts as a member of a pre-formed static
+    /// cluster: every peer in `peers` is already known Alive, no join
+    /// traffic is generated, and probing begins immediately — the
+    /// steady-state starting point of the paper's failure experiments
+    /// (`topology = "static"` in scenario files).
+    pub fn new_static(
+        me: Endpoint,
+        peers: impl IntoIterator<Item = Endpoint>,
+        cfg: SwimConfig,
+        rng_seed: u64,
+    ) -> Self {
+        let mut node = SwimNode::new(me, Vec::new(), cfg, rng_seed);
+        for addr in peers {
+            if addr == me || node.members.contains_key(&addr) {
+                continue;
+            }
+            node.members.insert(
+                addr,
+                MemberInfo {
+                    incarnation: 1,
+                    state: MemberState::Alive,
+                    suspect_since: 0,
+                },
+            );
+            node.live_count += 1;
+            node.probe_order.push(addr);
+        }
+        node
+    }
+
     /// The number of members this node currently believes are in the
     /// cluster (alive + suspect, including itself) — what a Memberlist
     /// agent logs as the cluster size.

@@ -94,6 +94,9 @@ fn main() -> std::io::Result<()> {
                 println!("KICKED from the membership; exiting (rejoin with a fresh id)");
                 std::process::exit(1);
             }
+            Ok(AppEvent::App(from, payload)) => {
+                println!("app payload from {from}: {} bytes", payload.len());
+            }
             Err(_) => {
                 println!(
                     "... {} members in view {}",

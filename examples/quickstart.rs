@@ -76,6 +76,9 @@ fn main() -> std::io::Result<()> {
             ),
             AppEvent::Joined(c) => println!("  joined a {}-member cluster", c.len()),
             AppEvent::Kicked => println!("  kicked!"),
+            AppEvent::App(from, payload) => {
+                println!("  app payload from {from}: {} bytes", payload.len())
+            }
         }
     }
 
