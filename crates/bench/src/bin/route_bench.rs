@@ -33,6 +33,8 @@ struct FaultResult {
     partitions_moved: u64,
     handoffs: u64,
     lost: u64,
+    repairs: u64,
+    repair_bytes: u64,
 }
 
 fn spec() -> PlacementConfig {
@@ -162,6 +164,8 @@ fn measure_fault(
         partitions_moved: after.partitions_moved - before.partitions_moved,
         handoffs: after.handoffs_sent - before.handoffs_sent,
         lost: after.partitions_lost - before.partitions_lost,
+        repairs: after.repairs_triggered - before.repairs_triggered,
+        repair_bytes: after.repair_bytes - before.repair_bytes,
     }
 }
 
@@ -174,6 +178,8 @@ fn fault_json(r: &FaultResult) -> Json {
         ("partitions_moved", Json::uint(r.partitions_moved)),
         ("handoffs", Json::uint(r.handoffs)),
         ("partitions_lost", Json::uint(r.lost)),
+        ("repairs_triggered", Json::uint(r.repairs)),
+        ("repair_bytes", Json::uint(r.repair_bytes)),
     ])
 }
 
@@ -186,7 +192,10 @@ fn run_scale(n: usize, seed: u64) -> Json {
     sim.run_until(2_000);
     let acked = load_keys(&mut sim, KEYS);
 
-    // Timed mixed workload: alternate get/overwrite batches.
+    // Timed mixed workload: alternate get/overwrite batches. Snapshot
+    // counters around it so the steady-state anti-entropy overhead
+    // (digest chatter with no divergence to fix) is reported.
+    let steady_before = aggregate(&sim);
     let t0 = Instant::now();
     let mut ops_done = 0usize;
     for round in 0..4 {
@@ -204,6 +213,9 @@ fn run_scale(n: usize, seed: u64) -> Json {
     }
     let wall = t0.elapsed().as_secs_f64();
     let ops_per_sec = ops_done as f64 / wall.max(1e-9);
+    let steady_after = aggregate(&sim);
+    let steady_repairs = steady_after.repairs_triggered - steady_before.repairs_triggered;
+    let steady_repair_bytes = steady_after.repair_bytes - steady_before.repair_bytes;
 
     // Crash ~1.5% of the cluster (at least one, well under RF).
     let crash_count = (n / 64).max(1);
@@ -245,6 +257,8 @@ fn run_scale(n: usize, seed: u64) -> Json {
         ("n", Json::uint(n as u64)),
         ("load_acked", Json::uint(acked as u64)),
         ("steady_ops_per_sec_wall", Json::Float(ops_per_sec)),
+        ("steady_repairs", Json::uint(steady_repairs)),
+        ("steady_repair_bytes", Json::uint(steady_repair_bytes)),
         ("crash", fault_json(&crash)),
         ("partition", fault_json(&partition)),
     ])

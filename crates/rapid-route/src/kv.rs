@@ -21,18 +21,66 @@
 //!   diffs it against the previous one ([`RebalancePlan`]) and the
 //!   deterministically chosen surviving source pushes each moved
 //!   partition to its new replicas. Gets on a partition awaiting handoff
-//!   fail (retryable) rather than serving an empty store.
+//!   fail (retryable) rather than serving an empty store, until the
+//!   handoff lands or anti-entropy repair confirms the partition.
+//! * **Repair** — replicas periodically exchange compact
+//!   [`PartitionDigest`]s, detect divergence (or a handoff that never
+//!   arrived because its push source crashed) and re-pull missing
+//!   entries from a replica chosen by rendezvous rank. There is no
+//!   "serve empty after a grace period" escape hatch: an awaiting
+//!   partition keeps failing reads retryably until a settled replica
+//!   confirms its contents.
+//! * **Read-your-writes** — each coordinator remembers the highest
+//!   version it acked per key and refuses to complete a read below that
+//!   floor: a stale leader answer (mid-repair) is retried, not returned.
 
 use std::sync::Arc;
 
 use rapid_core::config::{Configuration, Member};
-use rapid_core::hash::{DetHashMap, DetHashSet};
+use rapid_core::hash::{DetHashMap, DetHashSet, StableHasher};
 use rapid_core::id::Endpoint;
 
 use crate::placement::{partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan};
 
 /// One stored entry: value plus its replication version.
 pub type Entry = (String, u64);
+
+/// A compact, order-independent summary of one partition's contents.
+///
+/// Two replicas hold byte-identical partition stores iff their digests
+/// match (up to the negligible collision probability of the 64-bit
+/// entry hash — pinned by a proptest). Cheap to compute at `P = 256`
+/// (a linear scan of a few keys), so no Merkle trees are needed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionDigest {
+    /// Highest entry version held ("leader version floor"): any replica
+    /// that served every acked write is at least this new.
+    pub floor: u64,
+    /// Number of entries.
+    pub count: u64,
+    /// XOR of per-entry hashes over `(key, value, version)` —
+    /// order-independent, so map iteration order cannot leak in.
+    pub xor: u64,
+}
+
+fn entry_hash(key: &str, val: &str, version: u64) -> u64 {
+    StableHasher::new("kv-repair-entry")
+        .write_bytes(key.as_bytes())
+        .write_bytes(val.as_bytes())
+        .write_u64(version)
+        .finish()
+}
+
+/// Digest of a raw partition map (shared by [`KvNode`] and tests).
+pub fn digest_of(entries: &DetHashMap<String, Entry>) -> PartitionDigest {
+    let mut d = PartitionDigest::default();
+    for (k, (v, ver)) in entries {
+        d.floor = d.floor.max(*ver);
+        d.count += 1;
+        d.xor ^= entry_hash(k, v, *ver);
+    }
+    d
+}
 
 // ---------------------------------------------------------------------------
 // Wire messages
@@ -114,6 +162,38 @@ pub enum KvMsg {
         /// version, so handoffs commute with concurrent writes.
         entries: Vec<(String, String, u64)>,
     },
+    /// Anti-entropy: the sender's digests for partitions both ends
+    /// replicate (one batched message per peer per repair tick).
+    DigestReq {
+        /// `(partition, sender's digest)` pairs.
+        digests: Vec<(u32, PartitionDigest)>,
+    },
+    /// Anti-entropy: the responder's digests for the subset of a
+    /// [`KvMsg::DigestReq`] that did not match its own stores.
+    DigestResp {
+        /// `(partition, responder's digest)` pairs, mismatches only.
+        digests: Vec<(u32, PartitionDigest)>,
+    },
+    /// Anti-entropy: request the full contents of these partitions from
+    /// a replica believed to be ahead.
+    RepairPull {
+        /// Partitions to transfer back.
+        partitions: Vec<u32>,
+    },
+    /// Anti-entropy: one partition's full contents, answering a
+    /// [`KvMsg::RepairPull`]. Receivers merge by highest version (the
+    /// version floor itself rides the digest messages, not the push).
+    RepairPush {
+        /// The partition.
+        partition: u32,
+        /// Whether the sender itself is *settled* (not awaiting a
+        /// handoff) for this partition — only a settled sender's push
+        /// clears the receiver's awaiting guard, since an unsettled
+        /// sender may hold partial data.
+        settled: bool,
+        /// `(key, value, version)` triples.
+        entries: Vec<(String, String, u64)>,
+    },
 }
 
 const TAG_PUT: u8 = 1;
@@ -123,6 +203,13 @@ const TAG_GET_RESP: u8 = 4;
 const TAG_REPLICATE: u8 = 5;
 const TAG_REP_ACK: u8 = 6;
 const TAG_HANDOFF: u8 = 7;
+const TAG_DIGEST_REQ: u8 = 8;
+const TAG_DIGEST_RESP: u8 = 9;
+const TAG_REPAIR_PULL: u8 = 10;
+const TAG_REPAIR_PUSH: u8 = 11;
+
+/// Encoded size of one `(partition, digest)` pair.
+const DIGEST_PAIR_LEN: usize = 4 + 8 + 8 + 8;
 
 fn put_ep(buf: &mut Vec<u8>, ep: &Endpoint) {
     let host = ep.host().as_bytes();
@@ -158,6 +245,18 @@ pub fn encoded_len(msg: &KvMsg) -> usize {
         KvMsg::RepAck { .. } => 8,
         KvMsg::Handoff { entries, .. } => {
             4 + 4
+                + entries
+                    .iter()
+                    .map(|(k, v, _)| str_len(k) + str_len(v) + 8)
+                    .sum::<usize>()
+        }
+        KvMsg::DigestReq { digests } | KvMsg::DigestResp { digests } => {
+            4 + digests.len() * DIGEST_PAIR_LEN
+        }
+        KvMsg::RepairPull { partitions } => 4 + partitions.len() * 4,
+        KvMsg::RepairPush { entries, .. } => {
+            4 + 1
+                + 4
                 + entries
                     .iter()
                     .map(|(k, v, _)| str_len(k) + str_len(v) + 8)
@@ -230,6 +329,42 @@ pub fn encode(msg: &KvMsg, buf: &mut Vec<u8>) {
         KvMsg::Handoff { partition, entries } => {
             buf.push(TAG_HANDOFF);
             buf.extend_from_slice(&partition.to_le_bytes());
+            buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v, ver) in entries {
+                put_str(buf, k);
+                put_str(buf, v);
+                buf.extend_from_slice(&ver.to_le_bytes());
+            }
+        }
+        KvMsg::DigestReq { digests } | KvMsg::DigestResp { digests } => {
+            buf.push(if matches!(msg, KvMsg::DigestReq { .. }) {
+                TAG_DIGEST_REQ
+            } else {
+                TAG_DIGEST_RESP
+            });
+            buf.extend_from_slice(&(digests.len() as u32).to_le_bytes());
+            for (p, d) in digests {
+                buf.extend_from_slice(&p.to_le_bytes());
+                buf.extend_from_slice(&d.floor.to_le_bytes());
+                buf.extend_from_slice(&d.count.to_le_bytes());
+                buf.extend_from_slice(&d.xor.to_le_bytes());
+            }
+        }
+        KvMsg::RepairPull { partitions } => {
+            buf.push(TAG_REPAIR_PULL);
+            buf.extend_from_slice(&(partitions.len() as u32).to_le_bytes());
+            for p in partitions {
+                buf.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        KvMsg::RepairPush {
+            partition,
+            settled,
+            entries,
+        } => {
+            buf.push(TAG_REPAIR_PUSH);
+            buf.extend_from_slice(&partition.to_le_bytes());
+            buf.push(*settled as u8);
             buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
             for (k, v, ver) in entries {
                 put_str(buf, k);
@@ -347,6 +482,58 @@ pub fn decode(bytes: &[u8]) -> Result<KvMsg, String> {
             }
             KvMsg::Handoff { partition, entries }
         }
+        tag @ (TAG_DIGEST_REQ | TAG_DIGEST_RESP) => {
+            let count = r.u32()? as usize;
+            if count > r.buf.len() / DIGEST_PAIR_LEN + 1 {
+                return Err(format!("kv decode: absurd digest count {count}"));
+            }
+            let mut digests = Vec::with_capacity(count);
+            for _ in 0..count {
+                let p = r.u32()?;
+                let d = PartitionDigest {
+                    floor: r.u64()?,
+                    count: r.u64()?,
+                    xor: r.u64()?,
+                };
+                digests.push((p, d));
+            }
+            if tag == TAG_DIGEST_REQ {
+                KvMsg::DigestReq { digests }
+            } else {
+                KvMsg::DigestResp { digests }
+            }
+        }
+        TAG_REPAIR_PULL => {
+            let count = r.u32()? as usize;
+            if count > r.buf.len() / 4 + 1 {
+                return Err(format!("kv decode: absurd pull count {count}"));
+            }
+            let mut partitions = Vec::with_capacity(count);
+            for _ in 0..count {
+                partitions.push(r.u32()?);
+            }
+            KvMsg::RepairPull { partitions }
+        }
+        TAG_REPAIR_PUSH => {
+            let partition = r.u32()?;
+            let settled = r.u8()? == 1;
+            let count = r.u32()? as usize;
+            if count > r.buf.len() / 16 + 1 {
+                return Err(format!("kv decode: absurd repair count {count}"));
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = r.str()?;
+                let v = r.str()?;
+                let ver = r.u64()?;
+                entries.push((k, v, ver));
+            }
+            KvMsg::RepairPush {
+                partition,
+                settled,
+                entries,
+            }
+        }
         other => return Err(format!("kv decode: unknown tag {other}")),
     };
     Ok(msg)
@@ -416,6 +603,11 @@ pub struct KvStats {
     pub partitions_lost: u64,
     /// Partitions whose leader moved across all rebalances.
     pub leader_changes: u64,
+    /// Repair pulls this node issued (one per partition per round that
+    /// detected divergence or an unconfirmed handoff).
+    pub repairs_triggered: u64,
+    /// Encoded bytes of repair-push traffic this node served.
+    pub repair_bytes: u64,
 }
 
 impl KvStats {
@@ -429,6 +621,8 @@ impl KvStats {
         self.handoffs_applied += other.handoffs_applied;
         self.bytes_moved += other.bytes_moved;
         self.partitions_moved += other.partitions_moved;
+        self.repairs_triggered += other.repairs_triggered;
+        self.repair_bytes += other.repair_bytes;
         self.rebalances = self.rebalances.max(other.rebalances);
         self.partitions_lost = self.partitions_lost.max(other.partitions_lost);
         self.leader_changes = self.leader_changes.max(other.leader_changes);
@@ -439,10 +633,20 @@ impl KvStats {
 // The state machine
 // ---------------------------------------------------------------------------
 
+/// A client op in flight at its coordinator, keyed by request id in
+/// [`KvNode::pending_client`] so completions are O(1) instead of a scan.
 struct PendingClient {
-    req: u64,
     deadline: u64,
     is_put: bool,
+    /// The key, kept for read retries and for recording acked floors.
+    key: String,
+    /// Read-your-writes floor captured when the get began: the highest
+    /// version this coordinator has acked for the key. A leader answer
+    /// below it is stale (mid-repair) and is retried, never returned.
+    floor: u64,
+    /// Set when a retryable/stale answer arrived; the next tick
+    /// re-forwards the read to the (possibly new) leader.
+    retry: bool,
 }
 
 struct PendingPut {
@@ -464,12 +668,28 @@ pub struct KvNode {
     me: Member,
     spec: PlacementConfig,
     op_timeout_ms: u64,
+    /// Anti-entropy cadence; 0 disables repair (not recommended — an
+    /// awaiting partition then clears only when its handoff arrives).
+    repair_interval_ms: u64,
+    next_repair_at: u64,
+    /// When the last repair round ran — bounds how far view changes may
+    /// keep deferring the next one.
+    last_repair_at: u64,
+    /// Monotone per-repair-round counter rotating the pull-source choice
+    /// through the rendezvous rank order, so a permanently-unsettled
+    /// first choice cannot starve repair.
+    repair_round: u64,
     cache: Option<PlacementCache>,
     view: Option<(Arc<Configuration>, Arc<Placement>)>,
     store: DetHashMap<u32, DetHashMap<String, Entry>>,
-    /// Partitions this node was just assigned and whose handoff has not
-    /// arrived yet: reads fail retryably instead of serving emptiness.
-    awaiting: DetHashMap<u32, u64>,
+    /// Partitions this node was assigned whose handoff has not arrived:
+    /// reads fail retryably instead of serving emptiness, until the
+    /// handoff lands or repair confirms the contents from a settled
+    /// replica. There is deliberately no time-based escape hatch.
+    awaiting: DetHashSet<u32>,
+    /// Highest acked version per key at this coordinator — the
+    /// read-your-writes floor.
+    acked_floors: DetHashMap<String, u64>,
     /// Set on processes that join an *established* cluster: their first
     /// view must treat every owned partition as awaiting handoff (the
     /// cluster may hold data), unlike a fresh static/seed start where no
@@ -479,7 +699,7 @@ pub struct KvNode {
     /// push as soon as they install the new view, which can race the
     /// joiner's own install) — these partitions are already served.
     early_handoffs: DetHashSet<u32>,
-    pending_client: Vec<PendingClient>,
+    pending_client: DetHashMap<u64, PendingClient>,
     pending_rep: DetHashMap<u64, PendingPut>,
     seqs: DetHashMap<u32, u64>,
     next_req: u64,
@@ -499,13 +719,18 @@ impl KvNode {
             me,
             spec,
             op_timeout_ms,
+            repair_interval_ms: op_timeout_ms,
+            next_repair_at: 0,
+            last_repair_at: 0,
+            repair_round: 0,
             cache,
             view: None,
             store: DetHashMap::default(),
-            awaiting: DetHashMap::default(),
+            awaiting: DetHashSet::default(),
+            acked_floors: DetHashMap::default(),
             expect_initial_handoffs: false,
             early_handoffs: DetHashSet::default(),
-            pending_client: Vec::new(),
+            pending_client: DetHashMap::default(),
             pending_rep: DetHashMap::default(),
             seqs: DetHashMap::default(),
             next_req: 1,
@@ -513,12 +738,20 @@ impl KvNode {
         }
     }
 
+    /// Overrides the anti-entropy cadence (defaults to the op timeout;
+    /// 0 disables repair).
+    pub fn with_repair_interval(mut self, ms: u64) -> KvNode {
+        self.repair_interval_ms = ms;
+        self
+    }
+
     /// Marks this node as joining an established cluster: its first
     /// installed view treats every partition it owns as awaiting a
     /// handoff, so it cannot serve reads from its (empty) store while
     /// the plan-chosen sources are still pushing. Sources push even for
     /// empty partitions, so the guard clears promptly; if a source died
-    /// mid-push, the usual grace period applies.
+    /// mid-push, anti-entropy repair confirms the partition from a
+    /// surviving replica instead.
     pub fn expect_initial_handoffs(mut self) -> KvNode {
         self.expect_initial_handoffs = true;
         self
@@ -569,7 +802,7 @@ impl KvNode {
                     if placement.replicas(p).contains(&(my_rank as u32))
                         && !self.early_handoffs.contains(&p)
                     {
-                        self.awaiting.insert(p, now + 2 * self.op_timeout_ms);
+                        self.awaiting.insert(p);
                     }
                 }
             }
@@ -589,9 +822,9 @@ impl KvNode {
                 // Never push a partition this node is itself still
                 // awaiting: the plan cannot see local handoff progress,
                 // and pushing an empty store would clear the receiver's
-                // guard with wrong (missing) data. The receiver falls
-                // back to its grace period instead.
-                if mv.source == self.me.addr && !self.awaiting.contains_key(&mv.partition) {
+                // guard with wrong (missing) data. The receiver repairs
+                // from a settled replica instead.
+                if mv.source == self.me.addr && !self.awaiting.contains(&mv.partition) {
                     let entries: Vec<(String, String, u64)> = self
                         .store
                         .get(&mv.partition)
@@ -617,11 +850,12 @@ impl KvNode {
                     out.push(KvOut::Send(mv.to, msg));
                 }
                 if mv.to == self.me.addr {
-                    // Expect data; until it lands, reads on this partition
-                    // fail retryably. Budget: two op timeouts, then serve
-                    // whatever arrived (the source may have died mid-push).
-                    self.awaiting
-                        .insert(mv.partition, now + 2 * self.op_timeout_ms);
+                    // Expect data; until it lands — or repair confirms
+                    // the partition from a settled replica — reads on it
+                    // fail retryably. No time budget: a mid-push source
+                    // crash must never let an empty store serve Missing
+                    // for an acked key.
+                    self.awaiting.insert(mv.partition);
                 }
             }
             // Drop partitions this node no longer replicates.
@@ -630,7 +864,7 @@ impl KvNode {
                     .filter(|&p| placement.replicas(p).contains(&(my_rank as u32)))
                     .collect();
                 self.store.retain(|p, _| keep.contains(p));
-                self.awaiting.retain(|p, _| keep.contains(p));
+                self.awaiting.retain(|p| keep.contains(p));
             } else {
                 // Not in the view at all (kicked/left): nothing to serve.
                 self.store.clear();
@@ -638,6 +872,13 @@ impl KvNode {
             }
         }
         self.view = Some((config, placement));
+        // Give the plan-chosen handoffs one full interval to land before
+        // the next repair round can second-guess them with pulls — but
+        // never defer more than a few intervals past the last round, or
+        // sustained view churn would starve repair of the very windows
+        // it exists to cover.
+        let deferral_cap = self.last_repair_at + 4 * self.repair_interval_ms;
+        self.next_repair_at = (now + self.repair_interval_ms).min(deferral_cap);
     }
 
     fn leader_addr(&self, partition: u32) -> Option<Endpoint> {
@@ -665,12 +906,16 @@ impl KvNode {
     }
 
     fn resolve_client(&mut self, req: u64, outcome: KvOutcome, out: &mut Vec<KvOut>) {
-        let Some(pos) = self.pending_client.iter().position(|p| p.req == req) else {
+        let Some(pc) = self.pending_client.remove(&req) else {
             return; // Already timed out.
         };
-        let pc = self.pending_client.swap_remove(pos);
         match (&outcome, pc.is_put) {
-            (KvOutcome::Acked { .. }, _) => self.stats.puts_acked += 1,
+            (KvOutcome::Acked { version }, _) => {
+                self.stats.puts_acked += 1;
+                // Record the read-your-writes floor for this coordinator.
+                let floor = self.acked_floors.entry(pc.key).or_insert(0);
+                *floor = (*floor).max(*version);
+            }
             (KvOutcome::Failed, true) => self.stats.puts_failed += 1,
             (KvOutcome::Failed, false) => self.stats.gets_failed += 1,
             (_, false) => self.stats.gets_ok += 1,
@@ -684,11 +929,16 @@ impl KvNode {
     pub fn client_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
-        self.pending_client.push(PendingClient {
+        self.pending_client.insert(
             req,
-            deadline: now + self.op_timeout_ms,
-            is_put: true,
-        });
+            PendingClient {
+                deadline: now + self.op_timeout_ms,
+                is_put: true,
+                key: key.to_string(),
+                floor: 0,
+                retry: false,
+            },
+        );
         let partition = partition_of(key, self.spec.partitions);
         match self.leader_addr(partition) {
             None => self.resolve_client(req, KvOutcome::Failed, out),
@@ -708,15 +958,30 @@ impl KvNode {
         req
     }
 
-    /// Begins a client read through this node as coordinator.
+    /// Begins a client read through this node as coordinator. The read
+    /// completes only at a version at or above every write this
+    /// coordinator has acked for the key (read-your-writes): stale or
+    /// retryable leader answers are retried until the op deadline.
     pub fn client_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
-        self.pending_client.push(PendingClient {
+        let floor = self.acked_floors.get(key).copied().unwrap_or(0);
+        self.pending_client.insert(
             req,
-            deadline: now + self.op_timeout_ms,
-            is_put: false,
-        });
+            PendingClient {
+                deadline: now + self.op_timeout_ms,
+                is_put: false,
+                key: key.to_string(),
+                floor,
+                retry: false,
+            },
+        );
+        self.forward_get(req, key, out);
+        req
+    }
+
+    /// Routes (or re-routes) a pending read to the key's current leader.
+    fn forward_get(&mut self, req: u64, key: &str, out: &mut Vec<KvOut>) {
         let partition = partition_of(key, self.spec.partitions);
         match self.leader_addr(partition) {
             None => self.resolve_client(req, KvOutcome::Failed, out),
@@ -733,7 +998,6 @@ impl KvNode {
                 },
             )),
         }
-        req
     }
 
     fn put_fail(&mut self, req: u64, origin: Endpoint, out: &mut Vec<KvOut>) {
@@ -829,7 +1093,7 @@ impl KvNode {
 
     fn leader_get_resp(&self, req: u64, key: &str) -> KvMsg {
         let partition = partition_of(key, self.spec.partitions);
-        if !self.is_leader(partition) || self.awaiting.contains_key(&partition) {
+        if !self.is_leader(partition) || self.awaiting.contains(&partition) {
             return KvMsg::GetResp {
                 req,
                 ok: false,
@@ -867,10 +1131,23 @@ impl KvNode {
         else {
             unreachable!("finish_get only consumes GetResp");
         };
-        let outcome = match (ok, found) {
-            (false, _) => KvOutcome::Failed,
-            (true, false) => KvOutcome::Missing,
-            (true, true) => KvOutcome::Found { val, version },
+        let Some(pc) = self.pending_client.get_mut(&req) else {
+            return; // Already timed out.
+        };
+        // A retryable failure (leader mid-handoff, stale route) or an
+        // answer below this coordinator's acked floor is never returned:
+        // the next tick re-forwards, and the op fails only at its
+        // deadline. The floor check is what makes acked-then-read safe
+        // while repair is still converging a new leader.
+        let below_floor = pc.floor > 0 && version < pc.floor;
+        if !ok || below_floor {
+            pc.retry = true;
+            return;
+        }
+        let outcome = if found {
+            KvOutcome::Found { val, version }
+        } else {
+            KvOutcome::Missing
         };
         self.resolve_client(req, outcome, out);
     }
@@ -941,33 +1218,260 @@ impl KvNode {
                 }
                 self.stats.handoffs_applied += 1;
             }
+            KvMsg::DigestReq { digests } => self.on_digest_req(from, digests, out),
+            KvMsg::DigestResp { digests } => self.on_digest_resp(from, digests, out),
+            KvMsg::RepairPull { partitions } => self.on_repair_pull(from, partitions, out),
+            KvMsg::RepairPush {
+                partition,
+                settled,
+                entries,
+            } => {
+                if self.replicates(partition) {
+                    for (k, v, ver) in entries {
+                        self.merge(partition, k, v, ver);
+                    }
+                    // Only a settled sender vouches for completeness; a
+                    // push from a replica that is itself awaiting merges
+                    // partial data but must not clear the guard.
+                    if settled {
+                        self.awaiting.remove(&partition);
+                    }
+                }
+            }
         }
     }
 
-    /// Advances time: expires client ops, replication waits, and stale
-    /// handoff expectations.
+    /// Whether this node replicates `partition` under its current view.
+    fn replicates(&self, partition: u32) -> bool {
+        let Some((cfg, pl)) = self.view.as_ref() else {
+            return false;
+        };
+        match cfg.rank_of(self.me.id) {
+            Some(rank) => pl.replicas(partition).contains(&(rank as u32)),
+            None => false,
+        }
+    }
+
+    /// Digest of one partition's local store (empty store = zero digest).
+    pub fn partition_digest(&self, partition: u32) -> PartitionDigest {
+        self.store
+            .get(&partition)
+            .map(digest_of)
+            .unwrap_or_default()
+    }
+
+    /// `(partition, digest, settled)` for every partition this node
+    /// currently replicates — the raw material of the scenario-level
+    /// `kv_converged` sweep.
+    pub fn digest_snapshot(&self) -> Vec<(u32, PartitionDigest, bool)> {
+        let Some((cfg, pl)) = self.view.as_ref() else {
+            return Vec::new();
+        };
+        let Some(my_rank) = cfg.rank_of(self.me.id) else {
+            return Vec::new();
+        };
+        (0..pl.partitions())
+            .filter(|&p| pl.replicas(p).contains(&(my_rank as u32)))
+            .map(|p| (p, self.partition_digest(p), !self.awaiting.contains(&p)))
+            .collect()
+    }
+
+    /// One anti-entropy round: for every owned partition, pick this
+    /// round's peer replica by rendezvous rank (rotating each round) and
+    /// either pull outright (partition still awaiting its handoff) or
+    /// offer a digest for divergence detection. Messages are batched per
+    /// peer.
+    fn run_repair(&mut self, out: &mut Vec<KvOut>) {
+        let Some((cfg, pl)) = self.view.clone() else {
+            return;
+        };
+        let Some(my_rank) = cfg.rank_of(self.me.id) else {
+            return;
+        };
+        let round = self.repair_round as usize;
+        self.repair_round += 1;
+        // Batches keyed by peer member-rank so emission order below is
+        // index-sorted — deterministic for the simulator's traces.
+        let mut pulls: DetHashMap<u32, Vec<u32>> = DetHashMap::default();
+        let mut offers: DetHashMap<u32, Vec<(u32, PartitionDigest)>> = DetHashMap::default();
+        for p in 0..pl.partitions() {
+            if !pl.replicas(p).contains(&(my_rank as u32)) {
+                continue;
+            }
+            let others: Vec<u32> = pl
+                .replicas_by_rank(p, &cfg)
+                .into_iter()
+                .filter(|&r| r as usize != my_rank)
+                .collect();
+            let Some(&peer) = others.get(round % others.len().max(1)) else {
+                // RF = 1: no peer holds this partition, so an awaiting
+                // guard can never be confirmed — nor can it protect
+                // anything (there is no surviving copy to diverge from).
+                self.awaiting.remove(&p);
+                continue;
+            };
+            if self.awaiting.contains(&p) {
+                pulls.entry(peer).or_default().push(p);
+            } else {
+                offers.entry(peer).or_default().push((p, self.partition_digest(p)));
+            }
+        }
+        let mut pull_peers: Vec<u32> = pulls.keys().copied().collect();
+        pull_peers.sort_unstable();
+        for rank in pull_peers {
+            let mut partitions = pulls.remove(&rank).expect("keyed above");
+            partitions.sort_unstable();
+            self.stats.repairs_triggered += partitions.len() as u64;
+            out.push(KvOut::Send(
+                cfg.members()[rank as usize].addr,
+                KvMsg::RepairPull { partitions },
+            ));
+        }
+        let mut offer_peers: Vec<u32> = offers.keys().copied().collect();
+        offer_peers.sort_unstable();
+        for rank in offer_peers {
+            let mut digests = offers.remove(&rank).expect("keyed above");
+            digests.sort_unstable_by_key(|&(p, _)| p);
+            out.push(KvOut::Send(
+                cfg.members()[rank as usize].addr,
+                KvMsg::DigestReq { digests },
+            ));
+        }
+    }
+
+    fn on_digest_req(
+        &mut self,
+        from: Endpoint,
+        digests: Vec<(u32, PartitionDigest)>,
+        out: &mut Vec<KvOut>,
+    ) {
+        let mut mismatched = Vec::new();
+        let mut pull = Vec::new();
+        for (p, theirs) in digests {
+            if !self.replicates(p) {
+                continue; // Stale sender view; ignore.
+            }
+            let mine = self.partition_digest(p);
+            if mine == theirs {
+                continue;
+            }
+            // Answer with our digest so the offerer can decide to pull…
+            mismatched.push((p, mine));
+            // …and pull ourselves if the offerer may hold entries we
+            // lack. Merging is by version, so an unnecessary pull (we
+            // were strictly ahead) is wasted bytes, never wrong data —
+            // and after one symmetric exchange both sides hold the
+            // union, digests match, and the chatter stops.
+            if theirs.count > 0 {
+                pull.push(p);
+            }
+        }
+        if !mismatched.is_empty() {
+            out.push(KvOut::Send(from, KvMsg::DigestResp { digests: mismatched }));
+        }
+        if !pull.is_empty() {
+            self.stats.repairs_triggered += pull.len() as u64;
+            out.push(KvOut::Send(from, KvMsg::RepairPull { partitions: pull }));
+        }
+    }
+
+    fn on_digest_resp(
+        &mut self,
+        from: Endpoint,
+        digests: Vec<(u32, PartitionDigest)>,
+        out: &mut Vec<KvOut>,
+    ) {
+        let mut pull = Vec::new();
+        for (p, theirs) in digests {
+            if !self.replicates(p) {
+                continue;
+            }
+            if theirs.count > 0 && self.partition_digest(p) != theirs {
+                pull.push(p);
+            }
+        }
+        if !pull.is_empty() {
+            self.stats.repairs_triggered += pull.len() as u64;
+            out.push(KvOut::Send(from, KvMsg::RepairPull { partitions: pull }));
+        }
+    }
+
+    fn on_repair_pull(&mut self, from: Endpoint, partitions: Vec<u32>, out: &mut Vec<KvOut>) {
+        for p in partitions {
+            if !self.replicates(p) {
+                continue;
+            }
+            let entries: Vec<(String, String, u64)> = self
+                .store
+                .get(&p)
+                .map(|m| {
+                    let mut v: Vec<_> = m
+                        .iter()
+                        .map(|(k, (val, ver))| (k.clone(), val.clone(), *ver))
+                        .collect();
+                    v.sort();
+                    v
+                })
+                .unwrap_or_default();
+            let msg = KvMsg::RepairPush {
+                partition: p,
+                settled: !self.awaiting.contains(&p),
+                entries,
+            };
+            self.stats.repair_bytes += encoded_len(&msg) as u64;
+            out.push(KvOut::Send(from, msg));
+        }
+    }
+
+    /// Advances time: expires client ops and replication waits, retries
+    /// reads that last saw a retryable or below-floor answer, and runs
+    /// the anti-entropy repair cadence. The old "awaiting budget" (serve
+    /// whatever arrived after two op timeouts) is gone: an unconfirmed
+    /// partition stays guarded until a handoff or a settled repair push
+    /// clears it.
     pub fn on_tick(&mut self, now: u64, out: &mut Vec<KvOut>) {
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .pending_client
             .iter()
-            .filter(|p| p.deadline <= now)
-            .map(|p| p.req)
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&req, _)| req)
             .collect();
+        expired.sort_unstable();
         for req in expired {
             self.resolve_client(req, KvOutcome::Failed, out);
         }
-        let rep_expired: Vec<u64> = self
+        let mut rep_expired: Vec<u64> = self
             .pending_rep
             .iter()
             .filter(|(_, p)| p.deadline <= now)
             .map(|(&req, _)| req)
             .collect();
+        rep_expired.sort_unstable();
         for req in rep_expired {
             if let Some(p) = self.pending_rep.remove(&req) {
                 self.put_fail(p.client_req, p.origin, out);
             }
         }
-        self.awaiting.retain(|_, deadline| *deadline > now);
+        // One retry round per tick for reads whose last answer was
+        // retryable or stale — bounded traffic, no hot loops.
+        let mut retries: Vec<(u64, String)> = self
+            .pending_client
+            .iter()
+            .filter(|(_, p)| p.retry && !p.is_put)
+            .map(|(&req, p)| (req, p.key.clone()))
+            .collect();
+        retries.sort_unstable();
+        for (req, key) in retries {
+            if let Some(p) = self.pending_client.get_mut(&req) {
+                p.retry = false;
+            }
+            self.forward_get(req, &key, out);
+        }
+        if self.repair_interval_ms > 0 && now >= self.next_repair_at {
+            self.next_repair_at = now + self.repair_interval_ms;
+            self.last_repair_at = now;
+            self.run_repair(out);
+        }
     }
 }
 
@@ -996,27 +1500,37 @@ mod tests {
 
     /// A little in-process cluster harness delivering KV messages
     /// synchronously, for unit-testing the state machine without a
-    /// simulator.
+    /// simulator. Nodes in `crashed` silently eat every message — the
+    /// harness-level model of a dead process.
     struct Mesh {
         nodes: Vec<KvNode>,
         config: Arc<Configuration>,
+        crashed: Vec<usize>,
     }
 
     impl Mesh {
         fn new(n: usize) -> Mesh {
+            Mesh::with_spec(n, spec())
+        }
+
+        fn with_spec(n: usize, sp: PlacementConfig) -> Mesh {
             let ms = members(n);
             let config = Configuration::bootstrap(ms.clone());
             let cache = PlacementCache::new();
             let mut nodes: Vec<KvNode> = ms
                 .into_iter()
-                .map(|m| KvNode::new(m, spec(), 1_000, Some(cache.clone())))
+                .map(|m| KvNode::new(m, sp, 1_000, Some(cache.clone())))
                 .collect();
             let mut out = Vec::new();
             for node in &mut nodes {
                 node.on_view(Arc::clone(&config), 0, &mut out);
             }
             assert!(out.is_empty(), "initial view must not emit traffic");
-            Mesh { nodes, config }
+            Mesh {
+                nodes,
+                config,
+                crashed: Vec::new(),
+            }
         }
 
         fn idx_of(&self, addr: Endpoint) -> usize {
@@ -1043,11 +1557,29 @@ mod tests {
                     KvOut::Done(req, outcome) => done.push((req, outcome)),
                     KvOut::Send(to, msg) => {
                         let idx = self.idx_of(to);
+                        if self.crashed.contains(&idx) {
+                            continue; // Dead processes receive nothing.
+                        }
                         let mut out = Vec::new();
                         self.nodes[idx].on_message(from, msg, 0, &mut out);
                         queue.extend(out.into_iter().map(|item| (to, item)));
                     }
                 }
+            }
+            done
+        }
+
+        /// Ticks every live node at `now` and pumps the resulting
+        /// traffic (repair rounds included).
+        fn tick_all(&mut self, now: u64) -> Vec<(u64, KvOutcome)> {
+            let mut done = Vec::new();
+            for i in 0..self.nodes.len() {
+                if self.crashed.contains(&i) {
+                    continue;
+                }
+                let mut out = Vec::new();
+                self.nodes[i].on_tick(now, &mut out);
+                done.extend(self.pump_from(i, out));
             }
             done
         }
@@ -1156,10 +1688,18 @@ mod tests {
         assert!(matches!(&out[..], [KvOut::Send(..)]));
         let mut tick_out = Vec::new();
         mesh.nodes[0].on_tick(999, &mut tick_out);
-        assert!(tick_out.is_empty(), "not expired yet");
-        mesh.nodes[0].on_tick(1_000, &mut tick_out);
         assert!(
-            matches!(&tick_out[..], [KvOut::Done(r, KvOutcome::Failed)] if *r == req),
+            !tick_out.iter().any(|o| matches!(o, KvOut::Done(..))),
+            "not expired yet: {tick_out:?}"
+        );
+        tick_out.clear();
+        mesh.nodes[0].on_tick(1_000, &mut tick_out);
+        let dones: Vec<_> = tick_out
+            .iter()
+            .filter(|o| matches!(o, KvOut::Done(..)))
+            .collect();
+        assert!(
+            matches!(&dones[..], [KvOut::Done(r, KvOutcome::Failed)] if *r == req),
             "{tick_out:?}"
         );
     }
@@ -1203,6 +1743,37 @@ mod tests {
                 partition: 4,
                 entries: vec![("a".into(), "1".into(), 5), ("b".into(), "2".into(), 6)],
             },
+            KvMsg::DigestReq {
+                digests: vec![(
+                    3,
+                    PartitionDigest {
+                        floor: 9,
+                        count: 2,
+                        xor: 0xDEAD,
+                    },
+                )],
+            },
+            KvMsg::DigestResp {
+                digests: vec![
+                    (3, PartitionDigest::default()),
+                    (
+                        7,
+                        PartitionDigest {
+                            floor: 1,
+                            count: 1,
+                            xor: 42,
+                        },
+                    ),
+                ],
+            },
+            KvMsg::RepairPull {
+                partitions: vec![3, 7, 11],
+            },
+            KvMsg::RepairPush {
+                partition: 7,
+                settled: true,
+                entries: vec![("k".into(), "v".into(), 12)],
+            },
         ];
         for msg in msgs {
             let mut buf = Vec::new();
@@ -1212,5 +1783,237 @@ mod tests {
         }
         assert!(decode(&[99, 0, 0]).is_err());
         assert!(decode(&[]).is_err());
+        // Forged counts cannot out-size the buffer.
+        assert!(decode(&[TAG_DIGEST_REQ, 255, 255, 255, 255]).is_err());
+        assert!(decode(&[TAG_REPAIR_PULL, 255, 255, 255, 255]).is_err());
+    }
+
+    #[test]
+    fn digests_are_order_independent_and_detect_divergence() {
+        let mut a: DetHashMap<String, Entry> = DetHashMap::default();
+        let mut b: DetHashMap<String, Entry> = DetHashMap::default();
+        for i in 0..20 {
+            a.insert(format!("k{i}"), (format!("v{i}"), i));
+        }
+        for i in (0..20).rev() {
+            b.insert(format!("k{i}"), (format!("v{i}"), i));
+        }
+        assert_eq!(digest_of(&a), digest_of(&b), "insertion order must not matter");
+        assert_eq!(digest_of(&a).floor, 19);
+        assert_eq!(digest_of(&a).count, 20);
+        b.insert("k3".into(), ("v3".into(), 99)); // one newer version
+        assert_ne!(digest_of(&a), digest_of(&b));
+        assert_eq!(digest_of(&b).floor, 99);
+        b.remove("k3");
+        assert_ne!(digest_of(&a), digest_of(&b), "a missing entry must show");
+    }
+
+    /// Satellite pin for the pending-client map: every client op is
+    /// accounted exactly once in the coordinator counters, with no O(n)
+    /// scan resolving them.
+    #[test]
+    fn pending_client_map_keeps_stats_parity() {
+        let mut mesh = Mesh::new(4);
+        let (mut puts, mut gets) = (0u64, 0u64);
+        for i in 0..40 {
+            let key = format!("par-{i}");
+            let mut out = Vec::new();
+            mesh.nodes[i % 4].client_put(&key, "v", 0, &mut out);
+            puts += 1;
+            mesh.pump_from(i % 4, out);
+            let mut out = Vec::new();
+            mesh.nodes[(i + 1) % 4].client_get(&key, 0, &mut out);
+            gets += 1;
+            mesh.pump_from((i + 1) % 4, out);
+        }
+        // A read of a key that never existed also completes (Missing).
+        let mut out = Vec::new();
+        mesh.nodes[2].client_get("par-unseen", 0, &mut out);
+        gets += 1;
+        mesh.pump_from(2, out);
+        let mut totals = KvStats::default();
+        for n in &mesh.nodes {
+            totals.absorb(n.stats());
+        }
+        assert_eq!(totals.puts_acked + totals.puts_failed, puts);
+        assert_eq!(totals.gets_ok + totals.gets_failed, gets);
+        assert_eq!(totals.puts_acked, puts, "healthy mesh acks everything");
+        assert_eq!(totals.gets_ok, gets, "healthy mesh completes every read");
+        for n in &mesh.nodes {
+            assert!(n.pending_client.is_empty(), "nothing may linger");
+        }
+    }
+
+    /// THE regression this PR exists for (see also the cross-driver
+    /// `scenarios/kv_repair.toml` pin): a rebalance source that
+    /// crashes mid-push must never let the new replica serve `Missing`
+    /// for an acked key. The old code expired the awaiting guard after
+    /// two op timeouts and served the (empty) store; now the guard holds
+    /// until anti-entropy repair confirms the partition from a settled
+    /// replica — and repair then actually recovers the data from the
+    /// surviving replicas.
+    #[test]
+    fn mid_push_source_crash_never_serves_missing_and_repair_recovers() {
+        use rapid_core::membership::Proposal;
+
+        let sp = PlacementConfig {
+            partitions: 16,
+            replication: 3,
+        };
+        let mut mesh = Mesh::with_spec(6, sp);
+        let key = "repair-key";
+        let partition = partition_of(key, sp.partitions);
+
+        // Placement is a pure function of the view, so the whole failure
+        // can be planned up front: remove one replica of the key's
+        // partition, read off the plan's source and receiver, and pick a
+        // coordinator that survives both crashes.
+        let old_cfg = Arc::clone(&mesh.config);
+        let old_pl = Placement::compute(&old_cfg, &sp);
+        let victim_rank = old_pl.replicas(partition)[0] as usize;
+        let victim_idx = mesh.idx_of(old_cfg.members()[victim_rank].addr);
+        let removal =
+            Proposal::from_items(old_cfg.id(), vec![old_cfg.removal_item(victim_rank)]);
+        let new_cfg = old_cfg.apply(&removal);
+        let new_pl = Placement::compute(&new_cfg, &sp);
+        let plan = RebalancePlan::diff(&old_pl, &old_cfg, &new_pl, &new_cfg);
+        let mv = plan
+            .moves
+            .iter()
+            .find(|m| m.partition == partition)
+            .expect("removing a replica must move the partition");
+        let source_idx = mesh.idx_of(mv.source);
+        let receiver_idx = mesh.idx_of(mv.to);
+        let coordinator = (0..mesh.nodes.len())
+            .find(|&i| i != victim_idx && i != source_idx)
+            .expect("someone survives");
+
+        // Ack a write through the surviving coordinator.
+        let mut out = Vec::new();
+        let req = mesh.nodes[coordinator].client_put(key, "precious", 0, &mut out);
+        let results = mesh.pump_from(coordinator, out);
+        let acked_version = results
+            .iter()
+            .find_map(|(r, o)| match o {
+                KvOutcome::Acked { version } if *r == req => Some(*version),
+                _ => None,
+            })
+            .expect("healthy mesh must ack");
+
+        // Install the new view everywhere that is alive — but the source
+        // crashes mid-push: none of its handoffs ever leave the host.
+        mesh.crashed = vec![victim_idx, source_idx];
+        let mut outs: Vec<(usize, Vec<KvOut>)> = Vec::new();
+        for i in 0..mesh.nodes.len() {
+            if i == victim_idx {
+                continue;
+            }
+            let mut out = Vec::new();
+            mesh.nodes[i].on_view(Arc::clone(&new_cfg), 1_000, &mut out);
+            if i != source_idx {
+                outs.push((i, out));
+            } // The source's pushes die with it.
+        }
+        for (i, out) in outs {
+            mesh.pump_from(i, out);
+        }
+        assert!(
+            mesh.nodes[receiver_idx].awaiting.contains(&partition),
+            "receiver must be guarding the unarrived handoff"
+        );
+
+        // The old-bug pin: far past the retired two-op-timeout budget,
+        // with the receiver's repair traffic lost too, the guard must
+        // still hold — time alone never clears it.
+        let mut lost = Vec::new();
+        mesh.nodes[receiver_idx].on_tick(10_000, &mut lost);
+        drop(lost);
+        assert!(
+            mesh.nodes[receiver_idx].awaiting.contains(&partition),
+            "the awaiting guard must not expire on a timer"
+        );
+        // And a client read of the acked key must never answer Missing.
+        let mut out = Vec::new();
+        let req = mesh.nodes[coordinator].client_get(key, 10_000, &mut out);
+        let results = mesh.pump_from(coordinator, out);
+        assert!(
+            !results
+                .iter()
+                .any(|(r, o)| *r == req && *o == KvOutcome::Missing),
+            "acked key reported Missing: {results:?}"
+        );
+
+        // Now let anti-entropy run: each round rotates the pull source,
+        // so the receiver reaches a live, settled replica within a few
+        // rounds and recovers the partition.
+        for round in 0..6 {
+            mesh.tick_all(11_000 + round * 1_000);
+        }
+        assert!(
+            !mesh.nodes[receiver_idx].awaiting.contains(&partition),
+            "repair must settle the receiver"
+        );
+        let entry = mesh.nodes[receiver_idx]
+            .store
+            .get(&partition)
+            .and_then(|m| m.get(key))
+            .expect("repair must recover the acked key");
+        assert_eq!(entry.0, "precious");
+        assert!(entry.1 >= acked_version, "version went backwards");
+        let mut totals = KvStats::default();
+        for (i, n) in mesh.nodes.iter().enumerate() {
+            if !mesh.crashed.contains(&i) {
+                totals.absorb(n.stats());
+            }
+        }
+        assert!(totals.repairs_triggered >= 1, "repair must have fired");
+        assert!(totals.repair_bytes > 0, "repair must have moved bytes");
+
+        // Remove the dead source from the view too; the cluster heals
+        // fully and the acked key reads back at or above its version
+        // through the original coordinator (read-your-writes floor).
+        let src_rank = new_cfg
+            .rank_of_addr(&mv.source)
+            .expect("source was in the view");
+        let removal2 =
+            Proposal::from_items(new_cfg.id(), vec![new_cfg.removal_item(src_rank)]);
+        let final_cfg = new_cfg.apply(&removal2);
+        let mut outs: Vec<(usize, Vec<KvOut>)> = Vec::new();
+        for i in 0..mesh.nodes.len() {
+            if mesh.crashed.contains(&i) {
+                continue;
+            }
+            let mut out = Vec::new();
+            mesh.nodes[i].on_view(Arc::clone(&final_cfg), 20_000, &mut out);
+            outs.push((i, out));
+        }
+        for (i, out) in outs {
+            mesh.pump_from(i, out);
+        }
+        for round in 0..6 {
+            mesh.tick_all(21_000 + round * 1_000);
+        }
+        let mut out = Vec::new();
+        let req = mesh.nodes[coordinator].client_get(key, 30_000, &mut out);
+        let mut results = mesh.pump_from(coordinator, out);
+        // A first answer may have been stale/retryable; drive retries.
+        for extra in 1..=5 {
+            if results.iter().any(|(r, _)| *r == req) {
+                break;
+            }
+            results.extend(mesh.tick_all(30_000 + extra * 100));
+        }
+        let outcome = results
+            .iter()
+            .find(|(r, _)| *r == req)
+            .map(|(_, o)| o.clone())
+            .expect("read must complete");
+        match outcome {
+            KvOutcome::Found { val, version } => {
+                assert_eq!(val, "precious");
+                assert!(version >= acked_version);
+            }
+            other => panic!("acked key must read back Found, got {other:?}"),
+        }
     }
 }

@@ -15,8 +15,11 @@
 //!   [`RebalancePlan`] between two placements.
 //! * [`kv`] — a sans-io replicated KV state machine: any node
 //!   coordinates, leaders version and replicate, acked writes survive
-//!   any failure leaving one replica alive, and view changes trigger
-//!   deterministic push handoffs.
+//!   any failure leaving one replica alive, view changes trigger
+//!   deterministic push handoffs, and periodic anti-entropy repair
+//!   (digest exchange + rendezvous-ranked re-pull) recovers handoffs
+//!   lost to mid-push source crashes. Coordinators enforce
+//!   read-your-writes via per-key acked version floors.
 //! * [`sim`] — the data plane co-hosted with membership inside the
 //!   deterministic simulator ([`sim::KvSimActor`]).
 //! * [`real`] — the data plane on real TCP ([`real::KvRuntime`]), riding
@@ -33,7 +36,7 @@ pub mod placement;
 pub mod real;
 pub mod sim;
 
-pub use kv::{KvMsg, KvNode, KvOut, KvOutcome, KvStats};
+pub use kv::{KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 pub use placement::{
     partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
 };

@@ -217,6 +217,26 @@ impl Placement {
         self.leaders[partition as usize]
     }
 
+    /// The replicas of `partition` in rendezvous-rank order (highest
+    /// score first, member rank as tie-break) — the leader is always the
+    /// first entry. Anti-entropy repair walks this order to choose pull
+    /// sources, so every replica agrees on who is asked first without
+    /// coordination. `config` must be the configuration this placement
+    /// was computed from.
+    pub fn replicas_by_rank(&self, partition: u32, config: &Configuration) -> Vec<u32> {
+        let mut ranked: Vec<(u64, u32)> = self.replicas[partition as usize]
+            .iter()
+            .map(|&i| (score(partition, &config.members()[i as usize]), i))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        debug_assert_eq!(
+            ranked.first().map(|&(_, i)| i),
+            Some(self.leaders[partition as usize]),
+            "rank-0 replica must be the leader"
+        );
+        ranked.into_iter().map(|(_, i)| i).collect()
+    }
+
     /// Per-member total replica-slot counts (diagnostics, balance tests).
     pub fn loads(&self) -> Vec<u32> {
         let mut loads = vec![0u32; self.members];

@@ -21,7 +21,7 @@ use rapid_core::node::NodeStatus;
 use rapid_core::settings::Settings;
 use rapid_transport::{AppEvent, Runtime};
 
-use crate::kv::{self, KvNode, KvOut, KvOutcome, KvStats};
+use crate::kv::{self, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 use crate::placement::PlacementConfig;
 
 /// A client operation submitted to the worker.
@@ -49,6 +49,10 @@ struct Mirror {
     view_len: usize,
     view_count: u64,
     stats: KvStats,
+    /// `(partition, digest, settled)` for every replicated partition —
+    /// the scenario driver's `kv_converged` sweep compares these across
+    /// processes.
+    digests: Vec<(u32, PartitionDigest, bool)>,
 }
 
 /// A real process running membership + the KV data plane.
@@ -62,14 +66,16 @@ pub struct KvRuntime {
 
 impl KvRuntime {
     /// Starts a seed process with the data plane attached.
+    /// `repair_interval_ms` sets the anti-entropy cadence (0 disables).
     pub fn start_seed(
         listen: Endpoint,
         settings: Settings,
         route: PlacementConfig,
         op_timeout_ms: u64,
+        repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
         let rt = Runtime::start_seed(listen, settings)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, false))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false))
     }
 
     /// Starts a joining process with the data plane attached.
@@ -80,15 +86,23 @@ impl KvRuntime {
         metadata: rapid_core::Metadata,
         route: PlacementConfig,
         op_timeout_ms: u64,
+        repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, true))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true))
     }
 
-    fn wrap(rt: Runtime, route: PlacementConfig, op_timeout_ms: u64, joiner: bool) -> KvRuntime {
+    fn wrap(
+        rt: Runtime,
+        route: PlacementConfig,
+        op_timeout_ms: u64,
+        repair_interval_ms: u64,
+        joiner: bool,
+    ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
-        let mut kv = KvNode::new(me, route, op_timeout_ms, None);
+        let mut kv =
+            KvNode::new(me, route, op_timeout_ms, None).with_repair_interval(repair_interval_ms);
         if joiner {
             kv = kv.expect_initial_handoffs();
         }
@@ -99,6 +113,7 @@ impl KvRuntime {
             view_len: rt.view().len(),
             view_count: 0,
             stats: KvStats::default(),
+            digests: Vec::new(),
         }));
         let worker_mirror = Arc::clone(&mirror);
         let handle = std::thread::spawn(move || {
@@ -136,6 +151,12 @@ impl KvRuntime {
     /// Latest published data-plane counters.
     pub fn stats(&self) -> KvStats {
         self.mirror.lock().stats
+    }
+
+    /// Latest published `(partition, digest, settled)` snapshot of every
+    /// partition this process replicates.
+    pub fn digest_snapshot(&self) -> Vec<(u32, PartitionDigest, bool)> {
+        self.mirror.lock().digests.clone()
     }
 
     /// Begins a write through this process; the outcome arrives on the
@@ -244,10 +265,15 @@ fn worker(
             };
             replies.insert(req, reply);
         }
-        // Timers.
+        // Timers. The digest snapshot is refreshed here rather than on
+        // every (5 ms) loop pass: hashing the whole store is too heavy
+        // for the idle path, and the converged sweep polls no faster
+        // than this anyway.
+        let mut fresh_digests = None;
         if Instant::now() >= next_tick {
             kv.on_tick(now, &mut out);
             next_tick = Instant::now() + Duration::from_millis(20);
+            fresh_digests = Some(kv.digest_snapshot());
         }
         // Dispatch.
         for item in out.drain(..) {
@@ -271,6 +297,9 @@ fn worker(
             m.view_len = rt.view().len();
             m.view_count = view_count;
             m.stats = *kv.stats();
+            if let Some(d) = fresh_digests {
+                m.digests = d;
+            }
         }
     }
 }
@@ -313,9 +342,14 @@ mod tests {
     #[test]
     fn real_kv_cluster_serves_and_survives_a_crash() {
         let settings = fast_settings();
-        let seed =
-            KvRuntime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone(), spec(), 2_000)
-                .unwrap();
+        let seed = KvRuntime::start_seed(
+            Endpoint::new("127.0.0.1", 0),
+            settings.clone(),
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
         let seed_addr = seed.addr();
         let mut joiners = Vec::new();
         for i in 0..3 {
@@ -327,6 +361,7 @@ mod tests {
                     rapid_core::Metadata::with_entry("proc", format!("{i}")),
                     spec(),
                     2_000,
+                    500,
                 )
                 .unwrap(),
             );

@@ -182,6 +182,7 @@ pub struct KvClusterBuilder {
     inner: RapidClusterBuilder,
     route: PlacementConfig,
     op_timeout_ms: u64,
+    repair_interval_ms: Option<u64>,
 }
 
 impl KvClusterBuilder {
@@ -191,6 +192,7 @@ impl KvClusterBuilder {
             inner: RapidClusterBuilder::new(n),
             route,
             op_timeout_ms: 2_500,
+            repair_interval_ms: None,
         }
     }
 
@@ -212,13 +214,24 @@ impl KvClusterBuilder {
         self
     }
 
+    /// Overrides the anti-entropy repair cadence (defaults to the op
+    /// timeout; 0 disables repair).
+    pub fn repair_interval_ms(mut self, ms: u64) -> Self {
+        self.repair_interval_ms = Some(ms);
+        self
+    }
+
     fn kv_node(&self, i: usize, cache: &PlacementCache) -> KvNode {
-        KvNode::new(
+        let node = KvNode::new(
             sim_member(i),
             self.route,
             self.op_timeout_ms,
             Some(cache.clone()),
-        )
+        );
+        match self.repair_interval_ms {
+            Some(ms) => node.with_repair_interval(ms),
+            None => node,
+        }
     }
 
     /// All `n` processes pre-formed into one static configuration, data

@@ -99,6 +99,9 @@ fn print_report(report: &rapid_scenario::Report, json: bool) {
                 "  kv: {}/{} acked, {} rebalances, {}B moved",
                 kv.acked, kv.puts, kv.rebalances, kv.bytes_moved
             );
+            if kv.repairs > 0 {
+                print!(", {} repairs ({}B)", kv.repairs, kv.repair_bytes);
+            }
             if kv.partitions_lost > 0 {
                 print!(", {} partitions LOST", kv.partitions_lost);
             }

@@ -96,6 +96,43 @@ pub trait Driver {
     fn kv_stats(&self) -> Option<KvStats> {
         None
     }
+
+    /// Polls (up to `within_ms`) until anti-entropy has converged: every
+    /// live replica of every partition reports the same digest and none
+    /// is still awaiting a handoff. `None` = the driver hosts no KV data
+    /// plane (recorded as a skip).
+    fn kv_converged(&mut self, within_ms: u64) -> Option<bool> {
+        let _ = within_ms;
+        None
+    }
+}
+
+/// Whether one poll of `(partition, digest, settled)` snapshots (one
+/// vector per live process) shows a fully converged data plane: no
+/// partition awaited anywhere, and all replicas of a partition agree on
+/// its digest. Shared by both drivers so the definition cannot drift.
+pub(crate) fn digest_snapshots_converged(
+    snapshots: &[Vec<(u32, rapid_route::PartitionDigest, bool)>],
+) -> bool {
+    let mut per_part: rapid_core::hash::DetHashMap<u32, rapid_route::PartitionDigest> =
+        rapid_core::hash::DetHashMap::default();
+    let mut saw_any = false;
+    for snap in snapshots {
+        for &(p, d, settled) in snap {
+            if !settled {
+                return false;
+            }
+            saw_any = true;
+            match per_part.get(&p) {
+                None => {
+                    per_part.insert(p, d);
+                }
+                Some(prev) if *prev != d => return false,
+                Some(_) => {}
+            }
+        }
+    }
+    saw_any
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +242,22 @@ impl Driver for SimDriver {
 
     fn kv_stats(&self) -> Option<KvStats> {
         self.world.kv_stats()
+    }
+
+    fn kv_converged(&mut self, within_ms: u64) -> Option<bool> {
+        self.world.kv_digest_snapshots()?;
+        let deadline = self.world.now() + within_ms;
+        loop {
+            let snaps = self.world.kv_digest_snapshots()?;
+            if digest_snapshots_converged(&snaps) {
+                return Some(true);
+            }
+            if self.world.now() >= deadline {
+                return Some(false);
+            }
+            let next = (self.world.now() + 500).min(deadline);
+            self.world.run_until(next);
+        }
     }
 }
 
@@ -322,6 +375,7 @@ impl RealDriver {
                         settings.clone(),
                         spec.placement(),
                         spec.op_timeout_ms(),
+                        spec.repair_interval_ms,
                     )
                     .map_err(|e| format!("seed start failed: {e}"))?,
                 ),
@@ -378,6 +432,7 @@ impl RealDriver {
                     metadata,
                     spec.placement(),
                     spec.op_timeout_ms(),
+                    spec.repair_interval_ms,
                 )
                 .map_err(|e| format!("joiner {tag} start failed: {e}"))?,
             ),
@@ -591,5 +646,29 @@ impl Driver for RealDriver {
             }
         }
         Some(stats)
+    }
+
+    fn kv_converged(&mut self, within_ms: u64) -> Option<bool> {
+        self.kv?;
+        let deadline = self.now_ms() + within_ms;
+        loop {
+            self.poll();
+            let snaps: Vec<_> = self
+                .nodes
+                .iter()
+                .flatten()
+                .filter_map(|p| match p {
+                    Proc::Kv(rt) => Some(rt.digest_snapshot()),
+                    Proc::Plain(_) => None,
+                })
+                .collect();
+            if digest_snapshots_converged(&snaps) {
+                return Some(true);
+            }
+            if self.now_ms() >= deadline {
+                return Some(false);
+            }
+            std::thread::sleep(POLL);
+        }
     }
 }

@@ -191,6 +191,8 @@ fn kv_from_value(v: &Value) -> Result<KvSpec, String> {
             }
             "replication" => spec.replication = req_usize(v, key, ctx)?,
             "op_window_ms" => spec.op_window_ms = req_uint(v, key, ctx)?,
+            "repair_interval_ms" => spec.repair_interval_ms = req_uint(v, key, ctx)?,
+            "value_size" => spec.value_size = req_usize(v, key, ctx)?,
             other => return Err(format!("{ctx}: unknown kv key {other:?}")),
         }
     }
@@ -387,6 +389,10 @@ fn workload_from_value(v: &Value, phase: usize, idx: usize) -> Result<Workload, 
                 None => None,
                 Some(_) => Some(req_usize(p, "via", &ctx)?),
             },
+            value_size: match p.get("value_size") {
+                None => None,
+                Some(_) => Some(req_usize(p, "value_size", &ctx)?),
+            },
         }
     } else {
         return Err(format!(
@@ -415,10 +421,19 @@ fn expect_from_value(v: &Value, phase: usize, idx: usize) -> Result<Expect, Stri
         Ok(Expect::KvAvailable)
     } else if v.get("no_lost_acked_writes").is_some() {
         Ok(Expect::NoLostAckedWrites)
+    } else if let Some(c) = v.get("kv_converged") {
+        // `kv_converged = true` takes the default budget; a table form
+        // sets it explicitly.
+        Ok(Expect::KvConverged {
+            within_ms: match c.get("within_ms") {
+                None => 30_000,
+                Some(_) => req_uint(c, "within_ms", &ctx)?,
+            },
+        })
     } else {
         Err(format!(
             "{ctx}: expected converge/all_report/max_size/consistent_histories/\
-             kv_available/no_lost_acked_writes"
+             kv_available/no_lost_acked_writes/kv_converged"
         ))
     }
 }
@@ -567,16 +582,25 @@ fd_probe_interval_ms = 500
 partitions = 16
 replication = 3
 op_window_ms = 4000
+repair_interval_ms = 750
+value_size = 128
 
 [[phase]]
 name = "load"
   [[phase.workload]]
   at_ms = 1000
   put = { count = 50, via = 0 }
+  [[phase.workload]]
+  at_ms = 2000
+  put = { count = 5, value_size = 512 }
   [[phase.expect]]
   kv_available = true
   [[phase.expect]]
   no_lost_acked_writes = true
+  [[phase.expect]]
+  kv_converged = true
+  [[phase.expect]]
+  kv_converged = { within_ms = 12000 }
 "#;
         let s = Scenario::from_toml(doc).unwrap();
         assert_eq!(s.settings.k, Some(8));
@@ -584,12 +608,25 @@ name = "load"
         assert_eq!(s.settings.gossip_fanout, None);
         let kv = s.kv.unwrap();
         assert_eq!((kv.partitions, kv.replication, kv.op_window_ms), (16, 3, 4000));
+        assert_eq!((kv.repair_interval_ms, kv.value_size), (750, 128));
         assert_eq!(
             s.phases[0].workloads[0].action,
-            WorkloadAction::Put { count: 50, via: Some(0) }
+            WorkloadAction::Put { count: 50, via: Some(0), value_size: None }
+        );
+        assert_eq!(
+            s.phases[0].workloads[1].action,
+            WorkloadAction::Put { count: 5, via: None, value_size: Some(512) }
         );
         assert_eq!(s.phases[0].expects[0], Expect::KvAvailable);
         assert_eq!(s.phases[0].expects[1], Expect::NoLostAckedWrites);
+        assert_eq!(
+            s.phases[0].expects[2],
+            Expect::KvConverged { within_ms: 30_000 }
+        );
+        assert_eq!(
+            s.phases[0].expects[3],
+            Expect::KvConverged { within_ms: 12_000 }
+        );
 
         // Typo'd settings keys and invalid combinations fail the load.
         let typo = "name=\"x\"\nn=5\n[settings]\nfd_probe_intervalms = 1\n[[phase]]\nname=\"p\"\nrun_ms=1\n";

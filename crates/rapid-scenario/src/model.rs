@@ -30,6 +30,14 @@ pub struct KvSpec {
     /// scoring unresolved ones as failed (virtual ms on the simulator,
     /// wall-clock on the real driver).
     pub op_window_ms: u64,
+    /// Anti-entropy repair cadence of every KV node (0 disables repair —
+    /// then a lost handoff guards its partition forever).
+    pub repair_interval_ms: u64,
+    /// Minimum encoded size of `put` workload values: small payloads are
+    /// padded to this many bytes so `bytes_moved`/`repair_bytes` measure
+    /// something real. 0 keeps the natural few-byte values. Individual
+    /// `put` workloads can override it.
+    pub value_size: usize,
 }
 
 impl Default for KvSpec {
@@ -38,6 +46,8 @@ impl Default for KvSpec {
             partitions: 32,
             replication: 3,
             op_window_ms: 5_000,
+            repair_interval_ms: 1_000,
+            value_size: 0,
         }
     }
 }
@@ -313,6 +323,9 @@ pub enum WorkloadAction {
         count: usize,
         /// Coordinator process index (`None` = first live process).
         via: Option<usize>,
+        /// Minimum value size in bytes for this workload, overriding the
+        /// `[kv]` table's `value_size` (`None` = inherit).
+        value_size: Option<usize>,
     },
 }
 
@@ -442,6 +455,14 @@ pub enum Expect {
     /// its last acked write — no acknowledged write was lost to churn or
     /// rebalancing. Requires `[kv]`.
     NoLostAckedWrites,
+    /// Anti-entropy has converged: every live replica of every partition
+    /// reports the same digest and none is still awaiting a handoff.
+    /// Polls until `within_ms` elapses. Requires `[kv]`.
+    KvConverged {
+        /// Budget from the evaluation point (virtual ms on the
+        /// simulator, wall-clock on the real driver).
+        within_ms: u64,
+    },
 }
 
 /// One phase of the timeline.

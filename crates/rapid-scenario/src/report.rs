@@ -34,6 +34,10 @@ pub struct KvPhaseReport {
     pub bytes_moved: u64,
     /// Partitions whose whole replica set vanished at once (cumulative).
     pub partitions_lost: u64,
+    /// Anti-entropy pulls triggered so far (cumulative).
+    pub repairs: u64,
+    /// Anti-entropy push bytes served so far (cumulative).
+    pub repair_bytes: u64,
 }
 
 /// Results of one phase.
@@ -143,6 +147,8 @@ fn phase_json(p: &PhaseReport) -> Json {
                 ("rebalances", Json::uint(kv.rebalances)),
                 ("bytes_moved", Json::uint(kv.bytes_moved)),
                 ("partitions_lost", Json::uint(kv.partitions_lost)),
+                ("repairs", Json::uint(kv.repairs)),
+                ("repair_bytes", Json::uint(kv.repair_bytes)),
             ]),
         ));
     }
@@ -195,6 +201,8 @@ mod tests {
                     rebalances: 1,
                     bytes_moved: 128,
                     partitions_lost: 0,
+                    repairs: 2,
+                    repair_bytes: 64,
                 }),
                 expects: vec![
                     ExpectReport { desc: "converge(n)".into(), passed: Some(true) },

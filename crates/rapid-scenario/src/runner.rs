@@ -170,13 +170,33 @@ fn run_phase(
         let resolved = match &w.action {
             WorkloadAction::Join { count } => ResolvedWorkload::Join(*count),
             WorkloadAction::Leave(t) => ResolvedWorkload::Leave(scenario.resolve_target(t)?),
-            WorkloadAction::Put { count, via } => {
+            WorkloadAction::Put {
+                count,
+                via,
+                value_size,
+            } => {
+                // Pad values to the workload's (or the [kv] table's)
+                // value_size so data-motion metrics measure real bytes,
+                // not 7-byte toys. The seq prefix keeps every written
+                // value distinguishable for the durability sweep.
+                let min_len = value_size
+                    .or_else(|| {
+                        scenario
+                            .kv
+                            .map(|k| k.value_size)
+                            .filter(|&s| s > 0)
+                    })
+                    .unwrap_or(0);
                 let ops: Vec<KvOp> = (0..*count)
                     .map(|i| {
                         ledger.seq += 1;
+                        let mut val = format!("v{:06}", ledger.seq);
+                        while val.len() < min_len {
+                            val.push('x');
+                        }
                         KvOp {
                             key: format!("kv-{i:05}"),
-                            put_val: Some(format!("v{:06}", ledger.seq)),
+                            put_val: Some(val),
                         }
                     })
                     .collect();
@@ -261,6 +281,10 @@ fn run_phase(
                     passed: Some(failed.is_empty()),
                 }
             }
+            Expect::KvConverged { within_ms } => ExpectReport {
+                desc: format!("kv_converged within {within_ms}ms"),
+                passed: driver.kv_converged(*within_ms),
+            },
         };
         expects.push(report);
     }
@@ -276,6 +300,8 @@ fn run_phase(
         rebalances: stats.rebalances,
         bytes_moved: stats.bytes_moved,
         partitions_lost: stats.partitions_lost,
+        repairs: stats.repairs_triggered,
+        repair_bytes: stats.repair_bytes,
     });
     Ok(PhaseReport {
         name: phase.name.clone(),
@@ -353,8 +379,10 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
                 to.resolve(scenario)
                     .map_err(|err| format!("phase {:?} expect: {err}", phase.name))?;
             }
-            if matches!(e, Expect::KvAvailable | Expect::NoLostAckedWrites)
-                && scenario.kv.is_none()
+            if matches!(
+                e,
+                Expect::KvAvailable | Expect::NoLostAckedWrites | Expect::KvConverged { .. }
+            ) && scenario.kv.is_none()
             {
                 return Err(format!(
                     "phase {:?}: kv expectation requires a [kv] table on the scenario",
@@ -530,10 +558,12 @@ mod tests {
                 partitions: 16,
                 replication: 3,
                 op_window_ms: 5_000,
+                value_size: 64,
+                ..crate::model::KvSpec::default()
             })
             .phase(
                 Phase::new("load")
-                    .workload(1_000, crate::model::WorkloadAction::Put { count: 20, via: None })
+                    .workload(1_000, crate::model::WorkloadAction::Put { count: 20, via: None, value_size: None })
                     .expect(Expect::KvAvailable),
             )
             .phase(
@@ -545,7 +575,8 @@ mod tests {
                         within_full_ms: None,
                     })
                     .expect(Expect::KvAvailable)
-                    .expect(Expect::NoLostAckedWrites),
+                    .expect(Expect::NoLostAckedWrites)
+                    .expect(Expect::KvConverged { within_ms: 60_000 }),
             )
             .finish();
         let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();
@@ -558,9 +589,16 @@ mod tests {
         assert!(crash_kv.rebalances >= 1, "crash must trigger a rebalance");
         assert!(crash_kv.bytes_moved > 0, "rebalance must move data");
         assert_eq!(crash_kv.partitions_lost, 0, "RF=3 survives 2 crashes");
+        // 20 keys padded to 64 bytes: a handoff of even one partition
+        // outweighs the unpadded corpus, so the padding is visibly real.
+        assert!(
+            crash_kv.bytes_moved > 500,
+            "value_size padding must show up in bytes_moved: {crash_kv:?}"
+        );
         // The kv object must appear in the JSON, and runs are byte-stable.
         let json = report.to_json_string();
         assert!(json.contains("\"kv\":{\"puts\":20"), "kv json missing: {json}");
+        assert!(json.contains("\"repair_bytes\":"), "repair metrics missing: {json}");
     }
 
     #[test]
@@ -570,6 +608,7 @@ mod tests {
             .phase(Phase::new("p").workload(0, crate::model::WorkloadAction::Put {
                 count: 1,
                 via: None,
+                value_size: None,
             }))
             .finish();
         let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();

@@ -761,6 +761,21 @@ impl World {
         Some(stats)
     }
 
+    /// Per-live-process `(partition, digest, settled)` snapshots, the
+    /// raw material of the `kv_converged` expectation. `None` when this
+    /// world hosts no KV data plane.
+    pub fn kv_digest_snapshots(
+        &self,
+    ) -> Option<Vec<Vec<(u32, rapid_route::PartitionDigest, bool)>>> {
+        let World::RapidKv(w) = self else { return None };
+        Some(
+            (0..w.sim.len())
+                .filter(|&i| !w.sim.net.is_crashed(i))
+                .map(|i| w.sim.actor(i).kv().digest_snapshot())
+                .collect(),
+        )
+    }
+
     /// The system kind hosted by this world.
     pub fn kind_label(&self) -> &'static str {
         match self {

@@ -23,6 +23,7 @@ fn all_shipped_scenarios_are_well_formed() {
         "chaos_partition",
         "kv_churn",
         "kv_rebalance",
+        "kv_repair",
     ] {
         let s = shipped(stem);
         for (name, g) in &s.groups {
@@ -138,6 +139,41 @@ fn kv_churn_passes_on_the_real_driver() {
     let kv = report.phases[2].kv.expect("kv metrics on the churn phase");
     assert!(kv.rebalances >= 1, "crashes must trigger rebalancing");
     assert_eq!(kv.partitions_lost, 0, "RF=3 must survive two crashes");
+}
+
+/// `kv_repair` kills the deterministic handoff source inside the first
+/// crash's detection window, so the removal view names an already-dead
+/// push source. The run must pass with anti-entropy repair actually
+/// exercised (pulls triggered, bytes served), every acked write intact,
+/// and byte-identical report JSON across two sim runs of the seed.
+#[test]
+fn kv_repair_recovers_lost_handoffs_on_the_sim_driver() {
+    let scenario = shipped("kv_repair");
+    let run_once = || {
+        let mut driver = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+        runner::run(&scenario, &mut driver).expect("run")
+    };
+    let report = run_once();
+    assert!(report.passed, "failures: {:?}", report.failures());
+    let wound = report.phases[2].kv.expect("kv metrics on the wound phase");
+    assert!(
+        wound.repairs >= 1,
+        "the staggered crash must trigger repair pulls: {wound:?}"
+    );
+    assert!(wound.repair_bytes > 0, "repair must serve bytes: {wound:?}");
+    assert_eq!(wound.partitions_lost, 0, "RF=3 must survive two crashes");
+    assert!(
+        report.phases[2]
+            .expects
+            .iter()
+            .any(|e| e.desc.starts_with("kv_converged") && e.passed == Some(true)),
+        "digest sweep must confirm convergence"
+    );
+    assert_eq!(
+        report.to_json_string(),
+        run_once().to_json_string(),
+        "same seed must give byte-identical reports"
+    );
 }
 
 /// `kv_rebalance` exercises scale-out + scale-in handoff on the sim
