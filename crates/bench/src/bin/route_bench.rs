@@ -6,17 +6,29 @@
 //! ```text
 //! cargo run --release -p bench --bin route_bench           # full sweep
 //! cargo run --release -p bench --bin route_bench -- --quick
+//! cargo run --release -p bench --bin route_bench -- --no-batch   # A/B: wire batching off
 //! cargo run --release -p bench --bin route_bench -- --bench-json > BENCH_route.json
 //! ```
 //!
 //! Throughput is wall-clock (how fast the engine pushes data-plane
 //! operations end to end, membership traffic included); rebalance
 //! metrics are virtual-time and deterministic for a given seed.
+//!
+//! Methodology note (changed with the per-peer outbox work): each batch
+//! of client ops is submitted *pipelined* — one coordinator flush, so
+//! ops sharing a leader share a wire frame — and an op window ends as
+//! soon as every submitted op resolved (capped at `OP_WINDOW_MS`).
+//! Before, every window simulated its full 2 s regardless, so the
+//! "throughput" mostly measured idle background simulation; numbers are
+//! therefore not directly comparable to pre-outbox BENCH_route.json
+//! files. For a like-for-like A/B of the wire pipeline itself, run with
+//! and without `--no-batch` on the same build.
 
 use std::time::Instant;
 
+use rapid_core::settings::Settings;
 use rapid_route::sim::{KvClusterBuilder, KvSimActor};
-use rapid_route::{KvOutcome, KvStats, PlacementConfig};
+use rapid_route::{ClientOp, KvOutcome, KvStats, PlacementConfig};
 use rapid_scenario::json::Json;
 use rapid_sim::{Fault, Simulation};
 
@@ -58,20 +70,35 @@ fn first_live(sim: &Simulation<KvSimActor>) -> usize {
         .expect("someone survives")
 }
 
-/// Runs a batch of ops through one coordinator and returns the outcomes.
+/// Runs a batch of ops through one coordinator and returns the
+/// outcomes. The batch is submitted pipelined (one outbox flush) and the
+/// window ends as soon as every op resolved, capped at [`OP_WINDOW_MS`].
 fn batch(sim: &mut Simulation<KvSimActor>, ops: &[(String, Option<String>)]) -> Vec<KvOutcome> {
     let via = first_live(sim);
     let now = sim.now();
-    let reqs: Vec<u64> = ops
+    let client_ops: Vec<ClientOp<'_>> = ops
         .iter()
-        .map(|(key, val)| {
-            sim.with_actor(via, |a, out| match val {
-                Some(v) => a.begin_put(key, v, now, out),
-                None => a.begin_get(key, now, out),
-            })
+        .map(|(key, val)| match val {
+            Some(v) => ClientOp::Put { key, val: v },
+            None => ClientOp::Get { key },
         })
         .collect();
-    sim.run_until(now + OP_WINDOW_MS);
+    let reqs: Vec<u64> = sim.with_actor(via, |a, out| a.begin_ops(&client_ops, now, out));
+    let min_req = reqs.first().copied().unwrap_or(0);
+    let deadline = now + OP_WINDOW_MS;
+    while sim.now() < deadline {
+        let resolved = sim
+            .actor(via)
+            .completed
+            .iter()
+            .filter(|(r, _)| *r >= min_req)
+            .count();
+        if resolved >= reqs.len() {
+            break;
+        }
+        let next = (sim.now() + 25).min(deadline);
+        sim.run_until(next);
+    }
     let completed = std::mem::take(&mut sim.actor_mut(via).completed);
     reqs.iter()
         .map(|req| {
@@ -183,10 +210,18 @@ fn fault_json(r: &FaultResult) -> Json {
     ])
 }
 
-fn run_scale(n: usize, seed: u64) -> Json {
+fn settings(batch_wire: bool) -> Settings {
+    Settings {
+        batch_wire,
+        ..Settings::default()
+    }
+}
+
+fn run_scale(n: usize, seed: u64, batch_wire: bool) -> Json {
     // Steady state + throughput.
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed)
+        .settings(settings(batch_wire))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -198,7 +233,9 @@ fn run_scale(n: usize, seed: u64) -> Json {
     let steady_before = aggregate(&sim);
     let t0 = Instant::now();
     let mut ops_done = 0usize;
-    for round in 0..4 {
+    // 20 completion-bounded rounds (10k ops): long enough that wall
+    // jitter on a shared box does not swamp the measurement.
+    for round in 0..20 {
         let ops: Vec<_> = (0..500)
             .map(|i| {
                 let k = key((round * 137 + i) % KEYS);
@@ -216,6 +253,9 @@ fn run_scale(n: usize, seed: u64) -> Json {
     let steady_after = aggregate(&sim);
     let steady_repairs = steady_after.repairs_triggered - steady_before.repairs_triggered;
     let steady_repair_bytes = steady_after.repair_bytes - steady_before.repair_bytes;
+    let steady_msgs = steady_after.msgs_sent - steady_before.msgs_sent;
+    let steady_frames = steady_after.frames_sent - steady_before.frames_sent;
+    let steady_wire_bytes = steady_after.wire_bytes - steady_before.wire_bytes;
 
     // Crash ~1.5% of the cluster (at least one, well under RF).
     let crash_count = (n / 64).max(1);
@@ -233,6 +273,7 @@ fn run_scale(n: usize, seed: u64) -> Json {
     // Fresh cluster for the partition fault (a clean baseline).
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed ^ 0x9E37)
+        .settings(settings(batch_wire))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -246,8 +287,10 @@ fn run_scale(n: usize, seed: u64) -> Json {
         group
     });
 
+    let msgs_per_frame = steady_msgs as f64 / steady_frames.max(1) as f64;
     eprintln!(
         "n={n}: {acked}/{KEYS} loaded, {ops_per_sec:.0} ops/s wall, \
+         {msgs_per_frame:.2} kv msgs/frame, \
          crash: {}B moved / {}ms unavailable, partition: {}B moved / {}ms unavailable",
         crash.bytes_moved, crash.unavailability_ms, partition.bytes_moved,
         partition.unavailability_ms
@@ -259,6 +302,13 @@ fn run_scale(n: usize, seed: u64) -> Json {
         ("steady_ops_per_sec_wall", Json::Float(ops_per_sec)),
         ("steady_repairs", Json::uint(steady_repairs)),
         ("steady_repair_bytes", Json::uint(steady_repair_bytes)),
+        ("steady_kv_msgs", Json::uint(steady_msgs)),
+        ("steady_kv_frames", Json::uint(steady_frames)),
+        ("steady_kv_wire_bytes", Json::uint(steady_wire_bytes)),
+        (
+            "steady_kv_msgs_per_frame_milli",
+            Json::uint((steady_msgs * 1000).checked_div(steady_frames).unwrap_or(0)),
+        ),
         ("crash", fault_json(&crash)),
         ("partition", fault_json(&partition)),
     ])
@@ -268,14 +318,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_out = args.iter().any(|a| a == "--bench-json");
+    let batch_wire = !args.iter().any(|a| a == "--no-batch");
     let scales: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
 
     let mut results = Vec::new();
     for (i, &n) in scales.iter().enumerate() {
-        results.push(run_scale(n, 0xB0 + i as u64));
+        results.push(run_scale(n, 0xB0 + i as u64, batch_wire));
     }
     let doc = Json::obj(vec![
         ("bench", Json::Str("route_bench".into())),
+        ("batch_wire", Json::Bool(batch_wire)),
         ("partitions", Json::uint(PARTITIONS as u64)),
         ("replication", Json::uint(REPLICATION as u64)),
         ("keys", Json::uint(KEYS as u64)),

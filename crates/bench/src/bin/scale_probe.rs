@@ -6,7 +6,12 @@
 //! benchmark matrix (N ∈ {256, 1024, 4096}, K = 10) and writes
 //! `BENCH_sim.json` with events/sec for the current build next to the
 //! frozen baseline recorded from the seed implementation.
+//!
+//! `--no-batch` disables the per-peer wire outbox (one frame per logical
+//! message, the pre-batching framing) for A/B runs; batching is on by
+//! default, matching production settings.
 use bench::{SystemKind, World};
+use rapid_core::settings::Settings;
 
 /// Baseline recorded from the seed implementation (pre zero-clone
 /// refactor) on the reference machine, same workload and seed. The seed
@@ -23,9 +28,22 @@ const BASELINE: [(usize, u64, f64); 3] = [
     (4096, 264_915, 45.2565),
 ];
 
-fn probe(n: usize, kind: SystemKind) -> (Option<u64>, u64, f64) {
+fn probe(n: usize, kind: SystemKind, batch_wire: bool) -> (Option<u64>, u64, f64) {
     let t0 = std::time::Instant::now();
-    let mut w = World::bootstrap(kind, n, 42);
+    let settings = if batch_wire {
+        None // Protocol defaults (batching on): identical construction path.
+    } else if matches!(kind, SystemKind::Rapid | SystemKind::RapidC) {
+        Some(Settings {
+            batch_wire: false,
+            ..Settings::default()
+        })
+    } else {
+        // The baselines have no Rapid wire framing to disable.
+        eprintln!("note: --no-batch only affects Rapid wire framing; ignored for {}", kind.label());
+        None
+    };
+    let mut w = World::bootstrap_cfg(kind, n, 42, settings, None)
+        .expect("bootstrap world");
     let t = w.converge(n, 1_200_000);
     let events = match &w {
         World::Swim(s) => s.events_processed(),
@@ -37,14 +55,14 @@ fn probe(n: usize, kind: SystemKind) -> (Option<u64>, u64, f64) {
     (t, events, t0.elapsed().as_secs_f64())
 }
 
-fn bench_json(path: &str) {
+fn bench_json(path: &str, batch_wire: bool) {
     eprintln!(
         "note: baseline wall-clock was recorded on the reference machine; \
 speedups on other hardware (or a loaded machine) mix in the hardware ratio"
     );
     let mut rows = String::new();
     for &(n, base_events, base_wall) in &BASELINE {
-        let (t, events, wall) = probe(n, SystemKind::Rapid);
+        let (t, events, wall) = probe(n, SystemKind::Rapid, batch_wire);
         assert!(t.is_some(), "bootstrap at n={n} must converge");
         let base_rate = base_events as f64 / base_wall;
         let rate = events as f64 / wall;
@@ -67,27 +85,29 @@ speedups on other hardware (or a loaded machine) mix in the hardware ratio"
     let json = format!(
         "{{\n  \"benchmark\": \"rapid-sim bootstrap events/sec\",\n  \
 \"note\": \"baseline = seed implementation before the zero-clone refactor (interned endpoints, Arc fan-out, index-routed engine, deterministic hashing, shared view caches); regenerate with `cargo run --release -p bench --bin scale_probe -- --bench-json`\",\n  \
-\"seed\": 42,\n  \"results\": [\n{rows}\n  ]\n}}\n"
+\"batch_wire\": {batch_wire},\n  \"seed\": 42,\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write BENCH_sim.json");
     eprintln!("wrote {path}");
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let batch_wire = !args.iter().any(|a| a == "--no-batch");
+    args.retain(|a| a != "--no-batch");
     if args.get(1).map(|s| s.as_str()) == Some("--bench-json") {
         let path = args.get(2).map(|s| s.as_str()).unwrap_or("BENCH_sim.json");
-        bench_json(path);
+        bench_json(path, batch_wire);
         return;
     }
-    let n: usize = args.get(1).expect("usage: scale_probe <n> [system]").parse().unwrap();
+    let n: usize = args.get(1).expect("usage: scale_probe <n> [system] [--no-batch]").parse().unwrap();
     let kind = match args.get(2).map(|s| s.as_str()).unwrap_or("rapid") {
         "zk" => SystemKind::ZooKeeper,
         "ml" => SystemKind::Memberlist,
         "rc" => SystemKind::RapidC,
         _ => SystemKind::Rapid,
     };
-    let (t, events, wall) = probe(n, kind);
+    let (t, events, wall) = probe(n, kind, batch_wire);
     eprintln!(
         "{} n={}: virtual={:?}s wall={:.4}s events={}",
         kind.label(),

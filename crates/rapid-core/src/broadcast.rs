@@ -21,6 +21,7 @@ use crate::alert::Alert;
 use crate::config::{ConfigId, Configuration};
 use crate::hash::DetHashSet;
 use crate::id::Endpoint;
+use crate::outbox::Outbox;
 use crate::paxos::VoteState;
 use crate::rng::Xoshiro256;
 use crate::settings::Settings;
@@ -178,8 +179,10 @@ impl Disseminator {
     }
 
     /// Flushes queued alerts and (in gossip mode) runs one gossip round if
-    /// due, piggybacking the supplied vote states.
-    pub fn tick(&mut self, now: u64, votes: &[VoteState], out: &mut Vec<(Endpoint, Message)>) {
+    /// due, piggybacking the supplied vote states. Messages go through the
+    /// node's per-peer outbox, so a fan-out coalesces with anything else
+    /// the node sends the same event.
+    pub fn tick(&mut self, now: u64, votes: &[VoteState], out: &mut Outbox<Message>) {
         match self.mode {
             BroadcastMode::UnicastAll => {
                 if self.outbox.is_empty() {
@@ -187,13 +190,13 @@ impl Disseminator {
                 }
                 let alerts: Arc<[Alert]> = std::mem::take(&mut self.outbox).into();
                 for i in 0..self.peer_count() {
-                    out.push((
+                    out.push(
                         self.peer_at(i),
                         Message::AlertBatch {
                             config_id: self.config_id,
                             alerts: Arc::clone(&alerts),
                         },
-                    ));
+                    );
                 }
             }
             BroadcastMode::Gossip => {
@@ -230,7 +233,7 @@ impl Disseminator {
                 let fanout = self.fanout.min(peer_count);
                 let picks = self.rng.choose_indices(peer_count, fanout);
                 for i in picks {
-                    out.push((
+                    out.push(
                         self.peer_at(i),
                         Message::Gossip {
                             config_id: self.config_id,
@@ -238,7 +241,7 @@ impl Disseminator {
                             alerts: Arc::clone(&alerts),
                             votes: Arc::clone(&votes),
                         },
-                    ));
+                    );
                 }
             }
         }
@@ -275,6 +278,16 @@ mod tests {
         )
     }
 
+    /// Ticks the disseminator through a fresh unbatched outbox,
+    /// returning the emitted `(destination, message)` pairs in push order.
+    fn tick_drain(d: &mut Disseminator, now: u64, votes: &[VoteState]) -> Vec<(Endpoint, Message)> {
+        let mut ob = Outbox::new(false);
+        d.tick(now, votes, &mut ob);
+        let mut out = Vec::new();
+        ob.flush(|to, m| out.push((to, m)));
+        out
+    }
+
     fn settings(gossip: bool) -> Settings {
         Settings {
             use_gossip_broadcast: gossip,
@@ -291,15 +304,13 @@ mod tests {
         d.set_view(&cfg, &Endpoint::new("n1", 1));
         assert!(d.queue_alert(alert(&cfg, 1, 2, 0)));
         assert!(d.queue_alert(alert(&cfg, 1, 2, 1)));
-        let mut out = Vec::new();
-        d.tick(0, &[], &mut out);
+        let out = tick_drain(&mut d, 0, &[]);
         assert_eq!(out.len(), 4, "one batch per peer");
         match &out[0].1 {
             Message::AlertBatch { alerts, .. } => assert_eq!(alerts.len(), 2),
             other => panic!("expected AlertBatch, got {}", other.kind()),
         }
-        out.clear();
-        d.tick(100, &[], &mut out);
+        let out = tick_drain(&mut d, 100, &[]);
         assert!(out.is_empty(), "outbox drained");
     }
 
@@ -318,13 +329,11 @@ mod tests {
         let mut d = Disseminator::new(&settings(true), 1);
         d.set_view(&cfg, &Endpoint::new("n1", 1));
         d.queue_alert(alert(&cfg, 1, 2, 0));
-        let mut out = Vec::new();
-        d.tick(0, &[], &mut out);
+        let out = tick_drain(&mut d, 0, &[]);
         assert_eq!(out.len(), 3, "fanout peers");
-        out.clear();
-        d.tick(50, &[], &mut out);
+        let out = tick_drain(&mut d, 50, &[]);
         assert!(out.is_empty(), "interval not yet elapsed");
-        d.tick(100, &[], &mut out);
+        let out = tick_drain(&mut d, 100, &[]);
         assert_eq!(out.len(), 3, "next round due");
     }
 
@@ -333,8 +342,7 @@ mod tests {
         let cfg = config(10);
         let mut d = Disseminator::new(&settings(true), 1);
         d.set_view(&cfg, &Endpoint::new("n1", 1));
-        let mut out = Vec::new();
-        d.tick(0, &[], &mut out);
+        let out = tick_drain(&mut d, 0, &[]);
         assert!(out.is_empty());
     }
 
@@ -346,8 +354,7 @@ mod tests {
         d.queue_alert(alert(&cfg, 1, 2, 0));
         let mut rounds_with_items = 0;
         for t in 0..10u64 {
-            let mut out = Vec::new();
-            d.tick(t * 100, &[], &mut out);
+            let out = tick_drain(&mut d, t * 100, &[]);
             if out
                 .iter()
                 .any(|(_, m)| matches!(m, Message::Gossip { alerts, .. } if !alerts.is_empty()))
@@ -370,8 +377,7 @@ mod tests {
         d.ingest_alerts(std::slice::from_ref(&a), &mut fresh);
         assert!(fresh.is_empty());
         // The fresh item is relayed on the next round.
-        let mut out = Vec::new();
-        d.tick(0, &[], &mut out);
+        let out = tick_drain(&mut d, 0, &[]);
         assert!(out
             .iter()
             .any(|(_, m)| matches!(m, Message::Gossip { alerts, .. } if alerts.len() == 1)));
@@ -402,8 +408,7 @@ mod tests {
         d.ingest_alerts(std::slice::from_ref(&a), &mut fresh);
         assert!(fresh.is_empty());
         // Count items carried by the first gossip round: exactly one copy.
-        let mut out = Vec::new();
-        d.tick(0, &[], &mut out);
+        let out = tick_drain(&mut d, 0, &[]);
         match &out[0].1 {
             Message::Gossip { alerts, .. } => {
                 assert_eq!(alerts.len(), 1, "one in-flight copy, not two")

@@ -29,6 +29,7 @@ use crate::id::{Endpoint, NodeId};
 use crate::membership::{Proposal, ViewChange};
 use crate::metrics::NodeMetrics;
 use crate::node::{Action, Event};
+use crate::outbox::Outbox;
 use crate::paxos::classic::{ClassicPaxos, CoordinatorStep, Promise};
 use crate::paxos::fast::FastRound;
 use crate::ring::{Topology, TopologyCache};
@@ -70,6 +71,9 @@ pub struct EnsembleNode {
     rng: Xoshiro256,
     now: u64,
     metrics: NodeMetrics,
+    /// Per-peer coalescing send buffer (one wire frame per destination
+    /// per handled event).
+    outbox: Outbox<Message>,
 }
 
 impl EnsembleNode {
@@ -89,6 +93,7 @@ impl EnsembleNode {
         let classic = ClassicPaxos::new(ensemble.len(), my_rank);
         let rng = Xoshiro256::seed_from_u64(me.id.digest() ^ 0xC3);
         EnsembleNode {
+            outbox: Outbox::new(settings.batch_wire),
             settings,
             me,
             my_rank,
@@ -119,9 +124,16 @@ impl EnsembleNode {
         &self.metrics
     }
 
-    fn send(&mut self, out: &mut Vec<Action>, to: Endpoint, msg: Message) {
-        self.metrics.msgs_sent += 1;
-        out.push(Action::Send { to, msg });
+    fn send(&mut self, _out: &mut Vec<Action>, to: Endpoint, msg: Message) {
+        self.outbox.push(to, msg);
+    }
+
+    /// Drains the outbox into `out`, one `Action::Send` per wire frame.
+    fn flush(&mut self, out: &mut Vec<Action>) {
+        self.outbox.flush(|to, msg| out.push(Action::Send { to, msg }));
+        let s = self.outbox.stats();
+        self.metrics.msgs_sent = s.msgs;
+        self.metrics.frames_sent = s.frames;
     }
 
     /// Sends one message per ensemble peer, resolving addresses by rank
@@ -148,10 +160,17 @@ impl EnsembleNode {
                 self.on_message(from, msg, out);
             }
         }
+        self.flush(out);
     }
 
     fn on_message(&mut self, from: Endpoint, msg: Message, out: &mut Vec<Action>) {
         match msg {
+            Message::Batch { msgs } => {
+                self.metrics.msgs_received += msgs.len().saturating_sub(1) as u64;
+                for m in msgs {
+                    self.on_message(from, m, out);
+                }
+            }
             Message::AlertBatch { config_id, alerts }
                 if config_id == self.managed.id() => {
                     for a in alerts.iter() {
@@ -609,6 +628,9 @@ pub struct EdgeAgent {
     rng: Xoshiro256,
     now: u64,
     metrics: NodeMetrics,
+    /// Per-peer coalescing send buffer (one wire frame per destination
+    /// per handled event).
+    outbox: Outbox<Message>,
 }
 
 impl EdgeAgent {
@@ -632,7 +654,6 @@ impl EdgeAgent {
         let fd = Box::new(ProbeFailureDetector::from_settings(&settings));
         let rng = Xoshiro256::seed_from_u64(me.id.digest() ^ 0xA6);
         EdgeAgent {
-            settings,
             me,
             ensemble_addrs,
             managed,
@@ -648,6 +669,8 @@ impl EdgeAgent {
             rng,
             now: 0,
             metrics: NodeMetrics::default(),
+            outbox: Outbox::new(settings.batch_wire),
+            settings,
         }
     }
 
@@ -666,9 +689,16 @@ impl EdgeAgent {
         &self.metrics
     }
 
-    fn send(&mut self, out: &mut Vec<Action>, to: Endpoint, msg: Message) {
-        self.metrics.msgs_sent += 1;
-        out.push(Action::Send { to, msg });
+    fn send(&mut self, _out: &mut Vec<Action>, to: Endpoint, msg: Message) {
+        self.outbox.push(to, msg);
+    }
+
+    /// Drains the outbox into `out`, one `Action::Send` per wire frame.
+    fn flush(&mut self, out: &mut Vec<Action>) {
+        self.outbox.flush(|to, msg| out.push(Action::Send { to, msg }));
+        let s = self.outbox.stats();
+        self.metrics.msgs_sent = s.msgs;
+        self.metrics.frames_sent = s.frames;
     }
 
     fn random_ensemble(&mut self) -> Endpoint {
@@ -688,6 +718,7 @@ impl EdgeAgent {
                 self.on_message(from, msg, out);
             }
         }
+        self.flush(out);
     }
 
     fn tick(&mut self, out: &mut Vec<Action>) {
@@ -707,11 +738,7 @@ impl EdgeAgent {
             }
             AgentPhase::Member => {
                 // Monitor subjects and report faults to the ensemble.
-                let mut fd_msgs = Vec::new();
-                self.fd.tick(self.now, &mut fd_msgs);
-                for (to, msg) in fd_msgs {
-                    self.send(out, to, msg);
-                }
+                self.fd.tick(self.now, &mut self.outbox);
                 for (id, addr) in self.fd.take_faulty() {
                     self.report_remove(id, addr, out);
                 }
@@ -762,6 +789,12 @@ impl EdgeAgent {
 
     fn on_message(&mut self, from: Endpoint, msg: Message, out: &mut Vec<Action>) {
         match msg {
+            Message::Batch { msgs } => {
+                self.metrics.msgs_received += msgs.len().saturating_sub(1) as u64;
+                for m in msgs {
+                    self.on_message(from, m, out);
+                }
+            }
             Message::Probe { seq } => {
                 let config_seq = self.managed.seq();
                 self.send(out, from, Message::ProbeAck { seq, config_seq });

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use crate::hash::DetHashMap;
 
 use crate::id::{Endpoint, NodeId};
+use crate::outbox::Outbox;
 use crate::wire::Message;
 
 /// A sans-io edge failure detector monitoring this node's K subjects.
@@ -23,8 +24,10 @@ use crate::wire::Message;
 pub trait EdgeFailureDetector: Send {
     /// Installs the subject set after a view change.
     fn set_subjects(&mut self, subjects: Vec<(NodeId, Endpoint)>, now: u64);
-    /// Advances time; may emit probe messages.
-    fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, Message)>);
+    /// Advances time; may emit probe messages through the node's
+    /// per-peer outbox (they coalesce with whatever else the node sends
+    /// this event).
+    fn tick(&mut self, now: u64, out: &mut Outbox<Message>);
     /// Records a probe acknowledgement from a subject.
     fn on_probe_ack(&mut self, from: &Endpoint, seq: u64, now: u64);
     /// Drains subjects newly deemed faulty.
@@ -125,7 +128,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
             .collect();
     }
 
-    fn tick(&mut self, now: u64, out: &mut Vec<(Endpoint, Message)>) {
+    fn tick(&mut self, now: u64, out: &mut Outbox<Message>) {
         for state in &mut self.subjects {
             // Expire an outstanding probe.
             if let Some((_, sent_at)) = state.outstanding {
@@ -148,7 +151,7 @@ impl EdgeFailureDetector for ProbeFailureDetector {
                 self.next_seq += 1;
                 state.outstanding = Some((seq, now));
                 state.next_probe_at = now + self.probe_interval_ms;
-                out.push((state.addr, Message::Probe { seq }));
+                out.push(state.addr, Message::Probe { seq });
             }
         }
     }
@@ -201,7 +204,7 @@ impl EdgeFailureDetector for ScriptedFailureDetector {
         self.faulty.clear();
     }
 
-    fn tick(&mut self, _now: u64, _out: &mut Vec<(Endpoint, Message)>) {
+    fn tick(&mut self, _now: u64, _out: &mut Outbox<Message>) {
         let pending = std::mem::take(&mut self.pending);
         for id in pending {
             if let Some((_, addr)) = self.subjects.iter().find(|(sid, _)| *sid == id) {
@@ -225,6 +228,16 @@ mod tests {
         (NodeId::from_u128(i), Endpoint::new(format!("s{i}"), 1))
     }
 
+    /// Ticks a detector through a fresh unbatched outbox, returning the
+    /// emitted `(destination, message)` pairs in push order.
+    fn tick_drain(fd: &mut impl EdgeFailureDetector, now: u64) -> Vec<(Endpoint, Message)> {
+        let mut ob = Outbox::new(false);
+        fd.tick(now, &mut ob);
+        let mut out = Vec::new();
+        ob.flush(|to, m| out.push((to, m)));
+        out
+    }
+
     fn probes_sent(out: &[(Endpoint, Message)]) -> Vec<(Endpoint, u64)> {
         out.iter()
             .filter_map(|(ep, m)| match m {
@@ -238,11 +251,9 @@ mod tests {
     fn probes_each_subject_on_interval() {
         let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
         fd.set_subjects(vec![subject(1), subject(2)], 0);
-        let mut out = Vec::new();
-        fd.tick(0, &mut out);
+        let out = tick_drain(&mut fd, 0);
         assert_eq!(probes_sent(&out).len(), 2);
-        out.clear();
-        fd.tick(100, &mut out);
+        let out = tick_drain(&mut fd, 100);
         assert!(probes_sent(&out).is_empty(), "probe outstanding, none new");
     }
 
@@ -253,8 +264,7 @@ mod tests {
         fd.set_subjects(vec![subject(1)], 0);
         let mut now = 0;
         for _ in 0..50 {
-            let mut out = Vec::new();
-            fd.tick(now, &mut out);
+            let out = tick_drain(&mut fd, now);
             for (ep, seq) in probes_sent(&out) {
                 fd.on_probe_ack(&ep, seq, now);
                 assert_eq!(ep, addr);
@@ -272,8 +282,7 @@ mod tests {
         let mut now = 0;
         let mut faulted_at = None;
         for _ in 0..30 {
-            let mut out = Vec::new();
-            fd.tick(now, &mut out);
+            tick_drain(&mut fd, now);
             if !fd.faulty.is_empty() {
                 faulted_at = Some(now);
                 break;
@@ -301,8 +310,7 @@ mod tests {
         let mut now = 0;
         let mut i = 0u64;
         for _ in 0..200 {
-            let mut out = Vec::new();
-            fd.tick(now, &mut out);
+            let out = tick_drain(&mut fd, now);
             for (ep, seq) in probes_sent(&out) {
                 if i % 10 < 7 {
                     fd.on_probe_ack(&ep, seq, now);
@@ -318,18 +326,15 @@ mod tests {
     fn late_acks_are_ignored() {
         let mut fd = ProbeFailureDetector::new(1000, 500, 10, 0.4);
         fd.set_subjects(vec![subject(1)], 0);
-        let mut out = Vec::new();
-        fd.tick(0, &mut out);
+        let out = tick_drain(&mut fd, 0);
         let (ep, seq) = probes_sent(&out)[0];
         // Timeout expires at 500; the ack arrives afterwards.
-        out.clear();
-        fd.tick(600, &mut out);
+        tick_drain(&mut fd, 600);
         fd.on_probe_ack(&ep, seq, 700);
         // The failure was recorded; subsequent silence faults the subject.
         let mut now = 700;
         for _ in 0..30 {
-            let mut o = Vec::new();
-            fd.tick(now, &mut o);
+            tick_drain(&mut fd, now);
             now += 500;
         }
         assert_eq!(fd.take_faulty().len(), 1);
@@ -340,8 +345,7 @@ mod tests {
         let mut fd = ProbeFailureDetector::new(1000, 1000, 10, 0.4);
         let s = subject(1);
         fd.set_subjects(vec![s, s, subject(2)], 0);
-        let mut out = Vec::new();
-        fd.tick(0, &mut out);
+        let out = tick_drain(&mut fd, 0);
         assert_eq!(probes_sent(&out).len(), 2);
     }
 
@@ -351,8 +355,7 @@ mod tests {
         fd.set_subjects(vec![subject(1)], 0);
         let mut now = 0;
         for _ in 0..30 {
-            let mut out = Vec::new();
-            fd.tick(now, &mut out);
+            tick_drain(&mut fd, now);
             now += 500;
         }
         assert!(!fd.faulty.is_empty());
@@ -366,8 +369,7 @@ mod tests {
         fd.set_subjects(vec![subject(1), subject(2)], 0);
         fd.mark_faulty(NodeId::from_u128(2));
         fd.mark_faulty(NodeId::from_u128(99)); // unmonitored: ignored
-        let mut out = Vec::new();
-        fd.tick(0, &mut out);
+        tick_drain(&mut fd, 0);
         let f = fd.take_faulty();
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].0, NodeId::from_u128(2));

@@ -64,6 +64,7 @@ pub mod membership;
 pub mod metadata;
 pub mod metrics;
 pub mod node;
+pub mod outbox;
 pub mod paxos;
 pub mod ring;
 pub mod rng;

@@ -7,8 +7,11 @@
 /// Counters exposed by every Rapid node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeMetrics {
-    /// Messages handed to the host for sending.
+    /// Logical messages handed to the host for sending.
     pub msgs_sent: u64,
+    /// Wire frames handed to the host (`<= msgs_sent`; the per-peer
+    /// outbox coalesces multi-message runs into one batch frame).
+    pub frames_sent: u64,
     /// Messages received from the host.
     pub msgs_received: u64,
     /// Bytes sent (maintained by the host).

@@ -26,6 +26,7 @@ use crate::hash::DetHashSet;
 use crate::id::{Endpoint, NodeId};
 use crate::membership::{Proposal, ProposalHash, ViewChange};
 use crate::metrics::NodeMetrics;
+use crate::outbox::Outbox;
 use crate::paxos::classic::{ClassicPaxos, CoordinatorStep, Promise};
 use crate::paxos::fast::FastRound;
 use crate::ring::{Topology, TopologyCache};
@@ -130,9 +131,11 @@ pub struct Node {
     join: Option<JoinState>,
     metrics: NodeMetrics,
     view_log: Vec<ConfigId>,
-    /// Reusable `(to, msg)` buffer for the failure-detector and
-    /// dissemination tick hand-offs (no per-tick allocation).
-    scratch_msgs: Vec<(Endpoint, Message)>,
+    /// Per-peer coalescing send buffer: every component (failure
+    /// detector, disseminator, paxos, join protocol) pushes logical
+    /// messages here, and each `handle` call flushes at most one wire
+    /// frame per destination.
+    outbox: Outbox<Message>,
     /// Reusable fresh-alert index buffer for gossip ingest (no per-message
     /// allocation).
     scratch_fresh: Vec<u32>,
@@ -218,7 +221,7 @@ impl Node {
             }),
             metrics: NodeMetrics::default(),
             view_log: Vec::new(),
-            scratch_msgs: Vec::new(),
+            outbox: Outbox::new(settings.batch_wire),
             scratch_fresh: Vec::new(),
             config: Arc::clone(&config),
             settings,
@@ -288,6 +291,8 @@ impl Node {
     // ------------------------------------------------------------------
 
     /// Feeds one event into the state machine, appending actions to `out`.
+    /// All sends of the event are flushed through the per-peer outbox at
+    /// the end: at most one wire frame per destination per event.
     pub fn handle(&mut self, event: Event, out: &mut Vec<Action>) {
         match event {
             Event::Tick { now_ms } => {
@@ -303,6 +308,7 @@ impl Node {
                 self.on_message(from, msg, out);
             }
         }
+        self.flush(out);
     }
 
     /// Announces a voluntary departure to this node's observers (§3: a
@@ -316,11 +322,19 @@ impl Node {
             self.send(out, to, Message::Leave { subject: self.me.id });
         }
         self.status = NodeStatus::Left;
+        self.flush(out);
     }
 
-    fn send(&mut self, out: &mut Vec<Action>, to: Endpoint, msg: Message) {
-        self.metrics.msgs_sent += 1;
-        out.push(Action::Send { to, msg });
+    fn send(&mut self, _out: &mut Vec<Action>, to: Endpoint, msg: Message) {
+        self.outbox.push(to, msg);
+    }
+
+    /// Drains the outbox into `out`, one `Action::Send` per wire frame.
+    fn flush(&mut self, out: &mut Vec<Action>) {
+        self.outbox.flush(|to, msg| out.push(Action::Send { to, msg }));
+        let s = self.outbox.stats();
+        self.metrics.msgs_sent = s.msgs;
+        self.metrics.frames_sent = s.frames;
     }
 
     /// Sends one message per peer of the current view, resolving addresses
@@ -447,12 +461,9 @@ impl Node {
     // ------------------------------------------------------------------
 
     fn tick_active(&mut self, out: &mut Vec<Action>) {
-        // 1. Drive the edge failure detector.
-        let mut msgs = std::mem::take(&mut self.scratch_msgs);
-        self.fd.tick(self.now, &mut msgs);
-        for (to, msg) in msgs.drain(..) {
-            self.send(out, to, msg);
-        }
+        // 1. Drive the edge failure detector (probes coalesce with the
+        //    rest of this tick's traffic through the shared outbox).
+        self.fd.tick(self.now, &mut self.outbox);
         for (id, addr) in self.fd.take_faulty() {
             self.originate_remove_alerts(id, addr);
         }
@@ -473,11 +484,7 @@ impl Node {
         } else {
             Vec::new()
         };
-        self.diss.tick(self.now, &votes, &mut msgs);
-        for (to, msg) in msgs.drain(..) {
-            self.send(out, to, msg);
-        }
-        self.scratch_msgs = msgs;
+        self.diss.tick(self.now, &votes, &mut self.outbox);
     }
 
     /// Queues REMOVE alerts for a faulty subject on every ring this node
@@ -847,6 +854,16 @@ impl Node {
 
     fn on_message(&mut self, from: Endpoint, msg: Message, out: &mut Vec<Action>) {
         match msg {
+            // ---- Batched frames: unpack in order ----
+            Message::Batch { msgs } => {
+                // `msgs_received` counts logical messages; the frame
+                // itself was already counted once by `handle`.
+                self.metrics.msgs_received += msgs.len().saturating_sub(1) as u64;
+                for m in msgs {
+                    self.on_message(from, m, out);
+                }
+            }
+
             // ---- Join protocol, member side ----
             Message::PreJoinReq { joiner } => self.on_pre_join_req(from, joiner, out),
             Message::JoinReq {

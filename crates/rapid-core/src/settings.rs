@@ -65,6 +65,12 @@ pub struct Settings {
 
     /// Use the epidemic gossip broadcaster instead of unicast-to-all.
     pub use_gossip_broadcast: bool,
+
+    /// Coalesce all messages a node emits per event into one wire frame
+    /// per destination (`Message::Batch`). Disable for A/B benchmarking
+    /// and for reproducing pre-batching wire traces; the protocol outcome
+    /// is identical either way (per-peer order is preserved).
+    pub batch_wire: bool,
 }
 
 impl Default for Settings {
@@ -89,6 +95,7 @@ impl Default for Settings {
             bootstrap_batch: 4,
             centralized_poll_interval_ms: 5_000,
             use_gossip_broadcast: true,
+            batch_wire: true,
         }
     }
 }

@@ -203,6 +203,14 @@ pub enum Message {
         /// The snapshot.
         snapshot: ConfigSnapshot,
     },
+    /// Several protocol messages for one destination, coalesced into a
+    /// single wire frame by the per-peer [`crate::outbox::Outbox`]. The
+    /// messages are delivered in order; batches never nest (the decoder
+    /// rejects a batch inside a batch).
+    Batch {
+        /// The coalesced messages, in send order.
+        msgs: Vec<Message>,
+    },
 }
 
 impl Message {
@@ -228,6 +236,7 @@ impl Message {
             Message::Leave { .. } => "Leave",
             Message::ConfigPull { .. } => "ConfigPull",
             Message::ConfigPush { .. } => "ConfigPush",
+            Message::Batch { .. } => "Batch",
         }
     }
 }
@@ -338,6 +347,7 @@ const TAG_PROBE_ACK: u8 = 16;
 const TAG_LEAVE: u8 = 17;
 const TAG_CONFIG_PULL: u8 = 18;
 const TAG_CONFIG_PUSH: u8 = 19;
+const TAG_BATCH: u8 = 20;
 
 fn join_status_to_u8(s: JoinStatus) -> u8 {
     match s {
@@ -512,6 +522,22 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
             buf.put_u8(TAG_CONFIG_PUSH);
             put_snapshot(buf, snapshot);
         }
+        Message::Batch { msgs } => {
+            debug_assert!(
+                !msgs.iter().any(|m| matches!(m, Message::Batch { .. })),
+                "batches must not nest"
+            );
+            debug_assert!(
+                msgs.len() <= u16::MAX as usize,
+                "batch count must fit the u16 wire field (the outbox splits at \
+                 MAX_BATCH_MSGS, far below)"
+            );
+            buf.put_u8(TAG_BATCH);
+            buf.put_u16_le(msgs.len() as u16);
+            for m in msgs {
+                encode(m, buf);
+            }
+        }
     }
 }
 
@@ -625,6 +651,11 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::Leave { .. } => 16,
         Message::ConfigPull { .. } => 8,
         Message::ConfigPush { snapshot } => snapshot_len(snapshot),
+        // Each nested message contributes its tag + body; the per-message
+        // frame overhead (the `+ 4` below) is paid once for the batch.
+        Message::Batch { msgs } => {
+            2 + msgs.iter().map(|m| encoded_len(m) - 4).sum::<usize>()
+        }
     };
     1 + body + 4
 }
@@ -654,6 +685,18 @@ pub const MAX_WIRE_ITEMS: usize = 65_536;
 /// real transport sees only the hosts it actually talks to.
 pub const MAX_DISTINCT_WIRE_HOSTS: usize = 4_096;
 
+/// Default cap on the number of messages one [`Message::Batch`] frame may
+/// carry. An honest outbox flush coalesces at most a few hundred messages
+/// per peer (bounded by what one event can generate); a count beyond this
+/// is hostile or corrupt.
+pub const MAX_BATCH_MSGS: usize = 4_096;
+
+/// Default cap on the encoded bytes a single [`Message::Batch`] frame may
+/// occupy. Matches the real transport's frame ceiling, so an adversarial
+/// batch is refused up front instead of driving a long decode loop whose
+/// every iteration allocates.
+pub const MAX_BATCH_BYTES: usize = 32 * 1024 * 1024;
+
 /// Resource limits applied while decoding untrusted bytes.
 ///
 /// [`decode`] uses [`DecodeLimits::default`]; transports exposed to
@@ -665,12 +708,19 @@ pub struct DecodeLimits {
     /// hold after this decode; a message introducing a host beyond the
     /// cap fails to decode (already-known hosts always pass).
     pub max_distinct_hosts: usize,
+    /// Maximum messages a single [`Message::Batch`] frame may carry.
+    pub max_batch_msgs: usize,
+    /// Maximum encoded bytes a single [`Message::Batch`] frame may
+    /// occupy (checked before any nested message is decoded).
+    pub max_batch_bytes: usize,
 }
 
 impl Default for DecodeLimits {
     fn default() -> Self {
         DecodeLimits {
             max_distinct_hosts: MAX_DISTINCT_WIRE_HOSTS,
+            max_batch_msgs: MAX_BATCH_MSGS,
+            max_batch_bytes: MAX_BATCH_BYTES,
         }
     }
 }
@@ -873,6 +923,13 @@ pub fn decode(buf: &[u8]) -> Result<Message, RapidError> {
 /// Decodes one message from `buf` under explicit resource limits.
 pub fn decode_with_limits(buf: &[u8], limits: DecodeLimits) -> Result<Message, RapidError> {
     let mut r = Reader { buf, limits };
+    decode_one(&mut r, true)
+}
+
+/// Decodes one message from the reader. `allow_batch` is true only at the
+/// top level: batches never nest, so a hostile frame cannot drive the
+/// decoder into deep recursion.
+fn decode_one(r: &mut Reader<'_>, allow_batch: bool) -> Result<Message, RapidError> {
     let tag = r.u8()?;
     let msg = match tag {
         TAG_PRE_JOIN_REQ => Message::PreJoinReq { joiner: r.member()? },
@@ -1004,6 +1061,36 @@ pub fn decode_with_limits(buf: &[u8], limits: DecodeLimits) -> Result<Message, R
         TAG_CONFIG_PUSH => Message::ConfigPush {
             snapshot: r.snapshot()?,
         },
+        TAG_BATCH => {
+            if !allow_batch {
+                return Err(RapidError::Decode("nested batch".into()));
+            }
+            // The bytes cap is checked against everything still in the
+            // buffer *before* any nested decode, so an oversized batch is
+            // refused without allocating for its contents.
+            if r.buf.remaining() > r.limits.max_batch_bytes {
+                return Err(RapidError::Decode(format!(
+                    "batch of {} bytes exceeds cap {}",
+                    r.buf.remaining(),
+                    r.limits.max_batch_bytes
+                )));
+            }
+            let count = r.u16()? as usize;
+            if count > r.limits.max_batch_msgs {
+                return Err(RapidError::Decode(format!(
+                    "batch of {count} messages exceeds cap {}",
+                    r.limits.max_batch_msgs
+                )));
+            }
+            // Every message encodes to at least 3 bytes (a tag plus the
+            // smallest body, a snapshot-less JoinResp).
+            r.count(count, 3)?;
+            let mut msgs = Vec::with_capacity(count);
+            for _ in 0..count {
+                msgs.push(decode_one(r, false)?);
+            }
+            Message::Batch { msgs }
+        }
         other => return Err(RapidError::Decode(format!("unknown tag {other}"))),
     };
     Ok(msg)
@@ -1326,6 +1413,9 @@ mod tests {
             },
             Message::ConfigPull { have_seq: 11 },
             Message::ConfigPush { snapshot },
+            Message::Batch {
+                msgs: one_of_each_family(),
+            },
         ];
         for msg in msgs {
             assert_eq!(
@@ -1378,6 +1468,7 @@ mod tests {
         // a message that introduces yet another fresh host fails.
         let limit = DecodeLimits {
             max_distinct_hosts: Endpoint::interned_hosts() + 8,
+            ..DecodeLimits::default()
         };
         let mut refused = 0usize;
         for i in 0..64 {
@@ -1396,6 +1487,7 @@ mod tests {
         let _known = Endpoint::new("flood-known.example", 1);
         let tight = DecodeLimits {
             max_distinct_hosts: 0,
+            ..DecodeLimits::default()
         };
         assert!(decode_with_limits(&raw_pre_join_req("flood-known.example"), tight).is_ok());
         let err = decode_with_limits(&raw_pre_join_req("flood-never-seen"), tight)
@@ -1426,6 +1518,183 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_le_bytes()); // seq
         bytes.extend_from_slice(&(MAX_WIRE_ITEMS as u32 + 1).to_le_bytes());
         assert!(decode(&bytes).is_err());
+    }
+
+    /// One message of every family, for batch nesting tests.
+    fn one_of_each_family() -> Vec<Message> {
+        let p = Arc::new(sample_proposal());
+        let snapshot = ConfigSnapshot {
+            id: ConfigId(9),
+            seq: 3,
+            members: Arc::new(vec![member(1), member(2)]),
+        };
+        let alerts: Arc<[Alert]> = vec![Alert::remove(
+            NodeId::from_u128(1),
+            NodeId::from_u128(2),
+            Endpoint::new("s", 9),
+            ConfigId(3),
+            4,
+        )]
+        .into();
+        let mut bitmap = BitVec::new(77);
+        bitmap.set(5);
+        let vote = VoteState {
+            hash: ProposalHash(0xfeed),
+            bitmap,
+        };
+        vec![
+            Message::PreJoinReq { joiner: member(1) },
+            Message::PreJoinResp {
+                status: JoinStatus::SafeToJoin,
+                config_id: ConfigId(4),
+                observers: vec![Endpoint::new("o1", 1)],
+                snapshot: Some(snapshot.clone()),
+            },
+            Message::JoinReq {
+                joiner: member(2),
+                config_id: ConfigId(4),
+                ring: 3,
+            },
+            Message::JoinResp {
+                status: JoinStatus::AlreadyMember,
+                snapshot: None,
+            },
+            Message::AlertBatch {
+                config_id: ConfigId(3),
+                alerts: Arc::clone(&alerts),
+            },
+            Message::Gossip {
+                config_id: ConfigId(1),
+                config_seq: 12,
+                alerts,
+                votes: vec![vote.clone()].into(),
+            },
+            Message::Vote {
+                config_id: ConfigId(1),
+                state: Arc::new(vote),
+                body: Some(Arc::clone(&p)),
+            },
+            Message::NeedProposal {
+                config_id: ConfigId(1),
+                hash: ProposalHash(0xdead),
+            },
+            Message::ProposalBody {
+                config_id: ConfigId(1),
+                proposal: Arc::clone(&p),
+            },
+            Message::Phase1a {
+                config_id: ConfigId(2),
+                rank: Rank::classic(3, 1),
+            },
+            Message::Phase1b {
+                config_id: ConfigId(2),
+                rank: Rank::classic(3, 1),
+                sender: 17,
+                vrnd: Some(Rank::FAST),
+                vval: Some(Arc::clone(&p)),
+            },
+            Message::Phase2a {
+                config_id: ConfigId(2),
+                rank: Rank::classic(1, 0),
+                value: Arc::clone(&p),
+            },
+            Message::Phase2b {
+                config_id: ConfigId(2),
+                rank: Rank::classic(1, 0),
+                sender: 4,
+            },
+            Message::Decision {
+                config_id: ConfigId(77),
+                proposal: p,
+            },
+            Message::Probe { seq: 7 },
+            Message::ProbeAck {
+                seq: 7,
+                config_seq: 3,
+            },
+            Message::Leave {
+                subject: NodeId::from_u128(42),
+            },
+            Message::ConfigPull { have_seq: 11 },
+            Message::ConfigPush { snapshot },
+        ]
+    }
+
+    #[test]
+    fn batch_roundtrips_every_family_in_order() {
+        let msgs = one_of_each_family();
+        let batch = Message::Batch { msgs: msgs.clone() };
+        let bytes = encode_to_vec(&batch);
+        assert_eq!(
+            encoded_len(&batch),
+            bytes.len() + 4,
+            "batch size accounting must mirror the encoder"
+        );
+        match decode(&bytes).expect("batch must decode") {
+            Message::Batch { msgs: decoded } => {
+                assert_eq!(decoded.len(), msgs.len());
+                for (d, m) in decoded.iter().zip(&msgs) {
+                    assert_eq!(
+                        encode_to_vec(d),
+                        encode_to_vec(m),
+                        "batched {} must survive bit-exactly",
+                        m.kind()
+                    );
+                }
+            }
+            other => panic!("expected Batch, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn batch_decode_rejects_nesting() {
+        let inner = Message::Batch {
+            msgs: vec![Message::Probe { seq: 1 }],
+        };
+        // Hand-encode the outer frame: the encoder debug-asserts against
+        // nesting, so build the bytes manually.
+        let mut bytes = vec![TAG_BATCH];
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        encode(&inner, &mut bytes);
+        let err = decode(&bytes).expect_err("nested batch must be refused");
+        assert!(err.to_string().contains("nested batch"), "got: {err}");
+    }
+
+    #[test]
+    fn batch_decode_rejects_floods_without_allocating() {
+        // A forged count far beyond the per-batch cap in a tiny buffer.
+        let mut bytes = vec![TAG_BATCH];
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes());
+        let err = decode(&bytes).expect_err("absurd batch count must be refused");
+        assert!(err.to_string().contains("exceeds cap"), "got: {err}");
+
+        // A count within the cap but impossible for the bytes present.
+        let mut bytes = vec![TAG_BATCH];
+        bytes.extend_from_slice(&1_000u16.to_le_bytes());
+        bytes.extend_from_slice(&[TAG_PROBE; 16]);
+        assert!(decode(&bytes).is_err(), "truncated batch must be refused");
+
+        // A batch whose total bytes exceed the configured ceiling is
+        // refused before decoding any nested message.
+        let msgs: Vec<Message> = (0..4).map(|seq| Message::Probe { seq }).collect();
+        let bytes = encode_to_vec(&Message::Batch { msgs });
+        let tight = DecodeLimits {
+            max_batch_bytes: 8,
+            ..DecodeLimits::default()
+        };
+        let err = decode_with_limits(&bytes, tight)
+            .expect_err("oversized batch bytes must be refused");
+        assert!(err.to_string().contains("exceeds cap"), "got: {err}");
+        assert!(decode(&bytes).is_ok(), "default limits accept it");
+
+        // The per-batch message cap applies even when the bytes fit.
+        let small = DecodeLimits {
+            max_batch_msgs: 3,
+            ..DecodeLimits::default()
+        };
+        let err = decode_with_limits(&bytes, small)
+            .expect_err("over-count batch must be refused");
+        assert!(err.to_string().contains("exceeds cap"), "got: {err}");
     }
 
     #[test]

@@ -88,6 +88,27 @@ proptest! {
         let decoded = wire::decode(&bytes).expect("valid message must decode");
         prop_assert_eq!(wire::encode_to_vec(&decoded), bytes);
     }
+
+    /// Any mix of message families coalesced into a `Batch` frame
+    /// round-trips bit-exactly — order preserved — and the batch's
+    /// arithmetic size accounting agrees with the real encoder.
+    #[test]
+    fn batch_roundtrip_is_exact(seeds in prop::collection::vec(0u64..100_000, 1..24)) {
+        let msgs: Vec<Message> = seeds.iter().map(|&s| sample_message(s)).collect();
+        let per_msg: Vec<Vec<u8>> = msgs.iter().map(wire::encode_to_vec).collect();
+        let batch = Message::Batch { msgs };
+        let bytes = wire::encode_to_vec(&batch);
+        prop_assert_eq!(wire::encoded_len(&batch), bytes.len() + 4);
+        match wire::decode(&bytes).expect("valid batch must decode") {
+            Message::Batch { msgs: decoded } => {
+                prop_assert_eq!(decoded.len(), per_msg.len());
+                for (d, original) in decoded.iter().zip(&per_msg) {
+                    prop_assert_eq!(&wire::encode_to_vec(d), original);
+                }
+            }
+            other => prop_assert!(false, "expected Batch, got {}", other.kind()),
+        }
+    }
 }
 
 /// Deterministically generates one of each message family from a seed.

@@ -39,6 +39,7 @@ use std::sync::Arc;
 use rapid_core::config::{Configuration, Member};
 use rapid_core::hash::{DetHashMap, DetHashSet, StableHasher};
 use rapid_core::id::Endpoint;
+use rapid_core::outbox::{BatchMessage, Outbox};
 
 use crate::placement::{partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan};
 
@@ -194,6 +195,20 @@ pub enum KvMsg {
         /// `(key, value, version)` triples.
         entries: Vec<(String, String, u64)>,
     },
+    /// Several data-plane messages for one destination, coalesced into a
+    /// single wire frame by the per-peer outbox. Delivered in order;
+    /// batches never nest.
+    Batch(Vec<KvMsg>),
+}
+
+impl BatchMessage for KvMsg {
+    fn batch(msgs: Vec<KvMsg>) -> KvMsg {
+        KvMsg::Batch(msgs)
+    }
+
+    fn encoded_size(&self) -> usize {
+        encoded_len(self)
+    }
 }
 
 const TAG_PUT: u8 = 1;
@@ -207,6 +222,7 @@ const TAG_DIGEST_REQ: u8 = 8;
 const TAG_DIGEST_RESP: u8 = 9;
 const TAG_REPAIR_PULL: u8 = 10;
 const TAG_REPAIR_PUSH: u8 = 11;
+const TAG_KV_BATCH: u8 = 12;
 
 /// Encoded size of one `(partition, digest)` pair.
 const DIGEST_PAIR_LEN: usize = 4 + 8 + 8 + 8;
@@ -262,6 +278,7 @@ pub fn encoded_len(msg: &KvMsg) -> usize {
                     .map(|(k, v, _)| str_len(k) + str_len(v) + 8)
                     .sum::<usize>()
         }
+        KvMsg::Batch(msgs) => 4 + msgs.iter().map(encoded_len).sum::<usize>(),
     }
 }
 
@@ -372,6 +389,17 @@ pub fn encode(msg: &KvMsg, buf: &mut Vec<u8>) {
                 buf.extend_from_slice(&ver.to_le_bytes());
             }
         }
+        KvMsg::Batch(msgs) => {
+            debug_assert!(
+                !msgs.iter().any(|m| matches!(m, KvMsg::Batch(_))),
+                "batches must not nest"
+            );
+            buf.push(TAG_KV_BATCH);
+            buf.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
+            for m in msgs {
+                encode(m, buf);
+            }
+        }
     }
 }
 
@@ -434,6 +462,12 @@ impl<'a> KvReader<'a> {
 /// Decodes one message.
 pub fn decode(bytes: &[u8]) -> Result<KvMsg, String> {
     let mut r = KvReader { buf: bytes };
+    decode_one(&mut r, true)
+}
+
+/// Decodes one message from the reader; `allow_batch` is true only at
+/// the top level (batches never nest).
+fn decode_one(r: &mut KvReader<'_>, allow_batch: bool) -> Result<KvMsg, String> {
     let msg = match r.u8()? {
         TAG_PUT => KvMsg::Put {
             req: r.u64()?,
@@ -534,6 +568,23 @@ pub fn decode(bytes: &[u8]) -> Result<KvMsg, String> {
                 entries,
             }
         }
+        TAG_KV_BATCH => {
+            if !allow_batch {
+                return Err("kv decode: nested batch".into());
+            }
+            let count = r.u32()? as usize;
+            // Smallest message is 5 bytes (a tag + an empty list): a
+            // forged count cannot out-size the buffer or drive a huge
+            // allocation.
+            if count > r.buf.len() / 5 + 1 {
+                return Err(format!("kv decode: absurd batch count {count}"));
+            }
+            let mut msgs = Vec::with_capacity(count);
+            for _ in 0..count {
+                msgs.push(decode_one(r, false)?);
+            }
+            KvMsg::Batch(msgs)
+        }
         other => return Err(format!("kv decode: unknown tag {other}")),
     };
     Ok(msg)
@@ -573,6 +624,25 @@ pub enum KvOut {
     Done(u64, KvOutcome),
 }
 
+/// One client operation, for batched submission through
+/// [`KvNode::client_ops`]: a whole burst shares one outbox flush, so ops
+/// routed to the same leader share a wire frame.
+#[derive(Clone, Copy, Debug)]
+pub enum ClientOp<'a> {
+    /// A write.
+    Put {
+        /// Key.
+        key: &'a str,
+        /// Value.
+        val: &'a str,
+    },
+    /// A read.
+    Get {
+        /// Key.
+        key: &'a str,
+    },
+}
+
 /// Data-plane counters.
 ///
 /// `puts_*`/`gets_*`/`handoffs_*`/`bytes_moved`/`partitions_moved` are
@@ -608,6 +678,14 @@ pub struct KvStats {
     pub repairs_triggered: u64,
     /// Encoded bytes of repair-push traffic this node served.
     pub repair_bytes: u64,
+    /// Logical data-plane messages this node emitted.
+    pub msgs_sent: u64,
+    /// Wire frames this node emitted (`<= msgs_sent`; the per-peer
+    /// outbox coalesces multi-message runs into one batch frame).
+    pub frames_sent: u64,
+    /// Encoded bytes of every emitted wire frame (batch framing
+    /// included), as metered by [`encoded_len`].
+    pub wire_bytes: u64,
 }
 
 impl KvStats {
@@ -623,6 +701,9 @@ impl KvStats {
         self.partitions_moved += other.partitions_moved;
         self.repairs_triggered += other.repairs_triggered;
         self.repair_bytes += other.repair_bytes;
+        self.msgs_sent += other.msgs_sent;
+        self.frames_sent += other.frames_sent;
+        self.wire_bytes += other.wire_bytes;
         self.rebalances = self.rebalances.max(other.rebalances);
         self.partitions_lost = self.partitions_lost.max(other.partitions_lost);
         self.leader_changes = self.leader_changes.max(other.leader_changes);
@@ -704,6 +785,9 @@ pub struct KvNode {
     seqs: DetHashMap<u32, u64>,
     next_req: u64,
     stats: KvStats,
+    /// Per-peer coalescing send buffer: every public entry point flushes
+    /// at most one wire frame per destination on return.
+    outbox: Outbox<KvMsg>,
 }
 
 impl KvNode {
@@ -735,7 +819,15 @@ impl KvNode {
             seqs: DetHashMap::default(),
             next_req: 1,
             stats: KvStats::default(),
+            outbox: Outbox::new(true),
         }
+    }
+
+    /// Enables or disables per-peer wire batching (enabled by default;
+    /// disable for A/B benchmarking — the protocol outcome is identical).
+    pub fn with_batching(mut self, enabled: bool) -> KvNode {
+        self.outbox = Outbox::new(enabled);
+        self
     }
 
     /// Overrides the anti-entropy cadence (defaults to the op timeout;
@@ -791,8 +883,14 @@ impl KvNode {
 
     /// Installs a new membership view — the subscription hook the whole
     /// subsystem hangs off. Recomputes placement, diffs, and pushes the
-    /// handoffs this node deterministically owns as a source.
+    /// handoffs this node deterministically owns as a source (coalesced
+    /// per receiver: one wire frame however many partitions move).
     pub fn on_view(&mut self, config: Arc<Configuration>, now: u64, out: &mut Vec<KvOut>) {
+        self.handle_view(config, now, out);
+        self.flush(out);
+    }
+
+    fn handle_view(&mut self, config: Arc<Configuration>, now: u64, _out: &mut Vec<KvOut>) {
         let placement = self.placement_for(&config);
         if self.view.is_none() && self.expect_initial_handoffs {
             // First view after joining an established cluster: everything
@@ -847,7 +945,7 @@ impl KvNode {
                         self.stats.partitions_moved += 1;
                         last_partition = Some(mv.partition);
                     }
-                    out.push(KvOut::Send(mv.to, msg));
+                    self.send(mv.to, msg);
                 }
                 if mv.to == self.me.addr {
                     // Expect data; until it lands — or repair confirms
@@ -905,6 +1003,24 @@ impl KvNode {
             .collect()
     }
 
+    /// Queues a data-plane message through the per-peer outbox.
+    fn send(&mut self, to: Endpoint, msg: KvMsg) {
+        self.outbox.push(to, msg);
+    }
+
+    /// Drains the outbox into `out`, one `KvOut::Send` per wire frame,
+    /// metering frame sizes into the stats.
+    fn flush(&mut self, out: &mut Vec<KvOut>) {
+        let KvNode { outbox, stats, .. } = self;
+        outbox.flush(|to, msg| {
+            stats.wire_bytes += encoded_len(&msg) as u64;
+            out.push(KvOut::Send(to, msg));
+        });
+        let s = outbox.stats();
+        stats.msgs_sent = s.msgs;
+        stats.frames_sent = s.frames;
+    }
+
     fn resolve_client(&mut self, req: u64, outcome: KvOutcome, out: &mut Vec<KvOut>) {
         let Some(pc) = self.pending_client.remove(&req) else {
             return; // Already timed out.
@@ -927,6 +1043,38 @@ impl KvNode {
     /// Begins a client write through this node as coordinator; the result
     /// arrives later as [`KvOut::Done`] with the returned request id.
     pub fn client_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        let req = self.begin_put(key, val, now, out);
+        self.flush(out);
+        req
+    }
+
+    /// Begins a client read through this node as coordinator. The read
+    /// completes only at a version at or above every write this
+    /// coordinator has acked for the key (read-your-writes): stale or
+    /// retryable leader answers are retried until the op deadline.
+    pub fn client_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        let req = self.begin_get(key, now, out);
+        self.flush(out);
+        req
+    }
+
+    /// Begins a burst of client operations with a single outbox flush:
+    /// operations routed to the same leader leave in one wire frame (the
+    /// pipelined-client fast path). Returns one request id per op, in
+    /// order.
+    pub fn client_ops(&mut self, ops: &[ClientOp<'_>], now: u64, out: &mut Vec<KvOut>) -> Vec<u64> {
+        let reqs = ops
+            .iter()
+            .map(|op| match *op {
+                ClientOp::Put { key, val } => self.begin_put(key, val, now, out),
+                ClientOp::Get { key } => self.begin_get(key, now, out),
+            })
+            .collect();
+        self.flush(out);
+        reqs
+    }
+
+    fn begin_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
         self.pending_client.insert(
@@ -945,7 +1093,7 @@ impl KvNode {
             Some(leader) if leader == self.me.addr => {
                 self.leader_put(req, self.me.addr, key, val, now, out);
             }
-            Some(leader) => out.push(KvOut::Send(
+            Some(leader) => self.send(
                 leader,
                 KvMsg::Put {
                     req,
@@ -953,16 +1101,12 @@ impl KvNode {
                     key: key.to_string(),
                     val: val.to_string(),
                 },
-            )),
+            ),
         }
         req
     }
 
-    /// Begins a client read through this node as coordinator. The read
-    /// completes only at a version at or above every write this
-    /// coordinator has acked for the key (read-your-writes): stale or
-    /// retryable leader answers are retried until the op deadline.
-    pub fn client_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+    fn begin_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
         let floor = self.acked_floors.get(key).copied().unwrap_or(0);
@@ -989,14 +1133,14 @@ impl KvNode {
                 let resp = self.leader_get_resp(req, key);
                 self.finish_get(resp, out);
             }
-            Some(leader) => out.push(KvOut::Send(
+            Some(leader) => self.send(
                 leader,
                 KvMsg::Get {
                     req,
                     origin: self.me.addr,
                     key: key.to_string(),
                 },
-            )),
+            ),
         }
     }
 
@@ -1004,14 +1148,14 @@ impl KvNode {
         if origin == self.me.addr {
             self.resolve_client(req, KvOutcome::Failed, out);
         } else {
-            out.push(KvOut::Send(
+            self.send(
                 origin,
                 KvMsg::PutAck {
                     req,
                     ok: false,
                     version: 0,
                 },
-            ));
+            );
         }
     }
 
@@ -1019,14 +1163,14 @@ impl KvNode {
         if origin == self.me.addr {
             self.resolve_client(req, KvOutcome::Acked { version }, out);
         } else {
-            out.push(KvOut::Send(
+            self.send(
                 origin,
                 KvMsg::PutAck {
                     req,
                     ok: true,
                     version,
                 },
-            ));
+            );
         }
     }
 
@@ -1077,7 +1221,7 @@ impl KvNode {
             },
         );
         for r in others {
-            out.push(KvOut::Send(
+            self.send(
                 r,
                 KvMsg::Replicate {
                     partition,
@@ -1087,7 +1231,7 @@ impl KvNode {
                     val: val.to_string(),
                     version,
                 },
-            ));
+            );
         }
     }
 
@@ -1162,9 +1306,22 @@ impl KvNode {
         }
     }
 
-    /// Handles a data-plane message from a peer.
+    /// Handles a data-plane message from a peer. Everything the message
+    /// triggers is flushed through the per-peer outbox on return: one
+    /// wire frame per destination, however many messages the frame
+    /// carried.
     pub fn on_message(&mut self, from: Endpoint, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
+        self.handle_msg(from, msg, now, out);
+        self.flush(out);
+    }
+
+    fn handle_msg(&mut self, from: Endpoint, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
         match msg {
+            KvMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.handle_msg(from, m, now, out);
+                }
+            }
             KvMsg::Put {
                 req,
                 origin,
@@ -1181,7 +1338,7 @@ impl KvNode {
             }
             KvMsg::Get { req, origin, key } => {
                 let resp = self.leader_get_resp(req, &key);
-                out.push(KvOut::Send(origin, resp));
+                self.send(origin, resp);
             }
             resp @ KvMsg::GetResp { .. } => self.finish_get(resp, out),
             KvMsg::Replicate {
@@ -1193,7 +1350,7 @@ impl KvNode {
                 version,
             } => {
                 self.merge(partition, key, val, version);
-                out.push(KvOut::Send(leader, KvMsg::RepAck { req }));
+                self.send(leader, KvMsg::RepAck { req });
             }
             KvMsg::RepAck { req } => {
                 let done = match self.pending_rep.get_mut(&req) {
@@ -1281,7 +1438,7 @@ impl KvNode {
     /// either pull outright (partition still awaiting its handoff) or
     /// offer a digest for divergence detection. Messages are batched per
     /// peer.
-    fn run_repair(&mut self, out: &mut Vec<KvOut>) {
+    fn run_repair(&mut self, _out: &mut Vec<KvOut>) {
         let Some((cfg, pl)) = self.view.clone() else {
             return;
         };
@@ -1322,20 +1479,14 @@ impl KvNode {
             let mut partitions = pulls.remove(&rank).expect("keyed above");
             partitions.sort_unstable();
             self.stats.repairs_triggered += partitions.len() as u64;
-            out.push(KvOut::Send(
-                cfg.members()[rank as usize].addr,
-                KvMsg::RepairPull { partitions },
-            ));
+            self.send(cfg.members()[rank as usize].addr, KvMsg::RepairPull { partitions });
         }
         let mut offer_peers: Vec<u32> = offers.keys().copied().collect();
         offer_peers.sort_unstable();
         for rank in offer_peers {
             let mut digests = offers.remove(&rank).expect("keyed above");
             digests.sort_unstable_by_key(|&(p, _)| p);
-            out.push(KvOut::Send(
-                cfg.members()[rank as usize].addr,
-                KvMsg::DigestReq { digests },
-            ));
+            self.send(cfg.members()[rank as usize].addr, KvMsg::DigestReq { digests });
         }
     }
 
@@ -1343,7 +1494,7 @@ impl KvNode {
         &mut self,
         from: Endpoint,
         digests: Vec<(u32, PartitionDigest)>,
-        out: &mut Vec<KvOut>,
+        _out: &mut Vec<KvOut>,
     ) {
         let mut mismatched = Vec::new();
         let mut pull = Vec::new();
@@ -1367,11 +1518,11 @@ impl KvNode {
             }
         }
         if !mismatched.is_empty() {
-            out.push(KvOut::Send(from, KvMsg::DigestResp { digests: mismatched }));
+            self.send(from, KvMsg::DigestResp { digests: mismatched });
         }
         if !pull.is_empty() {
             self.stats.repairs_triggered += pull.len() as u64;
-            out.push(KvOut::Send(from, KvMsg::RepairPull { partitions: pull }));
+            self.send(from, KvMsg::RepairPull { partitions: pull });
         }
     }
 
@@ -1379,7 +1530,7 @@ impl KvNode {
         &mut self,
         from: Endpoint,
         digests: Vec<(u32, PartitionDigest)>,
-        out: &mut Vec<KvOut>,
+        _out: &mut Vec<KvOut>,
     ) {
         let mut pull = Vec::new();
         for (p, theirs) in digests {
@@ -1392,11 +1543,11 @@ impl KvNode {
         }
         if !pull.is_empty() {
             self.stats.repairs_triggered += pull.len() as u64;
-            out.push(KvOut::Send(from, KvMsg::RepairPull { partitions: pull }));
+            self.send(from, KvMsg::RepairPull { partitions: pull });
         }
     }
 
-    fn on_repair_pull(&mut self, from: Endpoint, partitions: Vec<u32>, out: &mut Vec<KvOut>) {
+    fn on_repair_pull(&mut self, from: Endpoint, partitions: Vec<u32>, _out: &mut Vec<KvOut>) {
         for p in partitions {
             if !self.replicates(p) {
                 continue;
@@ -1419,7 +1570,7 @@ impl KvNode {
                 entries,
             };
             self.stats.repair_bytes += encoded_len(&msg) as u64;
-            out.push(KvOut::Send(from, msg));
+            self.send(from, msg);
         }
     }
 
@@ -1472,6 +1623,7 @@ impl KvNode {
             self.last_repair_at = now;
             self.run_repair(out);
         }
+        self.flush(out);
     }
 }
 
@@ -1775,6 +1927,12 @@ mod tests {
                 entries: vec![("k".into(), "v".into(), 12)],
             },
         ];
+        // Every family also survives nested in one batch frame, in order.
+        let batch = KvMsg::Batch(msgs.clone());
+        let mut buf = Vec::new();
+        encode(&batch, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&batch), "batch size mismatch");
+        assert_eq!(decode(&buf).unwrap(), batch);
         for msg in msgs {
             let mut buf = Vec::new();
             encode(&msg, &mut buf);
@@ -1786,6 +1944,17 @@ mod tests {
         // Forged counts cannot out-size the buffer.
         assert!(decode(&[TAG_DIGEST_REQ, 255, 255, 255, 255]).is_err());
         assert!(decode(&[TAG_REPAIR_PULL, 255, 255, 255, 255]).is_err());
+        assert!(
+            decode(&[TAG_KV_BATCH, 255, 255, 255, 255]).is_err(),
+            "absurd batch count must be refused"
+        );
+        // Nested batches are refused.
+        let inner = KvMsg::Batch(vec![KvMsg::RepAck { req: 1 }]);
+        let mut nested = vec![TAG_KV_BATCH];
+        nested.extend_from_slice(&1u32.to_le_bytes());
+        encode(&inner, &mut nested);
+        let err = decode(&nested).expect_err("nested kv batch must be refused");
+        assert!(err.contains("nested"), "got: {err}");
     }
 
     #[test]

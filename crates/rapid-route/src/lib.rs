@@ -36,7 +36,7 @@ pub mod placement;
 pub mod real;
 pub mod sim;
 
-pub use kv::{KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
+pub use kv::{ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 pub use placement::{
     partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
 };

@@ -21,7 +21,7 @@ use rapid_core::node::NodeStatus;
 use rapid_core::settings::Settings;
 use rapid_transport::{AppEvent, Runtime};
 
-use crate::kv::{self, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
+use crate::kv::{self, ClientOp, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 use crate::placement::PlacementConfig;
 
 /// A client operation submitted to the worker.
@@ -74,8 +74,9 @@ impl KvRuntime {
         op_timeout_ms: u64,
         repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
+        let batch_wire = settings.batch_wire;
         let rt = Runtime::start_seed(listen, settings)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire))
     }
 
     /// Starts a joining process with the data plane attached.
@@ -88,8 +89,9 @@ impl KvRuntime {
         op_timeout_ms: u64,
         repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
+        let batch_wire = settings.batch_wire;
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire))
     }
 
     fn wrap(
@@ -98,11 +100,13 @@ impl KvRuntime {
         op_timeout_ms: u64,
         repair_interval_ms: u64,
         joiner: bool,
+        batch_wire: bool,
     ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
-        let mut kv =
-            KvNode::new(me, route, op_timeout_ms, None).with_repair_interval(repair_interval_ms);
+        let mut kv = KvNode::new(me, route, op_timeout_ms, None)
+            .with_repair_interval(repair_interval_ms)
+            .with_batching(batch_wire);
         if joiner {
             kv = kv.expect_initial_handoffs();
         }
@@ -257,13 +261,28 @@ fn worker(
             }
             Ok(AppEvent::Kicked) | Err(_) => {}
         }
-        // Client submissions.
+        // Client submissions, drained as one burst and submitted through
+        // a single outbox flush: ops sharing a leader leave in one app
+        // frame.
+        let mut burst: Vec<RealOp> = Vec::new();
         while let Ok(op) = ops_rx.try_recv() {
-            let (req, reply) = match op {
-                RealOp::Put { key, val, reply } => (kv.client_put(&key, &val, now, &mut out), reply),
-                RealOp::Get { key, reply } => (kv.client_get(&key, now, &mut out), reply),
-            };
-            replies.insert(req, reply);
+            burst.push(op);
+        }
+        if !burst.is_empty() {
+            let client_ops: Vec<ClientOp<'_>> = burst
+                .iter()
+                .map(|op| match op {
+                    RealOp::Put { key, val, .. } => ClientOp::Put { key, val },
+                    RealOp::Get { key, .. } => ClientOp::Get { key },
+                })
+                .collect();
+            let reqs = kv.client_ops(&client_ops, now, &mut out);
+            for (req, op) in reqs.into_iter().zip(burst) {
+                let reply = match op {
+                    RealOp::Put { reply, .. } | RealOp::Get { reply, .. } => reply,
+                };
+                replies.insert(req, reply);
+            }
         }
         // Timers. The digest snapshot is refreshed here rather than on
         // every (5 ms) loop pass: hashing the whole store is too heavy

@@ -19,7 +19,7 @@ use rapid_core::wire::{self, Message};
 use rapid_sim::cluster::{sim_member, ActorLog, RapidActor, RapidClusterBuilder};
 use rapid_sim::{Actor, Outbox, Simulation};
 
-use crate::kv::{self, KvMsg, KvNode, KvOut, KvOutcome, KvStats};
+use crate::kv::{self, ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats};
 use crate::placement::{PlacementCache, PlacementConfig};
 
 /// The combined wire vocabulary of a routed deployment: membership
@@ -96,6 +96,21 @@ impl KvSimActor {
         let req = self.kv.client_get(key, now, &mut kv_out);
         self.drain_kv(kv_out, out);
         req
+    }
+
+    /// Starts a burst of client operations with one outbox flush (ops to
+    /// one leader share a wire frame); results land in
+    /// [`KvSimActor::completed`].
+    pub fn begin_ops(
+        &mut self,
+        ops: &[ClientOp<'_>],
+        now: u64,
+        out: &mut Outbox<RouteMsg>,
+    ) -> Vec<u64> {
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        let reqs = self.kv.client_ops(ops, now, &mut kv_out);
+        self.drain_kv(kv_out, out);
+        reqs
     }
 
     fn drain_kv(&mut self, mut kv_out: Vec<KvOut>, out: &mut Outbox<RouteMsg>) {
@@ -227,7 +242,8 @@ impl KvClusterBuilder {
             self.route,
             self.op_timeout_ms,
             Some(cache.clone()),
-        );
+        )
+        .with_batching(self.inner.settings.batch_wire);
         match self.repair_interval_ms {
             Some(ms) => node.with_repair_interval(ms),
             None => node,

@@ -163,6 +163,13 @@ fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
                         .ok_or_else(|| format!("{ctx}: {key:?} must be a boolean"))?,
                 )
             }
+            "batch_wire" => {
+                patch.batch_wire = Some(
+                    v.get(key)
+                        .and_then(Value::as_bool)
+                        .ok_or_else(|| format!("{ctx}: {key:?} must be a boolean"))?,
+                )
+            }
             other => return Err(format!("{ctx}: unknown settings key {other:?}")),
         }
     }

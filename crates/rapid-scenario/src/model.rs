@@ -108,6 +108,8 @@ pub struct SettingsPatch {
     pub bootstrap_batch: Option<usize>,
     /// Gossip vs unicast-to-all broadcaster.
     pub use_gossip_broadcast: Option<bool>,
+    /// Per-peer wire batching (one frame per destination per event).
+    pub batch_wire: Option<bool>,
 }
 
 impl SettingsPatch {
@@ -129,7 +131,8 @@ impl SettingsPatch {
             k, h, l, tick_interval_ms, fd_probe_interval_ms, fd_probe_timeout_ms,
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
-            gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast
+            gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
+            batch_wire
         );
         base.validate()
             .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;

@@ -38,6 +38,22 @@ pub struct KvPhaseReport {
     pub repairs: u64,
     /// Anti-entropy push bytes served so far (cumulative).
     pub repair_bytes: u64,
+    /// Logical data-plane messages emitted so far (cumulative).
+    pub msgs_sent: u64,
+    /// Wire frames emitted so far (cumulative; `<= msgs_sent` — the gap
+    /// is the per-peer batching win).
+    pub frames_sent: u64,
+    /// Encoded data-plane wire bytes emitted so far (cumulative).
+    pub wire_bytes: u64,
+}
+
+impl KvPhaseReport {
+    /// Mean logical messages per emitted wire frame, in thousandths
+    /// (3500 = 3.5 msgs/frame) so report JSON stays float-free and
+    /// byte-stable. 0 when nothing was sent.
+    pub fn msgs_per_frame_milli(&self) -> u64 {
+        (self.msgs_sent * 1000).checked_div(self.frames_sent).unwrap_or(0)
+    }
 }
 
 /// Results of one phase.
@@ -149,6 +165,10 @@ fn phase_json(p: &PhaseReport) -> Json {
                 ("partitions_lost", Json::uint(kv.partitions_lost)),
                 ("repairs", Json::uint(kv.repairs)),
                 ("repair_bytes", Json::uint(kv.repair_bytes)),
+                ("msgs_sent", Json::uint(kv.msgs_sent)),
+                ("frames_sent", Json::uint(kv.frames_sent)),
+                ("wire_bytes", Json::uint(kv.wire_bytes)),
+                ("msgs_per_frame_milli", Json::uint(kv.msgs_per_frame_milli())),
             ]),
         ));
     }
@@ -203,6 +223,9 @@ mod tests {
                     partitions_lost: 0,
                     repairs: 2,
                     repair_bytes: 64,
+                    msgs_sent: 21,
+                    frames_sent: 6,
+                    wire_bytes: 512,
                 }),
                 expects: vec![
                     ExpectReport { desc: "converge(n)".into(), passed: Some(true) },

@@ -302,6 +302,9 @@ fn run_phase(
         partitions_lost: stats.partitions_lost,
         repairs: stats.repairs_triggered,
         repair_bytes: stats.repair_bytes,
+        msgs_sent: stats.msgs_sent,
+        frames_sent: stats.frames_sent,
+        wire_bytes: stats.wire_bytes,
     });
     Ok(PhaseReport {
         name: phase.name.clone(),

@@ -727,15 +727,17 @@ impl World {
                 .ok_or("no live process to coordinate kv ops")?,
         };
         let now = w.sim.now();
-        let reqs: Vec<u64> = ops
+        // One pipelined submission: the coordinator's outbox coalesces
+        // ops sharing a leader into single wire frames.
+        let client_ops: Vec<rapid_route::ClientOp<'_>> = ops
             .iter()
-            .map(|op| {
-                w.sim.with_actor(via, |a, out| match &op.put_val {
-                    Some(v) => a.begin_put(&op.key, v, now, out),
-                    None => a.begin_get(&op.key, now, out),
-                })
+            .map(|op| match &op.put_val {
+                Some(v) => rapid_route::ClientOp::Put { key: &op.key, val: v },
+                None => rapid_route::ClientOp::Get { key: &op.key },
             })
             .collect();
+        let reqs: Vec<u64> =
+            w.sim.with_actor(via, |a, out| a.begin_ops(&client_ops, now, out));
         w.sim.run_until(now + w.spec.op_window_ms);
         let completed = std::mem::take(&mut w.sim.actor_mut(via).completed);
         Ok(reqs

@@ -128,6 +128,58 @@ fn kv_churn_report_json_is_identical_across_sim_runs() {
     );
 }
 
+/// The wire-batching equivalence golden (CI): `kv_churn` run with the
+/// per-peer outbox enabled and disabled must produce identical *ledger
+/// outcomes* — every phase's expectations (availability, durability,
+/// consistent histories) pass in both modes, the healthy load phase acks
+/// every write in both, and no partition is ever lost. Batching changes
+/// how many frames carry the traffic (visible in `frames_sent` <
+/// `msgs_sent`), never what the cluster decides or stores.
+#[test]
+fn kv_churn_batched_and_unbatched_ledgers_agree() {
+    let batched = shipped("kv_churn");
+    let mut unbatched = batched.clone();
+    unbatched.settings.batch_wire = Some(false);
+
+    let run = |scenario: &Scenario| {
+        let mut driver = SimDriver::new(SystemKind::Rapid, scenario).expect("sim driver");
+        runner::run(scenario, &mut driver).expect("run")
+    };
+    let a = run(&batched);
+    let b = run(&unbatched);
+    assert!(a.passed, "batched failures: {:?}", a.failures());
+    assert!(b.passed, "unbatched failures: {:?}", b.failures());
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.name, pb.name);
+        let verdicts =
+            |p: &rapid_scenario::PhaseReport| -> Vec<(String, Option<bool>)> {
+                p.expects.iter().map(|e| (e.desc.clone(), e.passed)).collect()
+            };
+        assert_eq!(
+            verdicts(pa),
+            verdicts(pb),
+            "phase {} verdicts must agree across wire modes",
+            pa.name
+        );
+        if let (Some(ka), Some(kb)) = (pa.kv, pb.kv) {
+            assert_eq!(
+                (ka.puts, ka.partitions_lost),
+                (kb.puts, kb.partitions_lost),
+                "phase {} ledger shape must agree",
+                pa.name
+            );
+        }
+    }
+    // The healthy load phase acks everything in both modes.
+    let (la, lb) = (a.phases[1].kv.expect("kv"), b.phases[1].kv.expect("kv"));
+    assert_eq!((la.puts, la.acked), (lb.puts, lb.acked), "load ledger must agree");
+    assert_eq!(la.acked, la.puts, "healthy cluster must ack everything");
+    // And only the batched run coalesces frames.
+    let (sa, sb) = (a.phases[3].kv.expect("kv"), b.phases[3].kv.expect("kv"));
+    assert!(sa.frames_sent < sa.msgs_sent, "batched run must coalesce: {sa:?}");
+    assert_eq!(sb.frames_sent, sb.msgs_sent, "unbatched run must not: {sb:?}");
+}
+
 /// The KV cross-driver contract: the same `kv_churn` file runs
 /// unmodified on a real TCP cluster and keeps every acked write.
 #[test]

@@ -7,7 +7,7 @@
 //! observed cluster size once per (virtual) second — reproducing exactly
 //! the measurement methodology of the paper's Figures 1 and 7–10.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rapid_core::hash::DetHashMap;
 
@@ -170,15 +170,139 @@ impl<M> Ord for QueueItem<M> {
     }
 }
 
+/// Timing-wheel horizon in virtual milliseconds. Tick cadences, probe
+/// intervals, sample periods and message latencies all land well inside
+/// it; anything further (delayed joiner starts, far-future fault
+/// schedules) waits in a small overflow heap and migrates into the wheel
+/// as the cursor approaches.
+const WHEEL_SLOTS: u64 = 4_096;
+
+/// The event queue: a calendar/timing wheel over virtual milliseconds.
+///
+/// The engine processes events in exactly `(time, seq)` order, where
+/// `seq` is global push order — the same total order the previous
+/// `BinaryHeap` implementation produced (the trace-equivalence golden
+/// pins this bit-for-bit). A binary heap pays `O(log n)` comparisons
+/// *and element moves* per push/pop, and a queue entry carrying an inline
+/// message is ~100 bytes, so heap churn dominated the per-event cost at
+/// N ≥ 1024. The wheel makes push and pop O(1): one bucket per virtual
+/// millisecond within the horizon, each a FIFO (push order within one
+/// millisecond *is* seq order).
+///
+/// Three tiers:
+/// * `buckets[t % WHEEL_SLOTS]` — events inside the horizon. Only one
+///   time value occupies a bucket at once (the horizon equals the wheel
+///   size), so a bucket is a plain FIFO.
+/// * `overflow` — events at `t >= cursor + WHEEL_SLOTS`, in a (time,
+///   seq) heap; migrated into the wheel as the cursor reaches
+///   `t - WHEEL_SLOTS + 1`. Always small (joiner starts, fault
+///   schedules).
+/// * `overdue` — events scheduled at or before an already-drained
+///   millisecond (e.g. `schedule_fault(now)` between two `run_until`
+///   calls), in a (time, seq) heap popped before anything else. The old
+///   heap served these first for the same reason.
+struct EventQueue<M> {
+    /// Next millisecond to drain; every event at `t < cursor` has been
+    /// delivered (or sits in `overdue`).
+    cursor: u64,
+    buckets: Vec<VecDeque<Entry<M>>>,
+    /// Events currently in `buckets`.
+    in_wheel: usize,
+    overflow: BinaryHeap<QueueItem<M>>,
+    overdue: BinaryHeap<QueueItem<M>>,
+    seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    fn new() -> EventQueue<M> {
+        EventQueue {
+            cursor: 0,
+            buckets: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            in_wheel: 0,
+            overflow: BinaryHeap::new(),
+            overdue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: u64, entry: Entry<M>) {
+        self.seq += 1;
+        if at < self.cursor {
+            self.overdue.push(QueueItem {
+                key: (at, self.seq),
+                entry,
+            });
+        } else if at < self.cursor + WHEEL_SLOTS {
+            self.buckets[(at % WHEEL_SLOTS) as usize].push_back(entry);
+            self.in_wheel += 1;
+        } else {
+            self.overflow.push(QueueItem {
+                key: (at, self.seq),
+                entry,
+            });
+        }
+    }
+
+    /// Moves every overflow event now inside the horizon into its
+    /// bucket. Heap order is (time, seq), so same-time events append in
+    /// seq order — and any direct push to those buckets can only happen
+    /// after this gate (the wheel admits a time only once the cursor is
+    /// within the horizon), so FIFO order stays seq order.
+    fn migrate(&mut self) {
+        while let Some(top) = self.overflow.peek() {
+            if top.key.0 >= self.cursor + WHEEL_SLOTS {
+                break;
+            }
+            let item = self.overflow.pop().expect("peeked");
+            self.buckets[(item.key.0 % WHEEL_SLOTS) as usize].push_back(item.entry);
+            self.in_wheel += 1;
+        }
+    }
+
+    /// Pops the next event with `time <= until`, if any, returning its
+    /// virtual time.
+    fn pop(&mut self, until: u64) -> Option<(u64, Entry<M>)> {
+        // Overdue events first: their times precede every wheel bucket
+        // (`at < cursor`), exactly as the old global heap ordered them.
+        if let Some(top) = self.overdue.peek() {
+            if top.key.0 <= until {
+                let item = self.overdue.pop().expect("peeked");
+                return Some((item.key.0, item.entry));
+            }
+            return None;
+        }
+        while self.cursor <= until {
+            if let Some(entry) = self.buckets[(self.cursor % WHEEL_SLOTS) as usize].pop_front()
+            {
+                self.in_wheel -= 1;
+                return Some((self.cursor, entry));
+            }
+            if self.in_wheel == 0 {
+                // Nothing inside the horizon: jump straight to the next
+                // overflow time instead of sweeping empty milliseconds.
+                let top = self.overflow.peek()?;
+                if top.key.0 > until {
+                    return None;
+                }
+                self.cursor = top.key.0;
+                self.migrate();
+                continue;
+            }
+            self.cursor += 1;
+            self.migrate();
+        }
+        None
+    }
+}
+
 /// The simulation: actors + network + event queue.
 pub struct Simulation<A: Actor> {
     slots: Vec<Slot<A>>,
     by_addr: DetHashMap<Endpoint, usize>,
     /// The network model (public for scenario-specific tweaking).
     pub net: NetworkModel,
-    queue: BinaryHeap<QueueItem<A::Msg>>,
+    queue: EventQueue<A::Msg>,
     now: u64,
-    seq: u64,
     tick_interval_ms: u64,
     sample_interval_ms: u64,
     samples: Vec<Sample>,
@@ -198,9 +322,8 @@ impl<A: Actor> Simulation<A> {
             slots: Vec::new(),
             by_addr: DetHashMap::default(),
             net: NetworkModel::lan(seed),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: 0,
-            seq: 0,
             tick_interval_ms,
             sample_interval_ms: 1_000,
             samples: Vec::new(),
@@ -213,11 +336,7 @@ impl<A: Actor> Simulation<A> {
     }
 
     fn push(&mut self, at: u64, entry: Entry<A::Msg>) {
-        self.seq += 1;
-        self.queue.push(QueueItem {
-            key: (at, self.seq),
-            entry,
-        });
+        self.queue.push(at, entry);
     }
 
     /// Adds an actor that starts ticking at `start_at`. Returns its index.
@@ -393,11 +512,7 @@ impl<A: Actor> Simulation<A> {
 
     /// Runs the simulation until virtual time `until_ms`.
     pub fn run_until(&mut self, until_ms: u64) {
-        while let Some(item) = self.queue.peek() {
-            if item.key.0 > until_ms {
-                break;
-            }
-            let QueueItem { key: (at, _), entry } = self.queue.pop().expect("peeked");
+        while let Some((at, entry)) = self.queue.pop(until_ms) {
             self.now = at;
             self.events_processed += 1;
             match entry {

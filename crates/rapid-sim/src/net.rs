@@ -194,7 +194,7 @@ impl NetworkModel {
 
     /// Whether a node is crashed.
     pub fn is_crashed(&self, node: usize) -> bool {
-        self.crashed.contains(&node)
+        !self.crashed.is_empty() && self.crashed.contains(&node)
     }
 
     /// Partitions the cluster: nodes in `group` can talk among themselves
@@ -219,10 +219,15 @@ impl NetworkModel {
     /// the exact RNG stream of the classic model — pinned traces and
     /// published figures stay bit-identical.
     pub fn route(&mut self, src: usize, dst: usize) -> Option<u64> {
-        if self.crashed.contains(&src) || self.crashed.contains(&dst) {
+        // Empty-fault fast paths: a healthy steady-state cluster routes
+        // millions of packets per wall second, so each unconfigured fault
+        // class must cost one branch, not a hash probe.
+        if !self.crashed.is_empty()
+            && (self.crashed.contains(&src) || self.crashed.contains(&dst))
+        {
             return None;
         }
-        if self.blackholes.contains(&(src, dst)) {
+        if !self.blackholes.is_empty() && self.blackholes.contains(&(src, dst)) {
             return None;
         }
         if !self.link_loss.is_empty() {
@@ -232,14 +237,18 @@ impl NetworkModel {
                 }
             }
         }
-        if let Some(&p) = self.egress_drop.get(&src) {
-            if self.rng.gen_bool(p) {
-                return None;
+        if !self.egress_drop.is_empty() {
+            if let Some(&p) = self.egress_drop.get(&src) {
+                if self.rng.gen_bool(p) {
+                    return None;
+                }
             }
         }
-        if let Some(&p) = self.ingress_drop.get(&dst) {
-            if self.rng.gen_bool(p) {
-                return None;
+        if !self.ingress_drop.is_empty() {
+            if let Some(&p) = self.ingress_drop.get(&dst) {
+                if self.rng.gen_bool(p) {
+                    return None;
+                }
             }
         }
         Some(self.sample_latency(src, dst))

@@ -529,6 +529,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_frame_roundtrips_as_one_tcp_write() {
+        // A coalesced outbox flush is one frame — and therefore exactly
+        // one `write_all` on the stream — carrying every message in
+        // order.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut stream,
+                &Endpoint::new("me", 44),
+                &Message::Batch {
+                    msgs: vec![
+                        Message::Probe { seq: 1 },
+                        Message::ProbeAck { seq: 2, config_seq: 3 },
+                        Message::ConfigPull { have_seq: 4 },
+                    ],
+                },
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let (from, inbound) = read_frame(&mut conn).unwrap();
+        assert_eq!(from, Endpoint::new("me", 44));
+        match inbound {
+            Inbound::Proto(Message::Batch { msgs }) => {
+                assert_eq!(msgs.len(), 3);
+                assert!(matches!(msgs[0], Message::Probe { seq: 1 }));
+                assert!(matches!(msgs[1], Message::ProbeAck { seq: 2, .. }));
+                assert!(matches!(msgs[2], Message::ConfigPull { have_seq: 4 }));
+            }
+            _ => panic!("batch frame must decode as one protocol message"),
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
     fn app_frame_roundtrip_over_socket_pair() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
