@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin route_bench           # full sweep
 //! cargo run --release -p bench --bin route_bench -- --quick
 //! cargo run --release -p bench --bin route_bench -- --no-batch   # A/B: wire batching off
+//! cargo run --release -p bench --bin route_bench -- --threads 4  # sharded sim engine
 //! cargo run --release -p bench --bin route_bench -- --bench-json > BENCH_route.json
 //! ```
 //!
@@ -210,18 +211,19 @@ fn fault_json(r: &FaultResult) -> Json {
     ])
 }
 
-fn settings(batch_wire: bool) -> Settings {
+fn settings(batch_wire: bool, threads: usize) -> Settings {
     Settings {
         batch_wire,
+        threads,
         ..Settings::default()
     }
 }
 
-fn run_scale(n: usize, seed: u64, batch_wire: bool) -> Json {
+fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
     // Steady state + throughput.
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed)
-        .settings(settings(batch_wire))
+        .settings(settings(batch_wire, threads))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -273,7 +275,7 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool) -> Json {
     // Fresh cluster for the partition fault (a clean baseline).
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed ^ 0x9E37)
-        .settings(settings(batch_wire))
+        .settings(settings(batch_wire, threads))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -319,15 +321,26 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json_out = args.iter().any(|a| a == "--bench-json");
     let batch_wire = !args.iter().any(|a| a == "--no-batch");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|pos| {
+            args.get(pos + 1)
+                .and_then(|s| s.parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .expect("--threads needs a positive integer")
+        })
+        .unwrap_or(1);
     let scales: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
 
     let mut results = Vec::new();
     for (i, &n) in scales.iter().enumerate() {
-        results.push(run_scale(n, 0xB0 + i as u64, batch_wire));
+        results.push(run_scale(n, 0xB0 + i as u64, batch_wire, threads));
     }
     let doc = Json::obj(vec![
         ("bench", Json::Str("route_bench".into())),
         ("batch_wire", Json::Bool(batch_wire)),
+        ("threads", Json::uint(threads as u64)),
         ("partitions", Json::uint(PARTITIONS as u64)),
         ("replication", Json::uint(REPLICATION as u64)),
         ("keys", Json::uint(KEYS as u64)),

@@ -3,43 +3,54 @@
 //! `--full` runs.
 //!
 //! `scale_probe --bench-json [path]` instead runs the Rapid hot-path
-//! benchmark matrix (N ∈ {256, 1024, 4096}, K = 10) and writes
+//! benchmark matrix (N ∈ {256, 1024, 4096, 16384}, K = 10) and writes
 //! `BENCH_sim.json` with events/sec for the current build next to the
 //! frozen baseline recorded from the seed implementation.
 //!
 //! `--no-batch` disables the per-peer wire outbox (one frame per logical
 //! message, the pre-batching framing) for A/B runs; batching is on by
 //! default, matching production settings.
+//!
+//! `--threads N` runs the simulation on N worker shards (the engine's
+//! conservative-lookahead parallel mode). The trace — and therefore the
+//! event count — is bit-identical at any thread count; only wall-clock
+//! changes. The JSON records the thread count used.
 use bench::{SystemKind, World};
 use rapid_core::settings::Settings;
 
 /// Baseline recorded from the seed implementation (pre zero-clone
 /// refactor) on the reference machine, same workload and seed. The seed
 /// build drew per-process-random map iteration orders, so its event count
-/// per run varied; these are representative single runs.
+/// per run varied; these are representative single runs. The N = 16384
+/// point postdates the seed, so it has no baseline (`None`).
 ///
 /// Speedups computed against this table are only meaningful on hardware
 /// comparable to the reference machine (and on a quiet one — wall-clock
 /// measurements are load-sensitive); on other hosts they mix the hardware
 /// ratio into the figure. `bench_json` prints a reminder.
-const BASELINE: [(usize, u64, f64); 3] = [
-    (256, 17_777, 0.1538),
-    (1024, 81_533, 3.3596),
-    (4096, 264_915, 45.2565),
+const BASELINE: [(usize, Option<(u64, f64)>); 4] = [
+    (256, Some((17_777, 0.1538))),
+    (1024, Some((81_533, 3.3596))),
+    (4096, Some((264_915, 45.2565))),
+    (16384, None),
 ];
 
-fn probe(n: usize, kind: SystemKind, batch_wire: bool) -> (Option<u64>, u64, f64) {
+fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> (Option<u64>, u64, f64) {
     let t0 = std::time::Instant::now();
-    let settings = if batch_wire {
-        None // Protocol defaults (batching on): identical construction path.
+    let settings = if batch_wire && threads <= 1 {
+        None // Protocol defaults: identical construction path.
     } else if matches!(kind, SystemKind::Rapid | SystemKind::RapidC) {
         Some(Settings {
-            batch_wire: false,
+            batch_wire,
+            threads,
             ..Settings::default()
         })
     } else {
-        // The baselines have no Rapid wire framing to disable.
-        eprintln!("note: --no-batch only affects Rapid wire framing; ignored for {}", kind.label());
+        // The baselines have no Rapid wire framing or sim settings to tune.
+        eprintln!(
+            "note: --no-batch/--threads only affect the Rapid drivers; ignored for {}",
+            kind.label()
+        );
         None
     };
     let mut w = World::bootstrap_cfg(kind, n, 42, settings, None)
@@ -55,37 +66,50 @@ fn probe(n: usize, kind: SystemKind, batch_wire: bool) -> (Option<u64>, u64, f64
     (t, events, t0.elapsed().as_secs_f64())
 }
 
-fn bench_json(path: &str, batch_wire: bool) {
+fn bench_json(path: &str, batch_wire: bool, threads: usize) {
     eprintln!(
         "note: baseline wall-clock was recorded on the reference machine; \
 speedups on other hardware (or a loaded machine) mix in the hardware ratio"
     );
     let mut rows = String::new();
-    for &(n, base_events, base_wall) in &BASELINE {
-        let (t, events, wall) = probe(n, SystemKind::Rapid, batch_wire);
+    for &(n, baseline) in &BASELINE {
+        let (t, events, wall) = probe(n, SystemKind::Rapid, batch_wire, threads);
         assert!(t.is_some(), "bootstrap at n={n} must converge");
-        let base_rate = base_events as f64 / base_wall;
         let rate = events as f64 / wall;
-        eprintln!(
-            "n={n}: {events} events in {wall:.4}s = {:.0} events/s ({:.2}x baseline)",
-            rate,
-            rate / base_rate
-        );
+        let (base_json, speedup_json) = match baseline {
+            Some((base_events, base_wall)) => {
+                let base_rate = base_events as f64 / base_wall;
+                eprintln!(
+                    "n={n}: {events} events in {wall:.4}s = {rate:.0} events/s ({:.2}x baseline)",
+                    rate / base_rate
+                );
+                (
+                    format!(
+                        "{{\"events\": {base_events}, \"wall_s\": {base_wall:.4}, \
+\"events_per_s\": {base_rate:.1}}}"
+                    ),
+                    format!("{:.2}", rate / base_rate),
+                )
+            }
+            None => {
+                eprintln!("n={n}: {events} events in {wall:.4}s = {rate:.0} events/s (no seed baseline)");
+                ("null".to_string(), "null".to_string())
+            }
+        };
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
             "    {{\"n\": {n}, \"k\": 10, \"workload\": \"bootstrap-to-convergence\", \
-\"baseline\": {{\"events\": {base_events}, \"wall_s\": {base_wall:.4}, \"events_per_s\": {base_rate:.1}}}, \
+\"baseline\": {base_json}, \
 \"current\": {{\"events\": {events}, \"wall_s\": {wall:.4}, \"events_per_s\": {rate:.1}}}, \
-\"speedup_events_per_s\": {:.2}}}",
-            rate / base_rate
+\"speedup_events_per_s\": {speedup_json}}}"
         ));
     }
     let json = format!(
         "{{\n  \"benchmark\": \"rapid-sim bootstrap events/sec\",\n  \
-\"note\": \"baseline = seed implementation before the zero-clone refactor (interned endpoints, Arc fan-out, index-routed engine, deterministic hashing, shared view caches); regenerate with `cargo run --release -p bench --bin scale_probe -- --bench-json`\",\n  \
-\"batch_wire\": {batch_wire},\n  \"seed\": 42,\n  \"results\": [\n{rows}\n  ]\n}}\n"
+\"note\": \"baseline = seed implementation before the zero-clone refactor (interned endpoints, Arc fan-out, index-routed engine, deterministic hashing, shared view caches); N=16384 postdates the seed and has no baseline; regenerate with `cargo run --release -p bench --bin scale_probe -- --bench-json`\",\n  \
+\"batch_wire\": {batch_wire},\n  \"threads\": {threads},\n  \"seed\": 42,\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write BENCH_sim.json");
     eprintln!("wrote {path}");
@@ -95,25 +119,39 @@ fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let batch_wire = !args.iter().any(|a| a == "--no-batch");
     args.retain(|a| a != "--no-batch");
+    let mut threads = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        threads = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|&t| t >= 1)
+            .expect("--threads needs a positive integer");
+        args.drain(pos..=pos + 1);
+    }
     if args.get(1).map(|s| s.as_str()) == Some("--bench-json") {
         let path = args.get(2).map(|s| s.as_str()).unwrap_or("BENCH_sim.json");
-        bench_json(path, batch_wire);
+        bench_json(path, batch_wire, threads);
         return;
     }
-    let n: usize = args.get(1).expect("usage: scale_probe <n> [system] [--no-batch]").parse().unwrap();
+    let n: usize = args
+        .get(1)
+        .expect("usage: scale_probe <n> [system] [--no-batch] [--threads N]")
+        .parse()
+        .unwrap();
     let kind = match args.get(2).map(|s| s.as_str()).unwrap_or("rapid") {
         "zk" => SystemKind::ZooKeeper,
         "ml" => SystemKind::Memberlist,
         "rc" => SystemKind::RapidC,
         _ => SystemKind::Rapid,
     };
-    let (t, events, wall) = probe(n, kind, batch_wire);
+    let (t, events, wall) = probe(n, kind, batch_wire, threads);
     eprintln!(
-        "{} n={}: virtual={:?}s wall={:.4}s events={}",
+        "{} n={}: virtual={:?}s wall={:.4}s events={} threads={}",
         kind.label(),
         n,
         t.map(|x| x / 1000),
         wall,
-        events
+        events,
+        threads
     );
 }

@@ -71,6 +71,13 @@ pub struct Settings {
     /// and for reproducing pre-batching wire traces; the protocol outcome
     /// is identical either way (per-peer order is preserved).
     pub batch_wire: bool,
+
+    /// Simulator worker threads. `1` (the default) runs the sequential
+    /// reference engine; `>= 2` shards the simulation across cores under
+    /// a conservative-lookahead barrier. The trace is bit-identical
+    /// either way, so this is purely a wall-clock knob. Ignored by the
+    /// real (wall-clock) driver.
+    pub threads: usize,
 }
 
 impl Default for Settings {
@@ -96,6 +103,7 @@ impl Default for Settings {
             centralized_poll_interval_ms: 5_000,
             use_gossip_broadcast: true,
             batch_wire: true,
+            threads: 1,
         }
     }
 }
@@ -126,6 +134,9 @@ impl Settings {
         }
         if self.tick_interval_ms == 0 {
             return Err("tick_interval_ms must be positive".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
         }
         Ok(())
     }
@@ -164,6 +175,15 @@ mod tests {
     fn validation_rejects_bad_fd_fraction() {
         let s = Settings {
             fd_fail_fraction: 1.5,
+            ..Settings::default()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_threads() {
+        let s = Settings {
+            threads: 0,
             ..Settings::default()
         };
         assert!(s.validate().is_err());

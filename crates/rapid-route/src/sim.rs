@@ -254,6 +254,7 @@ impl KvClusterBuilder {
     /// plane live from t=0 (the failure experiments' starting state).
     pub fn build_static(&self) -> Simulation<KvSimActor> {
         let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
+        sim.set_threads(self.inner.settings.threads);
         let members: Vec<_> = (0..self.inner.n).map(sim_member).collect();
         let cfg = Configuration::bootstrap(members.clone());
         let topo = TopologyCache::new();
@@ -282,6 +283,7 @@ impl KvClusterBuilder {
     /// process activates when its join completes.
     pub fn build_bootstrap(&self) -> Simulation<KvSimActor> {
         let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
+        sim.set_threads(self.inner.settings.threads);
         let topo = TopologyCache::new();
         let cache = PlacementCache::new();
         let seed_member = sim_member(0);

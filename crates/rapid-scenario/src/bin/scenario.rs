@@ -4,7 +4,10 @@
 //! cargo run --release -p rapid-scenario --bin scenario -- \
 //!     scenarios/smoke_crash.toml [--driver sim|real|both] \
 //!     [--system rapid|rapid-c|memberlist|zookeeper|akka] \
-//!     [--seed N] [--full] [--json]
+//!     [--seed N] [--threads N] [--full] [--json]
+//!
+//! `--threads N` overrides the simulator worker-thread count (the
+//! `[settings] threads` key); reports are bit-identical at any count.
 //! ```
 //!
 //! Exit status is non-zero if any evaluated expectation failed.
@@ -16,6 +19,7 @@ struct Opts {
     driver: String,
     system: SystemKind,
     seed: Option<u64>,
+    threads: Option<usize>,
     full: bool,
     json: bool,
 }
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Opts, String> {
         driver: "sim".into(),
         system: SystemKind::Rapid,
         seed: None,
+        threads: None,
         full: false,
         json: false,
     };
@@ -51,6 +56,15 @@ fn parse_args() -> Result<Opts, String> {
                         .ok_or("--seed needs an integer")?,
                 );
             }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&t: &usize| t >= 1)
+                        .ok_or("--threads needs a positive integer")?,
+                );
+            }
             "--full" => opts.full = true,
             "--json" => opts.json = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
@@ -64,7 +78,7 @@ fn parse_args() -> Result<Opts, String> {
         i += 1;
     }
     if opts.path.is_empty() {
-        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--full] [--json]".into());
+        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--threads N] [--full] [--json]".into());
     }
     Ok(opts)
 }
@@ -142,6 +156,11 @@ fn main() {
     };
     if let Some(seed) = opts.seed {
         scenario.seed = seed;
+    }
+    if let Some(threads) = opts.threads {
+        // Same effect as `[settings] threads = N` in the file; the sim
+        // driver hands it to the engine, the real driver ignores it.
+        scenario.settings.threads = Some(threads);
     }
     if opts.full {
         scenario.apply_full();

@@ -163,6 +163,7 @@ fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
                         .ok_or_else(|| format!("{ctx}: {key:?} must be a boolean"))?,
                 )
             }
+            "threads" => patch.threads = Some(req_usize(v, key, ctx)?),
             "batch_wire" => {
                 patch.batch_wire = Some(
                     v.get(key)

@@ -110,6 +110,10 @@ pub struct SettingsPatch {
     pub use_gossip_broadcast: Option<bool>,
     /// Per-peer wire batching (one frame per destination per event).
     pub batch_wire: Option<bool>,
+    /// Simulator worker threads (`1` = sequential reference engine;
+    /// traces are bit-identical at any count). Ignored by the real
+    /// driver.
+    pub threads: Option<usize>,
 }
 
 impl SettingsPatch {
@@ -132,7 +136,7 @@ impl SettingsPatch {
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
             gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
-            batch_wire
+            batch_wire, threads
         );
         base.validate()
             .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;

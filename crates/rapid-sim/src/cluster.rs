@@ -262,6 +262,7 @@ impl RapidClusterBuilder {
     /// through it after `join_delay_ms` (Figures 5–7).
     pub fn build_bootstrap(&self) -> Simulation<RapidActor> {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        sim.set_threads(self.settings.threads);
         let cache = TopologyCache::new();
         let seed_member = sim_member(0);
         let seed_node = Node::with_parts(
@@ -296,6 +297,7 @@ impl RapidClusterBuilder {
     /// one static configuration (failure experiments, Figures 8–10).
     pub fn build_static(&self) -> Simulation<RapidActor> {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        sim.set_threads(self.settings.threads);
         let members: Vec<Member> = (0..self.n).map(sim_member).collect();
         let cfg = Configuration::bootstrap(members.clone());
         let cache = TopologyCache::new();
@@ -321,6 +323,7 @@ impl RapidClusterBuilder {
     /// Returns the simulation and the index of the first agent.
     pub fn build_centralized(&self, ensemble_size: usize) -> (Simulation<RapidActor>, usize) {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
+        sim.set_threads(self.settings.threads);
         let ensemble_members: Vec<Member> =
             (0..ensemble_size).map(|i| {
                 Member::new(

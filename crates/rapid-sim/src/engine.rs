@@ -262,12 +262,18 @@ impl<M> EventQueue<M> {
     /// Pops the next event with `time <= until`, if any, returning its
     /// virtual time.
     fn pop(&mut self, until: u64) -> Option<(u64, Entry<M>)> {
+        self.pop_traced(until).map(|(at, entry, _)| (at, entry))
+    }
+
+    /// Like [`pop`](Self::pop), but also reports which tier the event
+    /// came from so [`unpop`](Self::unpop) can restore it exactly.
+    fn pop_traced(&mut self, until: u64) -> Option<(u64, Entry<M>, PopSrc)> {
         // Overdue events first: their times precede every wheel bucket
         // (`at < cursor`), exactly as the old global heap ordered them.
         if let Some(top) = self.overdue.peek() {
             if top.key.0 <= until {
                 let item = self.overdue.pop().expect("peeked");
-                return Some((item.key.0, item.entry));
+                return Some((item.key.0, item.entry, PopSrc::Overdue(item.key.1)));
             }
             return None;
         }
@@ -275,7 +281,7 @@ impl<M> EventQueue<M> {
             if let Some(entry) = self.buckets[(self.cursor % WHEEL_SLOTS) as usize].pop_front()
             {
                 self.in_wheel -= 1;
-                return Some((self.cursor, entry));
+                return Some((self.cursor, entry, PopSrc::Wheel));
             }
             if self.in_wheel == 0 {
                 // Nothing inside the horizon: jump straight to the next
@@ -293,6 +299,35 @@ impl<M> EventQueue<M> {
         }
         None
     }
+
+    /// Restores the most recently popped event unchanged: the next pop
+    /// returns it again in the same global `(time, seq)` position. Used
+    /// by the parallel engine when epoch collection overshoots onto a
+    /// boundary event (fault, sample sweep).
+    fn unpop(&mut self, at: u64, entry: Entry<M>, src: PopSrc) {
+        match src {
+            // A wheel pop leaves the cursor at the popped time, so
+            // putting the entry back at the bucket's front restores the
+            // exact FIFO (= seq) position.
+            PopSrc::Wheel => {
+                self.buckets[(at % WHEEL_SLOTS) as usize].push_front(entry);
+                self.in_wheel += 1;
+            }
+            PopSrc::Overdue(seq) => self.overdue.push(QueueItem {
+                key: (at, seq),
+                entry,
+            }),
+        }
+    }
+}
+
+/// Which tier of the [`EventQueue`] a popped event came from (see
+/// [`EventQueue::unpop`]).
+enum PopSrc {
+    /// The timing wheel: bucket order is positional, no key needed.
+    Wheel,
+    /// The overdue heap, keyed by the event's original sequence number.
+    Overdue(u64),
 }
 
 /// The simulation: actors + network + event queue.
@@ -313,6 +348,14 @@ pub struct Simulation<A: Actor> {
     outbox_scratch: Vec<(Endpoint, A::Msg, u64)>,
     /// Reusable per-outbox message-size buffer (see `route_outbox`).
     size_scratch: Vec<u32>,
+    /// Worker threads for `run_until`: `1` selects the sequential
+    /// reference engine, `>= 2` the sharded lookahead engine (same
+    /// trace, bit for bit).
+    threads: usize,
+    /// Minimum epoch batch size before the parallel engine fans out to
+    /// worker threads; smaller epochs run the identical shard code
+    /// serially (spawn overhead would dominate).
+    par_batch_min: usize,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -330,9 +373,33 @@ impl<A: Actor> Simulation<A> {
             events_processed: 0,
             outbox_scratch: Vec::new(),
             size_scratch: Vec::new(),
+            threads: 1,
+            par_batch_min: 192,
         };
         sim.push(1_000, Entry::SampleAll);
         sim
+    }
+
+    /// Sets the number of worker threads used by `run_until`. `1` (the
+    /// default) is the sequential reference engine; any higher count
+    /// runs the sharded conservative-lookahead engine, which produces a
+    /// bit-identical trace (same events, same RNG stream, same
+    /// counters) — parallelism is purely a wall-clock optimisation.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the minimum epoch batch size at which the parallel engine
+    /// fans out to OS threads (below it the same shard code runs
+    /// serially). Results are identical at any value; exposed so tests
+    /// can force the cross-thread path on small clusters.
+    pub fn set_parallel_batch_min(&mut self, events: usize) {
+        self.par_batch_min = events.max(1);
     }
 
     fn push(&mut self, at: u64, entry: Entry<A::Msg>) {
@@ -510,8 +577,10 @@ impl<A: Actor> Simulation<A> {
         }
     }
 
-    /// Runs the simulation until virtual time `until_ms`.
-    pub fn run_until(&mut self, until_ms: u64) {
+    /// The sequential reference engine: processes events one at a time
+    /// in exact `(time, seq)` order. This is the golden oracle the
+    /// parallel engine is pinned against.
+    fn run_until_seq(&mut self, until_ms: u64) {
         while let Some((at, entry)) = self.queue.pop(until_ms) {
             self.now = at;
             self.events_processed += 1;
@@ -547,24 +616,57 @@ impl<A: Actor> Simulation<A> {
                     }
                 }
                 Entry::Fault(f) => self.apply_fault(f),
-                Entry::SampleAll => {
-                    for (idx, slot) in self.slots.iter().enumerate() {
-                        if slot.started && !self.net.is_crashed(idx) {
-                            if let Some(v) = slot.actor.sample() {
-                                self.samples.push(Sample {
-                                    t_ms: self.now,
-                                    actor: idx,
-                                    value: v,
-                                });
-                            }
-                        }
-                    }
-                    let next = self.now + self.sample_interval_ms;
-                    self.push(next, Entry::SampleAll);
-                }
+                Entry::SampleAll => self.sample_all(),
             }
         }
         self.now = self.now.max(until_ms);
+    }
+
+    /// Samples every live actor's observed cluster size (in slot order)
+    /// and schedules the next sweep. Expects `self.now` to be the sweep
+    /// time.
+    fn sample_all(&mut self) {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot.started && !self.net.is_crashed(idx) {
+                if let Some(v) = slot.actor.sample() {
+                    self.samples.push(Sample {
+                        t_ms: self.now,
+                        actor: idx,
+                        value: v,
+                    });
+                }
+            }
+        }
+        let next = self.now + self.sample_interval_ms;
+        self.push(next, Entry::SampleAll);
+    }
+
+    fn dispatch_tick(&mut self, idx: usize) {
+        let mut out = self.take_outbox();
+        self.slots[idx].actor.on_tick(self.now, &mut out);
+        self.route_outbox(idx, out);
+        let next = self.now + self.tick_interval_ms;
+        self.push(next, Entry::Tick { idx });
+    }
+}
+
+impl<A: Actor + Send> Simulation<A>
+where
+    A::Msg: Send,
+{
+    /// Runs the simulation until virtual time `until_ms`.
+    ///
+    /// With `threads <= 1` (the default) this is the sequential
+    /// reference engine. With more threads, actors are sharded across
+    /// cores and advanced in conservative-lookahead epochs; the
+    /// resulting trace — every delivery, RNG draw, counter, and sample
+    /// — is bit-identical to the sequential run.
+    pub fn run_until(&mut self, until_ms: u64) {
+        if self.threads <= 1 || self.slots.len() <= 1 {
+            self.run_until_seq(until_ms);
+        } else {
+            self.run_until_par(until_ms);
+        }
     }
 
     /// Runs until `until_ms`, checking `pred` every virtual second;
@@ -585,13 +687,486 @@ impl<A: Actor> Simulation<A> {
         None
     }
 
-    fn dispatch_tick(&mut self, idx: usize) {
-        let mut out = self.take_outbox();
-        self.slots[idx].actor.on_tick(self.now, &mut out);
-        self.route_outbox(idx, out);
-        let next = self.now + self.tick_interval_ms;
-        self.push(next, Entry::Tick { idx });
+    /// The sharded engine (`threads >= 2`).
+    ///
+    /// The run advances in epochs. Each epoch drains every queued
+    /// actor event in the window `[T, T + H)`, where `T` is the next
+    /// event time and the lookahead `H` is the minimum one-way link
+    /// latency ([`NetworkModel::min_latency_ms`], clipped to the tick
+    /// interval and floored at 1 ms): nothing processed inside the
+    /// window can schedule new work before `T + H`, so the window's
+    /// event set is closed and can execute out of order. Events are
+    /// bucketed by owning shard (a contiguous block partition of slot
+    /// indices) and each shard replays its bucket on its own core —
+    /// actor callbacks, per-actor traffic counters, message sizing —
+    /// recording what it did. The driving thread then merges the
+    /// records back in exact global `(time, seq)` order, replaying
+    /// every RNG draw (`route`, `maybe_duplicate`) and queue push in
+    /// the same sequence the sequential engine would have used, which
+    /// is what makes the trace bit-identical rather than merely
+    /// equivalent.
+    ///
+    /// Fault applications and sample sweeps touch global state (the
+    /// RNG, the fault tables, every slot), so they bound epochs and run
+    /// alone on the driving thread, exactly as in the sequential
+    /// engine.
+    fn run_until_par(&mut self, until_ms: u64) {
+        let nshards = self.threads.min(self.slots.len()).max(1);
+        let mut bufs: Vec<ShardBufs<A::Msg>> =
+            (0..nshards).map(|_| ShardBufs::default()).collect();
+        let mut shard_order: Vec<u32> = Vec::new();
+        let mut rec_cursor: Vec<usize> = vec![0; nshards];
+
+        loop {
+            let Some((at, entry, _src)) = self.queue.pop_traced(until_ms) else {
+                break;
+            };
+            match entry {
+                Entry::Fault(f) => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    self.apply_fault(f);
+                }
+                Entry::SampleAll => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    self.sample_all();
+                }
+                first => {
+                    let last_at =
+                        self.collect_epoch(at, first, until_ms, nshards, &mut bufs, &mut shard_order);
+                    self.execute_epoch(nshards, &mut bufs, &shard_order, &mut rec_cursor);
+                    self.events_processed += shard_order.len() as u64;
+                    self.now = last_at;
+                }
+            }
+        }
+        self.now = self.now.max(until_ms);
     }
+
+    /// Collects one epoch's batch: every queued actor event in
+    /// `[at0, at0 + H)` (clipped to `until_ms`), in global `(time, seq)`
+    /// order. A fault or sample sweep inside the window ends the batch
+    /// early (it is put back for the next iteration). Returns the last
+    /// batched event time.
+    fn collect_epoch(
+        &mut self,
+        at0: u64,
+        first: Entry<A::Msg>,
+        until_ms: u64,
+        nshards: usize,
+        bufs: &mut [ShardBufs<A::Msg>],
+        shard_order: &mut Vec<u32>,
+    ) -> u64 {
+        // With a zero minimum latency the window degenerates to a single
+        // millisecond; that still closes the batch, because anything a
+        // batched event generates at the same time gets a higher seq
+        // than the whole batch (it is pushed later) and lands in the
+        // *next* epoch — the same relative order the sequential engine
+        // produces.
+        let lookahead = self.net.min_latency_ms().min(self.tick_interval_ms).max(1);
+        let limit = (at0 + lookahead - 1).min(until_ms);
+        shard_order.clear();
+        for b in bufs.iter_mut() {
+            b.events.clear();
+        }
+        self.stage(at0, first, nshards, bufs, shard_order);
+        let mut last_at = at0;
+        while let Some((at, entry, src)) = self.queue.pop_traced(limit) {
+            match entry {
+                e @ (Entry::Fault(_) | Entry::SampleAll) => {
+                    self.queue.unpop(at, e, src);
+                    break;
+                }
+                e => {
+                    self.stage(at, e, nshards, bufs, shard_order);
+                    last_at = at;
+                }
+            }
+        }
+        last_at
+    }
+
+    /// Routes one popped event to its owning shard's bucket, resolving
+    /// everything the shard cannot look up itself (the sender's
+    /// endpoint lives in another shard's slot).
+    fn stage(
+        &self,
+        at: u64,
+        entry: Entry<A::Msg>,
+        nshards: usize,
+        bufs: &mut [ShardBufs<A::Msg>],
+        shard_order: &mut Vec<u32>,
+    ) {
+        let len = self.slots.len();
+        let (shard, ev) = match entry {
+            Entry::Start { idx } => (shard_of(len, nshards, idx), ShardEvent::Start { idx, at }),
+            Entry::Tick { idx } => (shard_of(len, nshards, idx), ShardEvent::Tick { idx, at }),
+            Entry::Deliver { dst, src, size, msg } => (
+                shard_of(len, nshards, dst as usize),
+                ShardEvent::Deliver {
+                    dst: dst as usize,
+                    from: self.slots[src as usize].addr,
+                    size,
+                    msg,
+                    at,
+                },
+            ),
+            Entry::Fault(_) | Entry::SampleAll => unreachable!("boundary events are never staged"),
+        };
+        bufs[shard].events.push(ev);
+        shard_order.push(shard as u32);
+    }
+
+    /// Executes one collected epoch: phase (a) runs every shard's actor
+    /// callbacks (in parallel when the batch is large enough to pay for
+    /// the fan-out), phase (b) merges the shard records sequentially in
+    /// global order, replaying RNG draws and queue pushes.
+    fn execute_epoch(
+        &mut self,
+        nshards: usize,
+        bufs: &mut [ShardBufs<A::Msg>],
+        shard_order: &[u32],
+        rec_cursor: &mut [usize],
+    ) {
+        // Phase (a): actor callbacks, disjoint state per shard, no RNG.
+        if shard_order.len() < self.par_batch_min || nshards == 1 {
+            // Small epoch: thread fan-out would cost more than the
+            // work. Same code, same results (shards are independent in
+            // this phase), run serially — the whole slice stands in for
+            // every shard's block with `first = 0`.
+            let Simulation {
+                slots,
+                net,
+                by_addr,
+                tick_interval_ms,
+                ..
+            } = self;
+            for b in bufs.iter_mut() {
+                process_shard_events(slots, 0, net, by_addr, *tick_interval_ms, b);
+            }
+        } else {
+            let len = self.slots.len();
+            let Simulation {
+                slots,
+                net,
+                by_addr,
+                tick_interval_ms,
+                ..
+            } = self;
+            let net: &NetworkModel = net;
+            let by_addr: &DetHashMap<Endpoint, usize> = by_addr;
+            let tick = *tick_interval_ms;
+            // Split the slot array into per-shard blocks (shard s owns
+            // `shard_of(i) == s`, a contiguous range).
+            let mut blocks: Vec<(usize, &mut [Slot<A>])> = Vec::with_capacity(nshards);
+            let mut rest: &mut [Slot<A>] = slots.as_mut_slice();
+            let mut start = 0usize;
+            for s in 0..nshards {
+                let span = shard_span(len, nshards, s);
+                let (head, tail) = rest.split_at_mut(span);
+                blocks.push((start, head));
+                start += span;
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                let mut parts = blocks.into_iter().zip(bufs.iter_mut());
+                let (my_block, my_bufs) = parts.next().expect("shard 0 exists");
+                for ((first, block), b) in parts {
+                    scope.spawn(move || process_shard_events(block, first, net, by_addr, tick, b));
+                }
+                // The driving thread is shard 0's worker.
+                process_shard_events(my_block.1, my_block.0, net, by_addr, tick, my_bufs);
+            });
+        }
+
+        // Phase (b): sequential merge in global (time, seq) order. Each
+        // record replays exactly the route/duplicate draws and queue
+        // pushes the sequential engine performed at that point, so the
+        // RNG stream and the seq assignment are preserved bit for bit.
+        let recs: Vec<Vec<EventRec>> = bufs
+            .iter_mut()
+            .map(|b| std::mem::take(&mut b.recs))
+            .collect();
+        let mut msgs: Vec<_> = bufs.iter_mut().map(|b| b.msgs.drain(..)).collect();
+        for c in rec_cursor.iter_mut() {
+            *c = 0;
+        }
+        for &sh in shard_order {
+            let sh = sh as usize;
+            let rec = recs[sh][rec_cursor[sh]];
+            rec_cursor[sh] += 1;
+            let src = rec.actor as usize;
+            for _ in 0..rec.n_msgs {
+                let m = msgs[sh].next().expect("every recorded message is merged");
+                let dst = m.dst as usize;
+                if let Some(latency) = self.net.route(src, dst) {
+                    // Duplicate first, original second — the sequential
+                    // engine's push order (see `route_outbox`).
+                    if let Some(dup_latency) = self.net.maybe_duplicate(src, dst) {
+                        self.queue.push(
+                            rec.at + m.delay + dup_latency,
+                            Entry::Deliver {
+                                dst: m.dst,
+                                src: rec.actor,
+                                size: m.size,
+                                msg: m.msg.clone(),
+                            },
+                        );
+                    }
+                    self.queue.push(
+                        rec.at + m.delay + latency,
+                        Entry::Deliver {
+                            dst: m.dst,
+                            src: rec.actor,
+                            size: m.size,
+                            msg: m.msg,
+                        },
+                    );
+                }
+            }
+            if rec.next_tick != NO_TICK {
+                self.queue.push(rec.next_tick, Entry::Tick { idx: src });
+            }
+        }
+        drop(msgs);
+        for (b, r) in bufs.iter_mut().zip(recs) {
+            b.recs = r;
+        }
+    }
+}
+
+/// `EventRec::next_tick` sentinel: the event schedules no tick.
+const NO_TICK: u64 = u64::MAX;
+
+/// One event routed to a shard: the queue's `Entry` with everything the
+/// owning shard cannot resolve itself (the sender's endpoint lives in
+/// another shard's slot) already looked up.
+enum ShardEvent<M> {
+    /// First activation of an actor.
+    Start { idx: usize, at: u64 },
+    /// Periodic tick.
+    Tick { idx: usize, at: u64 },
+    /// Message delivery to `dst`.
+    Deliver {
+        dst: usize,
+        from: Endpoint,
+        size: u32,
+        msg: M,
+        at: u64,
+    },
+}
+
+/// What one event did during phase (a), recorded for the sequential
+/// merge: `n_msgs` routable messages appended to the shard's message
+/// list, plus an optional tick reschedule.
+#[derive(Clone, Copy)]
+struct EventRec {
+    /// Slot index of the actor that processed the event.
+    actor: u32,
+    /// Virtual time of the event.
+    at: u64,
+    /// Messages appended to the shard's `msgs` list by this event.
+    n_msgs: u32,
+    /// Absolute time of the next tick to schedule, or [`NO_TICK`].
+    next_tick: u64,
+}
+
+impl EventRec {
+    /// A record for an event that was gated off (crashed or unstarted
+    /// recipient): nothing to replay.
+    fn inert(actor: usize, at: u64) -> EventRec {
+        EventRec {
+            actor: actor as u32,
+            at,
+            n_msgs: 0,
+            next_tick: NO_TICK,
+        }
+    }
+}
+
+/// One message produced during phase (a): destination slot and wire
+/// size already resolved, latency (an RNG draw) deliberately not.
+struct OutMsg<M> {
+    dst: u32,
+    size: u32,
+    delay: u64,
+    msg: M,
+}
+
+/// Per-shard reusable buffers: the epoch's input events and the
+/// recorded outputs, all retained across epochs so the steady state
+/// allocates nothing.
+struct ShardBufs<M> {
+    events: Vec<ShardEvent<M>>,
+    recs: Vec<EventRec>,
+    msgs: Vec<OutMsg<M>>,
+    sizes: Vec<u32>,
+    outbox: Vec<(Endpoint, M, u64)>,
+}
+
+impl<M> Default for ShardBufs<M> {
+    fn default() -> Self {
+        ShardBufs {
+            events: Vec::new(),
+            recs: Vec::new(),
+            msgs: Vec::new(),
+            sizes: Vec::new(),
+            outbox: Vec::new(),
+        }
+    }
+}
+
+/// Size of shard `s`'s contiguous slot block under an even split of
+/// `len` slots into `nshards` blocks (the first `len % nshards` blocks
+/// take the remainder).
+fn shard_span(len: usize, nshards: usize, s: usize) -> usize {
+    len / nshards + usize::from(s < len % nshards)
+}
+
+/// The shard owning slot `idx` — the inverse of the [`shard_span`]
+/// block layout. Deterministic in `(len, nshards, idx)` only.
+fn shard_of(len: usize, nshards: usize, idx: usize) -> usize {
+    let base = len / nshards;
+    let rem = len % nshards;
+    let cut = (base + 1) * rem;
+    if idx < cut {
+        idx / (base + 1)
+    } else {
+        rem + (idx - cut) / base
+    }
+}
+
+/// Phase (a) of an epoch, one shard's worth: runs the actor callbacks
+/// for every staged event, in stage order, mutating only this shard's
+/// slots (`slots[idx - first]`), and records everything the sequential
+/// merge must replay. Draws no randomness — the network model is read
+/// only for crash gating, so concurrent shards observe identical state.
+fn process_shard_events<A: Actor>(
+    slots: &mut [Slot<A>],
+    first: usize,
+    net: &NetworkModel,
+    by_addr: &DetHashMap<Endpoint, usize>,
+    tick_interval_ms: u64,
+    bufs: &mut ShardBufs<A::Msg>,
+) {
+    bufs.recs.clear();
+    bufs.msgs.clear();
+    let mut events = std::mem::take(&mut bufs.events);
+    for ev in events.drain(..) {
+        match ev {
+            ShardEvent::Start { idx, at } => {
+                if net.is_crashed(idx) {
+                    bufs.recs.push(EventRec::inert(idx, at));
+                } else {
+                    let slot = &mut slots[idx - first];
+                    slot.started = true;
+                    let mut out = Outbox {
+                        msgs: std::mem::take(&mut bufs.outbox),
+                    };
+                    slot.actor.on_tick(at, &mut out);
+                    record_outbox::<A>(slot, idx, at, out, at + tick_interval_ms, by_addr, bufs);
+                }
+            }
+            ShardEvent::Tick { idx, at } => {
+                let slot = &mut slots[idx - first];
+                if slot.started && !net.is_crashed(idx) {
+                    let mut out = Outbox {
+                        msgs: std::mem::take(&mut bufs.outbox),
+                    };
+                    slot.actor.on_tick(at, &mut out);
+                    record_outbox::<A>(slot, idx, at, out, at + tick_interval_ms, by_addr, bufs);
+                } else {
+                    // The tick chain dies with the actor, exactly as in
+                    // the sequential engine (no reschedule).
+                    bufs.recs.push(EventRec::inert(idx, at));
+                }
+            }
+            ShardEvent::Deliver {
+                dst,
+                from,
+                size,
+                msg,
+                at,
+            } => {
+                let slot = &mut slots[dst - first];
+                if slot.started && !net.is_crashed(dst) {
+                    let sz = size as u64;
+                    {
+                        let t = &mut slot.traffic;
+                        t.roll_to(at / 1_000);
+                        t.bytes_in += sz;
+                        t.msgs_in += 1;
+                        t.sec_in += sz;
+                    }
+                    let mut out = Outbox {
+                        msgs: std::mem::take(&mut bufs.outbox),
+                    };
+                    slot.actor.on_message(from, msg, at, &mut out);
+                    record_outbox::<A>(slot, dst, at, out, NO_TICK, by_addr, bufs);
+                } else {
+                    bufs.recs.push(EventRec::inert(dst, at));
+                }
+            }
+        }
+    }
+    bufs.events = events;
+}
+
+/// The shard-local half of `route_outbox`: sizes the messages
+/// (adjacent fan-out copies sharing a payload are measured once),
+/// accounts the sender's egress traffic, resolves destinations, and
+/// queues `OutMsg`s for the merge. The RNG half (`route`,
+/// `maybe_duplicate`, the actual pushes) runs later on the driving
+/// thread, in global order.
+fn record_outbox<A: Actor>(
+    slot: &mut Slot<A>,
+    actor: usize,
+    at: u64,
+    mut out: Outbox<A::Msg>,
+    next_tick: u64,
+    by_addr: &DetHashMap<Endpoint, usize>,
+    bufs: &mut ShardBufs<A::Msg>,
+) {
+    bufs.sizes.clear();
+    for i in 0..out.msgs.len() {
+        let size = if i > 0 && A::same_size(&out.msgs[i - 1].1, &out.msgs[i].1) {
+            bufs.sizes[i - 1]
+        } else {
+            A::msg_size(&out.msgs[i].1) as u32
+        };
+        bufs.sizes.push(size);
+    }
+    let mut n_msgs = 0u32;
+    for (i, (to, msg, delay)) in out.msgs.drain(..).enumerate() {
+        let size = bufs.sizes[i] as u64;
+        {
+            // Senders pay for every transmission, deliverable or not —
+            // identical to the sequential accounting.
+            let t = &mut slot.traffic;
+            t.roll_to(at / 1_000);
+            t.bytes_out += size;
+            t.msgs_out += 1;
+            t.sec_out += size;
+        }
+        let Some(&dst) = by_addr.get(&to) else {
+            continue; // Unknown destination: dropped, no RNG consumed.
+        };
+        bufs.msgs.push(OutMsg {
+            dst: dst as u32,
+            size: size as u32,
+            delay,
+            msg,
+        });
+        n_msgs += 1;
+    }
+    bufs.outbox = out.msgs;
+    bufs.recs.push(EventRec {
+        actor: actor as u32,
+        at,
+        n_msgs,
+        next_tick,
+    });
 }
 
 #[cfg(test)]
@@ -773,6 +1348,106 @@ mod tests {
         // sub-2ms LAN default would produce, but traffic still flows.
         assert!(sim.actor(0).pings_got > 0);
         assert!(sim.traffic(0).msgs_in >= 50);
+    }
+
+    #[test]
+    fn shard_layout_is_a_partition() {
+        for len in [1usize, 2, 5, 64, 257] {
+            for nshards in 1..=8usize.min(len) {
+                let mut start = 0;
+                for s in 0..nshards {
+                    let span = shard_span(len, nshards, s);
+                    assert!(span >= 1, "empty shard {s} of {nshards} over {len}");
+                    for idx in start..start + span {
+                        assert_eq!(shard_of(len, nshards, idx), s, "len {len} shards {nshards}");
+                    }
+                    start += span;
+                }
+                assert_eq!(start, len, "blocks must cover all slots");
+            }
+        }
+    }
+
+    /// Full trace of a counter sim: per-actor `(pings_sent, pings_got)`,
+    /// event count, traffic totals, per-second rates, and samples.
+    type CounterTrace = (
+        Vec<(u64, u64)>,
+        u64,
+        Vec<(u64, u64, u64, u64)>,
+        Vec<Vec<(u64, u64)>>,
+        Vec<Sample>,
+    );
+
+    fn counter_trace(sim: &Simulation<Counter>) -> CounterTrace {
+        (
+            (0..sim.len()).map(|i| (sim.actor(i).pings_sent, sim.actor(i).pings_got)).collect(),
+            sim.events_processed(),
+            (0..sim.len())
+                .map(|i| {
+                    let t = sim.traffic(i);
+                    (t.msgs_in, t.msgs_out, t.bytes_in, t.bytes_out)
+                })
+                .collect(),
+            (0..sim.len()).map(|i| sim.traffic(i).per_second.clone()).collect(),
+            sim.samples().to_vec(),
+        )
+    }
+
+    /// A 6-counter ring with a fault schedule touching every RNG-drawing
+    /// fault class, run to 30 s.
+    fn faulted_ring(seed: u64, threads: usize, force_fanout: bool) -> Simulation<Counter> {
+        let mut sim: Simulation<Counter> = Simulation::new(seed, 100);
+        for i in 0..6 {
+            let peers = vec![ep((i + 1) % 6), ep((i + 2) % 6)];
+            sim.add_actor(ep(i), Counter { peers, pings_sent: 0, pings_got: 0 });
+        }
+        sim.set_threads(threads);
+        if force_fanout {
+            sim.set_parallel_batch_min(1);
+        }
+        sim.schedule_fault(2_000, Fault::IngressDrop(0, 0.4));
+        sim.schedule_fault(4_000, Fault::Duplicate(0.3));
+        sim.schedule_fault(6_000, Fault::SlowNode(3, 5.0));
+        sim.schedule_fault(8_000, Fault::Reorder(0.5, 30));
+        sim.schedule_fault(10_000, Fault::Crash(5));
+        sim.schedule_fault(12_000, Fault::LinkLoss(1, 2, 0.6));
+        sim.schedule_fault(
+            14_000,
+            Fault::Latency(crate::net::LatencyDist::Exponential { base_ms: 2.0, mean_ms: 3.0 }),
+        );
+        sim.run_until(30_000);
+        sim
+    }
+
+    #[test]
+    fn parallel_trace_is_bit_identical_to_sequential() {
+        let oracle = counter_trace(&faulted_ring(91, 1, false));
+        for threads in [2usize, 3, 4] {
+            // Inline path (small epochs stay on the driving thread)...
+            assert_eq!(counter_trace(&faulted_ring(91, threads, false)), oracle, "{threads} threads, inline");
+            // ...and the cross-thread fan-out path must agree too.
+            assert_eq!(counter_trace(&faulted_ring(91, threads, true)), oracle, "{threads} threads, fan-out");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_mid_run_joiners() {
+        let run = |threads: usize| {
+            let mut sim: Simulation<Counter> = Simulation::new(17, 100);
+            for i in 0..4 {
+                let peers = vec![ep((i + 1) % 4)];
+                sim.add_actor(ep(i), Counter { peers, pings_sent: 0, pings_got: 0 });
+            }
+            sim.set_threads(threads);
+            sim.set_parallel_batch_min(1);
+            sim.run_until(5_000);
+            // A joiner added between runs, starting 2 s later.
+            sim.add_actor_at(ep(4), Counter { peers: vec![ep(0)], pings_sent: 0, pings_got: 0 }, 7_000);
+            sim.with_actor(0, |a, _| a.peers.push(ep(4)));
+            sim.run_until(20_000);
+            counter_trace(&sim)
+        };
+        assert_eq!(run(1), run(3));
     }
 
     #[test]

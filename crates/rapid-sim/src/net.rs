@@ -89,6 +89,11 @@ pub struct NetworkModel {
     /// Directional blackholes `(src, dst)`: all packets vanish.
     blackholes: DetHashSet<(usize, usize)>,
     crashed: DetHashSet<usize>,
+    /// Cached "no fault is configured anywhere" flag, refreshed by every
+    /// fault mutator: lets [`route`](Self::route) skip all six per-class
+    /// checks with a single branch on the (overwhelmingly common)
+    /// zero-fault link.
+    quiescent: bool,
 }
 
 impl NetworkModel {
@@ -108,6 +113,7 @@ impl NetworkModel {
             reorder_extra_ms: 0,
             blackholes: DetHashSet::default(),
             crashed: DetHashSet::default(),
+            quiescent: true,
         }
     }
 
@@ -115,6 +121,42 @@ impl NetworkModel {
     /// draw. Every link (healthy or degraded) samples from it.
     pub fn set_latency(&mut self, dist: LatencyDist) {
         self.latency = Some(dist);
+    }
+
+    /// The minimum one-way latency any packet can experience, in whole
+    /// milliseconds — the conservative lookahead bound of the parallel
+    /// engine: every event an epoch generates lands at least this far in
+    /// the future.
+    ///
+    /// Every latency source only *adds* to the active distribution's
+    /// base (uniform jitter, exponential and Pareto tails are
+    /// non-negative; slow-node factors are `>= 1`; reordering adds
+    /// delay), and the final draw is `round()`ed, which is monotonic —
+    /// so `round(base)` lower-bounds every possible sample.
+    pub fn min_latency_ms(&self) -> u64 {
+        let base = match self.latency {
+            None => self.base_latency_ms,
+            Some(
+                LatencyDist::Uniform { base_ms, .. }
+                | LatencyDist::Exponential { base_ms, .. }
+                | LatencyDist::Pareto { base_ms, .. },
+            ) => base_ms,
+        };
+        base.max(0.0).round() as u64
+    }
+
+    /// Recomputes the zero-fault fast-path flag. Called by every fault
+    /// mutator; `dup_prob` is deliberately excluded (duplication is
+    /// decided in [`maybe_duplicate`](Self::maybe_duplicate), after
+    /// routing).
+    fn refresh_quiescent(&mut self) {
+        self.quiescent = self.crashed.is_empty()
+            && self.blackholes.is_empty()
+            && self.link_loss.is_empty()
+            && self.egress_drop.is_empty()
+            && self.ingress_drop.is_empty()
+            && self.slow.is_empty()
+            && self.reorder_prob <= 0.0;
     }
 
     /// Sets the one-way loss probability of a single link (`iptables`
@@ -125,6 +167,7 @@ impl NetworkModel {
         } else {
             self.link_loss.insert((src, dst), p.min(1.0));
         }
+        self.refresh_quiescent();
     }
 
     /// Multiplies the latency of every link touching `node` by `factor`
@@ -135,6 +178,7 @@ impl NetworkModel {
         } else {
             self.slow.insert(node, factor);
         }
+        self.refresh_quiescent();
     }
 
     /// Sets the probability that a delivered packet is duplicated once
@@ -148,6 +192,7 @@ impl NetworkModel {
     pub fn set_reordering(&mut self, p: f64, extra_ms: u64) {
         self.reorder_prob = p.clamp(0.0, 1.0);
         self.reorder_extra_ms = extra_ms;
+        self.refresh_quiescent();
     }
 
     /// Sets the fraction of packets dropped on a node's receive path
@@ -158,6 +203,7 @@ impl NetworkModel {
         } else {
             self.ingress_drop.insert(node, p.min(1.0));
         }
+        self.refresh_quiescent();
     }
 
     /// Sets the fraction of packets dropped on a node's send path
@@ -168,11 +214,13 @@ impl NetworkModel {
         } else {
             self.egress_drop.insert(node, p.min(1.0));
         }
+        self.refresh_quiescent();
     }
 
     /// Installs a directional blackhole: packets from `src` to `dst` vanish.
     pub fn blackhole(&mut self, src: usize, dst: usize) {
         self.blackholes.insert((src, dst));
+        self.refresh_quiescent();
     }
 
     /// Installs a bidirectional blackhole between two nodes (the "packet
@@ -180,16 +228,19 @@ impl NetworkModel {
     pub fn blackhole_pair(&mut self, a: usize, b: usize) {
         self.blackholes.insert((a, b));
         self.blackholes.insert((b, a));
+        self.refresh_quiescent();
     }
 
     /// Removes blackholes between `src` and `dst` (one direction).
     pub fn clear_blackhole(&mut self, src: usize, dst: usize) {
         self.blackholes.remove(&(src, dst));
+        self.refresh_quiescent();
     }
 
     /// Marks a node crashed: it neither sends nor receives from now on.
     pub fn crash(&mut self, node: usize) {
         self.crashed.insert(node);
+        self.refresh_quiescent();
     }
 
     /// Whether a node is crashed.
@@ -208,6 +259,7 @@ impl NetworkModel {
                 }
             }
         }
+        self.refresh_quiescent();
     }
 
     /// Routes one packet. Returns the one-way latency if it survives, or
@@ -219,6 +271,13 @@ impl NetworkModel {
     /// the exact RNG stream of the classic model — pinned traces and
     /// published figures stay bit-identical.
     pub fn route(&mut self, src: usize, dst: usize) -> Option<u64> {
+        // Zero-fault fast path: with nothing configured anywhere, the
+        // only work is the latency draw itself. `sample_latency` draws
+        // exactly what the general path below would (slow/reorder are
+        // unconfigured when quiescent), so the RNG stream is identical.
+        if self.quiescent {
+            return Some(self.sample_latency(src, dst));
+        }
         // Empty-fault fast paths: a healthy steady-state cluster routes
         // millions of packets per wall second, so each unconfigured fault
         // class must cost one branch, not a hash probe.
@@ -449,6 +508,66 @@ mod tests {
             (0..200).map(|i| net.route(i % 4, (i + 1) % 4)).collect::<Vec<_>>()
         };
         assert_eq!(classic, toured);
+    }
+
+    #[test]
+    fn min_latency_lower_bounds_every_draw() {
+        // The lookahead bound must hold under every latency source,
+        // including multipliers and reordering extras.
+        let dists = [
+            None,
+            Some(LatencyDist::Uniform { base_ms: 3.0, jitter_ms: 4.0 }),
+            Some(LatencyDist::Exponential { base_ms: 2.0, mean_ms: 7.0 }),
+            Some(LatencyDist::Pareto { base_ms: 10.0, scale_ms: 5.0, alpha: 1.2 }),
+        ];
+        for dist in dists {
+            let mut net = NetworkModel::lan(31);
+            if let Some(d) = dist {
+                net.set_latency(d);
+            }
+            net.set_slow_node(2, 3.5);
+            net.set_reordering(0.5, 20);
+            let floor = net.min_latency_ms();
+            for i in 0..2_000usize {
+                let lat = net.route(i % 4, (i + 1) % 4).expect("no drops configured");
+                assert!(lat >= floor, "draw {lat} under floor {floor} for {dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_latency_matches_active_distribution_base() {
+        let mut net = NetworkModel::lan(32);
+        assert_eq!(net.min_latency_ms(), 1, "LAN default: round(0.5 ms)");
+        net.set_latency(LatencyDist::Pareto { base_ms: 10.0, scale_ms: 5.0, alpha: 1.2 });
+        assert_eq!(net.min_latency_ms(), 10);
+        net.set_latency(LatencyDist::Uniform { base_ms: 0.2, jitter_ms: 1.0 });
+        assert_eq!(net.min_latency_ms(), 0, "sub-half-ms base rounds to zero");
+        net.set_latency(LatencyDist::Exponential { base_ms: -3.0, mean_ms: 1.0 });
+        assert_eq!(net.min_latency_ms(), 0, "negative base clamps to zero");
+    }
+
+    #[test]
+    fn quiescent_fast_path_preserves_the_rng_stream() {
+        // Toggling a fault on and off again re-enables the fast path;
+        // either way the draws must match a model that never left it.
+        let reference = {
+            let mut net = NetworkModel::lan(33);
+            (0..500).map(|i| net.route(i % 8, (i + 3) % 8)).collect::<Vec<_>>()
+        };
+        let toggled = {
+            let mut net = NetworkModel::lan(33);
+            net.crash(100); // far-away index: faults nothing we route
+            let first: Vec<_> = (0..250).map(|i| net.route(i % 8, (i + 3) % 8)).collect();
+            // (`crash` cannot be cleared; use a clearable fault instead)
+            let mut net2 = NetworkModel::lan(33);
+            net2.set_ingress_drop(100, 0.9);
+            net2.set_ingress_drop(100, 0.0);
+            let all: Vec<_> = (0..500).map(|i| net2.route(i % 8, (i + 3) % 8)).collect();
+            assert_eq!(first, reference[..250].to_vec(), "slow path matches");
+            all
+        };
+        assert_eq!(reference, toggled);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Property pin of the sharded engine: for *random* fault schedules the
+//! parallel engine must reproduce the sequential reference trace
+//! **bit-identically** — same per-second samples, same view-id chains,
+//! same event count, same per-actor traffic counters (totals and
+//! per-second rates) — at every thread count.
+//!
+//! The sequential engine (`threads = 1`) is the golden oracle; each case
+//! replays the identical schedule at 2 and 4 shards, both through the
+//! inline small-epoch path and with the cross-thread fan-out forced
+//! (`set_parallel_batch_min(1)`), so the scoped-thread code itself is
+//! exercised even when the epochs are small.
+
+use proptest::prelude::*;
+
+use rapid_core::config::ConfigId;
+use rapid_core::hash::StableHasher;
+use rapid_core::settings::Settings;
+use rapid_sim::cluster::{RapidActor, RapidClusterBuilder};
+use rapid_sim::{Fault, Simulation};
+
+/// One raw generated fault: `(at_ms, kind, a, b, p)` decoded against the
+/// cluster size. Covers every RNG-drawing fault class plus structural
+/// ones (crashes, blackholes), so the schedule stresses both the
+/// quiescent fast path and the full per-class gauntlet.
+type RawFault = (u64, u8, usize, usize, f64);
+
+fn decode(n: usize, (at, kind, a, b, p): RawFault) -> (u64, Fault) {
+    let a = a % n;
+    let other = (a + 1 + b % (n - 1)) % n;
+    let fault = match kind % 8 {
+        0 => Fault::Crash(a),
+        1 => Fault::IngressDrop(a, p),
+        2 => Fault::EgressDrop(a, p),
+        3 => Fault::LinkLoss(a, other, p),
+        4 => Fault::SlowNode(a, 1.0 + p * 4.0),
+        5 => Fault::Duplicate(p * 0.4),
+        6 => Fault::Reorder(p * 0.5, 10 + (b as u64 % 40)),
+        _ => Fault::BlackholePair(a, other),
+    };
+    (at, fault)
+}
+
+/// The full observable trace, folded to comparable values: event count,
+/// a fingerprint of every traffic counter (totals and per-second
+/// rates), all per-second samples, and every actor's view-id chain.
+fn trace(
+    sim: &Simulation<RapidActor>,
+) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>) {
+    let mut h = StableHasher::new("parallel-equivalence");
+    for i in 0..sim.len() {
+        let t = sim.traffic(i);
+        h.write_u64(t.msgs_in)
+            .write_u64(t.msgs_out)
+            .write_u64(t.bytes_in)
+            .write_u64(t.bytes_out)
+            .write_u64(t.per_second.len() as u64);
+        for &(b_in, b_out) in &t.per_second {
+            h.write_u64(b_in).write_u64(b_out);
+        }
+    }
+    let views = (0..sim.len())
+        .map(|i| {
+            sim.actor(i)
+                .as_node()
+                .map(|node| node.view_history().to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    (
+        sim.events_processed(),
+        h.finish(),
+        sim.samples().to_vec(),
+        views,
+    )
+}
+
+/// Builds an `n`-node static cluster, applies the schedule, runs to the
+/// horizon on `threads` shards and returns the folded trace.
+fn run(
+    n: usize,
+    seed: u64,
+    schedule: &[RawFault],
+    horizon: u64,
+    threads: usize,
+    force_fanout: bool,
+) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>) {
+    let settings = Settings {
+        threads,
+        ..Settings::default()
+    };
+    let mut sim = RapidClusterBuilder::new(n)
+        .settings(settings)
+        .seed(seed)
+        .build_static();
+    if force_fanout {
+        sim.set_parallel_batch_min(1);
+    }
+    for &raw in schedule {
+        let (at, fault) = decode(n, raw);
+        sim.schedule_fault(at % horizon, fault);
+    }
+    sim.run_until(horizon);
+    trace(&sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// N = 64: random schedules must fold to the oracle trace at 2 and
+    /// 4 shards, inline and with the fan-out forced.
+    #[test]
+    fn random_schedules_are_thread_count_invariant_n64(
+        seed in 1u64..1_000_000,
+        schedule in prop::collection::vec(
+            (500u64..20_000, 0u8..8, 0usize..64, 0usize..64, 0.05f64..0.9),
+            1..6,
+        ),
+    ) {
+        let horizon = 20_000;
+        let oracle = run(64, seed, &schedule, horizon, 1, false);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(
+                &run(64, seed, &schedule, horizon, threads, false),
+                &oracle,
+                "{} threads, inline path, seed {}", threads, seed
+            );
+            prop_assert_eq!(
+                &run(64, seed, &schedule, horizon, threads, true),
+                &oracle,
+                "{} threads, forced fan-out, seed {}", threads, seed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// N = 256: same invariant at a size where every epoch spans many
+    /// actors per shard (fewer cases — each run is ~256 nodes of
+    /// protocol traffic).
+    #[test]
+    fn random_schedules_are_thread_count_invariant_n256(
+        seed in 1u64..1_000_000,
+        schedule in prop::collection::vec(
+            (500u64..10_000, 0u8..8, 0usize..256, 0usize..256, 0.05f64..0.9),
+            1..5,
+        ),
+    ) {
+        let horizon = 10_000;
+        let oracle = run(256, seed, &schedule, horizon, 1, false);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(
+                &run(256, seed, &schedule, horizon, threads, true),
+                &oracle,
+                "{} threads, forced fan-out, seed {}", threads, seed
+            );
+        }
+    }
+}

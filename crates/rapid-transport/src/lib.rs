@@ -64,6 +64,13 @@ const MAX_FRAME: u32 = 32 * 1024 * 1024;
 /// or vice versa.
 const APP_FRAME_TAG: u8 = 0xA5;
 
+/// Listener idle-poll backoff bounds. The non-blocking accept loop
+/// sleeps `min` after the first empty poll and doubles up to `max`, so a
+/// bursty joiner wave is accepted with ~1 ms latency while an idle
+/// listener wakes only ten times a second instead of fifty.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
 /// A decoded inbound frame body: either a membership-protocol message or
 /// an opaque application payload.
 enum Inbound {
@@ -314,9 +321,15 @@ impl Runtime {
             listener.set_nonblocking(true)?;
             threads.push(std::thread::spawn(move || {
                 let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                // Idle-poll backoff: start fast so a fresh connection is
+                // picked up promptly, back off exponentially while the
+                // socket stays quiet so an idle node does not spin at a
+                // fixed cadence, and reset on every accepted connection.
+                let mut backoff = ACCEPT_BACKOFF_MIN;
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff = ACCEPT_BACKOFF_MIN;
                             let tx = inbound_tx.clone();
                             let stop = Arc::clone(&shutdown);
                             let _ = stream.set_nodelay(true);
@@ -342,7 +355,8 @@ impl Runtime {
                             }));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(20));
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                         }
                         Err(_) => break,
                     }
