@@ -69,6 +69,34 @@ fn bench_steady_state_allocations(_c: &mut Criterion) {
     );
 }
 
+/// Same guard with the flight recorder enabled: trace rings preallocate
+/// at construction and events are fixed-size `Copy` slots, so recording
+/// must not put allocations back on the hot loop. (Tracing *off* is the
+/// default `build_static`, covered by the guard above.)
+fn bench_steady_state_allocations_traced(_c: &mut Criterion) {
+    use rapid_core::settings::Settings;
+    use rapid_sim::cluster::RapidClusterBuilder;
+    let settings = Settings {
+        obs_ring: 256,
+        ..Settings::default()
+    };
+    let mut sim = RapidClusterBuilder::new(64).seed(5).settings(settings).build_static();
+    sim.run_until(30_000);
+    let events_before = sim.events_processed();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_until(90_000);
+    let events = sim.events_processed() - events_before;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let per_event = allocs as f64 / events as f64;
+    println!(
+        "bench steady_state_allocs_traced                  {allocs} allocs / {events} events = {per_event:.4}/event"
+    );
+    assert!(
+        per_event < 0.05,
+        "tracing must stay allocation-free on the hot loop, got {per_event:.4} allocs/event"
+    );
+}
+
 fn config(n: u128) -> Arc<Configuration> {
     Configuration::bootstrap(
         (1..=n)
@@ -198,6 +226,7 @@ fn bench_spectral(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_steady_state_allocations,
+    bench_steady_state_allocations_traced,
     bench_ring_build,
     bench_cut_detector_ingest,
     bench_vote_merge,

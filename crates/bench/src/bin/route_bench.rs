@@ -27,6 +27,7 @@
 
 use std::time::Instant;
 
+use rapid_core::obs::LatencyHist;
 use rapid_core::settings::Settings;
 use rapid_route::sim::{KvClusterBuilder, KvSimActor};
 use rapid_route::{ClientOp, KvOutcome, KvStats, PlacementConfig};
@@ -48,6 +49,9 @@ struct FaultResult {
     lost: u64,
     repairs: u64,
     repair_bytes: u64,
+    /// How long new owners waited for incoming partition state (virtual
+    /// ms), merged across the cluster: p50/p99/max.
+    handoff_wait: (u64, u64, u64),
 }
 
 fn spec() -> PlacementConfig {
@@ -184,6 +188,12 @@ fn measure_fault(
         }
     }
     let after = aggregate(sim);
+    let mut handoff_hist = LatencyHist::new();
+    for i in 0..sim.len() {
+        handoff_hist.merge(sim.actor(i).kv().handoff_hist());
+        handoff_hist.merge(sim.actor(i).kv().repair_hist());
+    }
+    let (h50, h99, _) = handoff_hist.percentiles();
     FaultResult {
         faults: faulted.len(),
         detect_ms,
@@ -194,6 +204,7 @@ fn measure_fault(
         lost: after.partitions_lost - before.partitions_lost,
         repairs: after.repairs_triggered - before.repairs_triggered,
         repair_bytes: after.repair_bytes - before.repair_bytes,
+        handoff_wait: (h50, h99, handoff_hist.max()),
     }
 }
 
@@ -208,6 +219,9 @@ fn fault_json(r: &FaultResult) -> Json {
         ("partitions_lost", Json::uint(r.lost)),
         ("repairs_triggered", Json::uint(r.repairs)),
         ("repair_bytes", Json::uint(r.repair_bytes)),
+        ("handoff_wait_p50_ms", Json::uint(r.handoff_wait.0)),
+        ("handoff_wait_p99_ms", Json::uint(r.handoff_wait.1)),
+        ("handoff_wait_max_ms", Json::uint(r.handoff_wait.2)),
     ])
 }
 
@@ -252,6 +266,14 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
     }
     let wall = t0.elapsed().as_secs_f64();
     let ops_per_sec = ops_done as f64 / wall.max(1e-9);
+    // Per-op latency (virtual ms, coordinator-observed) over everything
+    // submitted so far: the mergeable per-node histograms roll up into
+    // one cluster-wide distribution.
+    let mut op_hist = LatencyHist::new();
+    for i in 0..sim.len() {
+        op_hist.merge(sim.actor(i).kv().op_hist());
+    }
+    let (op_p50, op_p99, op_p999) = op_hist.percentiles();
     let steady_after = aggregate(&sim);
     let steady_repairs = steady_after.repairs_triggered - steady_before.repairs_triggered;
     let steady_repair_bytes = steady_after.repair_bytes - steady_before.repair_bytes;
@@ -292,6 +314,7 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
     let msgs_per_frame = steady_msgs as f64 / steady_frames.max(1) as f64;
     eprintln!(
         "n={n}: {acked}/{KEYS} loaded, {ops_per_sec:.0} ops/s wall, \
+         op latency p50={op_p50} p99={op_p99} p999={op_p999} (virtual ms), \
          {msgs_per_frame:.2} kv msgs/frame, \
          crash: {}B moved / {}ms unavailable, partition: {}B moved / {}ms unavailable",
         crash.bytes_moved, crash.unavailability_ms, partition.bytes_moved,
@@ -302,6 +325,11 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
         ("n", Json::uint(n as u64)),
         ("load_acked", Json::uint(acked as u64)),
         ("steady_ops_per_sec_wall", Json::Float(ops_per_sec)),
+        ("op_latency_count", Json::uint(op_hist.count())),
+        ("op_latency_p50_ms", Json::uint(op_p50)),
+        ("op_latency_p99_ms", Json::uint(op_p99)),
+        ("op_latency_p999_ms", Json::uint(op_p999)),
+        ("op_latency_max_ms", Json::uint(op_hist.max())),
         ("steady_repairs", Json::uint(steady_repairs)),
         ("steady_repair_bytes", Json::uint(steady_repair_bytes)),
         ("steady_kv_msgs", Json::uint(steady_msgs)),

@@ -5,7 +5,10 @@
 //! `scale_probe --bench-json [path]` instead runs the Rapid hot-path
 //! benchmark matrix (N ∈ {256, 1024, 4096, 16384}, K = 10) and writes
 //! `BENCH_sim.json` with events/sec for the current build next to the
-//! frozen baseline recorded from the seed implementation.
+//! frozen baseline recorded from the seed implementation. Each row also
+//! carries a `steady` object: events/sec over a 60 s-virtual window
+//! *after* convergence, metered separately so the bootstrap join storm
+//! does not skew the steady-state figure.
 //!
 //! `--no-batch` disables the per-peer wire outbox (one frame per logical
 //! message, the pre-batching framing) for A/B runs; batching is on by
@@ -35,7 +38,34 @@ const BASELINE: [(usize, Option<(u64, f64)>); 4] = [
     (16384, None),
 ];
 
-fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> (Option<u64>, u64, f64) {
+/// How much virtual time the steady-state window simulates after
+/// convergence (failure-detector probes, batching flushes, no churn).
+const STEADY_WINDOW_MS: u64 = 60_000;
+
+struct Probe {
+    /// Virtual convergence instant (`None` = did not converge).
+    converged_at: Option<u64>,
+    /// Events processed up to convergence (bootstrap included).
+    boot_events: u64,
+    /// Wall-clock seconds up to convergence.
+    boot_wall: f64,
+    /// Events processed during the post-convergence steady window.
+    steady_events: u64,
+    /// Wall-clock seconds of the steady window.
+    steady_wall: f64,
+}
+
+fn events_of(w: &World) -> u64 {
+    match w {
+        World::Swim(s) => s.events_processed(),
+        World::Zk(s) => s.events_processed(),
+        World::Rapid(s) | World::RapidC(s) => s.events_processed(),
+        World::RapidKv(kw) => kw.sim.events_processed(),
+        World::Akka(s) => s.events_processed(),
+    }
+}
+
+fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> Probe {
     let t0 = std::time::Instant::now();
     let settings = if batch_wire && threads <= 1 {
         None // Protocol defaults: identical construction path.
@@ -55,15 +85,22 @@ fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> (Optio
     };
     let mut w = World::bootstrap_cfg(kind, n, 42, settings, None)
         .expect("bootstrap world");
-    let t = w.converge(n, 1_200_000);
-    let events = match &w {
-        World::Swim(s) => s.events_processed(),
-        World::Zk(s) => s.events_processed(),
-        World::Rapid(s) | World::RapidC(s) => s.events_processed(),
-        World::RapidKv(kw) => kw.sim.events_processed(),
-        World::Akka(s) => s.events_processed(),
-    };
-    (t, events, t0.elapsed().as_secs_f64())
+    let converged_at = w.converge(n, 1_200_000);
+    let boot_events = events_of(&w);
+    let boot_wall = t0.elapsed().as_secs_f64();
+    // Steady state, separately metered: the join storm skews the
+    // bootstrap figure, so sizing `--full` runs (mostly steady time)
+    // wants the post-convergence rate.
+    let s0 = std::time::Instant::now();
+    let now = w.now();
+    w.run_until(now + STEADY_WINDOW_MS);
+    Probe {
+        converged_at,
+        boot_events,
+        boot_wall,
+        steady_events: events_of(&w) - boot_events,
+        steady_wall: s0.elapsed().as_secs_f64(),
+    }
 }
 
 fn bench_json(path: &str, batch_wire: bool, threads: usize) {
@@ -73,14 +110,17 @@ speedups on other hardware (or a loaded machine) mix in the hardware ratio"
     );
     let mut rows = String::new();
     for &(n, baseline) in &BASELINE {
-        let (t, events, wall) = probe(n, SystemKind::Rapid, batch_wire, threads);
-        assert!(t.is_some(), "bootstrap at n={n} must converge");
+        let p = probe(n, SystemKind::Rapid, batch_wire, threads);
+        assert!(p.converged_at.is_some(), "bootstrap at n={n} must converge");
+        let (events, wall) = (p.boot_events, p.boot_wall);
         let rate = events as f64 / wall;
+        let steady_rate = p.steady_events as f64 / p.steady_wall.max(1e-9);
         let (base_json, speedup_json) = match baseline {
             Some((base_events, base_wall)) => {
                 let base_rate = base_events as f64 / base_wall;
                 eprintln!(
-                    "n={n}: {events} events in {wall:.4}s = {rate:.0} events/s ({:.2}x baseline)",
+                    "n={n}: {events} events in {wall:.4}s = {rate:.0} events/s ({:.2}x baseline), \
+                     steady {steady_rate:.0} events/s",
                     rate / base_rate
                 );
                 (
@@ -92,7 +132,10 @@ speedups on other hardware (or a loaded machine) mix in the hardware ratio"
                 )
             }
             None => {
-                eprintln!("n={n}: {events} events in {wall:.4}s = {rate:.0} events/s (no seed baseline)");
+                eprintln!(
+                    "n={n}: {events} events in {wall:.4}s = {rate:.0} events/s (no seed baseline), \
+                     steady {steady_rate:.0} events/s"
+                );
                 ("null".to_string(), "null".to_string())
             }
         };
@@ -103,7 +146,10 @@ speedups on other hardware (or a loaded machine) mix in the hardware ratio"
             "    {{\"n\": {n}, \"k\": 10, \"workload\": \"bootstrap-to-convergence\", \
 \"baseline\": {base_json}, \
 \"current\": {{\"events\": {events}, \"wall_s\": {wall:.4}, \"events_per_s\": {rate:.1}}}, \
-\"speedup_events_per_s\": {speedup_json}}}"
+\"steady\": {{\"events\": {}, \"wall_s\": {:.4}, \"events_per_s\": {steady_rate:.1}, \
+\"window_virtual_ms\": {STEADY_WINDOW_MS}}}, \
+\"speedup_events_per_s\": {speedup_json}}}",
+            p.steady_events, p.steady_wall
         ));
     }
     let json = format!(
@@ -144,14 +190,15 @@ fn main() {
         "rc" => SystemKind::RapidC,
         _ => SystemKind::Rapid,
     };
-    let (t, events, wall) = probe(n, kind, batch_wire, threads);
+    let p = probe(n, kind, batch_wire, threads);
     eprintln!(
-        "{} n={}: virtual={:?}s wall={:.4}s events={} threads={}",
+        "{} n={}: virtual={:?}s wall={:.4}s events={} steady={:.0} events/s threads={}",
         kind.label(),
         n,
-        t.map(|x| x / 1000),
-        wall,
-        events,
+        p.converged_at.map(|x| x / 1000),
+        p.boot_wall,
+        p.boot_events,
+        p.steady_events as f64 / p.steady_wall.max(1e-9),
         threads
     );
 }

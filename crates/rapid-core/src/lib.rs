@@ -72,6 +72,10 @@ pub mod settings;
 pub mod util;
 pub mod wire;
 
+/// Observability primitives (latency histograms, flight-recorder trace
+/// rings) — re-exported so hosts don't need a direct `rapid-obs` dep.
+pub use rapid_obs as obs;
+
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{

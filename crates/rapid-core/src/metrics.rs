@@ -4,6 +4,8 @@
 //! where encoding happens; protocol-event counters are maintained by the
 //! node itself. Table 2 of the paper is regenerated from these counters.
 
+use rapid_obs::LatencyHist;
+
 /// Counters exposed by every Rapid node.
 #[derive(Clone, Debug, Default)]
 pub struct NodeMetrics {
@@ -34,6 +36,11 @@ pub struct NodeMetrics {
     pub classic_decisions: u64,
     /// Total view changes installed.
     pub view_changes: u64,
+    /// Per-view latency from the first alert this node applied in a
+    /// configuration to installing that configuration's successor, on
+    /// the node's own clock (virtual ms in the simulator) — mergeable
+    /// across nodes for a cluster-wide detection→install distribution.
+    pub detect_to_install: LatencyHist,
 }
 
 #[cfg(test)]

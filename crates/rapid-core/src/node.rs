@@ -17,6 +17,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use rapid_obs::{EventKind, TraceRing};
+
 use crate::alert::{Alert, EdgeStatus};
 use crate::broadcast::{BroadcastMode, Disseminator};
 use crate::config::{ConfigId, Configuration, Member};
@@ -139,6 +141,13 @@ pub struct Node {
     /// Reusable fresh-alert index buffer for gossip ingest (no per-message
     /// allocation).
     scratch_fresh: Vec<u32>,
+    /// Flight recorder: the last `settings.obs_ring` protocol events
+    /// (capacity 0 = recording off). Filled on this node's own event
+    /// stream, which is identical across `threads` values.
+    trace: TraceRing,
+    /// When the first alert of the current configuration was applied —
+    /// the origin of `metrics.detect_to_install`.
+    first_alert_at: Option<u64>,
 }
 
 impl Node {
@@ -223,6 +232,8 @@ impl Node {
             view_log: Vec::new(),
             outbox: Outbox::new(settings.batch_wire),
             scratch_fresh: Vec::new(),
+            trace: TraceRing::new(settings.obs_ring),
+            first_alert_at: None,
             config: Arc::clone(&config),
             settings,
         };
@@ -284,6 +295,11 @@ impl Node {
     /// Read access to the cut detector (diagnostics and tests).
     pub fn cut_state(&self) -> &CutDetector {
         &self.cut
+    }
+
+    /// The flight-recorder ring (empty unless `Settings::obs_ring > 0`).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
     }
 
     // ------------------------------------------------------------------
@@ -453,6 +469,7 @@ impl Node {
         self.status = NodeStatus::Active;
         self.join = None;
         self.install(Arc::clone(&cfg));
+        self.trace.push(self.now, EventKind::Joined, cfg.id().0, 0);
         out.push(Action::Joined { config: cfg });
     }
 
@@ -465,6 +482,7 @@ impl Node {
         //    rest of this tick's traffic through the shared outbox).
         self.fd.tick(self.now, &mut self.outbox);
         for (id, addr) in self.fd.take_faulty() {
+            self.trace.push(self.now, EventKind::ProbeTimeout, id.digest(), 0);
             self.originate_remove_alerts(id, addr);
         }
 
@@ -505,6 +523,12 @@ impl Node {
             return false;
         }
         self.metrics.alerts_originated += 1;
+        self.trace.push(
+            self.now,
+            EventKind::AlertOriginated,
+            alert.subject_id.digest(),
+            (alert.status == EdgeStatus::Up) as u64,
+        );
         self.apply_alert(&alert);
         true
     }
@@ -553,6 +577,7 @@ impl Node {
             }
             if echoed {
                 self.metrics.reinforcements += 1;
+                self.trace.push(self.now, EventKind::Reinforce, s.id.digest(), 0);
             }
         }
     }
@@ -575,6 +600,13 @@ impl Node {
         }
         if self.cut.record(alert, self.now) {
             self.metrics.alerts_applied += 1;
+            self.first_alert_at.get_or_insert(self.now);
+            self.trace.push(
+                self.now,
+                EventKind::AlertApplied,
+                alert.subject_id.digest(),
+                (alert.status == EdgeStatus::Up) as u64,
+            );
         }
     }
 
@@ -602,6 +634,9 @@ impl Node {
                 self.now,
             );
             self.metrics.implicit_alerts += applied as u64;
+            if applied > 0 {
+                self.trace.push(self.now, EventKind::ImplicitAlert, applied as u64, 0);
+            }
         }
 
         // Propose and cast the (single) fast-path vote.
@@ -609,6 +644,8 @@ impl Node {
             if let Some(p) = self.cut.proposal() {
                 let p = self.cap_bootstrap_proposal(p);
                 self.metrics.proposals += 1;
+                self.trace
+                    .push(self.now, EventKind::CutProposal, self.config.id().0, p.len() as u64);
                 let shared = Arc::new(p.clone());
                 let state = self.fast.vote(p).expect("first vote must be accepted");
                 self.classic.record_fast_vote(Arc::clone(&shared));
@@ -750,13 +787,18 @@ impl Node {
         let (joined, removed) = proposal.partition_ids();
         if fast_path {
             self.metrics.fast_decisions += 1;
+            self.trace
+                .push(self.now, EventKind::FastDecision, prev.0, proposal.len() as u64);
         } else {
             self.metrics.classic_decisions += 1;
+            self.trace
+                .push(self.now, EventKind::ClassicDecision, prev.0, proposal.len() as u64);
         }
         self.metrics.view_changes += 1;
         let pending = std::mem::take(&mut self.pending_joiners);
         if removed.contains(&self.me.id) {
             self.status = NodeStatus::Kicked;
+            self.trace.push(self.now, EventKind::Kicked, prev.0, 0);
             out.push(Action::Kicked);
             return;
         }
@@ -810,6 +852,13 @@ impl Node {
         self.fd.set_subjects(subjects, self.now);
         self.diss.set_view(&cfg, &self.me.addr);
         self.view_log.push(cfg.id());
+        if let Some(t0) = self.first_alert_at.take() {
+            self.metrics
+                .detect_to_install
+                .record(self.now.saturating_sub(t0));
+        }
+        self.trace
+            .push(self.now, EventKind::ViewInstall, cfg.id().0, cfg.len() as u64);
         self.config = cfg;
     }
 
@@ -821,6 +870,7 @@ impl Node {
         if !cfg.contains(self.me.id) {
             // The cluster moved on without us: logically depart (§4.3).
             self.status = NodeStatus::Kicked;
+            self.trace.push(self.now, EventKind::Kicked, self.config.id().0, 0);
             out.push(Action::Kicked);
             return;
         }

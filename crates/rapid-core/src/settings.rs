@@ -78,6 +78,16 @@ pub struct Settings {
     /// either way, so this is purely a wall-clock knob. Ignored by the
     /// real (wall-clock) driver.
     pub threads: usize,
+
+    /// Per-node flight-recorder capacity: each node keeps the last
+    /// `obs_ring` protocol trace events in a preallocated ring buffer
+    /// (probe timeouts, alerts, proposals, decisions, view installs).
+    /// `0` (the default) disables recording entirely — the hot path
+    /// reduces to one predictable branch, keeping benchmarks and the
+    /// steady-state allocation guard unaffected. Recording happens per
+    /// node on its own event stream, which is identical across
+    /// `threads` values, so enabling it never perturbs determinism.
+    pub obs_ring: usize,
 }
 
 impl Default for Settings {
@@ -104,6 +114,7 @@ impl Default for Settings {
             use_gossip_broadcast: true,
             batch_wire: true,
             threads: 1,
+            obs_ring: 0,
         }
     }
 }

@@ -1,0 +1,274 @@
+//! A log-bucketed, mergeable latency histogram.
+//!
+//! Bucket layout (`SUB_BITS = 2`, i.e. 4 sub-buckets per power of two):
+//!
+//! * values `0..8` land in their own exact bucket (`index = value`);
+//! * a larger value with most-significant bit `m` lands in
+//!   `(m - 1) * 4 + sub`, where `sub` is the next two bits below `m` —
+//!   so every octave splits into 4 equal sub-buckets.
+//!
+//! The scheme is seamless (bucket upper bounds are strictly increasing,
+//! bucket 7's bound is 7, bucket 8's lower bound is 8) and covers all of
+//! `u64` in [`BUCKETS`] = 252 buckets. A quantile query returns the
+//! *upper bound* of the bucket holding the requested rank, clamped to
+//! the recorded maximum: the answer is never below the true quantile and
+//! overshoots by at most one sub-bucket width (a 25% relative bound,
+//! far below the run-to-run noise of any real latency measurement).
+//!
+//! Everything is integer arithmetic — no floats touch the record or
+//! query path — so output is byte-stable across platforms and runs.
+
+/// Sub-bucket resolution: 2 bits = 4 sub-buckets per power of two.
+const SUB_BITS: u32 = 2;
+/// Values below this get exact buckets.
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1);
+/// Total buckets needed to cover `u64`: msb 63 maps to
+/// `(63 - 2 + 1) * 4 + 3 = 251`.
+pub const BUCKETS: usize = 252;
+
+/// An allocation-free mergeable histogram over `u64` values.
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile_ppm(500_000))
+            .field("p99", &self.quantile_ppm(990_000))
+            .finish()
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & ((1u64 << SUB_BITS) - 1)) as usize;
+        ((msb - SUB_BITS) as usize + 1) * (1 << SUB_BITS) + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value a quantile query reports).
+fn bucket_upper(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let msb = (i / (1 << SUB_BITS)) as u32 - 1 + SUB_BITS;
+        let sub = (i % (1 << SUB_BITS)) as u64;
+        let width = 1u64 << (msb - SUB_BITS);
+        ((1u64 << msb) | (sub * width)) + (width - 1)
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram. ~2 KB of inline state, zero heap.
+    pub const fn new() -> LatencyHist {
+        LatencyHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value. One array increment — no allocation, no floats.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Folds another histogram in (elementwise add). `merge(a, b)` is
+    /// indistinguishable from recording both input streams into one
+    /// histogram, in any order — the proptests pin this.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean in thousandths (floats never touch report output).
+    pub fn mean_milli(&self) -> u64 {
+        (self.sum.saturating_mul(1000)).checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The quantile at `ppm` parts-per-million (`500_000` = p50,
+    /// `990_000` = p99, `999_000` = p999), as the holding bucket's upper
+    /// bound clamped to the recorded max. 0 when empty. Integer-only,
+    /// hence byte-stable.
+    pub fn quantile_ppm(&self, ppm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the requested quantile, 1-based, ceiling division so
+        // p100 is the last value and p0 the first.
+        let rank = (self.count * ppm).div_ceil(1_000_000).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(p50, p99, p999)` in one call.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_ppm(500_000),
+            self.quantile_ppm(990_000),
+            self.quantile_ppm(999_000),
+        )
+    }
+
+    /// One JSONL summary line (`{"kind":"hist","name":...}`) — the shape
+    /// the scenario trace dump and the benches share.
+    pub fn summary_jsonl(&self, name: &str) -> String {
+        let (p50, p99, p999) = self.percentiles();
+        format!(
+            "{{\"kind\":\"hist\",\"name\":\"{name}\",\"count\":{},\"min\":{},\"max\":{},\"p50\":{p50},\"p99\":{p99},\"p999\":{p999}}}",
+            self.count,
+            self.min(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_seamless_and_monotone() {
+        // Every bucket's upper bound is strictly increasing, and
+        // `bucket_of(bucket_upper(i)) == i` for every bucket.
+        let mut prev = None;
+        for i in 0..BUCKETS {
+            let hi = bucket_upper(i);
+            if let Some(p) = prev {
+                assert!(hi > p, "bucket {i} upper {hi} <= previous {p}");
+            }
+            assert_eq!(bucket_of(hi), i, "upper bound of {i} maps back");
+            prev = Some(hi);
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(7), 7);
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let mut h = LatencyHist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        let p50 = h.quantile_ppm(500_000);
+        // True p50 is 50; the answer is its bucket's upper bound.
+        assert!((50..=63).contains(&p50), "p50={p50}");
+        let p100 = h.quantile_ppm(1_000_000);
+        assert_eq!(p100, 100, "p100 clamps to max");
+        assert_eq!(h.quantile_ppm(10_000), 1, "p1 of 1..=100 is 1");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile_ppm(500_000), 0);
+        assert_eq!(h.mean_milli(), 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for v in [0u64, 1, 7, 8, 9, 1000, 123_456_789] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 64, 65_535, u64::MAX] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for ppm in [1_000, 500_000, 990_000, 999_000, 1_000_000] {
+            assert_eq!(a.quantile_ppm(ppm), both.quantile_ppm(ppm), "ppm={ppm}");
+        }
+    }
+
+    #[test]
+    fn summary_jsonl_is_stable() {
+        let mut h = LatencyHist::new();
+        h.record(5);
+        h.record(10);
+        let line = h.summary_jsonl("kv_op_ms");
+        assert_eq!(line, h.summary_jsonl("kv_op_ms"));
+        assert!(line.starts_with("{\"kind\":\"hist\",\"name\":\"kv_op_ms\",\"count\":2"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Observability primitives shared by every layer of the repo.
+//!
+//! Two building blocks, both deterministic and allocation-free on the
+//! record path:
+//!
+//! * [`LatencyHist`] — a log-bucketed, mergeable histogram over `u64`
+//!   values (latencies in ms on the simulator's virtual clock, or in
+//!   wall-clock ms on the real transport). Recording is one array
+//!   increment; merging is an elementwise add, so per-node histograms
+//!   aggregate in any order to the same bytes — the property that keeps
+//!   percentile output bit-identical across `--threads 1/2/4`.
+//! * [`TraceRing`] — a bounded per-node ring of fixed-size
+//!   [`TraceEvent`]s (the protocol's causal chain: probe timeout → alert
+//!   → cut proposal → fast/classic decision → view install, plus the KV
+//!   op/handoff/repair lifecycle). The ring is preallocated once; a
+//!   capacity of 0 disables recording entirely and `push` is a single
+//!   predictable branch. JSONL is materialised only at dump time
+//!   ([`event_jsonl`]), never on the hot path.
+//!
+//! This crate is dependency-free on purpose: `rapid-core` sits below
+//! every other crate and records into these types directly.
+
+#![forbid(unsafe_code)]
+
+mod hist;
+mod trace;
+
+pub use hist::LatencyHist;
+pub use trace::{event_jsonl, EventKind, TraceEvent, TraceRing};

@@ -1,0 +1,113 @@
+//! Property pins for the histogram invariants the rest of the repo
+//! leans on: bucket monotonicity (larger values never report smaller
+//! quantiles), merge ≡ recording the concatenated stream, and the
+//! quantile bound (never below the true quantile, at most one
+//! sub-bucket above it).
+
+use proptest::prelude::*;
+use rapid_obs::LatencyHist;
+
+fn record_all(values: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Inclusive upper bound of the bucket holding `v` — 25% relative
+/// error ceiling of the bucket scheme, recomputed independently here.
+fn bucket_ceiling(v: u64) -> u64 {
+    if v < 8 {
+        return v;
+    }
+    let msb = 63 - v.leading_zeros();
+    let width = 1u64 << (msb - 2);
+    let sub = (v >> (msb - 2)) & 3;
+    ((1u64 << msb) | (sub * width)) + (width - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Recording a larger value never lowers any quantile: the bucket
+    /// mapping is monotone in the recorded value.
+    #[test]
+    fn bucket_mapping_is_monotone(
+        base in prop::collection::vec(any::<u64>(), 1..64),
+        lo in any::<u64>(),
+        hi in any::<u64>(),
+        ppm in 0u64..1_000_001,
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut with_lo = record_all(&base);
+        let mut with_hi = record_all(&base);
+        with_lo.record(lo);
+        with_hi.record(hi);
+        prop_assert!(
+            with_lo.quantile_ppm(ppm) <= with_hi.quantile_ppm(ppm),
+            "q{ppm} fell when {lo} was replaced by {hi}"
+        );
+    }
+
+    /// merge(a, b) is byte-for-byte the histogram of the concatenated
+    /// stream — in either merge order. This is the property that makes
+    /// per-node histograms aggregate identically across thread counts.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        ys in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        let whole = record_all(&concat);
+
+        let mut ab = record_all(&xs);
+        ab.merge(&record_all(&ys));
+        let mut ba = record_all(&ys);
+        ba.merge(&record_all(&xs));
+
+        for h in [&ab, &ba] {
+            prop_assert_eq!(h.count(), whole.count());
+            prop_assert_eq!(h.sum(), whole.sum());
+            prop_assert_eq!(h.min(), whole.min());
+            prop_assert_eq!(h.max(), whole.max());
+            for ppm in [1_000u64, 250_000, 500_000, 990_000, 999_000, 1_000_000] {
+                prop_assert_eq!(h.quantile_ppm(ppm), whole.quantile_ppm(ppm));
+            }
+        }
+    }
+
+    /// The reported quantile is never below the true (rank-order)
+    /// quantile and never above that value's bucket ceiling — the
+    /// documented ≤25% relative overshoot.
+    #[test]
+    fn quantile_is_bounded_by_the_true_quantile(
+        xs in prop::collection::vec(any::<u64>(), 1..128),
+        ppm in 1u64..1_000_001,
+    ) {
+        let h = record_all(&xs);
+        let mut xs = xs;
+        xs.sort_unstable();
+        let rank = ((xs.len() as u64 * ppm).div_ceil(1_000_000)).clamp(1, xs.len() as u64);
+        let truth = xs[(rank - 1) as usize];
+        let got = h.quantile_ppm(ppm);
+        prop_assert!(got >= truth, "q{ppm}={got} below true quantile {truth}");
+        prop_assert!(
+            got <= bucket_ceiling(truth).min(h.max()),
+            "q{ppm}={got} above ceiling {} (true {truth})",
+            bucket_ceiling(truth).min(h.max())
+        );
+    }
+
+    /// count/sum/min/max are exact regardless of stream content.
+    #[test]
+    fn scalar_stats_are_exact(xs in prop::collection::vec(any::<u32>(), 1..128)) {
+        let wide: Vec<u64> = xs.iter().map(|&v| v as u64).collect();
+        let h = record_all(&wide);
+        prop_assert_eq!(h.count(), wide.len() as u64);
+        prop_assert_eq!(h.sum(), wide.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *wide.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *wide.iter().max().unwrap());
+    }
+}

@@ -39,6 +39,7 @@ use std::sync::Arc;
 use rapid_core::config::{Configuration, Member};
 use rapid_core::hash::{DetHashMap, DetHashSet, StableHasher};
 use rapid_core::id::Endpoint;
+use rapid_core::obs::{EventKind, LatencyHist, TraceRing};
 use rapid_core::outbox::{BatchMessage, Outbox};
 
 use crate::placement::{partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan};
@@ -788,6 +789,25 @@ pub struct KvNode {
     /// Per-peer coalescing send buffer: every public entry point flushes
     /// at most one wire frame per destination on return.
     outbox: Outbox<KvMsg>,
+    /// Latest clock reading seen by any public entry point. Internal
+    /// paths (client resolution, repair rounds) read this instead of
+    /// threading `now` through every call chain.
+    now: u64,
+    /// Latency of *successful* client ops (acked puts + completed gets),
+    /// coordinator-side, ms on whatever clock drives this node.
+    op_hist: LatencyHist,
+    /// How long partitions spent awaiting a rebalance handoff before the
+    /// handoff landed.
+    handoff_hist: LatencyHist,
+    /// How long awaiting partitions spent until a *settled* repair push
+    /// confirmed them (the handoff-source-crashed path).
+    repair_hist: LatencyHist,
+    /// When each awaiting partition started waiting (feeds the two
+    /// duration histograms above).
+    awaiting_since: DetHashMap<u32, u64>,
+    /// Flight recorder for the KV op/handoff/repair lifecycle
+    /// (capacity 0 = off).
+    trace: TraceRing,
 }
 
 impl KvNode {
@@ -820,6 +840,12 @@ impl KvNode {
             next_req: 1,
             stats: KvStats::default(),
             outbox: Outbox::new(true),
+            now: 0,
+            op_hist: LatencyHist::new(),
+            handoff_hist: LatencyHist::new(),
+            repair_hist: LatencyHist::new(),
+            awaiting_since: DetHashMap::default(),
+            trace: TraceRing::new(0),
         }
     }
 
@@ -827,6 +853,14 @@ impl KvNode {
     /// disable for A/B benchmarking — the protocol outcome is identical).
     pub fn with_batching(mut self, enabled: bool) -> KvNode {
         self.outbox = Outbox::new(enabled);
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity (`Settings::obs_ring`;
+    /// 0 = off, the default). Latency histograms are always maintained —
+    /// they are fixed-size inline state with one-increment recording.
+    pub fn with_obs(mut self, ring: usize) -> KvNode {
+        self.trace = TraceRing::new(ring);
         self
     }
 
@@ -859,6 +893,26 @@ impl KvNode {
         &self.stats
     }
 
+    /// Coordinator-side latency of successful client ops (ms).
+    pub fn op_hist(&self) -> &LatencyHist {
+        &self.op_hist
+    }
+
+    /// Time partitions spent awaiting handoffs that eventually landed (ms).
+    pub fn handoff_hist(&self) -> &LatencyHist {
+        &self.handoff_hist
+    }
+
+    /// Time awaiting partitions spent until settled repair confirmed them (ms).
+    pub fn repair_hist(&self) -> &LatencyHist {
+        &self.repair_hist
+    }
+
+    /// The KV-plane flight-recorder ring (empty unless built `with_obs`).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
     /// The current placement, if a view was installed.
     pub fn placement(&self) -> Option<&Arc<Placement>> {
         self.view.as_ref().map(|(_, p)| p)
@@ -886,6 +940,7 @@ impl KvNode {
     /// handoffs this node deterministically owns as a source (coalesced
     /// per receiver: one wire frame however many partitions move).
     pub fn on_view(&mut self, config: Arc<Configuration>, now: u64, out: &mut Vec<KvOut>) {
+        self.now = self.now.max(now);
         self.handle_view(config, now, out);
         self.flush(out);
     }
@@ -901,6 +956,8 @@ impl KvNode {
                         && !self.early_handoffs.contains(&p)
                     {
                         self.awaiting.insert(p);
+                        self.awaiting_since.entry(p).or_insert(now);
+                        self.trace.push(now, EventKind::HandoffStart, p as u64, 0);
                     }
                 }
             }
@@ -953,7 +1010,11 @@ impl KvNode {
                     // fail retryably. No time budget: a mid-push source
                     // crash must never let an empty store serve Missing
                     // for an acked key.
-                    self.awaiting.insert(mv.partition);
+                    if self.awaiting.insert(mv.partition) {
+                        self.awaiting_since.entry(mv.partition).or_insert(now);
+                        self.trace
+                            .push(now, EventKind::HandoffStart, mv.partition as u64, 0);
+                    }
                 }
             }
             // Drop partitions this node no longer replicates.
@@ -963,10 +1024,12 @@ impl KvNode {
                     .collect();
                 self.store.retain(|p, _| keep.contains(p));
                 self.awaiting.retain(|p| keep.contains(p));
+                self.awaiting_since.retain(|p, _| keep.contains(p));
             } else {
                 // Not in the view at all (kicked/left): nothing to serve.
                 self.store.clear();
                 self.awaiting.clear();
+                self.awaiting_since.clear();
             }
         }
         self.view = Some((config, placement));
@@ -1025,6 +1088,15 @@ impl KvNode {
         let Some(pc) = self.pending_client.remove(&req) else {
             return; // Already timed out.
         };
+        // The op started `op_timeout_ms` before its deadline; `self.now`
+        // was refreshed by whichever entry point led here.
+        let latency = self
+            .now
+            .saturating_sub(pc.deadline.saturating_sub(self.op_timeout_ms));
+        if !matches!(outcome, KvOutcome::Failed) {
+            self.op_hist.record(latency);
+        }
+        self.trace.push(self.now, EventKind::KvOpDone, req, latency);
         match (&outcome, pc.is_put) {
             (KvOutcome::Acked { version }, _) => {
                 self.stats.puts_acked += 1;
@@ -1043,6 +1115,7 @@ impl KvNode {
     /// Begins a client write through this node as coordinator; the result
     /// arrives later as [`KvOut::Done`] with the returned request id.
     pub fn client_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        self.now = self.now.max(now);
         let req = self.begin_put(key, val, now, out);
         self.flush(out);
         req
@@ -1053,6 +1126,7 @@ impl KvNode {
     /// coordinator has acked for the key (read-your-writes): stale or
     /// retryable leader answers are retried until the op deadline.
     pub fn client_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        self.now = self.now.max(now);
         let req = self.begin_get(key, now, out);
         self.flush(out);
         req
@@ -1063,6 +1137,7 @@ impl KvNode {
     /// pipelined-client fast path). Returns one request id per op, in
     /// order.
     pub fn client_ops(&mut self, ops: &[ClientOp<'_>], now: u64, out: &mut Vec<KvOut>) -> Vec<u64> {
+        self.now = self.now.max(now);
         let reqs = ops
             .iter()
             .map(|op| match *op {
@@ -1077,6 +1152,7 @@ impl KvNode {
     fn begin_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
+        self.trace.push(now, EventKind::KvOpStart, req, 1);
         self.pending_client.insert(
             req,
             PendingClient {
@@ -1109,6 +1185,7 @@ impl KvNode {
     fn begin_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
+        self.trace.push(now, EventKind::KvOpStart, req, 0);
         let floor = self.acked_floors.get(key).copied().unwrap_or(0);
         self.pending_client.insert(
             req,
@@ -1311,6 +1388,7 @@ impl KvNode {
     /// wire frame per destination, however many messages the frame
     /// carried.
     pub fn on_message(&mut self, from: Endpoint, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
+        self.now = self.now.max(now);
         self.handle_msg(from, msg, now, out);
         self.flush(out);
     }
@@ -1369,7 +1447,14 @@ impl KvNode {
                 for (k, v, ver) in entries {
                     self.merge(partition, k, v, ver);
                 }
-                self.awaiting.remove(&partition);
+                if self.awaiting.remove(&partition) {
+                    if let Some(t0) = self.awaiting_since.remove(&partition) {
+                        let waited = now.saturating_sub(t0);
+                        self.handoff_hist.record(waited);
+                        self.trace
+                            .push(now, EventKind::HandoffDone, partition as u64, waited);
+                    }
+                }
                 if self.view.is_none() {
                     self.early_handoffs.insert(partition);
                 }
@@ -1390,8 +1475,13 @@ impl KvNode {
                     // Only a settled sender vouches for completeness; a
                     // push from a replica that is itself awaiting merges
                     // partial data but must not clear the guard.
-                    if settled {
-                        self.awaiting.remove(&partition);
+                    if settled && self.awaiting.remove(&partition) {
+                        if let Some(t0) = self.awaiting_since.remove(&partition) {
+                            let waited = now.saturating_sub(t0);
+                            self.repair_hist.record(waited);
+                            self.trace
+                                .push(now, EventKind::RepairDone, partition as u64, waited);
+                        }
                     }
                 }
             }
@@ -1465,6 +1555,7 @@ impl KvNode {
                 // guard can never be confirmed — nor can it protect
                 // anything (there is no surviving copy to diverge from).
                 self.awaiting.remove(&p);
+                self.awaiting_since.remove(&p);
                 continue;
             };
             if self.awaiting.contains(&p) {
@@ -1479,6 +1570,9 @@ impl KvNode {
             let mut partitions = pulls.remove(&rank).expect("keyed above");
             partitions.sort_unstable();
             self.stats.repairs_triggered += partitions.len() as u64;
+            for &p in &partitions {
+                self.trace.push(self.now, EventKind::RepairStart, p as u64, 0);
+            }
             self.send(cfg.members()[rank as usize].addr, KvMsg::RepairPull { partitions });
         }
         let mut offer_peers: Vec<u32> = offers.keys().copied().collect();
@@ -1522,6 +1616,9 @@ impl KvNode {
         }
         if !pull.is_empty() {
             self.stats.repairs_triggered += pull.len() as u64;
+            for &p in &pull {
+                self.trace.push(self.now, EventKind::RepairStart, p as u64, 0);
+            }
             self.send(from, KvMsg::RepairPull { partitions: pull });
         }
     }
@@ -1543,6 +1640,9 @@ impl KvNode {
         }
         if !pull.is_empty() {
             self.stats.repairs_triggered += pull.len() as u64;
+            for &p in &pull {
+                self.trace.push(self.now, EventKind::RepairStart, p as u64, 0);
+            }
             self.send(from, KvMsg::RepairPull { partitions: pull });
         }
     }
@@ -1581,6 +1681,7 @@ impl KvNode {
     /// partition stays guarded until a handoff or a settled repair push
     /// clears it.
     pub fn on_tick(&mut self, now: u64, out: &mut Vec<KvOut>) {
+        self.now = self.now.max(now);
         let mut expired: Vec<u64> = self
             .pending_client
             .iter()

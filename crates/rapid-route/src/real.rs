@@ -18,6 +18,7 @@ use rapid_core::hash::DetHashMap;
 use rapid_core::id::Endpoint;
 use rapid_core::membership::ViewChange;
 use rapid_core::node::NodeStatus;
+use rapid_core::obs::LatencyHist;
 use rapid_core::settings::Settings;
 use rapid_transport::{AppEvent, Runtime};
 
@@ -53,6 +54,9 @@ struct Mirror {
     /// the scenario driver's `kv_converged` sweep compares these across
     /// processes.
     digests: Vec<(u32, PartitionDigest, bool)>,
+    /// Coordinator-side latency histogram of successful client ops, on
+    /// the worker's wall clock (ms). Refreshed on the digest cadence.
+    op_hist: LatencyHist,
 }
 
 /// A real process running membership + the KV data plane.
@@ -75,8 +79,9 @@ impl KvRuntime {
         repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
         let batch_wire = settings.batch_wire;
+        let obs_ring = settings.obs_ring;
         let rt = Runtime::start_seed(listen, settings)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire, obs_ring))
     }
 
     /// Starts a joining process with the data plane attached.
@@ -90,10 +95,12 @@ impl KvRuntime {
         repair_interval_ms: u64,
     ) -> std::io::Result<KvRuntime> {
         let batch_wire = settings.batch_wire;
+        let obs_ring = settings.obs_ring;
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire))
+        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire, obs_ring))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn wrap(
         rt: Runtime,
         route: PlacementConfig,
@@ -101,12 +108,14 @@ impl KvRuntime {
         repair_interval_ms: u64,
         joiner: bool,
         batch_wire: bool,
+        obs_ring: usize,
     ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
         let mut kv = KvNode::new(me, route, op_timeout_ms, None)
             .with_repair_interval(repair_interval_ms)
-            .with_batching(batch_wire);
+            .with_batching(batch_wire)
+            .with_obs(obs_ring);
         if joiner {
             kv = kv.expect_initial_handoffs();
         }
@@ -118,6 +127,7 @@ impl KvRuntime {
             view_count: 0,
             stats: KvStats::default(),
             digests: Vec::new(),
+            op_hist: LatencyHist::new(),
         }));
         let worker_mirror = Arc::clone(&mirror);
         let handle = std::thread::spawn(move || {
@@ -155,6 +165,11 @@ impl KvRuntime {
     /// Latest published data-plane counters.
     pub fn stats(&self) -> KvStats {
         self.mirror.lock().stats
+    }
+
+    /// Latest published successful-op latency histogram (wall-clock ms).
+    pub fn op_hist(&self) -> LatencyHist {
+        self.mirror.lock().op_hist.clone()
     }
 
     /// Latest published `(partition, digest, settled)` snapshot of every
@@ -318,6 +333,7 @@ fn worker(
             m.stats = *kv.stats();
             if let Some(d) = fresh_digests {
                 m.digests = d;
+                m.op_hist = kv.op_hist().clone();
             }
         }
     }

@@ -243,7 +243,8 @@ impl KvClusterBuilder {
             self.op_timeout_ms,
             Some(cache.clone()),
         )
-        .with_batching(self.inner.settings.batch_wire);
+        .with_batching(self.inner.settings.batch_wire)
+        .with_obs(self.inner.settings.obs_ring);
         match self.repair_interval_ms {
             Some(ms) => node.with_repair_interval(ms),
             None => node,
@@ -323,6 +324,28 @@ impl KvClusterBuilder {
         }
         sim
     }
+}
+
+/// Merged flight-recorder dump across every actor and both co-hosted
+/// planes (`"m"` = membership, `"kv"` = data plane): one JSONL line per
+/// held trace event, ordered by `(t, node index, plane, node-local
+/// seq)`. Deterministic across `Settings::threads` values for the same
+/// reason the engine's trace is. Empty unless built with
+/// `Settings::obs_ring > 0`.
+pub fn trace_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
+    let mut tagged: Vec<(u64, usize, u8, u32, String)> = Vec::new();
+    for i in 0..sim.len() {
+        let actor = sim.actor(i);
+        let label = sim.addr_of(i).host();
+        for ev in actor.as_node().trace().iter_in_order() {
+            tagged.push((ev.t_ms, i, 0, ev.seq, rapid_core::obs::event_jsonl(label, "m", ev)));
+        }
+        for ev in actor.kv().trace().iter_in_order() {
+            tagged.push((ev.t_ms, i, 1, ev.seq, rapid_core::obs::event_jsonl(label, "kv", ev)));
+        }
+    }
+    tagged.sort_by_key(|a| (a.0, a.1, a.2, a.3));
+    tagged.into_iter().map(|(_, _, _, _, line)| line).collect()
 }
 
 #[cfg(test)]

@@ -4,15 +4,19 @@
 //! cargo run --release -p rapid-scenario --bin scenario -- \
 //!     scenarios/smoke_crash.toml [--driver sim|real|both] \
 //!     [--system rapid|rapid-c|memberlist|zookeeper|akka] \
-//!     [--seed N] [--threads N] [--full] [--json]
+//!     [--seed N] [--threads N] [--full] [--json] [--trace FILE]
 //!
 //! `--threads N` overrides the simulator worker-thread count (the
 //! `[settings] threads` key); reports are bit-identical at any count.
+//! `--trace FILE` writes the merged flight-recorder trace as JSONL
+//! (sim driver, rapid-family systems) — also bit-identical at any
+//! thread count. When an expectation fails, the recorder's tail is
+//! printed to stderr regardless of `--trace`.
 //! ```
 //!
 //! Exit status is non-zero if any evaluated expectation failed.
 
-use rapid_scenario::{runner, RealDriver, Scenario, SimDriver, SystemKind};
+use rapid_scenario::{runner, Driver, RealDriver, Scenario, SimDriver, SystemKind};
 
 struct Opts {
     path: String,
@@ -22,6 +26,7 @@ struct Opts {
     threads: Option<usize>,
     full: bool,
     json: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -34,6 +39,7 @@ fn parse_args() -> Result<Opts, String> {
         threads: None,
         full: false,
         json: false,
+        trace: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -67,6 +73,10 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--full" => opts.full = true,
             "--json" => opts.json = true,
+            "--trace" => {
+                i += 1;
+                opts.trace = Some(argv.get(i).cloned().ok_or("--trace needs a file path")?);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             path => {
                 if !opts.path.is_empty() {
@@ -78,7 +88,7 @@ fn parse_args() -> Result<Opts, String> {
         i += 1;
     }
     if opts.path.is_empty() {
-        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--threads N] [--full] [--json]".into());
+        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--threads N] [--full] [--json] [--trace FILE]".into());
     }
     Ok(opts)
 }
@@ -119,6 +129,15 @@ fn print_report(report: &rapid_scenario::Report, json: bool) {
             if kv.partitions_lost > 0 {
                 print!(", {} partitions LOST", kv.partitions_lost);
             }
+        }
+        if let Some(c) = &p.convergence {
+            print!(
+                "  fault->install p50={}ms p99={}ms max={}ms ({} procs)",
+                c.p50,
+                c.p99,
+                c.max,
+                c.samples.len()
+            );
         }
         println!();
         for e in &p.expects {
@@ -172,7 +191,7 @@ fn main() {
         d => vec![d],
     };
     for d in drivers {
-        let report = match d {
+        let (report, trace) = match d {
             "sim" => {
                 let mut driver = match SimDriver::new(opts.system, &scenario) {
                     Ok(d) => d,
@@ -181,7 +200,8 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                runner::run(&scenario, &mut driver)
+                let r = runner::run(&scenario, &mut driver);
+                (r, driver.flight_dump())
             }
             "real" => {
                 if opts.system != SystemKind::Rapid {
@@ -195,16 +215,42 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                runner::run(&scenario, &mut driver)
+                let r = runner::run(&scenario, &mut driver);
+                (r, driver.flight_dump())
             }
             other => {
                 eprintln!("unknown driver {other:?} (sim, real, both)");
                 std::process::exit(2);
             }
         };
+        if let Some(path) = &opts.trace {
+            let mut out = trace.join("\n");
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(2);
+            }
+        }
         match report {
             Ok(r) => {
                 print_report(&r, opts.json);
+                // A failed expectation dumps the flight recorder's tail:
+                // the causal history leading into the failure, not just
+                // the verdict.
+                for p in &r.phases {
+                    if !p.failure_dump.is_empty() {
+                        eprintln!(
+                            "phase {:?} failed; last {} trace events:",
+                            p.name,
+                            p.failure_dump.len()
+                        );
+                        for line in &p.failure_dump {
+                            eprintln!("{line}");
+                        }
+                    }
+                }
                 all_passed &= r.passed;
             }
             Err(e) => {

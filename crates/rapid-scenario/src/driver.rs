@@ -105,6 +105,20 @@ pub trait Driver {
         let _ = within_ms;
         None
     }
+
+    /// Driver time of each live process's *last* view install, where the
+    /// driver records per-process view logs (`None` = untracked). Feeds
+    /// the per-phase fault→install convergence samples in the report.
+    fn view_install_times(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Flight-recorder dump: every held trace event across the cluster,
+    /// merged into deterministic JSONL order. Empty when recording is
+    /// off or the driver doesn't capture traces.
+    fn flight_dump(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Whether one poll of `(partition, digest, settled)` snapshots (one
@@ -149,14 +163,28 @@ pub struct SimDriver {
 }
 
 impl SimDriver {
+    /// Default per-node flight-recorder capacity for rapid-family sim
+    /// runs (a failed expectation then dumps recent protocol history).
+    /// Scenarios opt out with an explicit `obs_ring = 0` override.
+    pub const DEFAULT_OBS_RING: usize = 256;
+
     /// Builds the world a scenario describes, hosting `kind` — with the
     /// scenario's `[settings]` overrides and `[kv]` data plane applied.
     pub fn new(kind: SystemKind, scenario: &Scenario) -> Result<SimDriver, String> {
-        let settings = if scenario.settings.is_empty() {
+        let mut settings = if scenario.settings.is_empty() {
             None
         } else {
             Some(scenario.settings.apply(Settings::default())?)
         };
+        // Baselines reject explicit settings entirely, so the recorder
+        // default applies only to the rapid family.
+        if matches!(kind, SystemKind::Rapid | SystemKind::RapidC)
+            && scenario.settings.obs_ring.is_none()
+        {
+            let mut s = settings.take().unwrap_or_default();
+            s.obs_ring = Self::DEFAULT_OBS_RING;
+            settings = Some(s);
+        }
         let world = match scenario.topology {
             Topology::Bootstrap => World::bootstrap_cfg(
                 kind,
@@ -234,6 +262,14 @@ impl Driver for SimDriver {
 
     fn consistent_histories(&self) -> Option<bool> {
         self.world.consistent_histories()
+    }
+
+    fn view_install_times(&self) -> Option<Vec<u64>> {
+        self.world.view_install_times()
+    }
+
+    fn flight_dump(&self) -> Vec<String> {
+        self.world.flight_dump()
     }
 
     fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {

@@ -39,5 +39,5 @@ pub use model::{
     Expect, FaultSpec, Group, Inject, KvSpec, Phase, Repeat, Scenario, SettingsPatch, SizeExpr,
     Target, Topology, Workload, WorkloadAction,
 };
-pub use report::{ExpectReport, KvPhaseReport, PhaseReport, Report};
+pub use report::{ConvergenceReport, ExpectReport, KvPhaseReport, PhaseReport, Report};
 pub use world::{aggregate_timeseries, KvOp, KvWorld, SystemKind, TrafficTotals, World};

@@ -114,6 +114,11 @@ pub struct SettingsPatch {
     /// traces are bit-identical at any count). Ignored by the real
     /// driver.
     pub threads: Option<usize>,
+    /// Per-node flight-recorder ring capacity (`0` = off). Rapid-family
+    /// sim runs default this on (see `SimDriver::new`) so a failed
+    /// expectation can dump the recent protocol history; set explicitly
+    /// to override.
+    pub obs_ring: Option<usize>,
 }
 
 impl SettingsPatch {
@@ -136,7 +141,7 @@ impl SettingsPatch {
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
             gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
-            batch_wire, threads
+            batch_wire, threads, obs_ring
         );
         base.validate()
             .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;

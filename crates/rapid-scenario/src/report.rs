@@ -56,6 +56,27 @@ impl KvPhaseReport {
     }
 }
 
+/// View-change convergence of one phase's fault injection: how long each
+/// live process took from the (first) injection instant to its final
+/// view install of the phase. Present only on sim-driver phases that
+/// inject at least one fault — unchanged scenarios and the real driver
+/// keep their exact prior report bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Driver time of the phase's first fault injection.
+    pub fault_at_ms: u64,
+    /// Per-live-process `last view install − fault_at_ms`, sorted
+    /// ascending (processes whose view predates the fault are excluded).
+    pub samples: Vec<u64>,
+    /// Histogram p50 of the samples (log-bucket upper bound, ms).
+    pub p50: u64,
+    /// Histogram p99 of the samples (ms).
+    pub p99: u64,
+    /// Exact maximum sample — the paper's headline metric: when the
+    /// *last* process installed the agreed view.
+    pub max: u64,
+}
+
 /// Results of one phase.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseReport {
@@ -74,6 +95,14 @@ pub struct PhaseReport {
     pub traffic: Option<TrafficTotals>,
     /// KV data-plane measurements, where hosted.
     pub kv: Option<KvPhaseReport>,
+    /// Fault→view-install convergence samples, where tracked (sim
+    /// driver, phases with at least one fault inject).
+    pub convergence: Option<ConvergenceReport>,
+    /// Flight-recorder tail captured when an expectation in this phase
+    /// failed: the last N merged trace JSONL lines. Deliberately NOT
+    /// part of the JSON report (diagnostics go to stderr; report bytes
+    /// stay comparable across passing and failing runs' shapes).
+    pub failure_dump: Vec<String>,
     /// Expectation verdicts, in scenario order.
     pub expects: Vec<ExpectReport>,
 }
@@ -172,6 +201,25 @@ fn phase_json(p: &PhaseReport) -> Json {
             ]),
         ));
     }
+    // Convergence samples appear only when a phase injected faults on a
+    // driver that tracks per-process view installs; every other phase —
+    // and every pre-existing scenario without injects — keeps its exact
+    // prior shape. `failure_dump` never serializes (stderr-only).
+    if let Some(c) = &p.convergence {
+        fields.push((
+            "convergence",
+            Json::obj(vec![
+                ("fault_at_ms", Json::uint(c.fault_at_ms)),
+                (
+                    "samples",
+                    Json::Array(c.samples.iter().map(|&s| Json::uint(s)).collect()),
+                ),
+                ("p50", Json::uint(c.p50)),
+                ("p99", Json::uint(c.p99)),
+                ("max", Json::uint(c.max)),
+            ]),
+        ));
+    }
     fields.extend([
         (
             "expects",
@@ -227,6 +275,14 @@ mod tests {
                     frames_sent: 6,
                     wire_bytes: 512,
                 }),
+                convergence: Some(ConvergenceReport {
+                    fault_at_ms: 5_000,
+                    samples: vec![1_800, 2_000, 2_400],
+                    p50: 2_047,
+                    p99: 2_559,
+                    max: 2_400,
+                }),
+                failure_dump: Vec::new(),
                 expects: vec![
                     ExpectReport { desc: "converge(n)".into(), passed: Some(true) },
                     ExpectReport { desc: "histories".into(), passed: None },
@@ -238,6 +294,7 @@ mod tests {
         assert!(s.starts_with(r#"{"scenario":"demo","driver":"sim:rapid","n":50,"seed":7,"passed":true"#));
         assert!(s.contains(r#""converged_at_ms":41000"#));
         assert!(s.contains(r#""passed":null"#));
+        assert!(s.contains(r#""convergence":{"fault_at_ms":5000,"samples":[1800,2000,2400],"p50":2047,"p99":2559,"max":2400}"#));
         assert!(r.failures().is_empty());
     }
 
@@ -257,6 +314,8 @@ mod tests {
                 view_changes: None,
                 traffic: None,
                 kv: None,
+                convergence: None,
+                failure_dump: Vec::new(),
                 expects: vec![ExpectReport { desc: "boom".into(), passed: Some(false) }],
             }],
         };

@@ -13,13 +13,17 @@
 //! 4. Expectations evaluate in order; `converge` advances time itself.
 
 use rapid_core::hash::DetHashMap;
+use rapid_core::obs::LatencyHist;
 use rapid_route::KvOutcome;
 use rapid_sim::Fault;
 
 use crate::driver::{Driver, ResolvedWorkload};
 use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
-use crate::report::{ExpectReport, KvPhaseReport, PhaseReport, Report};
+use crate::report::{ConvergenceReport, ExpectReport, KvPhaseReport, PhaseReport, Report};
 use crate::world::KvOp;
+
+/// How many trailing trace lines a failed expectation dumps.
+const FAILURE_DUMP_TAIL: usize = 64;
 
 /// The client-side record of every acknowledged write: key → latest
 /// acked `(value, version)`. The `no_lost_acked_writes` expectation is
@@ -149,9 +153,12 @@ fn run_phase(
     let mut kv_puts = 0u64;
     let mut kv_acked = 0u64;
 
-    // 1. Schedule every injection up front.
+    // 1. Schedule every injection up front. The earliest firing is the
+    // phase's convergence-latency origin (fault → last view install).
+    let mut fault_at: Option<u64> = None;
     for inject in &phase.injects {
         for (at, fault) in expand_inject(scenario, start, inject)? {
+            fault_at = Some(fault_at.map_or(at, |f| f.min(at)));
             driver
                 .schedule_fault(at, fault)
                 .map_err(|e| format!("phase {:?}: {e}", phase.name))?;
@@ -306,6 +313,45 @@ fn run_phase(
         frames_sent: stats.frames_sent,
         wire_bytes: stats.wire_bytes,
     });
+    // Convergence-latency samples: for each live process, how long after
+    // the phase's first fault injection its final view install landed.
+    // Installs predating the fault (e.g. bootstrap's) are excluded.
+    let convergence = match (fault_at, driver.view_install_times()) {
+        (Some(fault_at_ms), Some(installs)) => {
+            let mut samples: Vec<u64> = installs
+                .into_iter()
+                .filter(|&t| t >= fault_at_ms)
+                .map(|t| t - fault_at_ms)
+                .collect();
+            samples.sort_unstable();
+            if samples.is_empty() {
+                None
+            } else {
+                let mut hist = LatencyHist::new();
+                for &s in &samples {
+                    hist.record(s);
+                }
+                Some(ConvergenceReport {
+                    fault_at_ms,
+                    p50: hist.quantile_ppm(500_000),
+                    p99: hist.quantile_ppm(990_000),
+                    max: *samples.last().expect("non-empty"),
+                    samples,
+                })
+            }
+        }
+        _ => None,
+    };
+    // Flight recorder: a failed expectation dumps the tail of the merged
+    // trace so the failure carries its causal history, not just a verdict.
+    let failure_dump = if expects.iter().any(|e| e.passed == Some(false)) {
+        let mut lines = driver.flight_dump();
+        let keep = lines.len().saturating_sub(FAILURE_DUMP_TAIL);
+        lines.drain(..keep);
+        lines
+    } else {
+        Vec::new()
+    };
     Ok(PhaseReport {
         name: phase.name.clone(),
         start_ms: start,
@@ -314,6 +360,8 @@ fn run_phase(
         view_changes: driver.view_changes(),
         traffic,
         kv,
+        convergence,
+        failure_dump,
         expects,
     })
 }

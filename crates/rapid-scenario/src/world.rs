@@ -778,6 +778,40 @@ impl World {
         )
     }
 
+    /// Per-live-process driver time of the *last* view install, in actor
+    /// order (`None` for systems without strongly consistent views). The
+    /// runner subtracts the fault-injection instant from these to get the
+    /// paper's convergence-latency samples.
+    pub fn view_install_times(&self) -> Option<Vec<u64>> {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => Some(
+                (0..s.len())
+                    .filter(|&i| !s.net.is_crashed(i))
+                    .filter_map(|i| s.actor(i).log.views.last().map(|(t, _)| *t))
+                    .collect(),
+            ),
+            World::RapidKv(w) => Some(
+                (0..w.sim.len())
+                    .filter(|&i| !w.sim.net.is_crashed(i))
+                    .filter_map(|i| w.sim.actor(i).log.views.last().map(|(t, _)| *t))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// The merged flight-recorder trace of every process, as JSONL lines
+    /// in global causal order (empty for worlds without trace rings).
+    /// Deterministic: a pure function of per-node ring contents, which
+    /// the sharded engine keeps bit-identical across thread counts.
+    pub fn flight_dump(&self) -> Vec<String> {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => rapid_sim::cluster::trace_lines(s),
+            World::RapidKv(w) => rapid_route::sim::trace_lines(&w.sim),
+            _ => Vec::new(),
+        }
+    }
+
     /// The system kind hosted by this world.
     pub fn kind_label(&self) -> &'static str {
         match self {

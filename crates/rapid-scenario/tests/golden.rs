@@ -242,3 +242,89 @@ fn kv_rebalance_passes_and_moves_data() {
     assert!(last.bytes_moved > out.bytes_moved, "scale-in must move more data");
     assert_eq!(last.partitions_lost, 0, "graceful scaling loses nothing");
 }
+
+/// The flight-recorder determinism pin: on a shipped scenario the merged
+/// trace JSONL is *byte-identical* across simulator thread counts — the
+/// sharded engine keeps per-node event streams identical, and the dump
+/// is a pure merge of ring contents.
+#[test]
+fn shipped_scenario_trace_is_identical_across_thread_counts() {
+    use rapid_scenario::Driver;
+    let base = shipped("smoke_crash");
+    let trace_with = |threads: usize| {
+        let mut s = base.clone();
+        s.settings.threads = Some(threads);
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).expect("sim driver");
+        runner::run(&s, &mut driver).expect("run");
+        driver.flight_dump()
+    };
+    let t1 = trace_with(1);
+    assert!(!t1.is_empty(), "sim runs record traces by default");
+    assert!(
+        t1.iter().any(|l| l.contains("\"kind\":\"view_install\"")),
+        "crash scenario must trace view installs: {t1:?}"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            t1,
+            trace_with(threads),
+            "trace must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+/// A failed expectation captures the flight recorder's tail — the causal
+/// history leading into the failure — while passing phases stay clean.
+#[test]
+fn failed_expectation_dumps_the_flight_recorder() {
+    use rapid_scenario::model::{Expect, Phase, SizeExpr, Topology};
+    let s = Scenario::build("fr-dump", 5)
+        .seed(11)
+        .topology(Topology::Static)
+        .phase(Phase::new("ok").run_for(2_000).expect(Expect::AllReport(SizeExpr::n())))
+        .phase(Phase::new("bad").run_for(1_000).expect(Expect::AllReport(SizeExpr::abs(99))))
+        .finish();
+    let mut driver = SimDriver::new(SystemKind::Rapid, &s).expect("sim driver");
+    let report = runner::run(&s, &mut driver).expect("run");
+    assert!(!report.passed);
+    assert!(
+        report.phases[0].failure_dump.is_empty(),
+        "passing phases carry no dump"
+    );
+    let dump = &report.phases[1].failure_dump;
+    assert!(!dump.is_empty(), "failed phase must dump trace events");
+    assert!(dump.len() <= 64, "dump is a bounded tail, got {}", dump.len());
+    assert!(
+        dump.iter().all(|l| l.starts_with("{\"t\":") && l.ends_with('}')),
+        "dump lines are JSONL: {dump:?}"
+    );
+    // The dump is diagnostics, not part of the comparable report bytes.
+    assert!(!report.to_json_string().contains("failure_dump"));
+}
+
+/// Fault-injecting phases report per-process fault→view-install latency
+/// samples, and those samples are deterministic across runs.
+#[test]
+fn crash_phase_reports_convergence_samples() {
+    let scenario = shipped("smoke_crash");
+    let run_once = || {
+        let mut driver = SimDriver::new(SystemKind::Rapid, &scenario).expect("sim driver");
+        runner::run(&scenario, &mut driver).expect("run")
+    };
+    let report = run_once();
+    assert!(
+        report.phases[0].convergence.is_none(),
+        "no faults in the form phase"
+    );
+    let c = report.phases[1].convergence.as_ref().expect("crash phase converges");
+    assert_eq!(c.samples.len(), 4, "four survivors install the view");
+    assert!(c.samples.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+    assert!(*c.samples.last().unwrap() == c.max, "max is the last sample");
+    assert!(c.p50 <= c.p99, "quantiles are monotone");
+    assert!(c.p99 >= c.max || c.p99 * 5 >= c.max * 4, "p99 near max for 4 samples");
+    assert_eq!(
+        report.to_json_string(),
+        run_once().to_json_string(),
+        "convergence samples are deterministic"
+    );
+}

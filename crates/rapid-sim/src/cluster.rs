@@ -370,6 +370,28 @@ pub fn all_report(sim: &Simulation<RapidActor>, target: usize) -> bool {
     reporters > 0
 }
 
+/// Merged flight-recorder dump across every actor: one JSONL line per
+/// held trace event, ordered by `(t, node index, node-local seq)`.
+///
+/// Each node's ring is filled on its own event stream, which the engine
+/// keeps identical across `Settings::threads` values, and this merge
+/// order is a pure function of ring contents — so the dump is
+/// byte-identical across thread counts (pinned by a golden test).
+/// Empty unless the cluster was built with `Settings::obs_ring > 0`.
+pub fn trace_lines(sim: &Simulation<RapidActor>) -> Vec<String> {
+    let mut tagged: Vec<(u64, usize, u32, String)> = Vec::new();
+    for i in 0..sim.len() {
+        if let Some(n) = sim.actor(i).as_node() {
+            let label = sim.addr_of(i).host();
+            for ev in n.trace().iter_in_order() {
+                tagged.push((ev.t_ms, i, ev.seq, rapid_core::obs::event_jsonl(label, "m", ev)));
+            }
+        }
+    }
+    tagged.sort_by_key(|a| (a.0, a.1, a.2));
+    tagged.into_iter().map(|(_, _, _, line)| line).collect()
+}
+
 /// The number of non-crashed actors that are active members right now.
 pub fn active_members(sim: &Simulation<RapidActor>) -> usize {
     (0..sim.len())

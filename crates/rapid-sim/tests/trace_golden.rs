@@ -1,0 +1,116 @@
+//! Golden pin for the flight recorder: with `obs_ring` enabled, the
+//! merged JSONL trace dump must be byte-identical across `--threads 1`
+//! and `--threads 2` (per-node rings are filled on each node's own
+//! event stream, which the sharded engine reproduces bit-exactly), and
+//! a crash scenario must leave the protocol's causal chain — probe
+//! timeout → alert → cut proposal → decision → view install — in the
+//! dump.
+
+use rapid_core::settings::Settings;
+use rapid_sim::cluster::{trace_lines, RapidClusterBuilder};
+use rapid_sim::Fault;
+
+fn crash_run(threads: usize) -> Vec<String> {
+    let settings = Settings {
+        threads,
+        obs_ring: 256,
+        ..Settings::default()
+    };
+    let mut sim = RapidClusterBuilder::new(32)
+        .settings(settings)
+        .seed(0x0B5)
+        .build_static();
+    sim.run_until(5_000);
+    for i in [3usize, 17] {
+        sim.schedule_fault(5_000, Fault::Crash(i));
+    }
+    sim.run_until(60_000);
+    trace_lines(&sim)
+}
+
+#[test]
+fn trace_dump_is_bit_identical_across_thread_counts() {
+    let seq = crash_run(1);
+    let par = crash_run(2);
+    assert!(!seq.is_empty(), "recording was enabled; dump must not be empty");
+    assert_eq!(seq.len(), par.len(), "event counts diverged");
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn crash_trace_contains_the_causal_chain() {
+    let lines = crash_run(1);
+    for kind in [
+        "probe_timeout",
+        "alert_originated",
+        "alert_applied",
+        "cut_proposal",
+        "view_install",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"kind\":\"{kind}\""))),
+            "no {kind} event in the crash trace"
+        );
+    }
+    // Both decision paths exist; a two-crash run must have decided at
+    // least once by one of them.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"fast_decision\"")
+                || l.contains("\"kind\":\"classic_decision\"")),
+        "no consensus decision in the crash trace"
+    );
+}
+
+#[test]
+fn disabled_ring_dumps_nothing() {
+    let mut sim = RapidClusterBuilder::new(16).seed(7).build_static();
+    sim.run_until(20_000);
+    assert!(
+        trace_lines(&sim).is_empty(),
+        "obs_ring defaults to 0 = recording off"
+    );
+}
+
+/// The detection→install histogram on `NodeMetrics` fills during a
+/// crash: every survivor records one sample per installed view, and the
+/// merged distribution is identical across thread counts.
+#[test]
+fn detect_to_install_histogram_fills_on_crashes() {
+    use rapid_core::obs::LatencyHist;
+    let merged = |threads: usize| {
+        let settings = Settings {
+            threads,
+            obs_ring: 0, // Histograms fill regardless of the trace ring.
+            ..Settings::default()
+        };
+        let mut sim = RapidClusterBuilder::new(32)
+            .settings(settings)
+            .seed(0x0B5)
+            .build_static();
+        sim.run_until(5_000);
+        for i in [3usize, 17] {
+            sim.schedule_fault(5_000, Fault::Crash(i));
+        }
+        sim.run_until(60_000);
+        let mut hist = LatencyHist::new();
+        for i in 0..sim.len() {
+            if let Some(n) = sim.actor(i).as_node() {
+                hist.merge(&n.metrics().detect_to_install);
+            }
+        }
+        hist
+    };
+    let h1 = merged(1);
+    assert!(h1.count() >= 30, "every survivor records a sample, got {}", h1.count());
+    let (p50, p99, p999) = h1.percentiles();
+    assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "quantiles monotone: {p50}/{p99}/{p999}");
+    assert!(h1.max() <= 55_000, "detection happened within the run window");
+    let h2 = merged(2);
+    assert_eq!(h1.count(), h2.count());
+    assert_eq!(h1.percentiles(), h2.percentiles());
+    assert_eq!((h1.min(), h1.max(), h1.sum()), (h2.min(), h2.max(), h2.sum()));
+}
