@@ -97,6 +97,35 @@ fn bench_steady_state_allocations_traced(_c: &mut Criterion) {
     );
 }
 
+/// Same guard with the metrics plane sampling at the default cadence:
+/// timeline rings preallocate on the first sweep (inside warm-up) and
+/// points are fixed-size `Copy` slots, so per-sweep sampling must not
+/// put allocations back on the steady-state loop either.
+fn bench_steady_state_allocations_sampled(_c: &mut Criterion) {
+    use rapid_core::settings::Settings;
+    use rapid_sim::cluster::RapidClusterBuilder;
+    let settings = Settings {
+        obs_ring: 256,
+        obs_sample_ms: 1_000,
+        ..Settings::default()
+    };
+    let mut sim = RapidClusterBuilder::new(64).seed(5).settings(settings).build_static();
+    sim.run_until(30_000);
+    let events_before = sim.events_processed();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_until(90_000);
+    let events = sim.events_processed() - events_before;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let per_event = allocs as f64 / events as f64;
+    println!(
+        "bench steady_state_allocs_sampled                 {allocs} allocs / {events} events = {per_event:.4}/event"
+    );
+    assert!(
+        per_event < 0.05,
+        "metrics sampling must stay allocation-free on the hot loop, got {per_event:.4} allocs/event"
+    );
+}
+
 fn config(n: u128) -> Arc<Configuration> {
     Configuration::bootstrap(
         (1..=n)
@@ -227,6 +256,7 @@ criterion_group!(
     benches,
     bench_steady_state_allocations,
     bench_steady_state_allocations_traced,
+    bench_steady_state_allocations_sampled,
     bench_ring_build,
     bench_cut_detector_ingest,
     bench_vote_merge,

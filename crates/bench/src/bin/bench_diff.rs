@@ -1,0 +1,82 @@
+//! CI regression gate: compares a current benchmark JSON document
+//! against a committed baseline and exits non-zero when any tracked
+//! leaf regressed beyond tolerance.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_diff -- \
+//!     BENCH_route.json /tmp/route_now.json [--tol 0.5] [--skip wall]...
+//! ```
+//!
+//! Leaves are matched by dotted path (see [`bench::diff`]): `_ms`/`_bytes`
+//! suffixes are lower-is-better, `per_s` leaves are higher-is-better,
+//! everything else is informational. `--skip SUBSTR` (repeatable)
+//! excludes paths containing the substring — wall-clock leaves are the
+//! usual candidates on shared CI hardware. `--tol F` widens the default
+//! 25% slack. Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+
+use bench::diff::{regressions, DiffOpts};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut opts = DiffOpts::default();
+    let mut files = Vec::new();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tol" => {
+                i += 1;
+                opts.tol = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| die("--tol needs a non-negative number"));
+            }
+            "--skip" => {
+                i += 1;
+                opts.skip.push(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--skip needs a substring")),
+                );
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag:?}")),
+            path => files.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        die("usage: bench_diff <baseline.json> <current.json> [--tol F] [--skip SUBSTR]...");
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    match regressions(&baseline, &current, &opts) {
+        Ok(regs) if regs.is_empty() => {
+            eprintln!(
+                "bench_diff: {current_path} within {:.0}% of {baseline_path}",
+                opts.tol * 100.0
+            );
+        }
+        Ok(regs) => {
+            eprintln!(
+                "bench_diff: {} regression(s) beyond {:.0}% vs {baseline_path}:",
+                regs.len(),
+                opts.tol * 100.0
+            );
+            for r in &regs {
+                eprintln!("  {}: {} -> {}", r.path, r.baseline, r.current);
+            }
+            std::process::exit(1);
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    std::process::exit(2);
+}

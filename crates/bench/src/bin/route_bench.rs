@@ -9,7 +9,13 @@
 //! cargo run --release -p bench --bin route_bench -- --no-batch   # A/B: wire batching off
 //! cargo run --release -p bench --bin route_bench -- --threads 4  # sharded sim engine
 //! cargo run --release -p bench --bin route_bench -- --bench-json > BENCH_route.json
+//! cargo run --release -p bench --bin route_bench -- --quick --timeline t.jsonl
 //! ```
+//!
+//! `--timeline FILE` turns on the deterministic metrics plane at a 1 s
+//! cadence and writes each scale's per-node timeline (captured after
+//! the steady workload, before fault injection) as JSONL, scales
+//! concatenated in run order. Bit-identical at any `--threads` count.
 //!
 //! Throughput is wall-clock (how fast the engine pushes data-plane
 //! operations end to end, membership traffic included); rebalance
@@ -225,19 +231,26 @@ fn fault_json(r: &FaultResult) -> Json {
     ])
 }
 
-fn settings(batch_wire: bool, threads: usize) -> Settings {
+fn settings(batch_wire: bool, threads: usize, sample_ms: u64) -> Settings {
     Settings {
         batch_wire,
         threads,
+        obs_sample_ms: sample_ms,
         ..Settings::default()
     }
 }
 
-fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
+fn run_scale(
+    n: usize,
+    seed: u64,
+    batch_wire: bool,
+    threads: usize,
+    sample_ms: u64,
+) -> (Json, Vec<String>) {
     // Steady state + throughput.
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed)
-        .settings(settings(batch_wire, threads))
+        .settings(settings(batch_wire, threads, sample_ms))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -274,6 +287,18 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
         op_hist.merge(sim.actor(i).kv().op_hist());
     }
     let (op_p50, op_p99, op_p999) = op_hist.percentiles();
+    // Timeline snapshot of the loaded, steady cluster — before fault
+    // injection churns it. The workload above is completion-bounded and
+    // spans well under one sample interval of virtual time, so idle the
+    // sim to the next sample boundary first; otherwise the ops it just
+    // pushed would sit in a never-sampled partial interval.
+    let timeline = match sim.now().checked_div(sample_ms) {
+        Some(intervals) => {
+            sim.run_until((intervals + 1) * sample_ms);
+            rapid_route::sim::timeline_lines(&sim)
+        }
+        None => Vec::new(),
+    };
     let steady_after = aggregate(&sim);
     let steady_repairs = steady_after.repairs_triggered - steady_before.repairs_triggered;
     let steady_repair_bytes = steady_after.repair_bytes - steady_before.repair_bytes;
@@ -297,7 +322,7 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
     // Fresh cluster for the partition fault (a clean baseline).
     let mut sim = KvClusterBuilder::new(n, spec())
         .seed(seed ^ 0x9E37)
-        .settings(settings(batch_wire, threads))
+        .settings(settings(batch_wire, threads, sample_ms))
         .op_timeout_ms(OP_WINDOW_MS - 500)
         .build_static();
     sim.run_until(2_000);
@@ -321,7 +346,7 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
         partition.unavailability_ms
     );
 
-    Json::obj(vec![
+    let row = Json::obj(vec![
         ("n", Json::uint(n as u64)),
         ("load_acked", Json::uint(acked as u64)),
         ("steady_ops_per_sec_wall", Json::Float(ops_per_sec)),
@@ -341,7 +366,8 @@ fn run_scale(n: usize, seed: u64, batch_wire: bool, threads: usize) -> Json {
         ),
         ("crash", fault_json(&crash)),
         ("partition", fault_json(&partition)),
-    ])
+    ]);
+    (row, timeline)
 }
 
 fn main() {
@@ -359,11 +385,31 @@ fn main() {
                 .expect("--threads needs a positive integer")
         })
         .unwrap_or(1);
+    let timeline_path = args
+        .iter()
+        .position(|a| a == "--timeline")
+        .map(|pos| {
+            args.get(pos + 1)
+                .cloned()
+                .expect("--timeline needs a file path")
+        });
+    let sample_ms = if timeline_path.is_some() { 1_000 } else { 0 };
     let scales: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
 
     let mut results = Vec::new();
+    let mut timeline = Vec::new();
     for (i, &n) in scales.iter().enumerate() {
-        results.push(run_scale(n, 0xB0 + i as u64, batch_wire, threads));
+        let (row, lines) = run_scale(n, 0xB0 + i as u64, batch_wire, threads, sample_ms);
+        results.push(row);
+        timeline.extend(lines);
+    }
+    if let Some(path) = &timeline_path {
+        let mut out = timeline.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        std::fs::write(path, out).expect("write timeline");
+        eprintln!("wrote {path}");
     }
     let doc = Json::obj(vec![
         ("bench", Json::Str("route_bench".into())),

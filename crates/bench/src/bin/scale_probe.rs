@@ -18,6 +18,11 @@
 //! conservative-lookahead parallel mode). The trace — and therefore the
 //! event count — is bit-identical at any thread count; only wall-clock
 //! changes. The JSON records the thread count used.
+//!
+//! `--timeline FILE` (single-probe mode) turns on the deterministic
+//! metrics plane at a 1 s cadence and writes the merged per-node
+//! timeline as JSONL — one line per (sample instant, node) in `(t,
+//! node)` order, bit-identical at any thread count.
 use bench::{SystemKind, World};
 use rapid_core::settings::Settings;
 
@@ -65,20 +70,27 @@ fn events_of(w: &World) -> u64 {
     }
 }
 
-fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> Probe {
+fn probe(
+    n: usize,
+    kind: SystemKind,
+    batch_wire: bool,
+    threads: usize,
+    sample_ms: u64,
+) -> (Probe, Vec<String>) {
     let t0 = std::time::Instant::now();
-    let settings = if batch_wire && threads <= 1 {
+    let settings = if batch_wire && threads <= 1 && sample_ms == 0 {
         None // Protocol defaults: identical construction path.
     } else if matches!(kind, SystemKind::Rapid | SystemKind::RapidC) {
         Some(Settings {
             batch_wire,
             threads,
+            obs_sample_ms: sample_ms,
             ..Settings::default()
         })
     } else {
         // The baselines have no Rapid wire framing or sim settings to tune.
         eprintln!(
-            "note: --no-batch/--threads only affect the Rapid drivers; ignored for {}",
+            "note: --no-batch/--threads/--timeline only affect the Rapid drivers; ignored for {}",
             kind.label()
         );
         None
@@ -94,13 +106,15 @@ fn probe(n: usize, kind: SystemKind, batch_wire: bool, threads: usize) -> Probe 
     let s0 = std::time::Instant::now();
     let now = w.now();
     w.run_until(now + STEADY_WINDOW_MS);
-    Probe {
+    let timeline = if sample_ms > 0 { w.metrics_dump() } else { Vec::new() };
+    let p = Probe {
         converged_at,
         boot_events,
         boot_wall,
         steady_events: events_of(&w) - boot_events,
         steady_wall: s0.elapsed().as_secs_f64(),
-    }
+    };
+    (p, timeline)
 }
 
 fn bench_json(path: &str, batch_wire: bool, threads: usize) {
@@ -110,7 +124,7 @@ speedups on other hardware (or a loaded machine) mix in the hardware ratio"
     );
     let mut rows = String::new();
     for &(n, baseline) in &BASELINE {
-        let p = probe(n, SystemKind::Rapid, batch_wire, threads);
+        let (p, _) = probe(n, SystemKind::Rapid, batch_wire, threads, 0);
         assert!(p.converged_at.is_some(), "bootstrap at n={n} must converge");
         let (events, wall) = (p.boot_events, p.boot_wall);
         let rate = events as f64 / wall;
@@ -174,6 +188,15 @@ fn main() {
             .expect("--threads needs a positive integer");
         args.drain(pos..=pos + 1);
     }
+    let mut timeline_path = None;
+    if let Some(pos) = args.iter().position(|a| a == "--timeline") {
+        timeline_path = Some(
+            args.get(pos + 1)
+                .cloned()
+                .expect("--timeline needs a file path"),
+        );
+        args.drain(pos..=pos + 1);
+    }
     if args.get(1).map(|s| s.as_str()) == Some("--bench-json") {
         let path = args.get(2).map(|s| s.as_str()).unwrap_or("BENCH_sim.json");
         bench_json(path, batch_wire, threads);
@@ -181,7 +204,7 @@ fn main() {
     }
     let n: usize = args
         .get(1)
-        .expect("usage: scale_probe <n> [system] [--no-batch] [--threads N]")
+        .expect("usage: scale_probe <n> [system] [--no-batch] [--threads N] [--timeline FILE]")
         .parse()
         .unwrap();
     let kind = match args.get(2).map(|s| s.as_str()).unwrap_or("rapid") {
@@ -190,7 +213,16 @@ fn main() {
         "rc" => SystemKind::RapidC,
         _ => SystemKind::Rapid,
     };
-    let p = probe(n, kind, batch_wire, threads);
+    let sample_ms = if timeline_path.is_some() { 1_000 } else { 0 };
+    let (p, timeline) = probe(n, kind, batch_wire, threads, sample_ms);
+    if let Some(path) = &timeline_path {
+        let mut out = timeline.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        std::fs::write(path, out).expect("write timeline");
+        eprintln!("wrote {path}");
+    }
     eprintln!(
         "{} n={}: virtual={:?}s wall={:.4}s events={} steady={:.0} events/s threads={}",
         kind.label(),

@@ -1,0 +1,315 @@
+//! Leaf-by-leaf comparison of two benchmark JSON documents, used by the
+//! `bench_diff` binary as a CI regression gate.
+//!
+//! The comparison is schema-free: both documents are flattened into
+//! `(dotted.path, value)` numeric leaves (`results.0.op_latency_p99_ms`),
+//! then every path present in both is classified by its leaf name:
+//!
+//! - names ending in `_ms` or `_bytes` are **lower-is-better** — a
+//!   regression when `current > baseline * (1 + tol)`;
+//! - names containing `per_s` or `per_sec` are **higher-is-better** — a
+//!   regression when `current < baseline * (1 - tol)`;
+//! - everything else (counts, config echoes) is informational only.
+//!
+//! Values above `1e15` are skipped on either side: they are sentinel
+//! encodings (`u64::MAX` for "never became available"), not measurements.
+//! Paths matching any `--skip` substring are excluded; wall-clock leaves
+//! are the usual candidates on shared hardware.
+
+/// Comparison knobs; `tol` is a fraction (0.25 = 25% slack).
+pub struct DiffOpts {
+    /// Allowed relative degradation before a leaf counts as regressed.
+    pub tol: f64,
+    /// Path substrings to exclude from comparison.
+    pub skip: Vec<String>,
+}
+
+impl Default for DiffOpts {
+    fn default() -> Self {
+        DiffOpts { tol: 0.25, skip: Vec::new() }
+    }
+}
+
+/// One regressed leaf: path, baseline value, current value.
+#[derive(Debug, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the leaf (`results.0.op_latency_p99_ms`).
+    pub path: String,
+    /// Value in the baseline document.
+    pub baseline: f64,
+    /// Value in the current document.
+    pub current: f64,
+}
+
+/// Sentinel ceiling: leaves at or above this are encodings, not data.
+const SENTINEL: f64 = 1e15;
+
+/// Flattens a JSON document into its numeric leaves as
+/// `(dotted.path, value)` pairs, in document order. Strings, booleans
+/// and nulls are walked over but produce no leaves. Returns an error
+/// with byte offset on malformed input.
+pub fn numeric_leaves(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    walk(bytes, &mut pos, &mut String::new(), &mut out)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(out)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn walk(
+    b: &[u8],
+    pos: &mut usize,
+    path: &mut String,
+    out: &mut Vec<(String, f64)>,
+) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let saved = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&key);
+                walk(b, pos, path, out)?;
+                path.truncate(saved);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {}
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut idx = 0usize;
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                let saved = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&idx.to_string());
+                walk(b, pos, path, out)?;
+                path.truncate(saved);
+                idx += 1;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {}
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            parse_string(b, pos)?;
+            Ok(())
+        }
+        Some(b't') => expect(b, pos, "true"),
+        Some(b'f') => expect(b, pos, "false"),
+        Some(b'n') => expect(b, pos, "null"),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            let v: f64 = s
+                .parse()
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))?;
+            out.push((path.clone(), v));
+            Ok(())
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("expected {word:?} at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let start = *pos;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// True when a lower value of this leaf is better (latency, traffic).
+fn lower_is_better(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    leaf.ends_with("_ms") || leaf.ends_with("_bytes")
+}
+
+/// True when a higher value of this leaf is better (throughput).
+fn higher_is_better(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    leaf.contains("per_s") || leaf.contains("per_sec")
+}
+
+/// Compares two documents and returns the regressed leaves, in the
+/// baseline's document order. Leaves present in only one document are
+/// ignored (schemas may grow between PRs).
+pub fn regressions(
+    baseline: &str,
+    current: &str,
+    opts: &DiffOpts,
+) -> Result<Vec<Regression>, String> {
+    let base = numeric_leaves(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = numeric_leaves(current).map_err(|e| format!("current: {e}"))?;
+    let cur_map: std::collections::HashMap<&str, f64> =
+        cur.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let mut out = Vec::new();
+    for (path, b) in &base {
+        if opts.skip.iter().any(|s| path.contains(s.as_str())) {
+            continue;
+        }
+        let Some(&c) = cur_map.get(path.as_str()) else {
+            continue;
+        };
+        if b.abs() >= SENTINEL || c.abs() >= SENTINEL {
+            continue;
+        }
+        let regressed = if lower_is_better(path) {
+            c > b * (1.0 + opts.tol)
+        } else if higher_is_better(path) {
+            c < b * (1.0 - opts.tol)
+        } else {
+            false
+        };
+        if regressed {
+            out.push(Regression { path: path.clone(), baseline: *b, current: c });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "bench": "route_bench",
+      "threads": 1,
+      "results": [
+        {"n": 64, "op_latency_p99_ms": 4, "steady_ops_per_sec_wall": 100000.0,
+         "steady_kv_wire_bytes": 50000, "unavailability_ms": 18446744073709551615}
+      ]
+    }"#;
+
+    #[test]
+    fn flattens_numeric_leaves_with_dotted_paths() {
+        let leaves = numeric_leaves(BASE).unwrap();
+        let paths: Vec<&str> = leaves.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "threads",
+                "results.0.n",
+                "results.0.op_latency_p99_ms",
+                "results.0.steady_ops_per_sec_wall",
+                "results.0.steady_kv_wire_bytes",
+                "results.0.unavailability_ms",
+            ]
+        );
+        assert_eq!(leaves[1].1, 64.0);
+    }
+
+    #[test]
+    fn identical_documents_have_no_regressions() {
+        let r = regressions(BASE, BASE, &DiffOpts::default()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn detects_injected_latency_regression() {
+        let cur = BASE.replace("\"op_latency_p99_ms\": 4", "\"op_latency_p99_ms\": 9");
+        let r = regressions(BASE, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].path, "results.0.op_latency_p99_ms");
+        assert_eq!((r[0].baseline, r[0].current), (4.0, 9.0));
+    }
+
+    #[test]
+    fn detects_throughput_drop_and_respects_tolerance() {
+        let cur = BASE.replace("100000.0", "60000.0");
+        let r = regressions(BASE, &cur, &DiffOpts::default()).unwrap();
+        assert_eq!(r.len(), 1, "40% drop beats the 25% default tolerance");
+        assert_eq!(r[0].path, "results.0.steady_ops_per_sec_wall");
+        let lax = DiffOpts { tol: 0.5, ..DiffOpts::default() };
+        assert!(regressions(BASE, &cur, &lax).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skip_substring_and_sentinel_values_are_excluded() {
+        // A huge unavailability_ms on both sides is a u64::MAX sentinel.
+        let cur = BASE
+            .replace("\"steady_kv_wire_bytes\": 50000", "\"steady_kv_wire_bytes\": 90000");
+        let opts = DiffOpts { skip: vec!["wire_bytes".into()], ..DiffOpts::default() };
+        assert!(regressions(BASE, &cur, &opts).unwrap().is_empty());
+        assert_eq!(regressions(BASE, &cur, &DiffOpts::default()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn counts_and_config_leaves_are_informational() {
+        let cur = BASE.replace("\"threads\": 1", "\"threads\": 4");
+        assert!(regressions(BASE, &cur, &DiffOpts::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(numeric_leaves("{\"a\": }").is_err());
+        assert!(numeric_leaves("{\"a\": 1} x").is_err());
+    }
+}

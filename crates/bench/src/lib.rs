@@ -16,6 +16,8 @@
 
 use std::fmt::Display;
 
+pub mod diff;
+
 pub use rapid_scenario::{aggregate_timeseries, SystemKind, World};
 
 /// Command-line arguments shared by all experiment binaries.

@@ -88,6 +88,18 @@ pub struct Settings {
     /// node on its own event stream, which is identical across
     /// `threads` values, so enabling it never perturbs determinism.
     pub obs_ring: usize,
+
+    /// Metrics timeline sampling cadence: every `obs_sample_ms` the host
+    /// sweeps each live node, recording the counter *deltas* since the
+    /// previous sweep (messages, bytes, alerts, view changes, KV ops,
+    /// handoff/repair bytes) plus interval histogram p50/p99 into a
+    /// bounded preallocated `Timeline` ring. `0` (the default) disables
+    /// sampling entirely — no sweep events are scheduled and all report
+    /// bytes stay exactly as before. On the simulator the cadence is
+    /// virtual time (sweeps are deterministic engine events, so merged
+    /// timelines are bit-identical across `threads` values); on the real
+    /// driver it is wall time.
+    pub obs_sample_ms: u64,
 }
 
 impl Default for Settings {
@@ -115,6 +127,7 @@ impl Default for Settings {
             batch_wire: true,
             threads: 1,
             obs_ring: 0,
+            obs_sample_ms: 0,
         }
     }
 }

@@ -167,6 +167,40 @@ impl LatencyHist {
         self.max
     }
 
+    /// `(count, p50, p99)` of the records added since `prev` — a clone
+    /// of this histogram taken earlier (histograms only grow, so the
+    /// bucket-wise difference is exactly the interval's own histogram).
+    /// Quantiles are clamped to the upper bound of the highest bucket
+    /// that gained a record (the true interval max is not recoverable
+    /// from two snapshots, but it lives in that bucket). Integer-only,
+    /// hence byte-stable — this is what timeline sampling uses for
+    /// per-interval p50/p99.
+    pub fn interval_quantiles(&self, prev: &LatencyHist) -> (u64, u64, u64) {
+        let n = self.count.saturating_sub(prev.count);
+        if n == 0 {
+            return (0, 0, 0);
+        }
+        let mut hi = 0u64;
+        for i in (0..BUCKETS).rev() {
+            if self.buckets[i] > prev.buckets[i] {
+                hi = bucket_upper(i);
+                break;
+            }
+        }
+        let quantile = |ppm: u64| {
+            let rank = (n * ppm).div_ceil(1_000_000).clamp(1, n);
+            let mut seen = 0u64;
+            for i in 0..BUCKETS {
+                seen += self.buckets[i].saturating_sub(prev.buckets[i]);
+                if seen >= rank {
+                    return bucket_upper(i).min(hi);
+                }
+            }
+            hi
+        };
+        (n, quantile(500_000), quantile(990_000))
+    }
+
     /// `(p50, p99, p999)` in one call.
     pub fn percentiles(&self) -> (u64, u64, u64) {
         (
@@ -260,6 +294,30 @@ mod tests {
         for ppm in [1_000, 500_000, 990_000, 999_000, 1_000_000] {
             assert_eq!(a.quantile_ppm(ppm), both.quantile_ppm(ppm), "ppm={ppm}");
         }
+    }
+
+    #[test]
+    fn interval_quantiles_match_a_fresh_histogram_of_the_interval() {
+        let mut h = LatencyHist::new();
+        for v in [5u64, 9, 200] {
+            h.record(v);
+        }
+        let snap = h.clone();
+        let mut interval_only = LatencyHist::new();
+        for v in [1u64, 2, 3, 4, 50, 60, 70, 5000] {
+            h.record(v);
+            interval_only.record(v);
+        }
+        let (n, p50, p99) = h.interval_quantiles(&snap);
+        assert_eq!(n, 8);
+        assert_eq!(p50, interval_only.quantile_ppm(500_000));
+        // p99 may differ from the fresh histogram's only through the max
+        // clamp (the snapshot diff clamps to a bucket upper bound, the
+        // fresh histogram to the exact max) — both land in the same bucket.
+        assert_eq!(bucket_of(p99), bucket_of(interval_only.quantile_ppm(990_000)));
+        // An empty interval reports zeroes.
+        let snap2 = h.clone();
+        assert_eq!(h.interval_quantiles(&snap2), (0, 0, 0));
     }
 
     #[test]

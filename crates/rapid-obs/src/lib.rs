@@ -17,13 +17,26 @@
 //!   predictable branch. JSONL is materialised only at dump time
 //!   ([`event_jsonl`]), never on the hot path.
 //!
+//! On top of those sit the time-series pieces:
+//!
+//! * [`Timeline`] — a bounded ring of [`TimelinePoint`]s, the counter
+//!   *deltas* a node accumulated between fixed-cadence metrics sweeps
+//!   plus interval p50/p99 diffed from histogram snapshots. Totals say
+//!   what a run cost; the timeline says *when*.
+//! * [`mean`]/[`percentile`] — the analysis-side float helpers shared by
+//!   report and bench code (previously duplicated in `rapid-sim`).
+//!
 //! This crate is dependency-free on purpose: `rapid-core` sits below
 //! every other crate and records into these types directly.
 
 #![forbid(unsafe_code)]
 
 mod hist;
+mod stats;
+mod timeline;
 mod trace;
 
 pub use hist::LatencyHist;
+pub use stats::{mean, percentile};
+pub use timeline::{timeline_jsonl, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 pub use trace::{event_jsonl, EventKind, TraceEvent, TraceRing};

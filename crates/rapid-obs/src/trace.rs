@@ -132,6 +132,14 @@ impl TraceRing {
         self.pushed
     }
 
+    /// Events lost to ring wrap-around: pushes beyond capacity overwrite
+    /// the oldest entry, so a dump holding `cap` events out of `pushed`
+    /// recorded ones is missing `pushed - cap`. Dumps surface this so a
+    /// truncated flight record is never mistaken for a complete one.
+    pub fn dropped(&self) -> u64 {
+        self.pushed.saturating_sub(self.cap as u64)
+    }
+
     /// Number of events currently held (≤ capacity).
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -203,7 +211,22 @@ mod tests {
         r.push(1, EventKind::ViewInstall, 1, 2);
         assert_eq!(r.len(), 0);
         assert_eq!(r.pushed(), 0);
+        assert_eq!(r.dropped(), 0);
         assert!(r.iter_in_order().next().is_none());
+    }
+
+    #[test]
+    fn dropped_counts_overwritten_events() {
+        let mut r = TraceRing::new(4);
+        for i in 0..3u64 {
+            r.push(i, EventKind::AlertApplied, i, 0);
+        }
+        assert_eq!(r.dropped(), 0, "no wrap yet");
+        for i in 3..10u64 {
+            r.push(i, EventKind::AlertApplied, i, 0);
+        }
+        assert_eq!(r.pushed(), 10);
+        assert_eq!(r.dropped(), 6, "10 pushed into a 4-slot ring");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use rapid_core::hash::DetHashMap;
 use rapid_core::id::Endpoint;
 use rapid_core::membership::ViewChange;
 use rapid_core::node::NodeStatus;
-use rapid_core::obs::LatencyHist;
+use rapid_core::obs::{LatencyHist, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 use rapid_core::settings::Settings;
 use rapid_transport::{AppEvent, Runtime};
 
@@ -57,6 +57,12 @@ struct Mirror {
     /// Coordinator-side latency histogram of successful client ops, on
     /// the worker's wall clock (ms). Refreshed on the digest cadence.
     op_hist: LatencyHist,
+    /// Sampled metrics timeline (interval deltas on the wall clock),
+    /// republished in full on every sweep. Empty when `obs_sample_ms`
+    /// is 0.
+    timeline: Vec<TimelinePoint>,
+    /// Sweeps lost to the bounded timeline ring wrapping.
+    timeline_dropped: u64,
 }
 
 /// A real process running membership + the KV data plane.
@@ -66,6 +72,7 @@ pub struct KvRuntime {
     ctl_tx: Sender<RealCtl>,
     mirror: Arc<Mutex<Mirror>>,
     handle: Option<JoinHandle<()>>,
+    introspect_addr: Option<std::net::SocketAddr>,
 }
 
 impl KvRuntime {
@@ -80,8 +87,12 @@ impl KvRuntime {
     ) -> std::io::Result<KvRuntime> {
         let batch_wire = settings.batch_wire;
         let obs_ring = settings.obs_ring;
+        let obs_sample_ms = settings.obs_sample_ms;
         let rt = Runtime::start_seed(listen, settings)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire, obs_ring))
+        Ok(Self::wrap(
+            rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire, obs_ring,
+            obs_sample_ms,
+        ))
     }
 
     /// Starts a joining process with the data plane attached.
@@ -96,19 +107,24 @@ impl KvRuntime {
     ) -> std::io::Result<KvRuntime> {
         let batch_wire = settings.batch_wire;
         let obs_ring = settings.obs_ring;
+        let obs_sample_ms = settings.obs_sample_ms;
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
-        Ok(Self::wrap(rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire, obs_ring))
+        Ok(Self::wrap(
+            rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire, obs_ring,
+            obs_sample_ms,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
     fn wrap(
-        rt: Runtime,
+        mut rt: Runtime,
         route: PlacementConfig,
         op_timeout_ms: u64,
         repair_interval_ms: u64,
         joiner: bool,
         batch_wire: bool,
         obs_ring: usize,
+        obs_sample_ms: u64,
     ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
@@ -128,10 +144,34 @@ impl KvRuntime {
             stats: KvStats::default(),
             digests: Vec::new(),
             op_hist: LatencyHist::new(),
+            timeline: Vec::new(),
+            timeline_dropped: 0,
         }));
+        // Opt-in live introspection: with `RAPID_INTROSPECT=1` the
+        // transport serves a one-line JSON status on a loopback side
+        // listener, and the KV layer appends its published data-plane
+        // counters and op-latency quantiles to that line.
+        let introspect_addr = if std::env::var("RAPID_INTROSPECT").as_deref() == Ok("1") {
+            let probe_mirror = Arc::clone(&mirror);
+            rt.serve_introspection(move |line| {
+                let m = probe_mirror.lock();
+                let (p50, p99) = (
+                    m.op_hist.quantile_ppm(500_000),
+                    m.op_hist.quantile_ppm(990_000),
+                );
+                line.push_str(&format!(
+                    ",\"puts_acked\":{},\"gets_ok\":{},\"bytes_moved\":{},\"repair_bytes\":{},\"op_p50_ms\":{},\"op_p99_ms\":{}",
+                    m.stats.puts_acked, m.stats.gets_ok, m.stats.bytes_moved,
+                    m.stats.repair_bytes, p50, p99,
+                ));
+            })
+            .ok()
+        } else {
+            None
+        };
         let worker_mirror = Arc::clone(&mirror);
         let handle = std::thread::spawn(move || {
-            worker(rt, kv, ops_rx, ctl_rx, worker_mirror);
+            worker(rt, kv, ops_rx, ctl_rx, worker_mirror, obs_sample_ms);
         });
         KvRuntime {
             addr,
@@ -139,6 +179,7 @@ impl KvRuntime {
             ctl_tx,
             mirror,
             handle: Some(handle),
+            introspect_addr,
         }
     }
 
@@ -176,6 +217,24 @@ impl KvRuntime {
     /// partition this process replicates.
     pub fn digest_snapshot(&self) -> Vec<(u32, PartitionDigest, bool)> {
         self.mirror.lock().digests.clone()
+    }
+
+    /// Latest published metrics timeline: one interval-delta point per
+    /// elapsed `obs_sample_ms` on the worker's wall clock, oldest first.
+    /// Empty when sampling is disabled (`obs_sample_ms == 0`).
+    pub fn timeline(&self) -> Vec<TimelinePoint> {
+        self.mirror.lock().timeline.clone()
+    }
+
+    /// Timeline sweeps lost to the bounded ring wrapping.
+    pub fn timeline_dropped(&self) -> u64 {
+        self.mirror.lock().timeline_dropped
+    }
+
+    /// The loopback introspection listener's address, when enabled via
+    /// `RAPID_INTROSPECT=1` at startup.
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.introspect_addr
     }
 
     /// Begins a write through this process; the outcome arrives on the
@@ -232,12 +291,24 @@ fn worker(
     ops_rx: Receiver<RealOp>,
     ctl_rx: Receiver<RealCtl>,
     mirror: Arc<Mutex<Mirror>>,
+    obs_sample_ms: u64,
 ) {
     let mut out: Vec<KvOut> = Vec::new();
     let mut replies: DetHashMap<u64, Sender<KvOutcome>> = DetHashMap::default();
     let start = Instant::now();
     let mut view_count = 0u64;
     let mut next_tick = Instant::now();
+    // Metrics timeline: the same delta sampler the simulator runs, on
+    // the wall clock. Disabled (capacity 0, no deadline checks beyond
+    // one branch) when `obs_sample_ms` is 0.
+    let mut timeline = if obs_sample_ms > 0 {
+        Timeline::new(DEFAULT_TIMELINE_CAP)
+    } else {
+        Timeline::new(0)
+    };
+    let mut cursor = TimelinePoint::default();
+    let mut prev_hist = LatencyHist::new();
+    let mut next_sample = Instant::now() + Duration::from_millis(obs_sample_ms.max(1));
     // If the process starts as an active seed, its one-member view is
     // already installed — subscribe the data plane immediately.
     if rt.status() == NodeStatus::Active {
@@ -324,6 +395,45 @@ fn worker(
                 }
             }
         }
+        // Metrics sweep: record the deltas since the previous sweep.
+        // Membership wire counters live on the transport's driver
+        // thread, so the real-driver timeline carries the data plane
+        // (ops, handoff/repair bytes, view changes) — the simulator
+        // fills the network columns.
+        let mut fresh_timeline = false;
+        if timeline.enabled() && Instant::now() >= next_sample {
+            let s = *kv.stats();
+            let ops = s.puts_acked + s.gets_ok;
+            let (_, p50, p99) = kv.op_hist().interval_quantiles(&prev_hist);
+            let t_ms = start.elapsed().as_millis() as u64;
+            timeline.push(TimelinePoint {
+                t_ms,
+                msgs: 0,
+                bytes: 0,
+                alerts: 0,
+                view_changes: view_count - cursor.view_changes,
+                ops: ops - cursor.ops,
+                handoff_bytes: s.bytes_moved - cursor.handoff_bytes,
+                repair_bytes: s.repair_bytes - cursor.repair_bytes,
+                p50_ms: p50,
+                p99_ms: p99,
+            });
+            cursor = TimelinePoint {
+                t_ms,
+                msgs: 0,
+                bytes: 0,
+                alerts: 0,
+                view_changes: view_count,
+                ops,
+                handoff_bytes: s.bytes_moved,
+                repair_bytes: s.repair_bytes,
+                p50_ms: 0,
+                p99_ms: 0,
+            };
+            prev_hist = kv.op_hist().clone();
+            next_sample += Duration::from_millis(obs_sample_ms);
+            fresh_timeline = true;
+        }
         // Publish.
         {
             let mut m = mirror.lock();
@@ -334,6 +444,10 @@ fn worker(
             if let Some(d) = fresh_digests {
                 m.digests = d;
                 m.op_hist = kv.op_hist().clone();
+            }
+            if fresh_timeline {
+                m.timeline = timeline.iter_in_order().copied().collect();
+                m.timeline_dropped = timeline.dropped();
             }
         }
     }
@@ -372,6 +486,59 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         false
+    }
+
+    #[test]
+    fn real_timeline_samples_ops_and_introspection_reports_them() {
+        // The env gate is read once at startup; set it before the
+        // runtime exists. Harmless to the other test in this module
+        // (it would merely also serve a status socket).
+        std::env::set_var("RAPID_INTROSPECT", "1");
+        let settings = Settings {
+            obs_sample_ms: 100,
+            ..fast_settings()
+        };
+        let seed = KvRuntime::start_seed(
+            Endpoint::new("127.0.0.1", 0),
+            settings,
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
+        std::env::remove_var("RAPID_INTROSPECT");
+        assert!(wait_for(
+            || seed.status() == NodeStatus::Active,
+            Duration::from_secs(10)
+        ));
+        for i in 0..8 {
+            let rx = seed.begin_put(&format!("tk{i}"), "tv");
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(KvOutcome::Acked { .. })
+            ));
+        }
+        // Wall-clock sweeps land on the 100 ms cadence; the delta sums
+        // must recover the cumulative op count.
+        assert!(
+            wait_for(
+                || seed.timeline().iter().map(|p| p.ops).sum::<u64>() >= 8,
+                Duration::from_secs(10)
+            ),
+            "timeline deltas must sum to the acked ops: {:?}",
+            seed.timeline()
+        );
+        assert_eq!(seed.timeline_dropped(), 0);
+        let probe = seed.introspect_addr().expect("introspection enabled by env");
+        let mut conn = std::net::TcpStream::connect(probe).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut body = String::new();
+        use std::io::Read as _;
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.contains("\"status\":\"Active\""), "{body:?}");
+        assert!(body.contains("\"puts_acked\":8"), "{body:?}");
+        assert!(body.contains("\"op_p99_ms\":"), "{body:?}");
+        seed.shutdown_now();
     }
 
     #[test]

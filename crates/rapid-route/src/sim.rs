@@ -13,10 +13,12 @@ use rapid_core::config::Configuration;
 use rapid_core::id::Endpoint;
 use rapid_core::membership::ViewChange;
 use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::obs::{timeline_jsonl, LatencyHist, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 use rapid_core::ring::TopologyCache;
 use rapid_core::settings::Settings;
 use rapid_core::wire::{self, Message};
 use rapid_sim::cluster::{sim_member, ActorLog, RapidActor, RapidClusterBuilder};
+use rapid_sim::engine::NetSample;
 use rapid_sim::{Actor, Outbox, Simulation};
 
 use crate::kv::{self, ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats};
@@ -44,6 +46,13 @@ pub struct KvSimActor {
     pub completed: Vec<(u64, KvOutcome)>,
     actions: Vec<Action>,
     kv_out: Vec<KvOut>,
+    /// Sampled metrics timeline (lazily allocated on the first sweep;
+    /// sweeps only fire when `Settings::obs_sample_ms > 0`).
+    timeline: Timeline,
+    /// Cumulative counter values as of the last sweep, in point layout.
+    cursor: TimelinePoint,
+    /// Snapshot of the coordinator op histogram at the last sweep.
+    prev_hist: LatencyHist,
 }
 
 impl KvSimActor {
@@ -56,7 +65,23 @@ impl KvSimActor {
             completed: Vec::new(),
             actions: Vec::new(),
             kv_out: Vec::new(),
+            timeline: Timeline::new(0),
+            cursor: TimelinePoint::default(),
+            prev_hist: LatencyHist::new(),
         }
+    }
+
+    /// The sampled metrics timeline (empty unless the cluster ran with
+    /// `Settings::obs_sample_ms > 0`).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Cumulative counters as of the last metrics sweep, in point
+    /// layout — the sum of all emitted point deltas (see the membership
+    /// actor's equivalent for the invariant the tests pin).
+    pub fn sampled_totals(&self) -> &TimelinePoint {
+        &self.cursor
     }
 
     /// The membership node.
@@ -189,6 +214,44 @@ impl Actor for KvSimActor {
         (self.node.status() == NodeStatus::Active)
             .then(|| self.node.configuration().len() as f64)
     }
+
+    fn on_metrics_sample(&mut self, now_ms: u64, net: NetSample) {
+        if !self.timeline.enabled() {
+            self.timeline = Timeline::new(DEFAULT_TIMELINE_CAP);
+        }
+        let m = self.node.metrics();
+        let s = self.kv.stats();
+        // KV actors report coordinator op latency as the interval
+        // quantiles (the data-plane signal); membership-only actors
+        // report detection→install instead.
+        let (_, p50, p99) = self.kv.op_hist().interval_quantiles(&self.prev_hist);
+        let ops = s.puts_acked + s.gets_ok;
+        self.timeline.push(TimelinePoint {
+            t_ms: now_ms,
+            msgs: net.msgs_out - self.cursor.msgs,
+            bytes: net.bytes_out - self.cursor.bytes,
+            alerts: m.alerts_applied - self.cursor.alerts,
+            view_changes: m.view_changes - self.cursor.view_changes,
+            ops: ops - self.cursor.ops,
+            handoff_bytes: s.bytes_moved - self.cursor.handoff_bytes,
+            repair_bytes: s.repair_bytes - self.cursor.repair_bytes,
+            p50_ms: p50,
+            p99_ms: p99,
+        });
+        self.cursor = TimelinePoint {
+            t_ms: now_ms,
+            msgs: net.msgs_out,
+            bytes: net.bytes_out,
+            alerts: m.alerts_applied,
+            view_changes: m.view_changes,
+            ops,
+            handoff_bytes: s.bytes_moved,
+            repair_bytes: s.repair_bytes,
+            p50_ms: 0,
+            p99_ms: 0,
+        };
+        self.prev_hist = self.kv.op_hist().clone();
+    }
 }
 
 /// Builder for simulated routed (membership + KV) deployments, mirroring
@@ -256,6 +319,7 @@ impl KvClusterBuilder {
     pub fn build_static(&self) -> Simulation<KvSimActor> {
         let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
         sim.set_threads(self.inner.settings.threads);
+        sim.set_metrics_interval(self.inner.settings.obs_sample_ms);
         let members: Vec<_> = (0..self.inner.n).map(sim_member).collect();
         let cfg = Configuration::bootstrap(members.clone());
         let topo = TopologyCache::new();
@@ -285,6 +349,7 @@ impl KvClusterBuilder {
     pub fn build_bootstrap(&self) -> Simulation<KvSimActor> {
         let mut sim = Simulation::new(self.inner.seed, self.inner.settings.tick_interval_ms);
         sim.set_threads(self.inner.settings.threads);
+        sim.set_metrics_interval(self.inner.settings.obs_sample_ms);
         let topo = TopologyCache::new();
         let cache = PlacementCache::new();
         let seed_member = sim_member(0);
@@ -334,6 +399,7 @@ impl KvClusterBuilder {
 /// `Settings::obs_ring > 0`.
 pub fn trace_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
     let mut tagged: Vec<(u64, usize, u8, u32, String)> = Vec::new();
+    let mut dropped = 0u64;
     for i in 0..sim.len() {
         let actor = sim.actor(i);
         let label = sim.addr_of(i).host();
@@ -343,9 +409,59 @@ pub fn trace_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
         for ev in actor.kv().trace().iter_in_order() {
             tagged.push((ev.t_ms, i, 1, ev.seq, rapid_core::obs::event_jsonl(label, "kv", ev)));
         }
+        dropped += actor.as_node().trace().dropped() + actor.kv().trace().dropped();
     }
     tagged.sort_by_key(|a| (a.0, a.1, a.2, a.3));
-    tagged.into_iter().map(|(_, _, _, _, line)| line).collect()
+    let mut lines: Vec<String> = tagged.into_iter().map(|(_, _, _, _, line)| line).collect();
+    if dropped > 0 {
+        lines.push(format!("{{\"dropped\":{dropped}}}"));
+    }
+    lines
+}
+
+/// Total trace events lost to ring wrap-around across all actors and
+/// both planes.
+pub fn trace_dropped(sim: &Simulation<KvSimActor>) -> u64 {
+    (0..sim.len())
+        .map(|i| {
+            let a = sim.actor(i);
+            a.as_node().trace().dropped() + a.kv().trace().dropped()
+        })
+        .sum()
+}
+
+/// Merged metrics timeline across every actor, ordered by `(t, actor
+/// index)` — the routed-deployment analogue of
+/// `rapid_sim::cluster::timeline_points`. Empty unless built with
+/// `Settings::obs_sample_ms > 0`.
+pub fn timeline_points(sim: &Simulation<KvSimActor>) -> Vec<(u64, usize, TimelinePoint)> {
+    let mut tagged: Vec<(u64, usize, TimelinePoint)> = Vec::new();
+    for i in 0..sim.len() {
+        for p in sim.actor(i).timeline().iter_in_order() {
+            tagged.push((p.t_ms, i, *p));
+        }
+    }
+    tagged.sort_by_key(|a| (a.0, a.1));
+    tagged
+}
+
+/// Total timeline points lost to ring wrap-around across all actors.
+pub fn timeline_dropped(sim: &Simulation<KvSimActor>) -> u64 {
+    (0..sim.len()).map(|i| sim.actor(i).timeline().dropped()).sum()
+}
+
+/// [`timeline_points`] rendered as JSONL, with a `{"dropped":N}`
+/// trailer when any ring wrapped.
+pub fn timeline_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
+    let mut lines: Vec<String> = timeline_points(sim)
+        .iter()
+        .map(|(_, i, p)| timeline_jsonl(sim.addr_of(*i).host(), p))
+        .collect();
+    let dropped = timeline_dropped(sim);
+    if dropped > 0 {
+        lines.push(format!("{{\"dropped\":{dropped}}}"));
+    }
+    lines
 }
 
 #[cfg(test)]
@@ -494,6 +610,48 @@ mod tests {
             matches!(&outcome, KvOutcome::Found { val, .. } if val == "boot-val"),
             "{outcome:?}"
         );
+    }
+
+    #[test]
+    fn kv_timeline_tracks_ops_and_is_thread_stable() {
+        let run = |threads: usize| {
+            let mut sim = KvClusterBuilder::new(6, spec())
+                .settings(Settings {
+                    obs_sample_ms: 1_000,
+                    threads,
+                    ..quick_settings()
+                })
+                .seed(41)
+                .build_static();
+            sim.run_until(1_000);
+            for i in 0..12 {
+                put(&mut sim, i % 6, &format!("k{i}"), "v");
+            }
+            sim.run_until(20_000);
+            sim
+        };
+        let seq = run(1);
+        let lines = timeline_lines(&seq);
+        assert!(!lines.is_empty(), "sampling on: points must exist");
+        let total_ops: u64 = timeline_points(&seq).iter().map(|(_, _, p)| p.ops).sum();
+        assert!(total_ops >= 12, "op deltas must cover the workload, got {total_ops}");
+        // Delta-sampling sums exactly back to the cumulative counters.
+        for i in 0..seq.len() {
+            let a = seq.actor(i);
+            let (mut ops, mut hb, mut rb) = (0u64, 0u64, 0u64);
+            for p in a.timeline().iter_in_order() {
+                ops += p.ops;
+                hb += p.handoff_bytes;
+                rb += p.repair_bytes;
+            }
+            let tot = a.sampled_totals();
+            assert_eq!(
+                (ops, hb, rb),
+                (tot.ops, tot.handoff_bytes, tot.repair_bytes),
+                "actor {i}"
+            );
+        }
+        assert_eq!(timeline_lines(&run(2)), lines, "2 threads");
     }
 
     #[test]

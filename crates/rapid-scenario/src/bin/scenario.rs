@@ -4,7 +4,8 @@
 //! cargo run --release -p rapid-scenario --bin scenario -- \
 //!     scenarios/smoke_crash.toml [--driver sim|real|both] \
 //!     [--system rapid|rapid-c|memberlist|zookeeper|akka] \
-//!     [--seed N] [--threads N] [--full] [--json] [--trace FILE]
+//!     [--seed N] [--threads N] [--full] [--json] [--trace FILE] \
+//!     [--metrics FILE]
 //!
 //! `--threads N` overrides the simulator worker-thread count (the
 //! `[settings] threads` key); reports are bit-identical at any count.
@@ -12,6 +13,11 @@
 //! (sim driver, rapid-family systems) — also bit-identical at any
 //! thread count. When an expectation fails, the recorder's tail is
 //! printed to stderr regardless of `--trace`.
+//! `--metrics FILE` writes the merged per-node timeline as JSONL,
+//! one line per (sample instant, node) in `(t, node)` order — also
+//! bit-identical at any thread count on the sim driver. If the
+//! scenario does not set `obs_sample_ms`, the flag turns sampling on
+//! at a 1000ms cadence.
 //! ```
 //!
 //! Exit status is non-zero if any evaluated expectation failed.
@@ -27,6 +33,7 @@ struct Opts {
     full: bool,
     json: bool,
     trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Opts, String> {
         full: false,
         json: false,
         trace: None,
+        metrics: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -77,6 +85,11 @@ fn parse_args() -> Result<Opts, String> {
                 i += 1;
                 opts.trace = Some(argv.get(i).cloned().ok_or("--trace needs a file path")?);
             }
+            "--metrics" => {
+                i += 1;
+                opts.metrics =
+                    Some(argv.get(i).cloned().ok_or("--metrics needs a file path")?);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             path => {
                 if !opts.path.is_empty() {
@@ -88,7 +101,7 @@ fn parse_args() -> Result<Opts, String> {
         i += 1;
     }
     if opts.path.is_empty() {
-        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--threads N] [--full] [--json] [--trace FILE]".into());
+        return Err("usage: scenario <file.toml> [--driver sim|real|both] [--system S] [--seed N] [--threads N] [--full] [--json] [--trace FILE] [--metrics FILE]".into());
     }
     Ok(opts)
 }
@@ -184,6 +197,10 @@ fn main() {
     if opts.full {
         scenario.apply_full();
     }
+    if opts.metrics.is_some() && scenario.settings.obs_sample_ms.is_none() {
+        // Asking for a metrics export implies sampling; default cadence 1s.
+        scenario.settings.obs_sample_ms = Some(1000);
+    }
 
     let mut all_passed = true;
     let drivers: Vec<&str> = match opts.driver.as_str() {
@@ -191,7 +208,7 @@ fn main() {
         d => vec![d],
     };
     for d in drivers {
-        let (report, trace) = match d {
+        let (report, trace, metrics, obs_dropped) = match d {
             "sim" => {
                 let mut driver = match SimDriver::new(opts.system, &scenario) {
                     Ok(d) => d,
@@ -201,7 +218,12 @@ fn main() {
                     }
                 };
                 let r = runner::run(&scenario, &mut driver);
-                (r, driver.flight_dump())
+                (
+                    r,
+                    driver.flight_dump(),
+                    driver.metrics_dump(),
+                    driver.obs_dropped(),
+                )
             }
             "real" => {
                 if opts.system != SystemKind::Rapid {
@@ -216,7 +238,12 @@ fn main() {
                     }
                 };
                 let r = runner::run(&scenario, &mut driver);
-                (r, driver.flight_dump())
+                (
+                    r,
+                    driver.flight_dump(),
+                    driver.metrics_dump(),
+                    driver.obs_dropped(),
+                )
             }
             other => {
                 eprintln!("unknown driver {other:?} (sim, real, both)");
@@ -232,6 +259,22 @@ fn main() {
                 eprintln!("cannot write trace {path}: {e}");
                 std::process::exit(2);
             }
+        }
+        if let Some(path) = &opts.metrics {
+            let mut out = metrics.join("\n");
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("cannot write metrics {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        if obs_dropped > 0 {
+            eprintln!(
+                "warning: observability rings dropped {obs_dropped} events \
+                 (raise [settings] obs_ring or lower obs_sample_ms)"
+            );
         }
         match report {
             Ok(r) => {

@@ -119,6 +119,24 @@ pub trait Driver {
     fn flight_dump(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Metrics-timeline dump: every held sample across the cluster as
+    /// JSONL lines in `(t, node)` order. Empty when `obs_sample_ms` is 0
+    /// or the driver doesn't sample.
+    fn metrics_dump(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Every held timeline point as `(t_ms, process_index, point)` in
+    /// `(t, process)` order, for report aggregation.
+    fn timeline_points(&self) -> Vec<(u64, usize, rapid_core::obs::TimelinePoint)> {
+        Vec::new()
+    }
+
+    /// Total events lost to bounded observability rings wrapping.
+    fn obs_dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Whether one poll of `(partition, digest, settled)` snapshots (one
@@ -270,6 +288,18 @@ impl Driver for SimDriver {
 
     fn flight_dump(&self) -> Vec<String> {
         self.world.flight_dump()
+    }
+
+    fn metrics_dump(&self) -> Vec<String> {
+        self.world.metrics_dump()
+    }
+
+    fn timeline_points(&self) -> Vec<(u64, usize, rapid_core::obs::TimelinePoint)> {
+        self.world.timeline_points()
+    }
+
+    fn obs_dropped(&self) -> u64 {
+        self.world.obs_dropped()
     }
 
     fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {
@@ -682,6 +712,47 @@ impl Driver for RealDriver {
             }
         }
         Some(stats)
+    }
+
+    fn metrics_dump(&self) -> Vec<String> {
+        // Wall-clock sampling: each KV worker publishes its own series.
+        // Points are merged in (t, process) order like the simulator's
+        // dump, but timestamps are per-worker wall clocks — comparable
+        // within a process, only roughly across them.
+        let mut lines = Vec::new();
+        for (t, i, p) in self.timeline_points() {
+            let _ = t;
+            let addr = match self.nodes.get(i).and_then(Option::as_ref) {
+                Some(Proc::Kv(rt)) => rt.addr().to_string(),
+                _ => format!("proc-{i}"),
+            };
+            lines.push(rapid_core::obs::timeline_jsonl(&addr, &p));
+        }
+        lines
+    }
+
+    fn timeline_points(&self) -> Vec<(u64, usize, rapid_core::obs::TimelinePoint)> {
+        let mut points = Vec::new();
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if let Some(Proc::Kv(rt)) = slot {
+                for p in rt.timeline() {
+                    points.push((p.t_ms, i, p));
+                }
+            }
+        }
+        points.sort_by_key(|&(t, i, _)| (t, i));
+        points
+    }
+
+    fn obs_dropped(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|p| match p {
+                Proc::Kv(rt) => rt.timeline_dropped(),
+                Proc::Plain(_) => 0,
+            })
+            .sum()
     }
 
     fn kv_converged(&mut self, within_ms: u64) -> Option<bool> {

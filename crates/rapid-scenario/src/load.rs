@@ -165,6 +165,7 @@ fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
             }
             "threads" => patch.threads = Some(req_usize(v, key, ctx)?),
             "obs_ring" => patch.obs_ring = Some(req_usize(v, key, ctx)?),
+            "obs_sample_ms" => patch.obs_sample_ms = Some(req_uint(v, key, ctx)?),
             "batch_wire" => {
                 patch.batch_wire = Some(
                     v.get(key)

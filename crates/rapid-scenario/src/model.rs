@@ -119,6 +119,10 @@ pub struct SettingsPatch {
     /// expectation can dump the recent protocol history; set explicitly
     /// to override.
     pub obs_ring: Option<usize>,
+    /// Metrics timeline sampling cadence in ms (`0` = off, the
+    /// default). When on, every report phase carries a `timeline`
+    /// object and `--metrics FILE` exports the merged per-node series.
+    pub obs_sample_ms: Option<u64>,
 }
 
 impl SettingsPatch {
@@ -141,7 +145,7 @@ impl SettingsPatch {
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
             gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
-            batch_wire, threads, obs_ring
+            batch_wire, threads, obs_ring, obs_sample_ms
         );
         base.validate()
             .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;

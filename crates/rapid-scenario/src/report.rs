@@ -7,6 +7,8 @@
 //! seed on the same driver produce byte-identical JSON — the golden tests
 //! pin exactly that.
 
+use rapid_core::obs::TimelinePoint;
+
 use crate::json::Json;
 use crate::world::TrafficTotals;
 
@@ -77,6 +79,50 @@ pub struct ConvergenceReport {
     pub max: u64,
 }
 
+/// Cluster-aggregated metrics timeline of one phase: one row per sample
+/// instant inside the phase window, counters summed and interval
+/// quantiles maxed across processes. Present only when the scenario
+/// samples (`obs_sample_ms > 0`) — every prior report keeps its exact
+/// bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineReport {
+    /// Sampling cadence the run used.
+    pub sample_ms: u64,
+    /// Samples lost cluster-wide to bounded rings wrapping (cumulative,
+    /// not per-phase — a nonzero value means early points are gone).
+    pub dropped: u64,
+    /// Aggregated interval-delta rows, in time order.
+    pub series: Vec<TimelinePoint>,
+}
+
+impl TimelineReport {
+    /// Aggregates per-process points (already `(t, process)`-sorted)
+    /// that fall inside `[start_ms, end_ms]` into one row per instant.
+    pub fn aggregate(
+        points: &[(u64, usize, TimelinePoint)],
+        start_ms: u64,
+        end_ms: u64,
+        sample_ms: u64,
+        dropped: u64,
+    ) -> TimelineReport {
+        let mut series: Vec<TimelinePoint> = Vec::new();
+        for &(t, _, ref p) in points {
+            if t < start_ms || t > end_ms {
+                continue;
+            }
+            match series.last_mut() {
+                Some(row) if row.t_ms == t => row.absorb(p),
+                _ => series.push(*p),
+            }
+        }
+        TimelineReport {
+            sample_ms,
+            dropped,
+            series,
+        }
+    }
+}
+
 /// Results of one phase.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseReport {
@@ -98,6 +144,9 @@ pub struct PhaseReport {
     /// Fault→view-install convergence samples, where tracked (sim
     /// driver, phases with at least one fault inject).
     pub convergence: Option<ConvergenceReport>,
+    /// Cluster-aggregated metrics timeline of this phase's window,
+    /// where sampled (`obs_sample_ms > 0`).
+    pub timeline: Option<TimelineReport>,
     /// Flight-recorder tail captured when an expectation in this phase
     /// failed: the last N merged trace JSONL lines. Deliberately NOT
     /// part of the JSON report (diagnostics go to stderr; report bytes
@@ -220,6 +269,40 @@ fn phase_json(p: &PhaseReport) -> Json {
             ]),
         ));
     }
+    // The timeline object appears only when the run sampled
+    // (obs_sample_ms > 0): reports of non-sampling runs keep their
+    // exact prior bytes.
+    if let Some(tl) = &p.timeline {
+        fields.push((
+            "timeline",
+            Json::obj(vec![
+                ("sample_ms", Json::uint(tl.sample_ms)),
+                ("dropped", Json::uint(tl.dropped)),
+                (
+                    "series",
+                    Json::Array(
+                        tl.series
+                            .iter()
+                            .map(|pt| {
+                                Json::obj(vec![
+                                    ("t", Json::uint(pt.t_ms)),
+                                    ("msgs", Json::uint(pt.msgs)),
+                                    ("bytes", Json::uint(pt.bytes)),
+                                    ("alerts", Json::uint(pt.alerts)),
+                                    ("view_changes", Json::uint(pt.view_changes)),
+                                    ("ops", Json::uint(pt.ops)),
+                                    ("handoff_bytes", Json::uint(pt.handoff_bytes)),
+                                    ("repair_bytes", Json::uint(pt.repair_bytes)),
+                                    ("p50_ms", Json::uint(pt.p50_ms)),
+                                    ("p99_ms", Json::uint(pt.p99_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     fields.extend([
         (
             "expects",
@@ -282,6 +365,22 @@ mod tests {
                     p99: 2_559,
                     max: 2_400,
                 }),
+                timeline: Some(TimelineReport {
+                    sample_ms: 1_000,
+                    dropped: 0,
+                    series: vec![TimelinePoint {
+                        t_ms: 1_000,
+                        msgs: 12,
+                        bytes: 640,
+                        alerts: 1,
+                        view_changes: 0,
+                        ops: 4,
+                        handoff_bytes: 128,
+                        repair_bytes: 0,
+                        p50_ms: 3,
+                        p99_ms: 7,
+                    }],
+                }),
                 failure_dump: Vec::new(),
                 expects: vec![
                     ExpectReport { desc: "converge(n)".into(), passed: Some(true) },
@@ -295,6 +394,9 @@ mod tests {
         assert!(s.contains(r#""converged_at_ms":41000"#));
         assert!(s.contains(r#""passed":null"#));
         assert!(s.contains(r#""convergence":{"fault_at_ms":5000,"samples":[1800,2000,2400],"p50":2047,"p99":2559,"max":2400}"#));
+        assert!(s.contains(
+            r#""timeline":{"sample_ms":1000,"dropped":0,"series":[{"t":1000,"msgs":12,"bytes":640,"alerts":1,"view_changes":0,"ops":4,"handoff_bytes":128,"repair_bytes":0,"p50_ms":3,"p99_ms":7}]}"#
+        ));
         assert!(r.failures().is_empty());
     }
 
@@ -315,6 +417,7 @@ mod tests {
                 traffic: None,
                 kv: None,
                 convergence: None,
+                timeline: None,
                 failure_dump: Vec::new(),
                 expects: vec![ExpectReport { desc: "boom".into(), passed: Some(false) }],
             }],

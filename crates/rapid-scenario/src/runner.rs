@@ -19,7 +19,9 @@ use rapid_sim::Fault;
 
 use crate::driver::{Driver, ResolvedWorkload};
 use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
-use crate::report::{ConvergenceReport, ExpectReport, KvPhaseReport, PhaseReport, Report};
+use crate::report::{
+    ConvergenceReport, ExpectReport, KvPhaseReport, PhaseReport, Report, TimelineReport,
+};
 use crate::world::KvOp;
 
 /// How many trailing trace lines a failed expectation dumps.
@@ -342,6 +344,18 @@ fn run_phase(
         }
         _ => None,
     };
+    // Metrics plane: when sampling is on, fold this phase's window of the
+    // merged per-node series into a cluster-wide timeline.
+    let timeline = match scenario.settings.obs_sample_ms {
+        Some(ms) if ms > 0 => Some(TimelineReport::aggregate(
+            &driver.timeline_points(),
+            start,
+            end,
+            ms,
+            driver.obs_dropped(),
+        )),
+        _ => None,
+    };
     // Flight recorder: a failed expectation dumps the tail of the merged
     // trace so the failure carries its causal history, not just a verdict.
     let failure_dump = if expects.iter().any(|e| e.passed == Some(false)) {
@@ -361,6 +375,7 @@ fn run_phase(
         traffic,
         kv,
         convergence,
+        timeline,
         failure_dump,
         expects,
     })

@@ -812,6 +812,43 @@ impl World {
         }
     }
 
+    /// The merged metrics timeline of every process, as JSONL lines in
+    /// `(t, node)` order (empty for worlds without samplers, or when
+    /// `obs_sample_ms` is 0). Deterministic: sweeps are engine events,
+    /// bit-identical across thread counts.
+    pub fn metrics_dump(&self) -> Vec<String> {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => rapid_sim::cluster::timeline_lines(s),
+            World::RapidKv(w) => rapid_route::sim::timeline_lines(&w.sim),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Every held timeline point across the cluster as
+    /// `(t_ms, actor_index, point)` in `(t, actor)` order.
+    pub fn timeline_points(&self) -> Vec<(u64, usize, rapid_core::obs::TimelinePoint)> {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => rapid_sim::cluster::timeline_points(s),
+            World::RapidKv(w) => rapid_route::sim::timeline_points(&w.sim),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Total events lost to bounded observability rings wrapping (trace
+    /// rings + timelines), across all processes.
+    pub fn obs_dropped(&self) -> u64 {
+        match self {
+            World::Rapid(s) | World::RapidC(s) => {
+                rapid_sim::cluster::trace_dropped(s) + rapid_sim::cluster::timeline_dropped(s)
+            }
+            World::RapidKv(w) => {
+                rapid_route::sim::trace_dropped(&w.sim)
+                    + rapid_route::sim::timeline_dropped(&w.sim)
+            }
+            _ => 0,
+        }
+    }
+
     /// The system kind hosted by this world.
     pub fn kind_label(&self) -> &'static str {
         match self {

@@ -302,6 +302,60 @@ fn failed_expectation_dumps_the_flight_recorder() {
     assert!(!report.to_json_string().contains("failure_dump"));
 }
 
+/// The metrics-plane determinism pin: with sampling on, a shipped
+/// scenario's merged `--metrics` JSONL and its report (now carrying
+/// per-phase `timeline` objects) are *byte-identical* across simulator
+/// thread counts — and with sampling off (the default), the report
+/// carries no timeline at all, so prior report bytes are unchanged.
+#[test]
+fn shipped_scenario_metrics_are_identical_across_thread_counts() {
+    use rapid_scenario::Driver;
+    let base = shipped("smoke_crash");
+    let run_with = |threads: usize, sample_ms: Option<u64>| {
+        let mut s = base.clone();
+        s.settings.threads = Some(threads);
+        s.settings.obs_sample_ms = sample_ms;
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).expect("sim driver");
+        let report = runner::run(&s, &mut driver).expect("run");
+        (report, driver.metrics_dump(), driver.obs_dropped())
+    };
+    let (r1, m1, d1) = run_with(1, Some(1_000));
+    assert!(!m1.is_empty(), "sampling must produce timeline lines");
+    assert!(
+        m1.iter().all(|l| l.starts_with("{\"t\":") && l.contains("\"node\":")),
+        "metrics dump is JSONL: {m1:?}"
+    );
+    assert_eq!(d1, 0, "default ring must not drop at this scale");
+    let tl = r1.phases[1].timeline.as_ref().expect("crash phase timeline");
+    assert_eq!(tl.sample_ms, 1_000);
+    assert!(!tl.series.is_empty(), "sampled phase must carry series rows");
+    assert!(
+        tl.series.iter().any(|p| p.msgs > 0),
+        "cluster-wide rows must show traffic: {:?}",
+        tl.series
+    );
+    assert!(
+        r1.to_json_string().contains("\"timeline\":{"),
+        "report JSON must carry the timeline object"
+    );
+    for threads in [2, 4] {
+        let (r, m, _) = run_with(threads, Some(1_000));
+        assert_eq!(m1, m, "metrics JSONL must be byte-identical at {threads} threads");
+        assert_eq!(
+            r1.to_json_string(),
+            r.to_json_string(),
+            "report must be byte-identical at {threads} threads"
+        );
+    }
+    // Sampling off: no timeline anywhere in the report bytes.
+    let (off, m_off, _) = run_with(1, None);
+    assert!(m_off.is_empty(), "no sampling, no metrics lines");
+    assert!(
+        !off.to_json_string().contains("timeline"),
+        "obs_sample_ms unset must leave report bytes free of timelines"
+    );
+}
+
 /// Fault-injecting phases report per-process fault→view-install latency
 /// samples, and those samples are deterministic across runs.
 #[test]

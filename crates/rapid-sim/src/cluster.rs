@@ -15,11 +15,12 @@ use rapid_core::config::{Configuration, Member};
 use rapid_core::id::{Endpoint, NodeId};
 use rapid_core::membership::ViewChange;
 use rapid_core::node::{Action, Event, Node, NodeStatus};
+use rapid_core::obs::{timeline_jsonl, LatencyHist, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 use rapid_core::ring::TopologyCache;
 use rapid_core::settings::Settings;
 use rapid_core::wire::{self, Message};
 
-use crate::engine::{Actor, Outbox, Simulation};
+use crate::engine::{Actor, NetSample, Outbox, Simulation};
 
 /// Application-visible protocol events recorded per actor.
 #[derive(Clone, Debug, Default)]
@@ -46,34 +47,57 @@ pub struct RapidActor {
     /// Reusable action buffer handed to the node on every event, so the
     /// steady-state delivery path allocates nothing in the harness.
     actions: Vec<Action>,
+    /// Sampled metrics timeline. Allocated lazily on the first sweep
+    /// (sweeps only fire when `Settings::obs_sample_ms > 0`), so runs
+    /// without sampling carry an empty disabled ring.
+    timeline: Timeline,
+    /// Cumulative counter values as of the last sweep, reusing the point
+    /// layout: the next sweep's deltas are `current - cursor`.
+    cursor: TimelinePoint,
+    /// Snapshot of `detect_to_install` at the last sweep, for interval
+    /// quantiles (inline buckets — cloning never allocates).
+    prev_hist: LatencyHist,
 }
 
 impl RapidActor {
-    /// Wraps a decentralized node.
-    pub fn node(node: Node) -> Self {
+    fn wrap(inner: Inner) -> Self {
         RapidActor {
-            inner: Inner::Node(Box::new(node)),
+            inner,
             log: ActorLog::default(),
             actions: Vec::new(),
+            timeline: Timeline::new(0),
+            cursor: TimelinePoint::default(),
+            prev_hist: LatencyHist::new(),
         }
+    }
+
+    /// Wraps a decentralized node.
+    pub fn node(node: Node) -> Self {
+        Self::wrap(Inner::Node(Box::new(node)))
     }
 
     /// Wraps a Rapid-C ensemble node.
     pub fn ensemble(node: EnsembleNode) -> Self {
-        RapidActor {
-            inner: Inner::Ensemble(Box::new(node)),
-            log: ActorLog::default(),
-            actions: Vec::new(),
-        }
+        Self::wrap(Inner::Ensemble(Box::new(node)))
     }
 
     /// Wraps a Rapid-C edge agent.
     pub fn agent(agent: EdgeAgent) -> Self {
-        RapidActor {
-            inner: Inner::Agent(Box::new(agent)),
-            log: ActorLog::default(),
-            actions: Vec::new(),
-        }
+        Self::wrap(Inner::Agent(Box::new(agent)))
+    }
+
+    /// The sampled metrics timeline (empty unless the cluster ran with
+    /// `Settings::obs_sample_ms > 0`).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Cumulative counters as of the last metrics sweep, in point
+    /// layout. The sum of all emitted point deltas equals this exactly
+    /// (as long as the ring never wrapped) — the property the
+    /// delta-sampling tests pin.
+    pub fn sampled_totals(&self) -> &TimelinePoint {
+        &self.cursor
     }
 
     /// The wrapped decentralized node, if this actor is one.
@@ -212,6 +236,38 @@ impl Actor for RapidActor {
             Inner::Ensemble(_) => None,
         }
     }
+
+    fn on_metrics_sample(&mut self, now_ms: u64, net: NetSample) {
+        // Cluster processes only, matching `sample`: the auxiliary
+        // ensemble is not part of the measured deployment.
+        let m = match &self.inner {
+            Inner::Node(n) => n.metrics(),
+            Inner::Agent(a) => a.metrics(),
+            Inner::Ensemble(_) => return,
+        };
+        if !self.timeline.enabled() {
+            self.timeline = Timeline::new(DEFAULT_TIMELINE_CAP);
+        }
+        let (_, p50, p99) = m.detect_to_install.interval_quantiles(&self.prev_hist);
+        self.timeline.push(TimelinePoint {
+            t_ms: now_ms,
+            msgs: net.msgs_out - self.cursor.msgs,
+            bytes: net.bytes_out - self.cursor.bytes,
+            alerts: m.alerts_applied - self.cursor.alerts,
+            view_changes: m.view_changes - self.cursor.view_changes,
+            ops: 0,
+            handoff_bytes: 0,
+            repair_bytes: 0,
+            p50_ms: p50,
+            p99_ms: p99,
+        });
+        self.cursor.t_ms = now_ms;
+        self.cursor.msgs = net.msgs_out;
+        self.cursor.bytes = net.bytes_out;
+        self.cursor.alerts = m.alerts_applied;
+        self.cursor.view_changes = m.view_changes;
+        self.prev_hist = m.detect_to_install.clone();
+    }
 }
 
 /// Builds the canonical member identity for simulated process `i`.
@@ -263,6 +319,7 @@ impl RapidClusterBuilder {
     pub fn build_bootstrap(&self) -> Simulation<RapidActor> {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
         sim.set_threads(self.settings.threads);
+        sim.set_metrics_interval(self.settings.obs_sample_ms);
         let cache = TopologyCache::new();
         let seed_member = sim_member(0);
         let seed_node = Node::with_parts(
@@ -298,6 +355,7 @@ impl RapidClusterBuilder {
     pub fn build_static(&self) -> Simulation<RapidActor> {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
         sim.set_threads(self.settings.threads);
+        sim.set_metrics_interval(self.settings.obs_sample_ms);
         let members: Vec<Member> = (0..self.n).map(sim_member).collect();
         let cfg = Configuration::bootstrap(members.clone());
         let cache = TopologyCache::new();
@@ -324,6 +382,7 @@ impl RapidClusterBuilder {
     pub fn build_centralized(&self, ensemble_size: usize) -> (Simulation<RapidActor>, usize) {
         let mut sim = Simulation::new(self.seed, self.settings.tick_interval_ms);
         sim.set_threads(self.settings.threads);
+        sim.set_metrics_interval(self.settings.obs_sample_ms);
         let ensemble_members: Vec<Member> =
             (0..ensemble_size).map(|i| {
                 Member::new(
@@ -380,16 +439,71 @@ pub fn all_report(sim: &Simulation<RapidActor>, target: usize) -> bool {
 /// Empty unless the cluster was built with `Settings::obs_ring > 0`.
 pub fn trace_lines(sim: &Simulation<RapidActor>) -> Vec<String> {
     let mut tagged: Vec<(u64, usize, u32, String)> = Vec::new();
+    let mut dropped = 0u64;
     for i in 0..sim.len() {
         if let Some(n) = sim.actor(i).as_node() {
             let label = sim.addr_of(i).host();
             for ev in n.trace().iter_in_order() {
                 tagged.push((ev.t_ms, i, ev.seq, rapid_core::obs::event_jsonl(label, "m", ev)));
             }
+            dropped += n.trace().dropped();
         }
     }
     tagged.sort_by_key(|a| (a.0, a.1, a.2));
-    tagged.into_iter().map(|(_, _, _, line)| line).collect()
+    let mut lines: Vec<String> = tagged.into_iter().map(|(_, _, _, line)| line).collect();
+    // Ring wrap-around loses the oldest events; the trailer keeps a
+    // truncated dump from reading as a complete record. Per-node push
+    // counts are thread-count-independent, so emitting it never breaks
+    // the byte-identity golden.
+    if dropped > 0 {
+        lines.push(format!("{{\"dropped\":{dropped}}}"));
+    }
+    lines
+}
+
+/// Total trace events lost to ring wrap-around across all actors.
+pub fn trace_dropped(sim: &Simulation<RapidActor>) -> u64 {
+    (0..sim.len())
+        .filter_map(|i| sim.actor(i).as_node())
+        .map(|n| n.trace().dropped())
+        .sum()
+}
+
+/// Merged metrics timeline across every actor: one `(t, actor index,
+/// point)` triple per held sample, ordered by `(t, actor index)` — at
+/// most one point per actor per sweep instant, so no per-node sequence
+/// number is needed. Sweeps are deterministic engine events, so the
+/// merge is byte-identical across `Settings::threads` values. Empty
+/// unless the cluster ran with `Settings::obs_sample_ms > 0`.
+pub fn timeline_points(sim: &Simulation<RapidActor>) -> Vec<(u64, usize, TimelinePoint)> {
+    let mut tagged: Vec<(u64, usize, TimelinePoint)> = Vec::new();
+    for i in 0..sim.len() {
+        for p in sim.actor(i).timeline().iter_in_order() {
+            tagged.push((p.t_ms, i, *p));
+        }
+    }
+    tagged.sort_by_key(|a| (a.0, a.1));
+    tagged
+}
+
+/// Total timeline points lost to ring wrap-around across all actors.
+pub fn timeline_dropped(sim: &Simulation<RapidActor>) -> u64 {
+    (0..sim.len()).map(|i| sim.actor(i).timeline().dropped()).sum()
+}
+
+/// [`timeline_points`] rendered as JSONL (the `--metrics` /
+/// `--timeline` dump format), with a `{"dropped":N}` trailer when any
+/// ring wrapped.
+pub fn timeline_lines(sim: &Simulation<RapidActor>) -> Vec<String> {
+    let mut lines: Vec<String> = timeline_points(sim)
+        .iter()
+        .map(|(_, i, p)| timeline_jsonl(sim.addr_of(*i).host(), p))
+        .collect();
+    let dropped = timeline_dropped(sim);
+    if dropped > 0 {
+        lines.push(format!("{{\"dropped\":{dropped}}}"));
+    }
+    lines
 }
 
 /// The number of non-crashed actors that are active members right now.
@@ -455,6 +569,60 @@ mod tests {
         sim.schedule_fault(sim.now() + 1_000, Fault::Crash(first_agent + 2));
         let t = sim.run_until_pred(sim.now() + 120_000, |s| all_report(s, 11));
         assert!(t.is_some(), "Rapid-C must remove the crashed agent");
+    }
+
+    #[test]
+    fn timeline_deltas_sum_to_cumulative_and_merge_is_thread_stable() {
+        let run = |threads: usize| {
+            let mut sim = RapidClusterBuilder::new(12)
+                .settings(Settings {
+                    obs_sample_ms: 1_000,
+                    threads,
+                    ..quick_settings()
+                })
+                .seed(15)
+                .build_static();
+            sim.schedule_fault(5_000, crate::engine::Fault::Crash(3));
+            sim.run_until(30_000);
+            sim
+        };
+        let seq = run(1);
+        let lines = timeline_lines(&seq);
+        assert!(!lines.is_empty(), "sampling on: points must exist");
+        // Delta-sampling sums exactly back to the cumulative counters at
+        // the last sweep (the ring never wraps in 30 virtual seconds).
+        for i in 0..seq.len() {
+            let a = seq.actor(i);
+            assert_eq!(a.timeline().dropped(), 0);
+            let (mut msgs, mut bytes, mut alerts, mut views) = (0u64, 0u64, 0u64, 0u64);
+            for p in a.timeline().iter_in_order() {
+                msgs += p.msgs;
+                bytes += p.bytes;
+                alerts += p.alerts;
+                views += p.view_changes;
+            }
+            let tot = a.sampled_totals();
+            assert_eq!(
+                (msgs, bytes, alerts, views),
+                (tot.msgs, tot.bytes, tot.alerts, tot.view_changes),
+                "actor {i}"
+            );
+        }
+        // The merged dump is byte-identical across thread counts.
+        for threads in [2usize, 4] {
+            assert_eq!(timeline_lines(&run(threads)), lines, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn timeline_disabled_by_default() {
+        let mut sim = RapidClusterBuilder::new(8)
+            .settings(quick_settings())
+            .seed(16)
+            .build_static();
+        sim.run_until(10_000);
+        assert!(timeline_points(&sim).is_empty());
+        assert_eq!(timeline_dropped(&sim), 0);
     }
 
     #[test]

@@ -44,6 +44,30 @@ pub trait Actor {
     /// The actor's current observation of the cluster size (`None` while
     /// it is not an active member). Sampled once per second.
     fn sample(&self) -> Option<f64>;
+
+    /// Called on every metrics sweep (cadence set via
+    /// [`Simulation::set_metrics_interval`]; never called when sampling
+    /// is disabled). `net` carries the engine's cumulative network
+    /// counters for this actor — hosts diff them against their previous
+    /// sweep to produce timeline deltas. Sweeps are ordinary
+    /// deterministic engine events, identical across thread counts.
+    fn on_metrics_sample(&mut self, _now_ms: u64, _net: NetSample) {}
+}
+
+/// Snapshot of an actor's cumulative engine-side network counters,
+/// handed to [`Actor::on_metrics_sample`]. Needed because byte/message
+/// accounting lives in the engine's [`Traffic`] table, not in the actor
+/// (a `NodeMetrics`-style host counter is unfilled in simulation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSample {
+    /// Total bytes received so far.
+    pub bytes_in: u64,
+    /// Total bytes sent so far.
+    pub bytes_out: u64,
+    /// Total messages received so far.
+    pub msgs_in: u64,
+    /// Total messages sent so far.
+    pub msgs_out: u64,
 }
 
 /// Messages an actor wants transmitted.
@@ -144,6 +168,10 @@ enum Entry<M> {
     Start { idx: usize },
     Fault(Fault),
     SampleAll,
+    /// Fixed-cadence metrics sweep (timeline sampling). A boundary event
+    /// like `SampleAll`: it touches every slot, so the parallel engine
+    /// runs it alone on the driving thread.
+    MetricsSweep,
 }
 
 /// Heap item ordered by `(time, seq)` only — `BinaryHeap` is a max-heap,
@@ -340,6 +368,8 @@ pub struct Simulation<A: Actor> {
     now: u64,
     tick_interval_ms: u64,
     sample_interval_ms: u64,
+    /// Metrics-sweep cadence; 0 (the default) schedules no sweeps.
+    metrics_interval_ms: u64,
     samples: Vec<Sample>,
     events_processed: u64,
     /// Reusable outbox backing store: every tick/delivery borrows this
@@ -369,6 +399,7 @@ impl<A: Actor> Simulation<A> {
             now: 0,
             tick_interval_ms,
             sample_interval_ms: 1_000,
+            metrics_interval_ms: 0,
             samples: Vec::new(),
             events_processed: 0,
             outbox_scratch: Vec::new(),
@@ -392,6 +423,19 @@ impl<A: Actor> Simulation<A> {
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables fixed-cadence metrics sweeps: every `ms` virtual
+    /// milliseconds each live actor gets an
+    /// [`Actor::on_metrics_sample`] callback carrying its cumulative
+    /// network counters. `0` (the default) leaves sweeps off — no event
+    /// is scheduled, so disabled runs replay byte-identically to builds
+    /// that predate the timeline. Call at most once, before running.
+    pub fn set_metrics_interval(&mut self, ms: u64) {
+        self.metrics_interval_ms = ms;
+        if ms > 0 {
+            self.push(self.now + ms, Entry::MetricsSweep);
+        }
     }
 
     /// Sets the minimum epoch batch size at which the parallel engine
@@ -617,6 +661,7 @@ impl<A: Actor> Simulation<A> {
                 }
                 Entry::Fault(f) => self.apply_fault(f),
                 Entry::SampleAll => self.sample_all(),
+                Entry::MetricsSweep => self.metrics_sweep(),
             }
         }
         self.now = self.now.max(until_ms);
@@ -639,6 +684,27 @@ impl<A: Actor> Simulation<A> {
         }
         let next = self.now + self.sample_interval_ms;
         self.push(next, Entry::SampleAll);
+    }
+
+    /// Delivers the metrics-sweep callback to every live actor (in slot
+    /// order, like `sample_all`) and schedules the next sweep. Expects
+    /// `self.now` to be the sweep time.
+    fn metrics_sweep(&mut self) {
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].started || self.net.is_crashed(idx) {
+                continue;
+            }
+            let slot = &mut self.slots[idx];
+            let net = NetSample {
+                bytes_in: slot.traffic.bytes_in,
+                bytes_out: slot.traffic.bytes_out,
+                msgs_in: slot.traffic.msgs_in,
+                msgs_out: slot.traffic.msgs_out,
+            };
+            slot.actor.on_metrics_sample(self.now, net);
+        }
+        let next = self.now + self.metrics_interval_ms;
+        self.push(next, Entry::MetricsSweep);
     }
 
     fn dispatch_tick(&mut self, idx: usize) {
@@ -732,6 +798,11 @@ where
                     self.events_processed += 1;
                     self.sample_all();
                 }
+                Entry::MetricsSweep => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    self.metrics_sweep();
+                }
                 first => {
                     let last_at =
                         self.collect_epoch(at, first, until_ms, nshards, &mut bufs, &mut shard_order);
@@ -774,7 +845,7 @@ where
         let mut last_at = at0;
         while let Some((at, entry, src)) = self.queue.pop_traced(limit) {
             match entry {
-                e @ (Entry::Fault(_) | Entry::SampleAll) => {
+                e @ (Entry::Fault(_) | Entry::SampleAll | Entry::MetricsSweep) => {
                     self.queue.unpop(at, e, src);
                     break;
                 }
@@ -812,7 +883,9 @@ where
                     at,
                 },
             ),
-            Entry::Fault(_) | Entry::SampleAll => unreachable!("boundary events are never staged"),
+            Entry::Fault(_) | Entry::SampleAll | Entry::MetricsSweep => {
+                unreachable!("boundary events are never staged")
+            }
         };
         bufs[shard].events.push(ev);
         shard_order.push(shard as u32);
@@ -1448,6 +1521,85 @@ mod tests {
             counter_trace(&sim)
         };
         assert_eq!(run(1), run(3));
+    }
+
+    /// An actor that records every metrics sweep it receives.
+    struct Sweeper {
+        peer: Option<Endpoint>,
+        sweeps: Vec<(u64, NetSample)>,
+    }
+
+    impl Actor for Sweeper {
+        type Msg = u64;
+
+        fn on_tick(&mut self, _now: u64, out: &mut Outbox<u64>) {
+            if let Some(p) = self.peer {
+                out.send(p, 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: Endpoint, _msg: u64, _now: u64, _out: &mut Outbox<u64>) {}
+
+        fn msg_size(_msg: &u64) -> usize {
+            8
+        }
+
+        fn sample(&self) -> Option<f64> {
+            None
+        }
+
+        fn on_metrics_sample(&mut self, now_ms: u64, net: NetSample) {
+            self.sweeps.push((now_ms, net));
+        }
+    }
+
+    fn sweeper_pair(threads: usize) -> Simulation<Sweeper> {
+        let mut sim: Simulation<Sweeper> = Simulation::new(21, 100);
+        sim.add_actor(ep(0), Sweeper { peer: Some(ep(1)), sweeps: Vec::new() });
+        sim.add_actor(ep(1), Sweeper { peer: None, sweeps: Vec::new() });
+        sim.set_threads(threads);
+        if threads > 1 {
+            sim.set_parallel_batch_min(1);
+        }
+        sim.set_metrics_interval(1_000);
+        sim.run_until(10_500);
+        sim
+    }
+
+    #[test]
+    fn metrics_sweeps_fire_on_cadence_with_cumulative_counters() {
+        let sim = sweeper_pair(1);
+        for i in 0..2 {
+            let sweeps = &sim.actor(i).sweeps;
+            assert_eq!(sweeps.len(), 10, "sweeps at t=1000..10000");
+            assert!(sweeps.iter().enumerate().all(|(k, s)| s.0 == (k as u64 + 1) * 1_000));
+            // Counters are cumulative, hence monotone, and never exceed
+            // the engine's final traffic totals.
+            assert!(sweeps.windows(2).all(|w| w[0].1.msgs_out <= w[1].1.msgs_out));
+            let last = sweeps.last().unwrap().1;
+            assert!(last.msgs_out <= sim.traffic(i).msgs_out);
+            assert!(last.bytes_in <= sim.traffic(i).bytes_in);
+        }
+        assert!(sim.actor(1).sweeps.last().unwrap().1.msgs_in > 0, "receiver saw traffic");
+    }
+
+    #[test]
+    fn metrics_sweeps_are_identical_across_thread_counts() {
+        let seq = sweeper_pair(1);
+        for threads in [2usize, 4] {
+            let par = sweeper_pair(threads);
+            for i in 0..2 {
+                assert_eq!(par.actor(i).sweeps, seq.actor(i).sweeps, "{threads} threads, actor {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_sweeps_default_off() {
+        let mut sim: Simulation<Sweeper> = Simulation::new(22, 100);
+        sim.add_actor(ep(0), Sweeper { peer: None, sweeps: Vec::new() });
+        sim.run_until(5_000);
+        assert!(sim.actor(0).sweeps.is_empty());
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod net;
 pub mod series;
 
 pub use cluster::{RapidActor, RapidClusterBuilder};
-pub use engine::{Actor, Fault, Outbox, Simulation};
+pub use engine::{Actor, Fault, NetSample, Outbox, Simulation};
 pub use net::{LatencyDist, NetworkModel};
 pub use series::{ecdf, percentile, Sample};

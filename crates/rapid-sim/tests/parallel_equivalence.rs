@@ -2,7 +2,9 @@
 //! parallel engine must reproduce the sequential reference trace
 //! **bit-identically** — same per-second samples, same view-id chains,
 //! same event count, same per-actor traffic counters (totals and
-//! per-second rates) — at every thread count.
+//! per-second rates), same merged metrics timeline (every run samples
+//! at a 1 s cadence and compares the JSONL dump byte-for-byte) — at
+//! every thread count.
 //!
 //! The sequential engine (`threads = 1`) is the golden oracle; each case
 //! replays the identical schedule at 2 and 4 shards, both through the
@@ -42,10 +44,11 @@ fn decode(n: usize, (at, kind, a, b, p): RawFault) -> (u64, Fault) {
 
 /// The full observable trace, folded to comparable values: event count,
 /// a fingerprint of every traffic counter (totals and per-second
-/// rates), all per-second samples, and every actor's view-id chain.
+/// rates), all per-second samples, every actor's view-id chain, and the
+/// merged `(t, node)`-ordered timeline as JSONL bytes.
 fn trace(
     sim: &Simulation<RapidActor>,
-) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>) {
+) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>, Vec<String>) {
     let mut h = StableHasher::new("parallel-equivalence");
     for i in 0..sim.len() {
         let t = sim.traffic(i);
@@ -71,6 +74,7 @@ fn trace(
         h.finish(),
         sim.samples().to_vec(),
         views,
+        rapid_sim::cluster::timeline_lines(sim),
     )
 }
 
@@ -83,9 +87,10 @@ fn run(
     horizon: u64,
     threads: usize,
     force_fanout: bool,
-) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>) {
+) -> (u64, u64, Vec<rapid_sim::Sample>, Vec<Vec<ConfigId>>, Vec<String>) {
     let settings = Settings {
         threads,
+        obs_sample_ms: 1_000,
         ..Settings::default()
     };
     let mut sim = RapidClusterBuilder::new(n)

@@ -476,6 +476,63 @@ impl Runtime {
         let _ = self.control_tx.try_send(Control::SendApp(to, payload));
     }
 
+    /// Starts a loopback introspection listener and returns its bound
+    /// address.
+    ///
+    /// Every accepted connection receives exactly one line of JSON —
+    /// `{"node":"host:port","status":"Active","view_id":<u64>,
+    /// "members":<n>, ...}` — and is then closed, so `nc 127.0.0.1 PORT`
+    /// or a scraper can poll liveness without speaking the membership
+    /// protocol. The `extra` hook appends data-plane fields (the caller
+    /// writes `,"key":value` pairs into the line) so hosts like
+    /// `rapid-route` can expose KV stats and op-latency quantiles
+    /// through the same socket.
+    ///
+    /// The listener binds `127.0.0.1:0` (loopback only, ephemeral port),
+    /// runs on its own thread with the same idle-poll backoff as the
+    /// main accept loop, and stops with the runtime's shutdown flag.
+    pub fn serve_introspection<F>(&mut self, extra: F) -> std::io::Result<SocketAddr>
+    where
+        F: Fn(&mut String) + Send + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let me = self.me.addr;
+        let view = Arc::clone(&self.view);
+        let status = Arc::clone(&self.status);
+        let shutdown = Arc::clone(&self.shutdown);
+        self.threads.push(std::thread::spawn(move || {
+            let mut backoff = ACCEPT_BACKOFF_MIN;
+            while !shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        backoff = ACCEPT_BACKOFF_MIN;
+                        let (view_id, members) = {
+                            let v = view.lock();
+                            (v.id().0, v.len())
+                        };
+                        let st = *status.lock();
+                        let mut line = format!(
+                            "{{\"node\":\"{me}\",\"status\":\"{st:?}\",\"view_id\":{view_id},\"members\":{members}"
+                        );
+                        extra(&mut line);
+                        line.push_str("}\n");
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                        let _ = stream.write_all(line.as_bytes());
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+        Ok(bound)
+    }
+
     /// Announces a voluntary departure, then shuts the runtime down.
     pub fn leave(self) {
         let _ = self.control_tx.send(Control::Leave);
@@ -633,6 +690,32 @@ mod tests {
         );
         assert!(got, "app payload must arrive at the seed");
         j.shutdown_now();
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn introspection_endpoint_serves_one_json_line() {
+        let settings = fast_settings();
+        let mut seed =
+            Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings.clone()).unwrap();
+        let probe_addr =
+            seed.serve_introspection(|line| line.push_str(",\"probe\":1")).unwrap();
+        assert!(wait_for(
+            || seed.status() == NodeStatus::Active,
+            Duration::from_secs(10)
+        ));
+        // Poll twice: each connection gets exactly one line and a close.
+        for _ in 0..2 {
+            let mut conn = TcpStream::connect(probe_addr).unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            assert!(body.ends_with("}\n"), "one newline-terminated line: {body:?}");
+            assert!(body.starts_with("{\"node\":\"127.0.0.1:"), "{body:?}");
+            assert!(body.contains("\"status\":\"Active\""), "{body:?}");
+            assert!(body.contains("\"members\":1"), "{body:?}");
+            assert!(body.contains(",\"probe\":1"), "extra hook must run: {body:?}");
+        }
         seed.shutdown_now();
     }
 
