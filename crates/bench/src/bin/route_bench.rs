@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin route_bench           # full sweep
 //! cargo run --release -p bench --bin route_bench -- --quick
 //! cargo run --release -p bench --bin route_bench -- --no-batch   # A/B: wire batching off
+//! cargo run --release -p bench --bin route_bench -- --via-coordinator  # legacy routing
 //! cargo run --release -p bench --bin route_bench -- --threads 4  # sharded sim engine
 //! cargo run --release -p bench --bin route_bench -- --bench-json > BENCH_route.json
 //! cargo run --release -p bench --bin route_bench -- --quick --timeline t.jsonl
@@ -21,22 +22,28 @@
 //! operations end to end, membership traffic included); rebalance
 //! metrics are virtual-time and deterministic for a given seed.
 //!
-//! Methodology note (changed with the per-peer outbox work): each batch
-//! of client ops is submitted *pipelined* — one coordinator flush, so
-//! ops sharing a leader share a wire frame — and an op window ends as
-//! soon as every submitted op resolved (capped at `OP_WINDOW_MS`).
-//! Before, every window simulated its full 2 s regardless, so the
-//! "throughput" mostly measured idle background simulation; numbers are
-//! therefore not directly comparable to pre-outbox BENCH_route.json
-//! files. For a like-for-like A/B of the wire pipeline itself, run with
-//! and without `--no-batch` on the same build.
+//! Methodology note (changed with the smart-client work): all ops are
+//! submitted through a co-hosted [`rapid_route::KvClient`] actor — a
+//! view-subscribed client that routes each op directly to its partition
+//! leader (zero forwarding hops). `--via-coordinator` keeps the legacy
+//! architecture as an A/B baseline: the same client machinery, but
+//! view-blind and pinned to a fixed coordinator node that forwards
+//! server-side, so every op pays an extra wire hop each way.
+//! `steady_msgs_per_op_milli` (cluster + client data-plane messages per
+//! completed op, x1000) is the headline comparison between the two.
+//! Batches are pipelined (one outbox flush; ops sharing a leader share
+//! a wire frame) and an op window ends as soon as every submitted op
+//! resolved (capped at `OP_WINDOW_MS`). Latency percentiles are
+//! *client-observed*. Numbers are not comparable to pre-client
+//! BENCH_route.json files; A/B `--no-batch` / `--via-coordinator` on
+//! the same build instead.
 
 use std::time::Instant;
 
 use rapid_core::obs::LatencyHist;
 use rapid_core::settings::Settings;
 use rapid_route::sim::{KvClusterBuilder, KvSimActor};
-use rapid_route::{ClientOp, KvOutcome, KvStats, PlacementConfig};
+use rapid_route::{ClientOp, ClientStats, KvOutcome, KvStats, PlacementConfig};
 use rapid_scenario::json::Json;
 use rapid_sim::{Fault, Simulation};
 
@@ -70,22 +77,30 @@ fn spec() -> PlacementConfig {
 fn aggregate(sim: &Simulation<KvSimActor>) -> KvStats {
     let mut stats = KvStats::default();
     for i in 0..sim.len() {
+        if sim.actor(i).is_client() {
+            continue;
+        }
         stats.absorb(sim.actor(i).kv_stats());
     }
     stats
 }
 
-fn first_live(sim: &Simulation<KvSimActor>) -> usize {
+/// The co-hosted client actor driving the workload.
+fn client_idx(sim: &Simulation<KvSimActor>) -> usize {
     (0..sim.len())
-        .find(|&i| !sim.net.is_crashed(i))
-        .expect("someone survives")
+        .find(|&i| sim.actor(i).is_client())
+        .expect("bench clusters host a client")
 }
 
-/// Runs a batch of ops through one coordinator and returns the
+fn client_stats(sim: &Simulation<KvSimActor>) -> ClientStats {
+    *sim.actor(client_idx(sim)).client_stats().expect("client actor")
+}
+
+/// Runs a batch of ops through the client actor and returns the
 /// outcomes. The batch is submitted pipelined (one outbox flush) and the
 /// window ends as soon as every op resolved, capped at [`OP_WINDOW_MS`].
 fn batch(sim: &mut Simulation<KvSimActor>, ops: &[(String, Option<String>)]) -> Vec<KvOutcome> {
-    let via = first_live(sim);
+    let via = client_idx(sim);
     let now = sim.now();
     let client_ops: Vec<ClientOp<'_>> = ops
         .iter()
@@ -94,7 +109,7 @@ fn batch(sim: &mut Simulation<KvSimActor>, ops: &[(String, Option<String>)]) -> 
             None => ClientOp::Get { key },
         })
         .collect();
-    let reqs: Vec<u64> = sim.with_actor(via, |a, out| a.begin_ops(&client_ops, now, out));
+    let reqs: Vec<u64> = sim.with_actor(via, |a, out| a.client_submit_ops(&client_ops, now, out));
     let min_req = reqs.first().copied().unwrap_or(0);
     let deadline = now + OP_WINDOW_MS;
     while sim.now() < deadline {
@@ -196,6 +211,9 @@ fn measure_fault(
     let after = aggregate(sim);
     let mut handoff_hist = LatencyHist::new();
     for i in 0..sim.len() {
+        if sim.actor(i).is_client() {
+            continue;
+        }
         handoff_hist.merge(sim.actor(i).kv().handoff_hist());
         handoff_hist.merge(sim.actor(i).kv().repair_hist());
     }
@@ -236,8 +254,28 @@ fn settings(batch_wire: bool, threads: usize, sample_ms: u64) -> Settings {
         batch_wire,
         threads,
         obs_sample_ms: sample_ms,
+        // Pipeline whole 500-op rounds: the bench measures the routing
+        // fabric, not client-side queuing.
+        client_window: 512,
         ..Settings::default()
     }
+}
+
+fn build(
+    n: usize,
+    seed: u64,
+    batch_wire: bool,
+    threads: usize,
+    sample_ms: u64,
+    via: bool,
+) -> Simulation<KvSimActor> {
+    KvClusterBuilder::new(n, spec())
+        .seed(seed)
+        .settings(settings(batch_wire, threads, sample_ms))
+        .op_timeout_ms(OP_WINDOW_MS - 500)
+        .clients(1)
+        .clients_via_seed(via)
+        .build_static()
 }
 
 fn run_scale(
@@ -246,13 +284,10 @@ fn run_scale(
     batch_wire: bool,
     threads: usize,
     sample_ms: u64,
+    via: bool,
 ) -> (Json, Vec<String>) {
     // Steady state + throughput.
-    let mut sim = KvClusterBuilder::new(n, spec())
-        .seed(seed)
-        .settings(settings(batch_wire, threads, sample_ms))
-        .op_timeout_ms(OP_WINDOW_MS - 500)
-        .build_static();
+    let mut sim = build(n, seed, batch_wire, threads, sample_ms, via);
     sim.run_until(2_000);
     let acked = load_keys(&mut sim, KEYS);
 
@@ -260,6 +295,7 @@ fn run_scale(
     // counters around it so the steady-state anti-entropy overhead
     // (digest chatter with no divergence to fix) is reported.
     let steady_before = aggregate(&sim);
+    let client_before = client_stats(&sim);
     let t0 = Instant::now();
     let mut ops_done = 0usize;
     // 20 completion-bounded rounds (10k ops): long enough that wall
@@ -279,13 +315,10 @@ fn run_scale(
     }
     let wall = t0.elapsed().as_secs_f64();
     let ops_per_sec = ops_done as f64 / wall.max(1e-9);
-    // Per-op latency (virtual ms, coordinator-observed) over everything
-    // submitted so far: the mergeable per-node histograms roll up into
-    // one cluster-wide distribution.
-    let mut op_hist = LatencyHist::new();
-    for i in 0..sim.len() {
-        op_hist.merge(sim.actor(i).kv().op_hist());
-    }
+    // Per-op latency (virtual ms, *client-observed*: queuing, routing,
+    // retries and backoffs included) over everything submitted so far.
+    let ci = client_idx(&sim);
+    let op_hist = sim.actor(ci).client().expect("client actor").op_hist().clone();
     let (op_p50, op_p99, op_p999) = op_hist.percentiles();
     // Timeline snapshot of the loaded, steady cluster — before fault
     // injection churns it. The workload above is completion-bounded and
@@ -300,11 +333,23 @@ fn run_scale(
         None => Vec::new(),
     };
     let steady_after = aggregate(&sim);
+    let client_after = client_stats(&sim);
     let steady_repairs = steady_after.repairs_triggered - steady_before.repairs_triggered;
     let steady_repair_bytes = steady_after.repair_bytes - steady_before.repair_bytes;
     let steady_msgs = steady_after.msgs_sent - steady_before.msgs_sent;
     let steady_frames = steady_after.frames_sent - steady_before.frames_sent;
     let steady_wire_bytes = steady_after.wire_bytes - steady_before.wire_bytes;
+    let steady_client_msgs = client_after.msgs_sent - client_before.msgs_sent;
+    let steady_client_shed = client_after.shed - client_before.shed;
+    let steady_client_retries = client_after.retries - client_before.retries;
+    // The routing-efficiency headline: every data-plane message the
+    // steady window put on the wire (cluster forwards, replication,
+    // verdicts, plus the client's own sends), per completed op. The
+    // zero-hop path drops the coordinator forward/reply pair, so smart
+    // clients beat `--via-coordinator` here.
+    let steady_msgs_per_op_milli = ((steady_msgs + steady_client_msgs) * 1000)
+        .checked_div(ops_done as u64)
+        .unwrap_or(0);
 
     // Crash ~1.5% of the cluster (at least one, well under RF).
     let crash_count = (n / 64).max(1);
@@ -320,11 +365,7 @@ fn run_scale(
     });
 
     // Fresh cluster for the partition fault (a clean baseline).
-    let mut sim = KvClusterBuilder::new(n, spec())
-        .seed(seed ^ 0x9E37)
-        .settings(settings(batch_wire, threads, sample_ms))
-        .op_timeout_ms(OP_WINDOW_MS - 500)
-        .build_static();
+    let mut sim = build(n, seed ^ 0x9E37, batch_wire, threads, sample_ms, via);
     sim.run_until(2_000);
     load_keys(&mut sim, KEYS);
     let part_count = (n / 64).max(1);
@@ -339,9 +380,11 @@ fn run_scale(
     let msgs_per_frame = steady_msgs as f64 / steady_frames.max(1) as f64;
     eprintln!(
         "n={n}: {acked}/{KEYS} loaded, {ops_per_sec:.0} ops/s wall, \
-         op latency p50={op_p50} p99={op_p99} p999={op_p999} (virtual ms), \
-         {msgs_per_frame:.2} kv msgs/frame, \
+         op latency p50={op_p50} p99={op_p99} p999={op_p999} (virtual ms, client-observed), \
+         {msgs_per_frame:.2} kv msgs/frame, {:.2} msgs/op, \
+         shed={steady_client_shed} retries={steady_client_retries}, \
          crash: {}B moved / {}ms unavailable, partition: {}B moved / {}ms unavailable",
+        steady_msgs_per_op_milli as f64 / 1000.0,
         crash.bytes_moved, crash.unavailability_ms, partition.bytes_moved,
         partition.unavailability_ms
     );
@@ -364,6 +407,10 @@ fn run_scale(
             "steady_kv_msgs_per_frame_milli",
             Json::uint((steady_msgs * 1000).checked_div(steady_frames).unwrap_or(0)),
         ),
+        ("steady_client_msgs", Json::uint(steady_client_msgs)),
+        ("steady_client_shed", Json::uint(steady_client_shed)),
+        ("steady_client_retries", Json::uint(steady_client_retries)),
+        ("steady_msgs_per_op_milli", Json::uint(steady_msgs_per_op_milli)),
         ("crash", fault_json(&crash)),
         ("partition", fault_json(&partition)),
     ]);
@@ -375,6 +422,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let json_out = args.iter().any(|a| a == "--bench-json");
     let batch_wire = !args.iter().any(|a| a == "--no-batch");
+    let via = args.iter().any(|a| a == "--via-coordinator");
     let threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -399,7 +447,7 @@ fn main() {
     let mut results = Vec::new();
     let mut timeline = Vec::new();
     for (i, &n) in scales.iter().enumerate() {
-        let (row, lines) = run_scale(n, 0xB0 + i as u64, batch_wire, threads, sample_ms);
+        let (row, lines) = run_scale(n, 0xB0 + i as u64, batch_wire, threads, sample_ms, via);
         results.push(row);
         timeline.extend(lines);
     }
@@ -414,6 +462,7 @@ fn main() {
     let doc = Json::obj(vec![
         ("bench", Json::Str("route_bench".into())),
         ("batch_wire", Json::Bool(batch_wire)),
+        ("via_coordinator", Json::Bool(via)),
         ("threads", Json::uint(threads as u64)),
         ("partitions", Json::uint(PARTITIONS as u64)),
         ("replication", Json::uint(REPLICATION as u64)),

@@ -100,6 +100,36 @@ pub struct Settings {
     /// timelines are bit-identical across `threads` values); on the real
     /// driver it is wall time.
     pub obs_sample_ms: u64,
+
+    /// Smart-client pipelined flow control: maximum ops a `KvClient`
+    /// keeps in flight at once. Further submissions queue client-side.
+    pub client_window: usize,
+
+    /// KV admission control: maximum coordinator-pending client ops a
+    /// node accepts before shedding new arrivals with a typed
+    /// `Overloaded { retry_after_ms }` error. `0` disables the bound
+    /// (the pre-client-plane behaviour).
+    pub kv_inbox: usize,
+
+    /// KV load shedding threshold keyed off the metrics timeline: when
+    /// the last sampled interval's op p99 exceeds this and the inbox is
+    /// more than half full, new client ops are shed early. `0` (the
+    /// default) disables latency-keyed shedding; the hard `kv_inbox`
+    /// bound still applies.
+    pub kv_shed_p99_ms: u64,
+
+    /// Per-peer decode quota: frames accepted from one peer per
+    /// `peer_quota_interval_ms` window before further frames are dropped
+    /// with a counted typed error. `0` disables the frame quota.
+    pub peer_quota_frames: u64,
+
+    /// Per-peer decode quota: payload bytes accepted from one peer per
+    /// window before further frames are dropped. `0` disables the byte
+    /// quota.
+    pub peer_quota_bytes: u64,
+
+    /// Width of the per-peer quota accounting window.
+    pub peer_quota_interval_ms: u64,
 }
 
 impl Default for Settings {
@@ -128,6 +158,12 @@ impl Default for Settings {
             threads: 1,
             obs_ring: 0,
             obs_sample_ms: 0,
+            client_window: 64,
+            kv_inbox: 4096,
+            kv_shed_p99_ms: 0,
+            peer_quota_frames: 0,
+            peer_quota_bytes: 0,
+            peer_quota_interval_ms: 1_000,
         }
     }
 }
@@ -161,6 +197,14 @@ impl Settings {
         }
         if self.threads == 0 {
             return Err("threads must be at least 1".into());
+        }
+        if self.client_window == 0 {
+            return Err("client_window must be at least 1".into());
+        }
+        if self.peer_quota_interval_ms == 0
+            && (self.peer_quota_frames > 0 || self.peer_quota_bytes > 0)
+        {
+            return Err("peer_quota_interval_ms must be positive when quotas are set".into());
         }
         Ok(())
     }

@@ -725,6 +725,113 @@ impl Default for DecodeLimits {
     }
 }
 
+/// Per-peer decode budget per accounting interval, layered on top of
+/// [`DecodeLimits`]: the static limits bound what one *frame* may carry,
+/// the quota bounds how many frames (and payload bytes) one *peer* may
+/// deliver per interval. `0` disables the corresponding bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerQuota {
+    /// Frames accepted from one peer per interval.
+    pub frames_per_interval: u64,
+    /// Payload bytes accepted from one peer per interval.
+    pub bytes_per_interval: u64,
+    /// Width of the accounting window in milliseconds.
+    pub interval_ms: u64,
+}
+
+impl PeerQuota {
+    /// A quota with both bounds disabled — every frame is admitted.
+    pub fn unlimited() -> Self {
+        PeerQuota { frames_per_interval: 0, bytes_per_interval: 0, interval_ms: 1_000 }
+    }
+
+    /// True when neither bound is active.
+    pub fn is_unlimited(&self) -> bool {
+        self.frames_per_interval == 0 && self.bytes_per_interval == 0
+    }
+}
+
+/// The typed error a frame over quota is dropped with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuotaExceeded {
+    /// The peer sent more frames than its per-interval frame budget.
+    Frames {
+        /// The configured frame budget that was exhausted.
+        limit: u64,
+    },
+    /// The peer sent more payload bytes than its per-interval byte budget.
+    Bytes {
+        /// The configured byte budget that was exhausted.
+        limit: u64,
+    },
+}
+
+/// Tracks per-peer frame/byte consumption against a [`PeerQuota`] on a
+/// fixed-window schedule. Hosts call [`QuotaTracker::admit`] before
+/// decoding each inbound frame; a `Err(QuotaExceeded)` means the frame
+/// must be dropped (and is counted in [`QuotaTracker::dropped`]).
+///
+/// Windows are aligned to `now / interval_ms`, so admission is a pure
+/// function of (peer, bytes, now) — deterministic on the simulator and
+/// cheap (one map probe) on the real driver.
+#[derive(Debug)]
+pub struct QuotaTracker {
+    quota: PeerQuota,
+    /// peer -> (window index, frames used, bytes used)
+    windows: crate::hash::DetHashMap<Endpoint, (u64, u64, u64)>,
+    dropped: u64,
+}
+
+impl QuotaTracker {
+    /// Creates a tracker enforcing `quota`.
+    pub fn new(quota: PeerQuota) -> Self {
+        QuotaTracker { quota, windows: crate::hash::DetHashMap::default(), dropped: 0 }
+    }
+
+    /// Charges one `bytes`-sized frame from `peer` at `now_ms` against the
+    /// quota. Returns `Ok(())` when admitted; the typed error (counted)
+    /// when the peer's current window budget is already exhausted.
+    pub fn admit(
+        &mut self,
+        peer: Endpoint,
+        bytes: usize,
+        now_ms: u64,
+    ) -> Result<(), QuotaExceeded> {
+        if self.quota.is_unlimited() {
+            return Ok(());
+        }
+        let window = now_ms / self.quota.interval_ms.max(1);
+        let entry = self.windows.entry(peer).or_insert((window, 0, 0));
+        if entry.0 != window {
+            *entry = (window, 0, 0);
+        }
+        if self.quota.frames_per_interval > 0 && entry.1 >= self.quota.frames_per_interval {
+            self.dropped += 1;
+            return Err(QuotaExceeded::Frames { limit: self.quota.frames_per_interval });
+        }
+        if self.quota.bytes_per_interval > 0
+            && entry.2.saturating_add(bytes as u64) > self.quota.bytes_per_interval
+        {
+            self.dropped += 1;
+            return Err(QuotaExceeded::Bytes { limit: self.quota.bytes_per_interval });
+        }
+        entry.1 += 1;
+        entry.2 += bytes as u64;
+        Ok(())
+    }
+
+    /// Total frames dropped over quota since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops accounting state for peers outside `live`, bounding the map
+    /// under churn (call on view change).
+    pub fn retain_peers(&mut self, live: &crate::hash::DetHashSet<Endpoint>) {
+        self.windows.retain(|peer, _| live.contains(peer));
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     limits: DecodeLimits,
@@ -1708,5 +1815,70 @@ mod tests {
             Message::Decision { proposal, .. } => assert_eq!(proposal.hash(), p.hash()),
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn quota_tracker_enforces_frame_budget_per_interval() {
+        let peer = Endpoint::new("peer-1", 1);
+        let other = Endpoint::new("peer-2", 1);
+        let mut q = QuotaTracker::new(PeerQuota {
+            frames_per_interval: 2,
+            bytes_per_interval: 0,
+            interval_ms: 1_000,
+        });
+        assert!(q.admit(peer, 10, 0).is_ok());
+        assert!(q.admit(peer, 10, 500).is_ok());
+        assert_eq!(
+            q.admit(peer, 10, 900),
+            Err(QuotaExceeded::Frames { limit: 2 }),
+            "third frame in the window is over budget"
+        );
+        assert_eq!(q.dropped(), 1);
+        // A different peer has its own budget.
+        assert!(q.admit(other, 10, 900).is_ok());
+        // The next window resets the count.
+        assert!(q.admit(peer, 10, 1_000).is_ok());
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn quota_tracker_enforces_byte_budget_and_unlimited_passes() {
+        let peer = Endpoint::new("peer-b", 1);
+        let mut q = QuotaTracker::new(PeerQuota {
+            frames_per_interval: 0,
+            bytes_per_interval: 100,
+            interval_ms: 1_000,
+        });
+        assert!(q.admit(peer, 60, 0).is_ok());
+        assert_eq!(
+            q.admit(peer, 60, 10),
+            Err(QuotaExceeded::Bytes { limit: 100 }),
+            "120 bytes exceed the 100-byte window budget"
+        );
+        assert!(q.admit(peer, 40, 20).is_ok(), "exactly filling the budget is fine");
+        assert_eq!(q.dropped(), 1);
+
+        let mut open = QuotaTracker::new(PeerQuota::unlimited());
+        for i in 0..10_000u64 {
+            assert!(open.admit(peer, 1 << 20, i).is_ok());
+        }
+        assert_eq!(open.dropped(), 0);
+    }
+
+    #[test]
+    fn quota_tracker_retain_drops_departed_peers() {
+        let a = Endpoint::new("qa", 1);
+        let b = Endpoint::new("qb", 1);
+        let mut q = QuotaTracker::new(PeerQuota {
+            frames_per_interval: 1,
+            bytes_per_interval: 0,
+            interval_ms: 1_000,
+        });
+        assert!(q.admit(a, 1, 0).is_ok());
+        assert!(q.admit(b, 1, 0).is_ok());
+        let mut live = crate::hash::DetHashSet::default();
+        live.insert(a);
+        q.retain_peers(&live);
+        assert_eq!(q.windows.len(), 1, "departed peer's window is reclaimed");
     }
 }

@@ -1,0 +1,859 @@
+//! The smart-client plane: view-subscribed, zero-hop, flow-controlled.
+//!
+//! [`KvClient`] is a sans-io state machine, the client-side twin of
+//! [`crate::kv::KvNode`]: it consumes wire messages and ticks and emits
+//! [`KvOut`] actions (sends plus op completions). The same state machine
+//! runs co-hosted in the deterministic simulator
+//! ([`crate::sim::KvSimActor`]) and over real TCP
+//! ([`crate::real::KvClientRuntime`]).
+//!
+//! The design leans on the paper's core property: membership views are
+//! strongly consistent, so *any pure function of the view is agreed by
+//! every member with zero coordination*. The client subscribes to view
+//! pushes ([`KvMsg::Sub`]), reconstructs the exact server-side
+//! [`Configuration`] from each push (same id, same seq, same member
+//! order) and caches the placement function's output — so its routing
+//! table is byte-for-byte the servers' (pinned by a proptest), and every
+//! op goes **directly to the partition leader**: zero forwarding hops in
+//! the common case. Only a stale view (the window between a server-side
+//! install and the push arriving) falls back to any-replica routing,
+//! where the receiving replica coordinator-forwards like the legacy
+//! path.
+//!
+//! Flow control is a bounded in-flight window: at most `window` ops on
+//! the wire per client, the rest queue client-side. Overload verdicts
+//! ([`CRESP_OVERLOADED`], the wire form of [`KvError::Overloaded`])
+//! re-queue the op after the node's suggested backoff instead of
+//! failing it — a burst degrades to queuing latency plus explicit
+//! retries, and the op only fails at its own deadline.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rapid_core::config::{ConfigId, Configuration, Member};
+use rapid_core::hash::DetHashMap;
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::obs::LatencyHist;
+use rapid_core::outbox::Outbox;
+
+use crate::kv::{
+    ClientOp, KvError, KvMsg, KvOut, KvOutcome, CRESP_ACKED, CRESP_FOUND, CRESP_MISSING,
+    CRESP_OVERLOADED,
+};
+use crate::placement::{partition_of, Placement, PlacementCache, PlacementConfig};
+
+/// Client-observed counters. All plain sums; [`ClientStats::absorb`]
+/// folds one client's counters into a fleet aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Ops submitted.
+    pub submitted: u64,
+    /// Writes acked.
+    pub acked: u64,
+    /// Reads that found the key.
+    pub found: u64,
+    /// Reads that completed with the key absent.
+    pub missing: u64,
+    /// Ops that failed at their deadline.
+    pub failed: u64,
+    /// Typed `Overloaded` verdicts received (each re-queues the op after
+    /// the node's suggested backoff).
+    pub shed: u64,
+    /// Re-sends after a retryable verdict (stale view, leader
+    /// mid-handoff, overload backoff expiring).
+    pub retries: u64,
+    /// Data-plane messages this client put on the wire.
+    pub msgs_sent: u64,
+    /// Wire frames (`<= msgs_sent`; the outbox coalesces).
+    pub frames_sent: u64,
+    /// View pushes adopted.
+    pub views_adopted: u64,
+}
+
+impl ClientStats {
+    /// Folds another client's counters into this one.
+    pub fn absorb(&mut self, other: &ClientStats) {
+        self.submitted += other.submitted;
+        self.acked += other.acked;
+        self.found += other.found;
+        self.missing += other.missing;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.msgs_sent += other.msgs_sent;
+        self.frames_sent += other.frames_sent;
+        self.views_adopted += other.views_adopted;
+    }
+}
+
+/// Where a queued-or-flying op currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpPhase {
+    /// In the client-side queue, not yet sent.
+    Queued,
+    /// On the wire, awaiting a verdict.
+    InFlight,
+    /// Waiting out a backoff (overload hint or retryable failure);
+    /// re-queued when `due` passes.
+    Backoff {
+        /// When the op may be re-sent.
+        due: u64,
+    },
+}
+
+struct OpState {
+    key: String,
+    /// `Some` for puts.
+    val: Option<String>,
+    /// When submission happened (drives the latency histogram).
+    started: u64,
+    deadline: u64,
+    /// Routing attempts so far; attempt 0 targets the leader, later
+    /// attempts rotate through the partition's replicas (the
+    /// stale-view/any-replica fallback).
+    attempts: u32,
+    phase: OpPhase,
+}
+
+/// A view-subscribed smart client with a bounded in-flight window.
+pub struct KvClient {
+    me: Endpoint,
+    spec: PlacementConfig,
+    cache: PlacementCache,
+    view: Option<(Arc<Configuration>, Arc<Placement>)>,
+    /// Cluster endpoints to (re)subscribe through, rotated on each
+    /// attempt so a dead seed cannot wedge the client.
+    seeds: Vec<Endpoint>,
+    seed_cursor: usize,
+    /// Legacy routing: ignore views entirely and pin every op to the
+    /// seed list (attempt `k` targets `seeds[k % len]`), modelling the
+    /// pre-client architecture where ops went through a fixed
+    /// coordinator that forwarded to the leader. Kept as the
+    /// `route_bench --via-coordinator` A/B baseline.
+    via_seed: bool,
+    next_sub_at: u64,
+    window: usize,
+    op_timeout_ms: u64,
+    next_req: u64,
+    /// Submission order of ops still in [`OpPhase::Queued`].
+    queue: VecDeque<u64>,
+    ops: DetHashMap<u64, OpState>,
+    inflight: usize,
+    /// Client-side read-your-writes floors, carried on [`KvMsg::CGet`]
+    /// so they hold across whichever node coordinates.
+    floors: DetHashMap<String, u64>,
+    stats: ClientStats,
+    /// Latency of definitive completions (acked/found/missing), ms.
+    op_hist: LatencyHist,
+    outbox: Outbox<KvMsg>,
+    now: u64,
+}
+
+impl KvClient {
+    /// Creates a client identified by `me`, routing with `spec` (must
+    /// match the cluster's), subscribing through `seeds`.
+    pub fn new(
+        me: Endpoint,
+        spec: PlacementConfig,
+        seeds: Vec<Endpoint>,
+        window: usize,
+        op_timeout_ms: u64,
+    ) -> KvClient {
+        KvClient {
+            me,
+            spec,
+            cache: PlacementCache::new(),
+            view: None,
+            seeds,
+            seed_cursor: 0,
+            via_seed: false,
+            next_sub_at: 0,
+            window: window.max(1),
+            op_timeout_ms,
+            next_req: 1,
+            queue: VecDeque::new(),
+            ops: DetHashMap::default(),
+            inflight: 0,
+            floors: DetHashMap::default(),
+            stats: ClientStats::default(),
+            op_hist: LatencyHist::new(),
+            outbox: Outbox::new(true),
+            now: 0,
+        }
+    }
+
+    /// Enables or disables per-destination wire batching (on by default).
+    pub fn with_batching(mut self, enabled: bool) -> KvClient {
+        self.outbox = Outbox::new(enabled);
+        self
+    }
+
+    /// Routes every op via the seed list instead of the placement
+    /// leader, and stops subscribing to views: the legacy
+    /// via-coordinator architecture (every op pays a forwarding hop),
+    /// kept as an A/B baseline for the zero-hop path.
+    pub fn with_via_seed(mut self, enabled: bool) -> KvClient {
+        self.via_seed = enabled;
+        self
+    }
+
+    /// This client's endpoint.
+    pub fn me(&self) -> Endpoint {
+        self.me
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Client-observed latency of definitive op completions (ms).
+    pub fn op_hist(&self) -> &LatencyHist {
+        &self.op_hist
+    }
+
+    /// The adopted view's sequence number, if any view arrived yet.
+    pub fn view_seq(&self) -> Option<u64> {
+        self.view.as_ref().map(|(c, _)| c.seq())
+    }
+
+    /// The cached placement (the routing table), if a view was adopted.
+    pub fn placement(&self) -> Option<&Arc<Placement>> {
+        self.view.as_ref().map(|(_, p)| p)
+    }
+
+    /// Ops neither completed nor failed yet (queued + flying + backoff).
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Submits one op; the result arrives later as [`KvOut::Done`] with
+    /// the returned request id.
+    pub fn submit(&mut self, op: ClientOp<'_>, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        self.now = self.now.max(now);
+        let req = self.enqueue(op, now);
+        self.pump(out);
+        self.flush(out);
+        req
+    }
+
+    /// Submits a burst with one outbox flush: ops routed to the same
+    /// leader share a wire frame (the pipelined fast path). Returns one
+    /// request id per op, in order.
+    pub fn submit_ops(&mut self, ops: &[ClientOp<'_>], now: u64, out: &mut Vec<KvOut>) -> Vec<u64> {
+        self.now = self.now.max(now);
+        let reqs = ops.iter().map(|op| self.enqueue(*op, now)).collect();
+        self.pump(out);
+        self.flush(out);
+        reqs
+    }
+
+    fn enqueue(&mut self, op: ClientOp<'_>, now: u64) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        let (key, val) = match op {
+            ClientOp::Put { key, val } => (key.to_string(), Some(val.to_string())),
+            ClientOp::Get { key } => (key.to_string(), None),
+        };
+        self.ops.insert(
+            req,
+            OpState {
+                key,
+                val,
+                started: now,
+                deadline: now + self.op_timeout_ms,
+                attempts: 0,
+                phase: OpPhase::Queued,
+            },
+        );
+        self.queue.push_back(req);
+        self.stats.submitted += 1;
+        req
+    }
+
+    /// Handles a wire message (a view push or an op verdict). The
+    /// sender is irrelevant to the client state machine — verdicts are
+    /// keyed by request id and views by sequence — but the signature
+    /// mirrors [`crate::kv::KvNode::on_message`] so hosts drive both
+    /// identically.
+    pub fn on_message(&mut self, _from: Endpoint, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
+        self.now = self.now.max(now);
+        self.handle_msg(msg, now, out);
+        self.pump(out);
+        self.flush(out);
+    }
+
+    fn handle_msg(&mut self, msg: KvMsg, now: u64, out: &mut Vec<KvOut>) {
+        match msg {
+            KvMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.handle_msg(m, now, out);
+                }
+            }
+            KvMsg::View {
+                config_id,
+                seq,
+                members,
+            } => self.adopt_view(config_id, seq, members),
+            KvMsg::CResp {
+                req,
+                code,
+                val,
+                version,
+            } => self.on_verdict(req, code, val, version, now, out),
+            _ => {} // Node-plane traffic; clients ignore.
+        }
+    }
+
+    /// Adopts a pushed view if it is newer than the current one,
+    /// reconstructing the exact server-side configuration so the cached
+    /// placement is identical to every node's.
+    fn adopt_view(&mut self, config_id: u64, seq: u64, members: Vec<(u128, Endpoint)>) {
+        if members.is_empty() {
+            return;
+        }
+        if let Some((cfg, _)) = &self.view {
+            if seq <= cfg.seq() {
+                return;
+            }
+        }
+        let members: Vec<Member> = members
+            .into_iter()
+            .map(|(id, ep)| Member::new(NodeId::from_u128(id), ep))
+            .collect();
+        let config = Configuration::from_parts(ConfigId(config_id), seq, members);
+        let placement = self.cache.get(&config, &self.spec);
+        self.view = Some((config, placement));
+        self.stats.views_adopted += 1;
+        // A fresh view means stale-routed flyers will answer retryably;
+        // nothing to do here — retries re-route through the new table.
+    }
+
+    fn on_verdict(
+        &mut self,
+        req: u64,
+        code: u8,
+        val: String,
+        version: u64,
+        now: u64,
+        out: &mut Vec<KvOut>,
+    ) {
+        let Some(op) = self.ops.get_mut(&req) else {
+            return; // Already failed at its deadline.
+        };
+        if op.phase == OpPhase::InFlight {
+            self.inflight = self.inflight.saturating_sub(1);
+        }
+        match code {
+            CRESP_ACKED => {
+                let floor = self.floors.entry(op.key.clone()).or_insert(0);
+                *floor = (*floor).max(version);
+                self.stats.acked += 1;
+                self.complete(req, KvOutcome::Acked { version }, now, out);
+            }
+            CRESP_FOUND => {
+                // Client-side read-your-writes: a value below this
+                // client's acked floor is stale (mid-repair) — retry.
+                let floor = self.floors.get(&op.key).copied().unwrap_or(0);
+                if floor > 0 && version < floor {
+                    self.backoff(req, self.retry_delay(), now);
+                } else {
+                    self.stats.found += 1;
+                    self.complete(req, KvOutcome::Found { val, version }, now, out);
+                }
+            }
+            CRESP_MISSING => {
+                let floor = self.floors.get(&op.key).copied().unwrap_or(0);
+                if floor > 0 {
+                    // This client acked a write for the key; Missing is
+                    // a stale replica mid-handoff. Retry, never return.
+                    self.backoff(req, self.retry_delay(), now);
+                } else {
+                    self.stats.missing += 1;
+                    self.complete(req, KvOutcome::Missing, now, out);
+                }
+            }
+            CRESP_OVERLOADED => {
+                // The typed overload error: KvError::Overloaded on the
+                // wire. Count it and wait out the node's hint.
+                let KvError::Overloaded { retry_after_ms } =
+                    KvError::Overloaded { retry_after_ms: version.max(1) };
+                self.stats.shed += 1;
+                self.backoff(req, retry_after_ms, now);
+            }
+            _ => {
+                // CRESP_FAILED or unknown: retryable until the deadline.
+                self.backoff(req, self.retry_delay(), now);
+            }
+        }
+    }
+
+    fn retry_delay(&self) -> u64 {
+        (self.op_timeout_ms / 8).max(1)
+    }
+
+    fn complete(&mut self, req: u64, outcome: KvOutcome, now: u64, out: &mut Vec<KvOut>) {
+        if let Some(op) = self.ops.remove(&req) {
+            if !matches!(outcome, KvOutcome::Failed) {
+                self.op_hist.record(now.saturating_sub(op.started));
+            }
+            out.push(KvOut::Done(req, outcome));
+        }
+    }
+
+    fn backoff(&mut self, req: u64, delay: u64, now: u64) {
+        if let Some(op) = self.ops.get_mut(&req) {
+            op.phase = OpPhase::Backoff {
+                due: now + delay,
+            };
+            op.attempts += 1;
+        }
+    }
+
+    /// Advances time: (re)subscribes until a view arrives (and refreshes
+    /// the subscription against seed churn), expires deadlines, releases
+    /// due backoffs, and fills the in-flight window from the queue.
+    pub fn on_tick(&mut self, now: u64, out: &mut Vec<KvOut>) {
+        self.now = self.now.max(now);
+        if !self.via_seed && !self.seeds.is_empty() && now >= self.next_sub_at {
+            let seed = self.seeds[self.seed_cursor % self.seeds.len()];
+            self.seed_cursor += 1;
+            self.send(seed, KvMsg::Sub);
+            // Aggressive until the first view lands, then a slow refresh
+            // so a crashed push source cannot leave us stale forever.
+            self.next_sub_at = now
+                + if self.view.is_some() {
+                    self.op_timeout_ms.max(1)
+                } else {
+                    200
+                };
+        }
+        // Expire deadlines (sorted for determinism).
+        let mut expired: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| op.deadline <= now)
+            .map(|(&req, _)| req)
+            .collect();
+        expired.sort_unstable();
+        for req in expired {
+            let op = self.ops.remove(&req).expect("collected above");
+            if op.phase == OpPhase::InFlight {
+                self.inflight = self.inflight.saturating_sub(1);
+            }
+            self.stats.failed += 1;
+            out.push(KvOut::Done(req, KvOutcome::Failed));
+        }
+        self.queue.retain(|req| self.ops.contains_key(req));
+        // Release due backoffs back into the queue, oldest first.
+        let mut due: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| matches!(op.phase, OpPhase::Backoff { due } if due <= now))
+            .map(|(&req, _)| req)
+            .collect();
+        due.sort_unstable();
+        for req in due {
+            self.ops.get_mut(&req).expect("collected above").phase = OpPhase::Queued;
+            self.queue.push_back(req);
+        }
+        self.pump(out);
+        self.flush(out);
+    }
+
+    /// Fills the in-flight window from the queue. Routing: attempt 0 is
+    /// the placement leader (zero-hop); later attempts rotate through
+    /// the partition's replica set — any replica coordinator-forwards,
+    /// which is the stale-view fallback.
+    fn pump(&mut self, _out: &mut Vec<KvOut>) {
+        if self.via_seed {
+            if self.seeds.is_empty() {
+                return; // Misconfigured legacy client: nowhere to route.
+            }
+        } else if self.view.is_none() {
+            return; // Nothing to route with until the first view push.
+        }
+        while self.inflight < self.window {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            let Some(op) = self.ops.get(&req) else {
+                continue; // Expired while queued.
+            };
+            if op.phase != OpPhase::Queued {
+                continue;
+            }
+            let target = if self.via_seed {
+                self.seeds[op.attempts as usize % self.seeds.len()]
+            } else {
+                let partition = partition_of(&op.key, self.spec.partitions);
+                let (cfg, pl) = self.view.as_ref().expect("checked above");
+                let replicas = pl.replicas(partition);
+                let target_rank = if op.attempts == 0 || replicas.is_empty() {
+                    pl.leader(partition)
+                } else {
+                    replicas[op.attempts as usize % replicas.len()]
+                };
+                cfg.members()[target_rank as usize].addr
+            };
+            let msg = match &op.val {
+                Some(val) => KvMsg::CPut {
+                    req,
+                    key: op.key.clone(),
+                    val: val.clone(),
+                },
+                None => KvMsg::CGet {
+                    req,
+                    key: op.key.clone(),
+                    floor: self.floors.get(&op.key).copied().unwrap_or(0),
+                },
+            };
+            if op.attempts > 0 {
+                self.stats.retries += 1;
+            }
+            self.ops.get_mut(&req).expect("present").phase = OpPhase::InFlight;
+            self.inflight += 1;
+            self.send(target, msg);
+        }
+    }
+
+    fn send(&mut self, to: Endpoint, msg: KvMsg) {
+        self.outbox.push(to, msg);
+    }
+
+    fn flush(&mut self, out: &mut Vec<KvOut>) {
+        let KvClient { outbox, stats, .. } = self;
+        outbox.flush(|to, msg| {
+            out.push(KvOut::Send(to, msg));
+        });
+        let s = outbox.stats();
+        stats.msgs_sent = s.msgs;
+        stats.frames_sent = s.frames;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::CRESP_FAILED;
+
+    fn cluster(n: usize) -> (Arc<Configuration>, Vec<Endpoint>) {
+        let members: Vec<Member> = (0..n)
+            .map(|i| {
+                Member::new(
+                    NodeId::from_u128(i as u128 + 1),
+                    Endpoint::new(format!("kv-{i}"), 7100),
+                )
+            })
+            .collect();
+        let eps = members.iter().map(|m| m.addr).collect();
+        (Configuration::bootstrap(members), eps)
+    }
+
+    fn spec() -> PlacementConfig {
+        PlacementConfig {
+            partitions: 16,
+            replication: 3,
+        }
+    }
+
+    fn view_msg_of(cfg: &Arc<Configuration>) -> KvMsg {
+        KvMsg::View {
+            config_id: cfg.id().0,
+            seq: cfg.seq(),
+            members: cfg
+                .members()
+                .iter()
+                .map(|m| (m.id.as_u128(), m.addr))
+                .collect(),
+        }
+    }
+
+    fn new_client(seeds: Vec<Endpoint>, window: usize) -> KvClient {
+        KvClient::new(Endpoint::new("client-0", 9000), spec(), seeds, window, 2_000)
+    }
+
+    fn sends(out: &[KvOut]) -> Vec<(Endpoint, KvMsg)> {
+        let mut v = Vec::new();
+        for item in out {
+            if let KvOut::Send(to, msg) = item {
+                match msg {
+                    KvMsg::Batch(inner) => {
+                        v.extend(inner.iter().cloned().map(|m| (*to, m)))
+                    }
+                    other => v.push((*to, other.clone())),
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn subscribes_until_a_view_arrives_then_routes_to_leaders() {
+        let (cfg, eps) = cluster(5);
+        let mut c = new_client(eps.clone(), 8);
+        let mut out = Vec::new();
+        c.on_tick(0, &mut out);
+        assert!(
+            sends(&out).iter().any(|(_, m)| *m == KvMsg::Sub),
+            "first tick must subscribe: {out:?}"
+        );
+        // No view yet: submissions queue, nothing hits the wire.
+        let mut out = Vec::new();
+        let req = c.submit(ClientOp::Put { key: "k", val: "v" }, 10, &mut out);
+        assert!(sends(&out).is_empty(), "no view, no routing: {out:?}");
+        assert_eq!(c.pending(), 1);
+
+        // The view arrives; the queued op goes straight to the leader.
+        let mut out = Vec::new();
+        c.on_message(eps[0], view_msg_of(&cfg), 20, &mut out);
+        let wire = sends(&out);
+        assert_eq!(wire.len(), 1, "{wire:?}");
+        let pl = c.placement().unwrap().clone();
+        let leader = cfg.members()[pl.leader(partition_of("k", spec().partitions)) as usize].addr;
+        assert_eq!(wire[0].0, leader, "attempt 0 must hit the leader");
+        assert!(matches!(&wire[0].1, KvMsg::CPut { req: r, .. } if *r == req));
+        assert_eq!(c.stats().views_adopted, 1);
+    }
+
+    #[test]
+    fn via_seed_clients_skip_views_and_pin_ops_to_the_first_seed() {
+        let (_, eps) = cluster(5);
+        let mut c = new_client(eps.clone(), 8).with_via_seed(true);
+        let mut out = Vec::new();
+        c.on_tick(0, &mut out);
+        assert!(
+            sends(&out).is_empty(),
+            "legacy clients never subscribe: {out:?}"
+        );
+        // No view needed: the op goes straight to the first seed (the
+        // fixed coordinator), which forwards server-side.
+        let mut out = Vec::new();
+        let req = c.submit(ClientOp::Put { key: "k", val: "v" }, 10, &mut out);
+        let wire = sends(&out);
+        assert_eq!(wire.len(), 1, "{wire:?}");
+        assert_eq!(wire[0].0, eps[0], "attempt 0 targets seed 0");
+        assert!(matches!(&wire[0].1, KvMsg::CPut { req: r, .. } if *r == req));
+        // A retryable verdict rotates to the next seed.
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req,
+                code: CRESP_FAILED,
+                val: String::new(),
+                version: 0,
+            },
+            20,
+            &mut out,
+        );
+        let mut out = Vec::new();
+        c.on_tick(2_000, &mut out);
+        let retry = sends(&out);
+        assert_eq!(retry.len(), 1, "{retry:?}");
+        assert_eq!(retry[0].0, eps[1], "retries rotate through the seeds");
+    }
+
+    #[test]
+    fn window_bounds_inflight_and_completions_refill() {
+        let (cfg, eps) = cluster(5);
+        let mut c = new_client(eps.clone(), 2);
+        let mut out = Vec::new();
+        c.on_message(eps[0], view_msg_of(&cfg), 0, &mut out);
+        let ops: Vec<ClientOp<'_>> = (0..5)
+            .map(|i| ClientOp::Get {
+                key: ["a", "b", "c", "d", "e"][i],
+            })
+            .collect();
+        let mut out = Vec::new();
+        let reqs = c.submit_ops(&ops, 0, &mut out);
+        assert_eq!(sends(&out).len(), 2, "window of 2 caps the burst");
+        // One verdict frees one slot.
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req: reqs[0],
+                code: CRESP_MISSING,
+                val: String::new(),
+                version: 0,
+            },
+            5,
+            &mut out,
+        );
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, KvOut::Done(r, KvOutcome::Missing) if *r == reqs[0])));
+        assert_eq!(sends(&out).len(), 1, "freed slot refills from the queue");
+        assert_eq!(c.stats().missing, 1);
+    }
+
+    #[test]
+    fn overload_verdicts_requeue_after_backoff_and_count_shed() {
+        let (cfg, eps) = cluster(4);
+        let mut c = new_client(eps.clone(), 4);
+        let mut out = Vec::new();
+        c.on_message(eps[0], view_msg_of(&cfg), 0, &mut out);
+        let mut out = Vec::new();
+        let req = c.submit(ClientOp::Put { key: "k", val: "v" }, 0, &mut out);
+        assert_eq!(sends(&out).len(), 1);
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req,
+                code: CRESP_OVERLOADED,
+                val: String::new(),
+                version: 100,
+            },
+            1,
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|o| matches!(o, KvOut::Done(..))),
+            "overload is not a completion: {out:?}"
+        );
+        assert!(sends(&out).is_empty(), "backing off, not hammering");
+        assert_eq!(c.stats().shed, 1);
+        // Before the hint expires: still quiet.
+        let mut out = Vec::new();
+        c.on_tick(50, &mut out);
+        assert!(sends(&out).iter().all(|(_, m)| *m == KvMsg::Sub));
+        // After: the op retries.
+        let mut out = Vec::new();
+        c.on_tick(101, &mut out);
+        assert!(
+            sends(&out)
+                .iter()
+                .any(|(_, m)| matches!(m, KvMsg::CPut { req: r, .. } if *r == req)),
+            "backoff expiry must re-send: {out:?}"
+        );
+        assert_eq!(c.stats().retries, 1);
+        // And the op still completes normally on an ack.
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req,
+                code: CRESP_ACKED,
+                val: String::new(),
+                version: 7,
+            },
+            110,
+            &mut out,
+        );
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, KvOut::Done(r, KvOutcome::Acked { version: 7 }) if *r == req)));
+    }
+
+    #[test]
+    fn stale_views_are_ignored_and_retries_rotate_replicas() {
+        let (cfg, eps) = cluster(5);
+        let mut c = new_client(eps.clone(), 4);
+        let mut out = Vec::new();
+        c.on_message(eps[0], view_msg_of(&cfg), 0, &mut out);
+        assert_eq!(c.view_seq(), Some(cfg.seq()));
+        // A stale (same-seq) push is a no-op.
+        let mut out = Vec::new();
+        c.on_message(eps[1], view_msg_of(&cfg), 1, &mut out);
+        assert_eq!(c.stats().views_adopted, 1);
+
+        let mut out = Vec::new();
+        let req = c.submit(ClientOp::Get { key: "rot" }, 0, &mut out);
+        let first = sends(&out)[0].0;
+        let p = partition_of("rot", spec().partitions);
+        let pl = c.placement().unwrap().clone();
+        assert_eq!(first, cfg.members()[pl.leader(p) as usize].addr);
+        // A Failed verdict retries on a *replica* (any-replica fallback).
+        let mut out = Vec::new();
+        c.on_message(
+            first,
+            KvMsg::CResp {
+                req,
+                code: CRESP_FAILED,
+                val: String::new(),
+                version: 0,
+            },
+            1,
+            &mut out,
+        );
+        let mut out = Vec::new();
+        c.on_tick(2_000 / 8 + 2, &mut out);
+        let retry_targets: Vec<Endpoint> = sends(&out)
+            .iter()
+            .filter(|(_, m)| matches!(m, KvMsg::CGet { req: r, .. } if *r == req))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(retry_targets.len(), 1, "{out:?}");
+        let replica_addrs: Vec<Endpoint> = pl
+            .replicas(p)
+            .iter()
+            .map(|&r| cfg.members()[r as usize].addr)
+            .collect();
+        assert!(
+            replica_addrs.contains(&retry_targets[0]),
+            "retries stay within the replica set"
+        );
+    }
+
+    #[test]
+    fn deadlines_fail_ops_and_reads_honour_client_floors() {
+        let (cfg, eps) = cluster(4);
+        let mut c = new_client(eps.clone(), 4);
+        let mut out = Vec::new();
+        c.on_message(eps[0], view_msg_of(&cfg), 0, &mut out);
+        // Ack a write at version 9: the floor is recorded client-side.
+        let mut out = Vec::new();
+        let w = c.submit(ClientOp::Put { key: "f", val: "v" }, 0, &mut out);
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req: w,
+                code: CRESP_ACKED,
+                val: String::new(),
+                version: 9,
+            },
+            1,
+            &mut out,
+        );
+        // A read now carries the floor on the wire…
+        let mut out = Vec::new();
+        let r = c.submit(ClientOp::Get { key: "f" }, 2, &mut out);
+        assert!(
+            sends(&out)
+                .iter()
+                .any(|(_, m)| matches!(m, KvMsg::CGet { floor: 9, .. })),
+            "CGet must carry the acked floor: {out:?}"
+        );
+        // …and a stale Found below it is retried, not returned.
+        let mut out = Vec::new();
+        c.on_message(
+            eps[0],
+            KvMsg::CResp {
+                req: r,
+                code: CRESP_FOUND,
+                val: "old".into(),
+                version: 3,
+            },
+            3,
+            &mut out,
+        );
+        assert!(
+            !out.iter().any(|o| matches!(o, KvOut::Done(..))),
+            "below-floor answers never complete: {out:?}"
+        );
+        // An op that never resolves fails exactly at its deadline
+        // (submitted at 2, timeout 2000 → due at 2002).
+        let mut out = Vec::new();
+        c.on_tick(2_002, &mut out);
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, KvOut::Done(rr, KvOutcome::Failed) if *rr == r)),
+            "deadline must fail the read: {out:?}"
+        );
+        assert_eq!(c.stats().failed, 1);
+        assert_eq!(c.pending(), 0);
+    }
+}

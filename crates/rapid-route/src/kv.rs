@@ -196,10 +196,95 @@ pub enum KvMsg {
         /// `(key, value, version)` triples.
         entries: Vec<(String, String, u64)>,
     },
+    /// A smart client subscribing to view pushes from this node. The
+    /// sender endpoint identifies the client; the node answers with the
+    /// current [`KvMsg::View`] immediately and pushes every later one.
+    Sub,
+    /// A membership view pushed to a subscribed client: enough to
+    /// reconstruct the exact server-side [`Configuration`] (same id,
+    /// same seq, same member order) so the client's cached placement is
+    /// byte-for-byte the server's.
+    View {
+        /// The configuration id (trusted, as in wire snapshots).
+        config_id: u64,
+        /// Monotone view sequence number — clients adopt only newer.
+        seq: u64,
+        /// `(node id, address)` per member; metadata does not influence
+        /// placement so it stays off the client wire.
+        members: Vec<(u128, Endpoint)>,
+    },
+    /// A client write, routed directly to the partition leader (or to
+    /// any replica on a stale view — the receiver coordinator-forwards).
+    CPut {
+        /// Client-local request id, echoed in [`KvMsg::CResp`].
+        req: u64,
+        /// Key.
+        key: String,
+        /// Value.
+        val: String,
+    },
+    /// A client read. Carries the client's acked-version floor so
+    /// read-your-writes holds across whichever node coordinates.
+    CGet {
+        /// Client-local request id.
+        req: u64,
+        /// Key.
+        key: String,
+        /// Lowest version the client will accept for this key (0 = any).
+        floor: u64,
+    },
+    /// The node's verdict on a client op, addressed to the client.
+    CResp {
+        /// The client's request id.
+        req: u64,
+        /// Outcome discriminant — see the `CRESP_*` constants.
+        code: u8,
+        /// The value (reads that found the key; empty otherwise).
+        val: String,
+        /// The version (acked writes / found reads), or the suggested
+        /// retry delay in ms when `code` is [`CRESP_OVERLOADED`].
+        version: u64,
+    },
     /// Several data-plane messages for one destination, coalesced into a
     /// single wire frame by the per-peer outbox. Delivered in order;
     /// batches never nest.
     Batch(Vec<KvMsg>),
+}
+
+/// [`KvMsg::CResp`] code: write fully replicated; `version` is the
+/// assigned version.
+pub const CRESP_ACKED: u8 = 0;
+/// [`KvMsg::CResp`] code: read found the key; `val`/`version` carry it.
+pub const CRESP_FOUND: u8 = 1;
+/// [`KvMsg::CResp`] code: read completed, key absent.
+pub const CRESP_MISSING: u8 = 2;
+/// [`KvMsg::CResp`] code: op failed or timed out (retryable).
+pub const CRESP_FAILED: u8 = 3;
+/// [`KvMsg::CResp`] code: shed by admission control before any work;
+/// `version` carries the suggested retry delay in ms. Shed ops are
+/// never applied, so they can never be acked.
+pub const CRESP_OVERLOADED: u8 = 4;
+
+/// Typed data-plane errors surfaced to clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// The node's client inbox is over its admission bound (or interval
+    /// p99 breached the shedding threshold); retry after the hinted
+    /// delay. The op was dropped before any state changed.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded, retry after {retry_after_ms} ms")
+            }
+        }
+    }
 }
 
 impl BatchMessage for KvMsg {
@@ -224,6 +309,11 @@ const TAG_DIGEST_RESP: u8 = 9;
 const TAG_REPAIR_PULL: u8 = 10;
 const TAG_REPAIR_PUSH: u8 = 11;
 const TAG_KV_BATCH: u8 = 12;
+const TAG_SUB: u8 = 13;
+const TAG_VIEW: u8 = 14;
+const TAG_CPUT: u8 = 15;
+const TAG_CGET: u8 = 16;
+const TAG_CRESP: u8 = 17;
 
 /// Encoded size of one `(partition, digest)` pair.
 const DIGEST_PAIR_LEN: usize = 4 + 8 + 8 + 8;
@@ -279,6 +369,13 @@ pub fn encoded_len(msg: &KvMsg) -> usize {
                     .map(|(k, v, _)| str_len(k) + str_len(v) + 8)
                     .sum::<usize>()
         }
+        KvMsg::Sub => 0,
+        KvMsg::View { members, .. } => {
+            8 + 8 + 4 + members.iter().map(|(_, ep)| 16 + ep_len(ep)).sum::<usize>()
+        }
+        KvMsg::CPut { key, val, .. } => 8 + str_len(key) + str_len(val),
+        KvMsg::CGet { key, .. } => 8 + str_len(key) + 8,
+        KvMsg::CResp { val, .. } => 8 + 1 + str_len(val) + 8,
         KvMsg::Batch(msgs) => 4 + msgs.iter().map(encoded_len).sum::<usize>(),
     }
 }
@@ -389,6 +486,45 @@ pub fn encode(msg: &KvMsg, buf: &mut Vec<u8>) {
                 put_str(buf, v);
                 buf.extend_from_slice(&ver.to_le_bytes());
             }
+        }
+        KvMsg::Sub => buf.push(TAG_SUB),
+        KvMsg::View {
+            config_id,
+            seq,
+            members,
+        } => {
+            buf.push(TAG_VIEW);
+            buf.extend_from_slice(&config_id.to_le_bytes());
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for (id, ep) in members {
+                buf.extend_from_slice(&id.to_le_bytes());
+                put_ep(buf, ep);
+            }
+        }
+        KvMsg::CPut { req, key, val } => {
+            buf.push(TAG_CPUT);
+            buf.extend_from_slice(&req.to_le_bytes());
+            put_str(buf, key);
+            put_str(buf, val);
+        }
+        KvMsg::CGet { req, key, floor } => {
+            buf.push(TAG_CGET);
+            buf.extend_from_slice(&req.to_le_bytes());
+            put_str(buf, key);
+            buf.extend_from_slice(&floor.to_le_bytes());
+        }
+        KvMsg::CResp {
+            req,
+            code,
+            val,
+            version,
+        } => {
+            buf.push(TAG_CRESP);
+            buf.extend_from_slice(&req.to_le_bytes());
+            buf.push(*code);
+            put_str(buf, val);
+            buf.extend_from_slice(&version.to_le_bytes());
         }
         KvMsg::Batch(msgs) => {
             debug_assert!(
@@ -569,6 +705,44 @@ fn decode_one(r: &mut KvReader<'_>, allow_batch: bool) -> Result<KvMsg, String> 
                 entries,
             }
         }
+        TAG_SUB => KvMsg::Sub,
+        TAG_VIEW => {
+            let config_id = r.u64()?;
+            let seq = r.u64()?;
+            let count = r.u32()? as usize;
+            // Smallest member is 16 (id) + 4 (empty host + port) bytes:
+            // a forged count cannot out-size the buffer.
+            if count > r.buf.len() / 20 + 1 {
+                return Err(format!("kv decode: absurd view member count {count}"));
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = u128::from_le_bytes(r.take(16)?.try_into().unwrap());
+                let ep = r.ep()?;
+                members.push((id, ep));
+            }
+            KvMsg::View {
+                config_id,
+                seq,
+                members,
+            }
+        }
+        TAG_CPUT => KvMsg::CPut {
+            req: r.u64()?,
+            key: r.str()?,
+            val: r.str()?,
+        },
+        TAG_CGET => KvMsg::CGet {
+            req: r.u64()?,
+            key: r.str()?,
+            floor: r.u64()?,
+        },
+        TAG_CRESP => KvMsg::CResp {
+            req: r.u64()?,
+            code: r.u8()?,
+            val: r.str()?,
+            version: r.u64()?,
+        },
         TAG_KV_BATCH => {
             if !allow_batch {
                 return Err("kv decode: nested batch".into());
@@ -679,6 +853,10 @@ pub struct KvStats {
     pub repairs_triggered: u64,
     /// Encoded bytes of repair-push traffic this node served.
     pub repair_bytes: u64,
+    /// Client ops this node refused under admission control (each one
+    /// answered with a typed `Overloaded` error, never silently dropped
+    /// and never acked).
+    pub ops_shed: u64,
     /// Logical data-plane messages this node emitted.
     pub msgs_sent: u64,
     /// Wire frames this node emitted (`<= msgs_sent`; the per-peer
@@ -702,6 +880,7 @@ impl KvStats {
         self.partitions_moved += other.partitions_moved;
         self.repairs_triggered += other.repairs_triggered;
         self.repair_bytes += other.repair_bytes;
+        self.ops_shed += other.ops_shed;
         self.msgs_sent += other.msgs_sent;
         self.frames_sent += other.frames_sent;
         self.wire_bytes += other.wire_bytes;
@@ -715,11 +894,30 @@ impl KvStats {
 // The state machine
 // ---------------------------------------------------------------------------
 
+/// Who to tell when a pending client op resolves: the local host (the
+/// legacy via-coordinator path, completed as [`KvOut::Done`]) or a
+/// remote smart client (completed as a [`KvMsg::CResp`] wire message).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClientOrigin {
+    /// Submitted by this process's host; `req` is the host-visible id.
+    Local,
+    /// Submitted over the wire by a smart client.
+    Remote {
+        /// The client's endpoint.
+        ep: Endpoint,
+        /// The client's own request id (node-local ids can collide
+        /// across clients).
+        req: u64,
+    },
+}
+
 /// A client op in flight at its coordinator, keyed by request id in
 /// [`KvNode::pending_client`] so completions are O(1) instead of a scan.
 struct PendingClient {
     deadline: u64,
     is_put: bool,
+    /// Where the verdict goes.
+    origin: ClientOrigin,
     /// The key, kept for read retries and for recording acked floors.
     key: String,
     /// Read-your-writes floor captured when the get began: the highest
@@ -808,7 +1006,28 @@ pub struct KvNode {
     /// Flight recorder for the KV op/handoff/repair lifecycle
     /// (capacity 0 = off).
     trace: TraceRing,
+    /// Smart clients subscribed to view pushes, sorted for deterministic
+    /// push order. Bounded by [`MAX_SUBS`].
+    subs: Vec<Endpoint>,
+    /// Admission bound on `pending_client` entries with a remote origin;
+    /// 0 = unbounded (the pre-client-plane behaviour).
+    inbox_limit: usize,
+    /// Soft-shed threshold: when the last sampled interval's op p99
+    /// exceeded this *and* the inbox is more than half full, new client
+    /// ops are shed early. 0 disables.
+    shed_p99_ms: u64,
+    /// The last interval op p99 reported by the host's metrics sweep
+    /// ([`KvNode::note_interval`]) — the PR 8 timeline signal the
+    /// shedding decision keys off.
+    last_interval_p99: u64,
+    /// Remote-origin entries currently in `pending_client` (tracked so
+    /// `inbox_depth` is O(1), not a scan).
+    remote_pending: usize,
 }
+
+/// Cap on subscribed clients per node; later subscriptions are refused
+/// (the client retries against another seed).
+pub const MAX_SUBS: usize = 1_024;
 
 impl KvNode {
     /// Creates the data plane for process `me`. `cache` lets co-hosted
@@ -846,6 +1065,11 @@ impl KvNode {
             repair_hist: LatencyHist::new(),
             awaiting_since: DetHashMap::default(),
             trace: TraceRing::new(0),
+            subs: Vec::new(),
+            inbox_limit: 0,
+            shed_p99_ms: 0,
+            last_interval_p99: 0,
+            remote_pending: 0,
         }
     }
 
@@ -869,6 +1093,37 @@ impl KvNode {
     pub fn with_repair_interval(mut self, ms: u64) -> KvNode {
         self.repair_interval_ms = ms;
         self
+    }
+
+    /// Configures admission control for remote client ops: a hard bound
+    /// of `inbox` coordinator-pending ops (0 = unbounded), plus an
+    /// optional latency-keyed soft shed — when the last metrics-interval
+    /// op p99 (fed by [`KvNode::note_interval`]) exceeds `shed_p99_ms`
+    /// and the inbox is more than half full, arrivals are shed early.
+    /// Shed ops are answered with [`KvError::Overloaded`] (as a
+    /// [`CRESP_OVERLOADED`] wire verdict) before any state changes, so a
+    /// shed op can never be acked.
+    pub fn with_admission(mut self, inbox: usize, shed_p99_ms: u64) -> KvNode {
+        self.inbox_limit = inbox;
+        self.shed_p99_ms = shed_p99_ms;
+        self
+    }
+
+    /// Feeds the latest metrics-interval op quantiles (the PR 8 timeline
+    /// signal) into the shedding decision. Hosts call this from the same
+    /// sweep that records the timeline sample.
+    pub fn note_interval(&mut self, _p50_ms: u64, p99_ms: u64) {
+        self.last_interval_p99 = p99_ms;
+    }
+
+    /// Remote client ops currently pending at this coordinator.
+    pub fn inbox_depth(&self) -> usize {
+        self.remote_pending
+    }
+
+    /// Smart clients currently subscribed to view pushes.
+    pub fn client_conns(&self) -> usize {
+        self.subs.len()
     }
 
     /// Marks this node as joining an established cluster: its first
@@ -1033,6 +1288,14 @@ impl KvNode {
             }
         }
         self.view = Some((config, placement));
+        // Push the new view to every subscribed smart client so their
+        // cached placement tracks the cluster with zero client polling.
+        if !self.subs.is_empty() {
+            let msg = self.view_msg();
+            for i in 0..self.subs.len() {
+                self.send(self.subs[i], msg.clone());
+            }
+        }
         // Give the plan-chosen handoffs one full interval to land before
         // the next repair round can second-guess them with pulls — but
         // never defer more than a few intervals past the last round, or
@@ -1040,6 +1303,20 @@ impl KvNode {
         // it exists to cover.
         let deferral_cap = self.last_repair_at + 4 * self.repair_interval_ms;
         self.next_repair_at = (now + self.repair_interval_ms).min(deferral_cap);
+    }
+
+    /// The current view as a client push message.
+    fn view_msg(&self) -> KvMsg {
+        let (cfg, _) = self.view.as_ref().expect("view installed");
+        KvMsg::View {
+            config_id: cfg.id().0,
+            seq: cfg.seq(),
+            members: cfg
+                .members()
+                .iter()
+                .map(|m| (m.id.as_u128(), m.addr))
+                .collect(),
+        }
     }
 
     fn leader_addr(&self, partition: u32) -> Option<Endpoint> {
@@ -1088,6 +1365,9 @@ impl KvNode {
         let Some(pc) = self.pending_client.remove(&req) else {
             return; // Already timed out.
         };
+        if matches!(pc.origin, ClientOrigin::Remote { .. }) {
+            self.remote_pending = self.remote_pending.saturating_sub(1);
+        }
         // The op started `op_timeout_ms` before its deadline; `self.now`
         // was refreshed by whichever entry point led here.
         let latency = self
@@ -1109,7 +1389,26 @@ impl KvNode {
             (_, false) => self.stats.gets_ok += 1,
             _ => {}
         }
-        out.push(KvOut::Done(req, outcome));
+        match pc.origin {
+            ClientOrigin::Local => out.push(KvOut::Done(req, outcome)),
+            ClientOrigin::Remote { ep, req: creq } => {
+                let (code, val, version) = match outcome {
+                    KvOutcome::Acked { version } => (CRESP_ACKED, String::new(), version),
+                    KvOutcome::Found { val, version } => (CRESP_FOUND, val, version),
+                    KvOutcome::Missing => (CRESP_MISSING, String::new(), 0),
+                    KvOutcome::Failed => (CRESP_FAILED, String::new(), 0),
+                };
+                self.send(
+                    ep,
+                    KvMsg::CResp {
+                        req: creq,
+                        code,
+                        val,
+                        version,
+                    },
+                );
+            }
+        }
     }
 
     /// Begins a client write through this node as coordinator; the result
@@ -1150,14 +1449,29 @@ impl KvNode {
     }
 
     fn begin_put(&mut self, key: &str, val: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        self.begin_put_from(key, val, now, ClientOrigin::Local, out)
+    }
+
+    fn begin_put_from(
+        &mut self,
+        key: &str,
+        val: &str,
+        now: u64,
+        origin: ClientOrigin,
+        out: &mut Vec<KvOut>,
+    ) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
         self.trace.push(now, EventKind::KvOpStart, req, 1);
+        if matches!(origin, ClientOrigin::Remote { .. }) {
+            self.remote_pending += 1;
+        }
         self.pending_client.insert(
             req,
             PendingClient {
                 deadline: now + self.op_timeout_ms,
                 is_put: true,
+                origin,
                 key: key.to_string(),
                 floor: 0,
                 retry: false,
@@ -1183,15 +1497,37 @@ impl KvNode {
     }
 
     fn begin_get(&mut self, key: &str, now: u64, out: &mut Vec<KvOut>) -> u64 {
+        self.begin_get_from(key, 0, now, ClientOrigin::Local, out)
+    }
+
+    fn begin_get_from(
+        &mut self,
+        key: &str,
+        floor_min: u64,
+        now: u64,
+        origin: ClientOrigin,
+        out: &mut Vec<KvOut>,
+    ) -> u64 {
         let req = self.next_req;
         self.next_req += 1;
         self.trace.push(now, EventKind::KvOpStart, req, 0);
-        let floor = self.acked_floors.get(key).copied().unwrap_or(0);
+        if matches!(origin, ClientOrigin::Remote { .. }) {
+            self.remote_pending += 1;
+        }
+        // Read-your-writes across coordinators: honour both this node's
+        // acked floor and the one the client carried in.
+        let floor = self
+            .acked_floors
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+            .max(floor_min);
         self.pending_client.insert(
             req,
             PendingClient {
                 deadline: now + self.op_timeout_ms,
                 is_put: false,
+                origin,
                 key: key.to_string(),
                 floor,
                 retry: false,
@@ -1199,6 +1535,64 @@ impl KvNode {
         );
         self.forward_get(req, key, out);
         req
+    }
+
+    /// Admission decision for one arriving client op: `Err` when it must
+    /// be shed. Pure check — counting and answering happen at the call
+    /// site.
+    fn admit_client_op(&self) -> Result<(), KvError> {
+        let retry_after_ms = (self.op_timeout_ms / 4).max(1);
+        if self.inbox_limit > 0 && self.remote_pending >= self.inbox_limit {
+            return Err(KvError::Overloaded { retry_after_ms });
+        }
+        if self.shed_p99_ms > 0
+            && self.last_interval_p99 > self.shed_p99_ms
+            && self.inbox_limit > 0
+            && self.remote_pending > self.inbox_limit / 2
+        {
+            return Err(KvError::Overloaded { retry_after_ms });
+        }
+        Ok(())
+    }
+
+    /// Handles one client-plane op arriving over the wire: shed under
+    /// overload (typed, counted, never acked) or coordinate it exactly
+    /// like a local submission with a remote completion route. When this
+    /// node leads the key's partition — the smart client's common case —
+    /// the op is zero-hop: no coordinator forward ever hits the wire.
+    #[allow(clippy::too_many_arguments)]
+    fn on_client_op(
+        &mut self,
+        from: Endpoint,
+        creq: u64,
+        key: &str,
+        val: Option<&str>,
+        floor: u64,
+        now: u64,
+        out: &mut Vec<KvOut>,
+    ) {
+        if let Err(KvError::Overloaded { retry_after_ms }) = self.admit_client_op() {
+            self.stats.ops_shed += 1;
+            self.send(
+                from,
+                KvMsg::CResp {
+                    req: creq,
+                    code: CRESP_OVERLOADED,
+                    val: String::new(),
+                    version: retry_after_ms,
+                },
+            );
+            return;
+        }
+        let origin = ClientOrigin::Remote { ep: from, req: creq };
+        match val {
+            Some(v) => {
+                self.begin_put_from(key, v, now, origin, out);
+            }
+            None => {
+                self.begin_get_from(key, floor, now, origin, out);
+            }
+        }
     }
 
     /// Routes (or re-routes) a pending read to the key's current leader.
@@ -1459,6 +1853,25 @@ impl KvNode {
                     self.early_handoffs.insert(partition);
                 }
                 self.stats.handoffs_applied += 1;
+            }
+            KvMsg::Sub => {
+                if let Err(i) = self.subs.binary_search(&from) {
+                    if self.subs.len() < MAX_SUBS {
+                        self.subs.insert(i, from);
+                    }
+                }
+                if self.view.is_some() {
+                    let view = self.view_msg();
+                    self.send(from, view);
+                }
+            }
+            KvMsg::View { .. } => {} // Client-plane message; nodes ignore.
+            KvMsg::CResp { .. } => {} // Client-plane verdict; nodes ignore.
+            KvMsg::CPut { req, key, val } => {
+                self.on_client_op(from, req, &key, Some(&val), 0, now, out)
+            }
+            KvMsg::CGet { req, key, floor } => {
+                self.on_client_op(from, req, &key, None, floor, now, out)
             }
             KvMsg::DigestReq { digests } => self.on_digest_req(from, digests, out),
             KvMsg::DigestResp { digests } => self.on_digest_resp(from, digests, out),
@@ -2027,6 +2440,31 @@ mod tests {
                 settled: true,
                 entries: vec![("k".into(), "v".into(), 12)],
             },
+            KvMsg::Sub,
+            KvMsg::View {
+                config_id: 0xFEED,
+                seq: 3,
+                members: vec![
+                    (1, Endpoint::new("kv-0", 7100)),
+                    (2, Endpoint::new("kv-1", 7100)),
+                ],
+            },
+            KvMsg::CPut {
+                req: 21,
+                key: "k".into(),
+                val: "v".into(),
+            },
+            KvMsg::CGet {
+                req: 22,
+                key: "k".into(),
+                floor: 5,
+            },
+            KvMsg::CResp {
+                req: 21,
+                code: CRESP_OVERLOADED,
+                val: String::new(),
+                version: 250,
+            },
         ];
         // Every family also survives nested in one batch frame, in order.
         let batch = KvMsg::Batch(msgs.clone());
@@ -2045,6 +2483,14 @@ mod tests {
         // Forged counts cannot out-size the buffer.
         assert!(decode(&[TAG_DIGEST_REQ, 255, 255, 255, 255]).is_err());
         assert!(decode(&[TAG_REPAIR_PULL, 255, 255, 255, 255]).is_err());
+        let mut forged_view = vec![TAG_VIEW];
+        forged_view.extend_from_slice(&1u64.to_le_bytes());
+        forged_view.extend_from_slice(&1u64.to_le_bytes());
+        forged_view.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            decode(&forged_view).is_err(),
+            "absurd view member count must be refused"
+        );
         assert!(
             decode(&[TAG_KV_BATCH, 255, 255, 255, 255]).is_err(),
             "absurd batch count must be refused"
@@ -2114,7 +2560,186 @@ mod tests {
         }
     }
 
-    /// THE regression this PR exists for (see also the cross-driver
+    /// Flattens batch frames and returns every message addressed to `to`.
+    fn msgs_to(out: &[KvOut], to: Endpoint) -> Vec<KvMsg> {
+        let mut v = Vec::new();
+        for item in out {
+            if let KvOut::Send(dest, msg) = item {
+                if *dest != to {
+                    continue;
+                }
+                match msg {
+                    KvMsg::Batch(inner) => v.extend(inner.iter().cloned()),
+                    other => v.push(other.clone()),
+                }
+            }
+        }
+        v
+    }
+
+    /// The admission-control pin (satellite): ops over the inbox bound —
+    /// or over the timeline-keyed p99 threshold — are answered with a
+    /// typed `Overloaded` verdict before any state changes, so a shed op
+    /// can never be acked, and `no_lost_acked_writes` is vacuously safe
+    /// under shedding.
+    #[test]
+    fn shed_ops_are_typed_and_never_acked() {
+        let ms = members(3);
+        let config = Configuration::bootstrap(ms.clone());
+        let sp = spec();
+        let cache = PlacementCache::new();
+        let mut node = KvNode::new(ms[0].clone(), sp, 1_000, Some(cache.clone()))
+            .with_admission(2, 0);
+        let mut out = Vec::new();
+        node.on_view(Arc::clone(&config), 0, &mut out);
+        assert!(out.is_empty());
+        let client = Endpoint::new("client-x", 9000);
+        // Keys this node leads: replication needs RepAcks we never
+        // deliver, so admitted ops stay pending and fill the inbox.
+        let led: Vec<String> = (0..200)
+            .map(|i| format!("shed-{i}"))
+            .filter(|k| node.is_leader(partition_of(k, sp.partitions)))
+            .take(3)
+            .collect();
+        assert_eq!(led.len(), 3, "enough keys led by node 0");
+        let mut answers = Vec::new();
+        for (i, key) in led.iter().enumerate() {
+            let mut out = Vec::new();
+            node.on_message(
+                client,
+                KvMsg::CPut {
+                    req: i as u64,
+                    key: key.clone(),
+                    val: "v".into(),
+                },
+                0,
+                &mut out,
+            );
+            answers.extend(msgs_to(&out, client));
+        }
+        assert_eq!(node.inbox_depth(), 2, "two admitted, one shed");
+        assert_eq!(node.stats().ops_shed, 1);
+        assert_eq!(
+            answers,
+            vec![KvMsg::CResp {
+                req: 2,
+                code: CRESP_OVERLOADED,
+                val: String::new(),
+                version: 250, // op_timeout / 4
+            }],
+            "the shed op gets a typed verdict immediately"
+        );
+        assert!(
+            !node
+                .store
+                .values()
+                .any(|m| m.contains_key(&led[2])),
+            "a shed op must not touch the store"
+        );
+        // Drive the admitted ops to their deadline: they fail (their
+        // RepAcks never arrive), the shed op stays shed — no CResp for
+        // req 2 ever says Acked.
+        let mut out = Vec::new();
+        node.on_tick(1_000, &mut out);
+        answers.extend(msgs_to(&out, client));
+        assert_eq!(node.inbox_depth(), 0, "deadline clears the inbox");
+        assert!(
+            !answers
+                .iter()
+                .any(|m| matches!(m, KvMsg::CResp { code, .. } if *code == CRESP_ACKED)),
+            "nothing was acked: {answers:?}"
+        );
+        assert_eq!(
+            answers
+                .iter()
+                .filter(|m| matches!(m, KvMsg::CResp { code, .. } if *code == CRESP_FAILED))
+                .count(),
+            2,
+            "both admitted ops fail at their deadline: {answers:?}"
+        );
+
+        // The latency-keyed soft shed: under the hard bound but past the
+        // interval-p99 threshold with a half-full inbox, arrivals shed.
+        let mut soft = KvNode::new(ms[0].clone(), sp, 1_000, Some(cache))
+            .with_admission(4, 10);
+        let mut out = Vec::new();
+        soft.on_view(Arc::clone(&config), 0, &mut out);
+        for (i, key) in led.iter().enumerate() {
+            let mut out = Vec::new();
+            soft.on_message(
+                client,
+                KvMsg::CPut {
+                    req: i as u64,
+                    key: key.clone(),
+                    val: "v".into(),
+                },
+                0,
+                &mut out,
+            );
+            assert!(msgs_to(&out, client).is_empty(), "under both thresholds");
+        }
+        assert_eq!(soft.inbox_depth(), 3);
+        soft.note_interval(5, 50); // timeline interval p99 breaches 10ms
+        let mut out = Vec::new();
+        soft.on_message(
+            client,
+            KvMsg::CPut {
+                req: 99,
+                key: led[0].clone(),
+                val: "v2".into(),
+            },
+            0,
+            &mut out,
+        );
+        assert!(
+            matches!(
+                &msgs_to(&out, client)[..],
+                [KvMsg::CResp { req: 99, code, .. }] if *code == CRESP_OVERLOADED
+            ),
+            "p99 over threshold with a half-full inbox must shed"
+        );
+        assert_eq!(soft.stats().ops_shed, 1);
+    }
+
+    /// Subscribed clients get the current view immediately and every
+    /// later install pushed, and the node reports them in
+    /// `client_conns`.
+    #[test]
+    fn subscriptions_push_views_to_clients() {
+        use rapid_core::membership::Proposal;
+
+        let mut mesh = Mesh::new(4);
+        let client = Endpoint::new("client-sub", 9000);
+        let mut out = Vec::new();
+        mesh.nodes[1].on_message(client, KvMsg::Sub, 0, &mut out);
+        let pushed = msgs_to(&out, client);
+        match &pushed[..] {
+            [KvMsg::View { config_id, seq, members }] => {
+                assert_eq!(*config_id, mesh.config.id().0);
+                assert_eq!(*seq, mesh.config.seq());
+                assert_eq!(members.len(), 4);
+            }
+            other => panic!("expected an immediate view push, got {other:?}"),
+        }
+        assert_eq!(mesh.nodes[1].client_conns(), 1);
+        assert_eq!(mesh.nodes[0].client_conns(), 0);
+
+        // A view change pushes the new view to the subscriber.
+        let removal = Proposal::from_items(
+            mesh.config.id(),
+            vec![mesh.config.removal_item(3)],
+        );
+        let new_cfg = mesh.config.apply(&removal);
+        let mut out = Vec::new();
+        mesh.nodes[1].on_view(Arc::clone(&new_cfg), 1_000, &mut out);
+        let pushed = msgs_to(&out, client);
+        assert!(
+            pushed
+                .iter()
+                .any(|m| matches!(m, KvMsg::View { seq, .. } if *seq == new_cfg.seq())),
+            "install must push the new view: {pushed:?}"
+        );
+    }
     /// `scenarios/kv_repair.toml` pin): a rebalance source that
     /// crashes mid-push must never let the new replica serve `Missing`
     /// for an acked key. The old code expired the awaiting guard after

@@ -20,6 +20,11 @@
 //!   (digest exchange + rendezvous-ranked re-pull) recovers handoffs
 //!   lost to mid-push source crashes. Coordinators enforce
 //!   read-your-writes via per-key acked version floors.
+//! * [`client`] — the smart-client plane ([`client::KvClient`]): a
+//!   sans-io state machine that subscribes to view pushes, caches the
+//!   placement function's output, and routes each op directly to the
+//!   partition leader with a bounded in-flight window — zero forwarding
+//!   hops in the common case, any-replica fallback on a stale view.
 //! * [`sim`] — the data plane co-hosted with membership inside the
 //!   deterministic simulator ([`sim::KvSimActor`]).
 //! * [`real`] — the data plane on real TCP ([`real::KvRuntime`]), riding
@@ -31,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod kv;
 pub mod placement;
 pub mod real;
 pub mod sim;
 
-pub use kv::{ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
+pub use client::{ClientStats, KvClient};
+pub use kv::{ClientOp, KvError, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 pub use placement::{
     partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
 };

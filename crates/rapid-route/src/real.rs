@@ -20,8 +20,9 @@ use rapid_core::membership::ViewChange;
 use rapid_core::node::NodeStatus;
 use rapid_core::obs::{LatencyHist, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 use rapid_core::settings::Settings;
-use rapid_transport::{AppEvent, Runtime};
+use rapid_transport::{AppEvent, AppPeer, Runtime};
 
+use crate::client::{ClientStats, KvClient};
 use crate::kv::{self, ClientOp, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
 use crate::placement::PlacementConfig;
 
@@ -50,6 +51,13 @@ struct Mirror {
     view_len: usize,
     view_count: u64,
     stats: KvStats,
+    /// Remote client ops currently pending on this coordinator (the
+    /// admission-controlled inbox).
+    inbox_depth: usize,
+    /// Subscribed smart clients.
+    client_conns: usize,
+    /// Inbound frames dropped by the transport's per-peer quota.
+    quota_dropped: u64,
     /// `(partition, digest, settled)` for every replicated partition —
     /// the scenario driver's `kv_converged` sweep compares these across
     /// processes.
@@ -88,10 +96,11 @@ impl KvRuntime {
         let batch_wire = settings.batch_wire;
         let obs_ring = settings.obs_ring;
         let obs_sample_ms = settings.obs_sample_ms;
+        let admission = (settings.kv_inbox, settings.kv_shed_p99_ms);
         let rt = Runtime::start_seed(listen, settings)?;
         Ok(Self::wrap(
             rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire, obs_ring,
-            obs_sample_ms,
+            obs_sample_ms, admission,
         ))
     }
 
@@ -108,10 +117,11 @@ impl KvRuntime {
         let batch_wire = settings.batch_wire;
         let obs_ring = settings.obs_ring;
         let obs_sample_ms = settings.obs_sample_ms;
+        let admission = (settings.kv_inbox, settings.kv_shed_p99_ms);
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
         Ok(Self::wrap(
             rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire, obs_ring,
-            obs_sample_ms,
+            obs_sample_ms, admission,
         ))
     }
 
@@ -125,13 +135,15 @@ impl KvRuntime {
         batch_wire: bool,
         obs_ring: usize,
         obs_sample_ms: u64,
+        admission: (usize, u64),
     ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
         let mut kv = KvNode::new(me, route, op_timeout_ms, None)
             .with_repair_interval(repair_interval_ms)
             .with_batching(batch_wire)
-            .with_obs(obs_ring);
+            .with_obs(obs_ring)
+            .with_admission(admission.0, admission.1);
         if joiner {
             kv = kv.expect_initial_handoffs();
         }
@@ -142,6 +154,9 @@ impl KvRuntime {
             view_len: rt.view().len(),
             view_count: 0,
             stats: KvStats::default(),
+            inbox_depth: 0,
+            client_conns: 0,
+            quota_dropped: 0,
             digests: Vec::new(),
             op_hist: LatencyHist::new(),
             timeline: Vec::new(),
@@ -160,9 +175,10 @@ impl KvRuntime {
                     m.op_hist.quantile_ppm(990_000),
                 );
                 line.push_str(&format!(
-                    ",\"puts_acked\":{},\"gets_ok\":{},\"bytes_moved\":{},\"repair_bytes\":{},\"op_p50_ms\":{},\"op_p99_ms\":{}",
+                    ",\"puts_acked\":{},\"gets_ok\":{},\"bytes_moved\":{},\"repair_bytes\":{},\"op_p50_ms\":{},\"op_p99_ms\":{},\"inbox_depth\":{},\"shed_ops\":{},\"client_conns\":{},\"quota_dropped\":{}",
                     m.stats.puts_acked, m.stats.gets_ok, m.stats.bytes_moved,
                     m.stats.repair_bytes, p50, p99,
+                    m.inbox_depth, m.stats.ops_shed, m.client_conns, m.quota_dropped,
                 ));
             })
             .ok()
@@ -206,6 +222,22 @@ impl KvRuntime {
     /// Latest published data-plane counters.
     pub fn stats(&self) -> KvStats {
         self.mirror.lock().stats
+    }
+
+    /// Latest published admission-inbox depth (remote client ops pending
+    /// on this coordinator).
+    pub fn inbox_depth(&self) -> usize {
+        self.mirror.lock().inbox_depth
+    }
+
+    /// Latest published subscribed-client count.
+    pub fn client_conns(&self) -> usize {
+        self.mirror.lock().client_conns
+    }
+
+    /// Latest published per-peer-quota drop count from the transport.
+    pub fn quota_dropped(&self) -> u64 {
+        self.mirror.lock().quota_dropped
     }
 
     /// Latest published successful-op latency histogram (wall-clock ms).
@@ -405,6 +437,9 @@ fn worker(
             let s = *kv.stats();
             let ops = s.puts_acked + s.gets_ok;
             let (_, p50, p99) = kv.op_hist().interval_quantiles(&prev_hist);
+            // Feed the admission controller its latency signal, same as
+            // the simulator's metrics sweep.
+            kv.note_interval(p50, p99);
             let t_ms = start.elapsed().as_millis() as u64;
             timeline.push(TimelinePoint {
                 t_ms,
@@ -441,6 +476,9 @@ fn worker(
             m.view_len = rt.view().len();
             m.view_count = view_count;
             m.stats = *kv.stats();
+            m.inbox_depth = kv.inbox_depth();
+            m.client_conns = kv.client_conns();
+            m.quota_dropped = rt.quota_dropped();
             if let Some(d) = fresh_digests {
                 m.digests = d;
                 m.op_hist = kv.op_hist().clone();
@@ -449,6 +487,185 @@ fn worker(
                 m.timeline = timeline.iter_in_order().copied().collect();
                 m.timeline_dropped = timeline.dropped();
             }
+        }
+    }
+}
+
+/// A smart client hosted on the real transport: a [`KvClient`] state
+/// machine driven from an [`AppPeer`]'s event stream on a dedicated
+/// worker thread. The `AppPeer` keeps one pooled TCP stream per
+/// destination, so steady-state traffic holds exactly one connection per
+/// partition leader — the per-leader connection pooling the client plane
+/// promises. The client never joins the membership; it learns views
+/// purely from `Sub`/`View` push frames.
+pub struct KvClientRuntime {
+    addr: Endpoint,
+    ops_tx: Sender<RealOp>,
+    ctl_tx: Sender<RealCtl>,
+    published: Arc<Mutex<(ClientStats, LatencyHist, Option<u64>)>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl KvClientRuntime {
+    /// Starts a client worker subscribing through `seeds` (cluster
+    /// listen addresses), with placement spec `route` (must match the
+    /// cluster's), an in-flight window, and a per-op deadline.
+    pub fn start(
+        seeds: Vec<Endpoint>,
+        route: PlacementConfig,
+        window: usize,
+        op_timeout_ms: u64,
+    ) -> std::io::Result<KvClientRuntime> {
+        let peer = AppPeer::start(Endpoint::new("127.0.0.1", 0))?;
+        let addr = *peer.addr();
+        let client = KvClient::new(addr, route, seeds, window, op_timeout_ms);
+        let (ops_tx, ops_rx) = bounded::<RealOp>(16 * 1024);
+        let (ctl_tx, ctl_rx) = bounded::<RealCtl>(16);
+        let published = Arc::new(Mutex::new((
+            ClientStats::default(),
+            LatencyHist::new(),
+            None,
+        )));
+        let worker_pub = Arc::clone(&published);
+        let handle = std::thread::spawn(move || {
+            client_worker(peer, client, ops_rx, ctl_rx, worker_pub);
+        });
+        Ok(KvClientRuntime {
+            addr,
+            ops_tx,
+            ctl_tx,
+            published,
+            handle: Some(handle),
+        })
+    }
+
+    /// The client's listen address (what nodes see as the subscriber).
+    pub fn addr(&self) -> Endpoint {
+        self.addr
+    }
+
+    /// Latest published client-observed counters.
+    pub fn stats(&self) -> ClientStats {
+        self.published.lock().0
+    }
+
+    /// Latest published client-observed op-latency histogram (ms).
+    pub fn op_hist(&self) -> LatencyHist {
+        self.published.lock().1.clone()
+    }
+
+    /// The adopted view's sequence, once the first push landed.
+    pub fn view_seq(&self) -> Option<u64> {
+        self.published.lock().2
+    }
+
+    /// Begins a write through the smart client; the outcome arrives on
+    /// the returned channel.
+    pub fn begin_put(&self, key: &str, val: &str) -> Receiver<KvOutcome> {
+        let (reply, rx) = bounded(1);
+        let _ = self.ops_tx.try_send(RealOp::Put {
+            key: key.to_string(),
+            val: val.to_string(),
+            reply,
+        });
+        rx
+    }
+
+    /// Begins a read through the smart client.
+    pub fn begin_get(&self, key: &str) -> Receiver<KvOutcome> {
+        let (reply, rx) = bounded(1);
+        let _ = self.ops_tx.try_send(RealOp::Get {
+            key: key.to_string(),
+            reply,
+        });
+        rx
+    }
+
+    /// Stops the worker and the peer's sockets.
+    pub fn shutdown_now(mut self) {
+        let _ = self.ctl_tx.send(RealCtl::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for KvClientRuntime {
+    fn drop(&mut self) {
+        let _ = self.ctl_tx.try_send(RealCtl::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn client_worker(
+    peer: AppPeer,
+    mut client: KvClient,
+    ops_rx: Receiver<RealOp>,
+    ctl_rx: Receiver<RealCtl>,
+    published: Arc<Mutex<(ClientStats, LatencyHist, Option<u64>)>>,
+) {
+    let mut out: Vec<KvOut> = Vec::new();
+    let mut replies: DetHashMap<u64, Sender<KvOutcome>> = DetHashMap::default();
+    let start = Instant::now();
+    let mut next_tick = Instant::now();
+    loop {
+        if ctl_rx.try_recv().is_ok() {
+            peer.shutdown_now();
+            return;
+        }
+        let now = start.elapsed().as_millis() as u64;
+        // Inbound view pushes and verdicts.
+        if let Ok((from, bytes)) = peer.events().recv_timeout(Duration::from_millis(5)) {
+            if let Ok(msg) = kv::decode(&bytes) {
+                client.on_message(from, msg, now, &mut out);
+            }
+        }
+        // Client submissions, one pipelined burst per pass.
+        let mut burst: Vec<RealOp> = Vec::new();
+        while let Ok(op) = ops_rx.try_recv() {
+            burst.push(op);
+        }
+        if !burst.is_empty() {
+            let client_ops: Vec<ClientOp<'_>> = burst
+                .iter()
+                .map(|op| match op {
+                    RealOp::Put { key, val, .. } => ClientOp::Put { key, val },
+                    RealOp::Get { key, .. } => ClientOp::Get { key },
+                })
+                .collect();
+            let reqs = client.submit_ops(&client_ops, now, &mut out);
+            for (req, op) in reqs.into_iter().zip(burst) {
+                let reply = match op {
+                    RealOp::Put { reply, .. } | RealOp::Get { reply, .. } => reply,
+                };
+                replies.insert(req, reply);
+            }
+        }
+        if Instant::now() >= next_tick {
+            client.on_tick(now, &mut out);
+            next_tick = Instant::now() + Duration::from_millis(20);
+        }
+        for item in out.drain(..) {
+            match item {
+                KvOut::Send(to, msg) => {
+                    let mut buf = Vec::with_capacity(kv::encoded_len(&msg));
+                    kv::encode(&msg, &mut buf);
+                    peer.send_app(to, buf);
+                }
+                KvOut::Done(req, outcome) => {
+                    if let Some(reply) = replies.remove(&req) {
+                        let _ = reply.try_send(outcome);
+                    }
+                }
+            }
+        }
+        {
+            let mut p = published.lock();
+            p.0 = *client.stats();
+            p.1 = client.op_hist().clone();
+            p.2 = client.view_seq();
         }
     }
 }
@@ -538,6 +755,76 @@ mod tests {
         assert!(body.contains("\"status\":\"Active\""), "{body:?}");
         assert!(body.contains("\"puts_acked\":8"), "{body:?}");
         assert!(body.contains("\"op_p99_ms\":"), "{body:?}");
+        // Client-plane overload observability rides the same line.
+        assert!(body.contains("\"inbox_depth\":"), "{body:?}");
+        assert!(body.contains("\"shed_ops\":0"), "{body:?}");
+        assert!(body.contains("\"client_conns\":"), "{body:?}");
+        assert!(body.contains("\"quota_dropped\":0"), "{body:?}");
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn real_smart_client_subscribes_routes_and_completes_ops() {
+        let settings = fast_settings();
+        let seed = KvRuntime::start_seed(
+            Endpoint::new("127.0.0.1", 0),
+            settings.clone(),
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
+        let seed_addr = seed.addr();
+        let joiner = KvRuntime::start_joiner(
+            Endpoint::new("127.0.0.1", 0),
+            vec![seed_addr],
+            settings,
+            rapid_core::Metadata::new(),
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
+        assert!(
+            wait_for(
+                || seed.view_len() == 2 && joiner.view_len() == 2,
+                Duration::from_secs(30)
+            ),
+            "2-node cluster must form"
+        );
+        let client = KvClientRuntime::start(vec![seed_addr], spec(), 64, 5_000).unwrap();
+        assert!(
+            wait_for(|| client.view_seq().is_some(), Duration::from_secs(10)),
+            "client must adopt a pushed view"
+        );
+        for i in 0..10 {
+            let rx = client.begin_put(&format!("sk{i}"), &format!("sv{i}"));
+            assert!(
+                matches!(rx.recv_timeout(Duration::from_secs(10)), Ok(KvOutcome::Acked { .. })),
+                "client put {i} must ack"
+            );
+        }
+        for i in 0..10 {
+            let rx = client.begin_get(&format!("sk{i}"));
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(KvOutcome::Found { val, .. }) => assert_eq!(val, format!("sv{i}")),
+                other => panic!("client get {i}: {other:?}"),
+            }
+        }
+        let cs = client.stats();
+        assert_eq!(cs.acked, 10, "{cs:?}");
+        assert_eq!(cs.found, 10, "{cs:?}");
+        assert_eq!(cs.shed, 0, "{cs:?}");
+        assert!(cs.views_adopted >= 1);
+        let (p50, p99, _) = client.op_hist().percentiles();
+        assert!(p50 <= p99, "client-observed quantiles sane");
+        // The subscription is visible server-side.
+        assert!(
+            wait_for(|| seed.client_conns() >= 1, Duration::from_secs(5)),
+            "seed must count the subscribed client"
+        );
+        client.shutdown_now();
+        joiner.shutdown_now();
         seed.shutdown_now();
     }
 

@@ -6,6 +6,14 @@
 //! combined [`RouteMsg`] message type. View changes flow from the
 //! membership node straight into the data plane via the action stream —
 //! the paper's view-change callback, wired to placement.
+//!
+//! The same actor type also hosts the smart-client plane: a
+//! [`KvSimActor`] built with [`KvSimActor::new_client`] wraps a
+//! [`KvClient`] instead of a node pair, sharing the simulated network
+//! (and its faults) with the cluster it drives. Client actors report no
+//! membership sample, keep empty trace/timeline rings, and ignore
+//! membership traffic, so adding them never perturbs convergence
+//! predicates or metrics artifacts.
 
 use std::sync::Arc;
 
@@ -21,6 +29,7 @@ use rapid_sim::cluster::{sim_member, ActorLog, RapidActor, RapidClusterBuilder};
 use rapid_sim::engine::NetSample;
 use rapid_sim::{Actor, Outbox, Simulation};
 
+use crate::client::{ClientStats, KvClient};
 use crate::kv::{self, ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats};
 use crate::placement::{PlacementCache, PlacementConfig};
 
@@ -34,12 +43,23 @@ pub enum RouteMsg {
     Kv(KvMsg),
 }
 
-/// A simulated process running membership + KV.
+/// What one simulated process runs: a full cluster member (membership
+/// node + KV data plane) or a smart client driving the cluster from
+/// outside the membership.
+enum Plane {
+    // Boxed: a full member is ~10 KB of protocol state, a client a few
+    // hundred bytes; unboxed, every client actor would pay the member
+    // footprint.
+    Node { node: Box<Node>, kv: Box<KvNode> },
+    Client(Box<KvClient>),
+}
+
+/// A simulated process running membership + KV, or a co-hosted smart
+/// client.
 pub struct KvSimActor {
-    node: Node,
-    kv: KvNode,
+    plane: Plane,
     /// Protocol events recorded for measurements (same shape as the
-    /// membership-only actor's log).
+    /// membership-only actor's log). Always empty for clients.
     pub log: ActorLog,
     /// Completed client operations issued through this process, drained
     /// by the scenario driver.
@@ -59,8 +79,10 @@ impl KvSimActor {
     /// Wraps a membership node and its data plane.
     pub fn new(node: Node, kv: KvNode) -> KvSimActor {
         KvSimActor {
-            node,
-            kv,
+            plane: Plane::Node {
+                node: Box::new(node),
+                kv: Box::new(kv),
+            },
             log: ActorLog::default(),
             completed: Vec::new(),
             actions: Vec::new(),
@@ -69,6 +91,57 @@ impl KvSimActor {
             cursor: TimelinePoint::default(),
             prev_hist: LatencyHist::new(),
         }
+    }
+
+    /// Wraps a smart client as a simulated process of its own.
+    pub fn new_client(client: KvClient) -> KvSimActor {
+        KvSimActor {
+            plane: Plane::Client(Box::new(client)),
+            log: ActorLog::default(),
+            completed: Vec::new(),
+            actions: Vec::new(),
+            kv_out: Vec::new(),
+            timeline: Timeline::new(0),
+            cursor: TimelinePoint::default(),
+            prev_hist: LatencyHist::new(),
+        }
+    }
+
+    /// Whether this actor hosts a smart client rather than a cluster
+    /// member. Cluster-wide sweeps (traces, stats, convergence) must
+    /// skip client actors.
+    pub fn is_client(&self) -> bool {
+        matches!(self.plane, Plane::Client(_))
+    }
+
+    /// The hosted smart client, if this is a client actor.
+    pub fn client(&self) -> Option<&KvClient> {
+        match &self.plane {
+            Plane::Client(c) => Some(c),
+            Plane::Node { .. } => None,
+        }
+    }
+
+    /// Client-observed counters, if this is a client actor.
+    pub fn client_stats(&self) -> Option<&ClientStats> {
+        self.client().map(|c| c.stats())
+    }
+
+    /// Submits a burst of ops through the hosted smart client (panics on
+    /// node actors); results land in [`KvSimActor::completed`].
+    pub fn client_submit_ops(
+        &mut self,
+        ops: &[ClientOp<'_>],
+        now: u64,
+        out: &mut Outbox<RouteMsg>,
+    ) -> Vec<u64> {
+        let Plane::Client(client) = &mut self.plane else {
+            panic!("client_submit_ops on a node actor");
+        };
+        let mut kv_out = std::mem::take(&mut self.kv_out);
+        let reqs = client.submit_ops(ops, now, &mut kv_out);
+        self.drain_kv(kv_out, out);
+        reqs
     }
 
     /// The sampled metrics timeline (empty unless the cluster ran with
@@ -84,41 +157,60 @@ impl KvSimActor {
         &self.cursor
     }
 
-    /// The membership node.
+    /// The membership node. Panics on client actors — gate call sites
+    /// with [`KvSimActor::is_client`].
     pub fn as_node(&self) -> &Node {
-        &self.node
+        match &self.plane {
+            Plane::Node { node, .. } => node,
+            Plane::Client(_) => panic!("client actor has no membership node"),
+        }
     }
 
-    /// The data plane.
+    /// The data plane. Panics on client actors — gate call sites with
+    /// [`KvSimActor::is_client`].
     pub fn kv(&self) -> &KvNode {
-        &self.kv
+        match &self.plane {
+            Plane::Node { kv, .. } => kv,
+            Plane::Client(_) => panic!("client actor has no KV node"),
+        }
     }
 
-    /// Data-plane counters.
+    /// Data-plane counters (panics on client actors).
     pub fn kv_stats(&self) -> &KvStats {
-        self.kv.stats()
+        self.kv().stats()
     }
 
-    /// Voluntary departure (scenario `leave` workloads).
+    /// Voluntary departure (scenario `leave` workloads; panics on client
+    /// actors).
     pub fn leave(&mut self, now: u64, out: &mut Outbox<RouteMsg>) {
         let mut actions = std::mem::take(&mut self.actions);
-        self.node.leave(&mut actions);
+        match &mut self.plane {
+            Plane::Node { node, .. } => node.leave(&mut actions),
+            Plane::Client(_) => panic!("client actor cannot leave the membership"),
+        }
         self.apply_actions(actions, now, out);
     }
 
-    /// Starts a client write with this process as coordinator; the
-    /// result lands in [`KvSimActor::completed`].
+    /// Starts a client write with this process as coordinator (the
+    /// legacy via-coordinator path); the result lands in
+    /// [`KvSimActor::completed`].
     pub fn begin_put(&mut self, key: &str, val: &str, now: u64, out: &mut Outbox<RouteMsg>) -> u64 {
+        let Plane::Node { kv, .. } = &mut self.plane else {
+            panic!("begin_put on a client actor");
+        };
         let mut kv_out = std::mem::take(&mut self.kv_out);
-        let req = self.kv.client_put(key, val, now, &mut kv_out);
+        let req = kv.client_put(key, val, now, &mut kv_out);
         self.drain_kv(kv_out, out);
         req
     }
 
     /// Starts a client read with this process as coordinator.
     pub fn begin_get(&mut self, key: &str, now: u64, out: &mut Outbox<RouteMsg>) -> u64 {
+        let Plane::Node { kv, .. } = &mut self.plane else {
+            panic!("begin_get on a client actor");
+        };
         let mut kv_out = std::mem::take(&mut self.kv_out);
-        let req = self.kv.client_get(key, now, &mut kv_out);
+        let req = kv.client_get(key, now, &mut kv_out);
         self.drain_kv(kv_out, out);
         req
     }
@@ -132,8 +224,11 @@ impl KvSimActor {
         now: u64,
         out: &mut Outbox<RouteMsg>,
     ) -> Vec<u64> {
+        let Plane::Node { kv, .. } = &mut self.plane else {
+            panic!("begin_ops on a client actor");
+        };
         let mut kv_out = std::mem::take(&mut self.kv_out);
-        let reqs = self.kv.client_ops(ops, now, &mut kv_out);
+        let reqs = kv.client_ops(ops, now, &mut kv_out);
         self.drain_kv(kv_out, out);
         reqs
     }
@@ -149,16 +244,21 @@ impl KvSimActor {
     }
 
     fn apply_actions(&mut self, mut actions: Vec<Action>, now: u64, out: &mut Outbox<RouteMsg>) {
+        let Plane::Node { kv, .. } = &mut self.plane else {
+            debug_assert!(actions.is_empty(), "client actors emit no actions");
+            self.actions = actions;
+            return;
+        };
         let mut kv_out = std::mem::take(&mut self.kv_out);
         for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => out.send(to, RouteMsg::Rapid(msg)),
                 Action::View(v) => {
-                    self.kv.on_view(Arc::clone(&v.configuration), now, &mut kv_out);
+                    kv.on_view(Arc::clone(&v.configuration), now, &mut kv_out);
                     self.log.views.push((now, v));
                 }
                 Action::Joined { config } => {
-                    self.kv.on_view(config, now, &mut kv_out);
+                    kv.on_view(config, now, &mut kv_out);
                     self.log.joined_at = Some(now);
                 }
                 Action::Kicked => self.log.kicked_at = Some(now),
@@ -173,24 +273,41 @@ impl Actor for KvSimActor {
     type Msg = RouteMsg;
 
     fn on_tick(&mut self, now: u64, out: &mut Outbox<RouteMsg>) {
+        if let Plane::Client(client) = &mut self.plane {
+            let mut kv_out = std::mem::take(&mut self.kv_out);
+            client.on_tick(now, &mut kv_out);
+            self.drain_kv(kv_out, out);
+            return;
+        }
         let mut actions = std::mem::take(&mut self.actions);
-        self.node.handle(Event::Tick { now_ms: now }, &mut actions);
+        if let Plane::Node { node, .. } = &mut self.plane {
+            node.handle(Event::Tick { now_ms: now }, &mut actions);
+        }
         self.apply_actions(actions, now, out);
         let mut kv_out = std::mem::take(&mut self.kv_out);
-        self.kv.on_tick(now, &mut kv_out);
+        if let Plane::Node { kv, .. } = &mut self.plane {
+            kv.on_tick(now, &mut kv_out);
+        }
         self.drain_kv(kv_out, out);
     }
 
     fn on_message(&mut self, from: Endpoint, msg: RouteMsg, now: u64, out: &mut Outbox<RouteMsg>) {
         match msg {
             RouteMsg::Rapid(m) => {
+                // Clients are outside the membership; control traffic
+                // addressed to them (e.g. a stale probe) is dropped.
                 let mut actions = std::mem::take(&mut self.actions);
-                self.node.handle(Event::Receive { from, msg: m }, &mut actions);
+                if let Plane::Node { node, .. } = &mut self.plane {
+                    node.handle(Event::Receive { from, msg: m }, &mut actions);
+                }
                 self.apply_actions(actions, now, out);
             }
             RouteMsg::Kv(m) => {
                 let mut kv_out = std::mem::take(&mut self.kv_out);
-                self.kv.on_message(from, m, now, &mut kv_out);
+                match &mut self.plane {
+                    Plane::Node { kv, .. } => kv.on_message(from, m, now, &mut kv_out),
+                    Plane::Client(client) => client.on_message(from, m, now, &mut kv_out),
+                }
                 self.drain_kv(kv_out, out);
             }
         }
@@ -211,20 +328,31 @@ impl Actor for KvSimActor {
     }
 
     fn sample(&self) -> Option<f64> {
-        (self.node.status() == NodeStatus::Active)
-            .then(|| self.node.configuration().len() as f64)
+        // Clients never report: convergence predicates see members only.
+        let Plane::Node { node, .. } = &self.plane else {
+            return None;
+        };
+        (node.status() == NodeStatus::Active).then(|| node.configuration().len() as f64)
     }
 
     fn on_metrics_sample(&mut self, now_ms: u64, net: NetSample) {
+        // Client actors keep empty timelines: the metrics artifacts stay
+        // byte-identical whether or not clients are co-hosted.
+        let Plane::Node { node, kv } = &mut self.plane else {
+            return;
+        };
         if !self.timeline.enabled() {
             self.timeline = Timeline::new(DEFAULT_TIMELINE_CAP);
         }
-        let m = self.node.metrics();
-        let s = self.kv.stats();
+        let m = node.metrics();
+        let s = *kv.stats();
         // KV actors report coordinator op latency as the interval
         // quantiles (the data-plane signal); membership-only actors
         // report detection→install instead.
-        let (_, p50, p99) = self.kv.op_hist().interval_quantiles(&self.prev_hist);
+        let (_, p50, p99) = kv.op_hist().interval_quantiles(&self.prev_hist);
+        // Feed the admission controller its latency signal: shedding
+        // thresholds key off the sampled interval p99.
+        kv.note_interval(p50, p99);
         let ops = s.puts_acked + s.gets_ok;
         self.timeline.push(TimelinePoint {
             t_ms: now_ms,
@@ -250,7 +378,7 @@ impl Actor for KvSimActor {
             p50_ms: 0,
             p99_ms: 0,
         };
-        self.prev_hist = self.kv.op_hist().clone();
+        self.prev_hist = kv.op_hist().clone();
     }
 }
 
@@ -261,6 +389,14 @@ pub struct KvClusterBuilder {
     route: PlacementConfig,
     op_timeout_ms: u64,
     repair_interval_ms: Option<u64>,
+    clients: usize,
+    clients_via_seed: bool,
+}
+
+/// The simulated endpoint of smart client `i` (clients live outside the
+/// membership namespace, so they never collide with `sim_member`).
+pub fn client_endpoint(i: usize) -> Endpoint {
+    Endpoint::new(format!("client-{i}"), 9000)
 }
 
 impl KvClusterBuilder {
@@ -271,7 +407,25 @@ impl KvClusterBuilder {
             route,
             op_timeout_ms: 2_500,
             repair_interval_ms: None,
+            clients: 0,
+            clients_via_seed: false,
         }
+    }
+
+    /// Co-hosts `clients` smart-client actors after the cluster members
+    /// (actor indices `n..n+clients`), each seeded with every member
+    /// endpoint and windowed per `Settings::client_window`.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Routes co-hosted clients via the seed list instead of placement
+    /// leaders (the legacy fixed-coordinator architecture) — the
+    /// `route_bench --via-coordinator` baseline.
+    pub fn clients_via_seed(mut self, enabled: bool) -> Self {
+        self.clients_via_seed = enabled;
+        self
     }
 
     /// Overrides the protocol settings.
@@ -307,10 +461,31 @@ impl KvClusterBuilder {
             Some(cache.clone()),
         )
         .with_batching(self.inner.settings.batch_wire)
-        .with_obs(self.inner.settings.obs_ring);
+        .with_obs(self.inner.settings.obs_ring)
+        .with_admission(self.inner.settings.kv_inbox, self.inner.settings.kv_shed_p99_ms);
         match self.repair_interval_ms {
             Some(ms) => node.with_repair_interval(ms),
             None => node,
+        }
+    }
+
+    /// Appends the configured client actors (sharing the members'
+    /// placement cache is deliberately avoided: clients must *derive*
+    /// the same placement independently, which the proptest pins).
+    fn add_clients(&self, sim: &mut Simulation<KvSimActor>) {
+        let seeds: Vec<Endpoint> = (0..self.inner.n).map(|i| sim_member(i).addr).collect();
+        for c in 0..self.clients {
+            let ep = client_endpoint(c);
+            let client = KvClient::new(
+                ep,
+                self.route,
+                seeds.clone(),
+                self.inner.settings.client_window,
+                self.op_timeout_ms,
+            )
+            .with_batching(self.inner.settings.batch_wire)
+            .with_via_seed(self.clients_via_seed);
+            sim.add_actor(ep, KvSimActor::new_client(client));
         }
     }
 
@@ -341,6 +516,7 @@ impl KvClusterBuilder {
             debug_assert!(out.is_empty(), "initial view emits nothing");
             sim.add_actor(m.addr, KvSimActor::new(node, kv));
         }
+        self.add_clients(&mut sim);
         sim
     }
 
@@ -387,6 +563,7 @@ impl KvClusterBuilder {
                 self.inner.join_delay_ms,
             );
         }
+        self.add_clients(&mut sim);
         sim
     }
 }
@@ -402,6 +579,9 @@ pub fn trace_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
     let mut dropped = 0u64;
     for i in 0..sim.len() {
         let actor = sim.actor(i);
+        if actor.is_client() {
+            continue; // Clients record no protocol trace.
+        }
         let label = sim.addr_of(i).host();
         for ev in actor.as_node().trace().iter_in_order() {
             tagged.push((ev.t_ms, i, 0, ev.seq, rapid_core::obs::event_jsonl(label, "m", ev)));
@@ -423,6 +603,7 @@ pub fn trace_lines(sim: &Simulation<KvSimActor>) -> Vec<String> {
 /// both planes.
 pub fn trace_dropped(sim: &Simulation<KvSimActor>) -> u64 {
     (0..sim.len())
+        .filter(|&i| !sim.actor(i).is_client())
         .map(|i| {
             let a = sim.actor(i);
             a.as_node().trace().dropped() + a.kv().trace().dropped()
@@ -652,6 +833,62 @@ mod tests {
             );
         }
         assert_eq!(timeline_lines(&run(2)), lines, "2 threads");
+    }
+
+    #[test]
+    fn smart_clients_route_ops_through_the_simulated_network() {
+        let mut sim = KvClusterBuilder::new(6, spec())
+            .settings(quick_settings())
+            .seed(77)
+            .clients(2)
+            .build_static();
+        assert_eq!(sim.len(), 8, "6 members + 2 client actors");
+        assert!(sim.actor(6).is_client() && sim.actor(7).is_client());
+        // Clients stay invisible to convergence predicates.
+        assert!(sim.actor(6).sample().is_none());
+        sim.run_until(2_000); // subscription + view push settle
+        assert!(
+            sim.actor(6).client().unwrap().view_seq().is_some(),
+            "client must have adopted a view by now"
+        );
+        let now = sim.now();
+        let keys: Vec<String> = (0..8).map(|i| format!("ck{i}")).collect();
+        let ops: Vec<ClientOp<'_>> = keys
+            .iter()
+            .map(|k| ClientOp::Put { key: k, val: "cv" })
+            .collect();
+        let reqs = sim.with_actor(6, |a, out| a.client_submit_ops(&ops, now, out));
+        let deadline = sim.now() + 10_000;
+        while sim.now() < deadline && sim.actor(6).completed.len() < reqs.len() {
+            sim.run_until(sim.now() + 100);
+        }
+        let completed = &sim.actor(6).completed;
+        assert_eq!(completed.len(), reqs.len(), "{completed:?}");
+        assert!(
+            completed
+                .iter()
+                .all(|(_, o)| matches!(o, KvOutcome::Acked { .. })),
+            "healthy cluster acks everything: {completed:?}"
+        );
+        // Reads through the *other* client see the writes.
+        let now = sim.now();
+        let gets: Vec<ClientOp<'_>> = keys.iter().map(|k| ClientOp::Get { key: k }).collect();
+        let greqs = sim.with_actor(7, |a, out| a.client_submit_ops(&gets, now, out));
+        let deadline = sim.now() + 10_000;
+        while sim.now() < deadline && sim.actor(7).completed.len() < greqs.len() {
+            sim.run_until(sim.now() + 100);
+        }
+        assert!(
+            sim.actor(7)
+                .completed
+                .iter()
+                .all(|(_, o)| matches!(o, KvOutcome::Found { val, .. } if val == "cv")),
+            "{:?}",
+            sim.actor(7).completed
+        );
+        let cs = sim.actor(6).client_stats().unwrap();
+        assert_eq!(cs.acked, 8);
+        assert_eq!(cs.shed, 0);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property pin of the client plane's core claim: a view-subscribed
+//! [`KvClient`] reconstructs the *server's* placement byte-for-byte
+//! from the wire push alone. Placement is a pure function of the view
+//! and views are strongly consistent, so client and servers agree on
+//! every leader and every replica set with zero coordination — the
+//! zero-hop routing property the smart client is built on.
+//!
+//! The test evolves a cluster through a random churn sequence (joins
+//! and leaves), pushes each resulting view to a client over the wire
+//! format — interleaved with stale replays of older views, which the
+//! client must ignore — and requires the client's cached placement to
+//! equal `Placement::compute` on the server's own configuration after
+//! every adoption.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rapid_core::config::{Configuration, Member};
+use rapid_core::id::{Endpoint, NodeId};
+use rapid_core::membership::{Proposal, ProposalItem};
+use rapid_core::metadata::Metadata;
+use rapid_route::{KvClient, KvMsg, Placement, PlacementConfig};
+
+fn members_from_ids(ids: &[u128]) -> Vec<Member> {
+    ids.iter()
+        .map(|&id| {
+            Member::new(
+                NodeId::from_u128(id),
+                Endpoint::new(format!("cp-{id}"), 4100),
+            )
+        })
+        .collect()
+}
+
+/// The wire push a serving node would emit for `cfg` (same shape as
+/// `KvNode::view_msg`): id, seq, and members in server order.
+fn view_msg_of(cfg: &Arc<Configuration>) -> KvMsg {
+    KvMsg::View {
+        config_id: cfg.id().0,
+        seq: cfg.seq(),
+        members: cfg
+            .members()
+            .iter()
+            .map(|m| (m.id.as_u128(), m.addr))
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn client_cached_placement_equals_server_placement_for_random_view_sequences(
+        raw_ids in prop::collection::btree_set(1u128..1_000_000, 3..16),
+        events in prop::collection::vec(0u64..1_000, 1..8),
+        partitions in 8u32..64,
+        replication in 1usize..4,
+    ) {
+        let ids: Vec<u128> = raw_ids.into_iter().collect();
+        let spec = PlacementConfig { partitions, replication };
+
+        // Evolve the server-side view through the churn sequence.
+        let mut configs = vec![Configuration::bootstrap(members_from_ids(&ids))];
+        for (k, &ev) in events.iter().enumerate() {
+            let cur = configs.last().unwrap();
+            let next = if ev % 2 == 0 || cur.len() <= 2 {
+                let joiner = NodeId::from_u128(2_000_000 + k as u128);
+                cur.apply(&Proposal::from_items(
+                    cur.id(),
+                    vec![ProposalItem::join(
+                        joiner,
+                        Endpoint::new(format!("cp-j{k}"), 4100),
+                        Metadata::new(),
+                    )],
+                ))
+            } else {
+                let leaver = (ev as usize / 2) % cur.len();
+                cur.apply(&Proposal::from_items(
+                    cur.id(),
+                    vec![cur.removal_item(leaver)],
+                ))
+            };
+            configs.push(next);
+        }
+
+        let seeds = vec![configs[0].members()[0].addr];
+        let mut client = KvClient::new(
+            Endpoint::new("cp-client", 9000),
+            spec,
+            seeds.clone(),
+            8,
+            2_000,
+        );
+        let mut out = Vec::new();
+        for (k, cfg) in configs.iter().enumerate() {
+            client.on_message(seeds[0], view_msg_of(cfg), k as u64, &mut out);
+            // Replay an older view (a laggard pusher): must not regress.
+            if k > 0 {
+                let stale = &configs[(events.first().copied().unwrap_or(0) as usize) % k];
+                client.on_message(seeds[0], view_msg_of(stale), k as u64, &mut out);
+            }
+            // After every adoption the client's routing table is the
+            // server's, byte for byte: same digest, same map, and
+            // therefore the same leader for every partition.
+            let server = Placement::compute(cfg, &spec);
+            let cached = client.placement().expect("view adopted");
+            prop_assert_eq!(client.view_seq(), Some(cfg.seq()), "stale replays must not regress");
+            prop_assert_eq!(cached.digest(), server.digest());
+            prop_assert_eq!(cached.as_ref(), &server);
+            for p in 0..partitions {
+                prop_assert_eq!(cached.leader(p), server.leader(p));
+                prop_assert_eq!(cached.replicas(p), server.replicas(p));
+            }
+        }
+    }
+}

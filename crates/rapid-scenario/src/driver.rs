@@ -18,12 +18,14 @@ use std::time::{Duration, Instant};
 
 use rapid_core::id::Endpoint;
 use rapid_core::node::NodeStatus;
+use rapid_core::obs::LatencyHist;
 use rapid_core::settings::Settings;
-use rapid_route::{KvOutcome, KvRuntime, KvStats};
+use rapid_route::real::KvClientRuntime;
+use rapid_route::{ClientStats, KvOutcome, KvRuntime, KvStats};
 use rapid_sim::Fault;
 use rapid_transport::{AppEvent, Runtime};
 
-use crate::model::{KvSpec, Scenario, Topology};
+use crate::model::{KvSpec, Scenario, SubmitMode, Topology};
 use crate::world::{KvOp, SystemKind, TrafficTotals, World};
 
 /// A workload action with targets resolved to cluster-process indices.
@@ -94,6 +96,14 @@ pub trait Driver {
 
     /// Aggregate data-plane counters, where hosted.
     fn kv_stats(&self) -> Option<KvStats> {
+        None
+    }
+
+    /// Smart-client plane counters and the merged client-observed
+    /// op-latency histogram, where ops are submitted through
+    /// view-subscribed clients (`None` in coordinator mode or when no
+    /// client plane is hosted).
+    fn kv_client_stats(&self) -> Option<(ClientStats, LatencyHist)> {
         None
     }
 
@@ -310,6 +320,10 @@ impl Driver for SimDriver {
         self.world.kv_stats()
     }
 
+    fn kv_client_stats(&self) -> Option<(ClientStats, LatencyHist)> {
+        Some((self.world.kv_client_stats()?, self.world.kv_client_hist()?))
+    }
+
     fn kv_converged(&mut self, within_ms: u64) -> Option<bool> {
         self.world.kv_digest_snapshots()?;
         let deadline = self.world.now() + within_ms;
@@ -395,6 +409,10 @@ pub struct RealDriver {
     /// handoffs happened; the cumulative aggregate must not shrink.
     retired_kv_stats: KvStats,
     seed_addr: Endpoint,
+    /// The smart client hosting `submit = "client"` batches, started on
+    /// first use (one per driver: real scenarios submit batches
+    /// sequentially, so one window-bounded client is representative).
+    client: Option<KvClientRuntime>,
 }
 
 impl RealDriver {
@@ -470,6 +488,7 @@ impl RealDriver {
             kv,
             retired_kv_stats: KvStats::default(),
             seed_addr,
+            client: None,
         })
     }
 
@@ -544,6 +563,9 @@ impl RealDriver {
 
     /// Tears every process down (also runs on drop).
     pub fn shutdown(&mut self) {
+        if let Some(c) = self.client.take() {
+            c.shutdown_now();
+        }
         for slot in &mut self.nodes {
             if let Some(rt) = slot.take() {
                 rt.shutdown_now();
@@ -659,45 +681,88 @@ impl Driver for RealDriver {
     }
 
     fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, Unsupported> {
-        if self.kv.is_none() {
+        let Some(spec) = self.kv else {
             return Err(Unsupported(
                 "this scenario has no [kv] table; the real driver hosts no data plane"
                     .into(),
             ));
-        }
-        let idx = match via {
-            Some(i) => i,
-            None => self
-                .nodes
-                .iter()
-                .position(Option::is_some)
-                .ok_or_else(|| Unsupported("no live process to coordinate kv ops".into()))?,
         };
-        let Some(Proc::Kv(rt)) = self.nodes.get(idx).and_then(Option::as_ref) else {
-            return Err(Unsupported(format!(
-                "kv coordinator {idx} is out of range or crashed"
-            )));
+        // Collect one outcome per submitted op within the op window.
+        let collect = |rxs: Vec<crossbeam::channel::Receiver<KvOutcome>>| -> Vec<KvOutcome> {
+            let deadline = Instant::now() + Duration::from_millis(spec.op_window_ms);
+            rxs.into_iter()
+                .map(|rx| {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    rx.recv_timeout(budget.max(Duration::from_millis(1)))
+                        .unwrap_or(KvOutcome::Failed)
+                })
+                .collect()
         };
-        // Submit everything, then collect within the op window.
-        let rxs: Vec<_> = ops
-            .iter()
-            .map(|op| match &op.put_val {
-                Some(v) => rt.begin_put(&op.key, v),
-                None => rt.begin_get(&op.key),
-            })
-            .collect();
-        let window = Duration::from_millis(self.kv.expect("checked above").op_window_ms);
-        let deadline = Instant::now() + window;
-        let outcomes = rxs
-            .into_iter()
-            .map(|rx| {
-                let budget = deadline.saturating_duration_since(Instant::now());
-                rx.recv_timeout(budget.max(Duration::from_millis(1)))
-                    .unwrap_or(KvOutcome::Failed)
-            })
-            .collect();
+        let outcomes = match spec.submit {
+            SubmitMode::Client => {
+                // Smart-client path: subscribe once, then route every op
+                // directly to its partition leader.
+                if self.client.is_none() {
+                    let seeds: Vec<Endpoint> = self
+                        .nodes
+                        .iter()
+                        .flatten()
+                        .filter_map(|p| match p {
+                            Proc::Kv(rt) => Some(rt.addr()),
+                            Proc::Plain(_) => None,
+                        })
+                        .collect();
+                    let client = KvClientRuntime::start(
+                        seeds,
+                        spec.placement(),
+                        self.settings.client_window,
+                        spec.op_timeout_ms(),
+                    )
+                    .map_err(|e| Unsupported(format!("smart client start failed: {e}")))?;
+                    self.client = Some(client);
+                }
+                let rt = self.client.as_ref().expect("started above");
+                let rxs: Vec<_> = ops
+                    .iter()
+                    .map(|op| match &op.put_val {
+                        Some(v) => rt.begin_put(&op.key, v),
+                        None => rt.begin_get(&op.key),
+                    })
+                    .collect();
+                collect(rxs)
+            }
+            SubmitMode::Coordinator => {
+                let idx = match via {
+                    Some(i) => i,
+                    None => self
+                        .nodes
+                        .iter()
+                        .position(Option::is_some)
+                        .ok_or_else(|| {
+                            Unsupported("no live process to coordinate kv ops".into())
+                        })?,
+                };
+                let Some(Proc::Kv(rt)) = self.nodes.get(idx).and_then(Option::as_ref) else {
+                    return Err(Unsupported(format!(
+                        "kv coordinator {idx} is out of range or crashed"
+                    )));
+                };
+                let rxs: Vec<_> = ops
+                    .iter()
+                    .map(|op| match &op.put_val {
+                        Some(v) => rt.begin_put(&op.key, v),
+                        None => rt.begin_get(&op.key),
+                    })
+                    .collect();
+                collect(rxs)
+            }
+        };
         self.poll();
         Ok(outcomes)
+    }
+
+    fn kv_client_stats(&self) -> Option<(ClientStats, LatencyHist)> {
+        self.client.as_ref().map(|c| (c.stats(), c.op_hist()))
     }
 
     fn kv_stats(&self) -> Option<KvStats> {

@@ -5,7 +5,7 @@ use rapid_sim::LatencyDist;
 
 use crate::model::{
     Expect, FaultSpec, FullOverrides, Group, Inject, KvSpec, Phase, Repeat, Scenario,
-    SettingsPatch, SizeExpr, Target, Topology, Workload, WorkloadAction,
+    SettingsPatch, SizeExpr, SubmitMode, Target, Topology, Workload, WorkloadAction,
 };
 use crate::toml::Value;
 
@@ -166,6 +166,14 @@ fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
             "threads" => patch.threads = Some(req_usize(v, key, ctx)?),
             "obs_ring" => patch.obs_ring = Some(req_usize(v, key, ctx)?),
             "obs_sample_ms" => patch.obs_sample_ms = Some(req_uint(v, key, ctx)?),
+            "client_window" => patch.client_window = Some(req_usize(v, key, ctx)?),
+            "kv_inbox" => patch.kv_inbox = Some(req_usize(v, key, ctx)?),
+            "kv_shed_p99_ms" => patch.kv_shed_p99_ms = Some(req_uint(v, key, ctx)?),
+            "peer_quota_frames" => patch.peer_quota_frames = Some(req_uint(v, key, ctx)?),
+            "peer_quota_bytes" => patch.peer_quota_bytes = Some(req_uint(v, key, ctx)?),
+            "peer_quota_interval_ms" => {
+                patch.peer_quota_interval_ms = Some(req_uint(v, key, ctx)?)
+            }
             "batch_wire" => {
                 patch.batch_wire = Some(
                     v.get(key)
@@ -203,6 +211,18 @@ fn kv_from_value(v: &Value) -> Result<KvSpec, String> {
             "op_window_ms" => spec.op_window_ms = req_uint(v, key, ctx)?,
             "repair_interval_ms" => spec.repair_interval_ms = req_uint(v, key, ctx)?,
             "value_size" => spec.value_size = req_usize(v, key, ctx)?,
+            "submit" => {
+                spec.submit = match req_str(v, key, ctx)? {
+                    "client" => SubmitMode::Client,
+                    "coordinator" => SubmitMode::Coordinator,
+                    other => {
+                        return Err(format!(
+                            "{ctx}: submit must be \"client\" or \"coordinator\", got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "clients" => spec.clients = req_usize(v, key, ctx)?,
             other => return Err(format!("{ctx}: unknown kv key {other:?}")),
         }
     }
@@ -211,6 +231,11 @@ fn kv_from_value(v: &Value) -> Result<KvSpec, String> {
     }
     if spec.replication == 0 {
         return Err(format!("{ctx}: replication must be at least 1"));
+    }
+    if spec.submit == SubmitMode::Client && spec.clients == 0 {
+        return Err(format!(
+            "{ctx}: submit = \"client\" needs at least one client process"
+        ));
     }
     Ok(spec)
 }
@@ -440,10 +465,30 @@ fn expect_from_value(v: &Value, phase: usize, idx: usize) -> Result<Expect, Stri
                 Some(_) => req_uint(c, "within_ms", &ctx)?,
             },
         })
+    } else if let Some(s) = v.get("shed_observed") {
+        // `shed_observed = true` demands at least one shed; the table
+        // form raises the floor.
+        Ok(Expect::ShedObserved {
+            min: match s.get("min") {
+                None => 1,
+                Some(_) => req_uint(s, "min", &ctx)?,
+            },
+        })
+    } else if let Some(r) = v.get("ops_recover") {
+        Ok(Expect::OpsRecover {
+            within_samples: match r.get("within_samples") {
+                None => 10,
+                Some(_) => req_usize(r, "within_samples", &ctx)?,
+            },
+            min_ops: match r.get("min_ops") {
+                None => 1,
+                Some(_) => req_uint(r, "min_ops", &ctx)?,
+            },
+        })
     } else {
         Err(format!(
             "{ctx}: expected converge/all_report/max_size/consistent_histories/\
-             kv_available/no_lost_acked_writes/kv_converged"
+             kv_available/no_lost_acked_writes/kv_converged/shed_observed/ops_recover"
         ))
     }
 }
@@ -587,6 +632,10 @@ k = 8
 h = 7
 l = 2
 fd_probe_interval_ms = 500
+client_window = 32
+kv_inbox = 256
+kv_shed_p99_ms = 40
+peer_quota_frames = 1000
 
 [kv]
 partitions = 16
@@ -594,6 +643,7 @@ replication = 3
 op_window_ms = 4000
 repair_interval_ms = 750
 value_size = 128
+submit = "coordinator"
 
 [[phase]]
 name = "load"
@@ -611,14 +661,23 @@ name = "load"
   kv_converged = true
   [[phase.expect]]
   kv_converged = { within_ms = 12000 }
+  [[phase.expect]]
+  shed_observed = { min = 3 }
+  [[phase.expect]]
+  ops_recover = { within_samples = 5, min_ops = 2 }
 "#;
         let s = Scenario::from_toml(doc).unwrap();
         assert_eq!(s.settings.k, Some(8));
         assert_eq!(s.settings.fd_probe_interval_ms, Some(500));
         assert_eq!(s.settings.gossip_fanout, None);
+        assert_eq!(s.settings.client_window, Some(32));
+        assert_eq!(s.settings.kv_inbox, Some(256));
+        assert_eq!(s.settings.kv_shed_p99_ms, Some(40));
+        assert_eq!(s.settings.peer_quota_frames, Some(1000));
         let kv = s.kv.unwrap();
         assert_eq!((kv.partitions, kv.replication, kv.op_window_ms), (16, 3, 4000));
         assert_eq!((kv.repair_interval_ms, kv.value_size), (750, 128));
+        assert_eq!((kv.submit, kv.clients), (SubmitMode::Coordinator, 1));
         assert_eq!(
             s.phases[0].workloads[0].action,
             WorkloadAction::Put { count: 50, via: Some(0), value_size: None }
@@ -637,6 +696,17 @@ name = "load"
             s.phases[0].expects[3],
             Expect::KvConverged { within_ms: 12_000 }
         );
+        assert_eq!(s.phases[0].expects[4], Expect::ShedObserved { min: 3 });
+        assert_eq!(
+            s.phases[0].expects[5],
+            Expect::OpsRecover { within_samples: 5, min_ops: 2 }
+        );
+        let bad_submit =
+            "name=\"x\"\nn=5\n[kv]\nsubmit = \"postcard\"\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
+        assert!(Scenario::from_toml(bad_submit).unwrap_err().contains("submit"));
+        let no_clients =
+            "name=\"x\"\nn=5\n[kv]\nclients = 0\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
+        assert!(Scenario::from_toml(no_clients).unwrap_err().contains("client"));
 
         // Typo'd settings keys and invalid combinations fail the load.
         let typo = "name=\"x\"\nn=5\n[settings]\nfd_probe_intervalms = 1\n[[phase]]\nname=\"p\"\nrun_ms=1\n";

@@ -15,6 +15,19 @@ use rapid_core::settings::Settings;
 use rapid_route::PlacementConfig;
 use rapid_sim::LatencyDist;
 
+/// How `[kv]` workloads reach the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SubmitMode {
+    /// Through view-subscribed smart clients ([`rapid_route::KvClient`]):
+    /// each op routed directly to the partition leader, any-replica
+    /// fallback on a stale view, bounded in-flight window. The default.
+    #[default]
+    Client,
+    /// Legacy raw coordinator submission: ops handed to a member node
+    /// which forwards to leaders (one extra hop per remote op).
+    Coordinator,
+}
+
 /// Configuration of the replicated KV data plane (`[kv]` TOML table).
 /// Present on a scenario ⇒ every cluster process hosts a
 /// `rapid-route` KV node next to its membership node, and `put`
@@ -38,6 +51,12 @@ pub struct KvSpec {
     /// something real. 0 keeps the natural few-byte values. Individual
     /// `put` workloads can override it.
     pub value_size: usize,
+    /// How workload ops reach the cluster (`submit = "client"` |
+    /// `"coordinator"` in TOML). Smart clients by default.
+    pub submit: SubmitMode,
+    /// Number of smart-client processes attached to the cluster when
+    /// `submit = "client"` (ignored in coordinator mode).
+    pub clients: usize,
 }
 
 impl Default for KvSpec {
@@ -48,6 +67,8 @@ impl Default for KvSpec {
             op_window_ms: 5_000,
             repair_interval_ms: 1_000,
             value_size: 0,
+            submit: SubmitMode::Client,
+            clients: 1,
         }
     }
 }
@@ -123,6 +144,18 @@ pub struct SettingsPatch {
     /// default). When on, every report phase carries a `timeline`
     /// object and `--metrics FILE` exports the merged per-node series.
     pub obs_sample_ms: Option<u64>,
+    /// Smart-client in-flight op window.
+    pub client_window: Option<usize>,
+    /// KV node remote-op inbox bound (admission control hard limit).
+    pub kv_inbox: Option<usize>,
+    /// Soft-shed threshold on the last interval's op p99 (`0` = off).
+    pub kv_shed_p99_ms: Option<u64>,
+    /// Per-peer decode quota: frames per interval (`0` = off).
+    pub peer_quota_frames: Option<u64>,
+    /// Per-peer decode quota: bytes per interval (`0` = off).
+    pub peer_quota_bytes: Option<u64>,
+    /// Per-peer decode quota window length.
+    pub peer_quota_interval_ms: Option<u64>,
 }
 
 impl SettingsPatch {
@@ -145,7 +178,8 @@ impl SettingsPatch {
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
             gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
-            batch_wire, threads, obs_ring, obs_sample_ms
+            batch_wire, threads, obs_ring, obs_sample_ms, client_window, kv_inbox,
+            kv_shed_p99_ms, peer_quota_frames, peer_quota_bytes, peer_quota_interval_ms
         );
         base.validate()
             .map_err(|e| format!("[settings] produces an invalid combination: {e}"))?;
@@ -478,6 +512,22 @@ pub enum Expect {
         /// Budget from the evaluation point (virtual ms on the
         /// simulator, wall-clock on the real driver).
         within_ms: u64,
+    },
+    /// Admission control fired: the cluster shed at least `min` remote
+    /// ops with a typed overload error so far. Requires `[kv]`.
+    ShedObserved {
+        /// Minimum cumulative shed count across all KV nodes.
+        min: u64,
+    },
+    /// The data plane recovered after an overload burst: within the last
+    /// `within_samples` merged timeline samples, at least one sample
+    /// shows op throughput at or above `min_ops`.
+    /// Requires `[kv]` and `obs_sample_ms > 0`.
+    OpsRecover {
+        /// How many trailing timeline samples to inspect.
+        within_samples: usize,
+        /// Ops/sample floor that counts as recovered.
+        min_ops: u64,
     },
 }
 

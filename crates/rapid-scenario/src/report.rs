@@ -47,6 +47,12 @@ pub struct KvPhaseReport {
     pub frames_sent: u64,
     /// Encoded data-plane wire bytes emitted so far (cumulative).
     pub wire_bytes: u64,
+    /// Remote ops shed by admission control so far (cumulative, typed
+    /// overload errors — never silent drops).
+    pub shed: u64,
+    /// Smart-client plane measurements, present only when ops were
+    /// submitted through view-subscribed clients.
+    pub client: Option<KvClientPhase>,
 }
 
 impl KvPhaseReport {
@@ -55,6 +61,41 @@ impl KvPhaseReport {
     /// byte-stable. 0 when nothing was sent.
     pub fn msgs_per_frame_milli(&self) -> u64 {
         (self.msgs_sent * 1000).checked_div(self.frames_sent).unwrap_or(0)
+    }
+}
+
+/// Client-observed measurements of the smart-client plane (cumulative
+/// across a run; integer-only so report JSON stays byte-stable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvClientPhase {
+    /// Ops submitted through clients so far.
+    pub submitted: u64,
+    /// Ops completed with a server answer (acked writes + resolved
+    /// reads) so far.
+    pub completed: u64,
+    /// Ops that failed at their client deadline so far.
+    pub failed: u64,
+    /// Typed overload verdicts clients received so far (each backs the
+    /// op off and re-queues it).
+    pub shed: u64,
+    /// Op re-sends after retryable verdicts so far.
+    pub retries: u64,
+    /// Data-plane messages clients put on the wire so far.
+    pub msgs_sent: u64,
+    /// Client-observed op-latency p50 (histogram bucket bound, ms).
+    pub p50_ms: u64,
+    /// Client-observed op-latency p99 (ms).
+    pub p99_ms: u64,
+    /// Client-observed op-latency p99.9 (ms).
+    pub p999_ms: u64,
+}
+
+impl KvClientPhase {
+    /// Mean client wire messages per completed op, in thousandths (2000
+    /// = 2 msgs/op: request + response) — the zero-hop routing headline.
+    /// 0 when nothing completed.
+    pub fn msgs_per_op_milli(&self) -> u64 {
+        (self.msgs_sent * 1000).checked_div(self.completed).unwrap_or(0)
     }
 }
 
@@ -233,22 +274,40 @@ fn phase_json(p: &PhaseReport) -> Json {
     // The kv object appears only on KV-hosting runs, so reports of
     // membership-only scenarios keep their exact pre-KV shape.
     if let Some(kv) = p.kv {
-        fields.push((
-            "kv",
-            Json::obj(vec![
-                ("puts", Json::uint(kv.puts)),
-                ("acked", Json::uint(kv.acked)),
-                ("rebalances", Json::uint(kv.rebalances)),
-                ("bytes_moved", Json::uint(kv.bytes_moved)),
-                ("partitions_lost", Json::uint(kv.partitions_lost)),
-                ("repairs", Json::uint(kv.repairs)),
-                ("repair_bytes", Json::uint(kv.repair_bytes)),
-                ("msgs_sent", Json::uint(kv.msgs_sent)),
-                ("frames_sent", Json::uint(kv.frames_sent)),
-                ("wire_bytes", Json::uint(kv.wire_bytes)),
-                ("msgs_per_frame_milli", Json::uint(kv.msgs_per_frame_milli())),
-            ]),
-        ));
+        let mut kv_fields = vec![
+            ("puts", Json::uint(kv.puts)),
+            ("acked", Json::uint(kv.acked)),
+            ("rebalances", Json::uint(kv.rebalances)),
+            ("bytes_moved", Json::uint(kv.bytes_moved)),
+            ("partitions_lost", Json::uint(kv.partitions_lost)),
+            ("repairs", Json::uint(kv.repairs)),
+            ("repair_bytes", Json::uint(kv.repair_bytes)),
+            ("msgs_sent", Json::uint(kv.msgs_sent)),
+            ("frames_sent", Json::uint(kv.frames_sent)),
+            ("wire_bytes", Json::uint(kv.wire_bytes)),
+            ("msgs_per_frame_milli", Json::uint(kv.msgs_per_frame_milli())),
+            ("shed", Json::uint(kv.shed)),
+        ];
+        // The client object appears only on smart-client submissions, so
+        // coordinator-mode runs keep their exact pre-client shape.
+        if let Some(c) = kv.client {
+            kv_fields.push((
+                "client",
+                Json::obj(vec![
+                    ("submitted", Json::uint(c.submitted)),
+                    ("completed", Json::uint(c.completed)),
+                    ("failed", Json::uint(c.failed)),
+                    ("shed", Json::uint(c.shed)),
+                    ("retries", Json::uint(c.retries)),
+                    ("msgs_sent", Json::uint(c.msgs_sent)),
+                    ("msgs_per_op_milli", Json::uint(c.msgs_per_op_milli())),
+                    ("p50_ms", Json::uint(c.p50_ms)),
+                    ("p99_ms", Json::uint(c.p99_ms)),
+                    ("p999_ms", Json::uint(c.p999_ms)),
+                ]),
+            ));
+        }
+        fields.push(("kv", Json::obj(kv_fields)));
     }
     // Convergence samples appear only when a phase injected faults on a
     // driver that tracks per-process view installs; every other phase —
@@ -357,6 +416,18 @@ mod tests {
                     msgs_sent: 21,
                     frames_sent: 6,
                     wire_bytes: 512,
+                    shed: 1,
+                    client: Some(KvClientPhase {
+                        submitted: 4,
+                        completed: 4,
+                        failed: 0,
+                        shed: 1,
+                        retries: 1,
+                        msgs_sent: 9,
+                        p50_ms: 3,
+                        p99_ms: 7,
+                        p999_ms: 7,
+                    }),
                 }),
                 convergence: Some(ConvergenceReport {
                     fault_at_ms: 5_000,
@@ -396,6 +467,9 @@ mod tests {
         assert!(s.contains(r#""convergence":{"fault_at_ms":5000,"samples":[1800,2000,2400],"p50":2047,"p99":2559,"max":2400}"#));
         assert!(s.contains(
             r#""timeline":{"sample_ms":1000,"dropped":0,"series":[{"t":1000,"msgs":12,"bytes":640,"alerts":1,"view_changes":0,"ops":4,"handoff_bytes":128,"repair_bytes":0,"p50_ms":3,"p99_ms":7}]}"#
+        ));
+        assert!(s.contains(
+            r#""shed":1,"client":{"submitted":4,"completed":4,"failed":0,"shed":1,"retries":1,"msgs_sent":9,"msgs_per_op_milli":2250,"p50_ms":3,"p99_ms":7,"p999_ms":7}"#
         ));
         assert!(r.failures().is_empty());
     }

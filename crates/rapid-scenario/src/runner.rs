@@ -20,7 +20,8 @@ use rapid_sim::Fault;
 use crate::driver::{Driver, ResolvedWorkload};
 use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
 use crate::report::{
-    ConvergenceReport, ExpectReport, KvPhaseReport, PhaseReport, Report, TimelineReport,
+    ConvergenceReport, ExpectReport, KvClientPhase, KvPhaseReport, PhaseReport, Report,
+    TimelineReport,
 };
 use crate::world::KvOp;
 
@@ -294,6 +295,35 @@ fn run_phase(
                 desc: format!("kv_converged within {within_ms}ms"),
                 passed: driver.kv_converged(*within_ms),
             },
+            Expect::ShedObserved { min } => ExpectReport {
+                desc: format!("shed_observed(min={min})"),
+                passed: driver.kv_stats().map(|s| s.ops_shed >= *min),
+            },
+            Expect::OpsRecover {
+                within_samples,
+                min_ops,
+            } => {
+                // Fold the merged per-node series into per-bucket cluster
+                // op counts, then ask whether any of the trailing
+                // `within_samples` buckets carried at least `min_ops` —
+                // i.e. throughput came back after the overload burst.
+                let mut per_bucket: DetHashMap<u64, u64> = DetHashMap::default();
+                for (_, _, p) in driver.timeline_points() {
+                    *per_bucket.entry(p.t_ms).or_insert(0) += p.ops;
+                }
+                let mut buckets: Vec<(u64, u64)> = per_bucket.into_iter().collect();
+                buckets.sort_unstable();
+                let tail = buckets.len().saturating_sub(*within_samples);
+                let recovered = buckets[tail..].iter().any(|&(_, ops)| ops >= *min_ops);
+                ExpectReport {
+                    desc: format!("ops_recover(within_samples={within_samples}, min_ops={min_ops})"),
+                    passed: if buckets.is_empty() {
+                        None
+                    } else {
+                        Some(recovered)
+                    },
+                }
+            }
         };
         expects.push(report);
     }
@@ -314,6 +344,18 @@ fn run_phase(
         msgs_sent: stats.msgs_sent,
         frames_sent: stats.frames_sent,
         wire_bytes: stats.wire_bytes,
+        shed: stats.ops_shed,
+        client: driver.kv_client_stats().map(|(cs, hist)| KvClientPhase {
+            submitted: cs.submitted,
+            completed: cs.acked + cs.found + cs.missing,
+            failed: cs.failed,
+            shed: cs.shed,
+            retries: cs.retries,
+            msgs_sent: cs.msgs_sent,
+            p50_ms: hist.quantile_ppm(500_000),
+            p99_ms: hist.quantile_ppm(990_000),
+            p999_ms: hist.quantile_ppm(999_000),
+        }),
     });
     // Convergence-latency samples: for each live process, how long after
     // the phase's first fault injection its final view install landed.
@@ -447,11 +489,23 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
             }
             if matches!(
                 e,
-                Expect::KvAvailable | Expect::NoLostAckedWrites | Expect::KvConverged { .. }
+                Expect::KvAvailable
+                    | Expect::NoLostAckedWrites
+                    | Expect::KvConverged { .. }
+                    | Expect::ShedObserved { .. }
+                    | Expect::OpsRecover { .. }
             ) && scenario.kv.is_none()
             {
                 return Err(format!(
                     "phase {:?}: kv expectation requires a [kv] table on the scenario",
+                    phase.name
+                ));
+            }
+            if matches!(e, Expect::OpsRecover { .. })
+                && scenario.settings.obs_sample_ms.is_none_or(|ms| ms == 0)
+            {
+                return Err(format!(
+                    "phase {:?}: ops_recover requires obs_sample_ms > 0",
                     phase.name
                 ));
             }
@@ -661,10 +715,17 @@ mod tests {
             crash_kv.bytes_moved > 500,
             "value_size padding must show up in bytes_moved: {crash_kv:?}"
         );
+        // The default submit mode drives everything through a smart
+        // client, so client-observed metrics must be present and account
+        // for at least the put workload.
+        let client = load_kv.client.expect("client metrics present in client mode");
+        assert!(client.submitted >= 20, "client saw the puts: {client:?}");
+        assert!(client.completed >= 20, "client completed the puts: {client:?}");
         // The kv object must appear in the JSON, and runs are byte-stable.
         let json = report.to_json_string();
         assert!(json.contains("\"kv\":{\"puts\":20"), "kv json missing: {json}");
         assert!(json.contains("\"repair_bytes\":"), "repair metrics missing: {json}");
+        assert!(json.contains("\"client\":{\"submitted\":"), "client json missing: {json}");
     }
 
     #[test]

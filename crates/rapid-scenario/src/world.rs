@@ -12,13 +12,14 @@ use gossip_member::{AkkaConfig, AkkaNode};
 use rapid_core::id::Endpoint;
 use rapid_core::node::{Node, NodeStatus};
 use rapid_core::settings::Settings;
+use rapid_core::obs::LatencyHist;
 use rapid_route::sim::{KvClusterBuilder, KvSimActor};
-use rapid_route::{KvOutcome, KvStats};
+use rapid_route::{ClientStats, KvOutcome, KvStats};
 use rapid_sim::cluster::{sim_member, RapidActor, RapidClusterBuilder};
 use rapid_sim::{Fault, Sample, Simulation};
 use swim_member::{SwimConfig, SwimNode};
 
-use crate::model::{KvSpec, Topology};
+use crate::model::{KvSpec, SubmitMode, Topology};
 
 /// The membership systems compared in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,11 +119,36 @@ pub struct KvOp {
 }
 
 /// A Rapid deployment with the `rapid-route` KV data plane co-hosted on
-/// every cluster process.
+/// every cluster process. When the spec's submit mode is `Client`, the
+/// simulation additionally hosts `spec.clients` smart-client actors at
+/// actor indices `n0..n0+clients` (joiners land after them); clients are
+/// excluded from every cluster-process measurement.
 pub struct KvWorld {
     /// The underlying simulation (public for post-run analysis).
     pub sim: Simulation<KvSimActor>,
     spec: KvSpec,
+    /// Cluster processes at build time — the client actors' offset.
+    n0: usize,
+}
+
+impl KvWorld {
+    fn client_count(&self) -> usize {
+        match self.spec.submit {
+            SubmitMode::Client => self.spec.clients,
+            SubmitMode::Coordinator => 0,
+        }
+    }
+
+    /// Actor index of cluster process `p`: the client actors sit between
+    /// the initial members and any later joiners, so processes joined
+    /// after build time shift past them.
+    fn actor_idx(&self, p: usize) -> usize {
+        if p < self.n0 {
+            p
+        } else {
+            p + self.client_count()
+        }
+    }
 }
 
 /// A simulated deployment of one membership system with `n` cluster
@@ -172,11 +198,14 @@ impl World {
         if let Some(s) = settings {
             builder = builder.settings(s);
         }
+        if spec.submit == SubmitMode::Client {
+            builder = builder.clients(spec.clients);
+        }
         let sim = match topology {
             Topology::Bootstrap => builder.build_bootstrap(),
             Topology::Static => builder.build_static(),
         };
-        Ok(World::RapidKv(KvWorld { sim, spec }))
+        Ok(World::RapidKv(KvWorld { sim, spec, n0: n }))
     }
 
     /// Builds a bootstrap deployment with protocol-settings overrides
@@ -398,8 +427,27 @@ impl World {
 
     /// Schedules a fault on a *cluster process index* (auxiliary ensembles
     /// are shielded, as in the paper, which injects faults only on cluster
-    /// processes).
+    /// processes — and client actors likewise cannot be targeted).
     pub fn schedule_cluster_fault(&mut self, at: u64, fault: Fault) {
+        if let World::RapidKv(w) = self {
+            // Client actors sit between the initial members and later
+            // joiners, so post-build process indices shift past them.
+            let (n0, c) = (w.n0, w.client_count());
+            let m = |i: usize| if i < n0 { i } else { i + c };
+            let shifted = match fault {
+                Fault::Crash(i) => Fault::Crash(m(i)),
+                Fault::IngressDrop(i, p) => Fault::IngressDrop(m(i), p),
+                Fault::EgressDrop(i, p) => Fault::EgressDrop(m(i), p),
+                Fault::BlackholePair(a, b) => Fault::BlackholePair(m(a), m(b)),
+                Fault::ClearBlackholePair(a, b) => Fault::ClearBlackholePair(m(a), m(b)),
+                Fault::Partition(g) => Fault::Partition(g.into_iter().map(m).collect()),
+                Fault::LinkLoss(a, b, p) => Fault::LinkLoss(m(a), m(b), p),
+                Fault::SlowNode(i, f) => Fault::SlowNode(m(i), f),
+                other @ (Fault::Duplicate(_) | Fault::Reorder(_, _) | Fault::Latency(_)) => other,
+            };
+            w.sim.schedule_fault(at, shifted);
+            return;
+        }
         let off = self.cluster_offset();
         let shifted = match fault {
             Fault::Crash(i) => Fault::Crash(i + off),
@@ -435,7 +483,12 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off),
-            World::RapidKv(w) => collect(&w.sim, off),
+            // Client actors are not cluster members: they never report a
+            // size and must not hold up convergence predicates.
+            World::RapidKv(w) => (0..w.sim.len())
+                .filter(|&i| !w.sim.net.is_crashed(i) && !w.sim.actor(i).is_client())
+                .map(|i| rapid_sim::Actor::sample(w.sim.actor(i)))
+                .collect(),
             World::Swim(s) => collect(s, off),
             World::Zk(s) => collect(s, off),
             World::Akka(s) => collect(s, off),
@@ -492,7 +545,16 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off, skip_secs),
-            World::RapidKv(w) => collect(&w.sim, off, skip_secs),
+            World::RapidKv(w) => {
+                let mut v = Vec::new();
+                for i in 0..w.sim.len() {
+                    if w.sim.actor(i).is_client() {
+                        continue;
+                    }
+                    v.extend(w.sim.traffic(i).per_second.iter().skip(skip_secs).copied());
+                }
+                v
+            }
             World::Swim(s) => collect(s, off, skip_secs),
             World::Zk(s) => collect(s, off, skip_secs),
             World::Akka(s) => collect(s, off, skip_secs),
@@ -534,7 +596,22 @@ impl World {
         let off = self.cluster_offset();
         match self {
             World::Rapid(s) | World::RapidC(s) => collect(s, off),
-            World::RapidKv(w) => collect(&w.sim, off),
+            // Cluster traffic only: what the clients themselves send is
+            // reported through the client plane, not the node totals.
+            World::RapidKv(w) => {
+                let mut t = TrafficTotals::default();
+                for i in 0..w.sim.len() {
+                    if w.sim.actor(i).is_client() {
+                        continue;
+                    }
+                    let tr = w.sim.traffic(i);
+                    t.bytes_in += tr.bytes_in;
+                    t.bytes_out += tr.bytes_out;
+                    t.msgs_in += tr.msgs_in;
+                    t.msgs_out += tr.msgs_out;
+                }
+                t
+            }
             World::Swim(s) => collect(s, off),
             World::Zk(s) => collect(s, off),
             World::Akka(s) => collect(s, off),
@@ -560,7 +637,7 @@ impl World {
             World::RapidKv(w) => {
                 let mut max = 0;
                 for i in 0..w.sim.len() {
-                    if w.sim.net.is_crashed(i) {
+                    if w.sim.net.is_crashed(i) || w.sim.actor(i).is_client() {
                         continue;
                     }
                     max = max.max(w.sim.actor(i).as_node().metrics().view_changes);
@@ -605,7 +682,7 @@ impl World {
             World::RapidKv(w) => {
                 let mut histories = Vec::new();
                 for i in 0..w.sim.len() {
-                    if w.sim.net.is_crashed(i) {
+                    if w.sim.net.is_crashed(i) || w.sim.actor(i).is_client() {
                         continue;
                     }
                     let node = w.sim.actor(i).as_node();
@@ -642,6 +719,7 @@ impl World {
                 Ok(())
             }
             World::RapidKv(w) => {
+                let idx = w.actor_idx(idx);
                 let now = w.sim.now();
                 w.sim.with_actor(idx, |a, out| a.leave(now, out));
                 w.sim.net.crash(idx);
@@ -707,10 +785,14 @@ impl World {
         self.join_cfg(count, None)
     }
 
-    /// Runs a batch of KV client operations through coordinator `via`
-    /// (`None` = first live process): all ops are submitted at once, the
-    /// simulation advances one op-window, and unresolved ops score as
-    /// failed. Requires the KV-hosting world.
+    /// Runs a batch of KV client operations: all ops are submitted at
+    /// once, the simulation advances one op-window, and unresolved ops
+    /// score as failed. Requires the KV-hosting world.
+    ///
+    /// In the default `submit = "client"` mode the batch goes through a
+    /// smart-client actor (`via` only picks which client, round-robin);
+    /// in `"coordinator"` mode it goes through member node `via`
+    /// (`None` = first live process), which forwards to leaders.
     pub fn kv_batch(&mut self, via: Option<usize>, ops: &[KvOp]) -> Result<Vec<KvOutcome>, String> {
         let World::RapidKv(w) = self else {
             return Err(format!(
@@ -718,17 +800,7 @@ impl World {
                 self.kind_label()
             ));
         };
-        let n = w.sim.len();
-        let via = match via {
-            Some(i) if i < n && !w.sim.net.is_crashed(i) => i,
-            Some(i) => return Err(format!("kv coordinator {i} is out of range or crashed")),
-            None => (0..n)
-                .find(|&i| !w.sim.net.is_crashed(i))
-                .ok_or("no live process to coordinate kv ops")?,
-        };
         let now = w.sim.now();
-        // One pipelined submission: the coordinator's outbox coalesces
-        // ops sharing a leader into single wire frames.
         let client_ops: Vec<rapid_route::ClientOp<'_>> = ops
             .iter()
             .map(|op| match &op.put_val {
@@ -736,10 +808,36 @@ impl World {
                 None => rapid_route::ClientOp::Get { key: &op.key },
             })
             .collect();
-        let reqs: Vec<u64> =
-            w.sim.with_actor(via, |a, out| a.begin_ops(&client_ops, now, out));
+        let submitter = match w.spec.submit {
+            // Smart-client path: the client routes each op straight to
+            // its partition leader from the cached placement.
+            SubmitMode::Client => w.n0 + via.unwrap_or(0) % w.client_count(),
+            // Legacy path: one member node coordinates, forwarding
+            // remote ops (one extra hop each).
+            SubmitMode::Coordinator => {
+                let n = w.sim.len();
+                match via {
+                    Some(i) if w.actor_idx(i) < n && !w.sim.net.is_crashed(w.actor_idx(i)) => {
+                        w.actor_idx(i)
+                    }
+                    Some(i) => {
+                        return Err(format!("kv coordinator {i} is out of range or crashed"))
+                    }
+                    None => (0..n)
+                        .find(|&i| !w.sim.net.is_crashed(i) && !w.sim.actor(i).is_client())
+                        .ok_or("no live process to coordinate kv ops")?,
+                }
+            }
+        };
+        // One pipelined submission: the submitter's outbox coalesces ops
+        // sharing a destination into single wire frames.
+        let mode = w.spec.submit;
+        let reqs: Vec<u64> = w.sim.with_actor(submitter, |a, out| match mode {
+            SubmitMode::Client => a.client_submit_ops(&client_ops, now, out),
+            SubmitMode::Coordinator => a.begin_ops(&client_ops, now, out),
+        });
         w.sim.run_until(now + w.spec.op_window_ms);
-        let completed = std::mem::take(&mut w.sim.actor_mut(via).completed);
+        let completed = std::mem::take(&mut w.sim.actor_mut(submitter).completed);
         Ok(reqs
             .iter()
             .map(|req| {
@@ -752,12 +850,47 @@ impl World {
             .collect())
     }
 
+    /// Aggregate smart-client counters across all client actors (`None`
+    /// when this world hosts no client plane).
+    pub fn kv_client_stats(&self) -> Option<ClientStats> {
+        let World::RapidKv(w) = self else { return None };
+        if w.client_count() == 0 {
+            return None;
+        }
+        let mut stats = ClientStats::default();
+        for i in w.n0..w.n0 + w.client_count() {
+            if let Some(cs) = w.sim.actor(i).client_stats() {
+                stats.absorb(cs);
+            }
+        }
+        Some(stats)
+    }
+
+    /// Merged client-observed op-latency histogram across all client
+    /// actors (`None` when this world hosts no client plane).
+    pub fn kv_client_hist(&self) -> Option<LatencyHist> {
+        let World::RapidKv(w) = self else { return None };
+        if w.client_count() == 0 {
+            return None;
+        }
+        let mut hist = LatencyHist::new();
+        for i in w.n0..w.n0 + w.client_count() {
+            if let Some(c) = w.sim.actor(i).client() {
+                hist.merge(c.op_hist());
+            }
+        }
+        Some(hist)
+    }
+
     /// Aggregate data-plane counters over all processes (including
     /// crashed ones, whose handoffs already happened), where hosted.
     pub fn kv_stats(&self) -> Option<KvStats> {
         let World::RapidKv(w) = self else { return None };
         let mut stats = KvStats::default();
         for i in 0..w.sim.len() {
+            if w.sim.actor(i).is_client() {
+                continue;
+            }
             stats.absorb(w.sim.actor(i).kv_stats());
         }
         Some(stats)
@@ -772,7 +905,7 @@ impl World {
         let World::RapidKv(w) = self else { return None };
         Some(
             (0..w.sim.len())
-                .filter(|&i| !w.sim.net.is_crashed(i))
+                .filter(|&i| !w.sim.net.is_crashed(i) && !w.sim.actor(i).is_client())
                 .map(|i| w.sim.actor(i).kv().digest_snapshot())
                 .collect(),
         )
@@ -792,7 +925,7 @@ impl World {
             ),
             World::RapidKv(w) => Some(
                 (0..w.sim.len())
-                    .filter(|&i| !w.sim.net.is_crashed(i))
+                    .filter(|&i| !w.sim.net.is_crashed(i) && !w.sim.actor(i).is_client())
                     .filter_map(|i| w.sim.actor(i).log.views.last().map(|(t, _)| *t))
                     .collect(),
             ),

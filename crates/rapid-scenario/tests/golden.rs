@@ -24,6 +24,7 @@ fn all_shipped_scenarios_are_well_formed() {
         "kv_churn",
         "kv_rebalance",
         "kv_repair",
+        "kv_overload",
     ] {
         let s = shipped(stem);
         for (name, g) in &s.groups {
@@ -353,6 +354,43 @@ fn shipped_scenario_metrics_are_identical_across_thread_counts() {
     assert!(
         !off.to_json_string().contains("timeline"),
         "obs_sample_ms unset must leave report bytes free of timelines"
+    );
+}
+
+/// The admission-control pin: `kv_overload` floods tiny coordinator
+/// inboxes with a burst beyond capacity. The cluster must shed with
+/// typed overload verdicts (never ack-then-drop: `no_lost_acked_writes`
+/// holds while shedding), throughput must recover per the metrics-plane
+/// timeline, the client plane must surface its shed/retry counters in
+/// the report, and the report JSON must be byte-identical across
+/// simulator thread counts.
+#[test]
+fn kv_overload_sheds_typed_keeps_acked_writes_and_recovers() {
+    let base = shipped("kv_overload");
+    let run_with = |threads: usize| {
+        let mut s = base.clone();
+        s.settings.threads = Some(threads);
+        let mut driver = SimDriver::new(SystemKind::Rapid, &s).expect("sim driver");
+        runner::run(&s, &mut driver).expect("run")
+    };
+    let report = run_with(1);
+    assert!(report.passed, "failures: {:?}", report.failures());
+    let burst = report.phases[1].kv.expect("kv metrics on the burst phase");
+    assert!(burst.shed >= 1, "the burst must shed: {burst:?}");
+    assert!(
+        burst.acked < burst.puts,
+        "an over-capacity burst cannot ack everything: {burst:?}"
+    );
+    let client = burst.client.expect("client metrics in client mode");
+    assert!(client.shed >= 1, "client must see overload verdicts: {client:?}");
+    assert!(client.retries >= 1, "shed ops re-queue: {client:?}");
+    let json = report.to_json_string();
+    assert!(json.contains("\"shed\":"), "shed must be reported: {json}");
+    assert!(json.contains("\"client\":{"), "client plane must be reported: {json}");
+    assert_eq!(
+        json,
+        run_with(2).to_json_string(),
+        "report must be byte-identical across thread counts"
     );
 }
 

@@ -21,7 +21,7 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,7 +35,7 @@ use rapid_core::membership::ViewChange;
 use rapid_core::node::{Action, Event, Node, NodeStatus};
 use rapid_core::rng::Xoshiro256;
 use rapid_core::settings::Settings;
-use rapid_core::wire::{self, Message};
+use rapid_core::wire::{self, Message, PeerQuota, QuotaTracker};
 use rapid_core::Member;
 
 /// Application-visible events surfaced by the runtime.
@@ -122,7 +122,10 @@ fn write_app_frame(
     finish_frame(stream, buf)
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Inbound)> {
+/// Reads one frame, returning the sender, the decoded body, and the
+/// frame's wire size in bytes (header included — the unit the per-peer
+/// byte quota meters).
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Inbound, u64)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
@@ -175,7 +178,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(Endpoint, Inbound)> {
                 "sender host would exceed the distinct-hosts cap",
             )
         })?;
-    Ok((from, inbound))
+    Ok((from, inbound, 4 + len as u64))
 }
 
 /// A lazily connected pool of outbound streams.
@@ -257,6 +260,7 @@ pub struct Runtime {
     status: Arc<Mutex<NodeStatus>>,
     shutdown: Arc<AtomicBool>,
     control_tx: Sender<Control>,
+    quota_dropped: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -305,7 +309,7 @@ impl Runtime {
             Node::new_joiner(me.clone(), settings.clone(), seeds)
         };
 
-        let (inbound_tx, inbound_rx) = bounded::<(Endpoint, Inbound)>(64 * 1024);
+        let (inbound_tx, inbound_rx) = bounded::<(Endpoint, Inbound, u64)>(64 * 1024);
         let (events_tx, events_rx) = bounded::<AppEvent>(16 * 1024);
         let (control_tx, control_rx) = bounded::<Control>(4 * 1024);
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -338,8 +342,8 @@ impl Runtime {
                                 let mut stream = stream;
                                 while !stop.load(Ordering::Relaxed) {
                                     match read_frame(&mut stream) {
-                                        Ok((from, msg)) => {
-                                            if tx.send((from, msg)).is_err() {
+                                        Ok((from, msg, size)) => {
+                                            if tx.send((from, msg, size)).is_err() {
                                                 break;
                                             }
                                         }
@@ -368,15 +372,23 @@ impl Runtime {
         }
 
         // Driver thread: ticks + message dispatch.
+        let quota_dropped = Arc::new(AtomicU64::new(0));
         {
             let shutdown = Arc::clone(&shutdown);
             let view = Arc::clone(&view);
             let status = Arc::clone(&status);
             let tick = Duration::from_millis(settings.tick_interval_ms);
             let me_ep2 = me_ep;
+            let quota_dropped = Arc::clone(&quota_dropped);
+            let quota = PeerQuota {
+                frames_per_interval: settings.peer_quota_frames,
+                bytes_per_interval: settings.peer_quota_bytes,
+                interval_ms: settings.peer_quota_interval_ms,
+            };
             threads.push(std::thread::spawn(move || {
                 let mut node = node;
                 let mut pool = StreamPool::new(me_ep2, Duration::from_millis(250));
+                let mut quotas = QuotaTracker::new(quota);
                 let start = Instant::now();
                 let mut next_tick = Instant::now();
                 let mut actions = Vec::new();
@@ -394,11 +406,23 @@ impl Runtime {
                     // Inbound frames until the next tick is due.
                     let budget = next_tick.saturating_duration_since(Instant::now());
                     match inbound_rx.recv_timeout(budget) {
-                        Ok((from, Inbound::Proto(msg))) => {
-                            node.handle(Event::Receive { from, msg }, &mut actions);
-                        }
-                        Ok((from, Inbound::App(payload))) => {
-                            let _ = events_tx.try_send(AppEvent::App(from, payload));
+                        Ok((from, inbound, size)) => {
+                            let now_ms = start.elapsed().as_millis() as u64;
+                            // Per-peer rate limit: a peer over its frame
+                            // or byte budget for this interval has the
+                            // frame dropped before any decode dispatch.
+                            if quotas.admit(from, size as usize, now_ms).is_err() {
+                                quota_dropped.store(quotas.dropped(), Ordering::Relaxed);
+                            } else {
+                                match inbound {
+                                    Inbound::Proto(msg) => {
+                                        node.handle(Event::Receive { from, msg }, &mut actions);
+                                    }
+                                    Inbound::App(payload) => {
+                                        let _ = events_tx.try_send(AppEvent::App(from, payload));
+                                    }
+                                }
+                            }
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                             let now_ms = start.elapsed().as_millis() as u64;
@@ -439,8 +463,16 @@ impl Runtime {
             status,
             shutdown,
             control_tx,
+            quota_dropped,
             threads,
         })
+    }
+
+    /// Inbound frames dropped by the per-peer decode quota so far
+    /// (`Settings::peer_quota_frames` / `peer_quota_bytes`; 0 when
+    /// quotas are disabled).
+    pub fn quota_dropped(&self) -> u64 {
+        self.quota_dropped.load(Ordering::Relaxed)
     }
 
     /// This node's identity.
@@ -550,6 +582,141 @@ impl Runtime {
     }
 }
 
+/// A standalone application-frame endpoint for processes *outside* the
+/// membership — the smart-client plane's transport. It speaks only the
+/// opaque app-frame subset of the wire format: inbound protocol frames
+/// are ignored, outbound sends go through its own lazily connected
+/// per-peer [`StreamPool`] (one pooled TCP stream per leader), and every
+/// received app payload is surfaced as `(sender, payload)`.
+///
+/// Unlike [`Runtime`], an `AppPeer` never joins, probes, or votes — it
+/// holds no `Node` at all. A `rapid-route` smart client built on it
+/// learns the membership purely from view pushes over app frames.
+pub struct AppPeer {
+    me: Endpoint,
+    events_rx: Receiver<(Endpoint, Vec<u8>)>,
+    control_tx: Sender<(Endpoint, Vec<u8>)>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl AppPeer {
+    /// Binds `listen` (port 0 for ephemeral) and starts the accept and
+    /// writer threads.
+    pub fn start(listen: Endpoint) -> std::io::Result<AppPeer> {
+        let listener = TcpListener::bind(format!("{listen}"))?;
+        let actual: SocketAddr = listener.local_addr()?;
+        let me = Endpoint::new(listen.host(), actual.port());
+        let (events_tx, events_rx) = bounded::<(Endpoint, Vec<u8>)>(64 * 1024);
+        let (control_tx, control_rx) = bounded::<(Endpoint, Vec<u8>)>(64 * 1024);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Accept loop: same reader-thread-per-connection pattern as the
+        // runtime's listener, app frames only.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            listener.set_nonblocking(true)?;
+            threads.push(std::thread::spawn(move || {
+                let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                let mut backoff = ACCEPT_BACKOFF_MIN;
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            backoff = ACCEPT_BACKOFF_MIN;
+                            let tx = events_tx.clone();
+                            let stop = Arc::clone(&shutdown);
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                            readers.push(std::thread::spawn(move || {
+                                let mut stream = stream;
+                                while !stop.load(Ordering::Relaxed) {
+                                    match read_frame(&mut stream) {
+                                        Ok((from, Inbound::App(payload), _)) => {
+                                            if tx.send((from, payload)).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        // Membership traffic aimed at a
+                                        // client is a peer bug; drop it.
+                                        Ok((_, Inbound::Proto(_), _)) => continue,
+                                        Err(e)
+                                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                                        {
+                                            continue
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            }));
+        }
+
+        // Writer thread: drains queued sends through the per-peer pool.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let me2 = me;
+            threads.push(std::thread::spawn(move || {
+                let mut pool = StreamPool::new(me2, Duration::from_millis(250));
+                loop {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match control_rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok((to, payload)) => pool.send_app(&to, &payload),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }));
+        }
+
+        Ok(AppPeer {
+            me,
+            events_rx,
+            control_tx,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound listen address (what peers see as the sender).
+    pub fn addr(&self) -> &Endpoint {
+        &self.me
+    }
+
+    /// Inbound app payloads, as `(sender, payload)`.
+    pub fn events(&self) -> &Receiver<(Endpoint, Vec<u8>)> {
+        &self.events_rx
+    }
+
+    /// Queues an app payload for best-effort delivery over the pooled
+    /// per-peer stream.
+    pub fn send_app(&self, to: Endpoint, payload: Vec<u8>) {
+        let _ = self.control_tx.try_send((to, payload));
+    }
+
+    /// Stops all threads.
+    pub fn shutdown_now(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,7 +760,7 @@ mod tests {
             .unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let (from, inbound) = read_frame(&mut conn).unwrap();
+        let (from, inbound, _) = read_frame(&mut conn).unwrap();
         assert_eq!(from, Endpoint::new("me", 42));
         assert!(matches!(inbound, Inbound::Proto(Message::Probe { seq: 7 })));
         sender.join().unwrap();
@@ -623,7 +790,7 @@ mod tests {
             .unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let (from, inbound) = read_frame(&mut conn).unwrap();
+        let (from, inbound, _) = read_frame(&mut conn).unwrap();
         assert_eq!(from, Endpoint::new("me", 44));
         match inbound {
             Inbound::Proto(Message::Batch { msgs }) => {
@@ -652,7 +819,7 @@ mod tests {
             .unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let (from, inbound) = read_frame(&mut conn).unwrap();
+        let (from, inbound, _) = read_frame(&mut conn).unwrap();
         assert_eq!(from, Endpoint::new("me", 43));
         match inbound {
             Inbound::App(payload) => assert_eq!(payload, b"kv: hello"),
@@ -797,6 +964,88 @@ mod tests {
         // A leave announcement skips the probe timeout path.
         assert!(t0.elapsed() < Duration::from_secs(25));
         j1.shutdown_now();
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn app_peer_exchanges_payloads_with_a_runtime() {
+        // The client plane's transport: an AppPeer (no membership)
+        // talking app frames with a full runtime, both directions.
+        let settings = fast_settings();
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings).unwrap();
+        let seed_addr = *seed.addr();
+        let peer = AppPeer::start(Endpoint::new("127.0.0.1", 0)).unwrap();
+        let peer_addr = *peer.addr();
+        assert!(wait_for(
+            || seed.status() == NodeStatus::Active,
+            Duration::from_secs(10)
+        ));
+        peer.send_app(seed_addr, b"sub".to_vec());
+        let got = wait_for(
+            || {
+                while let Ok(ev) = seed.events().try_recv() {
+                    if let AppEvent::App(from, payload) = ev {
+                        assert_eq!(from, peer_addr);
+                        assert_eq!(payload, b"sub");
+                        return true;
+                    }
+                }
+                false
+            },
+            Duration::from_secs(10),
+        );
+        assert!(got, "app frame from the peer must reach the runtime");
+        // And the runtime can answer the peer at its listen address.
+        seed.send_app(peer_addr, b"view".to_vec());
+        let got = wait_for(
+            || {
+                if let Ok((from, payload)) = peer.events().try_recv() {
+                    assert_eq!(from, seed_addr);
+                    assert_eq!(payload, b"view");
+                    return true;
+                }
+                false
+            },
+            Duration::from_secs(10),
+        );
+        assert!(got, "app frame from the runtime must reach the peer");
+        peer.shutdown_now();
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn peer_quota_drops_flooding_frames() {
+        // A tight per-peer frame budget: a flood from one AppPeer must
+        // trip the quota and be counted as dropped.
+        let settings = Settings {
+            peer_quota_frames: 2,
+            peer_quota_interval_ms: 60_000,
+            ..fast_settings()
+        };
+        let seed = Runtime::start_seed(Endpoint::new("127.0.0.1", 0), settings).unwrap();
+        let seed_addr = *seed.addr();
+        assert!(wait_for(
+            || seed.status() == NodeStatus::Active,
+            Duration::from_secs(10)
+        ));
+        assert_eq!(seed.quota_dropped(), 0);
+        let peer = AppPeer::start(Endpoint::new("127.0.0.1", 0)).unwrap();
+        for i in 0..20 {
+            peer.send_app(seed_addr, format!("flood-{i}").into_bytes());
+        }
+        assert!(
+            wait_for(|| seed.quota_dropped() > 0, Duration::from_secs(10)),
+            "flood must trip the per-peer quota"
+        );
+        // Within one interval, at most the budget got through.
+        let mut delivered = 0;
+        while let Ok(ev) = seed.events().try_recv() {
+            if matches!(ev, AppEvent::App(..)) {
+                delivered += 1;
+            }
+        }
+        assert!(delivered <= 2, "budget of 2 frames, {delivered} delivered");
+        peer.shutdown_now();
         seed.shutdown_now();
     }
 }
