@@ -308,6 +308,23 @@ mod tests {
     }
 
     #[test]
+    fn new_shards_and_per_shard_leaves_do_not_trip_an_old_baseline() {
+        // A post-sharding document grows a `shards` config leaf and
+        // per-shard series the pre-sharding baseline never had. Schema
+        // growth must stay invisible to the gate in both directions.
+        let cur = BASE.replace(
+            "\"threads\": 1,",
+            "\"threads\": 1,\n      \"shards\": 4,\n      \"shard_depth\": [3, 1, 0, 2],\n      \"shard_ops\": [120, 88, 91, 104],",
+        );
+        assert!(regressions(BASE, &cur, &DiffOpts::default()).unwrap().is_empty());
+        assert!(regressions(&cur, BASE, &DiffOpts::default()).unwrap().is_empty());
+        // And the new leaves are informational (config/count shaped),
+        // so even when both sides carry them a change is not a regression.
+        let older = cur.replace("\"shards\": 4", "\"shards\": 1");
+        assert!(regressions(&older, &cur, &DiffOpts::default()).unwrap().is_empty());
+    }
+
+    #[test]
     fn malformed_json_is_an_error() {
         assert!(numeric_leaves("{\"a\": }").is_err());
         assert!(numeric_leaves("{\"a\": 1} x").is_err());

@@ -101,6 +101,15 @@ pub struct Settings {
     /// driver it is wall time.
     pub obs_sample_ms: u64,
 
+    /// Real-driver KV data-plane shards: the `KvRuntime` splits its
+    /// per-partition state across `kv_shards` worker threads, each owning
+    /// the partitions a stable rendezvous hash assigns to it. `1` (the
+    /// default) runs the single-threaded sans-io oracle path unchanged.
+    /// Must not exceed the KV partition count. Ignored by the simulator,
+    /// whose actors are single-threaded by construction (use `threads`
+    /// to shard the simulation engine instead).
+    pub kv_shards: usize,
+
     /// Smart-client pipelined flow control: maximum ops a `KvClient`
     /// keeps in flight at once. Further submissions queue client-side.
     pub client_window: usize,
@@ -158,6 +167,7 @@ impl Default for Settings {
             threads: 1,
             obs_ring: 0,
             obs_sample_ms: 0,
+            kv_shards: 1,
             client_window: 64,
             kv_inbox: 4096,
             kv_shed_p99_ms: 0,
@@ -200,6 +210,11 @@ impl Settings {
         }
         if self.client_window == 0 {
             return Err("client_window must be at least 1".into());
+        }
+        if self.kv_shards == 0 {
+            return Err(
+                "kv_shards must be at least 1 (1 = the single-threaded oracle data plane)".into(),
+            );
         }
         if self.peer_quota_interval_ms == 0
             && (self.peer_quota_frames > 0 || self.peer_quota_bytes > 0)
@@ -255,6 +270,16 @@ mod tests {
             ..Settings::default()
         };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_kv_shards() {
+        let s = Settings {
+            kv_shards: 0,
+            ..Settings::default()
+        };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("kv_shards"), "diagnostic names the knob: {err}");
     }
 
     #[test]

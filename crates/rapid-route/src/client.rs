@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rapid_core::config::{ConfigId, Configuration, Member};
-use rapid_core::hash::DetHashMap;
+use rapid_core::hash::{DetHashMap, StableHasher};
 use rapid_core::id::{Endpoint, NodeId};
 use rapid_core::obs::LatencyHist;
 use rapid_core::outbox::Outbox;
@@ -84,6 +84,18 @@ impl ClientStats {
         self.frames_sent += other.frames_sent;
         self.views_adopted += other.views_adopted;
     }
+}
+
+/// Deterministic overload-backoff jitter in `[0, retry_after_ms / 2]`,
+/// seeded from the client's identity and the op's request id: every
+/// client (and every op) desynchronizes differently, yet a replay of
+/// the same client is bit-identical.
+fn backoff_jitter(me: Endpoint, req: u64, retry_after_ms: u64) -> u64 {
+    StableHasher::new("kv-client-backoff-jitter")
+        .write_u64(me.digest())
+        .write_u64(req)
+        .finish()
+        % (retry_after_ms / 2 + 1)
 }
 
 /// Where a queued-or-flying op currently is.
@@ -375,11 +387,16 @@ impl KvClient {
             }
             CRESP_OVERLOADED => {
                 // The typed overload error: KvError::Overloaded on the
-                // wire. Count it and wait out the node's hint.
+                // wire. Count it and wait out the node's hint, stretched
+                // by a deterministic per-(client, op) jitter of up to
+                // half the hint: a whole fleet shed at the same instant
+                // must not retry in one synchronized herd, but replaying
+                // the same client still backs off identically.
                 let KvError::Overloaded { retry_after_ms } =
                     KvError::Overloaded { retry_after_ms: version.max(1) };
+                let jitter = backoff_jitter(self.me, req, retry_after_ms);
                 self.stats.shed += 1;
-                self.backoff(req, retry_after_ms, now);
+                self.backoff(req, retry_after_ms + jitter, now);
             }
             _ => {
                 // CRESP_FAILED or unknown: retryable until the deadline.
@@ -715,13 +732,18 @@ mod tests {
         );
         assert!(sends(&out).is_empty(), "backing off, not hammering");
         assert_eq!(c.stats().shed, 1);
-        // Before the hint expires: still quiet.
+        // The backoff is the node's hint plus a deterministic
+        // per-(client, op) jitter in [0, hint/2]; recompute it the same
+        // way to pin the exact release tick.
+        let jitter = super::backoff_jitter(Endpoint::new("client-0", 9000), req, 100);
+        assert!(jitter <= 50, "jitter bounded by half the hint: {jitter}");
+        // Before the jittered hint expires: still quiet.
         let mut out = Vec::new();
-        c.on_tick(50, &mut out);
+        c.on_tick(100 + jitter, &mut out);
         assert!(sends(&out).iter().all(|(_, m)| *m == KvMsg::Sub));
         // After: the op retries.
         let mut out = Vec::new();
-        c.on_tick(101, &mut out);
+        c.on_tick(101 + jitter, &mut out);
         assert!(
             sends(&out)
                 .iter()

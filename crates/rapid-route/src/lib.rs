@@ -28,7 +28,11 @@
 //! * [`sim`] — the data plane co-hosted with membership inside the
 //!   deterministic simulator ([`sim::KvSimActor`]).
 //! * [`real`] — the data plane on real TCP ([`real::KvRuntime`]), riding
-//!   the transport's app frames.
+//!   the transport's app frames. With `Settings::kv_shards > 1` it runs
+//!   thread-per-core: per-partition state splits across shard threads
+//!   chosen by the same rendezvous construction as placement
+//!   ([`placement::shard_of`]), the membership plane fans views out over
+//!   sequenced channels, and shards share no mutable state.
 //!
 //! See `docs/ROUTING.md` for the algorithm, the plan format, and driver
 //! caveats.
@@ -43,9 +47,11 @@ pub mod real;
 pub mod sim;
 
 pub use client::{ClientStats, KvClient};
-pub use kv::{ClientOp, KvError, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
+pub use kv::{
+    shard_route, ClientOp, KvError, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest,
+};
 pub use placement::{
-    partition_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
+    partition_of, shard_of, Placement, PlacementCache, PlacementConfig, RebalancePlan, ReplicaMove,
 };
 pub use real::KvRuntime;
 pub use sim::{KvClusterBuilder, KvSimActor, RouteMsg};

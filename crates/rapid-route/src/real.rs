@@ -1,30 +1,43 @@
 //! Hosting the KV data plane on the real TCP transport.
 //!
-//! [`KvRuntime`] owns a [`rapid_transport::Runtime`] and drives a
-//! [`KvNode`] from its event stream on a dedicated worker thread: view
-//! changes feed placement, app frames carry [`KvMsg`]s, and client
-//! operations arrive over a channel and resolve through per-op reply
-//! channels. The data plane is the same state machine the simulator
-//! runs — only the clock and the wires differ.
+//! [`KvRuntime`] owns a [`rapid_transport::Runtime`] and drives the KV
+//! data plane from its event stream: view changes feed placement, app
+//! frames carry [`KvMsg`](crate::kv::KvMsg)s, and client operations
+//! arrive over channels and resolve through per-op reply channels. The
+//! data plane is the same state machine the simulator runs — only the
+//! clock and the wires differ.
+//!
+//! With `Settings::kv_shards == 1` (the default) a single worker thread
+//! hosts one [`KvNode`] — the sans-io oracle path, bit-identical to the
+//! pre-sharding runtime. With `kv_shards = W > 1` the data plane runs
+//! thread-per-core: `W` shard threads each own a [`KvNode`] restricted
+//! (via [`KvNode::with_shard`]) to the partitions
+//! [`shard_of`](crate::placement::shard_of) assigns them, while the
+//! membership plane stays on one worker that fans every view adoption
+//! out to all shards over sequenced FIFO channels and splits inbound
+//! frames with [`kv::shard_route`]. Shards share no mutable state; each
+//! sends through its own clone of the transport's
+//! [`AppSender`](rapid_transport::AppSender), which feeds the per-peer
+//! writer threads.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use rapid_core::config::Member;
+use rapid_core::config::{Configuration, Member};
 use rapid_core::hash::DetHashMap;
 use rapid_core::id::Endpoint;
 use rapid_core::membership::ViewChange;
 use rapid_core::node::NodeStatus;
 use rapid_core::obs::{LatencyHist, Timeline, TimelinePoint, DEFAULT_TIMELINE_CAP};
 use rapid_core::settings::Settings;
-use rapid_transport::{AppEvent, AppPeer, Runtime};
+use rapid_transport::{AppEvent, AppPeer, AppSender, Runtime};
 
 use crate::client::{ClientStats, KvClient};
-use crate::kv::{self, ClientOp, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
-use crate::placement::PlacementConfig;
+use crate::kv::{self, ClientOp, KvMsg, KvNode, KvOut, KvOutcome, KvStats, PartitionDigest};
+use crate::placement::{partition_of, shard_of, PlacementConfig};
 
 /// A client operation submitted to the worker.
 enum RealOp {
@@ -42,6 +55,69 @@ enum RealOp {
 enum RealCtl {
     Leave,
     Shutdown,
+}
+
+/// One per-shard observability sample, taken on the `obs_sample_ms`
+/// cadence by the membership worker (or the single worker when
+/// `kv_shards == 1`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardPoint {
+    /// Sample time on the process wall clock (ms since start).
+    pub t_ms: u64,
+    /// Remote client ops pending in the shard's admission inbox.
+    pub depth: u64,
+    /// Successful client ops the shard completed during the interval.
+    pub ops: u64,
+}
+
+/// Input to a shard thread. Views are broadcast by the membership
+/// worker with a monotone sequence number; the FIFO channel guarantees
+/// every shard adopts them in the same order, so all shards recompute
+/// the identical placement.
+enum ShardIn {
+    View(u64, Arc<Configuration>),
+    Msg(Endpoint, KvMsg),
+    /// The merged interval quantiles, fed back as the admission
+    /// controller's latency signal (mirrors the unsharded sweep).
+    NoteInterval(u64, u64),
+    Stop,
+}
+
+/// Snapshot a shard thread publishes for the membership worker to merge.
+#[derive(Clone)]
+struct ShardPub {
+    stats: KvStats,
+    inbox_depth: usize,
+    client_conns: usize,
+    digests: Vec<(u32, PartitionDigest, bool)>,
+    op_hist: LatencyHist,
+}
+
+impl ShardPub {
+    fn new() -> ShardPub {
+        ShardPub {
+            stats: KvStats::default(),
+            inbox_depth: 0,
+            client_conns: 0,
+            digests: Vec::new(),
+            op_hist: LatencyHist::new(),
+        }
+    }
+}
+
+/// A running shard thread: its input channel and join handle.
+struct Shard {
+    tx: Sender<ShardIn>,
+    handle: JoinHandle<()>,
+}
+
+fn stop_shards(shards: &mut Vec<Shard>) {
+    for s in shards.iter() {
+        let _ = s.tx.send(ShardIn::Stop);
+    }
+    for s in shards.drain(..) {
+        let _ = s.handle.join();
+    }
 }
 
 /// Worker-published view of the node, for the scenario driver's polls.
@@ -71,12 +147,23 @@ struct Mirror {
     timeline: Vec<TimelinePoint>,
     /// Sweeps lost to the bounded timeline ring wrapping.
     timeline_dropped: u64,
+    /// Latest per-shard admission-inbox depths (one entry per shard;
+    /// a single entry on the unsharded path).
+    shard_depths: Vec<u64>,
+    /// Latest per-shard cumulative successful-op counts.
+    shard_ops: Vec<u64>,
+    /// Per-shard sampled series on the timeline cadence, oldest first.
+    shard_series: Vec<Vec<ShardPoint>>,
 }
 
 /// A real process running membership + the KV data plane.
 pub struct KvRuntime {
     addr: Endpoint,
-    ops_tx: Sender<RealOp>,
+    /// One submission channel per data-plane shard; ops route by
+    /// `shard_of(partition_of(key))`, so the shard that allocates a
+    /// request id is the shard that completes it.
+    ops_txs: Vec<Sender<RealOp>>,
+    partitions: u32,
     ctl_tx: Sender<RealCtl>,
     mirror: Arc<Mutex<Mirror>>,
     handle: Option<JoinHandle<()>>,
@@ -97,10 +184,11 @@ impl KvRuntime {
         let obs_ring = settings.obs_ring;
         let obs_sample_ms = settings.obs_sample_ms;
         let admission = (settings.kv_inbox, settings.kv_shed_p99_ms);
+        let shards = Self::check_shards(settings.kv_shards, route)?;
         let rt = Runtime::start_seed(listen, settings)?;
         Ok(Self::wrap(
             rt, route, op_timeout_ms, repair_interval_ms, false, batch_wire, obs_ring,
-            obs_sample_ms, admission,
+            obs_sample_ms, admission, shards,
         ))
     }
 
@@ -118,11 +206,30 @@ impl KvRuntime {
         let obs_ring = settings.obs_ring;
         let obs_sample_ms = settings.obs_sample_ms;
         let admission = (settings.kv_inbox, settings.kv_shed_p99_ms);
+        let shards = Self::check_shards(settings.kv_shards, route)?;
         let rt = Runtime::start_joiner(listen, seeds, settings, metadata)?;
         Ok(Self::wrap(
             rt, route, op_timeout_ms, repair_interval_ms, true, batch_wire, obs_ring,
-            obs_sample_ms, admission,
+            obs_sample_ms, admission, shards,
         ))
+    }
+
+    /// A shard with no partitions could never serve an op, so more
+    /// shards than partitions is a configuration error, caught before
+    /// any socket is bound.
+    fn check_shards(kv_shards: usize, route: PlacementConfig) -> std::io::Result<usize> {
+        let shards = kv_shards.max(1);
+        if shards > route.partitions as usize {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "kv_shards = {shards} exceeds the {} KV partitions; every shard must \
+                     own at least one partition (lower kv_shards or raise partitions)",
+                    route.partitions
+                ),
+            ));
+        }
+        Ok(shards)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -136,18 +243,10 @@ impl KvRuntime {
         obs_ring: usize,
         obs_sample_ms: u64,
         admission: (usize, u64),
+        shards: usize,
     ) -> KvRuntime {
         let addr = *rt.addr();
         let me: Member = rt.member().clone();
-        let mut kv = KvNode::new(me, route, op_timeout_ms, None)
-            .with_repair_interval(repair_interval_ms)
-            .with_batching(batch_wire)
-            .with_obs(obs_ring)
-            .with_admission(admission.0, admission.1);
-        if joiner {
-            kv = kv.expect_initial_handoffs();
-        }
-        let (ops_tx, ops_rx) = bounded::<RealOp>(16 * 1024);
         let (ctl_tx, ctl_rx) = bounded::<RealCtl>(16);
         let mirror = Arc::new(Mutex::new(Mirror {
             status: rt.status(),
@@ -161,11 +260,15 @@ impl KvRuntime {
             op_hist: LatencyHist::new(),
             timeline: Vec::new(),
             timeline_dropped: 0,
+            shard_depths: vec![0; shards],
+            shard_ops: vec![0; shards],
+            shard_series: vec![Vec::new(); shards],
         }));
         // Opt-in live introspection: with `RAPID_INTROSPECT=1` the
         // transport serves a one-line JSON status on a loopback side
         // listener, and the KV layer appends its published data-plane
-        // counters and op-latency quantiles to that line.
+        // counters, op-latency quantiles, and per-shard depth/ops to
+        // that line.
         let introspect_addr = if std::env::var("RAPID_INTROSPECT").as_deref() == Ok("1") {
             let probe_mirror = Arc::clone(&mirror);
             rt.serve_introspection(move |line| {
@@ -174,11 +277,18 @@ impl KvRuntime {
                     m.op_hist.quantile_ppm(500_000),
                     m.op_hist.quantile_ppm(990_000),
                 );
+                let join = |v: &[u64]| {
+                    v.iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
                 line.push_str(&format!(
-                    ",\"puts_acked\":{},\"gets_ok\":{},\"bytes_moved\":{},\"repair_bytes\":{},\"op_p50_ms\":{},\"op_p99_ms\":{},\"inbox_depth\":{},\"shed_ops\":{},\"client_conns\":{},\"quota_dropped\":{}",
+                    ",\"puts_acked\":{},\"gets_ok\":{},\"bytes_moved\":{},\"repair_bytes\":{},\"op_p50_ms\":{},\"op_p99_ms\":{},\"inbox_depth\":{},\"shed_ops\":{},\"client_conns\":{},\"quota_dropped\":{},\"shards\":{},\"shard_depth\":[{}],\"shard_ops\":[{}]",
                     m.stats.puts_acked, m.stats.gets_ok, m.stats.bytes_moved,
                     m.stats.repair_bytes, p50, p99,
                     m.inbox_depth, m.stats.ops_shed, m.client_conns, m.quota_dropped,
+                    m.shard_depths.len(), join(&m.shard_depths), join(&m.shard_ops),
                 ));
             })
             .ok()
@@ -186,12 +296,70 @@ impl KvRuntime {
             None
         };
         let worker_mirror = Arc::clone(&mirror);
-        let handle = std::thread::spawn(move || {
-            worker(rt, kv, ops_rx, ctl_rx, worker_mirror, obs_sample_ms);
-        });
+        let build_kv = |index: usize| {
+            let mut kv = KvNode::new(me.clone(), route, op_timeout_ms, None)
+                .with_shard(index, shards)
+                .with_repair_interval(repair_interval_ms)
+                .with_batching(batch_wire)
+                .with_obs(obs_ring)
+                // Split the admission budget so the process-level bound
+                // stays put (exact on the unsharded path).
+                .with_admission(admission.0.div_ceil(shards), admission.1);
+            if joiner {
+                kv = kv.expect_initial_handoffs();
+            }
+            kv
+        };
+        let (ops_txs, handle) = if shards == 1 {
+            // Single-threaded oracle path: one worker drives membership
+            // and the data plane, exactly as before sharding existed.
+            let kv = build_kv(0);
+            let (ops_tx, ops_rx) = bounded::<RealOp>(16 * 1024);
+            let handle = std::thread::spawn(move || {
+                worker(rt, kv, ops_rx, ctl_rx, worker_mirror, obs_sample_ms);
+            });
+            (vec![ops_tx], handle)
+        } else {
+            // Thread-per-core path: W shard threads own the data plane;
+            // the membership worker owns the transport event stream and
+            // fans views/frames out to them.
+            let start = Instant::now();
+            let mut ops_txs = Vec::with_capacity(shards);
+            let mut shard_handles = Vec::with_capacity(shards);
+            let mut pubs = Vec::with_capacity(shards);
+            for i in 0..shards {
+                let kv = build_kv(i);
+                let (ops_tx, ops_rx) = bounded::<RealOp>(16 * 1024);
+                let (in_tx, in_rx) = bounded::<ShardIn>(16 * 1024);
+                let slot = Arc::new(Mutex::new(ShardPub::new()));
+                let sender = rt.app_sender();
+                let shard_slot = Arc::clone(&slot);
+                let handle = std::thread::spawn(move || {
+                    shard_worker(kv, in_rx, ops_rx, sender, shard_slot, start);
+                });
+                ops_txs.push(ops_tx);
+                pubs.push(slot);
+                shard_handles.push(Shard { tx: in_tx, handle });
+            }
+            let partitions = route.partitions;
+            let handle = std::thread::spawn(move || {
+                membership_worker(
+                    rt,
+                    shard_handles,
+                    ctl_rx,
+                    worker_mirror,
+                    pubs,
+                    partitions,
+                    obs_sample_ms,
+                    start,
+                );
+            });
+            (ops_txs, handle)
+        };
         KvRuntime {
             addr,
-            ops_tx,
+            ops_txs,
+            partitions: route.partitions,
             ctl_tx,
             mirror,
             handle: Some(handle),
@@ -263,17 +431,43 @@ impl KvRuntime {
         self.mirror.lock().timeline_dropped
     }
 
+    /// Number of data-plane shard threads (`1` = the single-threaded
+    /// oracle path).
+    pub fn shards(&self) -> usize {
+        self.ops_txs.len()
+    }
+
+    /// Latest published per-shard admission-inbox depths, one entry per
+    /// shard (a single entry on the unsharded path).
+    pub fn shard_depths(&self) -> Vec<u64> {
+        self.mirror.lock().shard_depths.clone()
+    }
+
+    /// Latest published per-shard sampled series: one
+    /// `(t_ms, depth, ops)` point per elapsed `obs_sample_ms`, oldest
+    /// first, one series per shard. Rides the same cadence as
+    /// [`Self::timeline`] but is never part of any report schema.
+    pub fn shard_timeline(&self) -> Vec<Vec<ShardPoint>> {
+        self.mirror.lock().shard_series.clone()
+    }
+
     /// The loopback introspection listener's address, when enabled via
     /// `RAPID_INTROSPECT=1` at startup.
     pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
         self.introspect_addr
     }
 
+    /// The shard that coordinates `key`: the same rendezvous function
+    /// placement uses, over the key's partition.
+    fn shard_for(&self, key: &str) -> usize {
+        shard_of(partition_of(key, self.partitions), self.ops_txs.len())
+    }
+
     /// Begins a write through this process; the outcome arrives on the
     /// returned channel (dropped channel = op abandoned).
     pub fn begin_put(&self, key: &str, val: &str) -> Receiver<KvOutcome> {
         let (reply, rx) = bounded(1);
-        let _ = self.ops_tx.try_send(RealOp::Put {
+        let _ = self.ops_txs[self.shard_for(key)].try_send(RealOp::Put {
             key: key.to_string(),
             val: val.to_string(),
             reply,
@@ -284,7 +478,7 @@ impl KvRuntime {
     /// Begins a read through this process.
     pub fn begin_get(&self, key: &str) -> Receiver<KvOutcome> {
         let (reply, rx) = bounded(1);
-        let _ = self.ops_tx.try_send(RealOp::Get {
+        let _ = self.ops_txs[self.shard_for(key)].try_send(RealOp::Get {
             key: key.to_string(),
             reply,
         });
@@ -433,6 +627,7 @@ fn worker(
         // (ops, handoff/repair bytes, view changes) — the simulator
         // fills the network columns.
         let mut fresh_timeline = false;
+        let mut fresh_shard_point = None;
         if timeline.enabled() && Instant::now() >= next_sample {
             let s = *kv.stats();
             let ops = s.puts_acked + s.gets_ok;
@@ -441,6 +636,11 @@ fn worker(
             // the simulator's metrics sweep.
             kv.note_interval(p50, p99);
             let t_ms = start.elapsed().as_millis() as u64;
+            fresh_shard_point = Some(ShardPoint {
+                t_ms,
+                depth: kv.inbox_depth() as u64,
+                ops: ops - cursor.ops,
+            });
             timeline.push(TimelinePoint {
                 t_ms,
                 msgs: 0,
@@ -479,6 +679,8 @@ fn worker(
             m.inbox_depth = kv.inbox_depth();
             m.client_conns = kv.client_conns();
             m.quota_dropped = rt.quota_dropped();
+            m.shard_depths[0] = m.inbox_depth as u64;
+            m.shard_ops[0] = m.stats.puts_acked + m.stats.gets_ok;
             if let Some(d) = fresh_digests {
                 m.digests = d;
                 m.op_hist = kv.op_hist().clone();
@@ -486,6 +688,280 @@ fn worker(
             if fresh_timeline {
                 m.timeline = timeline.iter_in_order().copied().collect();
                 m.timeline_dropped = timeline.dropped();
+            }
+            if let Some(pt) = fresh_shard_point {
+                push_shard_point(&mut m.shard_series[0], pt);
+            }
+        }
+    }
+}
+
+/// Appends a shard sample, bounding the series like the timeline ring.
+fn push_shard_point(series: &mut Vec<ShardPoint>, pt: ShardPoint) {
+    if series.len() >= DEFAULT_TIMELINE_CAP {
+        series.remove(0);
+    }
+    series.push(pt);
+}
+
+/// A data-plane shard thread: drives one partition-filtered [`KvNode`]
+/// from its sequenced input channel, submits local client ops, ticks
+/// timers, and sends outbound frames through its own transport handle.
+/// Mirrors the unsharded `worker` loop minus the membership plumbing.
+fn shard_worker(
+    mut kv: KvNode,
+    in_rx: Receiver<ShardIn>,
+    ops_rx: Receiver<RealOp>,
+    sender: AppSender,
+    slot: Arc<Mutex<ShardPub>>,
+    start: Instant,
+) {
+    let mut out: Vec<KvOut> = Vec::new();
+    let mut replies: DetHashMap<u64, Sender<KvOutcome>> = DetHashMap::default();
+    let mut next_tick = Instant::now();
+    loop {
+        let now = start.elapsed().as_millis() as u64;
+        match in_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(ShardIn::View(_seq, cfg)) => kv.on_view(cfg, now, &mut out),
+            Ok(ShardIn::Msg(from, msg)) => kv.on_message(from, msg, now, &mut out),
+            Ok(ShardIn::NoteInterval(p50, p99)) => kv.note_interval(p50, p99),
+            Ok(ShardIn::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        // Drain queued inputs before sleeping again: view fanout and
+        // routed frames arrive in bursts.
+        while let Ok(input) = in_rx.try_recv() {
+            match input {
+                ShardIn::View(_seq, cfg) => kv.on_view(cfg, now, &mut out),
+                ShardIn::Msg(from, msg) => kv.on_message(from, msg, now, &mut out),
+                ShardIn::NoteInterval(p50, p99) => kv.note_interval(p50, p99),
+                ShardIn::Stop => return,
+            }
+        }
+        // Client submissions, one outbox-coalesced burst per pass.
+        let mut burst: Vec<RealOp> = Vec::new();
+        while let Ok(op) = ops_rx.try_recv() {
+            burst.push(op);
+        }
+        if !burst.is_empty() {
+            let client_ops: Vec<ClientOp<'_>> = burst
+                .iter()
+                .map(|op| match op {
+                    RealOp::Put { key, val, .. } => ClientOp::Put { key, val },
+                    RealOp::Get { key, .. } => ClientOp::Get { key },
+                })
+                .collect();
+            let reqs = kv.client_ops(&client_ops, now, &mut out);
+            for (req, op) in reqs.into_iter().zip(burst) {
+                let reply = match op {
+                    RealOp::Put { reply, .. } | RealOp::Get { reply, .. } => reply,
+                };
+                replies.insert(req, reply);
+            }
+        }
+        // Timers + snapshot publication on the digest cadence.
+        if Instant::now() >= next_tick {
+            kv.on_tick(now, &mut out);
+            next_tick = Instant::now() + Duration::from_millis(20);
+            let mut p = slot.lock();
+            p.stats = *kv.stats();
+            p.inbox_depth = kv.inbox_depth();
+            p.client_conns = kv.client_conns();
+            p.digests = kv.digest_snapshot();
+            p.op_hist = kv.op_hist().clone();
+        }
+        for item in out.drain(..) {
+            match item {
+                KvOut::Send(to, msg) => {
+                    let mut buf = Vec::with_capacity(kv::encoded_len(&msg));
+                    kv::encode(&msg, &mut buf);
+                    sender.send_app(to, buf);
+                }
+                KvOut::Done(req, outcome) => {
+                    if let Some(reply) = replies.remove(&req) {
+                        let _ = reply.try_send(outcome);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The membership plane of a sharded process: owns the transport, fans
+/// sequenced view adoptions out to every shard, splits inbound app
+/// frames by owning shard with [`kv::shard_route`], and merges the
+/// shards' published snapshots into the process-level [`Mirror`] (plus
+/// per-shard depth/ops series on the timeline cadence).
+#[allow(clippy::too_many_arguments)]
+fn membership_worker(
+    rt: Runtime,
+    mut shards: Vec<Shard>,
+    ctl_rx: Receiver<RealCtl>,
+    mirror: Arc<Mutex<Mirror>>,
+    pubs: Vec<Arc<Mutex<ShardPub>>>,
+    partitions: u32,
+    obs_sample_ms: u64,
+    start: Instant,
+) {
+    let w = shards.len();
+    let mut view_count = 0u64;
+    let mut view_seq = 0u64;
+    let mut timeline = if obs_sample_ms > 0 {
+        Timeline::new(DEFAULT_TIMELINE_CAP)
+    } else {
+        Timeline::new(0)
+    };
+    let mut cursor = TimelinePoint::default();
+    let mut shard_ops_cursor = vec![0u64; w];
+    let mut prev_hist = LatencyHist::new();
+    let mut next_sample = Instant::now() + Duration::from_millis(obs_sample_ms.max(1));
+    let mut next_merge = Instant::now();
+    // A seed's one-member view is installed before the shards spawn;
+    // broadcast it as adoption #1 so every shard subscribes immediately.
+    if rt.status() == NodeStatus::Active {
+        view_seq += 1;
+        let cfg = ViewChange::initial(rt.view()).configuration;
+        for s in &shards {
+            let _ = s.tx.send(ShardIn::View(view_seq, Arc::clone(&cfg)));
+        }
+    }
+    loop {
+        match ctl_rx.try_recv() {
+            Ok(RealCtl::Leave) => {
+                stop_shards(&mut shards);
+                rt.leave();
+                mirror.lock().status = NodeStatus::Left;
+                return;
+            }
+            Ok(RealCtl::Shutdown) => {
+                stop_shards(&mut shards);
+                rt.shutdown_now();
+                return;
+            }
+            Err(_) => {}
+        }
+        match rt.events().recv_timeout(Duration::from_millis(5)) {
+            Ok(AppEvent::View(vc)) => {
+                view_count += 1;
+                view_seq += 1;
+                for s in &shards {
+                    let _ = s
+                        .tx
+                        .send(ShardIn::View(view_seq, Arc::clone(&vc.configuration)));
+                }
+            }
+            Ok(AppEvent::Joined(config)) => {
+                view_seq += 1;
+                for s in &shards {
+                    let _ = s.tx.send(ShardIn::View(view_seq, Arc::clone(&config)));
+                }
+            }
+            Ok(AppEvent::App(from, bytes)) => {
+                // Corrupt peer payloads are dropped, like the transport
+                // does. Routed sends block on a full shard inbox — data
+                // frames are never silently dropped here.
+                if let Ok(msg) = kv::decode(&bytes) {
+                    for (idx, part) in kv::shard_route(msg, partitions, w) {
+                        let _ = shards[idx].tx.send(ShardIn::Msg(from, part));
+                    }
+                }
+            }
+            Ok(AppEvent::Kicked) | Err(_) => {}
+        }
+        // Merge + publish on the digest cadence, not every pass: the
+        // shard snapshots only refresh that often anyway.
+        if Instant::now() >= next_merge {
+            next_merge = Instant::now() + Duration::from_millis(20);
+            let mut stats = KvStats::default();
+            let mut inbox_depth = 0usize;
+            let mut client_conns = 0usize;
+            let mut digests: Vec<(u32, PartitionDigest, bool)> = Vec::new();
+            let mut hist = LatencyHist::new();
+            // (depth, cumulative ops) per shard, for the series below.
+            let mut per_shard: Vec<(u64, u64)> = Vec::with_capacity(w);
+            for slot in &pubs {
+                let p = slot.lock();
+                stats.absorb(&p.stats);
+                inbox_depth += p.inbox_depth;
+                client_conns += p.client_conns;
+                digests.extend_from_slice(&p.digests);
+                hist.merge(&p.op_hist);
+                per_shard.push((p.inbox_depth as u64, p.stats.puts_acked + p.stats.gets_ok));
+            }
+            digests.sort_unstable_by_key(|&(p, _, _)| p);
+            let ops = stats.puts_acked + stats.gets_ok;
+            let mut fresh_timeline = false;
+            let mut shard_points: Vec<ShardPoint> = Vec::new();
+            if timeline.enabled() && Instant::now() >= next_sample {
+                let (_, p50, p99) = hist.interval_quantiles(&prev_hist);
+                // Broadcast the merged latency signal so every shard's
+                // admission controller sees the same process-level p99.
+                for s in &shards {
+                    let _ = s.tx.send(ShardIn::NoteInterval(p50, p99));
+                }
+                let t_ms = start.elapsed().as_millis() as u64;
+                timeline.push(TimelinePoint {
+                    t_ms,
+                    msgs: 0,
+                    bytes: 0,
+                    alerts: 0,
+                    view_changes: view_count - cursor.view_changes,
+                    ops: ops - cursor.ops,
+                    handoff_bytes: stats.bytes_moved - cursor.handoff_bytes,
+                    repair_bytes: stats.repair_bytes - cursor.repair_bytes,
+                    p50_ms: p50,
+                    p99_ms: p99,
+                });
+                cursor = TimelinePoint {
+                    t_ms,
+                    msgs: 0,
+                    bytes: 0,
+                    alerts: 0,
+                    view_changes: view_count,
+                    ops,
+                    handoff_bytes: stats.bytes_moved,
+                    repair_bytes: stats.repair_bytes,
+                    p50_ms: 0,
+                    p99_ms: 0,
+                };
+                prev_hist = hist.clone();
+                next_sample += Duration::from_millis(obs_sample_ms);
+                fresh_timeline = true;
+                // Series carry interval deltas, like the timeline.
+                shard_points = per_shard
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(depth, cum))| {
+                        let delta = cum.saturating_sub(shard_ops_cursor[i]);
+                        shard_ops_cursor[i] = cum;
+                        ShardPoint {
+                            t_ms,
+                            depth,
+                            ops: delta,
+                        }
+                    })
+                    .collect();
+            }
+            let mut m = mirror.lock();
+            m.status = rt.status();
+            m.view_len = rt.view().len();
+            m.view_count = view_count;
+            m.stats = stats;
+            m.inbox_depth = inbox_depth;
+            m.client_conns = client_conns;
+            m.quota_dropped = rt.quota_dropped();
+            m.digests = digests;
+            m.op_hist = hist;
+            for (i, &(depth, ops)) in per_shard.iter().enumerate() {
+                m.shard_depths[i] = depth;
+                m.shard_ops[i] = ops;
+            }
+            if fresh_timeline {
+                m.timeline = timeline.iter_in_order().copied().collect();
+                m.timeline_dropped = timeline.dropped();
+                for (i, pt) in shard_points.into_iter().enumerate() {
+                    push_shard_point(&mut m.shard_series[i], pt);
+                }
             }
         }
     }
@@ -917,6 +1393,115 @@ mod tests {
         for j in joiners {
             j.shutdown_now();
         }
+        seed.shutdown_now();
+    }
+
+    #[test]
+    fn start_seed_rejects_more_shards_than_partitions() {
+        let settings = Settings {
+            kv_shards: 9,
+            ..fast_settings()
+        };
+        let err =
+            match KvRuntime::start_seed(Endpoint::new("127.0.0.1", 0), settings, spec(), 2_000, 0)
+            {
+                Err(e) => e,
+                Ok(_) => panic!("9 shards cannot cover 8 partitions"),
+            };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("kv_shards"), "{err}");
+    }
+
+    #[test]
+    fn real_sharded_runtime_serves_ops_and_publishes_per_shard_series() {
+        let settings = Settings {
+            kv_shards: 2,
+            obs_sample_ms: 100,
+            ..fast_settings()
+        };
+        let seed = KvRuntime::start_seed(
+            Endpoint::new("127.0.0.1", 0),
+            settings.clone(),
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
+        let seed_addr = seed.addr();
+        let joiner = KvRuntime::start_joiner(
+            Endpoint::new("127.0.0.1", 0),
+            vec![seed_addr],
+            settings,
+            rapid_core::Metadata::new(),
+            spec(),
+            2_000,
+            500,
+        )
+        .unwrap();
+        assert_eq!(seed.shards(), 2);
+        assert!(
+            wait_for(
+                || seed.view_len() == 2 && joiner.view_len() == 2,
+                Duration::from_secs(30)
+            ),
+            "2-node sharded cluster must form"
+        );
+        // Writes through both coordinators, reads through the other.
+        for i in 0..16 {
+            let via = if i % 2 == 0 { &seed } else { &joiner };
+            let rx = via.begin_put(&format!("shk{i}"), &format!("shv{i}"));
+            assert!(
+                matches!(
+                    rx.recv_timeout(Duration::from_secs(5)),
+                    Ok(KvOutcome::Acked { .. })
+                ),
+                "sharded put {i} must ack"
+            );
+        }
+        for i in 0..16 {
+            let rx = joiner.begin_get(&format!("shk{i}"));
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(KvOutcome::Found { val, .. }) => assert_eq!(val, format!("shv{i}")),
+                other => panic!("sharded get {i} failed: {other:?}"),
+            }
+        }
+        // Merged stats must cover every acked op across both processes.
+        assert!(
+            wait_for(
+                || seed.stats().puts_acked + joiner.stats().puts_acked >= 16,
+                Duration::from_secs(5)
+            ),
+            "merged per-shard stats must cover all acked puts"
+        );
+        assert_eq!(seed.shard_depths().len(), 2);
+        assert!(
+            wait_for(
+                || {
+                    seed.shard_timeline()
+                        .iter()
+                        .flatten()
+                        .map(|p| p.ops)
+                        .sum::<u64>()
+                        >= 1
+                },
+                Duration::from_secs(10)
+            ),
+            "per-shard series must record completed ops"
+        );
+        // The merged digest snapshot lists each partition exactly once.
+        assert!(
+            wait_for(
+                || {
+                    let d = seed.digest_snapshot();
+                    let mut parts: Vec<u32> = d.iter().map(|&(p, _, _)| p).collect();
+                    parts.dedup();
+                    !d.is_empty() && parts.len() == d.len()
+                },
+                Duration::from_secs(10)
+            ),
+            "sharded digest snapshot must merge without duplicates"
+        );
+        joiner.shutdown_now();
         seed.shutdown_now();
     }
 }

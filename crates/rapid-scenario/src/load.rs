@@ -4,7 +4,7 @@
 use rapid_sim::LatencyDist;
 
 use crate::model::{
-    Expect, FaultSpec, FullOverrides, Group, Inject, KvSpec, Phase, Repeat, Scenario,
+    Expect, FaultSpec, FullOverrides, Group, Inject, KeyDist, KvSpec, Phase, Repeat, Scenario,
     SettingsPatch, SizeExpr, SubmitMode, Target, Topology, Workload, WorkloadAction,
 };
 use crate::toml::Value;
@@ -166,6 +166,7 @@ fn settings_from_value(v: &Value) -> Result<SettingsPatch, String> {
             "threads" => patch.threads = Some(req_usize(v, key, ctx)?),
             "obs_ring" => patch.obs_ring = Some(req_usize(v, key, ctx)?),
             "obs_sample_ms" => patch.obs_sample_ms = Some(req_uint(v, key, ctx)?),
+            "kv_shards" => patch.kv_shards = Some(req_usize(v, key, ctx)?),
             "client_window" => patch.client_window = Some(req_usize(v, key, ctx)?),
             "kv_inbox" => patch.kv_inbox = Some(req_usize(v, key, ctx)?),
             "kv_shed_p99_ms" => patch.kv_shed_p99_ms = Some(req_uint(v, key, ctx)?),
@@ -428,6 +429,30 @@ fn workload_from_value(v: &Value, phase: usize, idx: usize) -> Result<Workload, 
                 None => None,
                 Some(_) => Some(req_usize(p, "value_size", &ctx)?),
             },
+            key_dist: match p.get("key_dist").and_then(|d| d.as_str()) {
+                None | Some("sequential") => KeyDist::Sequential,
+                Some("zipfian") => {
+                    let s = match p.get("zipf_s") {
+                        None => 1.1,
+                        Some(v) => v
+                            .as_f64()
+                            .ok_or_else(|| format!("{ctx}: zipf_s must be a number"))?,
+                    };
+                    // NaN must fail too, hence not a plain `s <= 0.0`.
+                    if s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                        return Err(format!(
+                            "{ctx}: zipf_s must be > 0 (got {s}); s near 0 is uniform, \
+                             ~1.1 matches web-cache skew"
+                        ));
+                    }
+                    KeyDist::Zipfian { s }
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "{ctx}: key_dist must be \"sequential\" or \"zipfian\" (got {other:?})"
+                    ))
+                }
+            },
         }
     } else {
         return Err(format!(
@@ -680,11 +705,11 @@ name = "load"
         assert_eq!((kv.submit, kv.clients), (SubmitMode::Coordinator, 1));
         assert_eq!(
             s.phases[0].workloads[0].action,
-            WorkloadAction::Put { count: 50, via: Some(0), value_size: None }
+            WorkloadAction::Put { count: 50, via: Some(0), value_size: None, key_dist: KeyDist::Sequential }
         );
         assert_eq!(
             s.phases[0].workloads[1].action,
-            WorkloadAction::Put { count: 5, via: None, value_size: Some(512) }
+            WorkloadAction::Put { count: 5, via: None, value_size: Some(512), key_dist: KeyDist::Sequential }
         );
         assert_eq!(s.phases[0].expects[0], Expect::KvAvailable);
         assert_eq!(s.phases[0].expects[1], Expect::NoLostAckedWrites);
@@ -715,6 +740,40 @@ name = "load"
         assert!(Scenario::from_toml(bad).unwrap_err().contains("invalid"));
         let bad_kv = "name=\"x\"\nn=5\n[kv]\nreplication = 0\n[[phase]]\nname=\"p\"\nrun_ms=1\n";
         assert!(Scenario::from_toml(bad_kv).unwrap_err().contains("replication"));
+    }
+
+    #[test]
+    fn parses_zipfian_key_dist() {
+        let doc = r#"
+name = "zipf"
+n = 5
+[kv]
+partitions = 8
+[[phase]]
+name = "load"
+  [[phase.workload]]
+  at_ms = 100
+  put = { count = 10, key_dist = "zipfian", zipf_s = 1.3 }
+  [[phase.workload]]
+  at_ms = 200
+  put = { count = 10, key_dist = "zipfian" }
+  [[phase.workload]]
+  at_ms = 300
+  put = { count = 10, key_dist = "sequential" }
+"#;
+        let s = Scenario::from_toml(doc).unwrap();
+        let dist_of = |i: usize| match s.phases[0].workloads[i].action {
+            WorkloadAction::Put { key_dist, .. } => key_dist,
+            ref other => panic!("wrong action {other:?}"),
+        };
+        assert_eq!(dist_of(0), KeyDist::Zipfian { s: 1.3 });
+        assert_eq!(dist_of(1), KeyDist::Zipfian { s: 1.1 }); // default skew
+        assert_eq!(dist_of(2), KeyDist::Sequential);
+
+        let bad_s = "name=\"x\"\nn=5\n[[phase]]\nname=\"p\"\n[[phase.workload]]\nput = { count = 1, key_dist = \"zipfian\", zipf_s = 0.0 }\n";
+        assert!(Scenario::from_toml(bad_s).unwrap_err().contains("zipf_s"));
+        let bad_dist = "name=\"x\"\nn=5\n[[phase]]\nname=\"p\"\n[[phase.workload]]\nput = { count = 1, key_dist = \"gaussian\" }\n";
+        assert!(Scenario::from_toml(bad_dist).unwrap_err().contains("key_dist"));
     }
 
     #[test]

@@ -144,6 +144,9 @@ pub struct SettingsPatch {
     /// default). When on, every report phase carries a `timeline`
     /// object and `--metrics FILE` exports the merged per-node series.
     pub obs_sample_ms: Option<u64>,
+    /// Real-driver KV data-plane shard count (`1` = single-threaded
+    /// oracle path; ignored by the simulator).
+    pub kv_shards: Option<usize>,
     /// Smart-client in-flight op window.
     pub client_window: Option<usize>,
     /// KV node remote-op inbox bound (admission control hard limit).
@@ -178,7 +181,7 @@ impl SettingsPatch {
             fd_window, fd_fail_fraction, reinforce_timeout_ms, consensus_fallback_base_ms,
             consensus_fallback_jitter_ms, classic_round_timeout_ms, gossip_fanout,
             gossip_interval_ms, join_timeout_ms, bootstrap_batch, use_gossip_broadcast,
-            batch_wire, threads, obs_ring, obs_sample_ms, client_window, kv_inbox,
+            batch_wire, threads, obs_ring, obs_sample_ms, kv_shards, client_window, kv_inbox,
             kv_shed_p99_ms, peer_quota_frames, peer_quota_bytes, peer_quota_interval_ms
         );
         base.validate()
@@ -355,6 +358,26 @@ pub struct Workload {
     pub action: WorkloadAction,
 }
 
+/// How a `put` workload draws keys from its `kv-NNNNN` keyspace
+/// (`key_dist` in TOML).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum KeyDist {
+    /// One write per key, in order (`kv-00000 .. kv-{count-1}`) — the
+    /// uniform default every pre-existing scenario uses.
+    #[default]
+    Sequential,
+    /// `count` writes drawn Zipf-distributed over the same `count`-key
+    /// space: rank `k` carries weight `1/(k+1)^s`, so a few hot keys
+    /// absorb most writes and one partition's shard becomes the
+    /// hotspot. Sampling is seeded from the scenario seed — identical
+    /// runs draw identical keys.
+    Zipfian {
+        /// Skew exponent (`zipf_s` in TOML, must be `> 0`; larger =
+        /// hotter head; ~1.1 approximates web-cache traces).
+        s: f64,
+    },
+}
+
 /// The kinds of workload actions.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadAction {
@@ -376,6 +399,9 @@ pub enum WorkloadAction {
         /// Minimum value size in bytes for this workload, overriding the
         /// `[kv]` table's `value_size` (`None` = inherit).
         value_size: Option<usize>,
+        /// Key distribution (sequential sweep by default, or a seeded
+        /// zipfian hot-key draw).
+        key_dist: KeyDist,
     },
 }
 

@@ -12,13 +12,14 @@
 //! 3. If `run_ms` is set, time advances to `phase_start + run_ms`.
 //! 4. Expectations evaluate in order; `converge` advances time itself.
 
-use rapid_core::hash::DetHashMap;
+use rapid_core::hash::{DetHashMap, StableHasher};
 use rapid_core::obs::LatencyHist;
+use rapid_core::rng::Xoshiro256;
 use rapid_route::KvOutcome;
 use rapid_sim::Fault;
 
 use crate::driver::{Driver, ResolvedWorkload};
-use crate::model::{Expect, FaultSpec, Inject, Phase, Scenario, WorkloadAction};
+use crate::model::{Expect, FaultSpec, Inject, KeyDist, Phase, Scenario, WorkloadAction};
 use crate::report::{
     ConvergenceReport, ExpectReport, KvClientPhase, KvPhaseReport, PhaseReport, Report,
     TimelineReport,
@@ -145,6 +146,41 @@ fn expand_inject(
     Ok(out)
 }
 
+/// The key sequence of one `put` workload. Sequential sweeps write each
+/// key of the `count`-key space once, in order; zipfian draws `count`
+/// samples over the same space by inverse-CDF over weights `1/(k+1)^s`,
+/// seeded from `(scenario seed, ledger position)` so every workload
+/// invocation draws its own reproducible stream on both drivers.
+fn draw_keys(dist: KeyDist, count: usize, seed: u64, seq: u64) -> Vec<String> {
+    if count == 0 {
+        return Vec::new();
+    }
+    match dist {
+        KeyDist::Sequential => (0..count).map(|i| format!("kv-{i:05}")).collect(),
+        KeyDist::Zipfian { s } => {
+            let mut cdf = Vec::with_capacity(count);
+            let mut total = 0.0f64;
+            for k in 0..count {
+                total += 1.0 / ((k + 1) as f64).powf(s);
+                cdf.push(total);
+            }
+            let mut rng = Xoshiro256::seed_from_u64(
+                StableHasher::new("kv-zipf-keys")
+                    .write_u64(seed)
+                    .write_u64(seq)
+                    .finish(),
+            );
+            (0..count)
+                .map(|_| {
+                    let u = rng.gen_f64() * total;
+                    let rank = cdf.partition_point(|&c| c < u).min(count - 1);
+                    format!("kv-{rank:05}")
+                })
+                .collect()
+        }
+    }
+}
+
 fn run_phase(
     scenario: &Scenario,
     phase: &Phase,
@@ -184,6 +220,7 @@ fn run_phase(
                 count,
                 via,
                 value_size,
+                key_dist,
             } => {
                 // Pad values to the workload's (or the [kv] table's)
                 // value_size so data-motion metrics measure real bytes,
@@ -197,15 +234,17 @@ fn run_phase(
                             .filter(|&s| s > 0)
                     })
                     .unwrap_or(0);
-                let ops: Vec<KvOp> = (0..*count)
-                    .map(|i| {
+                let keys = draw_keys(*key_dist, *count, scenario.seed, ledger.seq);
+                let ops: Vec<KvOp> = keys
+                    .into_iter()
+                    .map(|key| {
                         ledger.seq += 1;
                         let mut val = format!("v{:06}", ledger.seq);
                         while val.len() < min_len {
                             val.push('x');
                         }
                         KvOp {
-                            key: format!("kv-{i:05}"),
+                            key,
                             put_val: Some(val),
                         }
                     })
@@ -511,6 +550,15 @@ fn validate(scenario: &Scenario) -> Result<(), String> {
             }
         }
     }
+    if let (Some(shards), Some(kv)) = (scenario.settings.kv_shards, &scenario.kv) {
+        if shards > kv.partitions as usize {
+            return Err(format!(
+                "kv_shards = {shards} exceeds the {} KV partitions; a shard with no \
+                 partitions can never serve an op (lower kv_shards or raise partitions)",
+                kv.partitions
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -560,6 +608,34 @@ mod tests {
                     .expect(Expect::ConsistentHistories),
             )
             .finish()
+    }
+
+    #[test]
+    fn draw_keys_is_deterministic_and_skewed() {
+        // Sequential is the exact legacy stream, untouched by seed or seq.
+        let seq = draw_keys(KeyDist::Sequential, 3, 59, 7);
+        assert_eq!(seq, vec!["kv-00000", "kv-00001", "kv-00002"]);
+
+        // Same (seed, seq) reproduces the identical zipfian draw; a
+        // different seq shifts it — each workload burst gets its own stream.
+        let z = KeyDist::Zipfian { s: 1.2 };
+        let a = draw_keys(z, 500, 59, 7);
+        assert_eq!(a, draw_keys(z, 500, 59, 7));
+        assert_ne!(a, draw_keys(z, 500, 59, 8));
+
+        // All draws stay inside the rank space, and the head key dominates:
+        // rank 0 must be the single most frequent key.
+        let mut freq = DetHashMap::<String, usize>::default();
+        for k in &a {
+            assert!(k.as_str() >= "kv-00000" && k.as_str() < "kv-00500");
+            *freq.entry(k.clone()).or_default() += 1;
+        }
+        let head = freq["kv-00000"];
+        assert!(
+            freq.iter().all(|(k, &n)| k == "kv-00000" || n <= head),
+            "rank 0 should be the hottest key: {head} draws"
+        );
+        assert!(head >= 50, "s=1.2 head key should soak >10% of 500 draws, got {head}");
     }
 
     #[test]
@@ -683,7 +759,7 @@ mod tests {
             })
             .phase(
                 Phase::new("load")
-                    .workload(1_000, crate::model::WorkloadAction::Put { count: 20, via: None, value_size: None })
+                    .workload(1_000, crate::model::WorkloadAction::Put { count: 20, via: None, value_size: None, key_dist: crate::model::KeyDist::Sequential })
                     .expect(Expect::KvAvailable),
             )
             .phase(
@@ -736,6 +812,7 @@ mod tests {
                 count: 1,
                 via: None,
                 value_size: None,
+                key_dist: crate::model::KeyDist::Sequential,
             }))
             .finish();
         let mut driver = SimDriver::new(SystemKind::Rapid, &s).unwrap();

@@ -5,7 +5,10 @@
 //! runtime dependency. The sans-io [`rapid_core::node::Node`] is driven by
 //! a single driver thread that multiplexes inbound frames (from a
 //! listener + per-connection reader threads) with periodic ticks, and
-//! writes outbound frames through a lazily connected stream pool.
+//! queues outbound frames to one writer thread per peer socket (bounded
+//! per-peer queues over a lazily connected stream each), so a slow or
+//! dead peer backs up only its own queue instead of head-of-line
+//! blocking every destination.
 //!
 //! Framing: every message is `[u32 total_len][u16 host_len][host bytes]
 //! [u16 port][rapid_core::wire body]`, where `host:port` is the *logical*
@@ -252,6 +255,95 @@ impl StreamPool {
     }
 }
 
+/// Depth of each per-peer send queue — the backpressure bound. At the
+/// default tick cadence this is several seconds of protocol traffic;
+/// overflowing it means the peer is effectively unreachable, so further
+/// frames are dropped exactly as a write timeout would have dropped
+/// them.
+const PEER_QUEUE_DEPTH: usize = 4 * 1024;
+
+/// One queued outbound frame for a peer's writer thread.
+enum WriteJob {
+    Proto(Message),
+    App(Vec<u8>),
+}
+
+/// One writer thread per peer socket, fed by bounded per-peer queues.
+///
+/// The dispatcher (the runtime's driver thread, or an [`AppPeer`]'s
+/// queue drain) never blocks on the network: enqueueing to a full peer
+/// queue drops the frame — the same best-effort semantics as a failed
+/// write. A peer whose socket stalls (slow reader, connect timeout to a
+/// dead host) backs up only its own queue; it can no longer
+/// head-of-line-block frames bound for every other destination, which
+/// is what the old single shared writer serialized on.
+struct PeerWriters {
+    me: Endpoint,
+    connect_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    peers: std::collections::HashMap<Endpoint, Sender<WriteJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PeerWriters {
+    fn new(me: Endpoint, connect_timeout: Duration, shutdown: Arc<AtomicBool>) -> PeerWriters {
+        PeerWriters {
+            me,
+            connect_timeout,
+            shutdown,
+            peers: std::collections::HashMap::new(),
+            handles: Vec::new(),
+        }
+    }
+
+    /// The peer's queue, spawning its writer thread on first use. Each
+    /// writer owns a single-entry [`StreamPool`], so connect/write
+    /// blocking stays on that thread.
+    fn queue_for(&mut self, to: Endpoint) -> &Sender<WriteJob> {
+        if !self.peers.contains_key(&to) {
+            let (tx, rx) = bounded::<WriteJob>(PEER_QUEUE_DEPTH);
+            let me = self.me;
+            let connect_timeout = self.connect_timeout;
+            let stop = Arc::clone(&self.shutdown);
+            self.handles.push(std::thread::spawn(move || {
+                let mut pool = StreamPool::new(me, connect_timeout);
+                while !stop.load(Ordering::Relaxed) {
+                    match rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(WriteJob::Proto(msg)) => pool.send(&to, &msg),
+                        Ok(WriteJob::App(payload)) => pool.send_app(&to, &payload),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }));
+            self.peers.insert(to, tx);
+        }
+        self.peers.get(&to).expect("just inserted")
+    }
+
+    /// Best-effort protocol send: queued to the peer's writer, dropped
+    /// when its queue is full.
+    fn send(&mut self, to: Endpoint, msg: Message) {
+        let _ = self.queue_for(to).try_send(WriteJob::Proto(msg));
+    }
+
+    /// Best-effort app-payload send, same queueing rules as [`send`].
+    ///
+    /// [`send`]: PeerWriters::send
+    fn send_app(&mut self, to: Endpoint, payload: Vec<u8>) {
+        let _ = self.queue_for(to).try_send(WriteJob::App(payload));
+    }
+
+    /// Drops every queue (each writer drains frames it already accepted,
+    /// then sees the disconnect) and joins the writer threads.
+    fn join_all(&mut self) {
+        self.peers.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A running Rapid node bound to a real TCP socket.
 pub struct Runtime {
     me: Member,
@@ -387,7 +479,8 @@ impl Runtime {
             };
             threads.push(std::thread::spawn(move || {
                 let mut node = node;
-                let mut pool = StreamPool::new(me_ep2, Duration::from_millis(250));
+                let mut writers =
+                    PeerWriters::new(me_ep2, Duration::from_millis(250), Arc::clone(&shutdown));
                 let mut quotas = QuotaTracker::new(quota);
                 let start = Instant::now();
                 let mut next_tick = Instant::now();
@@ -400,7 +493,7 @@ impl Runtime {
                     while let Ok(cmd) = control_rx.try_recv() {
                         match cmd {
                             Control::Leave => node.leave(&mut actions),
-                            Control::SendApp(to, payload) => pool.send_app(&to, &payload),
+                            Control::SendApp(to, payload) => writers.send_app(to, payload),
                         }
                     }
                     // Inbound frames until the next tick is due.
@@ -434,7 +527,7 @@ impl Runtime {
                     // Dispatch actions.
                     for action in actions.drain(..) {
                         match action {
-                            Action::Send { to, msg } => pool.send(&to, &msg),
+                            Action::Send { to, msg } => writers.send(to, msg),
                             Action::View(vc) => {
                                 *view.lock() = Arc::clone(&vc.configuration);
                                 *status.lock() = node.status();
@@ -453,6 +546,7 @@ impl Runtime {
                     }
                     *status.lock() = node.status();
                 }
+                writers.join_all();
             }));
         }
 
@@ -502,10 +596,17 @@ impl Runtime {
     }
 
     /// Sends an opaque application payload to a peer runtime, best
-    /// effort, from the driver thread (shares the protocol's stream
-    /// pool). The peer surfaces it as [`AppEvent::App`].
+    /// effort, via the peer's writer thread. The peer surfaces it as
+    /// [`AppEvent::App`].
     pub fn send_app(&self, to: Endpoint, payload: Vec<u8>) {
         let _ = self.control_tx.try_send(Control::SendApp(to, payload));
+    }
+
+    /// A cloneable handle for queueing app payloads from any thread —
+    /// the hook sharded data planes use so every shard worker can emit
+    /// frames without owning the runtime.
+    pub fn app_sender(&self) -> AppSender {
+        AppSender(self.control_tx.clone())
     }
 
     /// Starts a loopback introspection listener and returns its bound
@@ -579,6 +680,19 @@ impl Runtime {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+/// A cloneable handle for [`Runtime::send_app`]-style sends from threads
+/// that do not own the [`Runtime`] (e.g. KV shard workers). Delivery is
+/// best effort: the payload is dropped if the control queue is full.
+#[derive(Clone)]
+pub struct AppSender(Sender<Control>);
+
+impl AppSender {
+    /// Queues an app payload for best-effort delivery to `to`.
+    pub fn send_app(&self, to: Endpoint, payload: Vec<u8>) {
+        let _ = self.0.try_send(Control::SendApp(to, payload));
     }
 }
 
@@ -664,22 +778,26 @@ impl AppPeer {
             }));
         }
 
-        // Writer thread: drains queued sends through the per-peer pool.
+        // Dispatcher thread: fans queued sends out to one writer thread
+        // per peer, so one stalled leader connection cannot delay
+        // frames bound for the others.
         {
             let shutdown = Arc::clone(&shutdown);
             let me2 = me;
             threads.push(std::thread::spawn(move || {
-                let mut pool = StreamPool::new(me2, Duration::from_millis(250));
+                let mut writers =
+                    PeerWriters::new(me2, Duration::from_millis(250), Arc::clone(&shutdown));
                 loop {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     match control_rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok((to, payload)) => pool.send_app(&to, &payload),
+                        Ok((to, payload)) => writers.send_app(to, payload),
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
                 }
+                writers.join_all();
             }));
         }
 
@@ -743,6 +861,46 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         false
+    }
+
+    #[test]
+    fn per_peer_writers_preserve_order_across_interleaved_destinations() {
+        // Frames to one peer stay FIFO through its dedicated writer even
+        // when the dispatcher interleaves them with frames for other
+        // peers (and for a dead endpoint, whose connect attempts now
+        // block only that peer's own writer thread).
+        let a = AppPeer::start(Endpoint::new("127.0.0.1", 0)).unwrap();
+        let b = AppPeer::start(Endpoint::new("127.0.0.1", 0)).unwrap();
+        let c = AppPeer::start(Endpoint::new("127.0.0.1", 0)).unwrap();
+        let dead = {
+            // A port that was just bound and released: nothing listens.
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let port = l.local_addr().unwrap().port();
+            drop(l);
+            Endpoint::new("127.0.0.1", port)
+        };
+        for i in 0..50u8 {
+            a.send_app(*b.addr(), vec![0, i]);
+            a.send_app(dead, vec![9, i]);
+            a.send_app(*c.addr(), vec![1, i]);
+        }
+        let drain = |p: &AppPeer, tag: u8| {
+            let mut got = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while got.len() < 50 && Instant::now() < deadline {
+                if let Ok((from, payload)) = p.events().recv_timeout(Duration::from_millis(100)) {
+                    assert_eq!(from, *a.addr());
+                    assert_eq!(payload[0], tag);
+                    got.push(payload[1]);
+                }
+            }
+            got
+        };
+        assert_eq!(drain(&b, 0), (0..50).collect::<Vec<_>>());
+        assert_eq!(drain(&c, 1), (0..50).collect::<Vec<_>>());
+        a.shutdown_now();
+        b.shutdown_now();
+        c.shutdown_now();
     }
 
     #[test]
